@@ -1,0 +1,58 @@
+"""Section III-C claim — CHGS collapses four interactions into one and
+reduces online communication.
+
+Measured on real (scaled-down) private inference runs: the number of online
+rounds and online bytes of Primer-F vs Primer-FPC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.costmodel import format_table
+from repro.nn import BERT_BASE, TransformerEncoder, scaled_config
+from repro.protocols import PRIMER_F, PRIMER_FPC, PrivateTransformerInference
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    config = scaled_config(
+        BERT_BASE, embed_dim=16, num_heads=2, seq_len=6, vocab_size=40, num_blocks=2
+    )
+    model = TransformerEncoder.initialise(config, seed=3)
+    token_ids = np.array([4, 7, 12, 20, 33, 5])
+    return model, token_ids
+
+
+def _run(model, token_ids, variant):
+    engine = PrivateTransformerInference(model, variant, seed=11)
+    engine.offline()
+    return engine.run(token_ids)
+
+
+def test_chgs_reduces_rounds_and_bytes(tiny_setup):
+    model, token_ids = tiny_setup
+    result_f = _run(model, token_ids, PRIMER_F)
+    result_fpc = _run(model, token_ids, PRIMER_FPC)
+    print("\nCHGS interaction reduction (scaled-down functional run)\n")
+    print(format_table(
+        ["Variant", "Online rounds", "Online MB", "Prediction"],
+        [
+            ["primer-f", result_f.online_rounds, f"{result_f.online_bytes / 1e6:.1f}",
+             result_f.prediction],
+            ["primer-fpc", result_fpc.online_rounds, f"{result_fpc.online_bytes / 1e6:.1f}",
+             result_fpc.prediction],
+        ],
+    ))
+    assert result_fpc.online_rounds < result_f.online_rounds
+    assert result_fpc.prediction == result_f.prediction
+
+
+@pytest.mark.benchmark(group="chgs")
+@pytest.mark.parametrize("variant", [PRIMER_F, PRIMER_FPC], ids=lambda v: v.name)
+def test_bench_private_inference(benchmark, tiny_setup, variant):
+    model, token_ids = tiny_setup
+    engine = PrivateTransformerInference(model, variant, seed=11)
+    engine.offline()
+    benchmark(lambda: engine.run(token_ids))

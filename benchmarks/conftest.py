@@ -1,0 +1,14 @@
+"""Shared fixtures for the benchmark harness (pytest-benchmark)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nn import BERT_BASE
+from repro.runtime import calibrated_latency_model
+
+
+@pytest.fixture(scope="session")
+def latency_model():
+    """Cost model calibrated once per benchmark session (Table II anchors)."""
+    return calibrated_latency_model(BERT_BASE)

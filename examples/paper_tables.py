@@ -1,0 +1,83 @@
+"""Regenerate the paper's headline tables from the calibrated cost model.
+
+Prints Table I (scheme comparison), Table II (per-step ablation) and
+Table III (model-size sweep) for BERT at paper scale, plus the Figure 6
+packing comparison.  This is the same machinery the benchmark harness uses,
+packaged as a single runnable report.
+
+Run with:  python examples/paper_tables.py
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import format_table
+from repro.he import rotation_savings
+from repro.nn import BERT_BASE, PAPER_MODELS
+from repro.protocols import ALL_VARIANTS, PRIMER_F, PRIMER_FPC, count_operations
+from repro.protocols.primer import TABLE2_STEPS
+from repro.runtime import calibrated_latency_model, scheme_latencies
+
+
+def table1(latency_model) -> None:
+    print("\nTable I — comparison on private BERT-base inference")
+    rows = []
+    for row in scheme_latencies(BERT_BASE, model=latency_model,
+                                variants=[PRIMER_F, PRIMER_FPC]):
+        rows.append([
+            row.scheme, f"{row.offline_seconds:.0f}", f"{row.online_seconds:.1f}",
+            f"{row.total_seconds:.0f}", f"{row.message_gigabytes:.1f}",
+        ])
+    print(format_table(["Scheme", "Offline(s)", "Online(s)", "Total(s)", "Msg GB"], rows))
+
+
+def table2(latency_model) -> None:
+    print("\nTable II — per-step ablation (offline/online seconds)")
+    rows = []
+    for variant in ALL_VARIANTS:
+        account = count_operations(BERT_BASE, variant)
+        breakdown = latency_model.breakdown(account)
+        totals = latency_model.totals(account)
+        cells = [variant.name]
+        for step in TABLE2_STEPS:
+            latency = breakdown[step]
+            cells.append(f"{latency.offline.total_seconds:.1f}/{latency.online.total_seconds:.1f}")
+        cells.append(f"{totals.offline.total_seconds:.0f}/{totals.online.total_seconds:.1f}")
+        rows.append(cells)
+    print(format_table(["Scheme", *TABLE2_STEPS, "Total"], rows))
+
+
+def table3(latency_model) -> None:
+    print("\nTable III — Primer over BERT model sizes")
+    rows = []
+    for name, config in PAPER_MODELS.items():
+        account = count_operations(config, PRIMER_FPC)
+        rows.append([
+            name,
+            f"{latency_model.offline_seconds(account):.0f}",
+            f"{latency_model.online_seconds(account):.1f}",
+            f"{latency_model.throughput_tokens_per_second(account):.2f}",
+            f"{latency_model.message_gigabytes(account):.1f}",
+        ])
+    print(format_table(["Model", "Offline(s)", "Online(s)", "Tokens/s", "Msg GB"], rows))
+
+
+def figure6() -> None:
+    print("\nFigure 6 — packing rotation counts (embedding layer, n=30, M=4096)")
+    savings = rotation_savings(30, 30522, 4096)
+    print(format_table(
+        ["Layout", "Rotations"],
+        [["feature-based", f"{savings['feature_based_rotations']:,}"],
+         ["tokens-first", f"{savings['tokens_first_rotations']:,}"],
+         ["reduction", f"{savings['reduction_factor']:.1f}x"]],
+    ))
+
+
+if __name__ == "__main__":
+    model = calibrated_latency_model(BERT_BASE)
+    print("Cost model calibrated against the Primer-base row of Table II "
+          f"(ct-pt mult {model.constants.he_mult_seconds * 1e3:.2f} ms, "
+          f"rotation {model.constants.he_rotation_seconds * 1e3:.2f} ms).")
+    table1(model)
+    table2(model)
+    table3(model)
+    figure6()

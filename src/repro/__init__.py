@@ -1,0 +1,54 @@
+"""repro — reproduction of "Primer: Fast Private Transformer Inference on
+Encrypted Data" (DAC 2023).
+
+The package provides:
+
+* ``repro.he`` — an additive BFV-style HE layer (exact RLWE backend plus a
+  functional simulator with operation accounting) including the paper's
+  tokens-first ciphertext packing;
+* ``repro.mpc`` — additive secret sharing, Beaver triples, oblivious transfer
+  and a garbled-circuit engine;
+* ``repro.nn`` — a plaintext BERT-style Transformer substrate with fixed-point
+  and polynomial-approximation execution modes;
+* ``repro.protocols`` — the paper's contribution: the HGS, FHGS and CHGS
+  protocols, GC-backed non-linearities, and the Primer-base/F/FP/FPC private
+  inference engine;
+* ``repro.baselines`` — THE-X (FHE-only) and GCFormer (GC-only) comparison
+  points;
+* ``repro.costmodel`` / ``repro.runtime`` / ``repro.data`` — the calibrated
+  latency model, evaluation harness and synthetic datasets used to regenerate
+  the paper's tables and figures.
+"""
+
+from . import baselines, costmodel, data, fixedpoint, he, mpc, nn, protocols, runtime
+from .protocols import (
+    ALL_VARIANTS,
+    PRIMER_BASE,
+    PRIMER_F,
+    PRIMER_FP,
+    PRIMER_FPC,
+    PrimerVariant,
+    PrivateTransformerInference,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_VARIANTS",
+    "PRIMER_BASE",
+    "PRIMER_F",
+    "PRIMER_FP",
+    "PRIMER_FPC",
+    "PrimerVariant",
+    "PrivateTransformerInference",
+    "__version__",
+    "baselines",
+    "costmodel",
+    "data",
+    "fixedpoint",
+    "he",
+    "mpc",
+    "nn",
+    "protocols",
+    "runtime",
+]

@@ -1,0 +1,6 @@
+"""Baselines the paper compares against: THE-X (FHE-only) and GCFormer (GC-only)."""
+
+from .gcformer import GCFormerBaseline
+from .thex import THEXBaseline
+
+__all__ = ["GCFormerBaseline", "THEXBaseline"]

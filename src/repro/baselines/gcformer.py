@@ -1,0 +1,84 @@
+"""GCFormer baseline: garbled-circuit-only Transformer inference.
+
+The paper builds "GCFormer" by compiling the whole Transformer into a binary
+circuit evaluated under Yao's garbled circuits (following DeepSecure).  It is
+accurate — GC evaluates the exact functions — but every multiply-accumulate
+of every matrix product becomes a garbled multiplier, which is why its
+offline (garbling/transfer) and online (evaluation) latencies in Table I are
+the largest of all schemes (7.5 K s offline, 9.8 K s online).
+
+The gate counts below use the same :class:`~repro.protocols.nonlinear.GCCostModel`
+primitives as Primer's GC steps, applied to *every* operation of the model
+rather than only the non-polynomial ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..costmodel.constants import CostConstants, DEFAULT_COSTS
+from ..nn.config import TransformerConfig
+from ..protocols.nonlinear import GCCostModel
+
+__all__ = ["GCFormerBaseline"]
+
+
+@dataclass
+class GCFormerBaseline:
+    """Gate-count accounting for an all-GC Transformer."""
+
+    config: TransformerConfig
+    constants: CostConstants = DEFAULT_COSTS
+    word_bits: int = 15
+    #: fraction of per-gate work done by the garbler ahead of time
+    garble_fraction: float = 0.45
+
+    def and_gate_count(self) -> float:
+        """Total AND gates of the fully garbled model."""
+        cfg = self.config
+        gc = GCCostModel(self.word_bits)
+        n, d, vocab = cfg.seq_len, cfg.embed_dim, cfg.vocab_size
+        heads, head_dim, blocks, ffn = (
+            cfg.num_heads, cfg.head_dim, cfg.num_blocks, cfg.hidden_ffn_dim,
+        )
+
+        def matmul_gates(rows: int, inner: int, cols: int) -> float:
+            macs = rows * inner * cols
+            return macs * (gc.mul_gates + gc.add_gates)
+
+        gates = matmul_gates(n, vocab, d)  # embedding
+        for _ in range(blocks):
+            gates += 3 * matmul_gates(n, d, d)                      # QKV
+            gates += heads * matmul_gates(n, head_dim, n)            # Q K^T
+            gates += heads * n * gc.softmax_gates(n)                 # SoftMax
+            gates += heads * matmul_gates(n, n, head_dim)            # A V
+            gates += matmul_gates(n, d, d)                           # output proj
+            gates += matmul_gates(n, d, ffn) + matmul_gates(n, ffn, d)
+            gates += n * ffn * gc.gelu_gates()
+            gates += 2 * n * gc.layernorm_gates(d)
+        gates += matmul_gates(1, d, d) + gc.tanh_gates() * d          # pooler
+        gates += matmul_gates(1, d, cfg.num_labels)                   # classifier
+        return gates
+
+    # -- latency -----------------------------------------------------------------
+    def offline_seconds(self) -> float:
+        """Garbling and garbled-table transfer (can be done ahead of time)."""
+        gates = self.and_gate_count()
+        c = self.constants
+        garble = gates * c.gc_gate_seconds * self.garble_fraction / (1 - self.garble_fraction)
+        transfer = self.table_gigabytes() * 1e9 / c.network_bandwidth_bytes_per_second
+        return garble + transfer
+
+    def online_seconds(self) -> float:
+        """Evaluation of the garbled circuit plus input-label transfer."""
+        gates = self.and_gate_count()
+        c = self.constants
+        label_bytes = self.config.seq_len * self.config.vocab_size * 16
+        return gates * c.gc_gate_seconds + label_bytes / c.network_bandwidth_bytes_per_second
+
+    def total_seconds(self) -> float:
+        return self.offline_seconds() + self.online_seconds()
+
+    def table_gigabytes(self) -> float:
+        """Size of the garbled tables shipped to the evaluator."""
+        return self.and_gate_count() * 4 * 16 / 1e9

@@ -1,0 +1,112 @@
+"""THE-X-style baseline: FHE-only private inference with polynomial activations.
+
+THE-X (Chen et al., ACL 2022) runs the whole Transformer under homomorphic
+encryption: every linear layer is an online ciphertext computation and every
+non-polynomial function (SoftMax, GELU, LayerNorm's rsqrt) is replaced by a
+polynomial approximation so it can be evaluated homomorphically.  The paper
+uses it as the FHE-only comparison point in Figure 2 and Table I: about
+4.7 K seconds of online latency and a ~7-point accuracy drop on MNLI-m.
+
+The accounting below reuses the HE matmul algebra of
+:mod:`repro.protocols.accounting` with two changes that characterise the
+FHE-only regime:
+
+* there is no offline phase — every ciphertext operation happens online;
+* the approximated activations are evaluated as ciphertext-ciphertext
+  polynomial arithmetic, which costs a (configurable) multiple of a
+  ciphertext-plaintext product and consumes multiplicative depth.
+
+Accuracy comes from running the plaintext model with polynomial activations
+(:class:`repro.nn.quantize.ExecutionMode.fhe_only`), which is where THE-X's
+accuracy loss genuinely comes from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..costmodel.constants import CostConstants, DEFAULT_COSTS
+from ..he.packing import PackingLayout
+from ..nn.config import TransformerConfig
+from ..protocols.accounting import OperationCounts, _he_matmul_counts
+
+__all__ = ["THEXBaseline"]
+
+
+@dataclass
+class THEXBaseline:
+    """Latency/communication accounting for FHE-only Transformer inference."""
+
+    config: TransformerConfig
+    constants: CostConstants = DEFAULT_COSTS
+    #: relative cost of a ciphertext-ciphertext multiplication vs ct-pt
+    ct_ct_multiplier: float = 12.0
+    slots: int = 4096
+    ciphertext_bytes: int = 2 * 4096 * 8
+
+    # -- operation counts --------------------------------------------------------
+    def operation_counts(self) -> OperationCounts:
+        """Total online operation counts for one inference."""
+        cfg = self.config
+        n, d, vocab = cfg.seq_len, cfg.embed_dim, cfg.vocab_size
+        heads, head_dim, blocks, ffn = (
+            cfg.num_heads, cfg.head_dim, cfg.num_blocks, cfg.hidden_ffn_dim,
+        )
+        total = OperationCounts()
+        layout = PackingLayout.FEATURE_BASED
+
+        def add_matmul(rows: int, inner: int, cols: int, ct_ct: bool = False) -> None:
+            counts = _he_matmul_counts(
+                rows, inner, cols, self.slots, layout, self.ciphertext_bytes
+            )
+            if ct_ct:
+                counts.he_mults *= self.ct_ct_multiplier
+            total.add(counts)
+
+        # Embedding + per-block linear layers (ciphertext-plaintext products).
+        add_matmul(n, vocab, d)
+        for _ in range(blocks):
+            for _ in range(3):
+                add_matmul(n, d, d)
+            # Attention products are ciphertext-ciphertext under FHE.
+            for _ in range(heads):
+                add_matmul(n, head_dim, n, ct_ct=True)
+                add_matmul(n, n, head_dim, ct_ct=True)
+            add_matmul(n, d, d)
+            add_matmul(n, d, ffn)
+            add_matmul(n, ffn, d)
+        # Polynomial activations: quadratic SoftMax and GELU, evaluated as
+        # ciphertext-ciphertext squarings over every activation element.
+        activation_elements = blocks * (heads * n * n + n * ffn + 2 * n * d)
+        total.he_mults += self.ct_ct_multiplier * activation_elements / self.slots * 3
+        # Client -> server input and server -> client output ciphertexts.
+        io_cts = math.ceil(n * vocab / self.slots) + math.ceil(n * d / self.slots)
+        total.bytes_sent += io_cts * self.ciphertext_bytes
+        total.rounds += 2
+        return total
+
+    # -- latency ------------------------------------------------------------------
+    def online_seconds(self) -> float:
+        counts = self.operation_counts()
+        c = self.constants
+        compute = (
+            counts.he_mults * c.he_mult_seconds
+            + counts.he_rotations * c.he_rotation_seconds
+            + counts.he_encryptions * c.he_encryption_seconds
+            + counts.he_additions * c.he_addition_seconds
+        )
+        network = counts.rounds * c.network_delay_seconds + (
+            counts.bytes_sent / c.network_bandwidth_bytes_per_second
+        )
+        return compute + network
+
+    def offline_seconds(self) -> float:
+        """THE-X has no pre-processing phase."""
+        return 0.0
+
+    def total_seconds(self) -> float:
+        return self.online_seconds() + self.offline_seconds()
+
+    def message_gigabytes(self) -> float:
+        return self.operation_counts().bytes_sent / 1e9

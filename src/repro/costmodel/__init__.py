@@ -1,0 +1,16 @@
+"""Latency and communication cost model (calibrated against Table II)."""
+
+from .constants import DEFAULT_COSTS, CostConstants, calibrate
+from .latency import LatencyModel, PhaseLatency, StepLatency
+from .report import format_seconds, format_table
+
+__all__ = [
+    "CostConstants",
+    "DEFAULT_COSTS",
+    "LatencyModel",
+    "PhaseLatency",
+    "StepLatency",
+    "calibrate",
+    "format_seconds",
+    "format_table",
+]

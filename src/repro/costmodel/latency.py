@@ -1,0 +1,94 @@
+"""Conversion of operation counts into wall-clock latency and bandwidth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..protocols.accounting import InferenceAccount, OperationCounts, StepAccount
+from .constants import CostConstants, DEFAULT_COSTS
+
+__all__ = ["PhaseLatency", "StepLatency", "LatencyModel"]
+
+
+@dataclass(frozen=True)
+class PhaseLatency:
+    """Compute / network decomposition of one phase of one step."""
+
+    compute_seconds: float
+    network_seconds: float
+    bytes_sent: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.network_seconds
+
+
+@dataclass(frozen=True)
+class StepLatency:
+    """Offline and online latency of one Table II step."""
+
+    step: str
+    offline: PhaseLatency
+    online: PhaseLatency
+
+
+class LatencyModel:
+    """Applies :class:`CostConstants` to an :class:`InferenceAccount`."""
+
+    def __init__(self, constants: CostConstants = DEFAULT_COSTS):
+        self.constants = constants
+
+    # -- conversions -----------------------------------------------------------
+    def phase_latency(self, counts: OperationCounts) -> PhaseLatency:
+        c = self.constants
+        compute = (
+            counts.he_mults * c.he_mult_seconds
+            + counts.he_rotations * c.he_rotation_seconds
+            + counts.he_encryptions * c.he_encryption_seconds
+            + counts.he_additions * c.he_addition_seconds
+            + counts.gc_and_gates * c.gc_gate_seconds
+            + counts.plaintext_macs * c.plaintext_mac_seconds
+        )
+        network = (
+            counts.rounds * c.network_delay_seconds
+            + counts.bytes_sent / c.network_bandwidth_bytes_per_second
+        )
+        return PhaseLatency(
+            compute_seconds=compute, network_seconds=network, bytes_sent=counts.bytes_sent
+        )
+
+    def step_latency(self, account: StepAccount) -> StepLatency:
+        return StepLatency(
+            step=account.step,
+            offline=self.phase_latency(account.offline),
+            online=self.phase_latency(account.online),
+        )
+
+    def breakdown(self, account: InferenceAccount) -> dict[str, StepLatency]:
+        """Per-step latency for every Table II column."""
+        return {name: self.step_latency(step) for name, step in account.steps.items()}
+
+    def totals(self, account: InferenceAccount) -> StepLatency:
+        """Offline/online totals across all steps."""
+        return self.step_latency(account.totals())
+
+    # -- convenience -----------------------------------------------------------
+    def offline_seconds(self, account: InferenceAccount) -> float:
+        return self.totals(account).offline.total_seconds
+
+    def online_seconds(self, account: InferenceAccount) -> float:
+        return self.totals(account).online.total_seconds
+
+    def total_seconds(self, account: InferenceAccount) -> float:
+        totals = self.totals(account)
+        return totals.offline.total_seconds + totals.online.total_seconds
+
+    def message_gigabytes(self, account: InferenceAccount) -> float:
+        return account.total_bytes() / 1e9
+
+    def throughput_tokens_per_second(self, account: InferenceAccount) -> float:
+        """Tokens processed per second of online latency (Table III metric)."""
+        online = self.online_seconds(account)
+        if online <= 0:
+            return float("inf")
+        return account.config.seq_len / online

@@ -1,0 +1,30 @@
+"""Table/report formatting helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_seconds"]
+
+
+def format_seconds(value: float) -> str:
+    """Human-friendly seconds: '3094.4', '0.04K' style is avoided — plain units."""
+    if value >= 1000:
+        return f"{value / 1000:.2f}K"
+    if value >= 1:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table (used by benchmark stdout reports)."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt_row(list(headers)), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt_row(row) for row in materialised)
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Synthetic datasets and metrics (GLUE/SQuAD stand-ins)."""
+
+from .metrics import accuracy, agreement, f1_binary
+from .synthetic import TASK_SPECS, SyntheticExample, SyntheticTask, make_task
+
+__all__ = [
+    "SyntheticExample",
+    "SyntheticTask",
+    "TASK_SPECS",
+    "accuracy",
+    "agreement",
+    "f1_binary",
+    "make_task",
+]

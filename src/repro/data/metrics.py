@@ -1,0 +1,37 @@
+"""Evaluation metrics used by the accuracy experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "agreement", "f1_binary"]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of predictions matching the labels."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(f"shape mismatch {predictions.shape} vs {labels.shape}")
+    if predictions.size == 0:
+        return 0.0
+    return float(np.mean(predictions == labels))
+
+
+def agreement(predictions_a: np.ndarray, predictions_b: np.ndarray) -> float:
+    """Prediction agreement between two execution modes (fidelity metric)."""
+    return accuracy(np.asarray(predictions_a), np.asarray(predictions_b))
+
+
+def f1_binary(predictions: np.ndarray, labels: np.ndarray, *, positive: int = 1) -> float:
+    """Binary F1 score (used for the SQuAD-style answerability tasks)."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    true_positive = float(np.sum((predictions == positive) & (labels == positive)))
+    false_positive = float(np.sum((predictions == positive) & (labels != positive)))
+    false_negative = float(np.sum((predictions != positive) & (labels == positive)))
+    if true_positive == 0:
+        return 0.0
+    precision = true_positive / (true_positive + false_positive)
+    recall = true_positive / (true_positive + false_negative)
+    return 2 * precision * recall / (precision + recall)

@@ -1,0 +1,126 @@
+"""Synthetic NLP task generators standing in for GLUE and SQuAD.
+
+The paper fine-tunes BERT checkpoints on MNLI-m, MRPC, SST-2, SQuAD1 and
+SQuAD2.  Pre-trained checkpoints and the original corpora are not available
+offline, so each task is replaced by a deterministic synthetic generator that
+produces sentences from label-dependent vocabulary mixtures (see DESIGN.md's
+substitution table).  The accuracy experiments then measure the two effects
+the paper's accuracy columns capture — 15-bit fixed-point execution and
+polynomial-activation approximation — as agreement with the plaintext
+floating-point model (teacher labels), which is exactly the part of the
+accuracy story the cryptographic protocol influences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..nn.tokenizer import WordPieceTokenizer
+
+__all__ = ["SyntheticExample", "SyntheticTask", "TASK_SPECS", "make_task"]
+
+
+@dataclass(frozen=True)
+class SyntheticExample:
+    """One labelled example: raw text, token ids, and a class label."""
+
+    text: str
+    token_ids: np.ndarray
+    label: int
+
+
+@dataclass
+class SyntheticTask:
+    """A labelled synthetic dataset mimicking one of the paper's tasks."""
+
+    name: str
+    num_labels: int
+    examples: list[SyntheticExample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def token_matrix(self) -> np.ndarray:
+        """All token-id sequences stacked into a (num_examples, seq_len) array."""
+        return np.stack([example.token_ids for example in self.examples])
+
+    def labels(self) -> np.ndarray:
+        return np.array([example.label for example in self.examples], dtype=np.int64)
+
+
+# Task specifications: (number of labels, topic word banks per label).
+TASK_SPECS: dict[str, dict] = {
+    "mnli-m": {
+        "num_labels": 3,
+        "styles": [
+            "the claim follows from the statement and is therefore",
+            "the claim contradicts the statement so it must be",
+            "the claim is unrelated to the statement and remains",
+        ],
+    },
+    "mrpc": {
+        "num_labels": 2,
+        "styles": [
+            "these two sentences describe the same event in the market",
+            "these two sentences describe different events in the market",
+        ],
+    },
+    "sst-2": {
+        "num_labels": 2,
+        "styles": [
+            "the movie was great and the review is good",
+            "the movie was terrible and the review is bad",
+        ],
+    },
+    "squad1": {
+        "num_labels": 2,
+        "styles": [
+            "the question is answered by the passage about the patient",
+            "the question is not answered by the passage about the patient",
+        ],
+    },
+    "squad2": {
+        "num_labels": 2,
+        "styles": [
+            "the answer to this question appears in the health data",
+            "this question has no answer in the health data",
+        ],
+    },
+}
+
+
+def make_task(
+    name: str,
+    tokenizer: WordPieceTokenizer,
+    *,
+    num_examples: int = 64,
+    seed: int = 0,
+) -> SyntheticTask:
+    """Generate a deterministic synthetic dataset for one of the paper's tasks.
+
+    Sentences are built from the task's label-dependent style templates with
+    random filler words drawn from the tokenizer vocabulary, then tokenised
+    and padded to the model's sequence length.
+    """
+    if name not in TASK_SPECS:
+        raise ParameterError(
+            f"unknown task {name!r}; available: {sorted(TASK_SPECS)}"
+        )
+    spec = TASK_SPECS[name]
+    rng = np.random.default_rng(seed)
+    filler_words = [
+        token for token in tokenizer.vocab
+        if token.isalpha() and len(token) > 2 and not token.startswith("##")
+    ]
+    task = SyntheticTask(name=name, num_labels=spec["num_labels"])
+    for index in range(num_examples):
+        label = int(rng.integers(0, spec["num_labels"]))
+        style = spec["styles"][label]
+        extras = " ".join(rng.choice(filler_words, size=4))
+        text = f"{style} {extras}"
+        token_ids = np.array(tokenizer.encode(text), dtype=np.int64)
+        task.examples.append(SyntheticExample(text=text, token_ids=token_ids, label=label))
+    return task

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the Primer reproduction library.
+
+Every subsystem raises subclasses of :class:`PrimerError` so that callers can
+catch library failures without catching unrelated Python errors.
+"""
+
+from __future__ import annotations
+
+
+class PrimerError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParameterError(PrimerError):
+    """Raised when a cryptographic or model parameter set is invalid."""
+
+
+class EncodingError(PrimerError):
+    """Raised when a value cannot be represented in the requested encoding."""
+
+
+class NoiseBudgetExhausted(PrimerError):
+    """Raised when an HE ciphertext no longer decrypts correctly.
+
+    The exact BFV backend tracks an invariant-noise budget; once it reaches
+    zero the plaintext is unrecoverable and continuing would silently produce
+    garbage, so we fail loudly instead.
+    """
+
+
+class ProtocolError(PrimerError):
+    """Raised when a two-party protocol is driven out of order."""
+
+
+class CircuitError(PrimerError):
+    """Raised when a Boolean circuit is malformed or evaluated incorrectly."""
+
+
+class ShapeError(PrimerError):
+    """Raised when tensor shapes passed to a layer or protocol disagree."""

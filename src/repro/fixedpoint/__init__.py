@@ -1,0 +1,27 @@
+"""Fixed-point arithmetic substrate (15-bit representation from the paper)."""
+
+from .encoding import (
+    DEFAULT_FORMAT,
+    FixedPointFormat,
+    decode,
+    encode,
+    fixed_matmul,
+    fixed_mul,
+    to_signed,
+    to_unsigned,
+    truncate,
+)
+from .tensor import FixedTensor
+
+__all__ = [
+    "DEFAULT_FORMAT",
+    "FixedPointFormat",
+    "FixedTensor",
+    "decode",
+    "encode",
+    "fixed_matmul",
+    "fixed_mul",
+    "to_signed",
+    "to_unsigned",
+    "truncate",
+]

@@ -1,0 +1,218 @@
+"""Fixed-point encoding used throughout the Primer reproduction.
+
+The paper (Section IV) states that *"the inputs and weights use 15-bit
+fix-point representation and the intermediate results are truncated into 15
+bits to avoid overflow"*.  Every cryptographic substrate in this repository
+(additive secret sharing, the BFV plaintext space, garbled-circuit wires)
+operates on integers, so all real-valued tensors are first mapped into a
+signed fixed-point ring.
+
+The encoding is the conventional two's-complement fixed point:
+
+    encode(x)  = round(x * 2**frac_bits)  mod  2**total_bits
+    decode(v)  = centered(v) / 2**frac_bits
+
+where ``centered`` maps the unsigned residue back into
+``[-2**(total_bits-1), 2**(total_bits-1))``.
+
+The module intentionally exposes *free functions* plus a small immutable
+:class:`FixedPointFormat` description object rather than a heavyweight class
+wrapping numpy arrays; the secret-sharing and HE layers want to work on plain
+``numpy.int64`` arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import EncodingError, ParameterError
+
+__all__ = [
+    "FixedPointFormat",
+    "DEFAULT_FORMAT",
+    "encode",
+    "decode",
+    "truncate",
+    "to_signed",
+    "to_unsigned",
+    "fixed_mul",
+    "fixed_matmul",
+]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Description of a signed fixed-point format.
+
+    Attributes
+    ----------
+    total_bits:
+        Width of the ring in bits.  Values live in ``Z_{2**total_bits}``.
+    frac_bits:
+        Number of fractional bits (the binary point position).
+    """
+
+    total_bits: int = 15
+    frac_bits: int = 7
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2 or self.total_bits > 62:
+            raise ParameterError(
+                f"total_bits must be in [2, 62], got {self.total_bits}"
+            )
+        if self.frac_bits < 0 or self.frac_bits >= self.total_bits:
+            raise ParameterError(
+                f"frac_bits must be in [0, total_bits), got {self.frac_bits}"
+            )
+
+    @property
+    def modulus(self) -> int:
+        """Size of the underlying ring, ``2**total_bits``."""
+        return 1 << self.total_bits
+
+    @property
+    def scale(self) -> int:
+        """Scaling factor applied to real values, ``2**frac_bits``."""
+        return 1 << self.frac_bits
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return (self.modulus // 2 - 1) / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable real value."""
+        return -(self.modulus // 2) / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable increment."""
+        return 1.0 / self.scale
+
+    def with_frac_bits(self, frac_bits: int) -> "FixedPointFormat":
+        """Return a copy of this format with a different fractional width."""
+        return FixedPointFormat(total_bits=self.total_bits, frac_bits=frac_bits)
+
+
+#: The paper's 15-bit format.  Seven fractional bits keep attention logits and
+#: LayerNorm statistics inside the representable range for BERT-sized
+#: activations while leaving eight integer bits of headroom.
+DEFAULT_FORMAT = FixedPointFormat(total_bits=15, frac_bits=7)
+
+
+def encode(
+    values: np.ndarray | float,
+    fmt: FixedPointFormat = DEFAULT_FORMAT,
+    *,
+    clamp: bool = True,
+) -> np.ndarray:
+    """Encode real values into unsigned fixed-point residues.
+
+    Parameters
+    ----------
+    values:
+        Array (or scalar) of real numbers.
+    fmt:
+        Target fixed-point format.
+    clamp:
+        When true (the default), values outside the representable range are
+        saturated to the extremes, mimicking hardware saturation.  When false,
+        out-of-range values raise :class:`EncodingError`.
+
+    Returns
+    -------
+    numpy.ndarray of ``int64`` residues in ``[0, fmt.modulus)``.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if clamp:
+        arr = np.clip(arr, fmt.min_value, fmt.max_value)
+    else:
+        if np.any(arr > fmt.max_value) or np.any(arr < fmt.min_value):
+            raise EncodingError(
+                "value outside representable fixed-point range "
+                f"[{fmt.min_value}, {fmt.max_value}]"
+            )
+    scaled = np.rint(arr * fmt.scale).astype(np.int64)
+    return np.mod(scaled, fmt.modulus)
+
+
+def to_signed(residues: np.ndarray, fmt: FixedPointFormat = DEFAULT_FORMAT) -> np.ndarray:
+    """Map unsigned residues in ``[0, modulus)`` to signed integers."""
+    residues = np.asarray(residues, dtype=np.int64)
+    half = fmt.modulus // 2
+    return np.where(residues >= half, residues - fmt.modulus, residues)
+
+
+def to_unsigned(signed: np.ndarray, fmt: FixedPointFormat = DEFAULT_FORMAT) -> np.ndarray:
+    """Map signed integers back into the canonical residue range."""
+    return np.mod(np.asarray(signed, dtype=np.int64), fmt.modulus)
+
+
+def decode(
+    residues: np.ndarray, fmt: FixedPointFormat = DEFAULT_FORMAT
+) -> np.ndarray:
+    """Decode unsigned fixed-point residues back to real values."""
+    return to_signed(residues, fmt).astype(np.float64) / fmt.scale
+
+
+def truncate(
+    residues: np.ndarray,
+    fmt: FixedPointFormat = DEFAULT_FORMAT,
+    *,
+    shift: int | None = None,
+) -> np.ndarray:
+    """Truncate after a fixed-point multiplication.
+
+    A product of two values with ``f`` fractional bits has ``2f`` fractional
+    bits; the paper truncates intermediate results back to 15 bits.  This
+    helper performs the arithmetic right shift on the *signed* value and
+    re-reduces into the ring, which is exactly what the secret-shared
+    truncation gadget computes.
+    """
+    if shift is None:
+        shift = fmt.frac_bits
+    signed = to_signed(residues, fmt)
+    # Arithmetic shift with rounding toward negative infinity matches the
+    # behaviour of the Boolean truncation circuit in repro.mpc.gc.circuits.
+    shifted = np.right_shift(signed, shift)
+    return to_unsigned(shifted, fmt)
+
+
+def fixed_mul(
+    a: np.ndarray,
+    b: np.ndarray,
+    fmt: FixedPointFormat = DEFAULT_FORMAT,
+) -> np.ndarray:
+    """Multiply two encoded operands and truncate back to ``fmt``.
+
+    The multiplication is carried out on the signed representatives in int64
+    (safe because ``total_bits <= 31`` keeps products under 62 bits) and the
+    result is truncated by ``frac_bits`` so it remains a valid encoding.
+    """
+    sa = to_signed(a, fmt)
+    sb = to_signed(b, fmt)
+    prod = sa * sb
+    shifted = np.right_shift(prod, fmt.frac_bits)
+    return to_unsigned(shifted, fmt)
+
+
+def fixed_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    fmt: FixedPointFormat = DEFAULT_FORMAT,
+) -> np.ndarray:
+    """Matrix-multiply two encoded matrices with post-accumulation truncation.
+
+    Accumulation happens at full precision (as it does inside the HE/secret
+    shared dot products) and a single truncation is applied to the sums, which
+    is how Primer's protocols behave: the ciphertext/share accumulators are
+    wide, only the re-shared output is truncated to 15 bits.
+    """
+    sa = to_signed(a, fmt).astype(np.int64)
+    sb = to_signed(b, fmt).astype(np.int64)
+    acc = sa @ sb
+    shifted = np.right_shift(acc, fmt.frac_bits)
+    return to_unsigned(shifted, fmt)

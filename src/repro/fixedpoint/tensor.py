@@ -1,0 +1,129 @@
+"""A light-weight fixed-point tensor wrapper.
+
+:class:`FixedTensor` bundles an ``int64`` residue array with its
+:class:`~repro.fixedpoint.encoding.FixedPointFormat`.  It is used at the
+boundary between the floating-point Transformer substrate (``repro.nn``) and
+the integer cryptographic substrates: the quantised model
+(:mod:`repro.nn.quantize`) produces ``FixedTensor`` weights and activations,
+and the protocols operate on the raw residues.
+
+Only the operations actually needed by the protocols are implemented: add,
+subtract, negate, matmul-with-truncation, elementwise multiply, and
+conversion to/from floating point.  Anything else should be done in float and
+re-encoded, mirroring how a real deployment would prepare plaintext weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from .encoding import (
+    DEFAULT_FORMAT,
+    FixedPointFormat,
+    decode,
+    encode,
+    fixed_matmul,
+    fixed_mul,
+    to_unsigned,
+)
+
+__all__ = ["FixedTensor"]
+
+
+@dataclass(frozen=True)
+class FixedTensor:
+    """An immutable fixed-point tensor (residues + format)."""
+
+    residues: np.ndarray
+    fmt: FixedPointFormat = DEFAULT_FORMAT
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "residues", np.asarray(self.residues, dtype=np.int64)
+        )
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_float(
+        cls, values: np.ndarray | float, fmt: FixedPointFormat = DEFAULT_FORMAT
+    ) -> "FixedTensor":
+        """Quantise a floating-point array into a ``FixedTensor``."""
+        return cls(encode(values, fmt), fmt)
+
+    @classmethod
+    def zeros(
+        cls, shape: tuple[int, ...], fmt: FixedPointFormat = DEFAULT_FORMAT
+    ) -> "FixedTensor":
+        """A tensor of fixed-point zeros."""
+        return cls(np.zeros(shape, dtype=np.int64), fmt)
+
+    # -- properties --------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.residues.shape)
+
+    @property
+    def size(self) -> int:
+        return int(self.residues.size)
+
+    def to_float(self) -> np.ndarray:
+        """Decode back to floating point."""
+        return decode(self.residues, self.fmt)
+
+    # -- arithmetic --------------------------------------------------------
+    def _check_compatible(self, other: "FixedTensor") -> None:
+        if self.fmt != other.fmt:
+            raise ShapeError(
+                f"fixed-point formats differ: {self.fmt} vs {other.fmt}"
+            )
+
+    def __add__(self, other: "FixedTensor") -> "FixedTensor":
+        self._check_compatible(other)
+        return FixedTensor(
+            to_unsigned(self.residues + other.residues, self.fmt), self.fmt
+        )
+
+    def __sub__(self, other: "FixedTensor") -> "FixedTensor":
+        self._check_compatible(other)
+        return FixedTensor(
+            to_unsigned(self.residues - other.residues, self.fmt), self.fmt
+        )
+
+    def __neg__(self) -> "FixedTensor":
+        return FixedTensor(to_unsigned(-self.residues, self.fmt), self.fmt)
+
+    def elementwise_mul(self, other: "FixedTensor") -> "FixedTensor":
+        """Hadamard product with truncation back to the common format."""
+        self._check_compatible(other)
+        return FixedTensor(fixed_mul(self.residues, other.residues, self.fmt), self.fmt)
+
+    def matmul(self, other: "FixedTensor") -> "FixedTensor":
+        """Matrix product with a single post-accumulation truncation."""
+        self._check_compatible(other)
+        if self.residues.shape[-1] != other.residues.shape[0]:
+            raise ShapeError(
+                f"matmul shape mismatch: {self.shape} @ {other.shape}"
+            )
+        return FixedTensor(
+            fixed_matmul(self.residues, other.residues, self.fmt), self.fmt
+        )
+
+    def reshape(self, *shape: int) -> "FixedTensor":
+        return FixedTensor(self.residues.reshape(*shape), self.fmt)
+
+    def transpose(self) -> "FixedTensor":
+        return FixedTensor(self.residues.T.copy(), self.fmt)
+
+    # -- diagnostics -------------------------------------------------------
+    def max_abs_error(self, reference: np.ndarray) -> float:
+        """Largest absolute deviation of the decoded tensor from ``reference``."""
+        return float(np.max(np.abs(self.to_float() - np.asarray(reference))))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FixedTensor(shape={self.shape}, total_bits={self.fmt.total_bits}, "
+            f"frac_bits={self.fmt.frac_bits})"
+        )

@@ -1,0 +1,70 @@
+"""Homomorphic-encryption substrate (SEAL-style additive PAHE).
+
+Two backends share one interface:
+
+* :class:`~repro.he.backend.ExactBFVBackend` — a from-scratch RLWE/BFV scheme
+  (NTT ring arithmetic, real encryption, noise tracking);
+* :class:`~repro.he.simulated.SimulatedHEBackend` — a functional simulator
+  with identical slot semantics and faithful operation accounting, used for
+  model-scale runs.
+"""
+
+from .backend import ExactBFVBackend, HEBackend, UnsupportedHEOperation
+from .bfv import BFVContext, Ciphertext
+from .matmul import (
+    PackedMatrix,
+    decrypt_matrix,
+    enc_times_plain,
+    encrypt_matrix_columns,
+    encrypt_matrix_rows,
+    encrypted_packed_matmul,
+    plain_times_enc,
+)
+from .ntt import NTTContext, find_ntt_prime, is_prime, primitive_root
+from .packing import (
+    PackedInput,
+    PackingLayout,
+    ciphertext_count,
+    pack_matrix,
+    rotation_count,
+    rotation_savings,
+    unpack_matrix,
+)
+from .params import BFVParameters, paper_parameters, test_parameters, toy_parameters
+from .polyring import PolynomialRing
+from .simulated import SimulatedCiphertext, SimulatedHEBackend
+from .tracker import OperationTracker
+
+__all__ = [
+    "BFVContext",
+    "BFVParameters",
+    "Ciphertext",
+    "ExactBFVBackend",
+    "HEBackend",
+    "NTTContext",
+    "OperationTracker",
+    "PackedInput",
+    "PackedMatrix",
+    "PackingLayout",
+    "PolynomialRing",
+    "SimulatedCiphertext",
+    "SimulatedHEBackend",
+    "UnsupportedHEOperation",
+    "ciphertext_count",
+    "decrypt_matrix",
+    "enc_times_plain",
+    "encrypt_matrix_columns",
+    "encrypt_matrix_rows",
+    "encrypted_packed_matmul",
+    "find_ntt_prime",
+    "is_prime",
+    "pack_matrix",
+    "paper_parameters",
+    "plain_times_enc",
+    "primitive_root",
+    "rotation_count",
+    "rotation_savings",
+    "test_parameters",
+    "toy_parameters",
+    "unpack_matrix",
+]

@@ -1,0 +1,177 @@
+"""Backend abstraction over the two HE implementations.
+
+The protocols in :mod:`repro.protocols` are written against this small
+interface so that they can run either on
+
+* :class:`ExactBFVBackend` — the real RLWE scheme from :mod:`repro.he.bfv`
+  (used by primitive tests and the HGS worked examples at small ring sizes),
+  or
+* :class:`~repro.he.simulated.SimulatedHEBackend` — a functional simulator
+  that stores slot vectors directly and charges every operation to the shared
+  :class:`~repro.he.tracker.OperationTracker` (used for model-scale Primer
+  runs and every latency/communication experiment).
+
+Both backends speak in terms of *handles*: opaque objects wrapping a packed
+vector of plaintext residues modulo the plaintext modulus ``t``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..errors import ParameterError
+from .bfv import BFVContext, Ciphertext
+from .params import BFVParameters
+from .tracker import OperationTracker
+
+__all__ = ["HEBackend", "ExactBFVBackend", "UnsupportedHEOperation"]
+
+
+class UnsupportedHEOperation(ParameterError):
+    """Raised when a backend cannot express the requested homomorphic op."""
+
+
+@dataclass
+class _ExactHandle:
+    """Handle wrapping an exact BFV ciphertext."""
+
+    ciphertext: Ciphertext
+    length: int
+
+
+class HEBackend(abc.ABC):
+    """Minimal additive-HE interface used by the Primer protocols."""
+
+    #: parameters shared by both backends
+    params: BFVParameters
+    tracker: OperationTracker
+
+    @property
+    def slot_count(self) -> int:
+        """Number of packing slots per ciphertext."""
+        return self.params.slot_count
+
+    @property
+    def plaintext_modulus(self) -> int:
+        return self.params.plaintext_modulus
+
+    @property
+    def ciphertext_bytes(self) -> int:
+        """Wire size of one ciphertext."""
+        return self.params.ciphertext_bytes
+
+    # -- interface ---------------------------------------------------------
+    @abc.abstractmethod
+    def encrypt(self, values: np.ndarray) -> Any:
+        """Encrypt a 1-D vector of residues (length <= slot_count)."""
+
+    @abc.abstractmethod
+    def decrypt(self, handle: Any) -> np.ndarray:
+        """Decrypt a handle back to its residue vector."""
+
+    @abc.abstractmethod
+    def add(self, a: Any, b: Any) -> Any:
+        """Homomorphic ciphertext + ciphertext."""
+
+    @abc.abstractmethod
+    def sub(self, a: Any, b: Any) -> Any:
+        """Homomorphic ciphertext - ciphertext."""
+
+    @abc.abstractmethod
+    def add_plain(self, a: Any, values: np.ndarray) -> Any:
+        """Homomorphic ciphertext + plaintext vector."""
+
+    @abc.abstractmethod
+    def mul_scalar(self, a: Any, scalar: int) -> Any:
+        """Homomorphic ciphertext × plaintext scalar (applied to all slots)."""
+
+    @abc.abstractmethod
+    def mul_plain(self, a: Any, values: np.ndarray) -> Any:
+        """Homomorphic slot-wise ciphertext × plaintext vector."""
+
+    @abc.abstractmethod
+    def rotate(self, a: Any, steps: int) -> Any:
+        """Cyclic rotation of the packed slots."""
+
+    @abc.abstractmethod
+    def zero(self, length: int) -> Any:
+        """Encryption of the all-zero vector of the given length."""
+
+
+class ExactBFVBackend(HEBackend):
+    """Adapter exposing :class:`~repro.he.bfv.BFVContext` as an ``HEBackend``.
+
+    Slot-wise multiplication by a non-constant plaintext vector and cyclic
+    rotation with wrap-around are not available on the coefficient-packed
+    exact scheme without Galois keys, so those raise
+    :class:`UnsupportedHEOperation`.  Protocols that only require additive
+    operations and scalar products (HGS, and FHGS on packed columns) run
+    unmodified on this backend.
+    """
+
+    def __init__(self, params: BFVParameters, *, seed: int = 2023,
+                 tracker: OperationTracker | None = None) -> None:
+        self.params = params
+        self.tracker = tracker if tracker is not None else OperationTracker()
+        self._context = BFVContext(params=params, seed=seed, tracker=self.tracker)
+
+    @property
+    def context(self) -> BFVContext:
+        """The underlying exact BFV context (exposed for primitive tests)."""
+        return self._context
+
+    def encrypt(self, values: np.ndarray) -> _ExactHandle:
+        values = np.asarray(values, dtype=np.int64)
+        return _ExactHandle(self._context.encrypt(values), length=int(values.size))
+
+    def decrypt(self, handle: _ExactHandle) -> np.ndarray:
+        return self._context.decrypt(handle.ciphertext, count=handle.length)
+
+    def add(self, a: _ExactHandle, b: _ExactHandle) -> _ExactHandle:
+        return _ExactHandle(
+            self._context.add(a.ciphertext, b.ciphertext), max(a.length, b.length)
+        )
+
+    def sub(self, a: _ExactHandle, b: _ExactHandle) -> _ExactHandle:
+        return _ExactHandle(
+            self._context.sub(a.ciphertext, b.ciphertext), max(a.length, b.length)
+        )
+
+    def add_plain(self, a: _ExactHandle, values: np.ndarray) -> _ExactHandle:
+        values = np.asarray(values, dtype=np.int64)
+        return _ExactHandle(
+            self._context.add_plain(a.ciphertext, values),
+            max(a.length, int(values.size)),
+        )
+
+    def mul_scalar(self, a: _ExactHandle, scalar: int) -> _ExactHandle:
+        return _ExactHandle(
+            self._context.multiply_scalar(a.ciphertext, int(scalar)), a.length
+        )
+
+    def mul_plain(self, a: _ExactHandle, values: np.ndarray) -> _ExactHandle:
+        values = np.asarray(values, dtype=np.int64)
+        unique = np.unique(values[: a.length])
+        if unique.size == 1:
+            return self.mul_scalar(a, int(unique[0]))
+        raise UnsupportedHEOperation(
+            "slot-wise multiplication by a non-constant vector requires CRT "
+            "batching; use SimulatedHEBackend for this protocol step"
+        )
+
+    def rotate(self, a: _ExactHandle, steps: int) -> _ExactHandle:
+        if a.length + steps > self.params.slot_count:
+            raise UnsupportedHEOperation(
+                "rotation would wrap packed slots past the ring boundary on "
+                "the coefficient-packed exact backend"
+            )
+        return _ExactHandle(
+            self._context.rotate(a.ciphertext, steps), a.length + steps
+        )
+
+    def zero(self, length: int) -> _ExactHandle:
+        return _ExactHandle(self._context.zero_ciphertext(length), length)

@@ -1,0 +1,283 @@
+"""An exact BFV-style additive homomorphic encryption scheme.
+
+This is the "real cryptography" backend of the reproduction.  It implements
+exactly the subset of SEAL used by the paper (Section IV: *"only additive HE
+operations and rotations are used and ciphertext–ciphertext multiplications
+are not required"*):
+
+* key generation (ternary secret, RLWE public key),
+* encryption / decryption with invariant-noise tracking,
+* ciphertext + ciphertext and ciphertext + plaintext addition / subtraction,
+* ciphertext × plaintext polynomial and ciphertext × scalar multiplication,
+* monomial rotations (multiplication by ``X**k``), which shift
+  coefficient-packed slots.
+
+Slot-wise (CRT-batched) products and Galois-key rotations are intentionally
+*not* implemented; the protocols in :mod:`repro.protocols` are formulated so
+that their exact-backend instantiation only needs the operations above, and
+the packing/rotation experiments that need slot semantics run on the
+functional backend in :mod:`repro.he.simulated`, which counts the same
+operations the real SEAL deployment would execute.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import NoiseBudgetExhausted, ParameterError
+from .keys import PublicKey, SecretKey
+from .params import BFVParameters
+from .polyring import PolynomialRing
+from .tracker import OperationTracker
+
+__all__ = ["Ciphertext", "BFVContext"]
+
+
+@dataclass
+class Ciphertext:
+    """A BFV ciphertext ``(c0, c1)`` plus an analytic noise-bound estimate.
+
+    ``noise_bound`` is an upper estimate of the infinity norm of the
+    invariant noise numerator.  It is updated by every evaluator operation
+    and used to report a noise *budget* (bits of headroom left before
+    decryption fails), mirroring SEAL's ``invariant_noise_budget``.
+    """
+
+    c0: np.ndarray
+    c1: np.ndarray
+    noise_bound: float
+    slots_used: int
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext(self.c0.copy(), self.c1.copy(), self.noise_bound, self.slots_used)
+
+
+@dataclass
+class BFVContext:
+    """Owns the ring, the keys, and the evaluator operations.
+
+    Parameters
+    ----------
+    params:
+        The :class:`~repro.he.params.BFVParameters` to instantiate.
+    seed:
+        Seed for key generation and encryption randomness (tests rely on
+        reproducibility; a deployment would use ``secrets``-grade entropy).
+    tracker:
+        Optional :class:`~repro.he.tracker.OperationTracker` shared with the
+        cost model; every homomorphic operation is recorded on it.
+    """
+
+    params: BFVParameters
+    seed: int = 2023
+    tracker: OperationTracker | None = None
+    ring: PolynomialRing = field(init=False, repr=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _secret: SecretKey = field(init=False, repr=False)
+    _public: PublicKey = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.ring = PolynomialRing(
+            degree=self.params.ring_degree, modulus=self.params.ciphertext_modulus
+        )
+        self._rng = np.random.default_rng(self.seed)
+        if self.tracker is None:
+            self.tracker = OperationTracker()
+        self._generate_keys()
+
+    # -- key management ----------------------------------------------------
+    def _generate_keys(self) -> None:
+        ring = self.ring
+        s = ring.sample_ternary(self._rng)
+        a = ring.sample_uniform(self._rng)
+        e = ring.sample_error(self._rng, self.params.error_stddev)
+        p0 = ring.sub(ring.neg(ring.add(ring.mul(a, s), e)), ring.zero())
+        self._secret = SecretKey(poly=s)
+        self._public = PublicKey(p0=p0, p1=a)
+        self.tracker.record("keygen")
+
+    @property
+    def secret_key(self) -> SecretKey:
+        return self._secret
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._public
+
+    # -- encoding ----------------------------------------------------------
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Pack integer residues (mod t) into a plaintext polynomial.
+
+        One value per coefficient ("coefficient packing"); at most
+        ``slot_count`` values fit.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 1:
+            raise ParameterError("encode expects a 1-D vector of residues")
+        if values.size > self.params.slot_count:
+            raise ParameterError(
+                f"cannot pack {values.size} values into {self.params.slot_count} slots"
+            )
+        plain = np.zeros(self.params.ring_degree, dtype=np.int64)
+        plain[: values.size] = np.mod(values, self.params.plaintext_modulus)
+        return plain
+
+    def decode(self, plain: np.ndarray, count: int | None = None) -> np.ndarray:
+        """Read packed residues back out of a plaintext polynomial."""
+        if count is None:
+            count = self.params.slot_count
+        return np.mod(plain[:count], self.params.plaintext_modulus)
+
+    # -- encryption --------------------------------------------------------
+    def _scale_plaintext(self, plain: np.ndarray) -> np.ndarray:
+        """Scale a plaintext polynomial by ``q/t`` with exact rounding.
+
+        Using ``round(q * m / t)`` instead of ``floor(q/t) * m`` removes the
+        ``m * (q mod t) / q`` decryption error that the naive Delta-scaling
+        introduces for large plaintext residues.
+        """
+        q = self.params.ciphertext_modulus
+        t = self.params.plaintext_modulus
+        scaled = (plain.astype(np.int64) * q + t // 2) // t
+        return np.mod(scaled, q)
+
+    def encrypt(self, values: np.ndarray) -> Ciphertext:
+        """Encrypt a vector of plaintext residues (coefficient-packed)."""
+        values = np.asarray(values, dtype=np.int64)
+        plain = self.encode(values)
+        ring = self.ring
+        u = ring.sample_ternary(self._rng)
+        e1 = ring.sample_error(self._rng, self.params.error_stddev)
+        e2 = ring.sample_error(self._rng, self.params.error_stddev)
+        scaled = self._scale_plaintext(plain)
+        c0 = ring.add(ring.add(ring.mul(self._public.p0, u), e1), scaled)
+        c1 = ring.add(ring.mul(self._public.p1, u), e2)
+        # Fresh noise bound: ||e*u + e1 + e2*s|| <= stddev * (2N + 2) roughly;
+        # use a conservative analytic estimate.
+        fresh = self.params.error_stddev * (2 * self.params.ring_degree + 2)
+        self.tracker.record("encrypt", bytes_moved=self.params.ciphertext_bytes)
+        return Ciphertext(c0=c0, c1=c1, noise_bound=fresh, slots_used=int(values.size))
+
+    def decrypt(self, ct: Ciphertext, count: int | None = None) -> np.ndarray:
+        """Decrypt a ciphertext back to its packed residues."""
+        if self.noise_budget(ct) <= 0:
+            raise NoiseBudgetExhausted(
+                "ciphertext noise budget exhausted; decryption would be incorrect"
+            )
+        ring = self.ring
+        raw = ring.add(ct.c0, ring.mul(ct.c1, self._secret.poly))
+        centered = ring.centered(raw).astype(np.float64)
+        t = self.params.plaintext_modulus
+        q = self.params.ciphertext_modulus
+        scaled = np.rint(centered * t / q).astype(np.int64)
+        self.tracker.record("decrypt")
+        result = np.mod(scaled, t)
+        if count is None:
+            count = ct.slots_used
+        return result[:count]
+
+    def noise_budget(self, ct: Ciphertext) -> float:
+        """Bits of noise headroom remaining (analytic estimate)."""
+        q = self.params.ciphertext_modulus
+        t = self.params.plaintext_modulus
+        limit = q / (2.0 * t)
+        if ct.noise_bound <= 0:
+            return math.log2(limit)
+        return math.log2(limit) - math.log2(ct.noise_bound)
+
+    # -- homomorphic operations --------------------------------------------
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Ciphertext + ciphertext."""
+        ring = self.ring
+        self.tracker.record("he_add")
+        return Ciphertext(
+            c0=ring.add(a.c0, b.c0),
+            c1=ring.add(a.c1, b.c1),
+            noise_bound=a.noise_bound + b.noise_bound,
+            slots_used=max(a.slots_used, b.slots_used),
+        )
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Ciphertext - ciphertext."""
+        ring = self.ring
+        self.tracker.record("he_add")
+        return Ciphertext(
+            c0=ring.sub(a.c0, b.c0),
+            c1=ring.sub(a.c1, b.c1),
+            noise_bound=a.noise_bound + b.noise_bound,
+            slots_used=max(a.slots_used, b.slots_used),
+        )
+
+    def add_plain(self, a: Ciphertext, values: np.ndarray) -> Ciphertext:
+        """Ciphertext + plaintext vector."""
+        ring = self.ring
+        plain = self.encode(np.asarray(values, dtype=np.int64))
+        scaled = self._scale_plaintext(plain)
+        self.tracker.record("he_add_plain")
+        return Ciphertext(
+            c0=ring.add(a.c0, scaled),
+            c1=a.c1.copy(),
+            noise_bound=a.noise_bound + 1.0,
+            slots_used=max(a.slots_used, int(np.asarray(values).size)),
+        )
+
+    def multiply_scalar(self, a: Ciphertext, scalar: int) -> Ciphertext:
+        """Ciphertext × small integer scalar (plaintext residue).
+
+        This is the workhorse of the tokens-first packed matrix product: the
+        weight entry multiplies every slot of the ciphertext.
+        """
+        ring = self.ring
+        t = self.params.plaintext_modulus
+        scalar = int(scalar) % t
+        centered_scalar = scalar - t if scalar > t // 2 else scalar
+        self.tracker.record("he_mul_plain")
+        return Ciphertext(
+            c0=ring.mul_scalar(a.c0, centered_scalar),
+            c1=ring.mul_scalar(a.c1, centered_scalar),
+            noise_bound=a.noise_bound * max(1, abs(centered_scalar)),
+            slots_used=a.slots_used,
+        )
+
+    def multiply_plain_poly(self, a: Ciphertext, plain_values: np.ndarray) -> Ciphertext:
+        """Ciphertext × plaintext polynomial (negacyclic convolution).
+
+        Used by Gazelle-style diagonal matrix-vector products.  Note this is
+        a *convolution* of the packed slots, not a slot-wise product.
+        """
+        ring = self.ring
+        plain = self.encode(np.asarray(plain_values, dtype=np.int64))
+        t = self.params.plaintext_modulus
+        centered = np.where(plain > t // 2, plain - t, plain)
+        norm = float(np.sum(np.abs(centered)))
+        plain_mod_q = np.mod(centered, self.params.ciphertext_modulus)
+        self.tracker.record("he_mul_plain")
+        return Ciphertext(
+            c0=ring.mul(a.c0, plain_mod_q),
+            c1=ring.mul(a.c1, plain_mod_q),
+            noise_bound=a.noise_bound * max(1.0, norm),
+            slots_used=self.params.slot_count,
+        )
+
+    def rotate(self, a: Ciphertext, steps: int) -> Ciphertext:
+        """Rotate packed slots by ``steps`` positions (monomial multiplication).
+
+        Slots that wrap past the ring degree acquire a sign flip; callers are
+        responsible for only reading un-wrapped slots (the packing layer
+        guarantees this).
+        """
+        ring = self.ring
+        self.tracker.record("he_rotate")
+        return Ciphertext(
+            c0=ring.rotate_coefficients(a.c0, steps),
+            c1=ring.rotate_coefficients(a.c1, steps),
+            noise_bound=a.noise_bound,
+            slots_used=min(self.params.slot_count, a.slots_used + steps),
+        )
+
+    def zero_ciphertext(self, slots_used: int = 0) -> Ciphertext:
+        """A fresh encryption of the all-zero vector (used as an accumulator)."""
+        return self.encrypt(np.zeros(max(1, slots_used), dtype=np.int64))

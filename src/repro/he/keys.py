@@ -1,0 +1,28 @@
+"""Key material for the exact BFV backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SecretKey", "PublicKey"]
+
+
+@dataclass(frozen=True)
+class SecretKey:
+    """RLWE secret key: a ternary polynomial ``s``.
+
+    Held only by the client in every Primer protocol; the server never sees
+    it (see the privacy analysis in Section III-B of the paper).
+    """
+
+    poly: np.ndarray
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """RLWE public key ``(p0, p1) = (-(a*s + e), a)``."""
+
+    p0: np.ndarray
+    p1: np.ndarray

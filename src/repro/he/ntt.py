@@ -1,0 +1,205 @@
+"""Number-theoretic transform over ``Z_q[X]/(X^N + 1)``.
+
+The BFV backend needs fast negacyclic polynomial multiplication.  We use the
+standard negative-wrapped-convolution NTT: multiply the coefficient vector by
+powers of ``psi`` (a primitive 2N-th root of unity mod q), apply a length-N
+NTT with root ``psi**2``, multiply pointwise, invert, and undo the psi
+twist.  All arithmetic stays inside ``numpy.int64``; this is safe because the
+moduli used by :mod:`repro.he.params` are below 2**30 so intermediate products
+fit in 62 bits.
+
+The implementation favours clarity over raw speed (iterative Cooley-Tukey
+with precomputed twiddle tables); the exact backend is only used at small
+ring dimensions in tests and examples, while model-scale runs use the
+functional backend in :mod:`repro.he.simulated`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["is_prime", "find_ntt_prime", "primitive_root", "NTTContext"]
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit integers."""
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def find_ntt_prime(bits: int, ring_degree: int) -> int:
+    """Find the largest prime below ``2**bits`` congruent to 1 mod ``2*ring_degree``.
+
+    Such a prime guarantees the existence of a primitive ``2N``-th root of
+    unity, which the negacyclic NTT requires.
+    """
+    if bits < 4 or bits > 30:
+        raise ParameterError(f"NTT prime bits must be in [4, 30], got {bits}")
+    step = 2 * ring_degree
+    candidate = ((1 << bits) // step) * step + 1
+    while candidate > step:
+        if candidate < (1 << bits) and is_prime(candidate):
+            return candidate
+        candidate -= step
+    raise ParameterError(
+        f"no NTT-friendly prime below 2**{bits} for ring degree {ring_degree}"
+    )
+
+
+def primitive_root(modulus: int) -> int:
+    """Find a generator of the multiplicative group of ``Z_modulus`` (prime)."""
+    order = modulus - 1
+    factors = _prime_factors(order)
+    for g in range(2, modulus):
+        if all(pow(g, order // f, modulus) != 1 for f in factors):
+            return g
+    raise ParameterError(f"no primitive root found for modulus {modulus}")
+
+
+def _prime_factors(n: int) -> list[int]:
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def _bit_reverse_indices(n: int) -> np.ndarray:
+    bits = n.bit_length() - 1
+    indices = np.arange(n)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for b in range(bits):
+        reversed_indices |= ((indices >> b) & 1) << (bits - 1 - b)
+    return reversed_indices
+
+
+@dataclass
+class NTTContext:
+    """Precomputed tables for negacyclic NTT over ``Z_q[X]/(X^N + 1)``.
+
+    Parameters
+    ----------
+    ring_degree:
+        Power-of-two polynomial degree ``N``.
+    modulus:
+        Prime ``q`` with ``q ≡ 1 (mod 2N)``.
+    """
+
+    ring_degree: int
+    modulus: int
+    _psi_powers: np.ndarray = field(init=False, repr=False)
+    _psi_inv_powers: np.ndarray = field(init=False, repr=False)
+    _omega_stages: list[np.ndarray] = field(init=False, repr=False)
+    _omega_inv_stages: list[np.ndarray] = field(init=False, repr=False)
+    _n_inv: int = field(init=False, repr=False)
+    _bitrev: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        n = self.ring_degree
+        q = self.modulus
+        if n < 2 or n & (n - 1) != 0:
+            raise ParameterError(f"ring degree must be a power of two, got {n}")
+        if (q - 1) % (2 * n) != 0:
+            raise ParameterError(
+                f"modulus {q} is not congruent to 1 mod 2*{n}; NTT unavailable"
+            )
+        if not is_prime(q):
+            raise ParameterError(f"modulus {q} must be prime for the NTT backend")
+        g = primitive_root(q)
+        psi = pow(g, (q - 1) // (2 * n), q)
+        psi_inv = pow(psi, q - 2, q)
+        omega = psi * psi % q
+        omega_inv = pow(omega, q - 2, q)
+
+        exps = np.arange(n, dtype=object)
+        self._psi_powers = np.array(
+            [pow(psi, int(e), q) for e in exps], dtype=np.int64
+        )
+        self._psi_inv_powers = np.array(
+            [pow(psi_inv, int(e), q) for e in exps], dtype=np.int64
+        )
+        self._n_inv = pow(n, q - 2, q)
+        self._bitrev = _bit_reverse_indices(n)
+        self._omega_stages = self._twiddle_stages(omega)
+        self._omega_inv_stages = self._twiddle_stages(omega_inv)
+
+    def _twiddle_stages(self, root: int) -> list[np.ndarray]:
+        """Precompute per-stage twiddle factors for the iterative NTT."""
+        n = self.ring_degree
+        q = self.modulus
+        stages = []
+        length = 2
+        while length <= n:
+            base = pow(root, n // length, q)
+            tw = np.array(
+                [pow(base, i, q) for i in range(length // 2)], dtype=np.int64
+            )
+            stages.append(tw)
+            length *= 2
+        return stages
+
+    # -- core transforms ---------------------------------------------------
+    def _transform(self, coeffs: np.ndarray, stages: list[np.ndarray]) -> np.ndarray:
+        n = self.ring_degree
+        q = self.modulus
+        a = coeffs[self._bitrev].astype(np.int64).copy()
+        length = 2
+        for tw in stages:
+            half = length // 2
+            a = a.reshape(-1, length)
+            lo = a[:, :half].copy()
+            hi = a[:, half:]
+            t = (hi * tw) % q
+            a[:, :half] = (lo + t) % q
+            a[:, half:] = (lo - t) % q
+            a = a.reshape(-1)
+            length *= 2
+        return a.reshape(n)
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Negacyclic forward NTT of a coefficient vector."""
+        q = self.modulus
+        twisted = (np.asarray(coeffs, dtype=np.int64) % q) * self._psi_powers % q
+        return self._transform(twisted, self._omega_stages)
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT back to coefficients."""
+        q = self.modulus
+        a = self._transform(np.asarray(values, dtype=np.int64) % q, self._omega_inv_stages)
+        a = a * self._n_inv % q
+        return a * self._psi_inv_powers % q
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic product of two coefficient vectors mod ``q``."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse(fa * fb % self.modulus)

@@ -1,0 +1,182 @@
+"""Parameter sets for the BFV-style additive HE layer.
+
+The paper uses SEAL with parameters providing a 128-bit security level, only
+additive operations, ciphertext-plaintext multiplications and rotations.  The
+exact Python backend in :mod:`repro.he.bfv` cannot realistically run with a
+4096-slot / 109-bit modulus on test workloads, so we provide two classes of
+parameter sets:
+
+* ``toy``/``test`` parameters (N = 64 … 1024) used by the unit tests and the
+  small worked examples — these exercise every code path of the scheme
+  bit-exactly;
+* ``paper`` parameters (N = 4096, matching Gazelle/Delphi-era PAHE settings
+  at 128-bit security), used by the functional simulated backend and by the
+  cost model to compute slot counts, ciphertext sizes and rotation counts
+  exactly as the real SEAL deployment would.
+
+Security estimation uses the standard homomorphic-encryption-standard table
+of (ring dimension → maximum log q) for 128-bit classical security; it is a
+table lookup, not an LWE estimator, and is only intended to sanity-check the
+``paper`` parameter choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .ntt import find_ntt_prime
+
+__all__ = ["BFVParameters", "toy_parameters", "test_parameters", "paper_parameters"]
+
+
+# Homomorphic Encryption Standard (2018), classical 128-bit security:
+# maximum size of log2(q) for a given ring dimension.
+_HE_STANDARD_128 = {
+    1024: 27,
+    2048: 54,
+    4096: 109,
+    8192: 218,
+    16384: 438,
+    32768: 881,
+}
+
+
+@dataclass(frozen=True)
+class BFVParameters:
+    """Parameters of the BFV additive-HE scheme.
+
+    Attributes
+    ----------
+    ring_degree:
+        Polynomial ring dimension ``N`` (also the number of SIMD slots
+        available to the packing layer when the plaintext modulus supports
+        batching; this reproduction packs coefficient-wise, so the slot count
+        equals ``N``).
+    ciphertext_modulus:
+        Prime ``q`` (coefficient modulus).
+    plaintext_modulus:
+        Plaintext modulus ``t``; fixed-point residues must fit below ``t``.
+    error_stddev:
+        Standard deviation of the discrete Gaussian error distribution.
+    security_bits:
+        Claimed classical security (informational; checked against the HE
+        standard table when the ring degree is listed there).
+    """
+
+    ring_degree: int
+    ciphertext_modulus: int
+    plaintext_modulus: int
+    error_stddev: float = 3.2
+    security_bits: int = 128
+    #: Coefficient-modulus size of the *deployed* scheme (e.g. 60 bits for a
+    #: Gazelle-style SEAL instantiation).  The exact Python backend runs with
+    #: the NTT-friendly ``ciphertext_modulus`` above, but wire sizes, the
+    #: security check and the simulated noise budget use this value when set.
+    deployed_modulus_bits: int | None = None
+
+    def __post_init__(self) -> None:
+        n = self.ring_degree
+        if n < 4 or n & (n - 1) != 0:
+            raise ParameterError(f"ring_degree must be a power of two >= 4, got {n}")
+        if self.plaintext_modulus >= self.ciphertext_modulus:
+            raise ParameterError(
+                "plaintext modulus must be smaller than the ciphertext modulus"
+            )
+        if self.plaintext_modulus < 2:
+            raise ParameterError("plaintext modulus must be at least 2")
+
+    @property
+    def slot_count(self) -> int:
+        """Number of packing slots per ciphertext."""
+        return self.ring_degree
+
+    @property
+    def delta(self) -> int:
+        """The BFV scaling factor ``floor(q / t)``."""
+        return self.ciphertext_modulus // self.plaintext_modulus
+
+    @property
+    def log_q(self) -> float:
+        """Bit-size of the ciphertext modulus."""
+        return float(self.ciphertext_modulus.bit_length())
+
+    @property
+    def deployed_log_q(self) -> int:
+        """Coefficient-modulus bit size used for wire-size and noise modelling."""
+        if self.deployed_modulus_bits is not None:
+            return self.deployed_modulus_bits
+        return self.ciphertext_modulus.bit_length()
+
+    @property
+    def ciphertext_bytes(self) -> int:
+        """Serialized size of a (c0, c1) ciphertext pair in bytes."""
+        bytes_per_coeff = (self.deployed_log_q + 7) // 8
+        return 2 * self.ring_degree * bytes_per_coeff
+
+    @property
+    def plaintext_bytes(self) -> int:
+        """Serialized size of a packed plaintext in bytes."""
+        bytes_per_coeff = (self.plaintext_modulus.bit_length() + 7) // 8
+        return self.ring_degree * bytes_per_coeff
+
+    def meets_security_target(self) -> bool:
+        """Check the parameters against the HE-standard 128-bit table.
+
+        Ring degrees not present in the table (the toy test sizes) are
+        reported as *not* meeting the target, which is accurate: they are for
+        correctness testing only.
+        """
+        max_log_q = _HE_STANDARD_128.get(self.ring_degree)
+        if max_log_q is None:
+            return False
+        return self.deployed_log_q <= max_log_q
+
+
+def toy_parameters(ring_degree: int = 64) -> BFVParameters:
+    """Very small parameters for fast property-based tests."""
+    modulus = find_ntt_prime(28, ring_degree)
+    return BFVParameters(
+        ring_degree=ring_degree,
+        ciphertext_modulus=modulus,
+        plaintext_modulus=1 << 15,
+        error_stddev=1.0,
+        security_bits=0,
+        deployed_modulus_bits=60,
+    )
+
+
+def test_parameters(ring_degree: int = 256) -> BFVParameters:
+    """Medium parameters used by integration tests and the worked examples."""
+    modulus = find_ntt_prime(29, ring_degree)
+    return BFVParameters(
+        ring_degree=ring_degree,
+        ciphertext_modulus=modulus,
+        plaintext_modulus=1 << 15,
+        error_stddev=2.0,
+        security_bits=0,
+        deployed_modulus_bits=60,
+    )
+
+
+def paper_parameters() -> BFVParameters:
+    """Gazelle/Delphi-era PAHE parameters at 128-bit security.
+
+    N = 4096 with a ~60-bit coefficient modulus (the HE standard allows up to
+    109 bits at this dimension) and a 15-bit-compatible plaintext modulus.
+    These parameters are used by the simulated backend and by the cost model;
+    the exact backend accepts them but would be slow for full BERT layers.
+    """
+    # A 2N-friendly ~29-bit prime keeps the exact backend usable if someone
+    # instantiates it with paper parameters; the *cost model* uses the
+    # serialized sizes below which correspond to a 60-bit modulus as deployed
+    # in Gazelle-style PAHE.
+    modulus = find_ntt_prime(29, 4096)
+    return BFVParameters(
+        ring_degree=4096,
+        ciphertext_modulus=modulus,
+        plaintext_modulus=1 << 15,
+        error_stddev=3.2,
+        security_bits=128,
+        deployed_modulus_bits=60,
+    )

@@ -1,0 +1,113 @@
+"""Polynomial ring arithmetic for the exact BFV backend.
+
+Elements of ``R_q = Z_q[X]/(X^N + 1)`` are represented as numpy ``int64``
+coefficient vectors of length ``N`` with entries in ``[0, q)``.  The ring
+object owns the NTT context and the sampling routines (uniform, ternary
+secret, centered binomial / discrete Gaussian error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ParameterError
+from .ntt import NTTContext
+
+__all__ = ["PolynomialRing"]
+
+
+@dataclass
+class PolynomialRing:
+    """Arithmetic in ``Z_q[X]/(X^N + 1)`` with NTT-accelerated multiplication."""
+
+    degree: int
+    modulus: int
+    _ntt: NTTContext = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._ntt = NTTContext(ring_degree=self.degree, modulus=self.modulus)
+
+    # -- constructors ------------------------------------------------------
+    def zero(self) -> np.ndarray:
+        return np.zeros(self.degree, dtype=np.int64)
+
+    def constant(self, value: int) -> np.ndarray:
+        poly = self.zero()
+        poly[0] = value % self.modulus
+        return poly
+
+    def from_coefficients(self, coeffs: np.ndarray) -> np.ndarray:
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        if coeffs.shape != (self.degree,):
+            raise ParameterError(
+                f"expected {self.degree} coefficients, got shape {coeffs.shape}"
+            )
+        return np.mod(coeffs, self.modulus)
+
+    # -- sampling ----------------------------------------------------------
+    def sample_uniform(self, rng: np.random.Generator) -> np.ndarray:
+        """Uniform element of the ring (used for the public `a` component)."""
+        return rng.integers(0, self.modulus, size=self.degree, dtype=np.int64)
+
+    def sample_ternary(self, rng: np.random.Generator) -> np.ndarray:
+        """Ternary secret key with coefficients in {-1, 0, 1}."""
+        return np.mod(
+            rng.integers(-1, 2, size=self.degree, dtype=np.int64), self.modulus
+        )
+
+    def sample_error(self, rng: np.random.Generator, stddev: float) -> np.ndarray:
+        """Small error polynomial (rounded Gaussian)."""
+        noise = np.rint(rng.normal(0.0, stddev, size=self.degree)).astype(np.int64)
+        return np.mod(noise, self.modulus)
+
+    # -- arithmetic --------------------------------------------------------
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.mod(a + b, self.modulus)
+
+    def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.mod(a - b, self.modulus)
+
+    def neg(self, a: np.ndarray) -> np.ndarray:
+        return np.mod(-a, self.modulus)
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic polynomial product via NTT."""
+        return self._ntt.multiply(a, b)
+
+    def mul_scalar(self, a: np.ndarray, scalar: int) -> np.ndarray:
+        scalar = scalar % self.modulus
+        # scalar < 2**30 and coefficients < 2**30 keeps products in int64.
+        return np.mod(a * scalar, self.modulus)
+
+    # -- automorphisms -----------------------------------------------------
+    def rotate_coefficients(self, a: np.ndarray, steps: int) -> np.ndarray:
+        """Negacyclic coefficient rotation ``X^i -> X^(i+steps)``.
+
+        A rotation by ``steps`` corresponds to multiplying by ``X**steps``;
+        coefficients that wrap past ``X^N`` pick up a sign flip because
+        ``X^N = -1``.  The SIMD packing layer in this reproduction places one
+        value per coefficient, so this negacyclic shift plays the role of
+        SEAL's slot rotation for our purposes (the sign flip only affects
+        slots that wrapped, which the packing layer never reads).
+        """
+        steps = steps % (2 * self.degree)
+        result = np.zeros_like(a)
+        for offset in range(self.degree):
+            target = offset + steps
+            sign = 1
+            while target >= self.degree:
+                target -= self.degree
+                sign = -sign
+            result[target] = (sign * a[offset]) % self.modulus
+        return result
+
+    def centered(self, a: np.ndarray) -> np.ndarray:
+        """Map residues to the symmetric interval ``(-q/2, q/2]``."""
+        half = self.modulus // 2
+        return np.where(a > half, a - self.modulus, a)
+
+    def infinity_norm(self, a: np.ndarray) -> int:
+        """Largest centered coefficient magnitude (used for noise tracking)."""
+        return int(np.max(np.abs(self.centered(a))))

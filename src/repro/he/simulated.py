@@ -1,0 +1,161 @@
+"""Functional (simulated) HE backend with faithful operation accounting.
+
+This backend stores packed slot vectors in the clear and applies homomorphic
+operations as plain modular arithmetic, while recording every operation on
+the shared :class:`~repro.he.tracker.OperationTracker`.  It plays the role
+TenSEAL/SEAL would play in a deployment: the *values* it produces are exactly
+what the real scheme would decrypt to (the exact backend in
+:mod:`repro.he.bfv` verifies this equivalence in the test-suite), and the
+*operation counts* it records are what the latency and communication models
+consume.
+
+A simulated noise budget is still tracked so that parameter-exhaustion bugs
+(too many chained plaintext multiplications for the chosen modulus) surface
+in tests rather than silently producing results a real deployment could not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import NoiseBudgetExhausted, ParameterError
+from .backend import HEBackend
+from .params import BFVParameters, paper_parameters
+from .tracker import OperationTracker
+
+__all__ = ["SimulatedCiphertext", "SimulatedHEBackend"]
+
+
+@dataclass
+class SimulatedCiphertext:
+    """A simulated ciphertext: packed residues plus a noise-bound estimate."""
+
+    slots: np.ndarray
+    noise_bound: float
+
+    @property
+    def length(self) -> int:
+        return int(self.slots.size)
+
+
+class SimulatedHEBackend(HEBackend):
+    """Slot-accurate functional simulation of the SEAL PAHE layer."""
+
+    def __init__(self, params: BFVParameters | None = None, *,
+                 tracker: OperationTracker | None = None) -> None:
+        self.params = params if params is not None else paper_parameters()
+        self.tracker = tracker if tracker is not None else OperationTracker()
+        self._fresh_noise = self.params.error_stddev * (
+            2 * self.params.ring_degree + 2
+        )
+
+    # -- helpers -----------------------------------------------------------
+    def _check_length(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 1:
+            raise ParameterError("expected a 1-D residue vector")
+        if values.size > self.params.slot_count:
+            raise ParameterError(
+                f"cannot pack {values.size} values into "
+                f"{self.params.slot_count} slots"
+            )
+        return np.mod(values, self.params.plaintext_modulus)
+
+    def noise_budget(self, handle: SimulatedCiphertext) -> float:
+        """Bits of noise headroom remaining (same analytic model as BFV).
+
+        The limit is computed from the *deployed* modulus size (e.g. 60 bits
+        for a Gazelle-style SEAL instantiation), since that is the scheme
+        whose behaviour this backend simulates.
+        """
+        limit = (2.0 ** self.params.deployed_log_q) / (2.0 * self.params.plaintext_modulus)
+        if handle.noise_bound <= 0:
+            return math.log2(limit)
+        return math.log2(limit) - math.log2(handle.noise_bound)
+
+    # -- HEBackend interface -------------------------------------------------
+    def encrypt(self, values: np.ndarray) -> SimulatedCiphertext:
+        values = self._check_length(values)
+        self.tracker.record("encrypt", bytes_moved=self.params.ciphertext_bytes)
+        return SimulatedCiphertext(slots=values.copy(), noise_bound=self._fresh_noise)
+
+    def decrypt(self, handle: SimulatedCiphertext) -> np.ndarray:
+        if self.noise_budget(handle) <= 0:
+            raise NoiseBudgetExhausted(
+                "simulated ciphertext noise budget exhausted; the chosen BFV "
+                "parameters could not decrypt this result"
+            )
+        self.tracker.record("decrypt")
+        return handle.slots.copy()
+
+    def add(self, a: SimulatedCiphertext, b: SimulatedCiphertext) -> SimulatedCiphertext:
+        self.tracker.record("he_add")
+        slots = self._aligned_binary(a, b, np.add)
+        return SimulatedCiphertext(slots=slots, noise_bound=a.noise_bound + b.noise_bound)
+
+    def sub(self, a: SimulatedCiphertext, b: SimulatedCiphertext) -> SimulatedCiphertext:
+        self.tracker.record("he_add")
+        slots = self._aligned_binary(a, b, np.subtract)
+        return SimulatedCiphertext(slots=slots, noise_bound=a.noise_bound + b.noise_bound)
+
+    def _aligned_binary(self, a: SimulatedCiphertext, b: SimulatedCiphertext, op) -> np.ndarray:
+        t = self.params.plaintext_modulus
+        length = max(a.length, b.length)
+        left = np.zeros(length, dtype=np.int64)
+        right = np.zeros(length, dtype=np.int64)
+        left[: a.length] = a.slots
+        right[: b.length] = b.slots
+        return np.mod(op(left, right), t)
+
+    def add_plain(self, a: SimulatedCiphertext, values: np.ndarray) -> SimulatedCiphertext:
+        values = self._check_length(values)
+        self.tracker.record("he_add_plain")
+        length = max(a.length, values.size)
+        left = np.zeros(length, dtype=np.int64)
+        right = np.zeros(length, dtype=np.int64)
+        left[: a.length] = a.slots
+        right[: values.size] = values
+        slots = np.mod(left + right, self.params.plaintext_modulus)
+        return SimulatedCiphertext(slots=slots, noise_bound=a.noise_bound + 1.0)
+
+    def mul_scalar(self, a: SimulatedCiphertext, scalar: int) -> SimulatedCiphertext:
+        t = self.params.plaintext_modulus
+        scalar = int(scalar) % t
+        centered = scalar - t if scalar > t // 2 else scalar
+        self.tracker.record("he_mul_plain")
+        return SimulatedCiphertext(
+            slots=np.mod(a.slots * centered, t),
+            noise_bound=a.noise_bound * max(1, abs(centered)),
+        )
+
+    def mul_plain(self, a: SimulatedCiphertext, values: np.ndarray) -> SimulatedCiphertext:
+        values = self._check_length(values)
+        t = self.params.plaintext_modulus
+        centered = np.where(values > t // 2, values - t, values)
+        length = max(a.length, values.size)
+        left = np.zeros(length, dtype=np.int64)
+        right = np.zeros(length, dtype=np.int64)
+        left[: a.length] = a.slots
+        right[: values.size] = centered
+        self.tracker.record("he_mul_plain")
+        norm = float(np.max(np.abs(centered))) if centered.size else 1.0
+        return SimulatedCiphertext(
+            slots=np.mod(left * right, t),
+            noise_bound=a.noise_bound * max(1.0, norm),
+        )
+
+    def rotate(self, a: SimulatedCiphertext, steps: int) -> SimulatedCiphertext:
+        self.tracker.record("he_rotate")
+        return SimulatedCiphertext(
+            slots=np.roll(a.slots, -steps), noise_bound=a.noise_bound + self._fresh_noise
+        )
+
+    def zero(self, length: int) -> SimulatedCiphertext:
+        self.tracker.record("encrypt", bytes_moved=self.params.ciphertext_bytes)
+        return SimulatedCiphertext(
+            slots=np.zeros(max(1, length), dtype=np.int64),
+            noise_bound=self._fresh_noise,
+        )

@@ -1,0 +1,54 @@
+"""Operation accounting shared by the HE backends and the cost model.
+
+Every homomorphic operation executed by either backend (exact BFV or the
+functional simulator) is recorded here.  The latency and communication models
+in :mod:`repro.costmodel` convert these counts into seconds and bytes using
+per-operation constants calibrated against the paper's Table II.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["OperationTracker"]
+
+
+@dataclass
+class OperationTracker:
+    """Counts cryptographic operations and bytes moved.
+
+    The tracker is deliberately dumb: it is a named multiset.  Interpretation
+    (which operations dominate latency, what a ciphertext costs on the wire)
+    lives in :mod:`repro.costmodel`.
+    """
+
+    counts: Counter = field(default_factory=Counter)
+    bytes_moved: int = 0
+
+    def record(self, operation: str, *, count: int = 1, bytes_moved: int = 0) -> None:
+        """Record ``count`` occurrences of ``operation``."""
+        self.counts[operation] += count
+        self.bytes_moved += bytes_moved
+
+    def count(self, operation: str) -> int:
+        """Number of recorded occurrences of ``operation``."""
+        return self.counts.get(operation, 0)
+
+    def merge(self, other: "OperationTracker") -> None:
+        """Fold another tracker's counts into this one."""
+        self.counts.update(other.counts)
+        self.bytes_moved += other.bytes_moved
+
+    def reset(self) -> None:
+        """Clear all recorded counts."""
+        self.counts.clear()
+        self.bytes_moved = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of the counts (stable for assertions/reports)."""
+        return dict(self.counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        return f"OperationTracker({parts}, bytes={self.bytes_moved})"

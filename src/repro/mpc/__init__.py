@@ -1,0 +1,16 @@
+"""Multi-party-computation substrate: secret sharing, Beaver triples, OT, GC."""
+
+from .ot import ObliviousTransfer, OTStatistics
+from .sharing import AdditiveSharing, SharedValue
+from .triples import BeaverTriple, HETripleGenerator, TrustedDealer, beaver_matmul
+
+__all__ = [
+    "AdditiveSharing",
+    "BeaverTriple",
+    "HETripleGenerator",
+    "ObliviousTransfer",
+    "OTStatistics",
+    "SharedValue",
+    "TrustedDealer",
+    "beaver_matmul",
+]

@@ -1,0 +1,17 @@
+"""Garbled-circuit engine (free-XOR + point-and-permute over SHA-256 KDF)."""
+
+from .circuits import Circuit, CircuitBuilder, Gate, GateType
+from .evaluator import GarbledEvaluator
+from .garbler import LABEL_BYTES, GarbledCircuit, GarbledGate, Garbler
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "Gate",
+    "GateType",
+    "GarbledCircuit",
+    "GarbledEvaluator",
+    "GarbledGate",
+    "Garbler",
+    "LABEL_BYTES",
+]

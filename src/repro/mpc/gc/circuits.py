@@ -1,0 +1,283 @@
+"""Boolean circuit IR and builders for the garbled-circuit engine.
+
+The paper implements "additions of secret sharings and activation functions"
+as Boolean circuits evaluated under Yao's garbled circuits (an extension of
+JustGarble).  This module provides:
+
+* a tiny gate-list intermediate representation (:class:`Circuit`),
+* a :class:`CircuitBuilder` with the arithmetic gadgets the protocols need —
+  ripple-carry adder, subtractor, two's-complement comparison, multiplexer,
+  ReLU, arithmetic right shift (the fixed-point truncation), max — all over
+  ``word_bits``-wide two's-complement words,
+* a plaintext reference evaluator used both by tests and by the garbler
+  (garbled evaluation must agree with it bit-for-bit).
+
+Gate costs follow the free-XOR convention: XOR/XNOR/NOT gates are free, AND
+gates cost cryptographic work, so :meth:`Circuit.and_gate_count` is the number
+the cost model charges for.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ...errors import CircuitError
+
+__all__ = ["GateType", "Gate", "Circuit", "CircuitBuilder"]
+
+
+class GateType(enum.Enum):
+    """Supported two-input (or one-input) Boolean gates."""
+
+    XOR = "xor"
+    AND = "and"
+    NOT = "not"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single gate: output wire, type, and input wires."""
+
+    gate_type: GateType
+    output: int
+    input_a: int
+    input_b: int | None = None
+
+
+@dataclass
+class Circuit:
+    """A gate list over integer wire ids.
+
+    Wires ``0 .. num_inputs-1`` are circuit inputs; every gate output creates
+    a new wire.  ``outputs`` lists the wire ids whose values form the result.
+    """
+
+    num_inputs: int
+    gates: list[Gate] = field(default_factory=list)
+    outputs: list[int] = field(default_factory=list)
+    #: wires forced to constant values (wire id -> 0/1); used for constants
+    constants: dict[int, int] = field(default_factory=dict)
+    _next_wire: int = 0
+
+    def __post_init__(self) -> None:
+        self._next_wire = max(self._next_wire, self.num_inputs)
+
+    @property
+    def num_wires(self) -> int:
+        return self._next_wire
+
+    def new_wire(self) -> int:
+        wire = self._next_wire
+        self._next_wire += 1
+        return wire
+
+    def and_gate_count(self) -> int:
+        """Number of AND gates (the only gates that cost garbled rows)."""
+        return sum(1 for g in self.gates if g.gate_type is GateType.AND)
+
+    def xor_gate_count(self) -> int:
+        return sum(1 for g in self.gates if g.gate_type is GateType.XOR)
+
+    # -- reference evaluation ----------------------------------------------
+    def evaluate(self, input_bits: list[int]) -> list[int]:
+        """Evaluate the circuit on plaintext bits (reference semantics)."""
+        if len(input_bits) != self.num_inputs:
+            raise CircuitError(
+                f"circuit expects {self.num_inputs} input bits, got {len(input_bits)}"
+            )
+        values: dict[int, int] = {i: int(b) & 1 for i, b in enumerate(input_bits)}
+        values.update(self.constants)
+        for gate in self.gates:
+            a = values.get(gate.input_a)
+            if a is None:
+                raise CircuitError(f"gate reads undefined wire {gate.input_a}")
+            if gate.gate_type is GateType.NOT:
+                values[gate.output] = 1 - a
+                continue
+            b = values.get(gate.input_b)
+            if b is None:
+                raise CircuitError(f"gate reads undefined wire {gate.input_b}")
+            if gate.gate_type is GateType.XOR:
+                values[gate.output] = a ^ b
+            elif gate.gate_type is GateType.AND:
+                values[gate.output] = a & b
+            else:  # pragma: no cover - enum is exhaustive
+                raise CircuitError(f"unknown gate type {gate.gate_type}")
+        try:
+            return [values[w] for w in self.outputs]
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise CircuitError(f"output wire {exc} was never computed") from exc
+
+
+class CircuitBuilder:
+    """Builds word-level arithmetic circuits out of Boolean gates.
+
+    Words are little-endian lists of wire ids over ``word_bits`` bits,
+    interpreted as two's-complement integers (which is exactly the
+    fixed-point ring ``Z_{2^k}`` of the protocols).
+    """
+
+    def __init__(self, word_bits: int):
+        if word_bits < 2:
+            raise CircuitError("word_bits must be at least 2")
+        self.word_bits = word_bits
+        self.circuit = Circuit(num_inputs=0)
+        self._zero_wire: int | None = None
+        self._one_wire: int | None = None
+
+    # -- wire management -----------------------------------------------------
+    def input_word(self) -> list[int]:
+        """Allocate a fresh ``word_bits``-wide input word."""
+        wires = []
+        for _ in range(self.word_bits):
+            wire = self.circuit.num_inputs
+            self.circuit.num_inputs += 1
+            self.circuit._next_wire = max(self.circuit._next_wire, self.circuit.num_inputs)
+            wires.append(wire)
+        return wires
+
+    def constant_bit(self, value: int) -> int:
+        """A wire pinned to a constant 0 or 1."""
+        if value not in (0, 1):
+            raise CircuitError("constant bits must be 0 or 1")
+        cache = self._zero_wire if value == 0 else self._one_wire
+        if cache is not None:
+            return cache
+        wire = self.circuit.new_wire()
+        self.circuit.constants[wire] = value
+        if value == 0:
+            self._zero_wire = wire
+        else:
+            self._one_wire = wire
+        return wire
+
+    def constant_word(self, value: int) -> list[int]:
+        """A word of constant bits encoding ``value`` (two's complement)."""
+        value = value & ((1 << self.word_bits) - 1)
+        return [self.constant_bit((value >> i) & 1) for i in range(self.word_bits)]
+
+    def mark_output(self, word: list[int]) -> None:
+        """Register a word's wires as circuit outputs (little-endian)."""
+        self.circuit.outputs.extend(word)
+
+    # -- bit-level gates -------------------------------------------------------
+    def gate_xor(self, a: int, b: int) -> int:
+        out = self.circuit.new_wire()
+        self.circuit.gates.append(Gate(GateType.XOR, out, a, b))
+        return out
+
+    def gate_and(self, a: int, b: int) -> int:
+        out = self.circuit.new_wire()
+        self.circuit.gates.append(Gate(GateType.AND, out, a, b))
+        return out
+
+    def gate_not(self, a: int) -> int:
+        out = self.circuit.new_wire()
+        self.circuit.gates.append(Gate(GateType.NOT, out, a))
+        return out
+
+    def gate_or(self, a: int, b: int) -> int:
+        """OR via De Morgan (one AND gate)."""
+        return self.gate_not(self.gate_and(self.gate_not(a), self.gate_not(b)))
+
+    def gate_mux(self, select: int, when_one: int, when_zero: int) -> int:
+        """Bit multiplexer ``select ? when_one : when_zero`` (one AND gate)."""
+        diff = self.gate_xor(when_one, when_zero)
+        masked = self.gate_and(diff, select)
+        return self.gate_xor(masked, when_zero)
+
+    # -- word-level gadgets -----------------------------------------------------
+    def add_words(self, a: list[int], b: list[int]) -> list[int]:
+        """Ripple-carry addition mod ``2**word_bits`` (one AND per bit)."""
+        self._check_word(a)
+        self._check_word(b)
+        result = []
+        carry = self.constant_bit(0)
+        for bit_a, bit_b in zip(a, b):
+            axb = self.gate_xor(bit_a, bit_b)
+            result.append(self.gate_xor(axb, carry))
+            # carry_out = (a AND b) XOR (carry AND (a XOR b))
+            carry = self.gate_xor(
+                self.gate_and(bit_a, bit_b), self.gate_and(carry, axb)
+            )
+        return result
+
+    def not_word(self, a: list[int]) -> list[int]:
+        return [self.gate_not(bit) for bit in a]
+
+    def negate_word(self, a: list[int]) -> list[int]:
+        """Two's-complement negation: NOT then +1."""
+        return self.add_words(self.not_word(a), self.constant_word(1))
+
+    def sub_words(self, a: list[int], b: list[int]) -> list[int]:
+        """Subtraction mod ``2**word_bits``."""
+        return self.add_words(a, self.negate_word(b))
+
+    def mux_word(self, select: int, when_one: list[int], when_zero: list[int]) -> list[int]:
+        """Word multiplexer controlled by a single select bit."""
+        self._check_word(when_one)
+        self._check_word(when_zero)
+        return [
+            self.gate_mux(select, bit_one, bit_zero)
+            for bit_one, bit_zero in zip(when_one, when_zero)
+        ]
+
+    def sign_bit(self, a: list[int]) -> int:
+        """The two's-complement sign bit (1 when negative)."""
+        self._check_word(a)
+        return a[-1]
+
+    def is_negative(self, a: list[int]) -> int:
+        return self.sign_bit(a)
+
+    def less_than(self, a: list[int], b: list[int]) -> int:
+        """Signed comparison ``a < b`` via the sign of ``a - b``.
+
+        Correct whenever ``a - b`` does not overflow, which holds for the
+        protocol's use (operands are re-centered fixed-point values with one
+        bit of headroom).
+        """
+        return self.sign_bit(self.sub_words(a, b))
+
+    def relu_word(self, a: list[int]) -> list[int]:
+        """ReLU: zero out the word when its sign bit is set."""
+        zero = self.constant_word(0)
+        return self.mux_word(self.sign_bit(a), zero, a)
+
+    def max_words(self, a: list[int], b: list[int]) -> list[int]:
+        """Signed maximum of two words."""
+        a_less = self.less_than(a, b)
+        return self.mux_word(a_less, b, a)
+
+    def shift_right_arithmetic(self, a: list[int], shift: int) -> list[int]:
+        """Arithmetic right shift (the fixed-point truncation gadget).
+
+        Free (just rewiring plus sign extension), which is why Primer's
+        truncation inside GC costs no extra AND gates.
+        """
+        self._check_word(a)
+        if shift < 0:
+            raise CircuitError("shift must be non-negative")
+        if shift == 0:
+            return list(a)
+        sign = self.sign_bit(a)
+        shifted = a[shift:] + [sign] * min(shift, self.word_bits)
+        return shifted[: self.word_bits]
+
+    # -- helpers ------------------------------------------------------------
+    def _check_word(self, word: list[int]) -> None:
+        if len(word) != self.word_bits:
+            raise CircuitError(
+                f"expected a {self.word_bits}-bit word, got {len(word)} wires"
+            )
+
+    # -- conversions (host side, not part of the circuit) ---------------------
+    def encode_value(self, value: int) -> list[int]:
+        """Little-endian bit decomposition of a ring element (host helper)."""
+        value = value & ((1 << self.word_bits) - 1)
+        return [(value >> i) & 1 for i in range(self.word_bits)]
+
+    def decode_bits(self, bits: list[int]) -> int:
+        """Re-assemble output bits into an unsigned ring element."""
+        return sum((bit & 1) << i for i, bit in enumerate(bits))

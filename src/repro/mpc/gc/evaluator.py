@@ -1,0 +1,66 @@
+"""Evaluation of garbled circuits.
+
+The evaluator receives the garbled tables, one label per input wire (its own
+labels via OT, the garbler's directly), and walks the gate list: XOR gates
+are label XORs, NOT gates pass the label through (the garbler swapped the
+pair), AND gates decrypt exactly one row selected by the colour bits.
+Finally the colour bits of the output labels are compared against the
+decoding table to recover the plaintext output bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import CircuitError
+from .circuits import GateType
+from .garbler import GarbledCircuit, _kdf, _xor_bytes
+
+__all__ = ["GarbledEvaluator"]
+
+
+@dataclass
+class GarbledEvaluator:
+    """Evaluates a garbled circuit given one label per input wire."""
+
+    garbled: GarbledCircuit
+
+    def evaluate(self, input_labels: dict[int, bytes]) -> list[int]:
+        """Run the garbled evaluation and decode the output bits."""
+        circuit = self.garbled.circuit
+        labels: dict[int, bytes] = dict(self.garbled.constant_labels)
+        labels.update(input_labels)
+        for wire in range(circuit.num_inputs):
+            if wire not in labels:
+                raise CircuitError(f"missing label for input wire {wire}")
+
+        for gate_id, gate in enumerate(circuit.gates):
+            label_a = labels.get(gate.input_a)
+            if label_a is None:
+                raise CircuitError(f"gate {gate_id} reads unlabelled wire {gate.input_a}")
+            if gate.gate_type is GateType.NOT:
+                labels[gate.output] = label_a
+                continue
+            label_b = labels.get(gate.input_b)
+            if label_b is None:
+                raise CircuitError(f"gate {gate_id} reads unlabelled wire {gate.input_b}")
+            if gate.gate_type is GateType.XOR:
+                labels[gate.output] = _xor_bytes(label_a, label_b)
+            elif gate.gate_type is GateType.AND:
+                garbled_gate = self.garbled.garbled_gates.get(gate_id)
+                if garbled_gate is None:
+                    raise CircuitError(f"missing garbled table for AND gate {gate_id}")
+                row_index = ((label_a[-1] & 1) << 1) | (label_b[-1] & 1)
+                key = _kdf(label_a, label_b, gate_id)
+                labels[gate.output] = _xor_bytes(key, garbled_gate.rows[row_index])
+            else:  # pragma: no cover - enum exhaustive
+                raise CircuitError(f"unsupported gate type {gate.gate_type}")
+
+        output_bits = []
+        for wire in circuit.outputs:
+            label = labels.get(wire)
+            if label is None:
+                raise CircuitError(f"output wire {wire} was never labelled")
+            colour = label[-1] & 1
+            output_bits.append(colour ^ self.garbled.output_decoding[wire] ^ 0)
+        return output_bits

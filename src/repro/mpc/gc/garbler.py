@@ -1,0 +1,182 @@
+"""Garbling of Boolean circuits (free-XOR + point-and-permute).
+
+The garbler assigns every wire a pair of 128-bit labels (one for bit 0, one
+for bit 1) with the free-XOR invariant ``label_1 = label_0 XOR delta``.  XOR
+and NOT gates then cost nothing; AND gates produce a four-row garbled table
+encrypted under a SHA-256-based key-derivation function (standing in for the
+fixed-key AES of JustGarble).  Point-and-permute colour bits let the
+evaluator pick the right row without trial decryption.
+
+This is a real, functioning garbling scheme: the test-suite garbles the
+arithmetic gadgets from :mod:`repro.mpc.gc.circuits` and checks that garbled
+evaluation matches plaintext evaluation on random inputs.  The cost model
+uses the resulting table sizes (32 bytes per row, 4 rows per AND gate) for
+GC communication, and per-gate garble/evaluate timings for latency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass, field
+
+from ...errors import CircuitError
+from .circuits import Circuit, GateType
+
+__all__ = ["LABEL_BYTES", "GarbledGate", "GarbledCircuit", "Garbler"]
+
+#: Wire-label length: 16 bytes = 128-bit security, matching the paper's setting.
+LABEL_BYTES = 16
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _kdf(label_a: bytes, label_b: bytes, gate_id: int) -> bytes:
+    """Key derivation for one garbled row (H(A || B || gate_id))."""
+    digest = hashlib.sha256(
+        label_a + label_b + gate_id.to_bytes(4, "little")
+    ).digest()
+    return digest[:LABEL_BYTES]
+
+
+@dataclass
+class GarbledGate:
+    """An AND gate's four encrypted rows, indexed by the colour bits."""
+
+    gate_id: int
+    rows: list[bytes]
+
+
+@dataclass
+class GarbledCircuit:
+    """Everything the evaluator needs: tables, colour decoding, output maps."""
+
+    circuit: Circuit
+    garbled_gates: dict[int, GarbledGate]
+    #: decoding info: output wire id -> colour bit of the FALSE label
+    output_decoding: dict[int, int]
+    #: labels for constant wires (value already fixed by the garbler)
+    constant_labels: dict[int, bytes]
+
+    @property
+    def table_bytes(self) -> int:
+        """Total size of the garbled tables on the wire."""
+        return sum(len(g.rows) * LABEL_BYTES for g in self.garbled_gates.values())
+
+
+@dataclass
+class Garbler:
+    """Garbles circuits and encodes inputs into wire labels.
+
+    Parameters
+    ----------
+    seed:
+        Optional seed; when given, labels are derived deterministically (for
+        reproducible tests).  Without a seed, labels use ``secrets``.
+    """
+
+    seed: int | None = None
+    _wire_labels: dict[int, tuple[bytes, bytes]] = field(default_factory=dict)
+    _delta: bytes = b""
+    _counter: int = 0
+
+    def _random_bytes(self) -> bytes:
+        if self.seed is None:
+            return secrets.token_bytes(LABEL_BYTES)
+        self._counter += 1
+        return hashlib.sha256(
+            self.seed.to_bytes(8, "little") + self._counter.to_bytes(8, "little")
+        ).digest()[:LABEL_BYTES]
+
+    def _label_pair(self) -> tuple[bytes, bytes]:
+        false_label = self._random_bytes()
+        return false_label, _xor_bytes(false_label, self._delta)
+
+    @staticmethod
+    def _colour(label: bytes) -> int:
+        """Point-and-permute colour bit (LSB of the label)."""
+        return label[-1] & 1
+
+    def garble(self, circuit: Circuit) -> GarbledCircuit:
+        """Garble a circuit, producing tables and remembering wire labels."""
+        self._wire_labels = {}
+        # Free-XOR offset with colour bit forced to 1 so the two labels of a
+        # wire always have opposite colours.
+        delta = bytearray(self._random_bytes())
+        delta[-1] |= 1
+        self._delta = bytes(delta)
+
+        for wire in range(circuit.num_inputs):
+            self._wire_labels[wire] = self._label_pair()
+        for wire in circuit.constants:
+            self._wire_labels[wire] = self._label_pair()
+
+        garbled_gates: dict[int, GarbledGate] = {}
+        for gate_id, gate in enumerate(circuit.gates):
+            if gate.gate_type is GateType.XOR:
+                a0, _ = self._get_labels(gate.input_a)
+                b0, _ = self._get_labels(gate.input_b)
+                out0 = _xor_bytes(a0, b0)
+                self._wire_labels[gate.output] = (out0, _xor_bytes(out0, self._delta))
+            elif gate.gate_type is GateType.NOT:
+                a0, a1 = self._get_labels(gate.input_a)
+                # NOT is free: swap the roles of the two labels.
+                self._wire_labels[gate.output] = (a1, a0)
+            elif gate.gate_type is GateType.AND:
+                garbled_gates[gate_id] = self._garble_and(gate_id, gate.input_a, gate.input_b, gate.output)
+            else:  # pragma: no cover - enum exhaustive
+                raise CircuitError(f"unsupported gate type {gate.gate_type}")
+
+        output_decoding = {
+            wire: self._colour(self._wire_labels[wire][0]) for wire in circuit.outputs
+        }
+        constant_labels = {
+            wire: self._wire_labels[wire][value]
+            for wire, value in circuit.constants.items()
+        }
+        return GarbledCircuit(
+            circuit=circuit,
+            garbled_gates=garbled_gates,
+            output_decoding=output_decoding,
+            constant_labels=constant_labels,
+        )
+
+    def _get_labels(self, wire: int | None) -> tuple[bytes, bytes]:
+        if wire is None or wire not in self._wire_labels:
+            raise CircuitError(f"wire {wire} has no labels (circuit out of order?)")
+        return self._wire_labels[wire]
+
+    def _garble_and(self, gate_id: int, in_a: int, in_b: int, out: int) -> GarbledGate:
+        a_labels = self._get_labels(in_a)
+        b_labels = self._get_labels(in_b)
+        out_labels = self._label_pair()
+        self._wire_labels[out] = out_labels
+
+        rows: list[bytes | None] = [None] * 4
+        for bit_a in (0, 1):
+            for bit_b in (0, 1):
+                key = _kdf(a_labels[bit_a], b_labels[bit_b], gate_id)
+                plain = out_labels[bit_a & bit_b]
+                row_index = (self._colour(a_labels[bit_a]) << 1) | self._colour(
+                    b_labels[bit_b]
+                )
+                rows[row_index] = _xor_bytes(key, plain)
+        return GarbledGate(gate_id=gate_id, rows=[r for r in rows if r is not None])
+
+    # -- input encoding ------------------------------------------------------
+    def encode_inputs(self, circuit: Circuit, input_bits: list[int]) -> dict[int, bytes]:
+        """Map plaintext input bits to their wire labels (garbler side)."""
+        if len(input_bits) != circuit.num_inputs:
+            raise CircuitError(
+                f"circuit expects {circuit.num_inputs} input bits, got {len(input_bits)}"
+            )
+        return {
+            wire: self._wire_labels[wire][int(bit) & 1]
+            for wire, bit in enumerate(input_bits)
+        }
+
+    def input_label_pairs(self, circuit: Circuit) -> dict[int, tuple[bytes, bytes]]:
+        """Both labels of every input wire (what the OT sender feeds the OT)."""
+        return {wire: self._wire_labels[wire] for wire in range(circuit.num_inputs)}

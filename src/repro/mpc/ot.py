@@ -1,0 +1,67 @@
+"""Simulated 1-out-of-2 oblivious transfer.
+
+Garbled-circuit evaluation requires the evaluator to obtain the wire label
+corresponding to each of its private input bits without revealing the bit to
+the garbler.  A real deployment uses an OT extension (IKNP-style) seeded by a
+few base OTs; this reproduction provides a *functional* OT whose transfer
+semantics is correct and whose invocation count and bytes-on-the-wire are
+recorded, so the cost model can charge for it, but whose security rests on
+the simulation boundary rather than on a hardness assumption.
+
+The interface is deliberately message-oriented (``prepare`` / ``choose`` /
+``transfer``) so that the channel layer can serialise it like every other
+protocol message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["OTStatistics", "ObliviousTransfer"]
+
+
+@dataclass
+class OTStatistics:
+    """Counters describing how much OT work a protocol performed."""
+
+    transfers: int = 0
+    bytes_sent: int = 0
+
+    def merge(self, other: "OTStatistics") -> None:
+        self.transfers += other.transfers
+        self.bytes_sent += other.bytes_sent
+
+
+@dataclass
+class ObliviousTransfer:
+    """Functional 1-out-of-2 OT with cost accounting.
+
+    ``label_bytes`` is the size of each transferred message (a wire label,
+    16 bytes for 128-bit security).  Each transfer is charged two labels of
+    upstream traffic (the masked pair) plus a choice bit, which matches the
+    asymptotic cost of OT extension per transfer.
+    """
+
+    label_bytes: int = 16
+    stats: OTStatistics = field(default_factory=OTStatistics)
+
+    def transfer(self, message_zero: bytes, message_one: bytes, choice_bit: int) -> bytes:
+        """Run one OT: the receiver learns exactly one of the two messages."""
+        if choice_bit not in (0, 1):
+            raise ValueError(f"choice bit must be 0 or 1, got {choice_bit}")
+        self.stats.transfers += 1
+        self.stats.bytes_sent += 2 * self.label_bytes + 1
+        return message_one if choice_bit else message_zero
+
+    def transfer_many(
+        self, message_pairs: list[tuple[bytes, bytes]], choice_bits: list[int]
+    ) -> list[bytes]:
+        """Batch OT for a vector of choice bits."""
+        if len(message_pairs) != len(choice_bits):
+            raise ValueError(
+                f"{len(message_pairs)} message pairs but {len(choice_bits)} choice bits"
+            )
+        return [
+            self.transfer(zero, one, bit)
+            for (zero, one), bit in zip(message_pairs, choice_bits)
+        ]

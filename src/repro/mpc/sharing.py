@@ -1,0 +1,144 @@
+"""Additive secret sharing over a power-of-two ring.
+
+Primer's online phase works on two-party additive secret shares: the client
+holds ``x - r`` (or one share) and the server holds ``r`` (the other share),
+with the invariant ``share_client + share_server = x  (mod 2**k)``.
+
+All protocol modules use the helpers here rather than doing the modular
+arithmetic inline, so the sharing semantics is specified exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError, ShapeError
+from ..fixedpoint.encoding import DEFAULT_FORMAT, FixedPointFormat
+
+__all__ = ["SharedValue", "AdditiveSharing"]
+
+
+@dataclass(frozen=True)
+class SharedValue:
+    """A two-party additive sharing of an integer tensor.
+
+    The two shares sum to the secret modulo ``modulus``.  Instances are
+    produced either by :class:`AdditiveSharing.share` (dealer-style, for
+    tests) or assembled by the protocols from values each party computed
+    locally.
+    """
+
+    client_share: np.ndarray
+    server_share: np.ndarray
+    modulus: int
+
+    def __post_init__(self) -> None:
+        if self.client_share.shape != self.server_share.shape:
+            raise ShapeError(
+                "client and server shares must have the same shape, got "
+                f"{self.client_share.shape} vs {self.server_share.shape}"
+            )
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.client_share.shape)
+
+    def reconstruct(self) -> np.ndarray:
+        """Open the sharing (test/debug helper; parties never do this jointly)."""
+        return np.mod(self.client_share + self.server_share, self.modulus)
+
+
+class AdditiveSharing:
+    """Helper object for creating and combining additive shares.
+
+    Parameters
+    ----------
+    fmt:
+        The fixed-point format whose ring (``2**total_bits``) the shares live
+        in.  Shares of a 15-bit fixed-point tensor are elements of ``Z_{2^15}``.
+    seed:
+        Seed for the internal randomness (dealer-style sharing in tests).
+    """
+
+    def __init__(self, fmt: FixedPointFormat = DEFAULT_FORMAT, *, seed: int | None = None):
+        self.fmt = fmt
+        self.modulus = fmt.modulus
+        self._rng = np.random.default_rng(seed)
+
+    # -- randomness ----------------------------------------------------------
+    def random_mask(self, shape: tuple[int, ...]) -> np.ndarray:
+        """A uniformly random ring element of the given shape.
+
+        This is the ``Rc``/``Rs`` random matrix of the HGS/FHGS protocols.
+        """
+        return self._rng.integers(0, self.modulus, size=shape, dtype=np.int64)
+
+    # -- share / reconstruct -------------------------------------------------
+    def share(self, secret: np.ndarray) -> SharedValue:
+        """Split a secret tensor into two uniformly random additive shares."""
+        secret = np.mod(np.asarray(secret, dtype=np.int64), self.modulus)
+        server = self.random_mask(secret.shape)
+        client = np.mod(secret - server, self.modulus)
+        return SharedValue(client_share=client, server_share=server, modulus=self.modulus)
+
+    def reconstruct(self, shared: SharedValue) -> np.ndarray:
+        """Open a sharing back to the secret."""
+        if shared.modulus != self.modulus:
+            raise ParameterError(
+                f"sharing modulus {shared.modulus} does not match ring {self.modulus}"
+            )
+        return shared.reconstruct()
+
+    # -- linear operations on shares ------------------------------------------
+    def add(self, a: SharedValue, b: SharedValue) -> SharedValue:
+        """Share-wise addition: each party adds its shares locally."""
+        return SharedValue(
+            client_share=np.mod(a.client_share + b.client_share, self.modulus),
+            server_share=np.mod(a.server_share + b.server_share, self.modulus),
+            modulus=self.modulus,
+        )
+
+    def sub(self, a: SharedValue, b: SharedValue) -> SharedValue:
+        """Share-wise subtraction."""
+        return SharedValue(
+            client_share=np.mod(a.client_share - b.client_share, self.modulus),
+            server_share=np.mod(a.server_share - b.server_share, self.modulus),
+            modulus=self.modulus,
+        )
+
+    def add_public(self, a: SharedValue, value: np.ndarray) -> SharedValue:
+        """Add a public constant (only one party adjusts its share)."""
+        return SharedValue(
+            client_share=np.mod(a.client_share + np.asarray(value, dtype=np.int64), self.modulus),
+            server_share=a.server_share.copy(),
+            modulus=self.modulus,
+        )
+
+    def mul_public(self, a: SharedValue, value: int | np.ndarray) -> SharedValue:
+        """Multiply by a public constant (both parties scale their share)."""
+        value = np.asarray(value, dtype=np.int64)
+        return SharedValue(
+            client_share=np.mod(a.client_share * value, self.modulus),
+            server_share=np.mod(a.server_share * value, self.modulus),
+            modulus=self.modulus,
+        )
+
+    def matmul_public(self, a: SharedValue, matrix: np.ndarray) -> SharedValue:
+        """Right-multiply a shared matrix by a public matrix.
+
+        Matrix multiplication is linear, so each party multiplies its share
+        locally; no communication is needed.
+        """
+        matrix = np.asarray(matrix, dtype=np.int64)
+        return SharedValue(
+            client_share=np.mod(a.client_share @ matrix, self.modulus),
+            server_share=np.mod(a.server_share @ matrix, self.modulus),
+            modulus=self.modulus,
+        )
+
+    def zeros_like(self, shape: tuple[int, ...]) -> SharedValue:
+        """A trivial sharing of the all-zero tensor."""
+        zero = np.zeros(shape, dtype=np.int64)
+        return SharedValue(client_share=zero.copy(), server_share=zero.copy(), modulus=self.modulus)

@@ -1,0 +1,182 @@
+"""Beaver multiplication triples over the fixed-point ring.
+
+The FHGS protocol (paper Section III-B) is "inspired by Beaver's triple
+method": the ciphertext-ciphertext products of attention are reduced to
+plaintext operations on masked values plus pre-computed encrypted products of
+random masks.  This module provides the classic secret-shared Beaver triple
+machinery in its own right:
+
+* a trusted-dealer generator (used by tests and by the GCFormer baseline),
+* an HE-backed generator that produces the triples the way Primer does —
+  the client encrypts its mask, the server multiplies under encryption —
+  so the offline cost of triple generation is charged to the HE tracker,
+* the online multiplication protocol on additive shares.
+
+Matrix triples (``A @ B = C`` with matrix-shaped masks) are supported because
+attention needs products of whole matrices, not just scalars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..he.backend import HEBackend
+from ..he.matmul import decrypt_matrix, encrypt_matrix_columns, enc_times_plain
+from .sharing import AdditiveSharing, SharedValue
+
+__all__ = ["BeaverTriple", "TrustedDealer", "HETripleGenerator", "beaver_matmul"]
+
+
+@dataclass(frozen=True)
+class BeaverTriple:
+    """A secret-shared matrix multiplication triple ``C = A @ B``."""
+
+    a: SharedValue
+    b: SharedValue
+    c: SharedValue
+
+    @property
+    def left_shape(self) -> tuple[int, ...]:
+        return self.a.shape
+
+    @property
+    def right_shape(self) -> tuple[int, ...]:
+        return self.b.shape
+
+
+class TrustedDealer:
+    """Generates Beaver triples with a trusted dealer (test / baseline use).
+
+    A deployment would replace this with the HE-based generator below (or an
+    OT-based one); the online protocol is identical either way.
+    """
+
+    def __init__(self, sharing: AdditiveSharing, *, seed: int | None = None):
+        self.sharing = sharing
+        self._rng = np.random.default_rng(seed)
+
+    def generate(
+        self, left_shape: tuple[int, int], right_shape: tuple[int, int]
+    ) -> BeaverTriple:
+        """Sample random ``A``, ``B`` and share ``A``, ``B`` and ``A @ B``."""
+        if left_shape[1] != right_shape[0]:
+            raise ShapeError(
+                f"incompatible triple shapes {left_shape} and {right_shape}"
+            )
+        modulus = self.sharing.modulus
+        a = self._rng.integers(0, modulus, size=left_shape, dtype=np.int64)
+        b = self._rng.integers(0, modulus, size=right_shape, dtype=np.int64)
+        c = np.mod(a @ b, modulus)
+        return BeaverTriple(
+            a=self.sharing.share(a), b=self.sharing.share(b), c=self.sharing.share(c)
+        )
+
+
+class HETripleGenerator:
+    """Generates Beaver triples using the additive-HE backend (offline phase).
+
+    The client samples its mask share, encrypts it column-packed and sends it
+    to the server; the server multiplies the encrypted mask by its own mask
+    share under encryption and re-randomises with a fresh mask, exactly the
+    flow the FHGS offline phase uses.  Every HE operation lands on the
+    backend's tracker, so the offline cost of triple generation is measured
+    rather than assumed.
+    """
+
+    def __init__(self, sharing: AdditiveSharing, backend: HEBackend, *, seed: int | None = None):
+        self.sharing = sharing
+        self.backend = backend
+        self._rng = np.random.default_rng(seed)
+
+    def generate(
+        self, left_shape: tuple[int, int], right_shape: tuple[int, int]
+    ) -> BeaverTriple:
+        if left_shape[1] != right_shape[0]:
+            raise ShapeError(
+                f"incompatible triple shapes {left_shape} and {right_shape}"
+            )
+        modulus = self.sharing.modulus
+        rng = self._rng
+
+        # Each party samples its additive share of the random masks A and B.
+        a_client = rng.integers(0, modulus, size=left_shape, dtype=np.int64)
+        a_server = rng.integers(0, modulus, size=left_shape, dtype=np.int64)
+        b_client = rng.integers(0, modulus, size=right_shape, dtype=np.int64)
+        b_server = rng.integers(0, modulus, size=right_shape, dtype=np.int64)
+
+        # C = (Ac + As) @ (Bc + Bs).  The cross terms Ac@Bs and As@Bc need the
+        # HE round-trip; the pure-local terms are computed by each party.
+        local_client = np.mod(a_client @ b_client, modulus)
+        local_server = np.mod(a_server @ b_server, modulus)
+
+        # Client encrypts Ac (column-packed); server multiplies by Bs.
+        enc_ac = encrypt_matrix_columns(self.backend, np.mod(a_client, modulus))
+        enc_cross1 = enc_times_plain(self.backend, enc_ac, np.mod(b_server, modulus))
+        cross1 = np.mod(decrypt_matrix(self.backend, enc_cross1), modulus)
+
+        # Client encrypts Bc^T-style column packing of As side: the server
+        # holds As, the client holds Bc, so this time the server encrypts.
+        enc_as = encrypt_matrix_columns(self.backend, np.mod(a_server, modulus))
+        enc_cross2 = enc_times_plain(self.backend, enc_as, np.mod(b_client, modulus))
+        cross2 = np.mod(decrypt_matrix(self.backend, enc_cross2), modulus)
+
+        c_total = np.mod(local_client + local_server + cross1 + cross2, modulus)
+        # Re-share C so neither party learns it in the clear.
+        c_server = rng.integers(0, modulus, size=c_total.shape, dtype=np.int64)
+        c_client = np.mod(c_total - c_server, modulus)
+
+        return BeaverTriple(
+            a=SharedValue(a_client, a_server, modulus),
+            b=SharedValue(b_client, b_server, modulus),
+            c=SharedValue(c_client, c_server, modulus),
+        )
+
+
+def beaver_matmul(
+    sharing: AdditiveSharing,
+    x: SharedValue,
+    y: SharedValue,
+    triple: BeaverTriple,
+) -> tuple[SharedValue, dict[str, int]]:
+    """Online Beaver multiplication of two shared matrices.
+
+    Both parties open ``E = X - A`` and ``F = Y - B`` (two ring elements of
+    the operand sizes cross the wire), then compute shares of
+
+        X @ Y = C + E @ B + A @ F + E @ F
+
+    with ``E @ F`` added by one party only.  Returns the result sharing plus
+    a small dict of communication statistics (elements opened), which the
+    cost model converts to bytes.
+    """
+    if x.shape[1] != y.shape[0]:
+        raise ShapeError(f"cannot multiply shared {x.shape} by {y.shape}")
+    if triple.left_shape != x.shape or triple.right_shape != y.shape:
+        raise ShapeError(
+            f"triple shapes {triple.left_shape}/{triple.right_shape} do not "
+            f"match operands {x.shape}/{y.shape}"
+        )
+    modulus = sharing.modulus
+
+    # Each party computes its share of E and F locally, then they are opened.
+    e = sharing.sub(x, triple.a).reconstruct()
+    f = sharing.sub(y, triple.b).reconstruct()
+
+    # Server-side share: C_s + E @ B_s + A_s @ F + E @ F
+    server = np.mod(
+        triple.c.server_share
+        + e @ triple.b.server_share
+        + triple.a.server_share @ f
+        + e @ f,
+        modulus,
+    )
+    # Client-side share: C_c + E @ B_c + A_c @ F
+    client = np.mod(
+        triple.c.client_share + e @ triple.b.client_share + triple.a.client_share @ f,
+        modulus,
+    )
+    stats = {"opened_elements": int(e.size + f.size)}
+    return SharedValue(client, server, modulus), stats

@@ -1,0 +1,58 @@
+"""Plaintext Transformer substrate (BERT-style encoder models)."""
+
+from .activations import (
+    gelu,
+    gelu_poly,
+    inverse_sqrt_newton,
+    layer_norm,
+    relu,
+    softmax,
+    softmax_poly,
+    tanh_poly,
+)
+from .attention import AttentionWeights, MultiHeadSelfAttention
+from .config import (
+    BERT_BASE,
+    BERT_LARGE,
+    BERT_MEDIUM,
+    BERT_SMALL,
+    BERT_TINY,
+    PAPER_MODELS,
+    TransformerConfig,
+    scaled_config,
+)
+from .layers import Embedding, FeedForward, LayerNorm, Linear
+from .quantize import ExecutionMode, QuantizedExecutor
+from .tokenizer import WordPieceTokenizer
+from .transformer import ClassifierHead, EncoderBlock, TransformerEncoder
+
+__all__ = [
+    "AttentionWeights",
+    "BERT_BASE",
+    "BERT_LARGE",
+    "BERT_MEDIUM",
+    "BERT_SMALL",
+    "BERT_TINY",
+    "ClassifierHead",
+    "Embedding",
+    "EncoderBlock",
+    "ExecutionMode",
+    "FeedForward",
+    "LayerNorm",
+    "Linear",
+    "MultiHeadSelfAttention",
+    "PAPER_MODELS",
+    "QuantizedExecutor",
+    "TransformerConfig",
+    "TransformerEncoder",
+    "WordPieceTokenizer",
+    "gelu",
+    "gelu_poly",
+    "inverse_sqrt_newton",
+    "layer_norm",
+    "relu",
+    "scaled_config",
+    "softmax",
+    "softmax_poly",
+    "tanh_poly",
+]

@@ -1,0 +1,115 @@
+"""Activation functions and their HE-friendly polynomial approximations.
+
+Primer keeps the exact non-linearities (SoftMax, GELU) by evaluating them
+under garbled circuits, which is why it does not lose accuracy.  THE-X — the
+FHE-only baseline — replaces them with polynomial approximations, which is
+where its ~7–8 point accuracy drop comes from.  Both forms live here so the
+accuracy experiments can measure the gap on the same model.
+
+The polynomial approximations follow the published HE-friendly substitutions:
+
+* ``softmax_poly`` — the "2Quad" approximation (MPCFormer / THE-X style):
+  replace ``exp(x)`` with ``(x + c)^2`` and normalise by the sum.
+* ``gelu_poly`` — a quadratic approximation ``0.125 x^2 + 0.25 x + 0.5``
+  clipped to the linear regime outside ``[-4, 4]``.
+* ``layernorm`` with polynomial inverse-sqrt iteration for the FHE path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "softmax_poly",
+    "relu",
+    "gelu",
+    "gelu_poly",
+    "tanh_poly",
+    "layer_norm",
+    "inverse_sqrt_newton",
+]
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable SoftMax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def softmax_poly(logits: np.ndarray, axis: int = -1, *, offset: float = 5.0) -> np.ndarray:
+    """HE-friendly quadratic SoftMax substitute ("2Quad").
+
+    ``exp(x)`` is replaced by ``(x + offset)^2`` (clamped to be non-negative
+    before squaring so that large negative logits vanish), then normalised.
+    This is the class of approximation THE-X-style FHE-only inference uses
+    and it visibly distorts the attention distribution, which is what drives
+    the baseline's accuracy loss.
+    """
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    base = np.maximum(shifted + offset, 0.0)
+    squared = base * base
+    denom = np.sum(squared, axis=axis, keepdims=True)
+    denom = np.where(denom <= 1e-9, 1.0, denom)
+    return squared / denom
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation, as in BERT)."""
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x ** 3)))
+
+
+def gelu_poly(x: np.ndarray) -> np.ndarray:
+    """Quadratic GELU substitute used by HE-only inference.
+
+    ``0.25 x^2 + 0.5 x`` inside ``[-2, 2]``; outside that range the function
+    continues as 0 (very negative) or the identity (very positive), matching
+    the piecewise-polynomial substitutions in the THE-X family.  The
+    approximation is continuous at the break points but visibly distorts the
+    activation, which is the source of the FHE-only accuracy drop.
+    """
+    inner = 0.25 * x * x + 0.5 * x
+    return np.where(x < -2.0, 0.0, np.where(x > 2.0, x, inner))
+
+
+def tanh_poly(x: np.ndarray) -> np.ndarray:
+    """Degree-3 polynomial tanh substitute (used by the FHE pooler head)."""
+    clipped = np.clip(x, -3.0, 3.0)
+    return clipped - (clipped ** 3) / 9.0
+
+
+def layer_norm(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    *,
+    eps: float = 1e-5,
+    axis: int = -1,
+) -> np.ndarray:
+    """Standard LayerNorm."""
+    mean = np.mean(x, axis=axis, keepdims=True)
+    var = np.var(x, axis=axis, keepdims=True)
+    return gamma * (x - mean) / np.sqrt(var + eps) + beta
+
+
+def inverse_sqrt_newton(value: np.ndarray, *, iterations: int = 4) -> np.ndarray:
+    """Polynomial (Newton) iteration for ``1/sqrt(value)``.
+
+    FHE-only pipelines cannot take square roots, so LayerNorm's
+    ``1/sqrt(var + eps)`` is computed by a few Newton steps
+    ``y <- y * (1.5 - 0.5 * value * y^2)`` from a fixed initial guess; with a
+    bounded number of iterations the result is a polynomial in ``value``.
+    """
+    value = np.asarray(value, dtype=np.float64)
+    # Initial guess tuned for variances in [1e-2, 1e2], the range BERT
+    # activations occupy after embedding scaling.
+    y = np.full_like(value, 0.3)
+    for _ in range(iterations):
+        y = y * (1.5 - 0.5 * value * y * y)
+    return y

@@ -1,0 +1,100 @@
+"""Multi-head self-attention (plaintext reference).
+
+The attention computation is the part of the Transformer that forces Primer
+to introduce the FHGS protocol: ``X_Q @ X_K^T`` and ``A @ X_V`` are products
+of two *encrypted* matrices, which additive HE cannot offload on its own.
+The private attention protocols are tested against this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from .activations import softmax
+from .layers import Linear
+
+__all__ = ["AttentionWeights", "MultiHeadSelfAttention"]
+
+
+@dataclass
+class AttentionWeights:
+    """Per-layer projection weights for multi-head self-attention."""
+
+    query: Linear
+    key: Linear
+    value: Linear
+    output: Linear
+
+    @classmethod
+    def initialise(cls, dim: int, rng: np.random.Generator) -> "AttentionWeights":
+        return cls(
+            query=Linear.initialise(dim, dim, rng),
+            key=Linear.initialise(dim, dim, rng),
+            value=Linear.initialise(dim, dim, rng),
+            output=Linear.initialise(dim, dim, rng),
+        )
+
+
+@dataclass
+class MultiHeadSelfAttention:
+    """Scaled dot-product attention with ``num_heads`` parallel heads."""
+
+    weights: AttentionWeights
+    num_heads: int
+
+    @classmethod
+    def initialise(
+        cls, dim: int, num_heads: int, rng: np.random.Generator
+    ) -> "MultiHeadSelfAttention":
+        return cls(weights=AttentionWeights.initialise(dim, rng), num_heads=num_heads)
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """(n, d) -> (heads, n, d/heads)."""
+        n, d = x.shape
+        head_dim = d // self.num_heads
+        return x.reshape(n, self.num_heads, head_dim).transpose(1, 0, 2)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """(heads, n, d/heads) -> (n, d)."""
+        heads, n, head_dim = x.shape
+        return x.transpose(1, 0, 2).reshape(n, heads * head_dim)
+
+    def __call__(
+        self, x: np.ndarray, *, return_intermediates: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Apply multi-head self-attention to an (n, d) sequence."""
+        if x.ndim != 2:
+            raise ShapeError(f"attention expects an (n, d) matrix, got shape {x.shape}")
+        n, d = x.shape
+        if d % self.num_heads != 0:
+            raise ShapeError(f"model dim {d} not divisible by {self.num_heads} heads")
+
+        queries = self.weights.query(x)
+        keys = self.weights.key(x)
+        values = self.weights.value(x)
+
+        q_heads = self._split_heads(queries)
+        k_heads = self._split_heads(keys)
+        v_heads = self._split_heads(values)
+
+        scale = 1.0 / np.sqrt(q_heads.shape[-1])
+        scores = np.einsum("hqd,hkd->hqk", q_heads, k_heads) * scale
+        attention = softmax(scores, axis=-1)
+        context = np.einsum("hqk,hkd->hqd", attention, v_heads)
+        merged = self._merge_heads(context)
+        output = self.weights.output(merged)
+
+        if not return_intermediates:
+            return output
+        intermediates = {
+            "queries": queries,
+            "keys": keys,
+            "values": values,
+            "scores": scores,
+            "attention": attention,
+            "context": merged,
+        }
+        return output, intermediates

@@ -1,0 +1,118 @@
+"""Model configurations for the BERT variants evaluated in the paper.
+
+Table III of the paper lists five encoder-only models (BERT-tiny, -small,
+-base, -medium, -large) with their block count ``N``, embedding dimension
+``d_emb``, head count ``H`` and input length ``n = 30``.  The vocabulary is
+WordPiece with 30522 tokens (Section I).
+
+:func:`scaled_config` produces architecture-faithful but dimension-reduced
+versions of the same models so that integration tests and the exact-crypto
+examples finish quickly; the benchmarks use the full-size configurations
+through the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ParameterError
+
+__all__ = [
+    "TransformerConfig",
+    "BERT_TINY",
+    "BERT_SMALL",
+    "BERT_BASE",
+    "BERT_MEDIUM",
+    "BERT_LARGE",
+    "PAPER_MODELS",
+    "scaled_config",
+]
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Hyper-parameters of an encoder-only Transformer (BERT-style)."""
+
+    name: str
+    num_blocks: int
+    embed_dim: int
+    num_heads: int
+    seq_len: int
+    vocab_size: int = 30522
+    ffn_dim: int | None = None
+    num_labels: int = 3
+
+    def __post_init__(self) -> None:
+        if self.embed_dim % self.num_heads != 0:
+            raise ParameterError(
+                f"embed_dim {self.embed_dim} must be divisible by num_heads "
+                f"{self.num_heads}"
+            )
+        if self.num_blocks < 1:
+            raise ParameterError("num_blocks must be at least 1")
+        if self.seq_len < 1:
+            raise ParameterError("seq_len must be at least 1")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head projection width."""
+        return self.embed_dim // self.num_heads
+
+    @property
+    def hidden_ffn_dim(self) -> int:
+        """Feed-forward inner width (BERT convention: 4 x embed_dim)."""
+        return self.ffn_dim if self.ffn_dim is not None else 4 * self.embed_dim
+
+    def parameter_count(self) -> int:
+        """Approximate trainable-parameter count (embeddings + blocks + head)."""
+        d, f, v = self.embed_dim, self.hidden_ffn_dim, self.vocab_size
+        embeddings = v * d + self.seq_len * d
+        per_block = (
+            4 * d * d + 4 * d      # QKV + output projections and biases
+            + 2 * d * f + d + f    # FFN
+            + 4 * d                # two LayerNorms
+        )
+        head = d * self.num_labels + self.num_labels
+        return embeddings + self.num_blocks * per_block + head
+
+
+# Table III hyper-parameters.
+BERT_TINY = TransformerConfig("bert-tiny", num_blocks=3, embed_dim=768, num_heads=12, seq_len=30)
+BERT_SMALL = TransformerConfig("bert-small", num_blocks=6, embed_dim=768, num_heads=12, seq_len=30)
+BERT_BASE = TransformerConfig("bert-base", num_blocks=12, embed_dim=768, num_heads=12, seq_len=30)
+BERT_MEDIUM = TransformerConfig("bert-medium", num_blocks=12, embed_dim=1024, num_heads=16, seq_len=30)
+BERT_LARGE = TransformerConfig("bert-large", num_blocks=24, embed_dim=1024, num_heads=16, seq_len=30)
+
+#: The five models of Table III, keyed by name.
+PAPER_MODELS = {
+    cfg.name: cfg
+    for cfg in (BERT_TINY, BERT_SMALL, BERT_BASE, BERT_MEDIUM, BERT_LARGE)
+}
+
+
+def scaled_config(
+    base: TransformerConfig,
+    *,
+    embed_dim: int = 32,
+    num_heads: int = 4,
+    seq_len: int = 8,
+    vocab_size: int = 64,
+    num_blocks: int | None = None,
+    num_labels: int | None = None,
+) -> TransformerConfig:
+    """A dimension-reduced copy of a paper configuration for fast tests.
+
+    The block structure (attention + FFN + LayerNorms) is unchanged; only the
+    widths shrink, so every protocol code path is still exercised.
+    """
+    return replace(
+        base,
+        name=f"{base.name}-scaled",
+        embed_dim=embed_dim,
+        num_heads=num_heads,
+        seq_len=seq_len,
+        vocab_size=vocab_size,
+        num_blocks=num_blocks if num_blocks is not None else min(base.num_blocks, 2),
+        ffn_dim=2 * embed_dim,
+        num_labels=num_labels if num_labels is not None else base.num_labels,
+    )

@@ -1,0 +1,133 @@
+"""Plaintext Transformer layers (numpy).
+
+These layers are the *reference semantics* of the models Primer encrypts.
+Every private protocol in :mod:`repro.protocols` is tested against the
+corresponding layer here: the reconstructed secret shares must match the
+plaintext layer output to within fixed-point tolerance.
+
+The implementation is intentionally framework-free (plain numpy, explicit
+shapes) because the cryptographic layers need direct access to the weight
+matrices and because determinism matters more than training speed — the
+weights are generated, not learned (see DESIGN.md's accuracy-methodology
+substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from .activations import gelu, layer_norm
+
+__all__ = ["Linear", "LayerNorm", "Embedding", "FeedForward"]
+
+
+@dataclass
+class Linear:
+    """Affine layer ``y = x @ W + b`` with weights of shape (in, out)."""
+
+    weight: np.ndarray
+    bias: np.ndarray
+
+    @classmethod
+    def initialise(
+        cls, in_dim: int, out_dim: int, rng: np.random.Generator, *, scale: float | None = None
+    ) -> "Linear":
+        """Xavier-style initialisation (deterministic given the generator)."""
+        if scale is None:
+            scale = float(np.sqrt(2.0 / (in_dim + out_dim)))
+        weight = rng.normal(0.0, scale, size=(in_dim, out_dim))
+        bias = np.zeros(out_dim)
+        return cls(weight=weight, bias=bias)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.weight.shape[0]:
+            raise ShapeError(
+                f"linear layer expects input dim {self.weight.shape[0]}, got {x.shape[-1]}"
+            )
+        return x @ self.weight + self.bias
+
+
+@dataclass
+class LayerNorm:
+    """LayerNorm with learned scale and shift."""
+
+    gamma: np.ndarray
+    beta: np.ndarray
+    eps: float = 1e-5
+
+    @classmethod
+    def initialise(cls, dim: int) -> "LayerNorm":
+        return cls(gamma=np.ones(dim), beta=np.zeros(dim))
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return layer_norm(x, self.gamma, self.beta, eps=self.eps)
+
+
+@dataclass
+class Embedding:
+    """Word + positional embeddings.
+
+    The paper describes the embedding as ``X[0] @ W_E * delta + lambda`` where
+    ``X[0]`` is the one-hot token matrix, ``W_E`` the WordPiece embedding
+    table, ``delta`` a positional coefficient and ``lambda`` the positional
+    bias.  ``__call__`` takes integer token ids and performs the equivalent
+    lookup; :meth:`one_hot_matmul` exposes the explicit one-hot matrix product
+    that the encrypted embedding layer must reproduce.
+    """
+
+    word_embeddings: np.ndarray        # (vocab, d)
+    positional_embeddings: np.ndarray  # (seq_len, d)
+    positional_scale: float = 1.0
+
+    @classmethod
+    def initialise(
+        cls, vocab_size: int, seq_len: int, dim: int, rng: np.random.Generator
+    ) -> "Embedding":
+        word = rng.normal(0.0, 0.02, size=(vocab_size, dim))
+        positional = rng.normal(0.0, 0.02, size=(seq_len, dim))
+        return cls(word_embeddings=word, positional_embeddings=positional)
+
+    def one_hot(self, token_ids: np.ndarray) -> np.ndarray:
+        """Explicit one-hot encoding of a token-id sequence."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        matrix = np.zeros((token_ids.size, self.word_embeddings.shape[0]))
+        matrix[np.arange(token_ids.size), token_ids] = 1.0
+        return matrix
+
+    def one_hot_matmul(self, token_ids: np.ndarray) -> np.ndarray:
+        """The embedding as the paper writes it: one-hot matrix times table."""
+        return self.one_hot(token_ids) @ self.word_embeddings
+
+    def __call__(self, token_ids: np.ndarray) -> np.ndarray:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim != 1:
+            raise ShapeError("embedding expects a 1-D sequence of token ids")
+        if token_ids.size > self.positional_embeddings.shape[0]:
+            raise ShapeError(
+                f"sequence length {token_ids.size} exceeds maximum "
+                f"{self.positional_embeddings.shape[0]}"
+            )
+        word = self.word_embeddings[token_ids]
+        positional = self.positional_embeddings[: token_ids.size]
+        return self.positional_scale * word + positional
+
+
+@dataclass
+class FeedForward:
+    """The position-wise feed-forward block: Linear -> GELU -> Linear."""
+
+    intermediate: Linear
+    output: Linear
+
+    @classmethod
+    def initialise(cls, dim: int, hidden_dim: int, rng: np.random.Generator) -> "FeedForward":
+        return cls(
+            intermediate=Linear.initialise(dim, hidden_dim, rng),
+            output=Linear.initialise(hidden_dim, dim, rng),
+        )
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.output(gelu(self.intermediate(x)))

@@ -1,0 +1,128 @@
+"""Fixed-point (and approximation-aware) model execution.
+
+The accuracy columns of the paper's tables come down to two effects:
+
+1. running the Transformer in 15-bit fixed point (all private protocols pay
+   this; the paper reports it costs essentially nothing), and
+2. replacing SoftMax/GELU/tanh by polynomials (only the FHE-only baseline
+   THE-X pays this; the paper reports a ~7–8 point drop).
+
+:class:`QuantizedExecutor` runs a plaintext :class:`TransformerEncoder` under
+either regime so the accuracy experiments can measure both effects on the
+same weights and the same synthetic tasks.  Quantisation is simulated by a
+round-trip through the fixed-point encoding after every operation that the
+cryptographic pipeline would truncate (linear layers, attention products,
+activation outputs), which is exactly where Primer's protocols truncate to 15
+bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fixedpoint.encoding import DEFAULT_FORMAT, FixedPointFormat, decode, encode
+from .activations import gelu, gelu_poly, softmax, softmax_poly, tanh_poly
+from .transformer import TransformerEncoder
+
+__all__ = ["ExecutionMode", "QuantizedExecutor"]
+
+
+@dataclass(frozen=True)
+class ExecutionMode:
+    """How the model is executed.
+
+    Attributes
+    ----------
+    quantize:
+        Round every intermediate to the fixed-point grid (all private
+        protocols).
+    polynomial_activations:
+        Replace SoftMax/GELU/tanh with polynomial substitutes (THE-X-style
+        FHE-only execution).
+    """
+
+    quantize: bool = True
+    polynomial_activations: bool = False
+    fmt: FixedPointFormat = DEFAULT_FORMAT
+
+    @classmethod
+    def plaintext(cls) -> "ExecutionMode":
+        """Full-precision floating point (the fine-tuned reference model)."""
+        return cls(quantize=False, polynomial_activations=False)
+
+    @classmethod
+    def primer(cls, fmt: FixedPointFormat = DEFAULT_FORMAT) -> "ExecutionMode":
+        """15-bit fixed point with exact non-linearities (Primer's regime)."""
+        return cls(quantize=True, polynomial_activations=False, fmt=fmt)
+
+    @classmethod
+    def fhe_only(cls, fmt: FixedPointFormat = DEFAULT_FORMAT) -> "ExecutionMode":
+        """Fixed point plus polynomial activations (THE-X's regime)."""
+        return cls(quantize=True, polynomial_activations=True, fmt=fmt)
+
+
+class QuantizedExecutor:
+    """Executes a plaintext model under a given :class:`ExecutionMode`."""
+
+    def __init__(self, model: TransformerEncoder, mode: ExecutionMode):
+        self.model = model
+        self.mode = mode
+
+    # -- helpers -------------------------------------------------------------
+    def _q(self, x: np.ndarray) -> np.ndarray:
+        """Round to the fixed-point grid when quantisation is enabled."""
+        if not self.mode.quantize:
+            return x
+        return decode(encode(x, self.mode.fmt), self.mode.fmt)
+
+    def _softmax(self, x: np.ndarray) -> np.ndarray:
+        fn = softmax_poly if self.mode.polynomial_activations else softmax
+        return self._q(fn(x, axis=-1))
+
+    def _gelu(self, x: np.ndarray) -> np.ndarray:
+        fn = gelu_poly if self.mode.polynomial_activations else gelu
+        return self._q(fn(x))
+
+    def _tanh(self, x: np.ndarray) -> np.ndarray:
+        fn = tanh_poly if self.mode.polynomial_activations else np.tanh
+        return self._q(fn(x))
+
+    def _layer_norm(self, norm, x: np.ndarray) -> np.ndarray:
+        return self._q(norm(x))
+
+    # -- forward pass ----------------------------------------------------------
+    def logits(self, token_ids: np.ndarray) -> np.ndarray:
+        """Classification logits under the configured execution mode."""
+        model = self.model
+        hidden = self._q(model.embedding(np.asarray(token_ids, dtype=np.int64)))
+
+        for block in model.blocks:
+            attn = block.attention
+            queries = self._q(attn.weights.query(hidden))
+            keys = self._q(attn.weights.key(hidden))
+            values = self._q(attn.weights.value(hidden))
+
+            q_heads = attn._split_heads(queries)
+            k_heads = attn._split_heads(keys)
+            v_heads = attn._split_heads(values)
+
+            scale = 1.0 / np.sqrt(q_heads.shape[-1])
+            scores = self._q(np.einsum("hqd,hkd->hqk", q_heads, k_heads) * scale)
+            attention = self._softmax(scores)
+            context = self._q(np.einsum("hqk,hkd->hqd", attention, v_heads))
+            merged = attn._merge_heads(context)
+            attn_out = self._q(attn.weights.output(merged))
+
+            hidden = self._layer_norm(block.attention_norm, hidden + attn_out)
+            ffn_hidden = self._gelu(block.feed_forward.intermediate(hidden))
+            ffn_out = self._q(block.feed_forward.output(ffn_hidden))
+            hidden = self._layer_norm(block.output_norm, hidden + ffn_out)
+
+        pooled = self._tanh(self._q(self.model.head.pooler(hidden[0])))
+        return self._q(self.model.head.classifier(pooled))
+
+    def predict(self, token_ids: np.ndarray) -> int:
+        """Predicted class label under the configured execution mode."""
+        return int(np.argmax(self.logits(token_ids)))

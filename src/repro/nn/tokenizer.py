@@ -1,0 +1,164 @@
+"""A WordPiece-style tokenizer over a deterministic synthetic vocabulary.
+
+BERT uses WordPiece with a 30522-token vocabulary.  The reproduction cannot
+ship the real vocabulary file, so this tokenizer builds a deterministic
+vocabulary of the same size: special tokens, single characters, and a large
+bank of generated sub-word units.  Tokenisation follows the greedy
+longest-match-first WordPiece algorithm with ``##`` continuation pieces, so
+the *behaviour* (sub-word splitting, unknown-token handling, fixed-length
+padding) matches what the paper's embedding layer consumes — an ``n x 30522``
+one-hot matrix per sentence.
+"""
+
+from __future__ import annotations
+
+import itertools
+import string
+from dataclasses import dataclass, field
+
+from ..errors import ParameterError
+
+__all__ = ["WordPieceTokenizer"]
+
+PAD_TOKEN = "[PAD]"
+UNK_TOKEN = "[UNK]"
+CLS_TOKEN = "[CLS]"
+SEP_TOKEN = "[SEP]"
+MASK_TOKEN = "[MASK]"
+
+_SPECIAL_TOKENS = [PAD_TOKEN, UNK_TOKEN, CLS_TOKEN, SEP_TOKEN, MASK_TOKEN]
+
+
+def _generate_subwords(count: int) -> list[str]:
+    """Deterministically generate ``count`` plausible sub-word strings."""
+    consonants = "bcdfghjklmnpqrstvwxyz"
+    vowels = "aeiou"
+    pieces: list[str] = []
+    for length in itertools.count(2):
+        if len(pieces) >= count:
+            break
+        for combo in itertools.product(consonants, vowels, repeat=length // 2):
+            word = "".join(combo)[:length]
+            pieces.append(word)
+            if len(pieces) >= count:
+                break
+    return pieces[:count]
+
+
+@dataclass
+class WordPieceTokenizer:
+    """Greedy longest-match WordPiece tokenizer with a synthetic vocabulary."""
+
+    vocab_size: int = 30522
+    max_length: int = 30
+    vocab: dict[str, int] = field(default_factory=dict, repr=False)
+    inverse_vocab: dict[int, str] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.vocab_size < 256:
+            raise ParameterError("vocab_size must be at least 256")
+        if not self.vocab:
+            self._build_vocab()
+
+    def _build_vocab(self) -> None:
+        tokens: list[str] = list(_SPECIAL_TOKENS)
+        # Single characters (both word-initial and continuation forms).
+        characters = list(string.ascii_lowercase + string.digits + string.punctuation)
+        tokens.extend(characters)
+        tokens.extend(f"##{c}" for c in string.ascii_lowercase + string.digits)
+        # Common English function words get dedicated ids so realistic text
+        # tokenises into few pieces.
+        common = (
+            "the a an and or of to in is are was were be been it this that "
+            "with for on as at by from not no yes he she they we you i "
+            "movie film review good bad great terrible question answer "
+            "patient doctor price market stock health money data model"
+        ).split()
+        tokens.extend(w for w in common if w not in tokens)
+        remaining = self.vocab_size - len(tokens)
+        generated = _generate_subwords(remaining * 2)
+        for word in generated:
+            if len(tokens) >= self.vocab_size:
+                break
+            if word not in tokens:
+                tokens.append(word)
+                if len(tokens) < self.vocab_size:
+                    tokens.append(f"##{word}")
+        tokens = tokens[: self.vocab_size]
+        self.vocab = {token: index for index, token in enumerate(tokens)}
+        self.inverse_vocab = {index: token for token, index in self.vocab.items()}
+
+    # -- token ids -----------------------------------------------------------
+    @property
+    def pad_id(self) -> int:
+        return self.vocab[PAD_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self.vocab[UNK_TOKEN]
+
+    @property
+    def cls_id(self) -> int:
+        return self.vocab[CLS_TOKEN]
+
+    @property
+    def sep_id(self) -> int:
+        return self.vocab[SEP_TOKEN]
+
+    # -- tokenisation ---------------------------------------------------------
+    def _wordpiece(self, word: str) -> list[str]:
+        """Greedy longest-match-first decomposition of a single word."""
+        pieces: list[str] = []
+        start = 0
+        while start < len(word):
+            end = len(word)
+            piece = None
+            while end > start:
+                candidate = word[start:end]
+                if start > 0:
+                    candidate = "##" + candidate
+                if candidate in self.vocab:
+                    piece = candidate
+                    break
+                end -= 1
+            if piece is None:
+                return [UNK_TOKEN]
+            pieces.append(piece)
+            start = end
+        return pieces
+
+    def tokenize(self, text: str) -> list[str]:
+        """Split text into WordPiece tokens (no special tokens added)."""
+        tokens: list[str] = []
+        for word in text.lower().split():
+            stripped = word.strip(string.punctuation)
+            if not stripped:
+                if word:
+                    tokens.extend(self._wordpiece(word))
+                continue
+            tokens.extend(self._wordpiece(stripped))
+        return tokens
+
+    def encode(self, text: str, *, pad: bool = True) -> list[int]:
+        """Tokenise, add [CLS]/[SEP], truncate and pad to ``max_length``."""
+        pieces = self.tokenize(text)
+        ids = [self.cls_id]
+        ids.extend(self.vocab.get(p, self.unk_id) for p in pieces)
+        ids = ids[: self.max_length - 1]
+        ids.append(self.sep_id)
+        if pad:
+            ids.extend([self.pad_id] * (self.max_length - len(ids)))
+        return ids[: self.max_length]
+
+    def decode(self, token_ids: list[int]) -> str:
+        """Best-effort inverse of :meth:`encode` (for debugging/examples)."""
+        words: list[str] = []
+        for token_id in token_ids:
+            token = self.inverse_vocab.get(int(token_id), UNK_TOKEN)
+            if token in _SPECIAL_TOKENS:
+                continue
+            if token.startswith("##") and words:
+                words[-1] += token[2:]
+            else:
+                words.append(token)
+        return " ".join(words)

@@ -1,0 +1,153 @@
+"""Encoder-only Transformer (BERT-style) built from the plaintext layers.
+
+:class:`TransformerEncoder` is the model whose private inference Primer
+implements.  It exposes both the standard forward pass and a
+``forward_with_trace`` variant that returns every intermediate tensor the
+protocols need to verify against (embedding output, per-block Q/K/V, raw
+attention scores, attention outputs, FFN outputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ShapeError
+from .activations import softmax, tanh_poly
+from .attention import MultiHeadSelfAttention
+from .config import TransformerConfig
+from .layers import Embedding, FeedForward, LayerNorm, Linear
+
+__all__ = ["EncoderBlock", "TransformerEncoder", "ClassifierHead"]
+
+
+@dataclass
+class EncoderBlock:
+    """One Transformer encoder block: MHSA + residual/LN + FFN + residual/LN."""
+
+    attention: MultiHeadSelfAttention
+    attention_norm: LayerNorm
+    feed_forward: FeedForward
+    output_norm: LayerNorm
+
+    @classmethod
+    def initialise(cls, config: TransformerConfig, rng: np.random.Generator) -> "EncoderBlock":
+        return cls(
+            attention=MultiHeadSelfAttention.initialise(
+                config.embed_dim, config.num_heads, rng
+            ),
+            attention_norm=LayerNorm.initialise(config.embed_dim),
+            feed_forward=FeedForward.initialise(
+                config.embed_dim, config.hidden_ffn_dim, rng
+            ),
+            output_norm=LayerNorm.initialise(config.embed_dim),
+        )
+
+    def __call__(
+        self, x: np.ndarray, *, return_intermediates: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, dict[str, np.ndarray]]:
+        if return_intermediates:
+            attn_out, intermediates = self.attention(x, return_intermediates=True)
+        else:
+            attn_out = self.attention(x)
+        hidden = self.attention_norm(x + attn_out)
+        ffn_out = self.feed_forward(hidden)
+        output = self.output_norm(hidden + ffn_out)
+        if not return_intermediates:
+            return output
+        intermediates = dict(intermediates)
+        intermediates.update({
+            "attention_output": attn_out,
+            "post_attention": hidden,
+            "ffn_output": ffn_out,
+            "block_output": output,
+        })
+        return output, intermediates
+
+
+@dataclass
+class ClassifierHead:
+    """Pooler (first token) + linear classifier, as in BERT fine-tuning."""
+
+    pooler: Linear
+    classifier: Linear
+
+    @classmethod
+    def initialise(cls, config: TransformerConfig, rng: np.random.Generator) -> "ClassifierHead":
+        return cls(
+            pooler=Linear.initialise(config.embed_dim, config.embed_dim, rng),
+            classifier=Linear.initialise(config.embed_dim, config.num_labels, rng),
+        )
+
+    def __call__(self, sequence_output: np.ndarray) -> np.ndarray:
+        pooled = np.tanh(self.pooler(sequence_output[0]))
+        return self.classifier(pooled)
+
+    def polynomial(self, sequence_output: np.ndarray) -> np.ndarray:
+        """FHE-friendly variant: tanh replaced by its polynomial substitute."""
+        pooled = tanh_poly(self.pooler(sequence_output[0]))
+        return self.classifier(pooled)
+
+
+@dataclass
+class TransformerEncoder:
+    """A full encoder-only model: embeddings, stacked blocks, classifier head."""
+
+    config: TransformerConfig
+    embedding: Embedding
+    blocks: list[EncoderBlock]
+    head: ClassifierHead
+    final_norm: LayerNorm | None = None
+    _cached_trace: dict | None = field(default=None, repr=False)
+
+    @classmethod
+    def initialise(cls, config: TransformerConfig, *, seed: int = 0) -> "TransformerEncoder":
+        """Create a model with deterministic synthetic weights."""
+        rng = np.random.default_rng(seed)
+        embedding = Embedding.initialise(
+            config.vocab_size, config.seq_len, config.embed_dim, rng
+        )
+        blocks = [EncoderBlock.initialise(config, rng) for _ in range(config.num_blocks)]
+        head = ClassifierHead.initialise(config, rng)
+        return cls(config=config, embedding=embedding, blocks=blocks, head=head)
+
+    # -- forward passes -------------------------------------------------------
+    def encode(self, token_ids: np.ndarray) -> np.ndarray:
+        """Run embeddings + all encoder blocks, returning the (n, d) sequence."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim != 1:
+            raise ShapeError("encode expects a 1-D token-id sequence")
+        hidden = self.embedding(token_ids)
+        for block in self.blocks:
+            hidden = block(hidden)
+        return hidden
+
+    def logits(self, token_ids: np.ndarray) -> np.ndarray:
+        """Classification logits for a token-id sequence."""
+        return self.head(self.encode(token_ids))
+
+    def predict(self, token_ids: np.ndarray) -> int:
+        """Predicted class label."""
+        return int(np.argmax(self.logits(token_ids)))
+
+    def predict_proba(self, token_ids: np.ndarray) -> np.ndarray:
+        """Class probabilities."""
+        return softmax(self.logits(token_ids))
+
+    def forward_with_trace(self, token_ids: np.ndarray) -> tuple[np.ndarray, dict]:
+        """Forward pass that records every intermediate the protocols verify.
+
+        Returns ``(logits, trace)`` where ``trace`` has the embedding output
+        plus a per-block list of intermediate dictionaries.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        hidden = self.embedding(token_ids)
+        trace: dict = {"embedding_output": hidden, "blocks": []}
+        for block in self.blocks:
+            hidden, intermediates = block(hidden, return_intermediates=True)
+            trace["blocks"].append(intermediates)
+        trace["sequence_output"] = hidden
+        logits = self.head(hidden)
+        trace["logits"] = logits
+        return logits, trace

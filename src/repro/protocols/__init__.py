@@ -1,0 +1,46 @@
+"""Primer's cryptographic protocols: HGS, FHGS/CHGS, GC non-linearities."""
+
+from .accounting import InferenceAccount, OperationCounts, StepAccount, count_operations
+from .channel import Channel, Message, NetworkModel, Phase
+from .fhgs import FHGSMatmul
+from .formats import EXACT_DEMO_FORMAT, PROTOCOL_FORMAT, VALUE_FORMAT, protocol_he_parameters
+from .hgs import HGSLinearLayer
+from .nonlinear import GCCostModel, GCNonlinearEvaluator, garbled_share_relu
+from .primer import (
+    ALL_VARIANTS,
+    PRIMER_BASE,
+    PRIMER_F,
+    PRIMER_FP,
+    PRIMER_FPC,
+    PrimerVariant,
+    PrivateInferenceResult,
+    PrivateTransformerInference,
+)
+
+__all__ = [
+    "ALL_VARIANTS",
+    "Channel",
+    "EXACT_DEMO_FORMAT",
+    "FHGSMatmul",
+    "GCCostModel",
+    "GCNonlinearEvaluator",
+    "HGSLinearLayer",
+    "InferenceAccount",
+    "Message",
+    "NetworkModel",
+    "OperationCounts",
+    "PROTOCOL_FORMAT",
+    "PRIMER_BASE",
+    "PRIMER_F",
+    "PRIMER_FP",
+    "PRIMER_FPC",
+    "Phase",
+    "PrimerVariant",
+    "PrivateInferenceResult",
+    "PrivateTransformerInference",
+    "StepAccount",
+    "VALUE_FORMAT",
+    "count_operations",
+    "garbled_share_relu",
+    "protocol_he_parameters",
+]

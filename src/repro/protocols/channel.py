@@ -1,0 +1,127 @@
+"""Two-party communication channel with byte/round accounting.
+
+The paper's system setup (Section IV) is two Xeon instances with an average
+network delay of 2.3 ms and about 100 MB/s of bandwidth.  Latency in a
+Gazelle/Delphi-style hybrid protocol is therefore a function of three things:
+cryptographic compute, bytes on the wire, and the number of *rounds*
+(interactions), each of which pays the network delay.
+
+:class:`Channel` records every message a protocol sends, tagged with the
+phase (offline or online) and a free-form step label (``"embedding"``,
+``"qk_product"``, ...), so that the cost model can reproduce the per-step
+breakdown of the paper's Table II and the message sizes of Table III.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Phase", "Message", "NetworkModel", "Channel"]
+
+
+class Phase(enum.Enum):
+    """Offline (pre-processing) vs online (inference-time) traffic."""
+
+    OFFLINE = "offline"
+    ONLINE = "online"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message."""
+
+    sender: str
+    receiver: str
+    num_bytes: int
+    phase: Phase
+    step: str
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency model of the link between the two instances."""
+
+    delay_seconds: float = 2.3e-3
+    bandwidth_bytes_per_second: float = 100e6
+
+    def transfer_time(self, num_bytes: int, rounds: int = 1) -> float:
+        """Wall-clock time to move ``num_bytes`` over ``rounds`` interactions."""
+        return rounds * self.delay_seconds + num_bytes / self.bandwidth_bytes_per_second
+
+
+@dataclass
+class Channel:
+    """Message log shared by the two parties of a protocol run."""
+
+    network: NetworkModel = field(default_factory=NetworkModel)
+    messages: list[Message] = field(default_factory=list)
+    _current_step: str = "unlabelled"
+    _current_phase: Phase = Phase.ONLINE
+
+    # -- step/phase labelling ------------------------------------------------
+    def set_context(self, *, step: str | None = None, phase: Phase | None = None) -> None:
+        """Set the step/phase labels applied to subsequently sent messages."""
+        if step is not None:
+            self._current_step = step
+        if phase is not None:
+            self._current_phase = phase
+
+    # -- sending -------------------------------------------------------------
+    def send(
+        self,
+        sender: str,
+        receiver: str,
+        num_bytes: int,
+        *,
+        description: str = "",
+        step: str | None = None,
+        phase: Phase | None = None,
+    ) -> None:
+        """Record one message of ``num_bytes`` bytes."""
+        self.messages.append(
+            Message(
+                sender=sender,
+                receiver=receiver,
+                num_bytes=int(num_bytes),
+                phase=phase if phase is not None else self._current_phase,
+                step=step if step is not None else self._current_step,
+                description=description,
+            )
+        )
+
+    # -- aggregation -----------------------------------------------------------
+    def total_bytes(self, phase: Phase | None = None, step: str | None = None) -> int:
+        """Total bytes sent, optionally filtered by phase and/or step."""
+        return sum(
+            m.num_bytes
+            for m in self.messages
+            if (phase is None or m.phase is phase) and (step is None or m.step == step)
+        )
+
+    def round_count(self, phase: Phase | None = None, step: str | None = None) -> int:
+        """Number of interactions (messages), optionally filtered."""
+        return sum(
+            1
+            for m in self.messages
+            if (phase is None or m.phase is phase) and (step is None or m.step == step)
+        )
+
+    def network_time(self, phase: Phase | None = None, step: str | None = None) -> float:
+        """Simulated network time for the (filtered) traffic."""
+        return self.network.transfer_time(
+            self.total_bytes(phase, step), self.round_count(phase, step)
+        )
+
+    def steps(self) -> list[str]:
+        """The distinct step labels seen so far, in first-appearance order."""
+        seen: list[str] = []
+        for message in self.messages:
+            if message.step not in seen:
+                seen.append(message.step)
+        return seen
+
+    def reset(self) -> None:
+        """Clear the message log."""
+        self.messages.clear()

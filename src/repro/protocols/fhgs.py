@@ -1,0 +1,389 @@
+"""The FHGS protocol: ciphertext-ciphertext products for attention (Fig. 5),
+and its combined variant CHGS (Fig. 3(d) / Section III-C).
+
+Attention needs ``X_Q @ X_K^T`` and ``A @ X_V`` — products of two *secret*
+matrices.  Additive HE alone cannot offload these, which is why the paper
+extends HGS with a Beaver-triple-style protocol:
+
+* **offline** — the client samples random masks ``Rc`` for both operands and
+  sends their encryptions (column- and row-packed: the paper's ``Enc(Rc)``
+  and ``Enc(Rc^T)``).  The products involving only masks are prepared before
+  the input arrives (for the weighted/combined variants this takes a short
+  interactive sub-protocol, still entirely offline).
+* **online** — the server holds the blinded operands in plaintext, computes
+  ``tmp1`` locally, corrects it with the encrypted cross terms, masks with a
+  fresh ``Rs`` and returns one ciphertext batch.  Decryption gives the client
+  its additive share of the product.
+
+Three product forms are supported, selected by the constructor:
+
+==================  =======================  ==========================
+mode                computes                 used for
+==================  =======================  ==========================
+plain               ``L @ R^T`` or ``L @ R``  Q@K^T, A@V (Primer-F)
+middle_weights M    ``L @ M @ L'^T``          combined QKV+Q@K^T (CHGS)
+right_weights W     ``L @ (R @ W)``           combined V-projection+A@V
+==================  =======================  ==========================
+
+In the weighted modes the server's weight matrices are folded into the
+product so the separate HGS projections disappear — that is exactly the
+"computation merge" of Primer-FPC, and it is what collapses four
+interactions into one.
+
+Implementation note on packing: to add the two encrypted cross terms the
+paper relies on packing rotations.  We instead mask each cross term with an
+independent half of ``Rs`` and let the client add the two decryptions; the
+message count, the privacy argument (everything the client sees is masked by
+uniform randomness) and the offline/online split are unchanged, and the slot
+re-arrangements that *are* required (for the weighted value product) go
+through :func:`repro.he.matmul.repack_columns_to_rows`, which charges its
+rotations to the tracker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ProtocolError, ShapeError
+from ..fixedpoint.encoding import FixedPointFormat
+from ..he.backend import HEBackend
+from ..he.matmul import (
+    PackedMatrix,
+    enc_times_plain,
+    encrypt_matrix_columns,
+    encrypt_matrix_rows,
+    plain_times_enc,
+    repack_columns_to_rows,
+)
+from ..mpc.sharing import AdditiveSharing, SharedValue
+from .channel import Channel, Phase
+from .formats import PROTOCOL_FORMAT
+
+__all__ = ["FHGSMatmul"]
+
+
+@dataclass
+class FHGSMatmul:
+    """Private product of two shared matrices with optional weight folding."""
+
+    left_shape: tuple[int, int]
+    right_shape: tuple[int, int]
+    backend: HEBackend
+    sharing: AdditiveSharing
+    channel: Channel
+    step: str
+    transpose_right: bool = True
+    #: server-held middle weights M: computes L @ M @ R^T (CHGS scores).
+    middle_weights: np.ndarray | None = None
+    #: server-held right weights W: computes L @ (R @ W) (combined A @ X @ W_V).
+    right_weights: np.ndarray | None = None
+    fmt: FixedPointFormat = PROTOCOL_FORMAT
+    seed: int | None = None
+
+    _left_mask: np.ndarray | None = field(default=None, repr=False)
+    _right_mask: np.ndarray | None = field(default=None, repr=False)
+    _enc_left_cols: PackedMatrix | None = field(default=None, repr=False)
+    _enc_right_rows: PackedMatrix | None = field(default=None, repr=False)
+    _enc_weighted_right_rows: PackedMatrix | None = field(default=None, repr=False)
+    _quad_client: np.ndarray | None = field(default=None, repr=False)
+    _quad_server: np.ndarray | None = field(default=None, repr=False)
+    _offline_done: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.middle_weights is not None and self.right_weights is not None:
+            raise ProtocolError("middle_weights and right_weights are mutually exclusive")
+        if self.middle_weights is not None:
+            self.middle_weights = np.asarray(self.middle_weights, dtype=np.int64)
+            if not self.transpose_right:
+                raise ProtocolError("middle_weights requires transpose_right=True")
+            if self.middle_weights.shape != (self.left_shape[1], self.right_shape[1]):
+                raise ShapeError(
+                    f"middle weights shape {self.middle_weights.shape} incompatible "
+                    f"with operands {self.left_shape}, {self.right_shape}"
+                )
+        elif self.right_weights is not None:
+            self.right_weights = np.asarray(self.right_weights, dtype=np.int64)
+            if self.transpose_right:
+                raise ProtocolError("right_weights requires transpose_right=False")
+            if self.right_weights.shape[0] != self.right_shape[1]:
+                raise ShapeError(
+                    f"right weights shape {self.right_weights.shape} incompatible "
+                    f"with right operand {self.right_shape}"
+                )
+            if self.left_shape[1] != self.right_shape[0]:
+                raise ShapeError(
+                    f"cannot form L @ R with shapes {self.left_shape}, {self.right_shape}"
+                )
+        else:
+            inner_left = self.left_shape[1]
+            inner_right = self.right_shape[1] if self.transpose_right else self.right_shape[0]
+            if inner_left != inner_right:
+                raise ShapeError(
+                    f"cannot multiply shapes {self.left_shape} and {self.right_shape} "
+                    f"(transpose_right={self.transpose_right})"
+                )
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def output_shape(self) -> tuple[int, int]:
+        if self.right_weights is not None:
+            return (self.left_shape[0], self.right_weights.shape[1])
+        if self.transpose_right:
+            return (self.left_shape[0], self.right_shape[0])
+        return (self.left_shape[0], self.right_shape[1])
+
+    # -- offline phase ---------------------------------------------------------
+    def offline(self, *, phase: Phase = Phase.OFFLINE) -> None:
+        """Exchange encrypted masks and prepare the mask-product shares."""
+        modulus = self.sharing.modulus
+        left_mask = self._rng.integers(0, modulus, size=self.left_shape, dtype=np.int64)
+        right_mask = self._rng.integers(0, modulus, size=self.right_shape, dtype=np.int64)
+
+        enc_left_cols = encrypt_matrix_columns(self.backend, left_mask)
+        right_for_rows = right_mask.T if self.transpose_right else right_mask
+        enc_right_rows = encrypt_matrix_rows(self.backend, right_for_rows)
+        enc_right_cols = encrypt_matrix_columns(self.backend, right_mask)
+        total_cts = (
+            len(enc_left_cols.handles)
+            + len(enc_right_rows.handles)
+            + len(enc_right_cols.handles)
+        )
+        self.channel.send(
+            "client", "server", total_cts * self.backend.ciphertext_bytes,
+            description="Enc(Rc), Enc(Rc^T)", step=self.step, phase=phase,
+        )
+
+        self._left_mask = left_mask
+        self._right_mask = right_mask
+        self._enc_left_cols = enc_left_cols
+        self._enc_right_rows = enc_right_rows
+
+        if self.middle_weights is not None:
+            self._offline_quadratic_middle(phase)
+        elif self.right_weights is not None:
+            self._offline_quadratic_right(enc_right_cols, phase)
+        else:
+            # Both masks are the client's own randomness, so the client
+            # computes the mask product locally (the Enc(Rc^T x Rc) term).
+            if self.transpose_right:
+                quad = np.mod(left_mask @ right_mask.T, modulus)
+            else:
+                quad = np.mod(left_mask @ right_mask, modulus)
+            self._quad_client = quad
+            self._quad_server = np.zeros_like(quad)
+        self._offline_done = True
+
+    def _offline_quadratic_middle(self, phase: Phase) -> None:
+        """Offline sharing of ``RcL @ M @ RcR^T`` when M is server-held."""
+        modulus = self.sharing.modulus
+        n_left = self.left_shape[0]
+        n_right = self.right_shape[0]
+        dim = self.middle_weights.shape[1]
+
+        # Server: Enc(RcL @ M) - S, sent to the client.
+        enc_left_m = enc_times_plain(self.backend, self._enc_left_cols, self.middle_weights)
+        blinding = self._rng.integers(0, modulus, size=(n_left, dim), dtype=np.int64)
+        masked = [
+            self.backend.add_plain(handle, np.mod(-blinding[:, j], modulus))
+            for j, handle in enumerate(enc_left_m.handles)
+        ]
+        self.channel.send(
+            "server", "client", len(masked) * self.backend.ciphertext_bytes,
+            description="Enc(RcL @ M - S)", step=self.step, phase=phase,
+        )
+        decrypted = np.zeros((n_left, dim), dtype=np.int64)
+        for j, handle in enumerate(masked):
+            decrypted[:, j] = self.backend.decrypt(handle)[:n_left]
+
+        # Client part: (RcL @ M - S) @ RcR^T.
+        client_part = np.mod(decrypted @ self._right_mask.T, modulus)
+
+        # The leftover S @ RcR^T is linear in the encrypted mask, so the
+        # server computes it homomorphically and the parties share it.
+        enc_leftover = plain_times_enc(self.backend, blinding, self._enc_right_rows)
+        leftover_mask = self._rng.integers(0, modulus, size=(n_left, n_right), dtype=np.int64)
+        masked_leftover = [
+            self.backend.add_plain(handle, np.mod(-leftover_mask[i, :], modulus))
+            for i, handle in enumerate(enc_leftover.handles)
+        ]
+        self.channel.send(
+            "server", "client", len(masked_leftover) * self.backend.ciphertext_bytes,
+            description="Enc(S @ RcR^T - S2)", step=self.step, phase=phase,
+        )
+        leftover = np.zeros((n_left, n_right), dtype=np.int64)
+        for i, handle in enumerate(masked_leftover):
+            leftover[i, :] = self.backend.decrypt(handle)[:n_right]
+
+        self._quad_client = np.mod(client_part + leftover, modulus)
+        self._quad_server = leftover_mask
+
+    def _offline_quadratic_right(self, enc_right_cols: PackedMatrix, phase: Phase) -> None:
+        """Offline sharing of ``RcL @ (RcR @ W)`` when W is server-held.
+
+        Also prepares the row-packed ``Enc(RcR @ W)`` needed by the online
+        cross term, including the slot repacking rotations.
+        """
+        modulus = self.sharing.modulus
+        n_left = self.left_shape[0]
+        out_dim = self.right_weights.shape[1]
+        inner = self.right_shape[0]
+
+        # Server: Enc(RcR @ W), column-packed, then repacked row-wise for the
+        # online plain x enc product (this is where the rotations go).
+        enc_right_w_cols = enc_times_plain(self.backend, enc_right_cols, self.right_weights)
+        self._enc_weighted_right_rows = repack_columns_to_rows(self.backend, enc_right_w_cols)
+
+        # Server: Enc(RcR @ W) - S to the client.
+        blinding = self._rng.integers(0, modulus, size=(inner, out_dim), dtype=np.int64)
+        masked = [
+            self.backend.add_plain(handle, np.mod(-blinding[:, j], modulus))
+            for j, handle in enumerate(enc_right_w_cols.handles)
+        ]
+        self.channel.send(
+            "server", "client", len(masked) * self.backend.ciphertext_bytes,
+            description="Enc(RcR @ W - S)", step=self.step, phase=phase,
+        )
+        decrypted = np.zeros((inner, out_dim), dtype=np.int64)
+        for j, handle in enumerate(masked):
+            decrypted[:, j] = self.backend.decrypt(handle)[:inner]
+
+        client_part = np.mod(self._left_mask @ decrypted, modulus)
+
+        # Leftover RcL @ S: server-plaintext times encrypted mask.
+        enc_leftover = enc_times_plain(self.backend, self._enc_left_cols, blinding)
+        leftover_mask = self._rng.integers(0, modulus, size=(n_left, out_dim), dtype=np.int64)
+        masked_leftover = [
+            self.backend.add_plain(handle, np.mod(-leftover_mask[:, j], modulus))
+            for j, handle in enumerate(enc_leftover.handles)
+        ]
+        self.channel.send(
+            "server", "client", len(masked_leftover) * self.backend.ciphertext_bytes,
+            description="Enc(RcL @ S - S2)", step=self.step, phase=phase,
+        )
+        leftover = np.zeros((n_left, out_dim), dtype=np.int64)
+        for j, handle in enumerate(masked_leftover):
+            leftover[:, j] = self.backend.decrypt(handle)[:n_left]
+
+        self._quad_client = np.mod(client_part + leftover, modulus)
+        self._quad_server = leftover_mask
+
+    @property
+    def left_mask(self) -> np.ndarray:
+        if self._left_mask is None:
+            raise ProtocolError("offline phase has not been run")
+        return self._left_mask
+
+    @property
+    def right_mask(self) -> np.ndarray:
+        if self._right_mask is None:
+            raise ProtocolError("offline phase has not been run")
+        return self._right_mask
+
+    # -- online phase ---------------------------------------------------------
+    def online(self, shared_left: SharedValue, shared_right: SharedValue) -> SharedValue:
+        """Compute shares of the product from shares of the two operands."""
+        if not self._offline_done:
+            raise ProtocolError(f"FHGS '{self.step}' used online before offline")
+        if shared_left.shape != self.left_shape or shared_right.shape != self.right_shape:
+            raise ShapeError(
+                f"operand shapes {shared_left.shape}/{shared_right.shape} do not "
+                f"match offline shapes {self.left_shape}/{self.right_shape}"
+            )
+        modulus = self.sharing.modulus
+        element_bytes = (self.fmt.total_bits + 7) // 8
+
+        # Client -> server: corrections so the server holds L - RcL and R - RcR.
+        left_corr = np.mod(shared_left.client_share - self._left_mask, modulus)
+        right_corr = np.mod(shared_right.client_share - self._right_mask, modulus)
+        correction_bytes = 0
+        if np.any(left_corr):
+            correction_bytes += int(left_corr.size) * element_bytes
+        if np.any(right_corr):
+            correction_bytes += int(right_corr.size) * element_bytes
+        if correction_bytes:
+            self.channel.send(
+                "client", "server", correction_bytes,
+                description="blinded-operand corrections", step=self.step,
+                phase=Phase.ONLINE,
+            )
+        left_blinded = np.mod(shared_left.server_share + left_corr, modulus)
+        right_blinded = np.mod(shared_right.server_share + right_corr, modulus)
+
+        if self.middle_weights is not None:
+            return self._online_middle(left_blinded, right_blinded)
+        if self.right_weights is not None:
+            return self._online_right_weighted(left_blinded, right_blinded)
+        return self._online_plain(left_blinded, right_blinded)
+
+    # -- online variants ---------------------------------------------------------
+    def _finish(
+        self,
+        tmp1: np.ndarray,
+        cross_a: PackedMatrix,
+        cross_b: PackedMatrix,
+    ) -> SharedValue:
+        """Mask the cross terms, ship them, and assemble the output sharing."""
+        modulus = self.sharing.modulus
+        out_rows, out_cols = tmp1.shape
+        mask_a = self._rng.integers(0, modulus, size=(out_rows, out_cols), dtype=np.int64)
+        mask_b = self._rng.integers(0, modulus, size=(out_rows, out_cols), dtype=np.int64)
+
+        masked_a = [
+            self.backend.add_plain(handle, np.mod(-mask_a[i, :], modulus))
+            for i, handle in enumerate(cross_a.handles)
+        ]
+        masked_b = [
+            self.backend.add_plain(handle, np.mod(-mask_b[:, j], modulus))
+            for j, handle in enumerate(cross_b.handles)
+        ]
+        num_cts = len(masked_a) + len(masked_b)
+        self.channel.send(
+            "server", "client", num_cts * self.backend.ciphertext_bytes,
+            description="Enc(cross terms - Rs)", step=self.step, phase=Phase.ONLINE,
+        )
+
+        dec_a = np.zeros((out_rows, out_cols), dtype=np.int64)
+        for i, handle in enumerate(masked_a):
+            dec_a[i, :] = self.backend.decrypt(handle)[:out_cols]
+        dec_b = np.zeros((out_rows, out_cols), dtype=np.int64)
+        for j, handle in enumerate(masked_b):
+            dec_b[:, j] = self.backend.decrypt(handle)[:out_rows]
+
+        client_share = np.mod(dec_a + dec_b + self._quad_client, modulus)
+        server_share = np.mod(tmp1 + mask_a + mask_b + self._quad_server, modulus)
+        return SharedValue(client_share=client_share, server_share=server_share, modulus=modulus)
+
+    def _online_plain(self, left_blinded: np.ndarray, right_blinded: np.ndarray) -> SharedValue:
+        modulus = self.sharing.modulus
+        right_blinded_t = right_blinded.T if self.transpose_right else right_blinded
+        tmp1 = np.mod(left_blinded @ right_blinded_t, modulus)
+        # cross_a = Lb @ RcR^T, cross_b = RcL @ Rb^T
+        cross_a = plain_times_enc(self.backend, left_blinded, self._enc_right_rows)
+        cross_b = enc_times_plain(self.backend, self._enc_left_cols, right_blinded_t)
+        return self._finish(tmp1, cross_a, cross_b)
+
+    def _online_middle(self, left_blinded: np.ndarray, right_blinded: np.ndarray) -> SharedValue:
+        modulus = self.sharing.modulus
+        weights = self.middle_weights
+        left_m = np.mod(left_blinded @ weights, modulus)
+        tmp1 = np.mod(left_m @ right_blinded.T, modulus)
+        # cross_a = (Lb @ M) @ RcR^T, cross_b = RcL @ (M @ Rb^T)
+        cross_a = plain_times_enc(self.backend, left_m, self._enc_right_rows)
+        cross_b = enc_times_plain(
+            self.backend, self._enc_left_cols, np.mod(weights @ right_blinded.T, modulus)
+        )
+        return self._finish(tmp1, cross_a, cross_b)
+
+    def _online_right_weighted(
+        self, left_blinded: np.ndarray, right_blinded: np.ndarray
+    ) -> SharedValue:
+        modulus = self.sharing.modulus
+        weights = self.right_weights
+        right_weighted = np.mod(right_blinded @ weights, modulus)
+        tmp1 = np.mod(left_blinded @ right_weighted, modulus)
+        # cross_a = Lb @ (RcR @ W), cross_b = RcL @ (Rb @ W)
+        cross_a = plain_times_enc(self.backend, left_blinded, self._enc_weighted_right_rows)
+        cross_b = enc_times_plain(self.backend, self._enc_left_cols, right_weighted)
+        return self._finish(tmp1, cross_a, cross_b)

@@ -1,0 +1,52 @@
+"""Fixed-point formats used inside the two-party protocols.
+
+The paper states that inputs and weights use a 15-bit fixed-point
+representation.  Like Delphi/Gazelle-class systems, the *computation ring*
+the secret shares live in is wider than the value precision: products of two
+15-bit values (and their accumulation across a 768-wide dot product) must be
+representable before the explicit truncation step brings them back to 15
+bits.  We therefore run the share arithmetic in a 31-bit power-of-two ring
+holding 15-bit-precision values (7 fractional bits), and truncate after every
+matrix product exactly as the paper describes ("intermediate results are
+truncated into 15 bits to avoid overflow").
+
+The exact-HE worked examples use a smaller ring (the BFV plaintext modulus of
+the exact backend is 2^15), with correspondingly smaller toy dimensions.
+"""
+
+from __future__ import annotations
+
+from ..fixedpoint.encoding import FixedPointFormat
+from ..he.params import BFVParameters
+
+__all__ = ["PROTOCOL_FORMAT", "VALUE_FORMAT", "EXACT_DEMO_FORMAT", "protocol_he_parameters"]
+
+#: Ring in which protocol shares live: 31-bit ring, 7 fractional bits.
+PROTOCOL_FORMAT = FixedPointFormat(total_bits=31, frac_bits=7)
+
+#: Precision of model values (the paper's 15-bit representation).
+VALUE_FORMAT = FixedPointFormat(total_bits=15, frac_bits=7)
+
+#: Small ring for the exact-BFV worked examples (plaintext modulus 2^15).
+EXACT_DEMO_FORMAT = FixedPointFormat(total_bits=15, frac_bits=4)
+
+
+def protocol_he_parameters() -> BFVParameters:
+    """HE parameters whose plaintext space holds the 31-bit share ring.
+
+    A 31-bit plaintext modulus needs noise headroom well beyond a single
+    60-bit limb once ciphertexts are multiplied by uniform ring elements, so
+    — like Delphi-class preprocessing — the deployment corresponds to an
+    8192-slot ring with a three-limb (~180-bit) coefficient modulus, which is
+    inside the HE-standard 128-bit budget of 218 bits at N=8192.  They are
+    used with the simulated backend for model-scale protocol runs; the exact
+    backend keeps its own smaller parameters for the worked examples.
+    """
+    return BFVParameters(
+        ring_degree=8192,
+        ciphertext_modulus=(1 << 61) - 1,
+        plaintext_modulus=PROTOCOL_FORMAT.modulus,
+        error_stddev=3.2,
+        security_bits=128,
+        deployed_modulus_bits=180,
+    )

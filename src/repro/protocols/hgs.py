@@ -1,0 +1,184 @@
+"""The HGS protocol: offline-preprocessed private linear layers (paper Fig. 4).
+
+HGS ("HE + GC + SS") turns a ciphertext-plaintext matrix product
+``X @ W`` into an offline HE exchange plus an online phase that only touches
+unencrypted secret shares:
+
+* **offline** — the client samples a random mask ``Rc`` and sends
+  ``Enc(Rc)``; the server multiplies it by its weights under encryption,
+  masks the result with its own random ``Rs`` and returns
+  ``Enc(Rc @ W + Rs)``; the client decrypts.  After this exchange the client
+  holds ``Rc @ W + Rs`` and the server holds ``Rs`` — additive shares of
+  ``Rc @ W``.
+* **online** — the server obtains ``X - Rc`` (either directly, because the
+  previous GC module produced exactly that as the server's share, or via a
+  cheap correction message), computes ``(X - Rc) @ W - Rs`` locally, and the
+  two parties now hold additive shares of ``X @ W`` without a single online
+  HE operation.
+
+The class below implements both phases against an
+:class:`~repro.he.backend.HEBackend`.  For Primer-base the same object is
+used with ``offline_phase=Phase.ONLINE`` so that all the HE work is charged
+to the online phase, which is exactly how the paper characterises the
+baseline hybrid protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ProtocolError, ShapeError
+from ..fixedpoint.encoding import FixedPointFormat
+from ..he.backend import HEBackend
+from ..he.matmul import decrypt_matrix, enc_times_plain, encrypt_matrix_columns
+from ..mpc.sharing import AdditiveSharing, SharedValue
+from .channel import Channel, Phase
+from .formats import PROTOCOL_FORMAT
+
+__all__ = ["HGSLinearLayer"]
+
+
+@dataclass
+class HGSLinearLayer:
+    """One private linear layer ``Y = X @ W + b`` under the HGS protocol.
+
+    Parameters
+    ----------
+    weights:
+        Plaintext weight residues (``in_dim x out_dim``), held by the server.
+    bias:
+        Plaintext bias residues (``out_dim``), already scaled to the output
+        fractional precision (``2 * frac_bits`` because the product of two
+        ``frac_bits`` operands has twice the fractional width).
+    backend, sharing, channel:
+        The HE backend, sharing helper, and message channel shared by the run.
+    step:
+        Label used for cost accounting (e.g. ``"embedding"``, ``"qkv"``).
+    input_rows:
+        Number of rows of ``X`` (the token count ``n``), needed to size
+        ``Rc`` during the offline phase.
+    """
+
+    weights: np.ndarray
+    bias: np.ndarray | None
+    backend: HEBackend
+    sharing: AdditiveSharing
+    channel: Channel
+    step: str
+    input_rows: int
+    fmt: FixedPointFormat = PROTOCOL_FORMAT
+    seed: int | None = None
+
+    # offline state
+    _client_mask: np.ndarray | None = field(default=None, repr=False)
+    _server_mask: np.ndarray | None = field(default=None, repr=False)
+    _client_offline_share: np.ndarray | None = field(default=None, repr=False)
+    _offline_done: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=np.int64)
+        if self.weights.ndim != 2:
+            raise ShapeError("HGS layer expects a 2-D weight matrix")
+        if self.bias is not None:
+            self.bias = np.asarray(self.bias, dtype=np.int64)
+            if self.bias.shape != (self.weights.shape[1],):
+                raise ShapeError(
+                    f"bias shape {self.bias.shape} does not match output dim "
+                    f"{self.weights.shape[1]}"
+                )
+        self._rng = np.random.default_rng(self.seed)
+
+    # -- offline phase ---------------------------------------------------------
+    def offline(self, *, phase: Phase = Phase.OFFLINE) -> None:
+        """Run the HE pre-processing exchange.
+
+        ``phase`` controls which phase the HE work and traffic are charged
+        to: ``Phase.OFFLINE`` for HGS proper (Primer-F and later), or
+        ``Phase.ONLINE`` to model Primer-base, where the same HE operations
+        happen during inference.
+        """
+        in_dim, out_dim = self.weights.shape
+        modulus = self.sharing.modulus
+
+        # Client: sample Rc and send Enc(Rc) column-packed.
+        client_mask = self._rng.integers(0, modulus, size=(self.input_rows, in_dim), dtype=np.int64)
+        encrypted_mask = encrypt_matrix_columns(self.backend, client_mask)
+        self.channel.send(
+            "client", "server",
+            len(encrypted_mask.handles) * self.backend.ciphertext_bytes,
+            description="Enc(Rc)", step=self.step, phase=phase,
+        )
+
+        # Server: Enc(Rc @ W) + Rs, returned to the client.
+        server_mask = self._rng.integers(0, modulus, size=(self.input_rows, out_dim), dtype=np.int64)
+        encrypted_product = enc_times_plain(self.backend, encrypted_mask, self.weights)
+        masked_handles = [
+            self.backend.add_plain(handle, server_mask[:, j])
+            for j, handle in enumerate(encrypted_product.handles)
+        ]
+        self.channel.send(
+            "server", "client",
+            len(masked_handles) * self.backend.ciphertext_bytes,
+            description="Enc(Rc @ W + Rs)", step=self.step, phase=phase,
+        )
+
+        # Client: decrypt to obtain its offline share Rc @ W + Rs.
+        client_offline = np.zeros((self.input_rows, out_dim), dtype=np.int64)
+        for j, handle in enumerate(masked_handles):
+            client_offline[:, j] = self.backend.decrypt(handle)[: self.input_rows]
+
+        self._client_mask = client_mask
+        self._server_mask = server_mask
+        self._client_offline_share = np.mod(client_offline, modulus)
+        self._offline_done = True
+
+    @property
+    def client_mask(self) -> np.ndarray:
+        """The mask ``Rc`` this layer expects the input to be blinded with."""
+        if self._client_mask is None:
+            raise ProtocolError("offline phase has not been run")
+        return self._client_mask
+
+    # -- online phase ---------------------------------------------------------
+    def online(self, shared_input: SharedValue) -> SharedValue:
+        """Compute shares of ``X @ W + b`` from shares of ``X``.
+
+        If the client's input share already equals ``Rc`` (the previous GC
+        module masked with exactly this layer's mask), no correction message
+        is needed; otherwise the client sends the difference so the server
+        can reconstruct ``X - Rc``.  Either way the online phase involves no
+        HE operations.
+        """
+        if not self._offline_done:
+            raise ProtocolError(
+                f"HGS layer '{self.step}' used online before its offline phase"
+            )
+        if shared_input.shape != self._client_mask.shape:
+            raise ShapeError(
+                f"input shape {shared_input.shape} does not match offline mask "
+                f"shape {self._client_mask.shape}"
+            )
+        modulus = self.sharing.modulus
+
+        correction = np.mod(shared_input.client_share - self._client_mask, modulus)
+        if np.any(correction):
+            # Client -> server: X_client - Rc, so the server can form X - Rc.
+            element_bytes = (self.fmt.total_bits + 7) // 8
+            self.channel.send(
+                "client", "server", int(correction.size) * element_bytes,
+                description="share correction (X_c - Rc)", step=self.step,
+                phase=Phase.ONLINE,
+            )
+        x_minus_rc = np.mod(shared_input.server_share + correction, modulus)
+
+        # Server-side share: (X - Rc) @ W - Rs (+ bias, which the server holds).
+        server_share = np.mod(x_minus_rc @ self.weights - self._server_mask, modulus)
+        if self.bias is not None:
+            server_share = np.mod(server_share + self.bias, modulus)
+
+        # Client-side share: Rc @ W + Rs, precomputed offline.
+        client_share = self._client_offline_share.copy()
+
+        return SharedValue(client_share=client_share, server_share=server_share, modulus=modulus)

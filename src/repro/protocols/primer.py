@@ -1,0 +1,442 @@
+"""Primer: private Transformer inference built from HGS, FHGS, CHGS and GC.
+
+This module wires the protocol building blocks into a full private inference
+of an encoder-only Transformer and defines the four variants the paper
+evaluates:
+
+===============  =====================================================
+variant          description (cumulative, as in Table II)
+===============  =====================================================
+``primer-base``  hybrid HE + GC protocol, everything executed online
+``primer-f``     + HGS/FHGS: all HE pre-processing moved offline
+``primer-fp``    + tokens-first ciphertext packing
+``primer-fpc``   + CHGS (computation merge of adjacent layers)
+===============  =====================================================
+
+:class:`PrivateTransformerInference` runs the actual two-party computation on
+secret shares (functionally exact — its output matches the fixed-point
+plaintext model), records every HE/GC operation on the tracker and every
+message on the channel, and reports per-step totals.  The *paper-scale*
+latency/communication numbers for the full BERT models are produced by
+:mod:`repro.protocols.accounting` + :mod:`repro.costmodel`, which apply the
+same operation algebra without executing 30522-dimensional matrices in
+Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..fixedpoint.encoding import FixedPointFormat, decode, encode
+from ..he.backend import HEBackend
+from ..he.packing import PackingLayout
+from ..he.simulated import SimulatedHEBackend
+from ..he.tracker import OperationTracker
+from ..mpc.sharing import AdditiveSharing, SharedValue
+from ..nn.transformer import TransformerEncoder
+from .channel import Channel, Phase
+from .fhgs import FHGSMatmul
+from .formats import PROTOCOL_FORMAT, protocol_he_parameters
+from .hgs import HGSLinearLayer
+from .nonlinear import GCNonlinearEvaluator
+
+__all__ = [
+    "PrimerVariant",
+    "PRIMER_BASE",
+    "PRIMER_F",
+    "PRIMER_FP",
+    "PRIMER_FPC",
+    "ALL_VARIANTS",
+    "PrivateInferenceResult",
+    "PrivateTransformerInference",
+]
+
+#: Canonical step labels matching the columns of the paper's Table II.
+STEP_EMBED = "embedding"
+STEP_QKV = "qkv"
+STEP_QK = "qk_product"
+STEP_SOFTMAX = "softmax"
+STEP_ATTENTION_VALUE = "attention_value"
+STEP_OTHERS = "others"
+TABLE2_STEPS = [STEP_EMBED, STEP_QKV, STEP_QK, STEP_SOFTMAX, STEP_ATTENTION_VALUE, STEP_OTHERS]
+
+
+@dataclass(frozen=True)
+class PrimerVariant:
+    """One of the protocol configurations evaluated in the paper."""
+
+    name: str
+    #: run the HE/garbling pre-processing in a true offline phase
+    preprocess_offline: bool
+    #: ciphertext packing layout used by the HE layer
+    packing: PackingLayout
+    #: merge adjacent HGS layers into the FHGS product (CHGS)
+    combine_layers: bool
+
+    def describe(self) -> str:
+        """Human-readable summary used by reports and examples."""
+        parts = []
+        parts.append("offline pre-processing" if self.preprocess_offline else "online-only HE")
+        parts.append(
+            "tokens-first packing"
+            if self.packing is PackingLayout.TOKENS_FIRST
+            else "feature-based packing"
+        )
+        if self.combine_layers:
+            parts.append("combined FHGS (CHGS)")
+        return f"{self.name}: " + ", ".join(parts)
+
+
+PRIMER_BASE = PrimerVariant(
+    "primer-base", preprocess_offline=False,
+    packing=PackingLayout.FEATURE_BASED, combine_layers=False,
+)
+PRIMER_F = PrimerVariant(
+    "primer-f", preprocess_offline=True,
+    packing=PackingLayout.FEATURE_BASED, combine_layers=False,
+)
+PRIMER_FP = PrimerVariant(
+    "primer-fp", preprocess_offline=True,
+    packing=PackingLayout.TOKENS_FIRST, combine_layers=False,
+)
+PRIMER_FPC = PrimerVariant(
+    "primer-fpc", preprocess_offline=True,
+    packing=PackingLayout.TOKENS_FIRST, combine_layers=True,
+)
+
+ALL_VARIANTS = [PRIMER_BASE, PRIMER_F, PRIMER_FP, PRIMER_FPC]
+
+
+@dataclass
+class PrivateInferenceResult:
+    """Outcome of one private inference run."""
+
+    logits: np.ndarray
+    prediction: int
+    variant: PrimerVariant
+    channel: Channel
+    tracker: OperationTracker
+    online_rounds: int
+    offline_rounds: int
+    online_bytes: int
+    offline_bytes: int
+
+    def summary(self) -> dict[str, float | int | str]:
+        """Small dict used by examples and the evaluation harness."""
+        return {
+            "variant": self.variant.name,
+            "prediction": self.prediction,
+            "online_rounds": self.online_rounds,
+            "offline_rounds": self.offline_rounds,
+            "online_megabytes": self.online_bytes / 1e6,
+            "offline_megabytes": self.offline_bytes / 1e6,
+            "he_operations": sum(self.tracker.snapshot().values()),
+        }
+
+
+class PrivateTransformerInference:
+    """Two-party private inference of a :class:`TransformerEncoder`.
+
+    The client owns the input sentence; the server owns the model weights.
+    After :meth:`offline`, :meth:`run` executes the online phase for a token
+    sequence and returns the decrypted logits (which only the client learns).
+    """
+
+    def __init__(
+        self,
+        model: TransformerEncoder,
+        variant: PrimerVariant = PRIMER_FPC,
+        *,
+        backend: HEBackend | None = None,
+        fmt: FixedPointFormat = PROTOCOL_FORMAT,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.variant = variant
+        self.fmt = fmt
+        self.seed = seed
+        self.tracker = OperationTracker()
+        self.backend = backend if backend is not None else SimulatedHEBackend(
+            protocol_he_parameters(), tracker=self.tracker
+        )
+        if backend is not None:
+            self.tracker = self.backend.tracker
+        self.channel = Channel()
+        self.sharing = AdditiveSharing(fmt, seed=seed)
+        self.nonlinear = GCNonlinearEvaluator(
+            self.sharing, self.channel, fmt=fmt,
+            garble_offline=variant.preprocess_offline,
+        )
+        self._offline_done = False
+        self._build_modules()
+
+    # -- construction -----------------------------------------------------------
+    def _encode_weights(self, values: np.ndarray) -> np.ndarray:
+        return encode(values, self.fmt)
+
+    def _build_modules(self) -> None:
+        """Quantise the model weights and instantiate one module per layer."""
+        cfg = self.model.config
+        n = cfg.seq_len
+        d = cfg.embed_dim
+        seed = self.seed
+
+        def hgs(weights: np.ndarray, bias: np.ndarray | None, step: str, rows: int,
+                bias_frac: int = 2 * self.fmt.frac_bits) -> HGSLinearLayer:
+            nonlocal seed
+            seed += 1
+            encoded_bias = None
+            if bias is not None:
+                bias_fmt = self.fmt.with_frac_bits(bias_frac)
+                encoded_bias = encode(bias, bias_fmt)
+            return HGSLinearLayer(
+                weights=self._encode_weights(weights), bias=encoded_bias,
+                backend=self.backend, sharing=self.sharing, channel=self.channel,
+                step=step, input_rows=rows, fmt=self.fmt, seed=seed,
+            )
+
+        def fhgs(left: tuple[int, int], right: tuple[int, int], step: str, *,
+                 transpose: bool, middle: np.ndarray | None = None,
+                 right_w: np.ndarray | None = None) -> FHGSMatmul:
+            nonlocal seed
+            seed += 1
+            return FHGSMatmul(
+                left_shape=left, right_shape=right, backend=self.backend,
+                sharing=self.sharing, channel=self.channel, step=step,
+                transpose_right=transpose,
+                middle_weights=middle, right_weights=right_w,
+                fmt=self.fmt, seed=seed,
+            )
+
+        emb = self.model.embedding
+        self.embedding_layer = hgs(
+            emb.word_embeddings, None, STEP_EMBED, rows=n,
+        )
+        self.positional_residues = encode(emb.positional_embeddings[:n], self.fmt)
+
+        self.block_modules: list[dict] = []
+        head_dim = cfg.head_dim
+        for block in self.model.blocks:
+            attn = block.attention.weights
+            modules: dict = {}
+            if self.variant.combine_layers:
+                # CHGS: fold W_Q @ W_K^T into the attention-score product and
+                # W_V into the attention-value product; the separate QKV
+                # projections disappear.
+                for h in range(cfg.num_heads):
+                    sl = slice(h * head_dim, (h + 1) * head_dim)
+                    wq = attn.query.weight[:, sl]
+                    wk = attn.key.weight[:, sl]
+                    middle = self._encode_weights(wq @ wk.T)
+                    modules.setdefault("scores", []).append(
+                        fhgs((n, d), (n, d), STEP_QK, transpose=True, middle=middle)
+                    )
+                    wv = self._encode_weights(attn.value.weight[:, sl])
+                    modules.setdefault("values", []).append(
+                        fhgs((n, n), (n, d), STEP_ATTENTION_VALUE, transpose=False, right_w=wv)
+                    )
+            else:
+                modules["qkv"] = {
+                    "query": hgs(attn.query.weight, attn.query.bias, STEP_QKV, n),
+                    "key": hgs(attn.key.weight, attn.key.bias, STEP_QKV, n),
+                    "value": hgs(attn.value.weight, attn.value.bias, STEP_QKV, n),
+                }
+                for h in range(cfg.num_heads):
+                    modules.setdefault("scores", []).append(
+                        fhgs((n, head_dim), (n, head_dim), STEP_QK, transpose=True)
+                    )
+                    modules.setdefault("values", []).append(
+                        fhgs((n, n), (n, head_dim), STEP_ATTENTION_VALUE, transpose=False)
+                    )
+            modules["attn_output"] = hgs(attn.output.weight, attn.output.bias, STEP_OTHERS, n)
+            modules["ffn_intermediate"] = hgs(
+                block.feed_forward.intermediate.weight,
+                block.feed_forward.intermediate.bias, STEP_OTHERS, n,
+            )
+            modules["ffn_output"] = hgs(
+                block.feed_forward.output.weight,
+                block.feed_forward.output.bias, STEP_OTHERS, n,
+            )
+            modules["attention_norm"] = block.attention_norm
+            modules["output_norm"] = block.output_norm
+            self.block_modules.append(modules)
+
+        head = self.model.head
+        self.pooler_layer = hgs(head.pooler.weight, head.pooler.bias, STEP_OTHERS, 1)
+        self.classifier_layer = hgs(head.classifier.weight, head.classifier.bias, STEP_OTHERS, 1)
+
+    def _all_protocol_modules(self):
+        yield self.embedding_layer
+        for modules in self.block_modules:
+            if "qkv" in modules:
+                yield from modules["qkv"].values()
+            yield from modules.get("scores", [])
+            yield from modules.get("values", [])
+            yield modules["attn_output"]
+            yield modules["ffn_intermediate"]
+            yield modules["ffn_output"]
+        yield self.pooler_layer
+        yield self.classifier_layer
+
+    # -- offline phase ------------------------------------------------------------
+    def offline(self) -> None:
+        """Run the pre-processing of every module.
+
+        For Primer-base the same exchanges happen but are charged to the
+        online phase, which is how the paper characterises its baseline.
+        """
+        phase = Phase.OFFLINE if self.variant.preprocess_offline else Phase.ONLINE
+        for module in self._all_protocol_modules():
+            module.offline(phase=phase)
+        self._offline_done = True
+
+    # -- online phase --------------------------------------------------------------
+    def run(self, token_ids: np.ndarray) -> PrivateInferenceResult:
+        """Execute the online phase for one token sequence."""
+        if not self._offline_done:
+            raise ProtocolError("call offline() before run()")
+        cfg = self.model.config
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.size != cfg.seq_len:
+            raise ProtocolError(
+                f"expected exactly {cfg.seq_len} token ids, got {token_ids.size}"
+            )
+        f = self.fmt.frac_bits
+        nl = self.nonlinear
+        self.channel.set_context(phase=Phase.ONLINE)
+
+        # --- embedding -------------------------------------------------------
+        one_hot = self.model.embedding.one_hot(token_ids).astype(np.int64)
+        shared_onehot = self.sharing.share(one_hot)  # frac 0
+        hidden = self.embedding_layer.online(shared_onehot)  # frac f
+        # Positional embeddings are part of the server's model.
+        hidden = SharedValue(
+            client_share=hidden.client_share,
+            server_share=np.mod(hidden.server_share + self.positional_residues, self.fmt.modulus),
+            modulus=self.fmt.modulus,
+        )
+
+        head_dim = cfg.head_dim
+        scale = 1.0 / np.sqrt(head_dim)
+
+        for modules in self.block_modules:
+            hidden = self._run_block(hidden, modules, head_dim, scale)
+
+        # --- classification head ---------------------------------------------
+        first_token = SharedValue(
+            client_share=hidden.client_share[:1, :],
+            server_share=hidden.server_share[:1, :],
+            modulus=self.fmt.modulus,
+        )
+        pooled = self.pooler_layer.online(first_token)            # frac 2f
+        pooled = nl.tanh(pooled, step=STEP_OTHERS, input_frac_bits=2 * f)
+        logits_shared = self.classifier_layer.online(pooled)       # frac 2f
+
+        # The client reconstructs the logits: the server sends its share.
+        element_bytes = (self.fmt.total_bits + 7) // 8
+        self.channel.send(
+            "server", "client", int(logits_shared.server_share.size) * element_bytes,
+            description="logit share opening", step=STEP_OTHERS, phase=Phase.ONLINE,
+        )
+        logits = decode(
+            logits_shared.reconstruct(), self.fmt.with_frac_bits(2 * f)
+        ).reshape(-1)
+
+        return PrivateInferenceResult(
+            logits=logits,
+            prediction=int(np.argmax(logits)),
+            variant=self.variant,
+            channel=self.channel,
+            tracker=self.tracker,
+            online_rounds=self.channel.round_count(Phase.ONLINE),
+            offline_rounds=self.channel.round_count(Phase.OFFLINE),
+            online_bytes=self.channel.total_bytes(Phase.ONLINE),
+            offline_bytes=self.channel.total_bytes(Phase.OFFLINE),
+        )
+
+    # -- per-block flow --------------------------------------------------------------
+    def _slice_heads(self, shared: SharedValue, head: int, head_dim: int) -> SharedValue:
+        sl = slice(head * head_dim, (head + 1) * head_dim)
+        return SharedValue(
+            client_share=shared.client_share[:, sl],
+            server_share=shared.server_share[:, sl],
+            modulus=shared.modulus,
+        )
+
+    def _run_block(
+        self, hidden: SharedValue, modules: dict, head_dim: int, scale: float
+    ) -> SharedValue:
+        cfg = self.model.config
+        f = self.fmt.frac_bits
+        nl = self.nonlinear
+        num_heads = cfg.num_heads
+
+        if self.variant.combine_layers:
+            # Scores come straight from X @ (Wq Wk^T) @ X^T per head (frac 3f),
+            # values from A @ (X @ Wv) per head.
+            context_parts_client = []
+            context_parts_server = []
+            for h in range(num_heads):
+                scores = modules["scores"][h].online(hidden, hidden)
+                attention = nl.softmax(
+                    scores, step=STEP_SOFTMAX, input_frac_bits=3 * f, scale=scale
+                )
+                context = modules["values"][h].online(attention, hidden)  # frac 3f
+                context = nl.truncate(
+                    context, step=STEP_ATTENTION_VALUE, input_frac_bits=3 * f
+                )
+                context_parts_client.append(context.client_share)
+                context_parts_server.append(context.server_share)
+            context = SharedValue(
+                client_share=np.concatenate(context_parts_client, axis=1),
+                server_share=np.concatenate(context_parts_server, axis=1),
+                modulus=self.fmt.modulus,
+            )
+        else:
+            qkv = modules["qkv"]
+            queries = nl.truncate(qkv["query"].online(hidden), step=STEP_QKV,
+                                  input_frac_bits=2 * f)
+            keys = nl.truncate(qkv["key"].online(hidden), step=STEP_QKV,
+                               input_frac_bits=2 * f)
+            values = nl.truncate(qkv["value"].online(hidden), step=STEP_QKV,
+                                 input_frac_bits=2 * f)
+            context_parts_client = []
+            context_parts_server = []
+            for h in range(num_heads):
+                q_h = self._slice_heads(queries, h, head_dim)
+                k_h = self._slice_heads(keys, h, head_dim)
+                v_h = self._slice_heads(values, h, head_dim)
+                scores = modules["scores"][h].online(q_h, k_h)  # frac 2f
+                attention = nl.softmax(
+                    scores, step=STEP_SOFTMAX, input_frac_bits=2 * f, scale=scale
+                )
+                context = modules["values"][h].online(attention, v_h)  # frac 2f
+                context = nl.truncate(
+                    context, step=STEP_ATTENTION_VALUE, input_frac_bits=2 * f
+                )
+                context_parts_client.append(context.client_share)
+                context_parts_server.append(context.server_share)
+            context = SharedValue(
+                client_share=np.concatenate(context_parts_client, axis=1),
+                server_share=np.concatenate(context_parts_server, axis=1),
+                modulus=self.fmt.modulus,
+            )
+
+        # Attention output projection, residual, LayerNorm.
+        attn_out = modules["attn_output"].online(context)  # frac 2f
+        attn_out = nl.truncate(attn_out, step=STEP_OTHERS, input_frac_bits=2 * f)
+        residual = self.sharing.add(hidden, attn_out)
+        norm = modules["attention_norm"]
+        hidden = nl.layer_norm(residual, norm.gamma, norm.beta, step=STEP_OTHERS)
+
+        # Feed-forward network, residual, LayerNorm.
+        ffn_hidden = modules["ffn_intermediate"].online(hidden)  # frac 2f
+        ffn_hidden = nl.gelu(ffn_hidden, step=STEP_OTHERS, input_frac_bits=2 * f)
+        ffn_out = modules["ffn_output"].online(ffn_hidden)        # frac 2f
+        ffn_out = nl.truncate(ffn_out, step=STEP_OTHERS, input_frac_bits=2 * f)
+        residual = self.sharing.add(hidden, ffn_out)
+        norm = modules["output_norm"]
+        return nl.layer_norm(residual, norm.gamma, norm.beta, step=STEP_OTHERS)

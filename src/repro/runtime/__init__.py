@@ -1,0 +1,17 @@
+"""Evaluation harness tying models, protocols, cost model and data together."""
+
+from .evaluation import (
+    AccuracyReport,
+    SchemeLatency,
+    calibrated_latency_model,
+    evaluate_accuracy,
+    scheme_latencies,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "SchemeLatency",
+    "calibrated_latency_model",
+    "evaluate_accuracy",
+    "scheme_latencies",
+]

@@ -1,0 +1,149 @@
+"""Evaluation harness: accuracy under the three execution regimes, and the
+paper-scale latency tables driven by the calibrated cost model.
+
+Two kinds of experiments are supported:
+
+* **accuracy** — run a model over a synthetic task under plaintext,
+  Primer (15-bit fixed point, exact non-linearities) and FHE-only
+  (fixed point + polynomial activations) execution, reporting task accuracy
+  and fidelity to the plaintext model.  This reproduces the accuracy *shape*
+  of Figure 2 / Tables I-III: the approximation-based scheme drops several
+  points, the hybrid scheme does not.
+* **latency** — apply the calibrated :class:`~repro.costmodel.LatencyModel`
+  to the operation accounting of each scheme at paper scale, producing the
+  rows of Tables I, II and III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines import GCFormerBaseline, THEXBaseline
+from ..costmodel import CostConstants, LatencyModel, calibrate
+from ..data.metrics import accuracy, agreement
+from ..data.synthetic import SyntheticTask
+from ..nn.config import TransformerConfig
+from ..nn.quantize import ExecutionMode, QuantizedExecutor
+from ..nn.transformer import TransformerEncoder
+from ..protocols.accounting import count_operations
+from ..protocols.primer import PRIMER_BASE, ALL_VARIANTS, PrimerVariant
+
+__all__ = ["AccuracyReport", "evaluate_accuracy", "calibrated_latency_model", "SchemeLatency", "scheme_latencies"]
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Task accuracy and plaintext-fidelity of the three execution regimes."""
+
+    task: str
+    plaintext_accuracy: float
+    primer_accuracy: float
+    fhe_only_accuracy: float
+    primer_fidelity: float
+    fhe_only_fidelity: float
+
+    @property
+    def approximation_penalty(self) -> float:
+        """Accuracy lost by polynomial approximation relative to Primer."""
+        return self.primer_accuracy - self.fhe_only_accuracy
+
+
+def evaluate_accuracy(
+    model: TransformerEncoder, task: SyntheticTask, *, teacher_labels: bool = True
+) -> AccuracyReport:
+    """Evaluate a model on a task under all three execution regimes.
+
+    With ``teacher_labels=True`` (the default) the plaintext model's own
+    predictions are used as labels, so the reported numbers measure how much
+    each private execution regime degrades the deployed model — the quantity
+    the paper's accuracy columns compare across schemes.
+    """
+    tokens = task.token_matrix()
+    plain = QuantizedExecutor(model, ExecutionMode.plaintext())
+    primer = QuantizedExecutor(model, ExecutionMode.primer())
+    fhe = QuantizedExecutor(model, ExecutionMode.fhe_only())
+
+    plain_preds = np.array([plain.predict(row) for row in tokens])
+    primer_preds = np.array([primer.predict(row) for row in tokens])
+    fhe_preds = np.array([fhe.predict(row) for row in tokens])
+
+    labels = plain_preds if teacher_labels else task.labels()
+    return AccuracyReport(
+        task=task.name,
+        plaintext_accuracy=accuracy(plain_preds, labels),
+        primer_accuracy=accuracy(primer_preds, labels),
+        fhe_only_accuracy=accuracy(fhe_preds, labels),
+        primer_fidelity=agreement(primer_preds, plain_preds),
+        fhe_only_fidelity=agreement(fhe_preds, plain_preds),
+    )
+
+
+def calibrated_latency_model(config: TransformerConfig) -> LatencyModel:
+    """A latency model whose HE constants are calibrated on the Primer-base row.
+
+    The calibration anchors are the embedding and "others" online cells of
+    Table II (BERT-base); see DESIGN.md section 5.
+    """
+    base_account = count_operations(config, PRIMER_BASE)
+    embed = base_account.steps["embedding"].online
+    others = base_account.steps["others"].online
+    constants = calibrate(
+        embed_he_mults=embed.he_mults,
+        embed_he_rotations=embed.he_rotations,
+        embed_target_seconds=3094.4,
+        others_he_mults=others.he_mults,
+        others_target_seconds=3224.5,
+    )
+    return LatencyModel(constants)
+
+
+@dataclass(frozen=True)
+class SchemeLatency:
+    """Offline/online/total latency and message size of one scheme."""
+
+    scheme: str
+    offline_seconds: float
+    online_seconds: float
+    message_gigabytes: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.offline_seconds + self.online_seconds
+
+
+def scheme_latencies(
+    config: TransformerConfig,
+    *,
+    model: LatencyModel | None = None,
+    variants: list[PrimerVariant] | None = None,
+    include_baselines: bool = True,
+) -> list[SchemeLatency]:
+    """Latency rows for the baselines and the requested Primer variants."""
+    latency = model if model is not None else calibrated_latency_model(config)
+    rows: list[SchemeLatency] = []
+    if include_baselines:
+        thex = THEXBaseline(config, constants=latency.constants)
+        rows.append(SchemeLatency(
+            scheme="THE-X",
+            offline_seconds=thex.offline_seconds(),
+            online_seconds=thex.online_seconds(),
+            message_gigabytes=thex.message_gigabytes(),
+        ))
+        gcformer = GCFormerBaseline(config, constants=latency.constants)
+        rows.append(SchemeLatency(
+            scheme="GCFormer",
+            offline_seconds=gcformer.offline_seconds(),
+            online_seconds=gcformer.online_seconds(),
+            message_gigabytes=gcformer.table_gigabytes(),
+        ))
+    for variant in (variants if variants is not None else ALL_VARIANTS):
+        account = count_operations(config, variant)
+        rows.append(SchemeLatency(
+            scheme=variant.name,
+            offline_seconds=latency.offline_seconds(account),
+            online_seconds=latency.online_seconds(account),
+            message_gigabytes=latency.message_gigabytes(account),
+        ))
+    return rows

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.he import SimulatedHEBackend, toy_parameters
+from repro.mpc import AdditiveSharing
+from repro.nn import BERT_BASE, TransformerEncoder, scaled_config
+from repro.protocols import PROTOCOL_FORMAT, protocol_he_parameters
+from repro.protocols.channel import Channel
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def toy_backend() -> SimulatedHEBackend:
+    """Small simulated backend for unit tests."""
+    return SimulatedHEBackend(toy_parameters(64))
+
+
+@pytest.fixture
+def protocol_backend() -> SimulatedHEBackend:
+    """Backend with the protocol-scale parameters (31-bit plaintext ring)."""
+    return SimulatedHEBackend(protocol_he_parameters())
+
+
+@pytest.fixture
+def protocol_sharing() -> AdditiveSharing:
+    return AdditiveSharing(PROTOCOL_FORMAT, seed=7)
+
+
+@pytest.fixture
+def channel() -> Channel:
+    return Channel()
+
+
+@pytest.fixture(scope="session")
+def tiny_model() -> TransformerEncoder:
+    """A dimension-reduced BERT used by integration tests."""
+    config = scaled_config(
+        BERT_BASE, embed_dim=16, num_heads=2, seq_len=6, vocab_size=40, num_blocks=2
+    )
+    return TransformerEncoder.initialise(config, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_token_ids() -> np.ndarray:
+    return np.array([4, 7, 12, 20, 33, 5])

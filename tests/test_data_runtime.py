@@ -1,0 +1,76 @@
+"""Tests for the synthetic datasets, metrics and the evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import TASK_SPECS, accuracy, agreement, f1_binary, make_task
+from repro.errors import ParameterError
+from repro.nn import BERT_BASE, TransformerEncoder, WordPieceTokenizer, scaled_config
+from repro.runtime import evaluate_accuracy
+
+
+@pytest.fixture(scope="module")
+def eval_model():
+    """A small model whose vocabulary is large enough for the tokenizer."""
+    config = scaled_config(
+        BERT_BASE, embed_dim=16, num_heads=2, seq_len=12, vocab_size=300, num_blocks=1
+    )
+    return TransformerEncoder.initialise(config, seed=5)
+
+
+@pytest.fixture(scope="module")
+def tokenizer(eval_model):
+    return WordPieceTokenizer(vocab_size=eval_model.config.vocab_size,
+                              max_length=eval_model.config.seq_len)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_agreement_symmetric(self):
+        a, b = np.array([0, 1, 2]), np.array([0, 1, 1])
+        assert agreement(a, b) == agreement(b, a)
+
+    def test_f1(self):
+        preds = np.array([1, 1, 0, 0])
+        labels = np.array([1, 0, 1, 0])
+        assert f1_binary(preds, labels) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+
+class TestSyntheticTasks:
+    def test_all_paper_tasks_exist(self):
+        assert set(TASK_SPECS) == {"mnli-m", "mrpc", "sst-2", "squad1", "squad2"}
+
+    def test_task_generation_deterministic(self, tokenizer):
+        a = make_task("sst-2", tokenizer, num_examples=8, seed=1)
+        b = make_task("sst-2", tokenizer, num_examples=8, seed=1)
+        assert np.array_equal(a.token_matrix(), b.token_matrix())
+        assert np.array_equal(a.labels(), b.labels())
+
+    def test_token_matrix_shape(self, tokenizer):
+        task = make_task("mnli-m", tokenizer, num_examples=5)
+        assert task.token_matrix().shape == (5, tokenizer.max_length)
+        assert task.num_labels == 3
+
+    def test_unknown_task_raises(self, tokenizer):
+        with pytest.raises(ParameterError):
+            make_task("imagenet", tokenizer)
+
+
+class TestEvaluationHarness:
+    def test_accuracy_shape_matches_paper(self, eval_model, tokenizer):
+        """Primer (exact non-linearities) should track the plaintext model at
+        least as well as the polynomial-approximation execution does."""
+        task = make_task("sst-2", tokenizer, num_examples=24, seed=3)
+        report = evaluate_accuracy(eval_model, task)
+        assert report.plaintext_accuracy == 1.0  # teacher labels
+        assert report.primer_fidelity >= report.fhe_only_fidelity
+        assert 0.0 <= report.fhe_only_accuracy <= 1.0
+        assert report.approximation_penalty >= 0.0

@@ -1,0 +1,122 @@
+"""Unit and property tests for the fixed-point encoding layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError, ParameterError
+from repro.fixedpoint import (
+    DEFAULT_FORMAT,
+    FixedPointFormat,
+    FixedTensor,
+    decode,
+    encode,
+    fixed_matmul,
+    fixed_mul,
+    to_signed,
+    truncate,
+)
+
+
+class TestFixedPointFormat:
+    def test_default_is_paper_15_bit(self):
+        assert DEFAULT_FORMAT.total_bits == 15
+        assert DEFAULT_FORMAT.modulus == 1 << 15
+
+    def test_resolution(self):
+        fmt = FixedPointFormat(total_bits=15, frac_bits=7)
+        assert fmt.resolution == pytest.approx(1 / 128)
+
+    def test_invalid_total_bits_rejected(self):
+        with pytest.raises(ParameterError):
+            FixedPointFormat(total_bits=1, frac_bits=0)
+
+    def test_invalid_frac_bits_rejected(self):
+        with pytest.raises(ParameterError):
+            FixedPointFormat(total_bits=8, frac_bits=8)
+
+    def test_range_bounds(self):
+        fmt = FixedPointFormat(total_bits=15, frac_bits=7)
+        assert fmt.max_value == pytest.approx((2 ** 14 - 1) / 128)
+        assert fmt.min_value == pytest.approx(-(2 ** 14) / 128)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_simple(self):
+        values = np.array([0.0, 1.0, -1.0, 3.5, -2.25])
+        assert np.allclose(decode(encode(values)), values)
+
+    def test_clamping(self):
+        encoded = encode(np.array([1e6]))
+        assert decode(encoded)[0] == pytest.approx(DEFAULT_FORMAT.max_value)
+
+    def test_no_clamp_raises(self):
+        with pytest.raises(EncodingError):
+            encode(np.array([1e6]), clamp=False)
+
+    def test_signed_mapping(self):
+        fmt = DEFAULT_FORMAT
+        assert to_signed(np.array([fmt.modulus - 1]), fmt)[0] == -1
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_error_bounded(self, values):
+        arr = np.array(values)
+        error = np.max(np.abs(decode(encode(arr)) - arr))
+        assert error <= DEFAULT_FORMAT.resolution / 2 + 1e-12
+
+    @given(
+        st.floats(min_value=-10, max_value=10),
+        st.floats(min_value=-10, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fixed_mul_close_to_real(self, a, b):
+        ea, eb = encode(np.array([a])), encode(np.array([b]))
+        got = decode(fixed_mul(ea, eb))[0]
+        assert abs(got - a * b) <= 0.25
+
+
+class TestTruncate:
+    def test_truncate_halves_scale(self):
+        fmt = DEFAULT_FORMAT
+        # 0.5 represented at 2*frac bits, truncated back to frac bits.
+        wide = np.array([int(0.5 * fmt.scale * fmt.scale) % fmt.modulus])
+        assert decode(truncate(wide, fmt), fmt)[0] == pytest.approx(0.5)
+
+
+class TestFixedMatmul:
+    def test_matches_float_matmul(self, rng):
+        a = rng.normal(0, 1, size=(4, 5))
+        b = rng.normal(0, 1, size=(5, 3))
+        got = decode(fixed_matmul(encode(a), encode(b)))
+        assert np.max(np.abs(got - a @ b)) < 0.2
+
+
+class TestFixedTensor:
+    def test_add_sub_roundtrip(self, rng):
+        a = rng.normal(0, 1, size=(3, 3))
+        b = rng.normal(0, 1, size=(3, 3))
+        ta, tb = FixedTensor.from_float(a), FixedTensor.from_float(b)
+        assert np.allclose((ta + tb).to_float(), a + b, atol=0.02)
+        assert np.allclose((ta - tb).to_float(), a - b, atol=0.02)
+
+    def test_matmul(self, rng):
+        a = rng.normal(0, 1, size=(3, 4))
+        b = rng.normal(0, 1, size=(4, 2))
+        got = FixedTensor.from_float(a).matmul(FixedTensor.from_float(b)).to_float()
+        assert np.max(np.abs(got - a @ b)) < 0.2
+
+    def test_format_mismatch_raises(self):
+        from repro.errors import ShapeError
+        a = FixedTensor.from_float(np.ones((2, 2)))
+        b = FixedTensor.from_float(np.ones((2, 2)), FixedPointFormat(15, 4))
+        with pytest.raises(ShapeError):
+            _ = a + b
+
+    def test_neg_and_zeros(self):
+        a = FixedTensor.from_float(np.array([1.5, -2.0]))
+        assert np.allclose((-a).to_float(), [-1.5, 2.0])
+        assert np.all(FixedTensor.zeros((2, 2)).to_float() == 0)

@@ -1,0 +1,225 @@
+"""Tests for the HE substrate: NTT, BFV, backends, packing, matmuls."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.he import (
+    BFVContext,
+    ExactBFVBackend,
+    NTTContext,
+    PackingLayout,
+    SimulatedHEBackend,
+    UnsupportedHEOperation,
+    ciphertext_count,
+    decrypt_matrix,
+    enc_times_plain,
+    encrypt_matrix_columns,
+    encrypt_matrix_rows,
+    encrypted_packed_matmul,
+    find_ntt_prime,
+    is_prime,
+    pack_matrix,
+    paper_parameters,
+    plain_times_enc,
+    rotation_count,
+    rotation_savings,
+    toy_parameters,
+    unpack_matrix,
+)
+from repro.he.matmul import repack_columns_to_rows
+from repro.he.polyring import PolynomialRing
+
+
+class TestNTT:
+    def test_find_prime_properties(self):
+        q = find_ntt_prime(28, 64)
+        assert is_prime(q)
+        assert (q - 1) % 128 == 0
+
+    def test_roundtrip(self):
+        q = find_ntt_prime(28, 32)
+        ctx = NTTContext(32, q)
+        rng = np.random.default_rng(0)
+        poly = rng.integers(0, q, 32)
+        assert np.array_equal(ctx.inverse(ctx.forward(poly)), poly % q)
+
+    def test_multiply_matches_naive(self):
+        n, q = 8, find_ntt_prime(20, 8)
+        ctx = NTTContext(n, q)
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, q, n)
+        b = rng.integers(0, q, n)
+        naive = np.zeros(n, dtype=object)
+        for i in range(n):
+            for j in range(n):
+                k, sign = (i + j, 1) if i + j < n else (i + j - n, -1)
+                naive[k] = (naive[k] + sign * int(a[i]) * int(b[j])) % q
+        assert np.array_equal(ctx.multiply(a, b), naive.astype(np.int64))
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ParameterError):
+            NTTContext(16, 100)
+
+
+class TestPolynomialRing:
+    def test_rotation_shifts_coefficients(self):
+        ring = PolynomialRing(8, find_ntt_prime(20, 8))
+        poly = ring.constant(5)
+        rotated = ring.rotate_coefficients(poly, 3)
+        assert rotated[3] == 5 and rotated[0] == 0
+
+    def test_negacyclic_wrap_sign(self):
+        q = find_ntt_prime(20, 8)
+        ring = PolynomialRing(8, q)
+        poly = np.zeros(8, dtype=np.int64)
+        poly[7] = 2
+        rotated = ring.rotate_coefficients(poly, 1)
+        assert rotated[0] == q - 2  # wrapped coefficient picks up a sign
+
+
+class TestBFV:
+    @pytest.fixture
+    def context(self):
+        return BFVContext(params=toy_parameters(64), seed=9)
+
+    def test_encrypt_decrypt(self, context):
+        values = np.array([0, 1, 7, 32000, 12345])
+        assert np.array_equal(context.decrypt(context.encrypt(values)), values)
+
+    def test_homomorphic_add(self, context):
+        a, b = np.array([5, 10, 100]), np.array([7, 20, 32700])
+        got = context.decrypt(context.add(context.encrypt(a), context.encrypt(b)))
+        assert np.array_equal(got, (a + b) % context.params.plaintext_modulus)
+
+    def test_homomorphic_sub(self, context):
+        a, b = np.array([5, 10, 100]), np.array([7, 2, 50])
+        got = context.decrypt(context.sub(context.encrypt(a), context.encrypt(b)))
+        assert np.array_equal(got, (a - b) % context.params.plaintext_modulus)
+
+    def test_scalar_mult(self, context):
+        a = np.array([3, 9, 1000])
+        got = context.decrypt(context.multiply_scalar(context.encrypt(a), 21))
+        assert np.array_equal(got, (a * 21) % context.params.plaintext_modulus)
+
+    def test_add_plain(self, context):
+        a = np.array([3, 9, 1000])
+        got = context.decrypt(context.add_plain(context.encrypt(a), np.array([1, 2, 3])))
+        assert np.array_equal(got, a + np.array([1, 2, 3]))
+
+    def test_rotation(self, context):
+        a = np.array([1, 2, 3])
+        got = context.decrypt(context.rotate(context.encrypt(a), 2))
+        assert np.array_equal(got[2:5], a)
+
+    def test_noise_budget_positive_when_fresh(self, context):
+        assert context.noise_budget(context.encrypt(np.array([1]))) > 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=32767), min_size=1, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_encrypt_decrypt_property(self, values):
+        context = BFVContext(params=toy_parameters(64), seed=3)
+        arr = np.array(values, dtype=np.int64)
+        assert np.array_equal(context.decrypt(context.encrypt(arr)), arr)
+
+
+class TestBackends:
+    def test_exact_backend_rejects_slotwise_mul(self):
+        backend = ExactBFVBackend(toy_parameters(64), seed=1)
+        handle = backend.encrypt(np.array([1, 2, 3]))
+        with pytest.raises(UnsupportedHEOperation):
+            backend.mul_plain(handle, np.array([1, 2, 3]))
+
+    def test_exact_and_simulated_agree(self):
+        exact = ExactBFVBackend(toy_parameters(64), seed=1)
+        simulated = SimulatedHEBackend(toy_parameters(64))
+        values = np.array([3, 500, 32000])
+        for backend in (exact, simulated):
+            handle = backend.encrypt(values)
+            handle = backend.mul_scalar(handle, 7)
+            handle = backend.add_plain(handle, np.array([1, 1, 1]))
+            assert np.array_equal(
+                backend.decrypt(handle)[:3], (values * 7 + 1) % backend.plaintext_modulus
+            )
+
+    def test_tracker_counts_operations(self):
+        backend = SimulatedHEBackend(toy_parameters(64))
+        handle = backend.encrypt(np.array([1, 2]))
+        backend.add(handle, handle)
+        backend.rotate(handle, 1)
+        counts = backend.tracker.snapshot()
+        assert counts["encrypt"] == 1 and counts["he_add"] == 1 and counts["he_rotate"] == 1
+
+    def test_paper_parameters_meet_security(self):
+        assert paper_parameters().meets_security_target()
+
+
+class TestPacking:
+    @pytest.mark.parametrize("layout", list(PackingLayout))
+    def test_pack_unpack_roundtrip(self, layout, rng):
+        matrix = rng.integers(0, 100, size=(5, 7))
+        packed = pack_matrix(matrix, 64, layout)
+        assert np.array_equal(unpack_matrix(packed), matrix)
+
+    def test_tokens_first_uses_fewer_rotations(self):
+        savings = rotation_savings(30, 30522, 4096)
+        assert savings["tokens_first_rotations"] < savings["feature_based_rotations"]
+        assert savings["reduction_factor"] > 10
+
+    def test_rotation_count_formulas(self):
+        # Feature-based ~ c * M for a full ciphertext; tokens-first ~ c * (M/n - 1).
+        assert rotation_count(30, 30522, 4096, PackingLayout.FEATURE_BASED) == (
+            ciphertext_count(30, 30522, 4096, PackingLayout.FEATURE_BASED) * 4096
+        )
+        tf = rotation_count(30, 30522, 4096, PackingLayout.TOKENS_FIRST)
+        assert tf == ciphertext_count(30, 30522, 4096, PackingLayout.TOKENS_FIRST) * (4096 // 30 - 1)
+
+    def test_tokens_first_requires_enough_slots(self):
+        with pytest.raises(ParameterError):
+            pack_matrix(np.zeros((100, 3), dtype=np.int64), 64, PackingLayout.TOKENS_FIRST)
+
+
+class TestEncryptedMatmul:
+    def test_enc_times_plain(self, toy_backend, rng):
+        x = rng.integers(0, 50, size=(4, 3))
+        w = rng.integers(0, 50, size=(3, 5))
+        packed = encrypt_matrix_columns(toy_backend, x)
+        result = decrypt_matrix(toy_backend, enc_times_plain(toy_backend, packed, w))
+        assert np.array_equal(result, (x @ w) % toy_backend.plaintext_modulus)
+
+    def test_plain_times_enc(self, toy_backend, rng):
+        a = rng.integers(0, 50, size=(4, 3))
+        b = rng.integers(0, 50, size=(3, 5))
+        packed = encrypt_matrix_rows(toy_backend, b)
+        result = decrypt_matrix(toy_backend, plain_times_enc(toy_backend, a, packed))
+        assert np.array_equal(result, (a @ b) % toy_backend.plaintext_modulus)
+
+    def test_repack_columns_to_rows(self, toy_backend, rng):
+        matrix = rng.integers(0, 50, size=(4, 3))
+        packed = encrypt_matrix_columns(toy_backend, matrix)
+        repacked = repack_columns_to_rows(toy_backend, packed)
+        assert repacked.axis == "rows"
+        assert np.array_equal(decrypt_matrix(toy_backend, repacked), matrix)
+
+    @pytest.mark.parametrize("layout", list(PackingLayout))
+    def test_packed_matmul_both_layouts(self, toy_backend, rng, layout):
+        x = rng.integers(0, 20, size=(4, 5))
+        w = rng.integers(0, 20, size=(5, 3))
+        toy_backend.tracker.reset()
+        result = encrypted_packed_matmul(toy_backend, x, w, layout)
+        assert np.array_equal(result, (x @ w) % toy_backend.plaintext_modulus)
+
+    def test_measured_rotations_respect_packing_claim(self, toy_backend, rng):
+        x = rng.integers(0, 20, size=(4, 8))
+        w = rng.integers(0, 20, size=(8, 2))
+        toy_backend.tracker.reset()
+        encrypted_packed_matmul(toy_backend, x, w, PackingLayout.FEATURE_BASED)
+        feature_rotations = toy_backend.tracker.count("he_rotate")
+        toy_backend.tracker.reset()
+        encrypted_packed_matmul(toy_backend, x, w, PackingLayout.TOKENS_FIRST)
+        tokens_rotations = toy_backend.tracker.count("he_rotate")
+        assert tokens_rotations < feature_rotations

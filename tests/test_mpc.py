@@ -1,0 +1,196 @@
+"""Tests for the MPC substrate: sharing, Beaver triples, OT, garbled circuits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CircuitError
+from repro.fixedpoint import DEFAULT_FORMAT, FixedPointFormat
+from repro.he import SimulatedHEBackend, toy_parameters
+from repro.mpc import (
+    AdditiveSharing,
+    HETripleGenerator,
+    ObliviousTransfer,
+    TrustedDealer,
+    beaver_matmul,
+)
+from repro.mpc.gc import CircuitBuilder, Garbler, GarbledEvaluator
+
+
+class TestAdditiveSharing:
+    def test_share_reconstruct(self, rng):
+        sharing = AdditiveSharing(seed=0)
+        secret = rng.integers(0, sharing.modulus, size=(3, 4))
+        assert np.array_equal(sharing.reconstruct(sharing.share(secret)), secret)
+
+    def test_shares_look_uniform(self):
+        sharing = AdditiveSharing(seed=0)
+        shared = sharing.share(np.zeros((1000,), dtype=np.int64))
+        # A share of zero should not itself be zero everywhere.
+        assert np.count_nonzero(shared.server_share) > 900
+
+    def test_linear_operations(self, rng):
+        sharing = AdditiveSharing(seed=1)
+        a = rng.integers(0, 100, size=(2, 3))
+        b = rng.integers(0, 100, size=(2, 3))
+        sa, sb = sharing.share(a), sharing.share(b)
+        assert np.array_equal(sharing.add(sa, sb).reconstruct(), (a + b) % sharing.modulus)
+        assert np.array_equal(sharing.sub(sa, sb).reconstruct(), (a - b) % sharing.modulus)
+        assert np.array_equal(
+            sharing.add_public(sa, b).reconstruct(), (a + b) % sharing.modulus
+        )
+        assert np.array_equal(
+            sharing.mul_public(sa, 5).reconstruct(), (a * 5) % sharing.modulus
+        )
+
+    def test_matmul_public(self, rng):
+        sharing = AdditiveSharing(seed=2)
+        a = rng.integers(0, 100, size=(2, 3))
+        w = rng.integers(0, 100, size=(3, 4))
+        assert np.array_equal(
+            sharing.matmul_public(sharing.share(a), w).reconstruct(),
+            (a @ w) % sharing.modulus,
+        )
+
+    @given(st.integers(min_value=0, max_value=2 ** 15 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_share_reconstruct_property(self, value):
+        sharing = AdditiveSharing(seed=3)
+        shared = sharing.share(np.array([value]))
+        assert shared.reconstruct()[0] == value
+
+
+class TestBeaverTriples:
+    def test_trusted_dealer_multiplication(self, rng):
+        sharing = AdditiveSharing(seed=0)
+        dealer = TrustedDealer(sharing, seed=1)
+        x = rng.integers(0, sharing.modulus, size=(3, 4))
+        y = rng.integers(0, sharing.modulus, size=(4, 2))
+        triple = dealer.generate((3, 4), (4, 2))
+        result, stats = beaver_matmul(sharing, sharing.share(x), sharing.share(y), triple)
+        assert np.array_equal(result.reconstruct(), (x @ y) % sharing.modulus)
+        assert stats["opened_elements"] == 12 + 8
+
+    def test_he_generator_matches_dealer(self, rng):
+        sharing = AdditiveSharing(seed=0)
+        backend = SimulatedHEBackend(toy_parameters(64))
+        generator = HETripleGenerator(sharing, backend, seed=2)
+        x = rng.integers(0, sharing.modulus, size=(2, 3))
+        y = rng.integers(0, sharing.modulus, size=(3, 2))
+        triple = generator.generate((2, 3), (3, 2))
+        result, _ = beaver_matmul(sharing, sharing.share(x), sharing.share(y), triple)
+        assert np.array_equal(result.reconstruct(), (x @ y) % sharing.modulus)
+
+    def test_he_generator_charges_tracker(self):
+        sharing = AdditiveSharing(seed=0)
+        backend = SimulatedHEBackend(toy_parameters(64))
+        HETripleGenerator(sharing, backend, seed=2).generate((2, 2), (2, 2))
+        assert backend.tracker.count("he_mul_plain") > 0
+
+    def test_shape_mismatch_raises(self):
+        from repro.errors import ShapeError
+        sharing = AdditiveSharing(seed=0)
+        with pytest.raises(ShapeError):
+            TrustedDealer(sharing).generate((2, 3), (4, 2))
+
+
+class TestObliviousTransfer:
+    def test_transfers_correct_message(self):
+        ot = ObliviousTransfer()
+        assert ot.transfer(b"zero", b"one", 0) == b"zero"
+        assert ot.transfer(b"zero", b"one", 1) == b"one"
+        assert ot.stats.transfers == 2
+
+    def test_batch_transfer(self):
+        ot = ObliviousTransfer()
+        got = ot.transfer_many([(b"a", b"b"), (b"c", b"d")], [1, 0])
+        assert got == [b"b", b"c"]
+
+    def test_invalid_choice_bit(self):
+        with pytest.raises(ValueError):
+            ObliviousTransfer().transfer(b"a", b"b", 2)
+
+
+class TestCircuits:
+    def _roundtrip(self, builder, circuit, garbler, values):
+        bits = []
+        for value in values:
+            bits.extend(builder.encode_value(value))
+        plain = builder.decode_bits(circuit.evaluate(bits))
+        garbled = builder.decode_bits(
+            GarbledEvaluator(garbler.garble(circuit)).evaluate(
+                garbler.encode_inputs(circuit, bits)
+            )
+        )
+        assert plain == garbled
+        return plain
+
+    def test_adder(self):
+        builder = CircuitBuilder(word_bits=15)
+        a, b = builder.input_word(), builder.input_word()
+        builder.mark_output(builder.add_words(a, b))
+        garbler = Garbler(seed=1)
+        got = self._roundtrip(builder, builder.circuit, garbler, [12000, 30000])
+        assert got == (12000 + 30000) % (1 << 15)
+
+    def test_subtractor(self):
+        builder = CircuitBuilder(word_bits=15)
+        a, b = builder.input_word(), builder.input_word()
+        builder.mark_output(builder.sub_words(a, b))
+        garbler = Garbler(seed=2)
+        got = self._roundtrip(builder, builder.circuit, garbler, [5, 9])
+        assert got == (5 - 9) % (1 << 15)
+
+    def test_relu_positive_and_negative(self):
+        builder = CircuitBuilder(word_bits=15)
+        word = builder.input_word()
+        builder.mark_output(builder.relu_word(word))
+        garbler = Garbler(seed=3)
+        assert self._roundtrip(builder, builder.circuit, garbler, [100]) == 100
+        negative = (1 << 15) - 50   # -50 in two's complement
+        assert self._roundtrip(builder, builder.circuit, garbler, [negative]) == 0
+
+    def test_max_words(self):
+        builder = CircuitBuilder(word_bits=8)
+        a, b = builder.input_word(), builder.input_word()
+        builder.mark_output(builder.max_words(a, b))
+        garbler = Garbler(seed=4)
+        assert self._roundtrip(builder, builder.circuit, garbler, [17, 99]) == 99
+
+    def test_arithmetic_shift(self):
+        builder = CircuitBuilder(word_bits=8)
+        word = builder.input_word()
+        builder.mark_output(builder.shift_right_arithmetic(word, 2))
+        garbler = Garbler(seed=5)
+        assert self._roundtrip(builder, builder.circuit, garbler, [100]) == 25
+
+    def test_free_xor_has_no_tables(self):
+        builder = CircuitBuilder(word_bits=4)
+        a, b = builder.input_word(), builder.input_word()
+        builder.mark_output([builder.gate_xor(x, y) for x, y in zip(a, b)])
+        garbled = Garbler(seed=6).garble(builder.circuit)
+        assert garbled.table_bytes == 0
+
+    def test_bad_input_length_raises(self):
+        builder = CircuitBuilder(word_bits=4)
+        builder.mark_output(builder.input_word())
+        with pytest.raises(CircuitError):
+            builder.circuit.evaluate([0, 1])
+
+    @given(st.integers(min_value=0, max_value=2 ** 10 - 1),
+           st.integers(min_value=0, max_value=2 ** 10 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_garbled_adder_property(self, a, b):
+        builder = CircuitBuilder(word_bits=10)
+        wa, wb = builder.input_word(), builder.input_word()
+        builder.mark_output(builder.add_words(wa, wb))
+        garbler = Garbler(seed=7)
+        garbled = garbler.garble(builder.circuit)
+        bits = builder.encode_value(a) + builder.encode_value(b)
+        got = builder.decode_bits(
+            GarbledEvaluator(garbled).evaluate(garbler.encode_inputs(builder.circuit, bits))
+        )
+        assert got == (a + b) % (1 << 10)

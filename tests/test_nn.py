@@ -1,0 +1,145 @@
+"""Tests for the plaintext Transformer substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, ShapeError
+from repro.nn import (
+    BERT_BASE,
+    BERT_LARGE,
+    BERT_TINY,
+    PAPER_MODELS,
+    ExecutionMode,
+    MultiHeadSelfAttention,
+    QuantizedExecutor,
+    TransformerConfig,
+    TransformerEncoder,
+    WordPieceTokenizer,
+    gelu,
+    gelu_poly,
+    inverse_sqrt_newton,
+    scaled_config,
+    softmax,
+    softmax_poly,
+)
+
+
+class TestConfig:
+    def test_paper_models_match_table3(self):
+        assert BERT_TINY.num_blocks == 3 and BERT_TINY.embed_dim == 768
+        assert BERT_BASE.num_blocks == 12 and BERT_BASE.num_heads == 12
+        assert BERT_LARGE.num_blocks == 24 and BERT_LARGE.embed_dim == 1024
+        assert all(cfg.seq_len == 30 for cfg in PAPER_MODELS.values())
+        assert all(cfg.vocab_size == 30522 for cfg in PAPER_MODELS.values())
+
+    def test_bert_base_parameter_count_plausible(self):
+        # Real BERT-base has ~110M parameters.
+        assert 90e6 < BERT_BASE.parameter_count() < 130e6
+
+    def test_invalid_heads_rejected(self):
+        with pytest.raises(ParameterError):
+            TransformerConfig("bad", num_blocks=1, embed_dim=10, num_heads=3, seq_len=4)
+
+    def test_scaled_config_keeps_structure(self):
+        small = scaled_config(BERT_BASE, embed_dim=32, num_heads=4)
+        assert small.embed_dim == 32 and small.head_dim == 8
+
+
+class TestActivations:
+    def test_softmax_rows_sum_to_one(self, rng):
+        logits = rng.normal(0, 3, size=(4, 7))
+        assert np.allclose(np.sum(softmax(logits), axis=-1), 1.0)
+
+    def test_softmax_poly_is_distribution(self, rng):
+        logits = rng.normal(0, 1, size=(4, 7))
+        approx = softmax_poly(logits)
+        assert np.allclose(np.sum(approx, axis=-1), 1.0)
+        assert np.all(approx >= 0)
+
+    def test_softmax_poly_differs_from_exact(self, rng):
+        logits = rng.normal(0, 2, size=(8, 8))
+        assert np.max(np.abs(softmax(logits) - softmax_poly(logits))) > 0.01
+
+    def test_gelu_poly_close_in_core_range(self):
+        x = np.linspace(-1.5, 1.5, 50)
+        assert np.max(np.abs(gelu(x) - gelu_poly(x))) < 0.3
+
+    def test_inverse_sqrt_newton_converges(self):
+        values = np.array([0.5, 1.0, 4.0, 9.0])
+        got = inverse_sqrt_newton(values, iterations=8)
+        assert np.allclose(got, 1 / np.sqrt(values), rtol=1e-2)
+
+
+class TestTokenizer:
+    def test_vocab_size(self):
+        tokenizer = WordPieceTokenizer(vocab_size=30522, max_length=30)
+        assert len(tokenizer.vocab) == 30522
+
+    def test_encode_pads_to_max_length(self):
+        tokenizer = WordPieceTokenizer(vocab_size=1000, max_length=16)
+        assert len(tokenizer.encode("the movie was great")) == 16
+
+    def test_roundtrip_common_words(self):
+        tokenizer = WordPieceTokenizer(vocab_size=1000, max_length=16)
+        text = "the movie was good"
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_unknown_characters_map_to_unk(self):
+        tokenizer = WordPieceTokenizer(vocab_size=300, max_length=8)
+        ids = tokenizer.encode("ééé")
+        assert tokenizer.unk_id in ids
+
+
+class TestModel:
+    def test_forward_shapes(self, tiny_model, tiny_token_ids):
+        cfg = tiny_model.config
+        assert tiny_model.encode(tiny_token_ids).shape == (cfg.seq_len, cfg.embed_dim)
+        assert tiny_model.logits(tiny_token_ids).shape == (cfg.num_labels,)
+
+    def test_trace_contains_all_blocks(self, tiny_model, tiny_token_ids):
+        _, trace = tiny_model.forward_with_trace(tiny_token_ids)
+        assert len(trace["blocks"]) == tiny_model.config.num_blocks
+        assert "attention" in trace["blocks"][0]
+
+    def test_attention_rows_sum_to_one(self, tiny_model, tiny_token_ids):
+        _, trace = tiny_model.forward_with_trace(tiny_token_ids)
+        attention = trace["blocks"][0]["attention"]
+        assert np.allclose(np.sum(attention, axis=-1), 1.0)
+
+    def test_embedding_matches_one_hot_matmul(self, tiny_model, tiny_token_ids):
+        emb = tiny_model.embedding
+        direct = emb.word_embeddings[tiny_token_ids]
+        via_onehot = emb.one_hot_matmul(tiny_token_ids)
+        assert np.allclose(direct, via_onehot)
+
+    def test_deterministic_initialisation(self, tiny_model, tiny_token_ids):
+        clone = TransformerEncoder.initialise(tiny_model.config, seed=3)
+        assert np.allclose(clone.logits(tiny_token_ids), tiny_model.logits(tiny_token_ids))
+
+    def test_bad_sequence_length_raises(self, tiny_model):
+        with pytest.raises(ShapeError):
+            tiny_model.embedding(np.arange(100))
+
+    def test_attention_rejects_3d_input(self, rng):
+        attention = MultiHeadSelfAttention.initialise(8, 2, rng)
+        with pytest.raises(ShapeError):
+            attention(rng.normal(size=(2, 3, 8)))
+
+
+class TestQuantizedExecution:
+    def test_primer_mode_close_to_plaintext(self, tiny_model, tiny_token_ids):
+        plain = tiny_model.logits(tiny_token_ids)
+        quantised = QuantizedExecutor(tiny_model, ExecutionMode.primer()).logits(tiny_token_ids)
+        assert np.argmax(plain) == np.argmax(quantised)
+
+    def test_fhe_only_mode_differs_more(self, tiny_model, tiny_token_ids):
+        plain = tiny_model.logits(tiny_token_ids)
+        primer = QuantizedExecutor(tiny_model, ExecutionMode.primer()).logits(tiny_token_ids)
+        fhe = QuantizedExecutor(tiny_model, ExecutionMode.fhe_only()).logits(tiny_token_ids)
+        assert np.linalg.norm(fhe - plain) >= np.linalg.norm(primer - plain)
+
+    def test_plaintext_mode_is_identity(self, tiny_model, tiny_token_ids):
+        executor = QuantizedExecutor(tiny_model, ExecutionMode.plaintext())
+        assert np.allclose(executor.logits(tiny_token_ids), tiny_model.logits(tiny_token_ids))
