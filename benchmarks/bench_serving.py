@@ -1,0 +1,152 @@
+"""Serving benchmark: batched vs sequential private inference throughput.
+
+Two comparisons, mirroring the two levels the serving runtime batches at:
+
+1. **Shared-slot HE batches** on the *exact BFV backend*: eight private
+   ``X @ W`` requests packed tokens-first into shared ciphertext slots versus
+   the same eight requests encrypted and multiplied one at a time.  The batch
+   needs one ciphertext per input feature — independent of the batch size —
+   so both the operation counts and the wall-clock throughput improve by
+   roughly the batch factor.  The acceptance bar is 3x; the measured margin
+   is typically ~8x at the test-scale parameters used here.
+
+2. **Cached-engine serving** of full Primer inference on the simulated
+   backend: the :class:`~repro.runtime.serving.ServingRuntime` amortises key
+   generation and the HGS/FHGS offline phase across requests, versus the
+   paper-style fresh-engine-per-sequence baseline.
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.costmodel import format_table
+from repro.he import (
+    ExactBFVBackend,
+    SimulatedHEBackend,
+    encrypted_batch_matmul,
+    serving_parameters,
+    toy_parameters,
+)
+from repro.nn import BERT_BASE, TransformerEncoder, scaled_config
+from repro.runtime import ServingRuntime, run_sequential_baseline, summarize
+
+BATCH = 8
+TOKENS = 8
+FEATURES = 16
+OUTPUTS = 4
+
+
+def _make_workload(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    matrices = [rng.integers(0, 100, size=(TOKENS, FEATURES)) for _ in range(BATCH)]
+    weights = rng.integers(0, 7, size=(FEATURES, OUTPUTS))
+    return matrices, weights
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_batched_throughput_exact_backend():
+    """Acceptance: batched >= 3x sequential per-request throughput (exact BFV)."""
+    matrices, weights = _make_workload()
+    backend = ExactBFVBackend(serving_parameters(256), seed=5)
+
+    def sequential():
+        return [encrypted_batch_matmul(backend, [m], weights)[0] for m in matrices]
+
+    def batched():
+        return encrypted_batch_matmul(backend, matrices, weights)
+
+    # Correctness first: both paths must decrypt to the plaintext product.
+    t = backend.plaintext_modulus
+    for got_seq, got_batch, m in zip(sequential(), batched(), matrices):
+        assert np.array_equal(got_seq, (m @ weights) % t)
+        assert np.array_equal(got_batch, got_seq)
+
+    seq_seconds = _best_of(3, sequential)
+    batch_seconds = _best_of(3, batched)
+
+    backend.tracker.reset()
+    sequential()
+    seq_ops = sum(backend.tracker.snapshot().values())
+    backend.tracker.reset()
+    batched()
+    batch_ops = sum(backend.tracker.snapshot().values())
+
+    seq_rps = BATCH / seq_seconds
+    batch_rps = BATCH / batch_seconds
+    print(f"\nShared-slot serving, exact BFV backend (batch={BATCH}, N=256)\n")
+    print(format_table(
+        ["Path", "Wall seconds", "Requests/s", "HE operations"],
+        [
+            ["sequential", f"{seq_seconds:.4f}", f"{seq_rps:,.1f}", f"{seq_ops:,}"],
+            ["batched", f"{batch_seconds:.4f}", f"{batch_rps:,.1f}", f"{batch_ops:,}"],
+            ["speedup", "", f"{batch_rps / seq_rps:.1f}x", f"{seq_ops / batch_ops:.1f}x"],
+        ],
+    ))
+    # The operation-count reduction is deterministic; wall clock rides on it.
+    assert seq_ops >= 3 * batch_ops
+    assert batch_rps >= 3 * seq_rps
+
+
+def test_serving_runtime_vs_fresh_engines():
+    """Cached-engine serving beats the paper-style one-engine-per-sequence flow."""
+    config = scaled_config(
+        BERT_BASE, embed_dim=16, num_heads=2, seq_len=6, vocab_size=40, num_blocks=2
+    )
+    model = TransformerEncoder.initialise(config, seed=3)
+    rng = np.random.default_rng(1)
+    tokens = [rng.integers(0, 40, size=6) for _ in range(BATCH)]
+
+    runtime = ServingRuntime({"tiny": model}, max_batch_size=BATCH)
+    runtime.engine_for("tiny")  # steady state: keys + offline phase in cache
+
+    for t in tokens:
+        runtime.submit("tiny", t)
+    start = time.perf_counter()
+    reports = runtime.run_pending()
+    batch_seconds = time.perf_counter() - start
+
+    solo_logits, seq_seconds = run_sequential_baseline(model, tokens)
+    for report, expected in zip(reports, solo_logits):
+        assert np.array_equal(report.result, expected)
+
+    stats = summarize(reports, batch_seconds)
+    print(f"\nFull-inference serving, simulated backend (batch={BATCH})\n")
+    print(format_table(
+        ["Path", "Wall seconds", "Requests/s"],
+        [
+            ["fresh engine per request", f"{seq_seconds:.3f}", f"{BATCH / seq_seconds:.1f}"],
+            ["serving runtime (warm)", f"{batch_seconds:.3f}", f"{stats.requests_per_second:.1f}"],
+            ["speedup", "", f"{seq_seconds / batch_seconds:.1f}x"],
+        ],
+    ))
+    assert batch_seconds < seq_seconds
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("batch_size", [1, 4, 8])
+def test_bench_shared_slot_matmul(benchmark, batch_size):
+    matrices, weights = _make_workload()
+    backend = ExactBFVBackend(serving_parameters(256), seed=5)
+    benchmark(lambda: encrypted_batch_matmul(backend, matrices[:batch_size], weights))
+
+
+@pytest.mark.bench
+def test_bench_batched_encrypt(benchmark):
+    backend = ExactBFVBackend(serving_parameters(256), seed=5)
+    rng = np.random.default_rng(0)
+    vectors = [rng.integers(0, 256, size=64) for _ in range(32)]
+    benchmark(lambda: backend.encrypt_batch(vectors))

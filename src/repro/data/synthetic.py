@@ -98,19 +98,26 @@ def make_task(
     *,
     num_examples: int = 64,
     seed: int = 0,
+    rng: np.random.Generator | None = None,
 ) -> SyntheticTask:
     """Generate a deterministic synthetic dataset for one of the paper's tasks.
 
     Sentences are built from the task's label-dependent style templates with
     random filler words drawn from the tokenizer vocabulary, then tokenised
     and padded to the model's sequence length.
+
+    All randomness flows through one explicit ``numpy.random.Generator`` —
+    either the caller's ``rng`` or a fresh generator seeded with ``seed`` —
+    never the global numpy state, so generation is reproducible regardless
+    of test ordering or parallel execution.
     """
     if name not in TASK_SPECS:
         raise ParameterError(
             f"unknown task {name!r}; available: {sorted(TASK_SPECS)}"
         )
     spec = TASK_SPECS[name]
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     filler_words = [
         token for token in tokenizer.vocab
         if token.isalpha() and len(token) > 2 and not token.startswith("##")

@@ -17,10 +17,18 @@ from .matmul import (
     enc_times_plain,
     encrypt_matrix_columns,
     encrypt_matrix_rows,
+    encrypted_batch_matmul,
     encrypted_packed_matmul,
     plain_times_enc,
 )
-from .ntt import NTTContext, find_ntt_prime, is_prime, primitive_root
+from .ntt import (
+    NTTContext,
+    batch_ntt,
+    find_ntt_prime,
+    get_ntt_context,
+    is_prime,
+    primitive_root,
+)
 from .packing import (
     PackedInput,
     PackingLayout,
@@ -30,7 +38,13 @@ from .packing import (
     rotation_savings,
     unpack_matrix,
 )
-from .params import BFVParameters, paper_parameters, test_parameters, toy_parameters
+from .params import (
+    BFVParameters,
+    paper_parameters,
+    serving_parameters,
+    test_parameters,
+    toy_parameters,
+)
 from .polyring import PolynomialRing
 from .simulated import SimulatedCiphertext, SimulatedHEBackend
 from .tracker import OperationTracker
@@ -50,13 +64,16 @@ __all__ = [
     "SimulatedCiphertext",
     "SimulatedHEBackend",
     "UnsupportedHEOperation",
+    "batch_ntt",
     "ciphertext_count",
     "decrypt_matrix",
     "enc_times_plain",
     "encrypt_matrix_columns",
     "encrypt_matrix_rows",
+    "encrypted_batch_matmul",
     "encrypted_packed_matmul",
     "find_ntt_prime",
+    "get_ntt_context",
     "is_prime",
     "pack_matrix",
     "paper_parameters",
@@ -64,6 +81,7 @@ __all__ = [
     "primitive_root",
     "rotation_count",
     "rotation_savings",
+    "serving_parameters",
     "test_parameters",
     "toy_parameters",
     "unpack_matrix",

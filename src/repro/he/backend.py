@@ -101,6 +101,18 @@ class HEBackend(abc.ABC):
     def zero(self, length: int) -> Any:
         """Encryption of the all-zero vector of the given length."""
 
+    # -- batch interface ----------------------------------------------------
+    # The serving runtime groups many requests into one HE pass; backends
+    # override these when they can do better than a Python loop (the exact
+    # backend batches the NTT, the simulator vectorizes over a matrix).
+    def encrypt_batch(self, values_list: list[np.ndarray]) -> list[Any]:
+        """Encrypt many residue vectors (default: loop over :meth:`encrypt`)."""
+        return [self.encrypt(values) for values in values_list]
+
+    def decrypt_batch(self, handles: list[Any]) -> list[np.ndarray]:
+        """Decrypt many handles (default: loop over :meth:`decrypt`)."""
+        return [self.decrypt(handle) for handle in handles]
+
 
 class ExactBFVBackend(HEBackend):
     """Adapter exposing :class:`~repro.he.bfv.BFVContext` as an ``HEBackend``.
@@ -130,6 +142,20 @@ class ExactBFVBackend(HEBackend):
 
     def decrypt(self, handle: _ExactHandle) -> np.ndarray:
         return self._context.decrypt(handle.ciphertext, count=handle.length)
+
+    def encrypt_batch(self, values_list: list[np.ndarray]) -> list[_ExactHandle]:
+        arrays = [np.asarray(values, dtype=np.int64) for values in values_list]
+        cts = self._context.encrypt_batch(arrays)
+        return [
+            _ExactHandle(ct, length=int(values.size))
+            for ct, values in zip(cts, arrays)
+        ]
+
+    def decrypt_batch(self, handles: list[_ExactHandle]) -> list[np.ndarray]:
+        return self._context.decrypt_batch(
+            [handle.ciphertext for handle in handles],
+            counts=[handle.length for handle in handles],
+        )
 
     def add(self, a: _ExactHandle, b: _ExactHandle) -> _ExactHandle:
         return _ExactHandle(

@@ -35,6 +35,7 @@ __all__ = [
     "decrypt_matrix",
     "repack_columns_to_rows",
     "encrypted_packed_matmul",
+    "encrypted_batch_matmul",
 ]
 
 
@@ -74,7 +75,7 @@ def encrypt_matrix_columns(backend: HEBackend, matrix: np.ndarray) -> PackedMatr
         raise ParameterError(
             f"column length {matrix.shape[0]} exceeds slot count {backend.slot_count}"
         )
-    handles = [backend.encrypt(matrix[:, j]) for j in range(matrix.shape[1])]
+    handles = backend.encrypt_batch([matrix[:, j] for j in range(matrix.shape[1])])
     return PackedMatrix(handles=handles, shape=matrix.shape, axis="columns")
 
 
@@ -87,7 +88,7 @@ def encrypt_matrix_rows(backend: HEBackend, matrix: np.ndarray) -> PackedMatrix:
         raise ParameterError(
             f"row length {matrix.shape[1]} exceeds slot count {backend.slot_count}"
         )
-    handles = [backend.encrypt(matrix[i, :]) for i in range(matrix.shape[0])]
+    handles = backend.encrypt_batch([matrix[i, :] for i in range(matrix.shape[0])])
     return PackedMatrix(handles=handles, shape=matrix.shape, axis="rows")
 
 
@@ -95,12 +96,13 @@ def decrypt_matrix(backend: HEBackend, packed: PackedMatrix) -> np.ndarray:
     """Decrypt a :class:`PackedMatrix` back into a dense residue matrix."""
     rows, cols = packed.shape
     result = np.zeros((rows, cols), dtype=np.int64)
+    decrypted = backend.decrypt_batch(packed.handles)
     if packed.axis == "columns":
-        for j, handle in enumerate(packed.handles):
-            result[:, j] = backend.decrypt(handle)[:rows]
+        for j, values in enumerate(decrypted):
+            result[:, j] = values[:rows]
     else:
-        for i, handle in enumerate(packed.handles):
-            result[i, :] = backend.decrypt(handle)[:cols]
+        for i, values in enumerate(decrypted):
+            result[i, :] = values[:cols]
     return result
 
 
@@ -262,9 +264,57 @@ def encrypted_packed_matmul(
                     accumulators[g] = backend.add(accumulators[g], term)
 
     result = np.zeros((n_tokens, d_out), dtype=np.int64)
-    for g in range(d_out):
-        if accumulators[g] is None:
-            continue
-        decrypted = backend.decrypt(accumulators[g])
-        result[:, g] = decrypted[:n_tokens]
+    occupied = [g for g in range(d_out) if accumulators[g] is not None]
+    decrypted = backend.decrypt_batch([accumulators[g] for g in occupied])
+    for g, values in zip(occupied, decrypted):
+        result[:, g] = values[:n_tokens]
     return np.mod(result, t)
+
+
+def encrypted_batch_matmul(
+    backend: HEBackend,
+    matrices: list[np.ndarray],
+    weights: np.ndarray,
+) -> list[np.ndarray]:
+    """Serve many ``X_i @ W`` requests from *shared* ciphertext slot space.
+
+    The batch's token matrices are stacked along the token axis and packed
+    tokens-first: each ciphertext holds one feature of **every** request's
+    tokens, so the whole batch needs the same number of ciphertexts — and the
+    same number of homomorphic multiplications and additions — as a single
+    request would.  This is the cross-request generalisation of the paper's
+    tokens-first layout (Fig. 6): the contiguous token run in each slot
+    vector simply spans all requests in the batch.
+
+    Only ciphertext-scalar products and additions are used, so the batch
+    runs unmodified on the exact BFV backend.  Returns one decrypted result
+    matrix per request, each equal to ``(X_i @ W) mod t``.
+    """
+    weights = np.asarray(weights, dtype=np.int64)
+    arrays = [np.asarray(m, dtype=np.int64) for m in matrices]
+    if not arrays:
+        return []
+    n_features = arrays[0].shape[1] if arrays[0].ndim == 2 else -1
+    for m in arrays:
+        if m.ndim != 2 or m.shape[1] != n_features:
+            raise ShapeError(
+                "batched matmul requires 2-D inputs with a common feature dim"
+            )
+    if weights.shape[0] != n_features:
+        raise ShapeError(f"cannot multiply {arrays[0].shape} by {weights.shape}")
+    stacked = np.vstack(arrays)
+    total_tokens = stacked.shape[0]
+    if total_tokens > backend.slot_count:
+        raise ParameterError(
+            f"batch of {total_tokens} total tokens exceeds the "
+            f"{backend.slot_count} slots of one ciphertext; split the batch"
+        )
+    packed = encrypt_matrix_columns(backend, stacked)
+    product = enc_times_plain(backend, packed, weights)
+    result = decrypt_matrix(backend, product)
+    splits: list[np.ndarray] = []
+    offset = 0
+    for m in arrays:
+        splits.append(result[offset: offset + m.shape[0]])
+        offset += m.shape[0]
+    return splits

@@ -8,21 +8,38 @@ twist.  All arithmetic stays inside ``numpy.int64``; this is safe because the
 moduli used by :mod:`repro.he.params` are below 2**30 so intermediate products
 fit in 62 bits.
 
-The implementation favours clarity over raw speed (iterative Cooley-Tukey
-with precomputed twiddle tables); the exact backend is only used at small
-ring dimensions in tests and examples, while model-scale runs use the
-functional backend in :mod:`repro.he.simulated`.
+The transform is the hottest loop of the exact backend, so it is vectorized
+two ways:
+
+* every butterfly stage is a single numpy slice operation (no per-butterfly
+  Python loop), and
+* the stage loop runs over a whole *batch* of polynomials at once
+  (``forward_batch`` / ``inverse_batch`` / ``multiply_batch``), so the
+  ``log N`` Python-level stage iterations are amortised across the batch.
+
+Twiddle/psi tables are expensive to build (a primitive-root search plus
+``O(N)`` modular powers), so contexts are cached per ``(N, q)`` via
+:func:`get_ntt_context`; :func:`batch_ntt` is the module-level entry point
+used by :mod:`repro.he.bfv` and the serving runtime.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
 from ..errors import ParameterError
 
-__all__ = ["is_prime", "find_ntt_prime", "primitive_root", "NTTContext"]
+__all__ = [
+    "is_prime",
+    "find_ntt_prime",
+    "primitive_root",
+    "NTTContext",
+    "get_ntt_context",
+    "batch_ntt",
+]
 
 
 def is_prime(n: int) -> bool:
@@ -102,6 +119,16 @@ def _bit_reverse_indices(n: int) -> np.ndarray:
     return reversed_indices
 
 
+def _mod_powers(base: int, count: int, modulus: int) -> np.ndarray:
+    """``[base**0, base**1, ..., base**(count-1)] mod modulus`` as int64."""
+    powers = np.empty(count, dtype=np.int64)
+    acc = 1
+    for i in range(count):
+        powers[i] = acc
+        acc = acc * base % modulus
+    return powers
+
+
 @dataclass
 class NTTContext:
     """Precomputed tables for negacyclic NTT over ``Z_q[X]/(X^N + 1)``.
@@ -112,6 +139,9 @@ class NTTContext:
         Power-of-two polynomial degree ``N``.
     modulus:
         Prime ``q`` with ``q ≡ 1 (mod 2N)``.
+
+    Contexts are stateless after construction; share them freely across
+    threads and ciphertexts (see :func:`get_ntt_context`).
     """
 
     ring_degree: int
@@ -140,66 +170,123 @@ class NTTContext:
         omega = psi * psi % q
         omega_inv = pow(omega, q - 2, q)
 
-        exps = np.arange(n, dtype=object)
-        self._psi_powers = np.array(
-            [pow(psi, int(e), q) for e in exps], dtype=np.int64
-        )
-        self._psi_inv_powers = np.array(
-            [pow(psi_inv, int(e), q) for e in exps], dtype=np.int64
-        )
+        self._psi_powers = _mod_powers(psi, n, q)
+        self._psi_inv_powers = _mod_powers(psi_inv, n, q)
         self._n_inv = pow(n, q - 2, q)
         self._bitrev = _bit_reverse_indices(n)
         self._omega_stages = self._twiddle_stages(omega)
         self._omega_inv_stages = self._twiddle_stages(omega_inv)
 
     def _twiddle_stages(self, root: int) -> list[np.ndarray]:
-        """Precompute per-stage twiddle factors for the iterative NTT."""
+        """Precompute per-stage twiddle factors for the iterative NTT.
+
+        The stage for butterfly ``length`` needs ``(root**(n/length))**i`` for
+        ``i < length/2``, which is every ``n/length``-th entry of the full
+        power table — one table build serves all ``log N`` stages.
+        """
         n = self.ring_degree
-        q = self.modulus
+        powers = _mod_powers(root, n, self.modulus)
         stages = []
         length = 2
         while length <= n:
-            base = pow(root, n // length, q)
-            tw = np.array(
-                [pow(base, i, q) for i in range(length // 2)], dtype=np.int64
-            )
-            stages.append(tw)
+            step = n // length
+            stages.append(powers[::step][: length // 2].copy())
             length *= 2
         return stages
 
     # -- core transforms ---------------------------------------------------
     def _transform(self, coeffs: np.ndarray, stages: list[np.ndarray]) -> np.ndarray:
+        """Iterative Cooley-Tukey over the last axis of a ``(batch, N)`` array.
+
+        Each butterfly stage is one vectorized slice update across the whole
+        batch; no Python loop runs per butterfly or per polynomial.
+        """
         n = self.ring_degree
         q = self.modulus
-        a = coeffs[self._bitrev].astype(np.int64).copy()
+        a = coeffs[..., self._bitrev]
+        batch = a.shape[0]
         length = 2
         for tw in stages:
             half = length // 2
-            a = a.reshape(-1, length)
-            lo = a[:, :half].copy()
-            hi = a[:, half:]
-            t = (hi * tw) % q
-            a[:, :half] = (lo + t) % q
-            a[:, half:] = (lo - t) % q
-            a = a.reshape(-1)
+            blocks = a.reshape(batch, -1, length)
+            lo = blocks[..., :half]
+            t = blocks[..., half:] * tw % q
+            out = np.empty_like(blocks)
+            out[..., :half] = (lo + t) % q
+            out[..., half:] = (lo - t) % q
+            a = out.reshape(batch, n)
             length *= 2
-        return a.reshape(n)
+        return a
 
+    # -- single-polynomial API ---------------------------------------------
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """Negacyclic forward NTT of a coefficient vector."""
-        q = self.modulus
-        twisted = (np.asarray(coeffs, dtype=np.int64) % q) * self._psi_powers % q
-        return self._transform(twisted, self._omega_stages)
+        return self.forward_batch(np.asarray(coeffs, dtype=np.int64)[None, :])[0]
 
     def inverse(self, values: np.ndarray) -> np.ndarray:
         """Inverse negacyclic NTT back to coefficients."""
-        q = self.modulus
-        a = self._transform(np.asarray(values, dtype=np.int64) % q, self._omega_inv_stages)
-        a = a * self._n_inv % q
-        return a * self._psi_inv_powers % q
+        return self.inverse_batch(np.asarray(values, dtype=np.int64)[None, :])[0]
 
     def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Negacyclic product of two coefficient vectors mod ``q``."""
-        fa = self.forward(a)
-        fb = self.forward(b)
-        return self.inverse(fa * fb % self.modulus)
+        both = self.forward_batch(np.stack([np.asarray(a), np.asarray(b)]))
+        return self.inverse(both[0] * both[1] % self.modulus)
+
+    # -- batched API --------------------------------------------------------
+    def _as_batch(self, coeffs: np.ndarray) -> np.ndarray:
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        if coeffs.ndim != 2 or coeffs.shape[1] != self.ring_degree:
+            raise ParameterError(
+                f"batched NTT expects shape (batch, {self.ring_degree}), "
+                f"got {coeffs.shape}"
+            )
+        return coeffs
+
+    def forward_batch(self, coeffs: np.ndarray) -> np.ndarray:
+        """Forward NTT of every row of a ``(batch, N)`` coefficient array."""
+        q = self.modulus
+        twisted = (self._as_batch(coeffs) % q) * self._psi_powers % q
+        return self._transform(twisted, self._omega_stages)
+
+    def inverse_batch(self, values: np.ndarray) -> np.ndarray:
+        """Inverse NTT of every row of a ``(batch, N)`` value array."""
+        q = self.modulus
+        a = self._transform(self._as_batch(values) % q, self._omega_inv_stages)
+        a = a * self._n_inv % q
+        return a * self._psi_inv_powers % q
+
+    def multiply_batch(self, coeffs: np.ndarray, other: np.ndarray) -> np.ndarray:
+        """Negacyclic product of every row of ``coeffs`` with the vector ``other``.
+
+        One forward transform of the batch, one of ``other``, and one inverse
+        of the batch — the broadcast form used by batched encryption, where
+        many random polynomials multiply the same public-key component.
+        """
+        fa = self.forward_batch(coeffs)
+        fb = self.forward(other)
+        return self.inverse_batch(fa * fb % self.modulus)
+
+
+@lru_cache(maxsize=None)
+def get_ntt_context(ring_degree: int, modulus: int) -> NTTContext:
+    """Shared :class:`NTTContext` per ``(N, q)``.
+
+    Table construction costs a primitive-root search plus ``O(N)`` modular
+    powers, so every ring, ciphertext context and serving engine with the
+    same parameters reuses one cached instance.
+    """
+    return NTTContext(ring_degree=ring_degree, modulus=modulus)
+
+
+def batch_ntt(
+    coeffs: np.ndarray, ring_degree: int, modulus: int, *, inverse: bool = False
+) -> np.ndarray:
+    """Transform a ``(batch, N)`` array of polynomials in one call.
+
+    Entry point for callers that do not hold a context object (the cached
+    context per ``(N, q)`` is looked up internally).
+    """
+    ctx = get_ntt_context(ring_degree, modulus)
+    if inverse:
+        return ctx.inverse_batch(coeffs)
+    return ctx.forward_batch(coeffs)

@@ -27,7 +27,13 @@ from dataclasses import dataclass
 from ..errors import ParameterError
 from .ntt import find_ntt_prime
 
-__all__ = ["BFVParameters", "toy_parameters", "test_parameters", "paper_parameters"]
+__all__ = [
+    "BFVParameters",
+    "toy_parameters",
+    "test_parameters",
+    "serving_parameters",
+    "paper_parameters",
+]
 
 
 # Homomorphic Encryption Standard (2018), classical 128-bit security:
@@ -154,6 +160,26 @@ def test_parameters(ring_degree: int = 256) -> BFVParameters:
         ciphertext_modulus=modulus,
         plaintext_modulus=1 << 15,
         error_stddev=2.0,
+        security_bits=0,
+        deployed_modulus_bits=60,
+    )
+
+
+def serving_parameters(ring_degree: int = 256) -> BFVParameters:
+    """Exact-backend parameters for the batched linear serving path.
+
+    Slot-sharing batches accumulate one scalar product per input feature in a
+    single ciphertext, so they need more noise headroom than the toy sets: an
+    8-bit plaintext modulus under the largest NTT-friendly 30-bit prime gives
+    ``q / 2t ~ 2**21`` of budget, enough for several hundred accumulated
+    ciphertext-scalar products at test scale.
+    """
+    modulus = find_ntt_prime(30, ring_degree)
+    return BFVParameters(
+        ring_degree=ring_degree,
+        ciphertext_modulus=modulus,
+        plaintext_modulus=1 << 8,
+        error_stddev=1.0,
         security_bits=0,
         deployed_modulus_bits=60,
     )

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ParameterError
-from .ntt import NTTContext
+from .ntt import NTTContext, get_ntt_context
 
 __all__ = ["PolynomialRing"]
 
@@ -27,7 +27,12 @@ class PolynomialRing:
     _ntt: NTTContext = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self._ntt = NTTContext(ring_degree=self.degree, modulus=self.modulus)
+        self._ntt = get_ntt_context(self.degree, self.modulus)
+
+    @property
+    def ntt(self) -> NTTContext:
+        """The shared (cached per ``(N, q)``) NTT context of this ring."""
+        return self._ntt
 
     # -- constructors ------------------------------------------------------
     def zero(self) -> np.ndarray:
@@ -47,19 +52,27 @@ class PolynomialRing:
         return np.mod(coeffs, self.modulus)
 
     # -- sampling ----------------------------------------------------------
-    def sample_uniform(self, rng: np.random.Generator) -> np.ndarray:
-        """Uniform element of the ring (used for the public `a` component)."""
-        return rng.integers(0, self.modulus, size=self.degree, dtype=np.int64)
+    # Each sampler takes an optional ``count``: None draws one polynomial of
+    # shape (degree,), an integer draws a (count, degree) batch from the same
+    # stream (batched encryption samples all its randomness in one call).
+    def _shape(self, count: int | None) -> int | tuple[int, int]:
+        return self.degree if count is None else (count, self.degree)
 
-    def sample_ternary(self, rng: np.random.Generator) -> np.ndarray:
-        """Ternary secret key with coefficients in {-1, 0, 1}."""
+    def sample_uniform(self, rng: np.random.Generator, count: int | None = None) -> np.ndarray:
+        """Uniform element(s) of the ring (used for the public `a` component)."""
+        return rng.integers(0, self.modulus, size=self._shape(count), dtype=np.int64)
+
+    def sample_ternary(self, rng: np.random.Generator, count: int | None = None) -> np.ndarray:
+        """Ternary polynomial(s) with coefficients in {-1, 0, 1}."""
         return np.mod(
-            rng.integers(-1, 2, size=self.degree, dtype=np.int64), self.modulus
+            rng.integers(-1, 2, size=self._shape(count), dtype=np.int64), self.modulus
         )
 
-    def sample_error(self, rng: np.random.Generator, stddev: float) -> np.ndarray:
-        """Small error polynomial (rounded Gaussian)."""
-        noise = np.rint(rng.normal(0.0, stddev, size=self.degree)).astype(np.int64)
+    def sample_error(
+        self, rng: np.random.Generator, stddev: float, count: int | None = None
+    ) -> np.ndarray:
+        """Small error polynomial(s) (rounded Gaussian)."""
+        noise = np.rint(rng.normal(0.0, stddev, size=self._shape(count))).astype(np.int64)
         return np.mod(noise, self.modulus)
 
     # -- arithmetic --------------------------------------------------------
@@ -75,6 +88,10 @@ class PolynomialRing:
     def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Negacyclic polynomial product via NTT."""
         return self._ntt.multiply(a, b)
+
+    def mul_batch(self, polys: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic product of every row of ``polys`` with ``b`` via one NTT batch."""
+        return self._ntt.multiply_batch(polys, b)
 
     def mul_scalar(self, a: np.ndarray, scalar: int) -> np.ndarray:
         scalar = scalar % self.modulus
@@ -92,16 +109,20 @@ class PolynomialRing:
         SEAL's slot rotation for our purposes (the sign flip only affects
         slots that wrapped, which the packing layer never reads).
         """
-        steps = steps % (2 * self.degree)
-        result = np.zeros_like(a)
-        for offset in range(self.degree):
-            target = offset + steps
-            sign = 1
-            while target >= self.degree:
-                target -= self.degree
-                sign = -sign
-            result[target] = (sign * a[offset]) % self.modulus
-        return result
+        n = self.degree
+        steps = steps % (2 * n)
+        sign = 1
+        if steps >= n:
+            # X**N = -1, so a shift past N is a shift by (steps - N) negated.
+            steps -= n
+            sign = -1
+        if steps == 0:
+            return np.mod(sign * a, self.modulus)
+        result = np.empty_like(a)
+        # Coefficients that wrap past X**N pick up a sign flip.
+        result[:steps] = -a[n - steps:]
+        result[steps:] = a[: n - steps]
+        return np.mod(sign * result, self.modulus)
 
     def centered(self, a: np.ndarray) -> np.ndarray:
         """Map residues to the symmetric interval ``(-q/2, q/2]``."""

@@ -159,3 +159,31 @@ class SimulatedHEBackend(HEBackend):
             slots=np.zeros(max(1, length), dtype=np.int64),
             noise_bound=self._fresh_noise,
         )
+
+    # -- batch interface -----------------------------------------------------
+    def encrypt_batch(self, values_list: list[np.ndarray]) -> list[SimulatedCiphertext]:
+        """Encrypt many vectors; accounting stays one ``encrypt`` per ciphertext."""
+        if not values_list:
+            return []
+        checked = [self._check_length(values) for values in values_list]
+        self.tracker.record(
+            "encrypt",
+            count=len(checked),
+            bytes_moved=len(checked) * self.params.ciphertext_bytes,
+        )
+        return [
+            SimulatedCiphertext(slots=values.copy(), noise_bound=self._fresh_noise)
+            for values in checked
+        ]
+
+    def decrypt_batch(self, handles: list[SimulatedCiphertext]) -> list[np.ndarray]:
+        if not handles:
+            return []
+        for handle in handles:
+            if self.noise_budget(handle) <= 0:
+                raise NoiseBudgetExhausted(
+                    "simulated ciphertext noise budget exhausted; the chosen BFV "
+                    "parameters could not decrypt this result"
+                )
+        self.tracker.record("decrypt", count=len(handles))
+        return [handle.slots.copy() for handle in handles]

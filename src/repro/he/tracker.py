@@ -4,12 +4,23 @@ Every homomorphic operation executed by either backend (exact BFV or the
 functional simulator) is recorded here.  The latency and communication models
 in :mod:`repro.costmodel` convert these counts into seconds and bytes using
 per-operation constants calibrated against the paper's Table II.
+
+The serving runtime multiplexes many inference requests over one shared
+backend, so the tracker additionally supports *per-request attribution*: when
+a request id is set (see :meth:`OperationTracker.set_request` /
+:meth:`OperationTracker.attribute`), every recorded operation is charged both
+to the global multiset and to that request's own counter.  Operations
+recorded with no request set (key generation, shared offline pre-processing)
+stay unattributed, so ``sum(per-request) + unattributed == totals`` always
+holds — the invariant the serving tests assert.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 __all__ = ["OperationTracker"]
 
@@ -18,32 +29,81 @@ __all__ = ["OperationTracker"]
 class OperationTracker:
     """Counts cryptographic operations and bytes moved.
 
-    The tracker is deliberately dumb: it is a named multiset.  Interpretation
-    (which operations dominate latency, what a ciphertext costs on the wire)
-    lives in :mod:`repro.costmodel`.
+    The tracker is deliberately dumb: it is a named multiset (plus one
+    multiset per serving request).  Interpretation (which operations dominate
+    latency, what a ciphertext costs on the wire) lives in
+    :mod:`repro.costmodel`.
     """
 
     counts: Counter = field(default_factory=Counter)
     bytes_moved: int = 0
+    request_counts: dict[str, Counter] = field(default_factory=dict)
+    request_bytes: dict[str, int] = field(default_factory=dict)
+    _current_request: str | None = field(default=None, repr=False)
 
     def record(self, operation: str, *, count: int = 1, bytes_moved: int = 0) -> None:
         """Record ``count`` occurrences of ``operation``."""
         self.counts[operation] += count
         self.bytes_moved += bytes_moved
+        if self._current_request is not None:
+            per_request = self.request_counts.setdefault(self._current_request, Counter())
+            per_request[operation] += count
+            self.request_bytes[self._current_request] = (
+                self.request_bytes.get(self._current_request, 0) + bytes_moved
+            )
 
     def count(self, operation: str) -> int:
         """Number of recorded occurrences of ``operation``."""
         return self.counts.get(operation, 0)
 
+    # -- per-request attribution -------------------------------------------
+    def set_request(self, request_id: str | None) -> None:
+        """Attribute subsequent operations to ``request_id`` (None to stop)."""
+        self._current_request = request_id
+
+    @contextmanager
+    def attribute(self, request_id: str) -> Iterator[None]:
+        """Scope-style request attribution; restores the previous id on exit."""
+        previous = self._current_request
+        self._current_request = request_id
+        try:
+            yield
+        finally:
+            self._current_request = previous
+
+    def request_snapshot(self, request_id: str) -> dict[str, int]:
+        """Plain-dict copy of one request's operation counts."""
+        return dict(self.request_counts.get(request_id, Counter()))
+
+    def requests(self) -> list[str]:
+        """Request ids that have operations attributed to them."""
+        return list(self.request_counts)
+
+    def unattributed(self) -> dict[str, int]:
+        """Counts not charged to any request (keygen, shared pre-processing)."""
+        shared = Counter(self.counts)
+        for per_request in self.request_counts.values():
+            shared.subtract(per_request)
+        return {op: count for op, count in shared.items() if count}
+
+    # -- bookkeeping ---------------------------------------------------------
     def merge(self, other: "OperationTracker") -> None:
         """Fold another tracker's counts into this one."""
         self.counts.update(other.counts)
         self.bytes_moved += other.bytes_moved
+        for request_id, per_request in other.request_counts.items():
+            self.request_counts.setdefault(request_id, Counter()).update(per_request)
+            self.request_bytes[request_id] = (
+                self.request_bytes.get(request_id, 0)
+                + other.request_bytes.get(request_id, 0)
+            )
 
     def reset(self) -> None:
         """Clear all recorded counts."""
         self.counts.clear()
         self.bytes_moved = 0
+        self.request_counts.clear()
+        self.request_bytes.clear()
 
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy of the counts (stable for assertions/reports)."""

@@ -37,6 +37,8 @@ class Message:
     phase: Phase
     step: str
     description: str = ""
+    #: serving-runtime request this message belongs to (None for shared setup)
+    request: str | None = None
 
 
 @dataclass(frozen=True)
@@ -59,6 +61,7 @@ class Channel:
     messages: list[Message] = field(default_factory=list)
     _current_step: str = "unlabelled"
     _current_phase: Phase = Phase.ONLINE
+    _current_request: str | None = None
 
     # -- step/phase labelling ------------------------------------------------
     def set_context(self, *, step: str | None = None, phase: Phase | None = None) -> None:
@@ -67,6 +70,15 @@ class Channel:
             self._current_step = step
         if phase is not None:
             self._current_phase = phase
+
+    def set_request(self, request_id: str | None) -> None:
+        """Attribute subsequently sent messages to a serving request.
+
+        Pass ``None`` to return to unattributed (shared setup) traffic; the
+        per-request byte/round aggregations below let the serving runtime
+        report an exact communication breakdown per request.
+        """
+        self._current_request = request_id
 
     # -- sending -------------------------------------------------------------
     def send(
@@ -88,25 +100,47 @@ class Channel:
                 phase=phase if phase is not None else self._current_phase,
                 step=step if step is not None else self._current_step,
                 description=description,
+                request=self._current_request,
             )
         )
 
     # -- aggregation -----------------------------------------------------------
-    def total_bytes(self, phase: Phase | None = None, step: str | None = None) -> int:
-        """Total bytes sent, optionally filtered by phase and/or step."""
-        return sum(
-            m.num_bytes
+    def _filtered(
+        self, phase: Phase | None, step: str | None, request: str | None
+    ) -> list[Message]:
+        return [
+            m
             for m in self.messages
-            if (phase is None or m.phase is phase) and (step is None or m.step == step)
-        )
+            if (phase is None or m.phase is phase)
+            and (step is None or m.step == step)
+            and (request is None or m.request == request)
+        ]
 
-    def round_count(self, phase: Phase | None = None, step: str | None = None) -> int:
+    def total_bytes(
+        self,
+        phase: Phase | None = None,
+        step: str | None = None,
+        request: str | None = None,
+    ) -> int:
+        """Total bytes sent, optionally filtered by phase, step and/or request."""
+        return sum(m.num_bytes for m in self._filtered(phase, step, request))
+
+    def round_count(
+        self,
+        phase: Phase | None = None,
+        step: str | None = None,
+        request: str | None = None,
+    ) -> int:
         """Number of interactions (messages), optionally filtered."""
-        return sum(
-            1
-            for m in self.messages
-            if (phase is None or m.phase is phase) and (step is None or m.step == step)
-        )
+        return len(self._filtered(phase, step, request))
+
+    def requests(self) -> list[str]:
+        """Distinct request tags seen so far, in first-appearance order."""
+        seen: list[str] = []
+        for message in self.messages:
+            if message.request is not None and message.request not in seen:
+                seen.append(message.request)
+        return seen
 
     def network_time(self, phase: Phase | None = None, step: str | None = None) -> float:
         """Simulated network time for the (filtered) traffic."""

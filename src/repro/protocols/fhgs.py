@@ -194,8 +194,8 @@ class FHGSMatmul:
             description="Enc(RcL @ M - S)", step=self.step, phase=phase,
         )
         decrypted = np.zeros((n_left, dim), dtype=np.int64)
-        for j, handle in enumerate(masked):
-            decrypted[:, j] = self.backend.decrypt(handle)[:n_left]
+        for j, values in enumerate(self.backend.decrypt_batch(masked)):
+            decrypted[:, j] = values[:n_left]
 
         # Client part: (RcL @ M - S) @ RcR^T.
         client_part = np.mod(decrypted @ self._right_mask.T, modulus)
@@ -213,8 +213,8 @@ class FHGSMatmul:
             description="Enc(S @ RcR^T - S2)", step=self.step, phase=phase,
         )
         leftover = np.zeros((n_left, n_right), dtype=np.int64)
-        for i, handle in enumerate(masked_leftover):
-            leftover[i, :] = self.backend.decrypt(handle)[:n_right]
+        for i, values in enumerate(self.backend.decrypt_batch(masked_leftover)):
+            leftover[i, :] = values[:n_right]
 
         self._quad_client = np.mod(client_part + leftover, modulus)
         self._quad_server = leftover_mask
@@ -246,8 +246,8 @@ class FHGSMatmul:
             description="Enc(RcR @ W - S)", step=self.step, phase=phase,
         )
         decrypted = np.zeros((inner, out_dim), dtype=np.int64)
-        for j, handle in enumerate(masked):
-            decrypted[:, j] = self.backend.decrypt(handle)[:inner]
+        for j, values in enumerate(self.backend.decrypt_batch(masked)):
+            decrypted[:, j] = values[:inner]
 
         client_part = np.mod(self._left_mask @ decrypted, modulus)
 
@@ -263,8 +263,8 @@ class FHGSMatmul:
             description="Enc(RcL @ S - S2)", step=self.step, phase=phase,
         )
         leftover = np.zeros((n_left, out_dim), dtype=np.int64)
-        for j, handle in enumerate(masked_leftover):
-            leftover[:, j] = self.backend.decrypt(handle)[:n_left]
+        for j, values in enumerate(self.backend.decrypt_batch(masked_leftover)):
+            leftover[:, j] = values[:n_left]
 
         self._quad_client = np.mod(client_part + leftover, modulus)
         self._quad_server = leftover_mask
@@ -345,11 +345,11 @@ class FHGSMatmul:
         )
 
         dec_a = np.zeros((out_rows, out_cols), dtype=np.int64)
-        for i, handle in enumerate(masked_a):
-            dec_a[i, :] = self.backend.decrypt(handle)[:out_cols]
+        for i, values in enumerate(self.backend.decrypt_batch(masked_a)):
+            dec_a[i, :] = values[:out_cols]
         dec_b = np.zeros((out_rows, out_cols), dtype=np.int64)
-        for j, handle in enumerate(masked_b):
-            dec_b[:, j] = self.backend.decrypt(handle)[:out_rows]
+        for j, values in enumerate(self.backend.decrypt_batch(masked_b)):
+            dec_b[:, j] = values[:out_rows]
 
         client_share = np.mod(dec_a + dec_b + self._quad_client, modulus)
         server_share = np.mod(tmp1 + mask_a + mask_b + self._quad_server, modulus)

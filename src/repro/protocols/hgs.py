@@ -126,8 +126,8 @@ class HGSLinearLayer:
 
         # Client: decrypt to obtain its offline share Rc @ W + Rs.
         client_offline = np.zeros((self.input_rows, out_dim), dtype=np.int64)
-        for j, handle in enumerate(masked_handles):
-            client_offline[:, j] = self.backend.decrypt(handle)[: self.input_rows]
+        for j, values in enumerate(self.backend.decrypt_batch(masked_handles)):
+            client_offline[:, j] = values[: self.input_rows]
 
         self._client_mask = client_mask
         self._server_mask = server_mask

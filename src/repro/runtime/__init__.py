@@ -1,4 +1,10 @@
-"""Evaluation harness tying models, protocols, cost model and data together."""
+"""Evaluation harness and batch-serving runtime.
+
+Ties models, protocols, cost model and data together for the paper-table
+experiments (:mod:`repro.runtime.evaluation`) and serves many concurrent
+inference requests over shared cryptographic state
+(:mod:`repro.runtime.serving` + :mod:`repro.runtime.scheduler`).
+"""
 
 from .evaluation import (
     AccuracyReport,
@@ -7,11 +13,28 @@ from .evaluation import (
     evaluate_accuracy,
     scheme_latencies,
 )
+from .scheduler import Batch, BatchKey, BatchScheduler, InferenceRequest
+from .serving import (
+    RequestReport,
+    ServingRuntime,
+    ServingStats,
+    run_sequential_baseline,
+    summarize,
+)
 
 __all__ = [
     "AccuracyReport",
+    "Batch",
+    "BatchKey",
+    "BatchScheduler",
+    "InferenceRequest",
+    "RequestReport",
     "SchemeLatency",
+    "ServingRuntime",
+    "ServingStats",
     "calibrated_latency_model",
     "evaluate_accuracy",
+    "run_sequential_baseline",
     "scheme_latencies",
+    "summarize",
 ]

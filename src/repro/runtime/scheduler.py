@@ -1,0 +1,123 @@
+"""Request queue and batch formation for the batch-serving runtime.
+
+The serving layer accepts many independent private-inference requests and
+groups *compatible* ones — same model, same protocol variant, same request
+kind — into batches so that they can share the expensive cryptographic
+state: one engine (keys, offline HGS/FHGS pre-processing, cached NTT
+contexts) per compatibility key, and, for linear requests, shared ciphertext
+slot space via the tokens-first layout.
+
+Scheduling policy is FIFO-with-compatibility: the head of the queue always
+defines the next batch's key, and the batch is filled with the oldest
+compatible requests (in arrival order) up to ``max_batch_size``.  A request
+can never be overtaken by a *compatible* later arrival, so per-key service
+order is strictly first-come-first-served, and the head request itself is
+never starved.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ProtocolError
+
+__all__ = ["BatchKey", "InferenceRequest", "Batch", "BatchScheduler"]
+
+
+@dataclass(frozen=True)
+class BatchKey:
+    """Compatibility key: requests sharing a key may share a batch."""
+
+    kind: str      #: ``"inference"`` (full Primer run) or ``"linear"`` (X @ W)
+    model: str     #: registered model or weight-matrix name
+    variant: str   #: Primer variant name ("" for linear requests)
+
+
+@dataclass
+class InferenceRequest:
+    """One queued serving request.
+
+    ``payload`` is the token-id vector for ``kind == "inference"`` and the
+    token-by-feature input matrix for ``kind == "linear"``.
+    """
+
+    request_id: str
+    key: BatchKey
+    payload: Any
+    submitted_at: float = field(default_factory=time.perf_counter)
+    sequence: int = 0
+
+
+@dataclass
+class Batch:
+    """A group of compatible requests scheduled to run together."""
+
+    batch_id: int
+    key: BatchKey
+    requests: list[InferenceRequest]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class BatchScheduler:
+    """FIFO queue that groups compatible requests into bounded batches."""
+
+    def __init__(self, max_batch_size: int = 8) -> None:
+        if max_batch_size < 1:
+            raise ProtocolError("max_batch_size must be at least 1")
+        self.max_batch_size = max_batch_size
+        self._queue: deque[InferenceRequest] = deque()
+        self._sequence = itertools.count()
+        self._batch_ids = itertools.count()
+
+    def submit(self, request: InferenceRequest) -> InferenceRequest:
+        """Enqueue a request, stamping its arrival order."""
+        request.sequence = next(self._sequence)
+        self._queue.append(request)
+        return request
+
+    def pending(self) -> int:
+        """Number of queued (not yet batched) requests."""
+        return len(self._queue)
+
+    def pending_keys(self) -> list[BatchKey]:
+        """Distinct compatibility keys still queued, in arrival order."""
+        seen: list[BatchKey] = []
+        for request in self._queue:
+            if request.key not in seen:
+                seen.append(request.key)
+        return seen
+
+    def next_batch(self) -> Batch | None:
+        """Form the next batch: the queue head plus its oldest compatible peers.
+
+        Requests with other keys keep their queue position, so an
+        incompatible burst cannot push an older request backwards.
+        """
+        if not self._queue:
+            return None
+        key = self._queue[0].key
+        taken: list[InferenceRequest] = []
+        remaining: deque[InferenceRequest] = deque()
+        while self._queue:
+            request = self._queue.popleft()
+            if request.key == key and len(taken) < self.max_batch_size:
+                taken.append(request)
+            else:
+                remaining.append(request)
+        self._queue = remaining
+        return Batch(batch_id=next(self._batch_ids), key=key, requests=taken)
+
+    def drain(self) -> list[Batch]:
+        """Form batches until the queue is empty."""
+        batches = []
+        while True:
+            batch = self.next_batch()
+            if batch is None:
+                return batches
+            batches.append(batch)

@@ -1,0 +1,439 @@
+"""Batch-serving runtime for private Transformer inference.
+
+The paper evaluates the hybrid HE+GC protocol one sequence at a time; this
+module turns the reproduction into a *serving system*: a
+:class:`ServingRuntime` accepts many independent requests, groups compatible
+ones through the :class:`~repro.runtime.scheduler.BatchScheduler`, and
+executes each batch while amortising the expensive cryptographic state:
+
+* **full inference requests** run through a cached
+  :class:`~repro.protocols.primer.PrivateTransformerInference` engine per
+  ``(model, variant)`` — key generation, the HGS/FHGS offline
+  pre-processing, and the NTT twiddle tables are paid once per engine
+  instead of once per request;
+* **linear requests** (private ``X @ W`` evaluations, the HGS building
+  block) are packed into *shared* ciphertext slot space via the
+  tokens-first layout (:func:`repro.he.matmul.encrypted_batch_matmul`): one
+  ciphertext carries one feature of every request in the batch, so the whole
+  batch costs as many homomorphic operations as a single request.
+
+Every request gets its own accounting: wall-clock latency, queue wait, and
+the exact communication/operation breakdown attributed to it on the shared
+channel and tracker (see ``Channel.set_request`` /
+``OperationTracker.attribute``).  Batched execution is *functionally
+identical* to running each request alone — the test-suite asserts
+bit-identical logits — because the protocol's outputs are deterministic
+functions of the inputs regardless of the sharing randomness.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..he.backend import HEBackend
+from ..he.matmul import encrypted_batch_matmul
+from ..he.simulated import SimulatedHEBackend
+from ..nn.transformer import TransformerEncoder
+from ..protocols.channel import Channel, Phase
+from ..protocols.formats import protocol_he_parameters
+from ..protocols.primer import (
+    ALL_VARIANTS,
+    PRIMER_FPC,
+    PrimerVariant,
+    PrivateTransformerInference,
+)
+from .scheduler import Batch, BatchKey, BatchScheduler, InferenceRequest
+
+__all__ = [
+    "RequestReport",
+    "ServingStats",
+    "ServingRuntime",
+    "run_sequential_baseline",
+    "summarize",
+]
+
+#: step label used for the linear serving path's wire accounting
+STEP_LINEAR = "linear_serving"
+
+
+@dataclass
+class RequestReport:
+    """Per-request outcome with latency and communication breakdowns."""
+
+    request_id: str
+    kind: str
+    model: str
+    variant: str
+    batch_id: int
+    batch_size: int
+    result: np.ndarray
+    prediction: int | None
+    queue_seconds: float
+    latency_seconds: float
+    online_bytes: int
+    online_rounds: int
+    offline_bytes: int
+    he_operations: dict[str, int]
+    #: linear batches share ciphertexts, so ``he_operations`` / latency are
+    #: joint figures for the whole slot-sharing group, not per-request sums.
+    shared_slot_batch: bool = False
+
+    def summary(self) -> dict[str, float | int | str]:
+        return {
+            "request": self.request_id,
+            "model": self.model,
+            "variant": self.variant,
+            "batch": self.batch_id,
+            "batch_size": self.batch_size,
+            "latency_ms": self.latency_seconds * 1e3,
+            "queue_ms": self.queue_seconds * 1e3,
+            "online_kilobytes": self.online_bytes / 1e3,
+            "he_operations": sum(self.he_operations.values()),
+        }
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Aggregate view over a set of request reports."""
+
+    num_requests: int
+    num_batches: int
+    total_seconds: float
+    requests_per_second: float
+    mean_latency_seconds: float
+    mean_queue_seconds: float
+
+
+def summarize(reports: list[RequestReport], wall_seconds: float | None = None) -> ServingStats:
+    """Aggregate throughput/latency statistics for a serving run."""
+    if not reports:
+        return ServingStats(0, 0, 0.0, 0.0, 0.0, 0.0)
+    total = (
+        wall_seconds
+        if wall_seconds is not None
+        else sum(r.latency_seconds for r in reports if not r.shared_slot_batch)
+        + sum(
+            r.latency_seconds / max(1, r.batch_size)
+            for r in reports
+            if r.shared_slot_batch
+        )
+    )
+    return ServingStats(
+        num_requests=len(reports),
+        num_batches=len({r.batch_id for r in reports}),
+        total_seconds=total,
+        requests_per_second=len(reports) / total if total > 0 else float("inf"),
+        mean_latency_seconds=float(np.mean([r.latency_seconds for r in reports])),
+        mean_queue_seconds=float(np.mean([r.queue_seconds for r in reports])),
+    )
+
+
+@dataclass
+class _EngineEntry:
+    engine: PrivateTransformerInference
+    build_seconds: float
+
+
+class ServingRuntime:
+    """Queue → batcher → protocol runner → per-request reports.
+
+    Parameters
+    ----------
+    models:
+        Named models served for full-inference requests.
+    max_batch_size:
+        Upper bound on requests per batch (see :class:`BatchScheduler`).
+    backend_factory:
+        Optional zero-argument callable returning a fresh
+        :class:`~repro.he.backend.HEBackend` (with its own tracker) for each
+        engine and for the linear path; defaults to the simulated backend at
+        protocol-scale parameters.
+    seed:
+        Seed handed to every engine (results are seed-independent; the seed
+        only fixes the sharing randomness).
+    """
+
+    def __init__(
+        self,
+        models: dict[str, TransformerEncoder] | None = None,
+        *,
+        max_batch_size: int = 8,
+        backend_factory: Callable[[], HEBackend] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.scheduler = BatchScheduler(max_batch_size=max_batch_size)
+        self._models: dict[str, TransformerEncoder] = dict(models or {})
+        self._weight_banks: dict[str, np.ndarray] = {}
+        self._backend_factory = backend_factory
+        self._seed = seed
+        self._engines: dict[BatchKey, _EngineEntry] = {}
+        self._variants: dict[str, PrimerVariant] = {v.name: v for v in ALL_VARIANTS}
+        self._linear_backend: HEBackend | None = None
+        self._linear_channel = Channel()
+        self._request_ids = itertools.count()
+        self._completed: dict[str, RequestReport] = {}
+
+    # -- registration --------------------------------------------------------
+    def register_model(self, name: str, model: TransformerEncoder) -> None:
+        """Register (or replace) a model served under ``name``."""
+        self._models[name] = model
+        # Engines built for an older model under this name are stale.
+        for key in [k for k in self._engines if k.model == name]:
+            del self._engines[key]
+
+    def register_weights(self, name: str, weights: np.ndarray) -> None:
+        """Register a plaintext weight matrix for the linear serving path."""
+        weights = np.asarray(weights, dtype=np.int64)
+        if weights.ndim != 2:
+            raise ProtocolError("linear serving weights must be a 2-D matrix")
+        self._weight_banks[name] = weights
+
+    # -- submission ----------------------------------------------------------
+    def submit(
+        self,
+        model_name: str,
+        token_ids: np.ndarray,
+        *,
+        variant: PrimerVariant = PRIMER_FPC,
+    ) -> str:
+        """Queue one full private-inference request; returns its request id."""
+        if model_name not in self._models:
+            raise ProtocolError(f"unknown model {model_name!r}")
+        self._variants.setdefault(variant.name, variant)
+        request = InferenceRequest(
+            request_id=f"req-{next(self._request_ids)}",
+            key=BatchKey(kind="inference", model=model_name, variant=variant.name),
+            payload=np.asarray(token_ids, dtype=np.int64),
+        )
+        self.scheduler.submit(request)
+        return request.request_id
+
+    def submit_linear(self, weights_name: str, matrix: np.ndarray) -> str:
+        """Queue one private ``X @ W`` request against a registered bank."""
+        if weights_name not in self._weight_banks:
+            raise ProtocolError(f"unknown weight bank {weights_name!r}")
+        matrix = np.asarray(matrix, dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[1] != self._weight_banks[weights_name].shape[0]:
+            raise ProtocolError(
+                f"linear request shape {matrix.shape} incompatible with "
+                f"bank {weights_name!r} of shape {self._weight_banks[weights_name].shape}"
+            )
+        slot_count = self._linear_backend_instance().slot_count
+        if matrix.shape[0] > slot_count:
+            raise ProtocolError(
+                f"linear request of {matrix.shape[0]} rows exceeds the "
+                f"{slot_count}-slot ciphertext capacity"
+            )
+        request = InferenceRequest(
+            request_id=f"req-{next(self._request_ids)}",
+            key=BatchKey(kind="linear", model=weights_name, variant=""),
+            payload=matrix,
+        )
+        self.scheduler.submit(request)
+        return request.request_id
+
+    # -- execution -----------------------------------------------------------
+    def run_pending(self) -> list[RequestReport]:
+        """Drain the queue, executing batch after batch; returns all reports."""
+        reports: list[RequestReport] = []
+        while True:
+            batch = self.scheduler.next_batch()
+            if batch is None:
+                break
+            if batch.key.kind == "inference":
+                batch_reports = self._run_inference_batch(batch)
+            else:
+                batch_reports = self._run_linear_batch(batch)
+            # Register completions batch by batch so an error in a later
+            # batch cannot lose the results of batches that already ran.
+            for report in batch_reports:
+                self._completed[report.request_id] = report
+            reports.extend(batch_reports)
+        return reports
+
+    def result(self, request_id: str) -> RequestReport:
+        """Report of a completed request."""
+        if request_id not in self._completed:
+            raise ProtocolError(f"request {request_id!r} has not completed")
+        return self._completed[request_id]
+
+    # -- engine cache --------------------------------------------------------
+    def engine_for(self, model_name: str, variant: PrimerVariant = PRIMER_FPC) -> PrivateTransformerInference:
+        """The cached engine serving ``(model, variant)``, building it if needed."""
+        self._variants.setdefault(variant.name, variant)
+        key = BatchKey(kind="inference", model=model_name, variant=variant.name)
+        return self._engine(key).engine
+
+    def _engine(self, key: BatchKey) -> _EngineEntry:
+        entry = self._engines.get(key)
+        if entry is None:
+            if key.model not in self._models:
+                raise ProtocolError(f"unknown model {key.model!r}")
+            model = self._models[key.model]
+            variant = self._variants[key.variant]
+            backend = self._backend_factory() if self._backend_factory else None
+            start = time.perf_counter()
+            engine = PrivateTransformerInference(
+                model, variant, backend=backend, seed=self._seed
+            )
+            engine.offline()
+            entry = _EngineEntry(engine=engine, build_seconds=time.perf_counter() - start)
+            self._engines[key] = entry
+        return entry
+
+    def _run_inference_batch(self, batch: Batch) -> list[RequestReport]:
+        entry = self._engine(batch.key)
+        engine = entry.engine
+        reports: list[RequestReport] = []
+        for request in batch.requests:
+            start = time.perf_counter()
+            engine.tracker.set_request(request.request_id)
+            engine.channel.set_request(request.request_id)
+            try:
+                result = engine.run(request.payload)
+            finally:
+                engine.tracker.set_request(None)
+                engine.channel.set_request(None)
+            elapsed = time.perf_counter() - start
+            reports.append(
+                RequestReport(
+                    request_id=request.request_id,
+                    kind="inference",
+                    model=batch.key.model,
+                    variant=batch.key.variant,
+                    batch_id=batch.batch_id,
+                    batch_size=len(batch),
+                    result=result.logits,
+                    prediction=result.prediction,
+                    queue_seconds=start - request.submitted_at,
+                    latency_seconds=elapsed,
+                    online_bytes=engine.channel.total_bytes(
+                        Phase.ONLINE, request=request.request_id
+                    ),
+                    online_rounds=engine.channel.round_count(
+                        Phase.ONLINE, request=request.request_id
+                    ),
+                    offline_bytes=engine.channel.total_bytes(
+                        Phase.OFFLINE, request=request.request_id
+                    ),
+                    he_operations=engine.tracker.request_snapshot(request.request_id),
+                )
+            )
+        return reports
+
+    def _linear_backend_instance(self) -> HEBackend:
+        if self._linear_backend is None:
+            if self._backend_factory is not None:
+                self._linear_backend = self._backend_factory()
+            else:
+                self._linear_backend = SimulatedHEBackend(protocol_he_parameters())
+        return self._linear_backend
+
+    def _run_linear_batch(self, batch: Batch) -> list[RequestReport]:
+        """Run a slot-sharing linear batch, chunked to the ciphertext capacity."""
+        backend = self._linear_backend_instance()
+        weights = self._weight_banks[batch.key.model]
+        reports: list[RequestReport] = []
+        slot_count = backend.slot_count
+        chunk: list[InferenceRequest] = []
+        chunk_index = 0
+        rows = 0
+        for request in batch.requests + [None]:  # None flushes the last chunk
+            if request is not None and rows + request.payload.shape[0] <= slot_count:
+                chunk.append(request)
+                rows += request.payload.shape[0]
+                continue
+            if chunk:
+                reports.extend(
+                    self._run_linear_chunk(batch, chunk_index, chunk, backend, weights)
+                )
+                chunk_index += 1
+            if request is not None:
+                # Per-request capacity was validated at submit time.
+                chunk = [request]
+                rows = request.payload.shape[0]
+        return reports
+
+    def _run_linear_chunk(
+        self,
+        batch: Batch,
+        chunk_index: int,
+        chunk: list[InferenceRequest],
+        backend: HEBackend,
+        weights: np.ndarray,
+    ) -> list[RequestReport]:
+        # One tag per slot-sharing chunk: a batch may split into several
+        # chunks, and reusing one tag would double-count earlier chunks'
+        # operations in later chunks' reports.
+        tag = f"batch-{batch.batch_id}-chunk-{chunk_index}"
+        start = time.perf_counter()
+        with backend.tracker.attribute(tag):
+            results = encrypted_batch_matmul(
+                backend, [request.payload for request in chunk], weights
+            )
+        elapsed = time.perf_counter() - start
+        ops = backend.tracker.request_snapshot(tag)
+        # Wire accounting: the batch's input features travel as one shared
+        # ciphertext per feature; the results come back one per output column.
+        self._linear_channel.set_request(tag)
+        self._linear_channel.send(
+            "client", "server", weights.shape[0] * backend.ciphertext_bytes,
+            description="Enc(stacked inputs)", step=STEP_LINEAR, phase=Phase.ONLINE,
+        )
+        self._linear_channel.send(
+            "server", "client", weights.shape[1] * backend.ciphertext_bytes,
+            description="Enc(stacked results)", step=STEP_LINEAR, phase=Phase.ONLINE,
+        )
+        self._linear_channel.set_request(None)
+        online_bytes = self._linear_channel.total_bytes(Phase.ONLINE, request=tag)
+        return [
+            RequestReport(
+                request_id=request.request_id,
+                kind="linear",
+                model=batch.key.model,
+                variant="",
+                batch_id=batch.batch_id,
+                batch_size=len(chunk),
+                result=result,
+                prediction=None,
+                queue_seconds=start - request.submitted_at,
+                latency_seconds=elapsed,
+                online_bytes=online_bytes,
+                online_rounds=2,
+                offline_bytes=0,
+                he_operations=dict(ops),
+                shared_slot_batch=True,
+            )
+            for request, result in zip(chunk, results)
+        ]
+
+
+def run_sequential_baseline(
+    model: TransformerEncoder,
+    token_ids_list: list[np.ndarray],
+    *,
+    variant: PrimerVariant = PRIMER_FPC,
+    backend_factory: Callable[[], HEBackend] | None = None,
+    seed: int = 0,
+) -> tuple[list[np.ndarray], float]:
+    """Serve requests the pre-runtime way: a fresh engine per request.
+
+    This is exactly what the paper-style evaluation does (key generation and
+    the full offline phase repeated for every sequence); it is the baseline
+    the serving benchmark compares batched throughput against.  Returns the
+    per-request logits and the total wall-clock seconds.
+    """
+    logits: list[np.ndarray] = []
+    start = time.perf_counter()
+    for token_ids in token_ids_list:
+        backend = backend_factory() if backend_factory else None
+        engine = PrivateTransformerInference(model, variant, backend=backend, seed=seed)
+        engine.offline()
+        logits.append(engine.run(np.asarray(token_ids, dtype=np.int64)).logits)
+    return logits, time.perf_counter() - start

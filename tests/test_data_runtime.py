@@ -63,6 +63,23 @@ class TestSyntheticTasks:
         with pytest.raises(ParameterError):
             make_task("imagenet", tokenizer)
 
+    def test_generation_accepts_explicit_generator(self, tokenizer):
+        a = make_task("sst-2", tokenizer, num_examples=6, rng=np.random.default_rng(7))
+        b = make_task("sst-2", tokenizer, num_examples=6, rng=np.random.default_rng(7))
+        assert np.array_equal(a.token_matrix(), b.token_matrix())
+        assert np.array_equal(a.labels(), b.labels())
+
+    def test_generation_independent_of_global_numpy_state(self, tokenizer):
+        """Seeding hygiene: make_task must never read the global RNG, so test
+        ordering and parallel execution cannot perturb generated datasets."""
+        np.random.seed(123)
+        a = make_task("mrpc", tokenizer, num_examples=6, seed=2)
+        np.random.seed(99999)
+        np.random.random(17)  # scramble the global stream
+        b = make_task("mrpc", tokenizer, num_examples=6, seed=2)
+        assert np.array_equal(a.token_matrix(), b.token_matrix())
+        assert np.array_equal(a.labels(), b.labels())
+
 
 class TestEvaluationHarness:
     def test_accuracy_shape_matches_paper(self, eval_model, tokenizer):

@@ -1,0 +1,218 @@
+"""Property tests for the vectorized negacyclic NTT and its batched path.
+
+The NTT is the exact backend's hottest loop, so it is held to a higher bar
+than the rest of the substrate: roundtrip and convolution identities across
+several ``(N, q)`` pairs, equivalence of the vectorized transform with a
+slow ``O(N**2)`` reference built independently of the context's tables, and
+agreement of the batched entry points with their per-polynomial forms on
+both HE backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.he import (
+    ExactBFVBackend,
+    NTTContext,
+    SimulatedHEBackend,
+    batch_ntt,
+    find_ntt_prime,
+    get_ntt_context,
+    primitive_root,
+    serving_parameters,
+    toy_parameters,
+)
+from repro.he import test_parameters as midsize_parameters  # avoid pytest collection
+from repro.he.polyring import PolynomialRing
+
+#: (ring_degree, modulus) pairs spanning the sizes the backends actually use.
+NQ_PAIRS = [
+    (8, find_ntt_prime(20, 8)),
+    (32, find_ntt_prime(24, 32)),
+    (64, find_ntt_prime(28, 64)),
+    (256, find_ntt_prime(29, 256)),
+]
+
+
+def _reference_forward(coeffs: np.ndarray, n: int, q: int) -> np.ndarray:
+    """Slow ``O(N**2)`` negacyclic NTT built from first principles.
+
+    Evaluates the psi-twisted polynomial at the powers of ``omega = psi**2``,
+    deriving ``psi`` the same deterministic way the context does but without
+    touching any of its precomputed tables or its butterfly network.
+    """
+    g = primitive_root(q)
+    psi = pow(g, (q - 1) // (2 * n), q)
+    omega = psi * psi % q
+    out = np.zeros(n, dtype=np.int64)
+    for k in range(n):
+        acc = 0
+        for j in range(n):
+            acc = (acc + int(coeffs[j]) * pow(psi, j, q) * pow(omega, j * k, q)) % q
+        out[k] = acc
+    return out
+
+
+def _reference_negacyclic_product(a: np.ndarray, b: np.ndarray, n: int, q: int) -> np.ndarray:
+    """Schoolbook negacyclic convolution with exact Python integers."""
+    out = [0] * n
+    for i in range(n):
+        for j in range(n):
+            k = i + j
+            sign = 1
+            if k >= n:
+                k -= n
+                sign = -1
+            out[k] = (out[k] + sign * int(a[i]) * int(b[j])) % q
+    return np.array(out, dtype=np.int64)
+
+
+class TestTransformProperties:
+    @pytest.mark.parametrize("n,q", NQ_PAIRS)
+    def test_roundtrip(self, n, q, rng):
+        ctx = NTTContext(n, q)
+        poly = rng.integers(0, q, n)
+        assert np.array_equal(ctx.inverse(ctx.forward(poly)), poly % q)
+
+    @pytest.mark.parametrize("n,q", NQ_PAIRS)
+    def test_batched_roundtrip(self, n, q, rng):
+        ctx = NTTContext(n, q)
+        batch = rng.integers(0, q, size=(5, n))
+        assert np.array_equal(ctx.inverse_batch(ctx.forward_batch(batch)), batch % q)
+
+    @pytest.mark.parametrize("n,q", NQ_PAIRS[:3])
+    def test_forward_matches_slow_reference(self, n, q, rng):
+        ctx = NTTContext(n, q)
+        poly = rng.integers(0, q, n)
+        assert np.array_equal(ctx.forward(poly), _reference_forward(poly, n, q))
+
+    @pytest.mark.parametrize("n,q", NQ_PAIRS)
+    def test_batch_rows_match_single_transforms(self, n, q, rng):
+        ctx = NTTContext(n, q)
+        batch = rng.integers(0, q, size=(4, n))
+        fwd = ctx.forward_batch(batch)
+        for i in range(batch.shape[0]):
+            assert np.array_equal(fwd[i], ctx.forward(batch[i]))
+
+    @pytest.mark.parametrize("n,q", NQ_PAIRS)
+    def test_forward_is_linear(self, n, q, rng):
+        ctx = NTTContext(n, q)
+        a = rng.integers(0, q, n)
+        b = rng.integers(0, q, n)
+        lhs = ctx.forward((a + b) % q)
+        rhs = (ctx.forward(a) + ctx.forward(b)) % q
+        assert np.array_equal(lhs, rhs)
+
+
+class TestConvolutionIdentity:
+    @pytest.mark.parametrize("n,q", NQ_PAIRS[:3])
+    def test_multiply_matches_reference(self, n, q, rng):
+        ctx = NTTContext(n, q)
+        a = rng.integers(0, q, n)
+        b = rng.integers(0, q, n)
+        assert np.array_equal(
+            ctx.multiply(a, b), _reference_negacyclic_product(a, b, n, q)
+        )
+
+    @pytest.mark.parametrize("n,q", NQ_PAIRS)
+    def test_multiply_batch_matches_single(self, n, q, rng):
+        ctx = NTTContext(n, q)
+        batch = rng.integers(0, q, size=(6, n))
+        other = rng.integers(0, q, n)
+        products = ctx.multiply_batch(batch, other)
+        for i in range(batch.shape[0]):
+            assert np.array_equal(products[i], ctx.multiply(batch[i], other))
+
+    def test_multiply_by_monomial_rotates(self, rng):
+        """x * X**k must equal the ring's negacyclic rotation of x."""
+        n, q = 32, find_ntt_prime(24, 32)
+        ring = PolynomialRing(n, q)
+        poly = rng.integers(0, q, n)
+        for k in (1, 5, n - 1):
+            monomial = np.zeros(n, dtype=np.int64)
+            monomial[k] = 1
+            assert np.array_equal(
+                ring.mul(poly, monomial), ring.rotate_coefficients(poly, k)
+            )
+
+
+class TestRotationVectorization:
+    def test_matches_slow_reference(self, rng):
+        n, q = 64, find_ntt_prime(28, 64)
+        ring = PolynomialRing(n, q)
+        poly = rng.integers(0, q, n)
+        for steps in (0, 1, 7, n - 1, n, n + 3, 2 * n - 1, 2 * n):
+            slow = np.zeros_like(poly)
+            for offset in range(n):
+                target = offset + (steps % (2 * n))
+                sign = 1
+                while target >= n:
+                    target -= n
+                    sign = -sign
+                slow[target] = (sign * poly[offset]) % q
+            assert np.array_equal(ring.rotate_coefficients(poly, steps), slow), steps
+
+
+class TestEntryPointsAndCaching:
+    def test_batch_ntt_roundtrip(self, rng):
+        n, q = 64, find_ntt_prime(28, 64)
+        batch = rng.integers(0, q, size=(3, n))
+        fwd = batch_ntt(batch, n, q)
+        back = batch_ntt(fwd, n, q, inverse=True)
+        assert np.array_equal(back, batch % q)
+        assert np.array_equal(fwd, NTTContext(n, q).forward_batch(batch))
+
+    def test_context_cached_per_parameters(self):
+        n, q = 64, find_ntt_prime(28, 64)
+        assert get_ntt_context(n, q) is get_ntt_context(n, q)
+        # Rings with equal parameters share one context (tables built once).
+        assert PolynomialRing(n, q).ntt is PolynomialRing(n, q).ntt
+
+    def test_batch_shape_validation(self):
+        n, q = 32, find_ntt_prime(24, 32)
+        ctx = NTTContext(n, q)
+        with pytest.raises(ParameterError):
+            ctx.forward_batch(np.zeros((2, n + 1), dtype=np.int64))
+        with pytest.raises(ParameterError):
+            ctx.forward_batch(np.zeros(n, dtype=np.int64))  # 1-D is not a batch
+
+
+class TestBackendBatchEquivalence:
+    @pytest.mark.parametrize(
+        "make_backend",
+        [
+            lambda: ExactBFVBackend(toy_parameters(64), seed=3),
+            lambda: ExactBFVBackend(midsize_parameters(256), seed=3),
+            lambda: ExactBFVBackend(serving_parameters(256), seed=3),
+            lambda: SimulatedHEBackend(toy_parameters(64)),
+        ],
+    )
+    def test_encrypt_decrypt_batch_roundtrip(self, make_backend, rng):
+        backend = make_backend()
+        t = backend.plaintext_modulus
+        vectors = [rng.integers(0, t, size=size) for size in (1, 5, 16, 40)]
+        handles = backend.encrypt_batch(vectors)
+        decrypted = backend.decrypt_batch(handles)
+        for values, got in zip(vectors, decrypted):
+            assert np.array_equal(got[: values.size], values % t)
+
+    def test_batch_matches_sequential_on_exact_backend(self, rng):
+        """The batched NTT path must decrypt to the same residues as a loop."""
+        batch_backend = ExactBFVBackend(midsize_parameters(256), seed=9)
+        loop_backend = ExactBFVBackend(midsize_parameters(256), seed=9)
+        vectors = [rng.integers(0, 1 << 15, size=30) for _ in range(6)]
+        batched = batch_backend.decrypt_batch(batch_backend.encrypt_batch(vectors))
+        looped = [loop_backend.decrypt(loop_backend.encrypt(v)) for v in vectors]
+        for got, expected in zip(batched, looped):
+            assert np.array_equal(got, expected)
+
+    def test_batch_accounting_counts_every_ciphertext(self):
+        backend = SimulatedHEBackend(toy_parameters(64))
+        backend.encrypt_batch([np.arange(4)] * 7)
+        assert backend.tracker.count("encrypt") == 7
+        exact = ExactBFVBackend(toy_parameters(64), seed=1)
+        exact.encrypt_batch([np.arange(4)] * 7)
+        assert exact.tracker.count("encrypt") == 7

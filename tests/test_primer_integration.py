@@ -50,6 +50,23 @@ class TestPrivateInference:
         for name, result in variant_results.items():
             assert np.max(np.abs(result.logits - reference)) < 0.5, name
 
+    def test_variant_equivalence_regression(self, variant_results):
+        """All four variants decode the same output on the seeded input.
+
+        The F and P optimisations only move work offline / repack slots, so
+        primer-base, primer-f and primer-fp must produce bit-identical
+        logits.  CHGS merges adjacent products (its intermediates carry 3f
+        fractional bits before truncation), so primer-fpc is held to the
+        fixed-point resolution instead — and the decoded prediction must
+        agree across all four.
+        """
+        predictions = {name: r.prediction for name, r in variant_results.items()}
+        assert len(set(predictions.values())) == 1, predictions
+        reference = variant_results["primer-base"].logits
+        for name in ("primer-f", "primer-fp"):
+            assert np.array_equal(variant_results[name].logits, reference), name
+        assert np.max(np.abs(variant_results["primer-fpc"].logits - reference)) < 0.05
+
     def test_primer_base_has_no_offline_traffic(self, variant_results):
         assert variant_results["primer-base"].offline_bytes == 0
         assert variant_results["primer-base"].offline_rounds == 0

@@ -1,0 +1,272 @@
+"""Tests for the batch-serving runtime: scheduler policy, per-request
+accounting, slot-sharing linear batches, and batched-vs-solo equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.he import ExactBFVBackend, SimulatedHEBackend, serving_parameters, toy_parameters
+from repro.he.tracker import OperationTracker
+from repro.protocols import PRIMER_F, PRIMER_FPC, Phase
+from repro.runtime import (
+    BatchKey,
+    BatchScheduler,
+    InferenceRequest,
+    ServingRuntime,
+    run_sequential_baseline,
+    summarize,
+)
+
+KEY_A = BatchKey(kind="inference", model="a", variant="primer-fpc")
+KEY_B = BatchKey(kind="inference", model="b", variant="primer-fpc")
+KEY_A_F = BatchKey(kind="inference", model="a", variant="primer-f")
+
+
+def _request(key: BatchKey, rid: str) -> InferenceRequest:
+    return InferenceRequest(request_id=rid, key=key, payload=np.zeros(1, dtype=np.int64))
+
+
+class TestBatchScheduler:
+    def test_groups_compatible_requests(self):
+        scheduler = BatchScheduler(max_batch_size=4)
+        for i in range(3):
+            scheduler.submit(_request(KEY_A, f"a{i}"))
+        scheduler.submit(_request(KEY_B, "b0"))
+        batch = scheduler.next_batch()
+        assert batch.key == KEY_A
+        assert [r.request_id for r in batch.requests] == ["a0", "a1", "a2"]
+        assert scheduler.pending() == 1
+
+    def test_fifo_head_defines_the_batch(self):
+        """The oldest request is always in the next batch (no starvation)."""
+        scheduler = BatchScheduler(max_batch_size=4)
+        scheduler.submit(_request(KEY_B, "b0"))
+        for i in range(6):
+            scheduler.submit(_request(KEY_A, f"a{i}"))
+        batch = scheduler.next_batch()
+        assert batch.key == KEY_B
+        assert [r.request_id for r in batch.requests] == ["b0"]
+
+    def test_fifo_order_preserved_within_key(self):
+        scheduler = BatchScheduler(max_batch_size=2)
+        order = ["a0", "b0", "a1", "a2", "b1"]
+        for rid in order:
+            scheduler.submit(_request(KEY_A if rid.startswith("a") else KEY_B, rid))
+        batches = scheduler.drain()
+        assert [[r.request_id for r in b.requests] for b in batches] == (
+            [["a0", "a1"], ["b0", "b1"], ["a2"]]
+        )
+
+    def test_max_batch_size_enforced(self):
+        scheduler = BatchScheduler(max_batch_size=3)
+        for i in range(7):
+            scheduler.submit(_request(KEY_A, f"a{i}"))
+        sizes = [len(b) for b in scheduler.drain()]
+        assert sizes == [3, 3, 1]
+
+    def test_variants_are_incompatible(self):
+        scheduler = BatchScheduler(max_batch_size=8)
+        scheduler.submit(_request(KEY_A, "a0"))
+        scheduler.submit(_request(KEY_A_F, "f0"))
+        batches = scheduler.drain()
+        assert len(batches) == 2
+        assert batches[0].key == KEY_A and batches[1].key == KEY_A_F
+
+    def test_empty_queue_yields_none(self):
+        assert BatchScheduler().next_batch() is None
+
+    def test_rejects_degenerate_batch_size(self):
+        with pytest.raises(ProtocolError):
+            BatchScheduler(max_batch_size=0)
+
+
+@pytest.fixture(scope="module")
+def served(tiny_model):
+    """One serving run over six requests across two variants (shared)."""
+    rng = np.random.default_rng(7)
+    tokens = [rng.integers(0, 40, size=6) for _ in range(6)]
+    runtime = ServingRuntime({"tiny": tiny_model}, max_batch_size=4, seed=21)
+    ids = [runtime.submit("tiny", t) for t in tokens[:4]]
+    ids.append(runtime.submit("tiny", tokens[4], variant=PRIMER_F))
+    ids.append(runtime.submit("tiny", tokens[5]))
+    reports = runtime.run_pending()
+    return runtime, tokens, ids, reports
+
+
+class TestServingRuntime:
+    def test_all_requests_served_in_batches(self, served):
+        runtime, tokens, ids, reports = served
+        assert [r.request_id for r in reports] == ids
+        assert runtime.scheduler.pending() == 0
+        # 4 fpc + 1 f + 1 fpc overflow -> three batches.
+        assert len({r.batch_id for r in reports}) == 3
+
+    def test_batched_results_match_solo_runs(self, served, tiny_model):
+        """Batch execution must be bit-identical to engine-per-request runs."""
+        runtime, tokens, ids, reports = served
+        solo_logits, _ = run_sequential_baseline(tiny_model, tokens[:4], seed=999)
+        for rid, expected in zip(ids[:4], solo_logits):
+            report = runtime.result(rid)
+            assert np.array_equal(report.result, expected), rid
+            assert report.prediction == int(np.argmax(expected))
+
+    def test_per_request_channel_accounting_sums_to_totals(self, served):
+        runtime, tokens, ids, reports = served
+        for variant in ("primer-fpc", "primer-f"):
+            engine = runtime.engine_for(
+                "tiny", PRIMER_FPC if variant == "primer-fpc" else PRIMER_F
+            )
+            channel = engine.channel
+            tagged_bytes = sum(
+                channel.total_bytes(Phase.ONLINE, request=rid) for rid in channel.requests()
+            )
+            # The engine's shared offline phase sends nothing online, so the
+            # per-request attribution covers all online traffic exactly.
+            assert tagged_bytes == channel.total_bytes(Phase.ONLINE)
+            tagged_rounds = sum(
+                channel.round_count(Phase.ONLINE, request=rid) for rid in channel.requests()
+            )
+            assert tagged_rounds == channel.round_count(Phase.ONLINE)
+
+    def test_per_request_tracker_accounting_sums_to_totals(self, served):
+        runtime, tokens, ids, reports = served
+        engine = runtime.engine_for("tiny", PRIMER_FPC)
+        tracker = engine.tracker
+        recombined = dict(tracker.unattributed())
+        for rid in tracker.requests():
+            for op, count in tracker.request_snapshot(rid).items():
+                recombined[op] = recombined.get(op, 0) + count
+        assert recombined == tracker.snapshot()
+
+    def test_reports_carry_per_request_breakdowns(self, served):
+        _, _, _, reports = served
+        for report in reports:
+            assert report.online_bytes > 0
+            assert report.online_rounds > 0
+            assert report.latency_seconds > 0
+            assert report.queue_seconds >= 0
+            assert report.summary()["batch_size"] >= 1
+
+    def test_summarize_throughput(self, served):
+        _, _, _, reports = served
+        stats = summarize(reports)
+        assert stats.num_requests == 6
+        assert stats.num_batches == 3
+        assert stats.requests_per_second > 0
+
+    def test_unknown_model_rejected(self):
+        runtime = ServingRuntime()
+        with pytest.raises(ProtocolError):
+            runtime.submit("nope", np.zeros(4, dtype=np.int64))
+
+    def test_engine_cache_reused_across_run_pending_calls(self, served, tiny_model):
+        runtime, tokens, ids, reports = served
+        engine_before = runtime.engine_for("tiny", PRIMER_FPC)
+        runtime.submit("tiny", tokens[0])
+        more = runtime.run_pending()
+        assert runtime.engine_for("tiny", PRIMER_FPC) is engine_before
+        assert np.array_equal(more[-1].result, runtime.result(ids[0]).result)
+
+
+class TestLinearServing:
+    @pytest.mark.parametrize(
+        "make_backend",
+        [
+            lambda: ExactBFVBackend(serving_parameters(256), seed=5),
+            lambda: SimulatedHEBackend(toy_parameters(256)),
+        ],
+    )
+    def test_batched_linear_results_exact(self, make_backend, rng):
+        runtime = ServingRuntime(backend_factory=make_backend, max_batch_size=8)
+        weights = rng.integers(0, 7, size=(16, 4))
+        runtime.register_weights("proj", weights)
+        matrices = [rng.integers(0, 100, size=(8, 16)) for _ in range(8)]
+        ids = [runtime.submit_linear("proj", m) for m in matrices]
+        reports = runtime.run_pending()
+        t = make_backend().plaintext_modulus
+        for m, rid in zip(matrices, ids):
+            report = runtime.result(rid)
+            assert np.array_equal(report.result, (m @ weights) % t)
+            assert report.shared_slot_batch
+
+    def test_batch_shares_ciphertexts_across_requests(self, rng):
+        """8 requests cost the same number of encryptions as one request."""
+        backend = ExactBFVBackend(serving_parameters(256), seed=5)
+        runtime = ServingRuntime(backend_factory=lambda: backend, max_batch_size=8)
+        weights = rng.integers(0, 7, size=(16, 4))
+        runtime.register_weights("proj", weights)
+        for _ in range(8):
+            runtime.submit_linear("proj", rng.integers(0, 100, size=(8, 16)))
+        reports = runtime.run_pending()
+        # One ciphertext per input feature, shared by the whole batch.
+        assert reports[0].he_operations["encrypt"] == 16
+        assert reports[0].batch_size == 8
+
+    def test_oversized_batches_are_chunked_to_slot_capacity(self, rng):
+        backend = SimulatedHEBackend(toy_parameters(64))  # 64 slots
+        runtime = ServingRuntime(backend_factory=lambda: backend, max_batch_size=8)
+        weights = rng.integers(0, 7, size=(4, 2))
+        runtime.register_weights("proj", weights)
+        matrices = [rng.integers(0, 30, size=(24, 4)) for _ in range(5)]  # 120 rows total
+        for m in matrices:
+            runtime.submit_linear("proj", m)
+        reports = runtime.run_pending()
+        t = backend.plaintext_modulus
+        for m, report in zip(matrices, reports):
+            assert np.array_equal(report.result, (m @ weights) % t)
+        # 24-row requests fit two per 64-slot ciphertext -> chunks of <= 2.
+        assert max(r.batch_size for r in reports) == 2
+        # Every chunk gets its own accounting tag: a later chunk's report
+        # must not accumulate the earlier chunks' operations.
+        first_chunk_ops = reports[0].he_operations
+        last_chunk_ops = reports[-1].he_operations
+        assert last_chunk_ops["encrypt"] == first_chunk_ops["encrypt"] == weights.shape[0]
+
+    def test_request_larger_than_slot_capacity_rejected_at_submit(self, rng):
+        backend = SimulatedHEBackend(toy_parameters(64))
+        runtime = ServingRuntime(backend_factory=lambda: backend)
+        runtime.register_weights("proj", rng.integers(0, 7, size=(4, 2)))
+        with pytest.raises(ProtocolError):
+            runtime.submit_linear("proj", rng.integers(0, 30, size=(65, 4)))
+        # Nothing was queued, so the runtime keeps serving normally.
+        assert runtime.scheduler.pending() == 0
+
+    def test_engine_for_unknown_model_raises_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            ServingRuntime().engine_for("typo")
+
+    def test_shape_mismatch_rejected(self, rng):
+        runtime = ServingRuntime()
+        runtime.register_weights("proj", rng.integers(0, 7, size=(16, 4)))
+        with pytest.raises(ProtocolError):
+            runtime.submit_linear("proj", rng.integers(0, 10, size=(8, 5)))
+        with pytest.raises(ProtocolError):
+            runtime.submit_linear("unknown", rng.integers(0, 10, size=(8, 16)))
+
+
+class TestTrackerAttribution:
+    def test_attribute_scopes_nest_and_restore(self):
+        tracker = OperationTracker()
+        tracker.record("op")
+        with tracker.attribute("r1"):
+            tracker.record("op")
+            with tracker.attribute("r2"):
+                tracker.record("op", count=2)
+            tracker.record("op")
+        tracker.record("op")
+        assert tracker.count("op") == 6
+        assert tracker.request_snapshot("r1") == {"op": 2}
+        assert tracker.request_snapshot("r2") == {"op": 2}
+        assert tracker.unattributed() == {"op": 2}
+
+    def test_merge_preserves_request_attribution(self):
+        a, b = OperationTracker(), OperationTracker()
+        with a.attribute("r1"):
+            a.record("x", bytes_moved=10)
+        with b.attribute("r1"):
+            b.record("x", bytes_moved=5)
+        a.merge(b)
+        assert a.request_snapshot("r1") == {"x": 2}
+        assert a.request_bytes["r1"] == 15
