@@ -11,7 +11,7 @@ import pytest
 
 from repro.costmodel import format_table
 from repro.nn import BERT_BASE
-from repro.protocols import PRIMER_BASE, PRIMER_F, count_operations
+from repro.protocols import PRIMER_BASE, PRIMER_F
 from repro.runtime import scheme_latencies
 
 PAPER_FIGURE2 = {

@@ -12,7 +12,7 @@ import pytest
 
 from repro.costmodel import format_table
 from repro.nn import BERT_BASE
-from repro.protocols import PRIMER_F, PRIMER_FPC, count_operations
+from repro.protocols import PRIMER_F, PRIMER_FPC
 from repro.runtime import scheme_latencies
 
 PAPER_TABLE1 = {

@@ -39,7 +39,13 @@ class OperationTracker:
     bytes_moved: int = 0
     request_counts: dict[str, Counter] = field(default_factory=dict)
     request_bytes: dict[str, int] = field(default_factory=dict)
+    #: per-phase attribution ("offline"/"online"), set by the protocol engine
+    phase_counts: dict[str, Counter] = field(default_factory=dict)
+    #: per-worker attribution ("worker-0", ...), set by the serving executor
+    worker_counts: dict[str, Counter] = field(default_factory=dict)
     _current_request: str | None = field(default=None, repr=False)
+    _current_phase: str | None = field(default=None, repr=False)
+    _current_worker: str | None = field(default=None, repr=False)
 
     def record(self, operation: str, *, count: int = 1, bytes_moved: int = 0) -> None:
         """Record ``count`` occurrences of ``operation``."""
@@ -51,6 +57,10 @@ class OperationTracker:
             self.request_bytes[self._current_request] = (
                 self.request_bytes.get(self._current_request, 0) + bytes_moved
             )
+        if self._current_phase is not None:
+            self.phase_counts.setdefault(self._current_phase, Counter())[operation] += count
+        if self._current_worker is not None:
+            self.worker_counts.setdefault(self._current_worker, Counter())[operation] += count
 
     def count(self, operation: str) -> int:
         """Number of recorded occurrences of ``operation``."""
@@ -75,6 +85,32 @@ class OperationTracker:
         """Plain-dict copy of one request's operation counts."""
         return dict(self.request_counts.get(request_id, Counter()))
 
+    # -- per-phase / per-worker attribution --------------------------------
+    def set_phase(self, phase: str | None) -> None:
+        """Attribute subsequent operations to a protocol phase (None to stop).
+
+        The phase is a plain string (``"offline"`` / ``"online"``) so this
+        module stays free of protocol-layer imports; the engine passes
+        ``Phase.X.value``.
+        """
+        self._current_phase = phase
+
+    def set_worker(self, worker: str | None) -> None:
+        """Attribute subsequent operations to a serving worker (None to stop)."""
+        self._current_worker = worker
+
+    def phase_snapshot(self, phase: str) -> dict[str, int]:
+        """Plain-dict copy of one phase's operation counts."""
+        return dict(self.phase_counts.get(phase, Counter()))
+
+    def worker_snapshot(self, worker: str) -> dict[str, int]:
+        """Plain-dict copy of one worker's operation counts."""
+        return dict(self.worker_counts.get(worker, Counter()))
+
+    def workers(self) -> list[str]:
+        """Worker ids that have operations attributed to them."""
+        return list(self.worker_counts)
+
     def requests(self) -> list[str]:
         """Request ids that have operations attributed to them."""
         return list(self.request_counts)
@@ -97,6 +133,10 @@ class OperationTracker:
                 self.request_bytes.get(request_id, 0)
                 + other.request_bytes.get(request_id, 0)
             )
+        for phase, per_phase in other.phase_counts.items():
+            self.phase_counts.setdefault(phase, Counter()).update(per_phase)
+        for worker, per_worker in other.worker_counts.items():
+            self.worker_counts.setdefault(worker, Counter()).update(per_worker)
 
     def reset(self) -> None:
         """Clear all recorded counts."""
@@ -104,6 +144,8 @@ class OperationTracker:
         self.bytes_moved = 0
         self.request_counts.clear()
         self.request_bytes.clear()
+        self.phase_counts.clear()
+        self.worker_counts.clear()
 
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy of the counts (stable for assertions/reports)."""

@@ -6,6 +6,7 @@ from .fhgs import FHGSMatmul
 from .formats import EXACT_DEMO_FORMAT, PROTOCOL_FORMAT, VALUE_FORMAT, protocol_he_parameters
 from .hgs import HGSLinearLayer
 from .nonlinear import GCCostModel, GCNonlinearEvaluator, garbled_share_relu
+from .plan import FHGSPlan, HGSPlan, OfflinePlan
 from .primer import (
     ALL_VARIANTS,
     PRIMER_BASE,
@@ -22,12 +23,15 @@ __all__ = [
     "Channel",
     "EXACT_DEMO_FORMAT",
     "FHGSMatmul",
+    "FHGSPlan",
     "GCCostModel",
     "GCNonlinearEvaluator",
     "HGSLinearLayer",
+    "HGSPlan",
     "InferenceAccount",
     "Message",
     "NetworkModel",
+    "OfflinePlan",
     "OperationCounts",
     "PROTOCOL_FORMAT",
     "PRIMER_BASE",

@@ -15,6 +15,7 @@ breakdown of the paper's Table II and the message sizes of Table III.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 
 __all__ = ["Phase", "Message", "NetworkModel", "Channel"]
@@ -39,6 +40,9 @@ class Message:
     description: str = ""
     #: serving-runtime request this message belongs to (None for shared setup)
     request: str | None = None
+    #: serving worker that executed the sending protocol step (None outside
+    #: the sharded executor)
+    worker: str | None = None
 
 
 @dataclass(frozen=True)
@@ -59,9 +63,19 @@ class Channel:
 
     network: NetworkModel = field(default_factory=NetworkModel)
     messages: list[Message] = field(default_factory=list)
+    #: when True, every ``send`` *waits out* the network model's transfer
+    #: time instead of only recording it — the serving runtime uses this to
+    #: emulate the paper's two-instance deployment, where the offline
+    #: phase's many rounds genuinely occupy the wire (and a pipelined
+    #: executor can overlap them with compute)
+    realize_network: bool = False
     _current_step: str = "unlabelled"
     _current_phase: Phase = Phase.ONLINE
     _current_request: str | None = None
+    _current_worker: str | None = None
+    #: incremental per-(request, phase) [bytes, rounds] so per-request
+    #: reporting stays O(1) as the message log grows over a serving run
+    _request_totals: dict = field(default_factory=dict, repr=False)
 
     # -- step/phase labelling ------------------------------------------------
     def set_context(self, *, step: str | None = None, phase: Phase | None = None) -> None:
@@ -80,6 +94,14 @@ class Channel:
         """
         self._current_request = request_id
 
+    def set_worker(self, worker: str | None) -> None:
+        """Attribute subsequently sent messages to a serving worker.
+
+        Set by the sharded executor around each batch it runs, so the wire
+        traffic of a multi-worker drain can be broken down per worker.
+        """
+        self._current_worker = worker
+
     # -- sending -------------------------------------------------------------
     def send(
         self,
@@ -92,21 +114,31 @@ class Channel:
         phase: Phase | None = None,
     ) -> None:
         """Record one message of ``num_bytes`` bytes."""
-        self.messages.append(
-            Message(
-                sender=sender,
-                receiver=receiver,
-                num_bytes=int(num_bytes),
-                phase=phase if phase is not None else self._current_phase,
-                step=step if step is not None else self._current_step,
-                description=description,
-                request=self._current_request,
-            )
+        if self.realize_network:
+            time.sleep(self.network.transfer_time(int(num_bytes)))
+        message = Message(
+            sender=sender,
+            receiver=receiver,
+            num_bytes=int(num_bytes),
+            phase=phase if phase is not None else self._current_phase,
+            step=step if step is not None else self._current_step,
+            description=description,
+            request=self._current_request,
+            worker=self._current_worker,
         )
+        self.messages.append(message)
+        if message.request is not None:
+            totals = self._request_totals.setdefault((message.request, message.phase), [0, 0])
+            totals[0] += message.num_bytes
+            totals[1] += 1
 
     # -- aggregation -----------------------------------------------------------
     def _filtered(
-        self, phase: Phase | None, step: str | None, request: str | None
+        self,
+        phase: Phase | None,
+        step: str | None,
+        request: str | None,
+        worker: str | None = None,
     ) -> list[Message]:
         return [
             m
@@ -114,25 +146,43 @@ class Channel:
             if (phase is None or m.phase is phase)
             and (step is None or m.step == step)
             and (request is None or m.request == request)
+            and (worker is None or m.worker == worker)
         ]
+
+    def _request_total(self, request: str, phase: Phase | None, index: int) -> int:
+        if phase is None:
+            return sum(
+                totals[index]
+                for (tagged, _), totals in self._request_totals.items()
+                if tagged == request
+            )
+        return self._request_totals.get((request, phase), (0, 0))[index]
 
     def total_bytes(
         self,
         phase: Phase | None = None,
         step: str | None = None,
         request: str | None = None,
+        worker: str | None = None,
     ) -> int:
-        """Total bytes sent, optionally filtered by phase, step and/or request."""
-        return sum(m.num_bytes for m in self._filtered(phase, step, request))
+        """Total bytes sent, optionally filtered by phase/step/request/worker."""
+        if request is not None and step is None and worker is None:
+            # O(1) incremental path: per-request reporting must not rescan
+            # the whole (ever-growing) message log of a serving run.
+            return self._request_total(request, phase, 0)
+        return sum(m.num_bytes for m in self._filtered(phase, step, request, worker))
 
     def round_count(
         self,
         phase: Phase | None = None,
         step: str | None = None,
         request: str | None = None,
+        worker: str | None = None,
     ) -> int:
         """Number of interactions (messages), optionally filtered."""
-        return len(self._filtered(phase, step, request))
+        if request is not None and step is None and worker is None:
+            return self._request_total(request, phase, 1)
+        return len(self._filtered(phase, step, request, worker))
 
     def requests(self) -> list[str]:
         """Distinct request tags seen so far, in first-appearance order."""
@@ -140,6 +190,14 @@ class Channel:
         for message in self.messages:
             if message.request is not None and message.request not in seen:
                 seen.append(message.request)
+        return seen
+
+    def workers(self) -> list[str]:
+        """Distinct worker tags seen so far, in first-appearance order."""
+        seen: list[str] = []
+        for message in self.messages:
+            if message.worker is not None and message.worker not in seen:
+                seen.append(message.worker)
         return seen
 
     def network_time(self, phase: Phase | None = None, step: str | None = None) -> float:
@@ -159,3 +217,4 @@ class Channel:
     def reset(self) -> None:
         """Clear the message log."""
         self.messages.clear()
+        self._request_totals.clear()

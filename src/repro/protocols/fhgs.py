@@ -60,6 +60,7 @@ from ..he.matmul import (
 from ..mpc.sharing import AdditiveSharing, SharedValue
 from .channel import Channel, Phase
 from .formats import PROTOCOL_FORMAT
+from .plan import FHGSPlan
 
 __all__ = ["FHGSMatmul"]
 
@@ -82,14 +83,8 @@ class FHGSMatmul:
     fmt: FixedPointFormat = PROTOCOL_FORMAT
     seed: int | None = None
 
-    _left_mask: np.ndarray | None = field(default=None, repr=False)
-    _right_mask: np.ndarray | None = field(default=None, repr=False)
-    _enc_left_cols: PackedMatrix | None = field(default=None, repr=False)
-    _enc_right_rows: PackedMatrix | None = field(default=None, repr=False)
-    _enc_weighted_right_rows: PackedMatrix | None = field(default=None, repr=False)
-    _quad_client: np.ndarray | None = field(default=None, repr=False)
-    _quad_server: np.ndarray | None = field(default=None, repr=False)
-    _offline_done: bool = field(default=False, repr=False)
+    # installed offline artifact (see protocols/plan.py)
+    _plan: FHGSPlan | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.middle_weights is not None and self.right_weights is not None:
@@ -135,8 +130,12 @@ class FHGSMatmul:
         return (self.left_shape[0], self.right_shape[1])
 
     # -- offline phase ---------------------------------------------------------
-    def offline(self, *, phase: Phase = Phase.OFFLINE) -> None:
-        """Exchange encrypted masks and prepare the mask-product shares."""
+    def prepare(self, *, phase: Phase = Phase.OFFLINE) -> FHGSPlan:
+        """Exchange encrypted masks and return the offline artifact.
+
+        The returned :class:`FHGSPlan` is not adopted — pass it to
+        :meth:`install`, or call :meth:`offline` which composes the two.
+        """
         modulus = self.sharing.modulus
         left_mask = self._rng.integers(0, modulus, size=self.left_shape, dtype=np.int64)
         right_mask = self._rng.integers(0, modulus, size=self.right_shape, dtype=np.int64)
@@ -155,27 +154,71 @@ class FHGSMatmul:
             description="Enc(Rc), Enc(Rc^T)", step=self.step, phase=phase,
         )
 
-        self._left_mask = left_mask
-        self._right_mask = right_mask
-        self._enc_left_cols = enc_left_cols
-        self._enc_right_rows = enc_right_rows
-
+        enc_weighted_right_rows: PackedMatrix | None = None
         if self.middle_weights is not None:
-            self._offline_quadratic_middle(phase)
+            quad_client, quad_server = self._prepare_quadratic_middle(
+                left_mask, right_mask, enc_left_cols, enc_right_rows, phase
+            )
         elif self.right_weights is not None:
-            self._offline_quadratic_right(enc_right_cols, phase)
+            quad_client, quad_server, enc_weighted_right_rows = (
+                self._prepare_quadratic_right(left_mask, enc_left_cols, enc_right_cols, phase)
+            )
         else:
             # Both masks are the client's own randomness, so the client
             # computes the mask product locally (the Enc(Rc^T x Rc) term).
             if self.transpose_right:
-                quad = np.mod(left_mask @ right_mask.T, modulus)
+                quad_client = np.mod(left_mask @ right_mask.T, modulus)
             else:
-                quad = np.mod(left_mask @ right_mask, modulus)
-            self._quad_client = quad
-            self._quad_server = np.zeros_like(quad)
-        self._offline_done = True
+                quad_client = np.mod(left_mask @ right_mask, modulus)
+            quad_server = np.zeros_like(quad_client)
 
-    def _offline_quadratic_middle(self, phase: Phase) -> None:
+        return FHGSPlan(
+            left_mask=left_mask,
+            right_mask=right_mask,
+            enc_left_cols=enc_left_cols,
+            enc_right_rows=enc_right_rows,
+            quad_client=quad_client,
+            quad_server=quad_server,
+            enc_weighted_right_rows=enc_weighted_right_rows,
+        )
+
+    def install(self, plan: FHGSPlan) -> None:
+        """Adopt a prepared offline artifact; ``online()`` may run after this."""
+        if not isinstance(plan, FHGSPlan):
+            raise ProtocolError(
+                f"FHGS '{self.step}' cannot install a {type(plan).__name__}"
+            )
+        if plan.operand_shapes != (self.left_shape, self.right_shape):
+            raise ShapeError(
+                f"plan operand shapes {plan.operand_shapes} do not match "
+                f"module shapes {self.left_shape}/{self.right_shape}"
+            )
+        if self.right_weights is not None and plan.enc_weighted_right_rows is None:
+            raise ProtocolError(
+                f"FHGS '{self.step}' needs a right-weighted plan "
+                "(enc_weighted_right_rows missing)"
+            )
+        self._plan = plan
+
+    def offline(self, *, phase: Phase = Phase.OFFLINE) -> None:
+        """Prepare and immediately install the offline artifact."""
+        self.install(self.prepare(phase=phase))
+
+    @property
+    def plan(self) -> FHGSPlan:
+        """The installed offline artifact."""
+        if self._plan is None:
+            raise ProtocolError("offline phase has not been run")
+        return self._plan
+
+    def _prepare_quadratic_middle(
+        self,
+        left_mask: np.ndarray,
+        right_mask: np.ndarray,
+        enc_left_cols: PackedMatrix,
+        enc_right_rows: PackedMatrix,
+        phase: Phase,
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Offline sharing of ``RcL @ M @ RcR^T`` when M is server-held."""
         modulus = self.sharing.modulus
         n_left = self.left_shape[0]
@@ -183,7 +226,7 @@ class FHGSMatmul:
         dim = self.middle_weights.shape[1]
 
         # Server: Enc(RcL @ M) - S, sent to the client.
-        enc_left_m = enc_times_plain(self.backend, self._enc_left_cols, self.middle_weights)
+        enc_left_m = enc_times_plain(self.backend, enc_left_cols, self.middle_weights)
         blinding = self._rng.integers(0, modulus, size=(n_left, dim), dtype=np.int64)
         masked = [
             self.backend.add_plain(handle, np.mod(-blinding[:, j], modulus))
@@ -198,11 +241,11 @@ class FHGSMatmul:
             decrypted[:, j] = values[:n_left]
 
         # Client part: (RcL @ M - S) @ RcR^T.
-        client_part = np.mod(decrypted @ self._right_mask.T, modulus)
+        client_part = np.mod(decrypted @ right_mask.T, modulus)
 
         # The leftover S @ RcR^T is linear in the encrypted mask, so the
         # server computes it homomorphically and the parties share it.
-        enc_leftover = plain_times_enc(self.backend, blinding, self._enc_right_rows)
+        enc_leftover = plain_times_enc(self.backend, blinding, enc_right_rows)
         leftover_mask = self._rng.integers(0, modulus, size=(n_left, n_right), dtype=np.int64)
         masked_leftover = [
             self.backend.add_plain(handle, np.mod(-leftover_mask[i, :], modulus))
@@ -216,10 +259,15 @@ class FHGSMatmul:
         for i, values in enumerate(self.backend.decrypt_batch(masked_leftover)):
             leftover[i, :] = values[:n_right]
 
-        self._quad_client = np.mod(client_part + leftover, modulus)
-        self._quad_server = leftover_mask
+        return np.mod(client_part + leftover, modulus), leftover_mask
 
-    def _offline_quadratic_right(self, enc_right_cols: PackedMatrix, phase: Phase) -> None:
+    def _prepare_quadratic_right(
+        self,
+        left_mask: np.ndarray,
+        enc_left_cols: PackedMatrix,
+        enc_right_cols: PackedMatrix,
+        phase: Phase,
+    ) -> tuple[np.ndarray, np.ndarray, PackedMatrix]:
         """Offline sharing of ``RcL @ (RcR @ W)`` when W is server-held.
 
         Also prepares the row-packed ``Enc(RcR @ W)`` needed by the online
@@ -233,7 +281,7 @@ class FHGSMatmul:
         # Server: Enc(RcR @ W), column-packed, then repacked row-wise for the
         # online plain x enc product (this is where the rotations go).
         enc_right_w_cols = enc_times_plain(self.backend, enc_right_cols, self.right_weights)
-        self._enc_weighted_right_rows = repack_columns_to_rows(self.backend, enc_right_w_cols)
+        enc_weighted_right_rows = repack_columns_to_rows(self.backend, enc_right_w_cols)
 
         # Server: Enc(RcR @ W) - S to the client.
         blinding = self._rng.integers(0, modulus, size=(inner, out_dim), dtype=np.int64)
@@ -249,10 +297,10 @@ class FHGSMatmul:
         for j, values in enumerate(self.backend.decrypt_batch(masked)):
             decrypted[:, j] = values[:inner]
 
-        client_part = np.mod(self._left_mask @ decrypted, modulus)
+        client_part = np.mod(left_mask @ decrypted, modulus)
 
         # Leftover RcL @ S: server-plaintext times encrypted mask.
-        enc_leftover = enc_times_plain(self.backend, self._enc_left_cols, blinding)
+        enc_leftover = enc_times_plain(self.backend, enc_left_cols, blinding)
         leftover_mask = self._rng.integers(0, modulus, size=(n_left, out_dim), dtype=np.int64)
         masked_leftover = [
             self.backend.add_plain(handle, np.mod(-leftover_mask[:, j], modulus))
@@ -266,26 +314,22 @@ class FHGSMatmul:
         for j, values in enumerate(self.backend.decrypt_batch(masked_leftover)):
             leftover[:, j] = values[:n_left]
 
-        self._quad_client = np.mod(client_part + leftover, modulus)
-        self._quad_server = leftover_mask
+        return np.mod(client_part + leftover, modulus), leftover_mask, enc_weighted_right_rows
 
     @property
     def left_mask(self) -> np.ndarray:
-        if self._left_mask is None:
-            raise ProtocolError("offline phase has not been run")
-        return self._left_mask
+        return self.plan.left_mask
 
     @property
     def right_mask(self) -> np.ndarray:
-        if self._right_mask is None:
-            raise ProtocolError("offline phase has not been run")
-        return self._right_mask
+        return self.plan.right_mask
 
     # -- online phase ---------------------------------------------------------
     def online(self, shared_left: SharedValue, shared_right: SharedValue) -> SharedValue:
         """Compute shares of the product from shares of the two operands."""
-        if not self._offline_done:
+        if self._plan is None:
             raise ProtocolError(f"FHGS '{self.step}' used online before offline")
+        plan = self._plan
         if shared_left.shape != self.left_shape or shared_right.shape != self.right_shape:
             raise ShapeError(
                 f"operand shapes {shared_left.shape}/{shared_right.shape} do not "
@@ -295,8 +339,8 @@ class FHGSMatmul:
         element_bytes = (self.fmt.total_bits + 7) // 8
 
         # Client -> server: corrections so the server holds L - RcL and R - RcR.
-        left_corr = np.mod(shared_left.client_share - self._left_mask, modulus)
-        right_corr = np.mod(shared_right.client_share - self._right_mask, modulus)
+        left_corr = np.mod(shared_left.client_share - plan.left_mask, modulus)
+        right_corr = np.mod(shared_right.client_share - plan.right_mask, modulus)
         correction_bytes = 0
         if np.any(left_corr):
             correction_bytes += int(left_corr.size) * element_bytes
@@ -351,8 +395,9 @@ class FHGSMatmul:
         for j, values in enumerate(self.backend.decrypt_batch(masked_b)):
             dec_b[:, j] = values[:out_rows]
 
-        client_share = np.mod(dec_a + dec_b + self._quad_client, modulus)
-        server_share = np.mod(tmp1 + mask_a + mask_b + self._quad_server, modulus)
+        plan = self.plan
+        client_share = np.mod(dec_a + dec_b + plan.quad_client, modulus)
+        server_share = np.mod(tmp1 + mask_a + mask_b + plan.quad_server, modulus)
         return SharedValue(client_share=client_share, server_share=server_share, modulus=modulus)
 
     def _online_plain(self, left_blinded: np.ndarray, right_blinded: np.ndarray) -> SharedValue:
@@ -360,8 +405,8 @@ class FHGSMatmul:
         right_blinded_t = right_blinded.T if self.transpose_right else right_blinded
         tmp1 = np.mod(left_blinded @ right_blinded_t, modulus)
         # cross_a = Lb @ RcR^T, cross_b = RcL @ Rb^T
-        cross_a = plain_times_enc(self.backend, left_blinded, self._enc_right_rows)
-        cross_b = enc_times_plain(self.backend, self._enc_left_cols, right_blinded_t)
+        cross_a = plain_times_enc(self.backend, left_blinded, self.plan.enc_right_rows)
+        cross_b = enc_times_plain(self.backend, self.plan.enc_left_cols, right_blinded_t)
         return self._finish(tmp1, cross_a, cross_b)
 
     def _online_middle(self, left_blinded: np.ndarray, right_blinded: np.ndarray) -> SharedValue:
@@ -370,9 +415,9 @@ class FHGSMatmul:
         left_m = np.mod(left_blinded @ weights, modulus)
         tmp1 = np.mod(left_m @ right_blinded.T, modulus)
         # cross_a = (Lb @ M) @ RcR^T, cross_b = RcL @ (M @ Rb^T)
-        cross_a = plain_times_enc(self.backend, left_m, self._enc_right_rows)
+        cross_a = plain_times_enc(self.backend, left_m, self.plan.enc_right_rows)
         cross_b = enc_times_plain(
-            self.backend, self._enc_left_cols, np.mod(weights @ right_blinded.T, modulus)
+            self.backend, self.plan.enc_left_cols, np.mod(weights @ right_blinded.T, modulus)
         )
         return self._finish(tmp1, cross_a, cross_b)
 
@@ -384,6 +429,6 @@ class FHGSMatmul:
         right_weighted = np.mod(right_blinded @ weights, modulus)
         tmp1 = np.mod(left_blinded @ right_weighted, modulus)
         # cross_a = Lb @ (RcR @ W), cross_b = RcL @ (Rb @ W)
-        cross_a = plain_times_enc(self.backend, left_blinded, self._enc_weighted_right_rows)
-        cross_b = enc_times_plain(self.backend, self._enc_left_cols, right_weighted)
+        cross_a = plain_times_enc(self.backend, left_blinded, self.plan.enc_weighted_right_rows)
+        cross_b = enc_times_plain(self.backend, self.plan.enc_left_cols, right_weighted)
         return self._finish(tmp1, cross_a, cross_b)

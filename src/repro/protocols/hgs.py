@@ -32,10 +32,11 @@ import numpy as np
 from ..errors import ProtocolError, ShapeError
 from ..fixedpoint.encoding import FixedPointFormat
 from ..he.backend import HEBackend
-from ..he.matmul import decrypt_matrix, enc_times_plain, encrypt_matrix_columns
+from ..he.matmul import enc_times_plain, encrypt_matrix_columns
 from ..mpc.sharing import AdditiveSharing, SharedValue
 from .channel import Channel, Phase
 from .formats import PROTOCOL_FORMAT
+from .plan import HGSPlan
 
 __all__ = ["HGSLinearLayer"]
 
@@ -71,11 +72,8 @@ class HGSLinearLayer:
     fmt: FixedPointFormat = PROTOCOL_FORMAT
     seed: int | None = None
 
-    # offline state
-    _client_mask: np.ndarray | None = field(default=None, repr=False)
-    _server_mask: np.ndarray | None = field(default=None, repr=False)
-    _client_offline_share: np.ndarray | None = field(default=None, repr=False)
-    _offline_done: bool = field(default=False, repr=False)
+    # installed offline artifact (see protocols/plan.py)
+    _plan: HGSPlan | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.weights = np.asarray(self.weights, dtype=np.int64)
@@ -91,13 +89,18 @@ class HGSLinearLayer:
         self._rng = np.random.default_rng(self.seed)
 
     # -- offline phase ---------------------------------------------------------
-    def offline(self, *, phase: Phase = Phase.OFFLINE) -> None:
-        """Run the HE pre-processing exchange.
+    def prepare(self, *, phase: Phase = Phase.OFFLINE) -> HGSPlan:
+        """Run the HE pre-processing exchange and return its artifact.
 
         ``phase`` controls which phase the HE work and traffic are charged
         to: ``Phase.OFFLINE`` for HGS proper (Primer-F and later), or
         ``Phase.ONLINE`` to model Primer-base, where the same HE operations
         happen during inference.
+
+        The returned :class:`HGSPlan` is *not* adopted by this layer — pass
+        it to :meth:`install` (or call :meth:`offline`, which does both).
+        This is what lets a serving executor prepare the offline phase on a
+        background worker while the layer keeps serving its current plan.
         """
         in_dim, out_dim = self.weights.shape
         modulus = self.sharing.modulus
@@ -129,17 +132,41 @@ class HGSLinearLayer:
         for j, values in enumerate(self.backend.decrypt_batch(masked_handles)):
             client_offline[:, j] = values[: self.input_rows]
 
-        self._client_mask = client_mask
-        self._server_mask = server_mask
-        self._client_offline_share = np.mod(client_offline, modulus)
-        self._offline_done = True
+        return HGSPlan(
+            client_mask=client_mask,
+            server_mask=server_mask,
+            client_offline_share=np.mod(client_offline, modulus),
+        )
+
+    def install(self, plan: HGSPlan) -> None:
+        """Adopt a prepared offline artifact; ``online()`` may run after this."""
+        if not isinstance(plan, HGSPlan):
+            raise ProtocolError(
+                f"HGS layer '{self.step}' cannot install a {type(plan).__name__}"
+            )
+        expected = (self.input_rows, self.weights.shape[0])
+        if tuple(plan.client_mask.shape) != expected:
+            raise ShapeError(
+                f"plan mask shape {plan.client_mask.shape} does not match "
+                f"layer input shape {expected}"
+            )
+        self._plan = plan
+
+    def offline(self, *, phase: Phase = Phase.OFFLINE) -> None:
+        """Prepare and immediately install the offline artifact."""
+        self.install(self.prepare(phase=phase))
+
+    @property
+    def plan(self) -> HGSPlan:
+        """The installed offline artifact."""
+        if self._plan is None:
+            raise ProtocolError("offline phase has not been run")
+        return self._plan
 
     @property
     def client_mask(self) -> np.ndarray:
         """The mask ``Rc`` this layer expects the input to be blinded with."""
-        if self._client_mask is None:
-            raise ProtocolError("offline phase has not been run")
-        return self._client_mask
+        return self.plan.client_mask
 
     # -- online phase ---------------------------------------------------------
     def online(self, shared_input: SharedValue) -> SharedValue:
@@ -151,18 +178,19 @@ class HGSLinearLayer:
         can reconstruct ``X - Rc``.  Either way the online phase involves no
         HE operations.
         """
-        if not self._offline_done:
+        if self._plan is None:
             raise ProtocolError(
                 f"HGS layer '{self.step}' used online before its offline phase"
             )
-        if shared_input.shape != self._client_mask.shape:
+        plan = self._plan
+        if shared_input.shape != plan.client_mask.shape:
             raise ShapeError(
                 f"input shape {shared_input.shape} does not match offline mask "
-                f"shape {self._client_mask.shape}"
+                f"shape {plan.client_mask.shape}"
             )
         modulus = self.sharing.modulus
 
-        correction = np.mod(shared_input.client_share - self._client_mask, modulus)
+        correction = np.mod(shared_input.client_share - plan.client_mask, modulus)
         if np.any(correction):
             # Client -> server: X_client - Rc, so the server can form X - Rc.
             element_bytes = (self.fmt.total_bits + 7) // 8
@@ -174,11 +202,11 @@ class HGSLinearLayer:
         x_minus_rc = np.mod(shared_input.server_share + correction, modulus)
 
         # Server-side share: (X - Rc) @ W - Rs (+ bias, which the server holds).
-        server_share = np.mod(x_minus_rc @ self.weights - self._server_mask, modulus)
+        server_share = np.mod(x_minus_rc @ self.weights - plan.server_mask, modulus)
         if self.bias is not None:
             server_share = np.mod(server_share + self.bias, modulus)
 
         # Client-side share: Rc @ W + Rs, precomputed offline.
-        client_share = self._client_offline_share.copy()
+        client_share = plan.client_offline_share.copy()
 
         return SharedValue(client_share=client_share, server_share=server_share, modulus=modulus)

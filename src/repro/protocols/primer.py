@@ -25,7 +25,7 @@ Python.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -37,11 +37,12 @@ from ..he.simulated import SimulatedHEBackend
 from ..he.tracker import OperationTracker
 from ..mpc.sharing import AdditiveSharing, SharedValue
 from ..nn.transformer import TransformerEncoder
-from .channel import Channel, Phase
+from .channel import Channel, NetworkModel, Phase
 from .fhgs import FHGSMatmul
 from .formats import PROTOCOL_FORMAT, protocol_he_parameters
 from .hgs import HGSLinearLayer
 from .nonlinear import GCNonlinearEvaluator
+from .plan import OfflinePlan
 
 __all__ = [
     "PrimerVariant",
@@ -153,6 +154,7 @@ class PrivateTransformerInference:
         backend: HEBackend | None = None,
         fmt: FixedPointFormat = PROTOCOL_FORMAT,
         seed: int = 0,
+        network: NetworkModel | None = None,
     ) -> None:
         self.model = model
         self.variant = variant
@@ -165,12 +167,18 @@ class PrivateTransformerInference:
         if backend is not None:
             self.tracker = self.backend.tracker
         self.channel = Channel()
+        if network is not None:
+            # Emulate the deployed two-party link: every protocol message
+            # actually waits out its transfer time (delay + bandwidth).
+            self.channel.network = network
+            self.channel.realize_network = True
         self.sharing = AdditiveSharing(fmt, seed=seed)
         self.nonlinear = GCNonlinearEvaluator(
             self.sharing, self.channel, fmt=fmt,
             garble_offline=variant.preprocess_offline,
         )
         self._offline_done = False
+        self.offline_plan: OfflinePlan | None = None
         self._build_modules()
 
     # -- construction -----------------------------------------------------------
@@ -268,30 +276,74 @@ class PrivateTransformerInference:
         self.pooler_layer = hgs(head.pooler.weight, head.pooler.bias, STEP_OTHERS, 1)
         self.classifier_layer = hgs(head.classifier.weight, head.classifier.bias, STEP_OTHERS, 1)
 
-    def _all_protocol_modules(self):
-        yield self.embedding_layer
-        for modules in self.block_modules:
+    def _named_protocol_modules(self):
+        """Yield ``(stable name, module)`` for every HGS/FHGS module.
+
+        The names key the :class:`~repro.protocols.plan.OfflinePlan` mapping,
+        so they must be stable across engines built from the same
+        ``(model, variant)``.
+        """
+        yield "embedding", self.embedding_layer
+        for i, modules in enumerate(self.block_modules):
             if "qkv" in modules:
-                yield from modules["qkv"].values()
-            yield from modules.get("scores", [])
-            yield from modules.get("values", [])
-            yield modules["attn_output"]
-            yield modules["ffn_intermediate"]
-            yield modules["ffn_output"]
-        yield self.pooler_layer
-        yield self.classifier_layer
+                for role, layer in modules["qkv"].items():
+                    yield f"block{i}.qkv.{role}", layer
+            for h, module in enumerate(modules.get("scores", [])):
+                yield f"block{i}.scores.{h}", module
+            for h, module in enumerate(modules.get("values", [])):
+                yield f"block{i}.values.{h}", module
+            yield f"block{i}.attn_output", modules["attn_output"]
+            yield f"block{i}.ffn_intermediate", modules["ffn_intermediate"]
+            yield f"block{i}.ffn_output", modules["ffn_output"]
+        yield "pooler", self.pooler_layer
+        yield "classifier", self.classifier_layer
+
+    def _all_protocol_modules(self):
+        for _, module in self._named_protocol_modules():
+            yield module
 
     # -- offline phase ------------------------------------------------------------
-    def offline(self) -> None:
-        """Run the pre-processing of every module.
+    def prepare(self) -> OfflinePlan:
+        """Run every module's pre-processing and return the combined plan.
 
-        For Primer-base the same exchanges happen but are charged to the
-        online phase, which is how the paper characterises its baseline.
+        This is the schedulable half of the old ``offline()``: it executes
+        the HE exchanges (charged to the offline phase, or to the online
+        phase for Primer-base, which is how the paper characterises its
+        baseline) but does *not* change this engine's execution state.  The
+        returned :class:`OfflinePlan` can be built on a background worker
+        and installed later — or on a different engine of the same
+        ``(model, variant)``.
         """
         phase = Phase.OFFLINE if self.variant.preprocess_offline else Phase.ONLINE
-        for module in self._all_protocol_modules():
-            module.offline(phase=phase)
+        self.tracker.set_phase(phase.value)
+        try:
+            modules = {
+                name: module.prepare(phase=phase)
+                for name, module in self._named_protocol_modules()
+            }
+        finally:
+            self.tracker.set_phase(None)
+        return OfflinePlan(variant=self.variant.name, phase=phase, modules=modules)
+
+    def install(self, plan: OfflinePlan) -> None:
+        """Adopt a prepared :class:`OfflinePlan`; :meth:`run` may follow."""
+        if plan.variant != self.variant.name:
+            raise ProtocolError(
+                f"plan prepared for variant {plan.variant!r} cannot serve "
+                f"a {self.variant.name!r} engine"
+            )
+        named = dict(self._named_protocol_modules())
+        missing = [name for name in named if name not in plan.modules]
+        if missing:
+            raise ProtocolError(f"offline plan is missing modules: {missing[:3]}...")
+        for name, module in named.items():
+            module.install(plan.module(name))
+        self.offline_plan = plan
         self._offline_done = True
+
+    def offline(self) -> None:
+        """Prepare and install the offline plan in place (legacy flow)."""
+        self.install(self.prepare())
 
     # -- online phase --------------------------------------------------------------
     def run(self, token_ids: np.ndarray) -> PrivateInferenceResult:
@@ -307,6 +359,14 @@ class PrivateTransformerInference:
         f = self.fmt.frac_bits
         nl = self.nonlinear
         self.channel.set_context(phase=Phase.ONLINE)
+        self.tracker.set_phase(Phase.ONLINE.value)
+        try:
+            return self._run_online(token_ids, f, nl)
+        finally:
+            self.tracker.set_phase(None)
+
+    def _run_online(self, token_ids: np.ndarray, f: int, nl) -> PrivateInferenceResult:
+        cfg = self.model.config
 
         # --- embedding -------------------------------------------------------
         one_hot = self.model.embedding.one_hot(token_ids).astype(np.int64)

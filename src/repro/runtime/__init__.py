@@ -2,8 +2,10 @@
 
 Ties models, protocols, cost model and data together for the paper-table
 experiments (:mod:`repro.runtime.evaluation`) and serves many concurrent
-inference requests over shared cryptographic state
-(:mod:`repro.runtime.serving` + :mod:`repro.runtime.scheduler`).
+inference requests over shared cryptographic state — batch formation under
+pluggable policies (:mod:`repro.runtime.scheduler`), serial and pipelined
+execution (:mod:`repro.runtime.executor`), and the
+:class:`~repro.runtime.serving.ServingRuntime` façade over both.
 """
 
 from .evaluation import (
@@ -13,9 +15,24 @@ from .evaluation import (
     evaluate_accuracy,
     scheme_latencies,
 )
-from .scheduler import Batch, BatchKey, BatchScheduler, InferenceRequest
-from .serving import (
+from .executor import (
+    BatchExecutor,
+    EngineCache,
+    EngineShardMap,
+    PipelinedExecutor,
     RequestReport,
+)
+from .scheduler import (
+    Batch,
+    BatchKey,
+    BatchScheduler,
+    DeadlinePolicy,
+    FifoPolicy,
+    InferenceRequest,
+    SchedulingPolicy,
+    SizeAwarePolicy,
+)
+from .serving import (
     ServingRuntime,
     ServingStats,
     run_sequential_baseline,
@@ -25,13 +42,21 @@ from .serving import (
 __all__ = [
     "AccuracyReport",
     "Batch",
+    "BatchExecutor",
     "BatchKey",
     "BatchScheduler",
+    "DeadlinePolicy",
+    "EngineCache",
+    "EngineShardMap",
+    "FifoPolicy",
     "InferenceRequest",
+    "PipelinedExecutor",
     "RequestReport",
+    "SchedulingPolicy",
     "SchemeLatency",
     "ServingRuntime",
     "ServingStats",
+    "SizeAwarePolicy",
     "calibrated_latency_model",
     "evaluate_accuracy",
     "run_sequential_baseline",

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..baselines import GCFormerBaseline, THEXBaseline
-from ..costmodel import CostConstants, LatencyModel, calibrate
+from ..costmodel import LatencyModel, calibrate
 from ..data.metrics import accuracy, agreement
 from ..data.synthetic import SyntheticTask
 from ..nn.config import TransformerConfig

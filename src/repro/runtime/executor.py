@@ -1,0 +1,634 @@
+"""Pipelined execution engine behind the batch-serving runtime.
+
+This module is the execution half of what used to be the ``serving.py``
+monolith, split along the paper's own offline/online axis:
+
+* :class:`EngineCache` — one prepared
+  :class:`~repro.protocols.primer.PrivateTransformerInference` engine per
+  ``(model, variant)`` key.  Engines are built through the explicit
+  ``prepare()`` → :class:`~repro.protocols.plan.OfflinePlan` → ``install()``
+  split, so the whole offline phase is a schedulable artifact that can be
+  produced on a background worker.
+* :class:`EngineShardMap` — a stable key → worker assignment (least-loaded,
+  first-seen), so distinct ``(model, variant)`` keys run on distinct
+  workers and one hot model cannot block another's traffic.
+* :class:`BatchExecutor` — runs one batch (full-inference or shared-slot
+  linear) with per-request channel/tracker attribution.  This is the serial
+  engine; ``ServingRuntime.run_pending()`` drains through it batch by batch,
+  behaviour-identical to the pre-split runtime.
+* :class:`PipelinedExecutor` — the overlapped drain: offline preparation of
+  the engines that *later* batches need runs on a prepare pool while
+  *earlier* batches execute their online phases on sharded workers.  Every
+  engine is confined to its shard worker (its backend, tracker, channel and
+  sharing state are never touched by two threads), linear batches serialise
+  on the shared linear backend's lock, and per-key FIFO order is preserved
+  because each shard executes its batches in formation order — which is why
+  the pipelined drain is bit-identical to the serial one (asserted for all
+  four Primer variants in the test-suite).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..he.backend import HEBackend
+from ..he.matmul import encrypted_batch_matmul
+from ..he.simulated import SimulatedHEBackend
+from ..nn.transformer import TransformerEncoder
+from ..protocols.channel import Channel, NetworkModel, Phase
+from ..protocols.formats import protocol_he_parameters
+from ..protocols.primer import PrimerVariant, PrivateTransformerInference
+from .scheduler import Batch, BatchKey, InferenceRequest
+
+__all__ = [
+    "RequestReport",
+    "EngineEntry",
+    "EngineCache",
+    "EngineShardMap",
+    "LinearServingPath",
+    "BatchExecutor",
+    "PipelinedExecutor",
+    "STEP_LINEAR",
+]
+
+#: step label used for the linear serving path's wire accounting
+STEP_LINEAR = "linear_serving"
+
+
+def _prepare_plan_remote(model, variant, seed, network):
+    """Worker-process entry point: produce one engine's offline artifact.
+
+    Runs in a separate process so the offline phase — GIL-bound simulated-HE
+    exchanges plus, under a realized :class:`NetworkModel`, the wire time of
+    its many rounds — genuinely overlaps with the parent's online execution.
+    Returns the :class:`~repro.protocols.plan.OfflinePlan` plus the offline
+    accounting (channel messages, tracker) recorded while producing it, so
+    the parent can merge the cost of the remote preparation into the engine
+    it installs the plan on — no HE operation or byte goes unaccounted.
+    """
+    engine = PrivateTransformerInference(model, variant, seed=seed, network=network)
+    plan = engine.prepare()
+    return plan, engine.channel.messages, engine.tracker
+
+
+@dataclass
+class RequestReport:
+    """Per-request outcome with latency and communication breakdowns."""
+
+    request_id: str
+    kind: str
+    model: str
+    variant: str
+    batch_id: int
+    batch_size: int
+    result: np.ndarray
+    prediction: int | None
+    queue_seconds: float
+    latency_seconds: float
+    online_bytes: int
+    online_rounds: int
+    offline_bytes: int
+    he_operations: dict[str, int]
+    #: linear batches share ciphertexts, so ``he_operations`` / latency are
+    #: joint figures for the whole slot-sharing group, not per-request sums.
+    shared_slot_batch: bool = False
+    #: worker that executed the batch ("worker-0", ...; None on serial drains)
+    worker: str | None = None
+    #: absolute completion target and whether it was met (None = no deadline)
+    deadline: float | None = None
+    deadline_met: bool | None = None
+
+    def summary(self) -> dict[str, float | int | str]:
+        return {
+            "request": self.request_id,
+            "model": self.model,
+            "variant": self.variant,
+            "batch": self.batch_id,
+            "batch_size": self.batch_size,
+            "latency_ms": self.latency_seconds * 1e3,
+            "queue_ms": self.queue_seconds * 1e3,
+            "online_kilobytes": self.online_bytes / 1e3,
+            "he_operations": sum(self.he_operations.values()),
+        }
+
+
+@dataclass
+class EngineEntry:
+    """A cached engine plus how long its offline plan took to produce."""
+
+    engine: PrivateTransformerInference
+    build_seconds: float
+    prepare_seconds: float
+
+
+class EngineShardMap:
+    """Stable assignment of compatibility keys to shard workers.
+
+    Keys are assigned least-loaded on first sight and keep their worker for
+    the lifetime of the map, so distinct ``(model, variant)`` keys spread
+    across distinct workers (until there are more keys than workers) and an
+    engine is only ever driven by one worker thread.
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ProtocolError("num_workers must be at least 1")
+        self.num_workers = num_workers
+        self._assignments: dict[BatchKey, int] = {}
+        self._loads = [0] * num_workers
+        self._lock = threading.Lock()
+
+    def worker_for(self, key: BatchKey) -> int:
+        with self._lock:
+            worker = self._assignments.get(key)
+            if worker is None:
+                worker = min(range(self.num_workers), key=lambda w: self._loads[w])
+                self._assignments[key] = worker
+                self._loads[worker] += 1
+            return worker
+
+    def assignments(self) -> dict[BatchKey, int]:
+        with self._lock:
+            return dict(self._assignments)
+
+
+class EngineCache:
+    """Prepared-engine cache keyed by ``(model, variant)``.
+
+    Construction goes through the explicit plan split — ``prepare()``
+    produces the :class:`~repro.protocols.plan.OfflinePlan`, ``install()``
+    adopts it — and is guarded per key, so a prefetch on the prepare pool
+    and a cache-miss on a shard worker cannot build the same engine twice.
+    """
+
+    def __init__(
+        self,
+        models: dict[str, TransformerEncoder],
+        variants: dict[str, PrimerVariant],
+        backend_factory: Callable[[], HEBackend] | None,
+        seed: int,
+        network: NetworkModel | None = None,
+    ) -> None:
+        self._models = models
+        self._variants = variants
+        self._backend_factory = backend_factory
+        self._seed = seed
+        self._network = network
+        self._entries: dict[BatchKey, EngineEntry] = {}
+        self._pending_plans: dict[BatchKey, Future] = {}
+        self._locks: dict[BatchKey, threading.Lock] = {}
+        self._mutex = threading.Lock()
+
+    @property
+    def supports_remote_prepare(self) -> bool:
+        """Remote (process) preparation needs the default picklable backend."""
+        return self._backend_factory is None
+
+    def _key_lock(self, key: BatchKey) -> threading.Lock:
+        with self._mutex:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = self._locks[key] = threading.Lock()
+            return lock
+
+    def entry(self, key: BatchKey) -> EngineEntry:
+        """The cached entry for ``key``, building (prepare+install) if needed.
+
+        If a remote plan preparation is pending for ``key`` (see
+        :meth:`adopt_plan_future`), the build waits for that plan and
+        installs it instead of re-running the offline phase locally.
+        """
+        with self._key_lock(key):
+            entry = self._entries.get(key)
+            if entry is None:
+                with self._mutex:
+                    pending = self._pending_plans.pop(key, None)
+                if pending is not None:
+                    entry = self._build_from_plan(key, *pending.result())
+                else:
+                    entry = self._build(key)
+                self._entries[key] = entry
+            return entry
+
+    def adopt_plan_future(self, key: BatchKey, future: Future) -> None:
+        """Register an in-flight remote preparation of ``key``'s offline plan."""
+        with self._mutex:
+            if key not in self._entries:
+                self._pending_plans[key] = future
+
+    def _engine_skeleton(self, key: BatchKey) -> PrivateTransformerInference:
+        if key.model not in self._models:
+            raise ProtocolError(f"unknown model {key.model!r}")
+        model = self._models[key.model]
+        variant = self._variants[key.variant]
+        backend = self._backend_factory() if self._backend_factory else None
+        return PrivateTransformerInference(
+            model, variant, backend=backend, seed=self._seed, network=self._network
+        )
+
+    def _build_from_plan(self, key, plan, offline_messages, offline_tracker) -> EngineEntry:
+        """Adopt a remotely prepared plan, merging its offline accounting."""
+        start = time.perf_counter()
+        engine = self._engine_skeleton(key)
+        engine.install(plan)
+        # The offline exchanges happened in the worker process; fold their
+        # traffic and operation counts into this engine's books so the
+        # accounting invariants (per-phase, totals) hold as if prepared here.
+        engine.channel.messages.extend(offline_messages)
+        engine.tracker.merge(offline_tracker)
+        end = time.perf_counter()
+        return EngineEntry(
+            engine=engine, build_seconds=end - start, prepare_seconds=0.0
+        )
+
+    def _build(self, key: BatchKey) -> EngineEntry:
+        start = time.perf_counter()
+        engine = self._engine_skeleton(key)
+        prepare_start = time.perf_counter()
+        plan = engine.prepare()
+        engine.install(plan)
+        end = time.perf_counter()
+        return EngineEntry(
+            engine=engine,
+            build_seconds=end - start,
+            prepare_seconds=end - prepare_start,
+        )
+
+    def remote_prepare_args(self, key: BatchKey):
+        """The picklable ``(model, variant, seed, network)`` for a worker process."""
+        if key.model not in self._models:
+            raise ProtocolError(f"unknown model {key.model!r}")
+        return (
+            self._models[key.model],
+            self._variants[key.variant],
+            self._seed,
+            self._network,
+        )
+
+    def prefetch(self, key: BatchKey, pool: ThreadPoolExecutor) -> "Future[EngineEntry]":
+        """Schedule the offline preparation of ``key``'s engine on ``pool``."""
+        return pool.submit(self.entry, key)
+
+    def invalidate_model(self, name: str) -> None:
+        """Drop cached engines built for an older model under ``name``.
+
+        In-flight remote plan preparations for the old model are discarded
+        too — installing a plan whose offline shares embed the replaced
+        model's weights onto an engine built from the new model would
+        produce silently wrong results (mask shapes alone would match).
+        """
+        with self._mutex:
+            for key in [k for k in self._entries if k.model == name]:
+                del self._entries[key]
+            for key in [k for k in self._pending_plans if k.model == name]:
+                del self._pending_plans[key]
+
+    def cached_keys(self) -> list[BatchKey]:
+        with self._mutex:
+            return list(self._entries)
+
+
+class LinearServingPath:
+    """Shared state of the slot-sharing linear path.
+
+    One backend and one accounting channel serve every weight bank, so in a
+    multi-worker drain linear batches serialise on :attr:`lock` — the HE
+    win of the linear path is slot sharing, not thread parallelism.
+    """
+
+    def __init__(
+        self,
+        weight_banks: dict[str, np.ndarray],
+        backend_factory: Callable[[], HEBackend] | None,
+        network: NetworkModel | None = None,
+    ) -> None:
+        self.weight_banks = weight_banks
+        self._backend_factory = backend_factory
+        self._backend: HEBackend | None = None
+        self.channel = Channel()
+        if network is not None:
+            self.channel.network = network
+            self.channel.realize_network = True
+        self.lock = threading.Lock()
+
+    def backend(self) -> HEBackend:
+        if self._backend is None:
+            if self._backend_factory is not None:
+                self._backend = self._backend_factory()
+            else:
+                self._backend = SimulatedHEBackend(protocol_he_parameters())
+        return self._backend
+
+
+class BatchExecutor:
+    """Runs one batch at a time with full per-request attribution."""
+
+    def __init__(self, engines: EngineCache, linear: LinearServingPath) -> None:
+        self.engines = engines
+        self.linear = linear
+
+    def execute(self, batch: Batch, *, worker: str | None = None) -> list[RequestReport]:
+        """Run one batch; ``worker`` tags the attribution in sharded drains."""
+        if batch.key.kind == "inference":
+            return self._run_inference_batch(batch, worker)
+        return self._run_linear_batch(batch, worker)
+
+    # -- full-inference batches ---------------------------------------------
+    def _run_inference_batch(self, batch: Batch, worker: str | None) -> list[RequestReport]:
+        entry = self.engines.entry(batch.key)
+        engine = entry.engine
+        reports: list[RequestReport] = []
+        engine.tracker.set_worker(worker)
+        engine.channel.set_worker(worker)
+        try:
+            for request in batch.requests:
+                start = time.perf_counter()
+                engine.tracker.set_request(request.request_id)
+                engine.channel.set_request(request.request_id)
+                try:
+                    result = engine.run(request.payload)
+                finally:
+                    engine.tracker.set_request(None)
+                    engine.channel.set_request(None)
+                end = time.perf_counter()
+                reports.append(
+                    RequestReport(
+                        request_id=request.request_id,
+                        kind="inference",
+                        model=batch.key.model,
+                        variant=batch.key.variant,
+                        batch_id=batch.batch_id,
+                        batch_size=len(batch),
+                        result=result.logits,
+                        prediction=result.prediction,
+                        queue_seconds=start - request.submitted_at,
+                        latency_seconds=end - start,
+                        online_bytes=engine.channel.total_bytes(
+                            Phase.ONLINE, request=request.request_id
+                        ),
+                        online_rounds=engine.channel.round_count(
+                            Phase.ONLINE, request=request.request_id
+                        ),
+                        offline_bytes=engine.channel.total_bytes(
+                            Phase.OFFLINE, request=request.request_id
+                        ),
+                        he_operations=engine.tracker.request_snapshot(request.request_id),
+                        worker=worker,
+                        deadline=request.deadline,
+                        deadline_met=(
+                            None if request.deadline is None else end <= request.deadline
+                        ),
+                    )
+                )
+        finally:
+            engine.tracker.set_worker(None)
+            engine.channel.set_worker(None)
+        return reports
+
+    # -- shared-slot linear batches -----------------------------------------
+    def _run_linear_batch(self, batch: Batch, worker: str | None) -> list[RequestReport]:
+        """Run a slot-sharing linear batch, chunked to the ciphertext capacity."""
+        with self.linear.lock:
+            backend = self.linear.backend()
+            weights = self.linear.weight_banks.get(batch.key.model)
+            if weights is None:
+                raise ProtocolError(f"unknown weight bank {batch.key.model!r}")
+            for request in batch.requests:
+                # Banks can be replaced between submit and execution; the
+                # shape contract is re-checked at batch time (see
+                # ServingRuntime.register_weights).
+                if request.payload.shape[1] != weights.shape[0]:
+                    raise ProtocolError(
+                        f"request {request.request_id!r} of shape "
+                        f"{request.payload.shape} no longer matches weight bank "
+                        f"{batch.key.model!r} of shape {weights.shape}"
+                    )
+            reports: list[RequestReport] = []
+            slot_count = backend.slot_count
+            chunk: list[InferenceRequest] = []
+            chunk_index = 0
+            rows = 0
+            for request in batch.requests + [None]:  # None flushes the last chunk
+                if request is not None and rows + request.payload.shape[0] <= slot_count:
+                    chunk.append(request)
+                    rows += request.payload.shape[0]
+                    continue
+                if chunk:
+                    reports.extend(
+                        self._run_linear_chunk(
+                            batch, chunk_index, chunk, backend, weights, worker
+                        )
+                    )
+                    chunk_index += 1
+                if request is not None:
+                    # Per-request capacity was validated at submit time.
+                    chunk = [request]
+                    rows = request.payload.shape[0]
+            return reports
+
+    def _run_linear_chunk(
+        self,
+        batch: Batch,
+        chunk_index: int,
+        chunk: list[InferenceRequest],
+        backend: HEBackend,
+        weights: np.ndarray,
+        worker: str | None,
+    ) -> list[RequestReport]:
+        # One tag per slot-sharing chunk: a batch may split into several
+        # chunks, and reusing one tag would double-count earlier chunks'
+        # operations in later chunks' reports.
+        tag = f"batch-{batch.batch_id}-chunk-{chunk_index}"
+        channel = self.linear.channel
+        backend.tracker.set_worker(worker)
+        channel.set_worker(worker)
+        start = time.perf_counter()
+        try:
+            with backend.tracker.attribute(tag):
+                results = encrypted_batch_matmul(
+                    backend, [request.payload for request in chunk], weights
+                )
+            end = time.perf_counter()
+            ops = backend.tracker.request_snapshot(tag)
+            # Wire accounting: the batch's input features travel as one shared
+            # ciphertext per feature; the results come back one per output column.
+            channel.set_request(tag)
+            channel.send(
+                "client", "server", weights.shape[0] * backend.ciphertext_bytes,
+                description="Enc(stacked inputs)", step=STEP_LINEAR, phase=Phase.ONLINE,
+            )
+            channel.send(
+                "server", "client", weights.shape[1] * backend.ciphertext_bytes,
+                description="Enc(stacked results)", step=STEP_LINEAR, phase=Phase.ONLINE,
+            )
+            channel.set_request(None)
+        finally:
+            backend.tracker.set_worker(None)
+            channel.set_worker(None)
+        online_bytes = channel.total_bytes(Phase.ONLINE, request=tag)
+        return [
+            RequestReport(
+                request_id=request.request_id,
+                kind="linear",
+                model=batch.key.model,
+                variant="",
+                batch_id=batch.batch_id,
+                batch_size=len(chunk),
+                result=result,
+                prediction=None,
+                queue_seconds=start - request.submitted_at,
+                latency_seconds=end - start,
+                online_bytes=online_bytes,
+                online_rounds=2,
+                offline_bytes=0,
+                he_operations=dict(ops),
+                shared_slot_batch=True,
+                worker=worker,
+                deadline=request.deadline,
+                deadline_met=(
+                    None if request.deadline is None else end <= request.deadline
+                ),
+            )
+            for request, result in zip(chunk, results)
+        ]
+
+
+class PipelinedExecutor:
+    """Sharded drain that overlaps offline preparation with online execution.
+
+    Given the batches of one drain, the executor
+
+    1. prefetches the offline plan of every distinct inference key onto a
+       *prepare pool* (in first-batch order, so the engine a shard needs
+       first is prepared first), then
+    2. partitions the batches by :class:`EngineShardMap` worker and lets
+       each shard worker execute its batches in formation order.
+
+    While worker 0 runs batch N's online phase, the prepare pool is already
+    producing the offline plans later batches need — the pipelining the
+    paper's offline/online split makes possible at serving scale.
+    """
+
+    def __init__(self, base: BatchExecutor, *, num_workers: int = 2) -> None:
+        if num_workers < 1:
+            raise ProtocolError("num_workers must be at least 1")
+        self.base = base
+        self.num_workers = num_workers
+        self.shard_map = EngineShardMap(num_workers)
+
+    def drain(
+        self,
+        batches: list[Batch],
+        on_batch_complete: Callable[[list[RequestReport]], None] | None = None,
+    ) -> list[RequestReport]:
+        """Execute all batches; reports come back in batch-formation order.
+
+        ``on_batch_complete`` fires (serialised under a lock) as each batch
+        finishes, so a caller can register completions batch by batch — an
+        error in one shard then cannot lose the results of batches that
+        already ran, matching the serial drain's durability guarantee.
+        """
+        if not batches:
+            return []
+
+        # Offline pipeline: every engine the drain will need but is not yet
+        # cached gets its offline plan prepared ahead of time, in
+        # first-appearance order (so the engine a shard needs first is
+        # prepared first).  With the default backend the preparation runs in
+        # *worker processes* — the simulated-HE exchanges are GIL-bound, so
+        # only separate processes truly overlap them with the parent's
+        # online phases; custom backends fall back to a thread pool.
+        engines = self.base.engines
+        cached = set(engines.cached_keys())
+        prepare_keys: list[BatchKey] = []
+        for batch in batches:
+            if (
+                batch.key.kind == "inference"
+                and batch.key not in cached
+                and batch.key not in prepare_keys
+            ):
+                prepare_keys.append(batch.key)
+
+        shards: dict[int, list[Batch]] = {}
+        for batch in batches:
+            worker = self.shard_map.worker_for(batch.key)
+            shards.setdefault(worker, []).append(batch)
+
+        completed: dict[int, list[RequestReport]] = {}
+        completed_lock = threading.Lock()
+
+        def run_shard(worker: int, shard_batches: list[Batch]) -> None:
+            label = f"worker-{worker}"
+            for batch in shard_batches:
+                reports = self.base.execute(batch, worker=label)
+                with completed_lock:
+                    completed[batch.batch_id] = reports
+                    if on_batch_complete is not None:
+                        on_batch_complete(reports)
+
+        prepare_pool, prefetches = self._start_offline_pipeline(prepare_keys)
+        errors: list[Exception] = []
+        try:
+            with ThreadPoolExecutor(
+                max_workers=self.num_workers, thread_name_prefix="shard"
+            ) as worker_pool:
+                futures = [
+                    worker_pool.submit(run_shard, worker, shard_batches)
+                    for worker, shard_batches in shards.items()
+                ]
+                for future in futures:
+                    try:
+                        future.result()
+                    except Exception as exc:  # noqa: BLE001 - re-raised below
+                        errors.append(exc)
+            for prefetch in prefetches:
+                # Surface engine-build failures even if no shard consumed them.
+                exc = prefetch.exception()
+                if exc is not None and not errors:
+                    errors.append(exc)
+        finally:
+            if prepare_pool is not None:
+                prepare_pool.shutdown(wait=True)
+        if errors:
+            raise errors[0]
+
+        ordered: list[RequestReport] = []
+        for batch in batches:
+            ordered.extend(completed.get(batch.batch_id, []))
+        return ordered
+
+    def _start_offline_pipeline(
+        self, prepare_keys: list[BatchKey]
+    ) -> tuple[ProcessPoolExecutor | ThreadPoolExecutor | None, list[Future]]:
+        """Kick off ahead-of-time offline preparation for ``prepare_keys``."""
+        engines = self.base.engines
+        if not prepare_keys:
+            return None, []
+        if engines.supports_remote_prepare:
+            workers = min(len(prepare_keys), max(1, (os.cpu_count() or 2) - 1))
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            pool: ProcessPoolExecutor | ThreadPoolExecutor = ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            )
+            prefetches = []
+            for key in prepare_keys:
+                future = pool.submit(_prepare_plan_remote, *engines.remote_prepare_args(key))
+                engines.adopt_plan_future(key, future)
+                prefetches.append(future)
+            return pool, prefetches
+        pool = ThreadPoolExecutor(
+            max_workers=len(prepare_keys), thread_name_prefix="offline-prepare"
+        )
+        return pool, [engines.prefetch(key, pool) for key in prepare_keys]

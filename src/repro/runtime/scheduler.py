@@ -1,4 +1,4 @@
-"""Request queue and batch formation for the batch-serving runtime.
+"""Request queue, batch formation and pluggable scheduling policies.
 
 The serving layer accepts many independent private-inference requests and
 groups *compatible* ones — same model, same protocol variant, same request
@@ -7,25 +7,52 @@ state: one engine (keys, offline HGS/FHGS pre-processing, cached NTT
 contexts) per compatibility key, and, for linear requests, shared ciphertext
 slot space via the tokens-first layout.
 
-Scheduling policy is FIFO-with-compatibility: the head of the queue always
-defines the next batch's key, and the batch is filled with the oldest
-compatible requests (in arrival order) up to ``max_batch_size``.  A request
-can never be overtaken by a *compatible* later arrival, so per-key service
-order is strictly first-come-first-served, and the head request itself is
-never starved.
+*Which* compatible batch forms next is decided by a
+:class:`SchedulingPolicy`:
+
+``fifo`` (:class:`FifoPolicy`, the default)
+    The head of the queue defines the next batch's key and the batch fills
+    with the oldest compatible requests — exactly the original hardcoded
+    behaviour.
+``edf`` (:class:`DeadlinePolicy`)
+    Earliest-deadline-first across keys: the most urgent queued request
+    picks the key.  Requests without a deadline sort last.
+``size`` (:class:`SizeAwarePolicy`)
+    Slot-packing for linear batches: the head's key is kept, but the batch
+    is filled first-fit with the oldest same-key requests whose rows still
+    fit one ciphertext's slot capacity, so a chunk seldom splits.
+
+Every policy is bound by one hard fairness invariant, *enforced by the
+scheduler itself*: the batch must consist of requests of a single key, it
+must contain the oldest queued request of that key (the per-key head is
+never starved), and requests within the batch run in arrival order.  Under
+FIFO and EDF per-key service order is additionally strictly
+first-come-first-served; the size-aware policy may serve a small, younger
+request ahead of a same-key request that did not fit the remaining slot
+capacity, but never ahead of the per-key head.
 """
 
 from __future__ import annotations
 
+import abc
 import itertools
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 from ..errors import ProtocolError
 
-__all__ = ["BatchKey", "InferenceRequest", "Batch", "BatchScheduler"]
+__all__ = [
+    "BatchKey",
+    "InferenceRequest",
+    "Batch",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "DeadlinePolicy",
+    "SizeAwarePolicy",
+    "BatchScheduler",
+]
 
 
 @dataclass(frozen=True)
@@ -42,7 +69,10 @@ class InferenceRequest:
     """One queued serving request.
 
     ``payload`` is the token-id vector for ``kind == "inference"`` and the
-    token-by-feature input matrix for ``kind == "linear"``.
+    token-by-feature input matrix for ``kind == "linear"``.  ``deadline`` is
+    an absolute completion target on the ``submitted_at`` clock (or any
+    consistent virtual clock in tests); only :class:`DeadlinePolicy` reads
+    it.
     """
 
     request_id: str
@@ -50,6 +80,7 @@ class InferenceRequest:
     payload: Any
     submitted_at: float = field(default_factory=time.perf_counter)
     sequence: int = 0
+    deadline: float | None = None
 
 
 @dataclass
@@ -64,13 +95,126 @@ class Batch:
         return len(self.requests)
 
 
-class BatchScheduler:
-    """FIFO queue that groups compatible requests into bounded batches."""
+class SchedulingPolicy(abc.ABC):
+    """Decides which compatible requests form the next batch.
 
-    def __init__(self, max_batch_size: int = 8) -> None:
+    ``select`` receives the queue in arrival order and must return a
+    non-empty subset of it sharing a single :class:`BatchKey` that includes
+    the oldest queued request of that key.  The scheduler validates the
+    invariant and orders the batch by arrival, so a policy cannot break
+    per-key FIFO fairness even by returning requests out of order.
+    """
+
+    #: short name used in stats/demo output
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def select(
+        self, queue: Sequence[InferenceRequest], max_batch_size: int
+    ) -> list[InferenceRequest]:
+        """Pick the requests of the next batch from the queued requests."""
+
+    @staticmethod
+    def same_key_oldest_first(
+        queue: Sequence[InferenceRequest], key: BatchKey
+    ) -> list[InferenceRequest]:
+        """All queued requests of ``key``, oldest first."""
+        return [request for request in queue if request.key == key]
+
+
+class FifoPolicy(SchedulingPolicy):
+    """The original behaviour: head of the queue defines the batch."""
+
+    name = "fifo"
+
+    def select(
+        self, queue: Sequence[InferenceRequest], max_batch_size: int
+    ) -> list[InferenceRequest]:
+        key = queue[0].key
+        return self.same_key_oldest_first(queue, key)[:max_batch_size]
+
+
+class DeadlinePolicy(SchedulingPolicy):
+    """Earliest-deadline-first across keys.
+
+    The most urgent queued request (smallest ``deadline``; ties and
+    deadline-free requests fall back to arrival order) chooses the batch
+    key; the batch then fills with the oldest requests of that key, so the
+    urgent request is served as soon as per-key FIFO fairness allows.
+    """
+
+    name = "edf"
+
+    def select(
+        self, queue: Sequence[InferenceRequest], max_batch_size: int
+    ) -> list[InferenceRequest]:
+        urgent = min(
+            queue,
+            key=lambda r: (
+                r.deadline if r.deadline is not None else float("inf"),
+                r.sequence,
+            ),
+        )
+        return self.same_key_oldest_first(queue, urgent.key)[:max_batch_size]
+
+
+class SizeAwarePolicy(SchedulingPolicy):
+    """Slot-packing batch fill for linear requests.
+
+    The head's key is kept (so the global head is served next, like FIFO),
+    but a *linear* batch is filled first-fit in arrival order with requests
+    whose row counts still fit in ``slot_count`` ciphertext slots: a request
+    too large for the remaining capacity is skipped (it keeps its queue
+    position and leads a later batch) in favour of older-first smaller ones,
+    so a shared-slot chunk seldom splits.  Inference batches fall back to
+    FIFO fill, as does everything when ``slot_count`` is None.
+    """
+
+    name = "size"
+
+    def __init__(self, slot_count: int | None = None) -> None:
+        if slot_count is not None and slot_count < 1:
+            raise ProtocolError("slot_count must be positive")
+        self.slot_count = slot_count
+
+    def select(
+        self, queue: Sequence[InferenceRequest], max_batch_size: int
+    ) -> list[InferenceRequest]:
+        key = queue[0].key
+        candidates = self.same_key_oldest_first(queue, key)
+        if key.kind != "linear" or self.slot_count is None:
+            return candidates[:max_batch_size]
+        taken: list[InferenceRequest] = [candidates[0]]  # per-key head, always
+        remaining = self.slot_count - int(candidates[0].payload.shape[0])
+        for request in candidates[1:]:
+            if len(taken) >= max_batch_size:
+                break
+            rows = int(request.payload.shape[0])
+            if rows <= remaining:
+                taken.append(request)
+                remaining -= rows
+        return taken
+
+
+class BatchScheduler:
+    """Queue that groups compatible requests into bounded batches.
+
+    The batching *policy* is pluggable (see :class:`SchedulingPolicy`);
+    the fairness invariant — single-key batches, per-key FIFO order, the
+    per-key head always included — is validated here so every policy
+    honours it.
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int = 8,
+        *,
+        policy: SchedulingPolicy | None = None,
+    ) -> None:
         if max_batch_size < 1:
             raise ProtocolError("max_batch_size must be at least 1")
         self.max_batch_size = max_batch_size
+        self.policy = policy if policy is not None else FifoPolicy()
         self._queue: deque[InferenceRequest] = deque()
         self._sequence = itertools.count()
         self._batch_ids = itertools.count()
@@ -81,8 +225,13 @@ class BatchScheduler:
         self._queue.append(request)
         return request
 
+    # -- observability -------------------------------------------------------
     def pending(self) -> int:
         """Number of queued (not yet batched) requests."""
+        return len(self._queue)
+
+    def pending_count(self) -> int:
+        """Alias of :meth:`pending`, the name the serving stats use."""
         return len(self._queue)
 
     def pending_keys(self) -> list[BatchKey]:
@@ -93,25 +242,59 @@ class BatchScheduler:
                 seen.append(request.key)
         return seen
 
+    def queue_depths(self) -> dict[BatchKey, int]:
+        """Queued request count per compatibility key, in arrival order."""
+        depths: dict[BatchKey, int] = {}
+        for request in self._queue:
+            depths[request.key] = depths.get(request.key, 0) + 1
+        return depths
+
+    def max_queue_wait(self, now: float | None = None) -> float:
+        """Longest time any queued request has been waiting, in seconds."""
+        if not self._queue:
+            return 0.0
+        now = time.perf_counter() if now is None else now
+        return max(now - request.submitted_at for request in self._queue)
+
+    # -- batch formation -----------------------------------------------------
     def next_batch(self) -> Batch | None:
-        """Form the next batch: the queue head plus its oldest compatible peers.
+        """Form the next batch according to the scheduling policy.
 
         Requests with other keys keep their queue position, so an
         incompatible burst cannot push an older request backwards.
         """
         if not self._queue:
             return None
-        key = self._queue[0].key
-        taken: list[InferenceRequest] = []
-        remaining: deque[InferenceRequest] = deque()
-        while self._queue:
-            request = self._queue.popleft()
-            if request.key == key and len(taken) < self.max_batch_size:
-                taken.append(request)
-            else:
-                remaining.append(request)
-        self._queue = remaining
-        return Batch(batch_id=next(self._batch_ids), key=key, requests=taken)
+        taken = self.policy.select(tuple(self._queue), self.max_batch_size)
+        self._validate_selection(taken)
+        # Arrival order within the batch, regardless of selection order.
+        taken = sorted(taken, key=lambda r: r.sequence)
+        chosen = {id(request) for request in taken}
+        self._queue = deque(r for r in self._queue if id(r) not in chosen)
+        return Batch(batch_id=next(self._batch_ids), key=taken[0].key, requests=taken)
+
+    def _validate_selection(self, taken: list[InferenceRequest]) -> None:
+        policy = type(self.policy).__name__
+        if not taken:
+            raise ProtocolError(f"{policy} selected an empty batch")
+        if len(taken) > self.max_batch_size:
+            raise ProtocolError(
+                f"{policy} selected {len(taken)} requests, over the "
+                f"max batch size {self.max_batch_size}"
+            )
+        queued = {id(request) for request in self._queue}
+        if any(id(request) not in queued for request in taken):
+            raise ProtocolError(f"{policy} selected requests not in the queue")
+        key = taken[0].key
+        if any(request.key != key for request in taken):
+            raise ProtocolError(f"{policy} mixed compatibility keys in one batch")
+        oldest = min(
+            (r for r in self._queue if r.key == key), key=lambda r: r.sequence
+        )
+        if all(request is not oldest for request in taken):
+            raise ProtocolError(
+                f"{policy} starved the per-key head request {oldest.request_id!r}"
+            )
 
     def drain(self) -> list[Batch]:
         """Form batches until the queue is empty."""

@@ -1,54 +1,60 @@
-"""Batch-serving runtime for private Transformer inference.
+"""Batch-serving façade for private Transformer inference.
 
 The paper evaluates the hybrid HE+GC protocol one sequence at a time; this
-module turns the reproduction into a *serving system*: a
-:class:`ServingRuntime` accepts many independent requests, groups compatible
-ones through the :class:`~repro.runtime.scheduler.BatchScheduler`, and
-executes each batch while amortising the expensive cryptographic state:
+module is the front door of the reproduction's *serving system*.  The actual
+machinery lives one layer down and is composed of three parts (see the
+README's "Serving architecture" section):
 
-* **full inference requests** run through a cached
-  :class:`~repro.protocols.primer.PrivateTransformerInference` engine per
-  ``(model, variant)`` — key generation, the HGS/FHGS offline
-  pre-processing, and the NTT twiddle tables are paid once per engine
-  instead of once per request;
-* **linear requests** (private ``X @ W`` evaluations, the HGS building
-  block) are packed into *shared* ciphertext slot space via the
-  tokens-first layout (:func:`repro.he.matmul.encrypted_batch_matmul`): one
-  ciphertext carries one feature of every request in the batch, so the whole
-  batch costs as many homomorphic operations as a single request.
+* **plans** (:mod:`repro.protocols.plan`) — the offline phase of every
+  engine is an explicit, immutable :class:`~repro.protocols.plan.OfflinePlan`
+  produced by ``prepare()`` and adopted by ``install()``;
+* **executors** (:mod:`repro.runtime.executor`) — the
+  :class:`~repro.runtime.executor.BatchExecutor` runs one batch with full
+  per-request attribution; the
+  :class:`~repro.runtime.executor.PipelinedExecutor` shards engines across
+  workers and overlaps offline preparation with online execution;
+* **policies** (:mod:`repro.runtime.scheduler`) — batch formation is a
+  pluggable :class:`~repro.runtime.scheduler.SchedulingPolicy` (FIFO
+  default, earliest-deadline-first, size-aware slot packing), all bound by
+  the scheduler-enforced per-key FIFO fairness invariant.
 
-Every request gets its own accounting: wall-clock latency, queue wait, and
-the exact communication/operation breakdown attributed to it on the shared
-channel and tracker (see ``Channel.set_request`` /
-``OperationTracker.attribute``).  Batched execution is *functionally
-identical* to running each request alone — the test-suite asserts
-bit-identical logits — because the protocol's outputs are deterministic
-functions of the inputs regardless of the sharing randomness.
+:class:`ServingRuntime` preserves the original API: ``submit`` /
+``submit_linear`` queue requests, ``run_pending()`` drains serially (batch
+after batch, behaviour-identical to the pre-split runtime) and
+``run_pending_pipelined()`` drains through the sharded pipeline.  Both paths
+produce bit-identical logits — the protocol's outputs are deterministic
+functions of the inputs regardless of the sharing randomness — which the
+test-suite asserts for all four Primer variants.
 """
 
 from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from ..errors import ProtocolError
 from ..he.backend import HEBackend
-from ..he.matmul import encrypted_batch_matmul
-from ..he.simulated import SimulatedHEBackend
 from ..nn.transformer import TransformerEncoder
-from ..protocols.channel import Channel, Phase
-from ..protocols.formats import protocol_he_parameters
+from ..protocols.channel import NetworkModel
 from ..protocols.primer import (
     ALL_VARIANTS,
     PRIMER_FPC,
     PrimerVariant,
     PrivateTransformerInference,
 )
-from .scheduler import Batch, BatchKey, BatchScheduler, InferenceRequest
+from .executor import (
+    STEP_LINEAR,
+    BatchExecutor,
+    EngineCache,
+    LinearServingPath,
+    PipelinedExecutor,
+    RequestReport,
+)
+from .scheduler import BatchKey, BatchScheduler, InferenceRequest, SchedulingPolicy
 
 __all__ = [
     "RequestReport",
@@ -56,46 +62,8 @@ __all__ = [
     "ServingRuntime",
     "run_sequential_baseline",
     "summarize",
+    "STEP_LINEAR",
 ]
-
-#: step label used for the linear serving path's wire accounting
-STEP_LINEAR = "linear_serving"
-
-
-@dataclass
-class RequestReport:
-    """Per-request outcome with latency and communication breakdowns."""
-
-    request_id: str
-    kind: str
-    model: str
-    variant: str
-    batch_id: int
-    batch_size: int
-    result: np.ndarray
-    prediction: int | None
-    queue_seconds: float
-    latency_seconds: float
-    online_bytes: int
-    online_rounds: int
-    offline_bytes: int
-    he_operations: dict[str, int]
-    #: linear batches share ciphertexts, so ``he_operations`` / latency are
-    #: joint figures for the whole slot-sharing group, not per-request sums.
-    shared_slot_batch: bool = False
-
-    def summary(self) -> dict[str, float | int | str]:
-        return {
-            "request": self.request_id,
-            "model": self.model,
-            "variant": self.variant,
-            "batch": self.batch_id,
-            "batch_size": self.batch_size,
-            "latency_ms": self.latency_seconds * 1e3,
-            "queue_ms": self.queue_seconds * 1e3,
-            "online_kilobytes": self.online_bytes / 1e3,
-            "he_operations": sum(self.he_operations.values()),
-        }
 
 
 @dataclass(frozen=True)
@@ -108,6 +76,11 @@ class ServingStats:
     requests_per_second: float
     mean_latency_seconds: float
     mean_queue_seconds: float
+    #: longest any request in the set waited in the queue
+    max_queue_seconds: float = 0.0
+    #: deadline outcomes (requests without a deadline count in neither)
+    deadlines_met: int = 0
+    deadlines_missed: int = 0
 
 
 def summarize(reports: list[RequestReport], wall_seconds: float | None = None) -> ServingStats:
@@ -131,17 +104,14 @@ def summarize(reports: list[RequestReport], wall_seconds: float | None = None) -
         requests_per_second=len(reports) / total if total > 0 else float("inf"),
         mean_latency_seconds=float(np.mean([r.latency_seconds for r in reports])),
         mean_queue_seconds=float(np.mean([r.queue_seconds for r in reports])),
+        max_queue_seconds=float(np.max([r.queue_seconds for r in reports])),
+        deadlines_met=sum(1 for r in reports if r.deadline_met is True),
+        deadlines_missed=sum(1 for r in reports if r.deadline_met is False),
     )
 
 
-@dataclass
-class _EngineEntry:
-    engine: PrivateTransformerInference
-    build_seconds: float
-
-
 class ServingRuntime:
-    """Queue → batcher → protocol runner → per-request reports.
+    """Queue → policy batcher → (pipelined) executor → per-request reports.
 
     Parameters
     ----------
@@ -157,6 +127,17 @@ class ServingRuntime:
     seed:
         Seed handed to every engine (results are seed-independent; the seed
         only fixes the sharing randomness).
+    policy:
+        Scheduling policy for batch formation; default FIFO (the original
+        behaviour).
+    num_workers:
+        Shard workers used by :meth:`run_pending_pipelined`.
+    network:
+        Optional :class:`~repro.protocols.channel.NetworkModel` to
+        *realize*: every protocol message then actually waits out its
+        transfer time, emulating the paper's two-instance deployment.  The
+        pipelined executor overlaps the offline phase's wire time with
+        online execution; the serial drain pays it inline.
     """
 
     def __init__(
@@ -166,32 +147,67 @@ class ServingRuntime:
         max_batch_size: int = 8,
         backend_factory: Callable[[], HEBackend] | None = None,
         seed: int = 0,
+        policy: SchedulingPolicy | None = None,
+        num_workers: int = 2,
+        network: NetworkModel | None = None,
     ) -> None:
-        self.scheduler = BatchScheduler(max_batch_size=max_batch_size)
+        self.scheduler = BatchScheduler(max_batch_size=max_batch_size, policy=policy)
         self._models: dict[str, TransformerEncoder] = dict(models or {})
         self._weight_banks: dict[str, np.ndarray] = {}
-        self._backend_factory = backend_factory
-        self._seed = seed
-        self._engines: dict[BatchKey, _EngineEntry] = {}
         self._variants: dict[str, PrimerVariant] = {v.name: v for v in ALL_VARIANTS}
-        self._linear_backend: HEBackend | None = None
-        self._linear_channel = Channel()
+        self._engines = EngineCache(
+            self._models, self._variants, backend_factory, seed, network=network
+        )
+        self._linear = LinearServingPath(self._weight_banks, backend_factory, network=network)
+        self.executor = BatchExecutor(self._engines, self._linear)
+        self.pipeline = PipelinedExecutor(self.executor, num_workers=num_workers)
         self._request_ids = itertools.count()
         self._completed: dict[str, RequestReport] = {}
+
+    def _register_variant(self, variant: PrimerVariant) -> None:
+        """Track a variant by name, rejecting silent name collisions.
+
+        Batch keys carry only the variant *name*, so two different variant
+        configurations under one name would make requests run under
+        whichever registered first — an error, not a tie-break.
+        """
+        existing = self._variants.setdefault(variant.name, variant)
+        if existing != variant:
+            raise ProtocolError(
+                f"variant name {variant.name!r} is already registered with a "
+                "different configuration"
+            )
 
     # -- registration --------------------------------------------------------
     def register_model(self, name: str, model: TransformerEncoder) -> None:
         """Register (or replace) a model served under ``name``."""
         self._models[name] = model
         # Engines built for an older model under this name are stale.
-        for key in [k for k in self._engines if k.model == name]:
-            del self._engines[key]
+        self._engines.invalidate_model(name)
 
     def register_weights(self, name: str, weights: np.ndarray) -> None:
-        """Register a plaintext weight matrix for the linear serving path."""
+        """Register a plaintext weight matrix for the linear serving path.
+
+        Replacing a bank with a *different input dimension* while compatible
+        linear requests are still queued is rejected: those requests were
+        shape-validated against the old bank at submit time and would
+        otherwise run against the new one (the executor re-checks the shape
+        contract at batch time as a second line of defence).
+        """
         weights = np.asarray(weights, dtype=np.int64)
         if weights.ndim != 2:
             raise ProtocolError("linear serving weights must be a 2-D matrix")
+        previous = self._weight_banks.get(name)
+        if previous is not None and previous.shape[0] != weights.shape[0]:
+            pending = self.scheduler.queue_depths().get(
+                BatchKey(kind="linear", model=name, variant=""), 0
+            )
+            if pending:
+                raise ProtocolError(
+                    f"cannot replace weight bank {name!r} "
+                    f"({previous.shape} -> {weights.shape}) while {pending} "
+                    "compatible linear requests are queued; drain them first"
+                )
         self._weight_banks[name] = weights
 
     # -- submission ----------------------------------------------------------
@@ -201,20 +217,34 @@ class ServingRuntime:
         token_ids: np.ndarray,
         *,
         variant: PrimerVariant = PRIMER_FPC,
+        deadline_seconds: float | None = None,
     ) -> str:
-        """Queue one full private-inference request; returns its request id."""
+        """Queue one full private-inference request; returns its request id.
+
+        ``deadline_seconds`` is a completion target relative to submission;
+        it only influences batch order under the deadline-aware policy, and
+        every report records whether its deadline was met.
+        """
         if model_name not in self._models:
             raise ProtocolError(f"unknown model {model_name!r}")
-        self._variants.setdefault(variant.name, variant)
+        self._register_variant(variant)
         request = InferenceRequest(
             request_id=f"req-{next(self._request_ids)}",
             key=BatchKey(kind="inference", model=model_name, variant=variant.name),
             payload=np.asarray(token_ids, dtype=np.int64),
         )
+        if deadline_seconds is not None:
+            request.deadline = request.submitted_at + deadline_seconds
         self.scheduler.submit(request)
         return request.request_id
 
-    def submit_linear(self, weights_name: str, matrix: np.ndarray) -> str:
+    def submit_linear(
+        self,
+        weights_name: str,
+        matrix: np.ndarray,
+        *,
+        deadline_seconds: float | None = None,
+    ) -> str:
         """Queue one private ``X @ W`` request against a registered bank."""
         if weights_name not in self._weight_banks:
             raise ProtocolError(f"unknown weight bank {weights_name!r}")
@@ -224,7 +254,7 @@ class ServingRuntime:
                 f"linear request shape {matrix.shape} incompatible with "
                 f"bank {weights_name!r} of shape {self._weight_banks[weights_name].shape}"
             )
-        slot_count = self._linear_backend_instance().slot_count
+        slot_count = self._linear.backend().slot_count
         if matrix.shape[0] > slot_count:
             raise ProtocolError(
                 f"linear request of {matrix.shape[0]} rows exceeds the "
@@ -235,27 +265,45 @@ class ServingRuntime:
             key=BatchKey(kind="linear", model=weights_name, variant=""),
             payload=matrix,
         )
+        if deadline_seconds is not None:
+            request.deadline = request.submitted_at + deadline_seconds
         self.scheduler.submit(request)
         return request.request_id
 
     # -- execution -----------------------------------------------------------
     def run_pending(self) -> list[RequestReport]:
-        """Drain the queue, executing batch after batch; returns all reports."""
+        """Drain the queue serially, batch after batch; returns all reports."""
         reports: list[RequestReport] = []
         while True:
             batch = self.scheduler.next_batch()
             if batch is None:
                 break
-            if batch.key.kind == "inference":
-                batch_reports = self._run_inference_batch(batch)
-            else:
-                batch_reports = self._run_linear_batch(batch)
+            batch_reports = self.executor.execute(batch)
             # Register completions batch by batch so an error in a later
             # batch cannot lose the results of batches that already ran.
             for report in batch_reports:
                 self._completed[report.request_id] = report
             reports.extend(batch_reports)
         return reports
+
+    def run_pending_pipelined(self) -> list[RequestReport]:
+        """Drain the queue through the sharded offline/online pipeline.
+
+        Batches are formed by the same policy as :meth:`run_pending`; they
+        then run on per-key shard workers while the offline plans of
+        not-yet-started engines are prepared in the background.  Reports
+        come back in batch-formation order and the logits are bit-identical
+        to a serial drain.  Completions register batch by batch (like the
+        serial drain), so an error in one shard cannot lose the results of
+        batches that already ran.
+        """
+        batches = self.scheduler.drain()
+
+        def register(batch_reports: list[RequestReport]) -> None:
+            for report in batch_reports:
+                self._completed[report.request_id] = report
+
+        return self.pipeline.drain(batches, on_batch_complete=register)
 
     def result(self, request_id: str) -> RequestReport:
         """Report of a completed request."""
@@ -266,152 +314,14 @@ class ServingRuntime:
     # -- engine cache --------------------------------------------------------
     def engine_for(self, model_name: str, variant: PrimerVariant = PRIMER_FPC) -> PrivateTransformerInference:
         """The cached engine serving ``(model, variant)``, building it if needed."""
-        self._variants.setdefault(variant.name, variant)
+        self._register_variant(variant)
         key = BatchKey(kind="inference", model=model_name, variant=variant.name)
-        return self._engine(key).engine
+        return self._engines.entry(key).engine
 
-    def _engine(self, key: BatchKey) -> _EngineEntry:
-        entry = self._engines.get(key)
-        if entry is None:
-            if key.model not in self._models:
-                raise ProtocolError(f"unknown model {key.model!r}")
-            model = self._models[key.model]
-            variant = self._variants[key.variant]
-            backend = self._backend_factory() if self._backend_factory else None
-            start = time.perf_counter()
-            engine = PrivateTransformerInference(
-                model, variant, backend=backend, seed=self._seed
-            )
-            engine.offline()
-            entry = _EngineEntry(engine=engine, build_seconds=time.perf_counter() - start)
-            self._engines[key] = entry
-        return entry
-
-    def _run_inference_batch(self, batch: Batch) -> list[RequestReport]:
-        entry = self._engine(batch.key)
-        engine = entry.engine
-        reports: list[RequestReport] = []
-        for request in batch.requests:
-            start = time.perf_counter()
-            engine.tracker.set_request(request.request_id)
-            engine.channel.set_request(request.request_id)
-            try:
-                result = engine.run(request.payload)
-            finally:
-                engine.tracker.set_request(None)
-                engine.channel.set_request(None)
-            elapsed = time.perf_counter() - start
-            reports.append(
-                RequestReport(
-                    request_id=request.request_id,
-                    kind="inference",
-                    model=batch.key.model,
-                    variant=batch.key.variant,
-                    batch_id=batch.batch_id,
-                    batch_size=len(batch),
-                    result=result.logits,
-                    prediction=result.prediction,
-                    queue_seconds=start - request.submitted_at,
-                    latency_seconds=elapsed,
-                    online_bytes=engine.channel.total_bytes(
-                        Phase.ONLINE, request=request.request_id
-                    ),
-                    online_rounds=engine.channel.round_count(
-                        Phase.ONLINE, request=request.request_id
-                    ),
-                    offline_bytes=engine.channel.total_bytes(
-                        Phase.OFFLINE, request=request.request_id
-                    ),
-                    he_operations=engine.tracker.request_snapshot(request.request_id),
-                )
-            )
-        return reports
-
-    def _linear_backend_instance(self) -> HEBackend:
-        if self._linear_backend is None:
-            if self._backend_factory is not None:
-                self._linear_backend = self._backend_factory()
-            else:
-                self._linear_backend = SimulatedHEBackend(protocol_he_parameters())
-        return self._linear_backend
-
-    def _run_linear_batch(self, batch: Batch) -> list[RequestReport]:
-        """Run a slot-sharing linear batch, chunked to the ciphertext capacity."""
-        backend = self._linear_backend_instance()
-        weights = self._weight_banks[batch.key.model]
-        reports: list[RequestReport] = []
-        slot_count = backend.slot_count
-        chunk: list[InferenceRequest] = []
-        chunk_index = 0
-        rows = 0
-        for request in batch.requests + [None]:  # None flushes the last chunk
-            if request is not None and rows + request.payload.shape[0] <= slot_count:
-                chunk.append(request)
-                rows += request.payload.shape[0]
-                continue
-            if chunk:
-                reports.extend(
-                    self._run_linear_chunk(batch, chunk_index, chunk, backend, weights)
-                )
-                chunk_index += 1
-            if request is not None:
-                # Per-request capacity was validated at submit time.
-                chunk = [request]
-                rows = request.payload.shape[0]
-        return reports
-
-    def _run_linear_chunk(
-        self,
-        batch: Batch,
-        chunk_index: int,
-        chunk: list[InferenceRequest],
-        backend: HEBackend,
-        weights: np.ndarray,
-    ) -> list[RequestReport]:
-        # One tag per slot-sharing chunk: a batch may split into several
-        # chunks, and reusing one tag would double-count earlier chunks'
-        # operations in later chunks' reports.
-        tag = f"batch-{batch.batch_id}-chunk-{chunk_index}"
-        start = time.perf_counter()
-        with backend.tracker.attribute(tag):
-            results = encrypted_batch_matmul(
-                backend, [request.payload for request in chunk], weights
-            )
-        elapsed = time.perf_counter() - start
-        ops = backend.tracker.request_snapshot(tag)
-        # Wire accounting: the batch's input features travel as one shared
-        # ciphertext per feature; the results come back one per output column.
-        self._linear_channel.set_request(tag)
-        self._linear_channel.send(
-            "client", "server", weights.shape[0] * backend.ciphertext_bytes,
-            description="Enc(stacked inputs)", step=STEP_LINEAR, phase=Phase.ONLINE,
-        )
-        self._linear_channel.send(
-            "server", "client", weights.shape[1] * backend.ciphertext_bytes,
-            description="Enc(stacked results)", step=STEP_LINEAR, phase=Phase.ONLINE,
-        )
-        self._linear_channel.set_request(None)
-        online_bytes = self._linear_channel.total_bytes(Phase.ONLINE, request=tag)
-        return [
-            RequestReport(
-                request_id=request.request_id,
-                kind="linear",
-                model=batch.key.model,
-                variant="",
-                batch_id=batch.batch_id,
-                batch_size=len(chunk),
-                result=result,
-                prediction=None,
-                queue_seconds=start - request.submitted_at,
-                latency_seconds=elapsed,
-                online_bytes=online_bytes,
-                online_rounds=2,
-                offline_bytes=0,
-                he_operations=dict(ops),
-                shared_slot_batch=True,
-            )
-            for request, result in zip(chunk, results)
-        ]
+    @property
+    def linear_channel(self):
+        """The accounting channel of the shared-slot linear path."""
+        return self._linear.channel
 
 
 def run_sequential_baseline(
@@ -421,6 +331,7 @@ def run_sequential_baseline(
     variant: PrimerVariant = PRIMER_FPC,
     backend_factory: Callable[[], HEBackend] | None = None,
     seed: int = 0,
+    network: NetworkModel | None = None,
 ) -> tuple[list[np.ndarray], float]:
     """Serve requests the pre-runtime way: a fresh engine per request.
 
@@ -433,7 +344,9 @@ def run_sequential_baseline(
     start = time.perf_counter()
     for token_ids in token_ids_list:
         backend = backend_factory() if backend_factory else None
-        engine = PrivateTransformerInference(model, variant, backend=backend, seed=seed)
+        engine = PrivateTransformerInference(
+            model, variant, backend=backend, seed=seed, network=network
+        )
         engine.offline()
         logits.append(engine.run(np.asarray(token_ids, dtype=np.int64)).logits)
     return logits, time.perf_counter() - start

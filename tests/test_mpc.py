@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import CircuitError
-from repro.fixedpoint import DEFAULT_FORMAT, FixedPointFormat
 from repro.he import SimulatedHEBackend, toy_parameters
 from repro.mpc import (
     AdditiveSharing,

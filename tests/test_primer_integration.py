@@ -19,7 +19,6 @@ from repro.protocols import (
     PrivateTransformerInference,
     count_operations,
 )
-from repro.protocols.channel import Phase
 from repro.runtime import calibrated_latency_model, scheme_latencies
 
 

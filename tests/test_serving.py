@@ -13,6 +13,8 @@ from repro.protocols import PRIMER_F, PRIMER_FPC, Phase
 from repro.runtime import (
     BatchKey,
     BatchScheduler,
+    DeadlinePolicy,
+    FifoPolicy,
     InferenceRequest,
     ServingRuntime,
     run_sequential_baseline,
@@ -244,6 +246,187 @@ class TestLinearServing:
             runtime.submit_linear("proj", rng.integers(0, 10, size=(8, 5)))
         with pytest.raises(ProtocolError):
             runtime.submit_linear("unknown", rng.integers(0, 10, size=(8, 16)))
+
+
+class TestWeightBankReplacement:
+    """Regression: replacing a bank under queued requests must be safe."""
+
+    def test_incompatible_replacement_rejected_while_requests_queued(self, rng):
+        runtime = ServingRuntime()
+        runtime.register_weights("proj", rng.integers(0, 7, size=(16, 4)))
+        runtime.submit_linear("proj", rng.integers(0, 50, size=(8, 16)))
+        # The queued request was validated against a 16-row bank; swapping
+        # in an 8-row bank would let it run against the wrong shape.
+        with pytest.raises(ProtocolError):
+            runtime.register_weights("proj", rng.integers(0, 7, size=(8, 4)))
+        # The old bank still serves the queued request correctly.
+        reports = runtime.run_pending()
+        assert len(reports) == 1
+
+    def test_same_input_dim_replacement_allowed(self, rng):
+        runtime = ServingRuntime()
+        runtime.register_weights("proj", rng.integers(0, 7, size=(16, 4)))
+        matrix = rng.integers(0, 50, size=(8, 16))
+        request_id = runtime.submit_linear("proj", matrix)
+        # Same input dimension (different values/output width) stays
+        # compatible with everything in the queue.
+        replacement = rng.integers(0, 7, size=(16, 6))
+        runtime.register_weights("proj", replacement)
+        runtime.run_pending()
+        report = runtime.result(request_id)
+        t = runtime._linear.backend().plaintext_modulus
+        assert np.array_equal(report.result, (matrix @ replacement) % t)
+
+    def test_replacement_allowed_once_queue_drained(self, rng):
+        runtime = ServingRuntime()
+        runtime.register_weights("proj", rng.integers(0, 7, size=(16, 4)))
+        runtime.submit_linear("proj", rng.integers(0, 50, size=(8, 16)))
+        runtime.run_pending()
+        runtime.register_weights("proj", rng.integers(0, 7, size=(8, 4)))
+        request_id = runtime.submit_linear("proj", rng.integers(0, 50, size=(8, 8)))
+        runtime.run_pending()
+        assert runtime.result(request_id).result.shape == (8, 4)
+
+    def test_batch_time_revalidation_guards_direct_mutation(self, rng):
+        """The executor re-checks shapes even if the bank dict is mutated."""
+        runtime = ServingRuntime()
+        runtime.register_weights("proj", rng.integers(0, 7, size=(16, 4)))
+        runtime.submit_linear("proj", rng.integers(0, 50, size=(8, 16)))
+        # Bypass register_weights entirely (defence-in-depth check).
+        runtime._weight_banks["proj"] = rng.integers(0, 7, size=(8, 4))
+        with pytest.raises(ProtocolError):
+            runtime.run_pending()
+
+
+class TestDeadlineScheduling:
+    """EDF meets a deadline mix that FIFO provably misses.
+
+    Virtual-time argument: batches cost one time unit each, a request's
+    completion time is its batch's position in the drain order (1-based).
+    The workload queues two full batches of key A ahead of one urgent
+    request on key B with deadline 1 unit from arrival:
+
+    * FIFO drains A, A, B — the urgent request finishes at t=3 > 1: missed.
+    * EDF picks B's key first (earliest deadline), then serves A's two
+      batches: everything with a deadline finishes in time.
+
+    Both schedules keep per-key FIFO order, so the difference is purely the
+    cross-key policy.
+    """
+
+    A = BatchKey(kind="inference", model="a", variant="primer-fpc")
+    B = BatchKey(kind="inference", model="b", variant="primer-fpc")
+
+    def _workload(self):
+        # (id, key, deadline in virtual units)
+        return [
+            ("a0", self.A, 3.0),
+            ("a1", self.A, 3.0),
+            ("a2", self.A, None),
+            ("a3", self.A, None),
+            ("b0", self.B, 1.0),
+        ]
+
+    def _drain_completion_times(self, policy) -> dict[str, float]:
+        scheduler = BatchScheduler(max_batch_size=2, policy=policy)
+        for request_id, key, deadline in self._workload():
+            scheduler.submit(
+                InferenceRequest(
+                    request_id=request_id, key=key,
+                    payload=np.zeros(1, dtype=np.int64),
+                    submitted_at=0.0, deadline=deadline,
+                )
+            )
+        completion: dict[str, float] = {}
+        for position, batch in enumerate(scheduler.drain(), start=1):
+            for request in batch.requests:
+                completion[request.request_id] = float(position)
+        return completion
+
+    def _missed(self, completion: dict[str, float]) -> list[str]:
+        deadlines = {rid: d for rid, _, d in self._workload() if d is not None}
+        return [rid for rid, d in deadlines.items() if completion[rid] > d]
+
+    def test_fifo_provably_misses_the_urgent_deadline(self):
+        completion = self._drain_completion_times(FifoPolicy())
+        assert self._missed(completion) == ["b0"]
+
+    def test_edf_meets_every_deadline_fifo_missed(self):
+        completion = self._drain_completion_times(DeadlinePolicy())
+        assert self._missed(completion) == []
+        # The urgent cross-key request ran first; per-key FIFO still holds.
+        assert completion["b0"] == 1.0
+        assert completion["a0"] <= completion["a2"]
+
+    def test_runtime_edf_serves_urgent_batch_first_end_to_end(self, tiny_model):
+        rng = np.random.default_rng(3)
+        runtime = ServingRuntime(
+            {"a": tiny_model, "b": tiny_model},
+            max_batch_size=2,
+            policy=DeadlinePolicy(),
+            seed=5,
+        )
+        runtime.submit("a", rng.integers(0, 40, size=6))
+        runtime.submit("a", rng.integers(0, 40, size=6))
+        urgent = runtime.submit("b", rng.integers(0, 40, size=6), deadline_seconds=120.0)
+        reports = runtime.run_pending()
+        # The deadline-bearing request's batch ran first despite arriving last.
+        assert reports[0].request_id == urgent
+        assert reports[0].deadline_met is True
+        stats = summarize(reports)
+        assert stats.deadlines_met == 1 and stats.deadlines_missed == 0
+
+
+class TestReviewRegressions:
+    def test_conflicting_variant_name_rejected(self, tiny_model):
+        from repro.he.packing import PackingLayout
+        from repro.protocols import PrimerVariant
+
+        runtime = ServingRuntime({"tiny": tiny_model})
+        impostor = PrimerVariant(
+            "primer-fpc", preprocess_offline=False,
+            packing=PackingLayout.FEATURE_BASED, combine_layers=False,
+        )
+        # Batch keys carry only the variant name; a different configuration
+        # under a taken name must fail loudly instead of silently running
+        # under the originally registered variant.
+        with pytest.raises(ProtocolError):
+            runtime.submit("tiny", np.zeros(6, dtype=np.int64), variant=impostor)
+
+    def test_pipelined_failure_keeps_completed_batches(self, tiny_model, rng):
+        """A failing batch must not lose reports of batches that finished."""
+        runtime = ServingRuntime({"tiny": tiny_model}, num_workers=2, seed=4)
+        runtime.register_weights("proj", rng.integers(0, 7, size=(16, 4)))
+        inference_id = runtime.submit("tiny", rng.integers(0, 40, size=6))
+        runtime.submit_linear("proj", rng.integers(0, 50, size=(8, 16)))
+        # Corrupt the bank under the executor's feet: the linear batch fails
+        # its batch-time re-validation while the inference batch succeeds.
+        runtime._weight_banks["proj"] = rng.integers(0, 7, size=(8, 4))
+        with pytest.raises(ProtocolError):
+            runtime.run_pending_pipelined()
+        report = runtime.result(inference_id)
+        assert report.request_id == inference_id
+
+
+class TestQueueObservability:
+    def test_scheduler_exposes_depths_and_wait(self, tiny_model):
+        runtime = ServingRuntime({"tiny": tiny_model}, max_batch_size=4)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            runtime.submit("tiny", rng.integers(0, 40, size=6))
+        runtime.submit("tiny", rng.integers(0, 40, size=6), variant=PRIMER_F)
+        scheduler = runtime.scheduler
+        assert scheduler.pending_count() == 4
+        depths = scheduler.queue_depths()
+        assert depths[BatchKey("inference", "tiny", "primer-fpc")] == 3
+        assert depths[BatchKey("inference", "tiny", "primer-f")] == 1
+        assert scheduler.max_queue_wait() > 0.0
+        reports = runtime.run_pending()
+        assert scheduler.pending_count() == 0
+        assert scheduler.queue_depths() == {}
+        assert scheduler.max_queue_wait() == 0.0
+        stats = summarize(reports)
+        assert stats.max_queue_seconds >= stats.mean_queue_seconds > 0.0
 
 
 class TestTrackerAttribution:
