@@ -16,6 +16,7 @@ from repro.costmodel import format_table
 from repro.he import (
     PackingLayout,
     SimulatedHEBackend,
+    bsgs_rotation_count,
     encrypted_packed_matmul,
     rotation_savings,
     toy_parameters,
@@ -23,37 +24,46 @@ from repro.he import (
 
 
 def test_paper_scale_rotation_savings():
-    savings = rotation_savings(n_tokens=30, n_features=30522, slot_count=4096)
+    savings = rotation_savings(
+        n_tokens=30, n_features=30522, slot_count=4096, n_outputs=768
+    )
     print("\nFigure 6 — packing rotation counts (BERT embedding, n=30, M=4096)\n")
     print(format_table(
         ["Layout", "Rotations"],
         [
             ["feature-based", f"{savings['feature_based_rotations']:,}"],
             ["tokens-first", f"{savings['tokens_first_rotations']:,}"],
-            ["saved", f"{savings['saved_rotations']:,}"],
-            ["reduction", f"{savings['reduction_factor']:.1f}x"],
+            ["BSGS diagonals", f"{savings['bsgs_rotations']:,}"],
+            ["saved (tokens-first)", f"{savings['saved_rotations']:,}"],
+            ["reduction (tokens-first)", f"{savings['reduction_factor']:.1f}x"],
+            ["reduction (BSGS vs tokens-first)", f"{savings['bsgs_reduction_factor']:.1f}x"],
         ],
     ))
     # The paper claims ~c*(M - M/n) savings, i.e. a reduction of roughly n.
     assert 15 < savings["reduction_factor"] < 45
+    # The BSGS kernel drops the per-ciphertext cost to O(sqrt(d)) on top.
+    assert savings["bsgs_rotations"] < savings["tokens_first_rotations"]
 
 
 def test_measured_rotations_match_closed_form():
     backend = SimulatedHEBackend(toy_parameters(256))
     rng = np.random.default_rng(0)
     x = rng.integers(0, 30, size=(8, 64))
-    w = rng.integers(0, 30, size=(64, 4))
+    w = rng.integers(1, 30, size=(64, 4))
     measured = {}
     for layout in PackingLayout:
         backend.tracker.reset()
         result = encrypted_packed_matmul(backend, x, w, layout)
         assert np.array_equal(result, (x @ w) % backend.plaintext_modulus)
         measured[layout] = backend.tracker.count("he_rotate")
-    closed = rotation_savings(8, 64, 256)
+    closed = rotation_savings(8, 64, 256, n_outputs=4)
     # Measured counts follow the closed-form ordering and rough magnitude.
     assert measured[PackingLayout.TOKENS_FIRST] < measured[PackingLayout.FEATURE_BASED]
     assert measured[PackingLayout.FEATURE_BASED] <= closed["feature_based_rotations"]
     assert measured[PackingLayout.TOKENS_FIRST] <= closed["tokens_first_rotations"] + 8
+    # The BSGS kernel's measured count *equals* its closed form exactly.
+    assert measured[PackingLayout.BSGS_DIAGONAL] == bsgs_rotation_count(8, 64, 4, 256)
+    assert measured[PackingLayout.BSGS_DIAGONAL] < measured[PackingLayout.TOKENS_FIRST]
 
 
 @pytest.mark.benchmark(group="packing")

@@ -22,9 +22,21 @@ Three comparisons, mirroring the levels the serving runtime batches at:
    overlaps with compute instead of serialising in front of it.  The
    acceptance bar is 1.2x with bit-identical logits.
 
+4. **BSGS diagonal matmul** at paper dimensions: the rotation-minimal
+   kernel (hoisted baby steps, shared giant steps) against the legacy
+   offset-enumeration loop in both packing layouts, with tracker-measured
+   rotation counts asserted against the closed forms.  The acceptance bar
+   is a 3x rotation reduction with bit-identical decrypted results.
+
+5. **FHGS block-diagonal slot sharing**: a 4-request serving batch ships
+   one set of cross-term ciphertexts instead of four — the ~1/k online
+   traffic reduction the ROADMAP's slot-sharing item asked for.
+
 Headline numbers are persisted to ``BENCH_serving.json`` (see
 ``benchmarks/_record.py``) so the performance trajectory is tracked across
-PRs; CI uploads the file as a workflow artifact.
+PRs; CI uploads the file as a workflow artifact and
+``benchmarks/check_regressions.py`` fails the build when any recorded
+speedup drops below its committed floor.
 
 Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q -s
 """
@@ -40,13 +52,16 @@ from _record import latency_percentiles, record
 from repro.costmodel import format_table
 from repro.he import (
     ExactBFVBackend,
+    PackingLayout,
     SimulatedHEBackend,
+    bsgs_rotation_count,
     encrypted_batch_matmul,
+    encrypted_packed_matmul,
+    paper_parameters,
     serving_parameters,
-    toy_parameters,
 )
 from repro.nn import BERT_BASE, TransformerEncoder, scaled_config
-from repro.protocols import PRIMER_F, PRIMER_FPC, NetworkModel
+from repro.protocols import PRIMER_F, PRIMER_FPC, NetworkModel, Phase
 from repro.runtime import ServingRuntime, run_sequential_baseline, summarize
 
 BATCH = 8
@@ -239,6 +254,126 @@ def test_pipelined_executor_vs_serial_drain():
         },
     })
     assert speedup >= 1.2
+
+
+def test_bsgs_rotation_reduction():
+    """Acceptance: BSGS >= 3x fewer rotations than the legacy loop, bit-identical.
+
+    Paper-facing dimensions: n = 30 tokens (Table I sequence length), a
+    64-wide per-head projection, M = 4096 slots.  The legacy loop pays one
+    rotation per feature block; the BSGS kernel pays ``2*sqrt(d) - 2``
+    hoisted/shared rotations, tracker-verified against the closed form.
+    """
+    rng = np.random.default_rng(11)
+    n_tokens, d_in, d_out = 30, 64, 64
+    x = rng.integers(0, 200, size=(n_tokens, d_in))
+    w = rng.integers(1, 200, size=(d_in, d_out))
+    slot_count = paper_parameters().slot_count
+
+    measured: dict[str, int] = {}
+    seconds: dict[str, float] = {}
+    results: dict[str, np.ndarray] = {}
+    layouts = {
+        "feature_based": PackingLayout.FEATURE_BASED,
+        "tokens_first": PackingLayout.TOKENS_FIRST,
+        "bsgs": PackingLayout.BSGS_DIAGONAL,
+    }
+    for name, layout in layouts.items():
+        backend = SimulatedHEBackend(paper_parameters())
+        backend.tracker.reset()
+        start = time.perf_counter()
+        results[name] = encrypted_packed_matmul(backend, x, w, layout)
+        seconds[name] = time.perf_counter() - start
+        measured[name] = backend.tracker.count("he_rotate")
+
+    # Bit-identical decrypted results across all three kernels.
+    assert np.array_equal(results["bsgs"], results["tokens_first"])
+    assert np.array_equal(results["bsgs"], results["feature_based"])
+    t = paper_parameters().plaintext_modulus
+    assert np.array_equal(results["bsgs"], (x @ w) % t)
+    # Tracker-verified closed form.
+    closed = bsgs_rotation_count(n_tokens, d_in, d_out, slot_count)
+    assert measured["bsgs"] == closed
+
+    reduction = measured["tokens_first"] / measured["bsgs"]
+    print(f"\nBSGS diagonal matmul (n={n_tokens}, {d_in}x{d_out}, M={slot_count})\n")
+    print(format_table(
+        ["Kernel", "Rotations", "Wall seconds"],
+        [
+            ["feature-based loop", f"{measured['feature_based']:,}", f"{seconds['feature_based']:.3f}"],
+            ["tokens-first loop", f"{measured['tokens_first']:,}", f"{seconds['tokens_first']:.3f}"],
+            ["BSGS diagonals", f"{measured['bsgs']:,}", f"{seconds['bsgs']:.3f}"],
+            ["rotation reduction", f"{reduction:.1f}x", ""],
+        ],
+    ))
+    record("serving", "bsgs_matmul", {
+        "n_tokens": n_tokens,
+        "d_in": d_in,
+        "d_out": d_out,
+        "slot_count": slot_count,
+        "feature_based_rotations": measured["feature_based"],
+        "tokens_first_rotations": measured["tokens_first"],
+        "bsgs_rotations": measured["bsgs"],
+        "bsgs_rotations_closed_form": closed,
+        "rotation_reduction": reduction,
+    })
+    assert reduction >= 3.0
+
+
+def test_fhgs_slot_sharing():
+    """Acceptance: a k-request batch ships ~1/k the FHGS cross-term ciphertexts."""
+    k = 4
+    config = scaled_config(
+        BERT_BASE, embed_dim=16, num_heads=2, seq_len=6, vocab_size=40, num_blocks=2
+    )
+    model = TransformerEncoder.initialise(config, seed=3)
+    rng = np.random.default_rng(9)
+    tokens = [rng.integers(0, 40, size=6) for _ in range(k)]
+
+    def serve(slot_sharing):
+        runtime = ServingRuntime(
+            {"tiny": model}, max_batch_size=k, seed=21,
+            fhgs_slot_sharing=slot_sharing,
+        )
+        runtime.engine_for("tiny")  # build outside the timed window
+        for token_ids in tokens:
+            runtime.submit("tiny", token_ids)
+        start = time.perf_counter()
+        reports = runtime.run_pending()
+        wall = time.perf_counter() - start
+        engine = runtime.engine_for("tiny")
+        ciphertext_bytes = engine.backend.ciphertext_bytes
+        cross_cts = sum(
+            m.num_bytes for m in engine.channel.messages
+            if m.description == "Enc(cross terms - Rs)" and m.phase is Phase.ONLINE
+        ) // ciphertext_bytes
+        return reports, cross_cts, wall
+
+    shared_reports, shared_cts, shared_seconds = serve(None)
+    solo_reports, solo_cts, solo_seconds = serve(1)
+    for shared, solo in zip(shared_reports, solo_reports):
+        assert np.array_equal(shared.result, solo.result)
+    reduction = solo_cts / shared_cts
+    print(f"\nFHGS block-diagonal slot sharing (batch of {k})\n")
+    print(format_table(
+        ["Path", "Cross-term ciphertexts", "Online seconds"],
+        [
+            ["per-request cross terms", f"{solo_cts:,}", f"{solo_seconds:.3f}"],
+            ["slot-shared (block-diagonal)", f"{shared_cts:,}", f"{shared_seconds:.3f}"],
+            ["reduction", f"{reduction:.1f}x", f"{solo_seconds / shared_seconds:.1f}x"],
+        ],
+    ))
+    record("serving", "fhgs_slot_sharing", {
+        "batch_size": k,
+        "per_request_cross_term_ciphertexts": solo_cts,
+        "shared_cross_term_ciphertexts": shared_cts,
+        "cross_term_ciphertext_reduction": reduction,
+        "per_request_seconds": solo_seconds,
+        "shared_seconds": shared_seconds,
+        "online_speedup": solo_seconds / shared_seconds,
+    })
+    # k requests, one cross-term set: the reduction is the batch factor.
+    assert reduction >= 3.0
 
 
 @pytest.mark.bench

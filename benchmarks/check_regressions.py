@@ -1,0 +1,74 @@
+"""Benchmark-regression gate over ``BENCH_serving.json``.
+
+The serving benchmarks record their headline numbers (see
+``benchmarks/_record.py``); this script is the committed floor under them.
+CI runs it twice: in the blocking tier-1 job against the *committed*
+``BENCH_serving.json`` (a PR cannot merge numbers below a floor), and
+again after the tier-2 benchmark job against freshly measured numbers
+(advisory, since wall-clock speedups are runner-dependent).  Either way a
+regression of the cached-engine, pipelined, BSGS-rotation or
+FHGS-slot-sharing wins is caught before it lands silently.
+
+Run with:  python benchmarks/check_regressions.py [path-to-BENCH_serving.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: ``section.metric`` -> minimum acceptable value.  These are deliberately
+#: below the typically measured numbers (≈8x, ≈4x, ≈1.4x, 4.5x, 4.0x) so the
+#: gate only trips on real regressions, not benchmark noise.
+FLOORS: dict[str, float] = {
+    "shared_slot_exact_bfv.throughput_speedup": 3.0,
+    "cached_engine_serving.throughput_speedup": 3.0,
+    "pipelined_executor.throughput_speedup": 1.2,
+    "bsgs_matmul.rotation_reduction": 3.0,
+    "fhgs_slot_sharing.cross_term_ciphertext_reduction": 3.0,
+}
+
+
+def check(path: Path) -> list[str]:
+    """Return a list of human-readable failures (empty = all floors hold)."""
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        return [f"{path} is missing; run the serving benchmarks first"]
+    except json.JSONDecodeError as error:
+        return [f"{path} is not valid JSON: {error}"]
+    sections = data.get("sections", {})
+    failures = []
+    for key, floor in FLOORS.items():
+        section_name, metric = key.split(".", 1)
+        section = sections.get(section_name)
+        if section is None:
+            failures.append(f"section {section_name!r} missing from {path.name}")
+            continue
+        value = section.get(metric)
+        if not isinstance(value, (int, float)):
+            failures.append(f"{key} missing or non-numeric in {path.name}")
+            continue
+        if value < floor:
+            failures.append(
+                f"{key} = {value:.2f} fell below the committed floor {floor:.2f}"
+            )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    default = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+    path = Path(argv[1]) if len(argv) > 1 else default
+    failures = check(path)
+    if failures:
+        print("benchmark regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"benchmark regression gate OK ({len(FLOORS)} floors hold in {path.name})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -21,17 +21,22 @@ from .matmul import (
     encrypted_packed_matmul,
     plain_times_enc,
 )
+from .bsgs import BSGSGeometry, bsgs_batch_matmul, bsgs_geometry, bsgs_matmul
 from .ntt import (
     NTTContext,
     batch_ntt,
+    cached_ntt_parameters,
+    clear_ntt_cache,
     find_ntt_prime,
     get_ntt_context,
     is_prime,
     primitive_root,
+    warm_ntt_cache,
 )
 from .packing import (
     PackedInput,
     PackingLayout,
+    bsgs_rotation_count,
     ciphertext_count,
     pack_matrix,
     rotation_count,
@@ -52,6 +57,7 @@ from .tracker import OperationTracker
 __all__ = [
     "BFVContext",
     "BFVParameters",
+    "BSGSGeometry",
     "Ciphertext",
     "ExactBFVBackend",
     "HEBackend",
@@ -65,7 +71,13 @@ __all__ = [
     "SimulatedHEBackend",
     "UnsupportedHEOperation",
     "batch_ntt",
+    "bsgs_batch_matmul",
+    "bsgs_geometry",
+    "bsgs_matmul",
+    "bsgs_rotation_count",
+    "cached_ntt_parameters",
     "ciphertext_count",
+    "clear_ntt_cache",
     "decrypt_matrix",
     "enc_times_plain",
     "encrypt_matrix_columns",
@@ -85,4 +97,5 @@ __all__ = [
     "test_parameters",
     "toy_parameters",
     "unpack_matrix",
+    "warm_ntt_cache",
 ]

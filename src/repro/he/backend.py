@@ -64,6 +64,16 @@ class HEBackend(abc.ABC):
         """Wire size of one ciphertext."""
         return self.params.ciphertext_bytes
 
+    @property
+    def supports_slotwise_plain(self) -> bool:
+        """Whether :meth:`mul_plain` accepts arbitrary (non-constant) vectors.
+
+        True for the CRT-batched simulator; False for the coefficient-packed
+        exact scheme.  The rotation-minimal kernels (BSGS diagonals, FHGS
+        block-diagonal slot sharing) require it.
+        """
+        return False
+
     # -- interface ---------------------------------------------------------
     @abc.abstractmethod
     def encrypt(self, values: np.ndarray) -> Any:

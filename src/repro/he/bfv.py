@@ -162,9 +162,11 @@ class BFVContext:
 
         All the randomness of the batch is sampled up front, the random
         polynomials ``u`` go through a single batched forward transform, and
-        the pointwise products with the cached NTT forms of the public key
-        come back through one batched inverse — ``2 + 2B`` transforms instead
-        of the ``6B`` a loop over :meth:`encrypt` would cost.
+        the pointwise products with the cached NTT forms of *both* public-key
+        components come back through one stacked batched inverse — two
+        transform calls total instead of the ``6B`` a loop over
+        :meth:`encrypt` would cost, with the ``log N`` Python-level stage
+        iterations of the lazy-reduction NTT amortised across ``2B`` rows.
         """
         if not values_list:
             return []
@@ -181,8 +183,11 @@ class BFVContext:
         e2 = ring.sample_error(self._rng, self.params.error_stddev, count=batch)
         ntt = ring.ntt
         u_ntt = ntt.forward_batch(u)
-        c0 = np.mod(ntt.inverse_batch(u_ntt * self._p0_ntt % q) + e1 + scaled, q)
-        c1 = np.mod(ntt.inverse_batch(u_ntt * self._p1_ntt % q) + e2, q)
+        components = ntt.inverse_batch(
+            np.vstack([u_ntt * self._p0_ntt % q, u_ntt * self._p1_ntt % q])
+        )
+        c0 = np.mod(components[:batch] + e1 + scaled, q)
+        c1 = np.mod(components[batch:] + e2, q)
         # Fresh noise bound: ||e*u + e1 + e2*s|| <= stddev * (2N + 2) roughly;
         # use a conservative analytic estimate.
         fresh = self.params.error_stddev * (2 * n + 2)

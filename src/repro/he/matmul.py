@@ -10,8 +10,9 @@ Two families of routines live here:
 
 2. :func:`encrypted_packed_matmul` — the rotation-based product following the
    paper's Figure 6 pseudo-code, parameterised by the packing layout
-   (feature-based vs tokens-first).  It is used by the packing experiments to
-   demonstrate the rotation-count reduction with measured (not just
+   (feature-based vs tokens-first, plus the rotation-minimal BSGS diagonal
+   kernel of :mod:`repro.he.bsgs`).  It is used by the packing experiments
+   to demonstrate the rotation-count reduction with measured (not just
    closed-form) counts.
 """
 
@@ -24,6 +25,7 @@ import numpy as np
 
 from ..errors import ParameterError, ShapeError
 from .backend import HEBackend
+from .bsgs import bsgs_batch_matmul, bsgs_geometry, bsgs_matmul
 from .packing import PackedInput, PackingLayout, pack_matrix
 
 __all__ = [
@@ -34,7 +36,9 @@ __all__ = [
     "plain_times_enc",
     "decrypt_matrix",
     "repack_columns_to_rows",
+    "tile_packed",
     "encrypted_packed_matmul",
+    "bsgs_kernel_fits",
     "encrypted_batch_matmul",
 ]
 
@@ -195,6 +199,35 @@ def repack_columns_to_rows(backend: HEBackend, packed: PackedMatrix) -> PackedMa
     return PackedMatrix(handles=row_handles, shape=(rows, cols), axis="rows")
 
 
+def tile_packed(backend: HEBackend, packed: PackedMatrix, copies: int) -> PackedMatrix:
+    """Replicate every ciphertext's packed vector ``copies`` times in-slot.
+
+    Used by the FHGS slot-sharing path to tile *server-computed* packings
+    (e.g. the repacked ``Enc(RcR @ W)`` rows) across the block-diagonal
+    request slots: each handle's occupied run of ``stride`` slots is copied
+    to slot offsets ``r * stride`` with one zero-extension addition plus
+    ``copies - 1`` rotations and additions — all chargeable to the offline
+    phase.  Client-held packings are tiled for free at encryption time
+    instead (``np.tile`` before encrypting).
+    """
+    if copies < 2:
+        return packed
+    stride = packed.shape[0] if packed.axis == "columns" else packed.shape[1]
+    tiled_handles = []
+    for handle in packed.handles:
+        padded = backend.add(backend.zero(copies * stride), handle)
+        acc = padded
+        for r in range(1, copies):
+            acc = backend.add(acc, backend.rotate(padded, -(r * stride)))
+        tiled_handles.append(acc)
+    shape = (
+        (packed.shape[0] * copies, packed.shape[1])
+        if packed.axis == "columns"
+        else (packed.shape[0], packed.shape[1] * copies)
+    )
+    return PackedMatrix(handles=tiled_handles, shape=shape, axis=packed.axis)
+
+
 def encrypted_packed_matmul(
     backend: HEBackend,
     matrix: np.ndarray,
@@ -218,6 +251,8 @@ def encrypted_packed_matmul(
     n_tokens, n_features = matrix.shape
     if weights.shape[0] != n_features:
         raise ShapeError(f"cannot multiply {matrix.shape} by {weights.shape}")
+    if layout is PackingLayout.BSGS_DIAGONAL:
+        return bsgs_matmul(backend, matrix, weights)
     d_out = weights.shape[1]
     t = backend.plaintext_modulus
 
@@ -247,17 +282,16 @@ def encrypted_packed_matmul(
         for offset in sorted(offsets):
             rotated = ciphertext if offset == 0 else backend.rotate(ciphertext, offset)
             entries = offsets[offset]
-            for g in range(d_out):
-                mask = np.zeros(backend.slot_count, dtype=np.int64)
-                contributes = False
-                for _slot, token, feature in entries:
-                    w = int(weights[feature, g]) % t
-                    if w != 0:
-                        mask[token] = w
-                        contributes = True
-                if not contributes:
-                    continue
-                term = backend.mul_plain(rotated, mask)
+            # One fancy-index pass builds every output column's mask for this
+            # offset group: tokens are unique within a group (distinct slots
+            # map to distinct tokens), so direct assignment is exact.
+            tokens = np.fromiter((e[1] for e in entries), dtype=np.int64)
+            features = np.fromiter((e[2] for e in entries), dtype=np.int64)
+            group_weights = np.mod(weights[features, :], t)       # (entries, d_out)
+            masks = np.zeros((d_out, backend.slot_count), dtype=np.int64)
+            masks[:, tokens] = group_weights.T
+            for g in np.flatnonzero(group_weights.any(axis=0)):
+                term = backend.mul_plain(rotated, masks[g])
                 if accumulators[g] is None:
                     accumulators[g] = term
                 else:
@@ -271,10 +305,29 @@ def encrypted_packed_matmul(
     return np.mod(result, t)
 
 
+def bsgs_kernel_fits(
+    backend: HEBackend, total_tokens: int, n_features: int, n_outputs: int
+) -> bool:
+    """Whether the BSGS diagonal kernel can serve this batch on ``backend``.
+
+    Requires slot-wise plaintext products plus cyclic rotations (the
+    functional backend) and enough slots for the padded block geometry.
+    """
+    if not getattr(backend, "supports_slotwise_plain", False):
+        return False
+    try:
+        bsgs_geometry(total_tokens, n_features, n_outputs, backend.slot_count)
+    except ParameterError:
+        return False
+    return True
+
+
 def encrypted_batch_matmul(
     backend: HEBackend,
     matrices: list[np.ndarray],
     weights: np.ndarray,
+    *,
+    kernel: str = "columns",
 ) -> list[np.ndarray]:
     """Serve many ``X_i @ W`` requests from *shared* ciphertext slot space.
 
@@ -286,9 +339,20 @@ def encrypted_batch_matmul(
     tokens-first layout (Fig. 6): the contiguous token run in each slot
     vector simply spans all requests in the batch.
 
-    Only ciphertext-scalar products and additions are used, so the batch
-    runs unmodified on the exact BFV backend.  Returns one decrypted result
-    matrix per request, each equal to ``(X_i @ W) mod t``.
+    Two kernels realise the product:
+
+    * ``"columns"`` (default) — one ciphertext per input feature, only
+      ciphertext-scalar products and additions; runs unmodified on the
+      exact BFV backend.
+    * ``"bsgs"`` — the rotation-minimal diagonal kernel of
+      :mod:`repro.he.bsgs`: the whole batch shares one set of hoisted
+      baby-step rotations, so both ciphertext and HE-multiplication counts
+      drop from ``O(d_in)`` per output column to ``O(d_in)`` total.
+      Requires a backend with slot-wise plaintext products (the simulator);
+      check :func:`bsgs_kernel_fits` first.
+
+    Returns one decrypted result matrix per request, ``(X_i @ W) mod t`` —
+    bit-identical between the two kernels.
     """
     weights = np.asarray(weights, dtype=np.int64)
     arrays = [np.asarray(m, dtype=np.int64) for m in matrices]
@@ -302,6 +366,10 @@ def encrypted_batch_matmul(
             )
     if weights.shape[0] != n_features:
         raise ShapeError(f"cannot multiply {arrays[0].shape} by {weights.shape}")
+    if kernel == "bsgs":
+        return bsgs_batch_matmul(backend, arrays, weights)
+    if kernel != "columns":
+        raise ParameterError(f"unknown matmul kernel {kernel!r}")
     stacked = np.vstack(arrays)
     total_tokens = stacked.shape[0]
     if total_tokens > backend.slot_count:

@@ -4,9 +4,7 @@ The BFV backend needs fast negacyclic polynomial multiplication.  We use the
 standard negative-wrapped-convolution NTT: multiply the coefficient vector by
 powers of ``psi`` (a primitive 2N-th root of unity mod q), apply a length-N
 NTT with root ``psi**2``, multiply pointwise, invert, and undo the psi
-twist.  All arithmetic stays inside ``numpy.int64``; this is safe because the
-moduli used by :mod:`repro.he.params` are below 2**30 so intermediate products
-fit in 62 bits.
+twist.
 
 The transform is the hottest loop of the exact backend, so it is vectorized
 two ways:
@@ -17,16 +15,34 @@ two ways:
   (``forward_batch`` / ``inverse_batch`` / ``multiply_batch``), so the
   ``log N`` Python-level stage iterations are amortised across the batch.
 
+and the butterflies themselves use *Shoup multiplication with lazy
+reduction*: every twiddle ``w`` is stored with its precomputed Shoup
+companion ``w' = floor(w * 2**32 / q)``, so the modular product inside the
+stage loop is two multiplies, a shift and a subtract instead of a hardware
+division, and the butterfly outputs are kept in the lazy interval
+``[0, 4q)`` (one conditional subtraction per stage, no ``% q`` until the
+very end of the transform).  This is Harvey's butterfly; it is exact for
+every modulus below 2**30, which :func:`find_ntt_prime` guarantees, and the
+final single reduction makes the public API bit-identical to an eagerly
+reduced transform.
+
 Twiddle/psi tables are expensive to build (a primitive-root search plus
 ``O(N)`` modular powers), so contexts are cached per ``(N, q)`` via
-:func:`get_ntt_context`; :func:`batch_ntt` is the module-level entry point
-used by :mod:`repro.he.bfv` and the serving runtime.
+:func:`get_ntt_context`.  The cache is *bounded* (``maxsize=64``) so a
+long-lived serving process that cycles through many parameter sets cannot
+grow it without limit, and :func:`clear_ntt_cache` releases the tables
+explicitly.  :func:`warm_ntt_cache` pre-builds contexts for a list of
+``(N, q)`` pairs — worker processes of the pipelined serving executor call
+it once at start-up so they never rebuild twiddle tables per batch.
+:func:`batch_ntt` is the module-level entry point used by
+:mod:`repro.he.bfv` and the serving runtime.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 import numpy as np
 
@@ -38,8 +54,16 @@ __all__ = [
     "primitive_root",
     "NTTContext",
     "get_ntt_context",
+    "clear_ntt_cache",
+    "cached_ntt_parameters",
+    "warm_ntt_cache",
     "batch_ntt",
 ]
+
+#: Shoup precomputation shift: ``w' = floor(w << SHOUP_SHIFT / q)``.  Valid
+#: whenever the lazy operands stay below ``2**SHOUP_SHIFT``, i.e. ``4q <=
+#: 2**32`` — guaranteed by the 30-bit cap in :func:`find_ntt_prime`.
+_SHOUP_SHIFT = np.uint64(32)
 
 
 def is_prime(n: int) -> bool:
@@ -146,11 +170,10 @@ class NTTContext:
 
     ring_degree: int
     modulus: int
-    _psi_powers: np.ndarray = field(init=False, repr=False)
-    _psi_inv_powers: np.ndarray = field(init=False, repr=False)
-    _omega_stages: list[np.ndarray] = field(init=False, repr=False)
-    _omega_inv_stages: list[np.ndarray] = field(init=False, repr=False)
-    _n_inv: int = field(init=False, repr=False)
+    _psi_twist: "tuple[np.ndarray, np.ndarray]" = field(init=False, repr=False)
+    _psi_inv_scaled: "tuple[np.ndarray, np.ndarray]" = field(init=False, repr=False)
+    _omega_stages: "list[tuple[np.ndarray, np.ndarray]]" = field(init=False, repr=False)
+    _omega_inv_stages: "list[tuple[np.ndarray, np.ndarray]]" = field(init=False, repr=False)
     _bitrev: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -164,21 +187,36 @@ class NTTContext:
             )
         if not is_prime(q):
             raise ParameterError(f"modulus {q} must be prime for the NTT backend")
+        if 4 * q > 1 << 32:
+            raise ParameterError(
+                f"modulus {q} exceeds the 30-bit lazy-reduction bound (4q > 2**32)"
+            )
         g = primitive_root(q)
         psi = pow(g, (q - 1) // (2 * n), q)
         psi_inv = pow(psi, q - 2, q)
         omega = psi * psi % q
         omega_inv = pow(omega, q - 2, q)
+        n_inv = pow(n, q - 2, q)
 
-        self._psi_powers = _mod_powers(psi, n, q)
-        self._psi_inv_powers = _mod_powers(psi_inv, n, q)
-        self._n_inv = pow(n, q - 2, q)
+        self._psi_twist = self._with_shoup(_mod_powers(psi, n, q))
+        # The inverse twist and the 1/N scaling are both per-slot constant
+        # multiplies, so they fold into one Shoup table.
+        self._psi_inv_scaled = self._with_shoup(
+            _mod_powers(psi_inv, n, q) * n_inv % q
+        )
         self._bitrev = _bit_reverse_indices(n)
         self._omega_stages = self._twiddle_stages(omega)
         self._omega_inv_stages = self._twiddle_stages(omega_inv)
 
-    def _twiddle_stages(self, root: int) -> list[np.ndarray]:
-        """Precompute per-stage twiddle factors for the iterative NTT.
+    def _with_shoup(self, table: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """A twiddle table as uint64 plus its precomputed Shoup companions."""
+        q = self.modulus
+        values = np.asarray(table, dtype=np.uint64)
+        shoup = ((values.astype(object) << 32) // q).astype(np.uint64)
+        return values, shoup
+
+    def _twiddle_stages(self, root: int) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Precompute per-stage (twiddle, Shoup) tables for the iterative NTT.
 
         The stage for butterfly ``length`` needs ``(root**(n/length))**i`` for
         ``i < length/2``, which is every ``n/length``-th entry of the full
@@ -190,30 +228,47 @@ class NTTContext:
         length = 2
         while length <= n:
             step = n // length
-            stages.append(powers[::step][: length // 2].copy())
+            stages.append(self._with_shoup(powers[::step][: length // 2].copy()))
             length *= 2
         return stages
 
     # -- core transforms ---------------------------------------------------
-    def _transform(self, coeffs: np.ndarray, stages: list[np.ndarray]) -> np.ndarray:
+    def _shoup_mul(self, a: np.ndarray, w: np.ndarray, w_shoup: np.ndarray) -> np.ndarray:
+        """``a * w mod q`` into ``[0, 2q)`` without a division.
+
+        Valid for lazy operands ``a < 2**32`` (our invariant is ``a < 4q``):
+        the approximate quotient ``(a * w') >> 32`` is off by at most one,
+        so the remainder lands in ``[0, 2q)``.
+        """
+        quotient = (a * w_shoup) >> _SHOUP_SHIFT
+        return a * w - quotient * np.uint64(self.modulus)
+
+    def _transform(
+        self, coeffs: np.ndarray, stages: list[tuple[np.ndarray, np.ndarray]]
+    ) -> np.ndarray:
         """Iterative Cooley-Tukey over the last axis of a ``(batch, N)`` array.
 
         Each butterfly stage is one vectorized slice update across the whole
-        batch; no Python loop runs per butterfly or per polynomial.
+        batch, and the values live in the lazy interval ``[0, 4q)``: the only
+        per-stage reduction is one conditional subtraction of ``2q`` on the
+        low operand (no ``% q`` anywhere in the loop).  Callers reduce the
+        lazy output exactly once, which keeps results bit-identical to the
+        eagerly reduced transform.  Input must already be in ``[0, 4q)``.
         """
         n = self.ring_degree
-        q = self.modulus
+        two_q = np.uint64(2 * self.modulus)
         a = coeffs[..., self._bitrev]
         batch = a.shape[0]
         length = 2
-        for tw in stages:
+        for tw, tw_shoup in stages:
             half = length // 2
             blocks = a.reshape(batch, -1, length)
             lo = blocks[..., :half]
-            t = blocks[..., half:] * tw % q
+            lo = np.where(lo >= two_q, lo - two_q, lo)          # [0, 2q)
+            t = self._shoup_mul(blocks[..., half:], tw, tw_shoup)  # [0, 2q)
             out = np.empty_like(blocks)
-            out[..., :half] = (lo + t) % q
-            out[..., half:] = (lo - t) % q
+            out[..., :half] = lo + t                            # [0, 4q)
+            out[..., half:] = lo + two_q - t                    # [0, 4q)
             a = out.reshape(batch, n)
             length *= 2
         return a
@@ -245,15 +300,20 @@ class NTTContext:
     def forward_batch(self, coeffs: np.ndarray) -> np.ndarray:
         """Forward NTT of every row of a ``(batch, N)`` coefficient array."""
         q = self.modulus
-        twisted = (self._as_batch(coeffs) % q) * self._psi_powers % q
-        return self._transform(twisted, self._omega_stages)
+        reduced = (self._as_batch(coeffs) % q).astype(np.uint64)
+        twisted = self._shoup_mul(reduced, *self._psi_twist)      # [0, 2q)
+        lazy = self._transform(twisted, self._omega_stages)
+        return (lazy % np.uint64(q)).astype(np.int64)
 
     def inverse_batch(self, values: np.ndarray) -> np.ndarray:
         """Inverse NTT of every row of a ``(batch, N)`` value array."""
         q = self.modulus
-        a = self._transform(self._as_batch(values) % q, self._omega_inv_stages)
-        a = a * self._n_inv % q
-        return a * self._psi_inv_powers % q
+        reduced = (self._as_batch(values) % q).astype(np.uint64)
+        lazy = self._transform(reduced, self._omega_inv_stages)
+        # Undo the psi twist and the transform's 1/N scaling in one folded
+        # Shoup multiply, then reduce the lazy value exactly once.
+        scaled = self._shoup_mul(lazy, *self._psi_inv_scaled)     # [0, 2q)
+        return (scaled % np.uint64(q)).astype(np.int64)
 
     def multiply_batch(self, coeffs: np.ndarray, other: np.ndarray) -> np.ndarray:
         """Negacyclic product of every row of ``coeffs`` with the vector ``other``.
@@ -267,15 +327,71 @@ class NTTContext:
         return self.inverse_batch(fa * fb % self.modulus)
 
 
-@lru_cache(maxsize=None)
+#: Bound on cached contexts: enough for every parameter set a serving
+#: process realistically cycles through, while keeping a long-lived worker's
+#: table memory finite.
+_NTT_CACHE_SIZE = 64
+
+#: The single LRU store behind :func:`get_ntt_context` — one structure
+#: provides the bound, the warm-parameter listing and :func:`clear_ntt_cache`.
+#: Guarded by ``_cache_lock``: contexts are looked up concurrently from the
+#: engine-cache prefetch and shard-worker threads.
+_context_cache: "OrderedDict[tuple[int, int], NTTContext]" = OrderedDict()
+_cache_lock = threading.Lock()
+
+
 def get_ntt_context(ring_degree: int, modulus: int) -> NTTContext:
-    """Shared :class:`NTTContext` per ``(N, q)``.
+    """Shared :class:`NTTContext` per ``(N, q)`` (LRU-bounded).
 
     Table construction costs a primitive-root search plus ``O(N)`` modular
     powers, so every ring, ciphertext context and serving engine with the
-    same parameters reuses one cached instance.
+    same parameters reuses one cached instance.  The cache holds at most
+    ``64`` contexts; long-lived serving processes can release them all with
+    :func:`clear_ntt_cache`.
     """
-    return NTTContext(ring_degree=ring_degree, modulus=modulus)
+    key = (ring_degree, modulus)
+    with _cache_lock:
+        context = _context_cache.get(key)
+        if context is not None:
+            _context_cache.move_to_end(key)
+            return context
+    # Build outside the lock (expensive); on a concurrent double-build the
+    # first instance stored wins, so callers always share one context.
+    built = NTTContext(ring_degree=ring_degree, modulus=modulus)
+    with _cache_lock:
+        context = _context_cache.get(key)
+        if context is None:
+            context = _context_cache[key] = built
+        _context_cache.move_to_end(key)
+        while len(_context_cache) > _NTT_CACHE_SIZE:
+            _context_cache.popitem(last=False)
+    return context
+
+
+def clear_ntt_cache() -> None:
+    """Drop every cached :class:`NTTContext` (long-lived serving processes)."""
+    with _cache_lock:
+        _context_cache.clear()
+
+
+def cached_ntt_parameters() -> list[tuple[int, int]]:
+    """The ``(N, q)`` pairs whose tables are currently warm, oldest first."""
+    with _cache_lock:
+        return list(_context_cache)
+
+
+def warm_ntt_cache(parameter_pairs: "list[tuple[int, int]] | None" = None) -> int:
+    """Pre-build NTT contexts for ``parameter_pairs`` and return how many.
+
+    Called by pipelined-serving worker initialisers so that a freshly
+    spawned worker process builds its twiddle tables once at start-up
+    instead of once per batch (under ``fork`` the parent's warm tables are
+    inherited and this is a cache hit).
+    """
+    pairs = parameter_pairs if parameter_pairs is not None else cached_ntt_parameters()
+    for ring_degree, modulus in pairs:
+        get_ntt_context(ring_degree, modulus)
+    return len(pairs)
 
 
 def batch_ntt(

@@ -36,6 +36,7 @@ __all__ = [
     "unpack_matrix",
     "ciphertext_count",
     "rotation_count",
+    "bsgs_rotation_count",
     "rotation_savings",
 ]
 
@@ -45,6 +46,10 @@ class PackingLayout(enum.Enum):
 
     FEATURE_BASED = "feature_based"
     TOKENS_FIRST = "tokens_first"
+    #: tokens-first slot layout driven through the baby-step/giant-step
+    #: diagonal kernel (:mod:`repro.he.bsgs`): same packing as
+    #: ``TOKENS_FIRST``, rotation count ``O(sqrt(d))`` instead of ``O(d)``
+    BSGS_DIAGONAL = "bsgs_diagonal"
 
 
 @dataclass
@@ -121,7 +126,7 @@ def pack_matrix(
             features_per_ciphertext=max(1, slot_count // max(1, n_features)),
         )
 
-    if layout is PackingLayout.TOKENS_FIRST:
+    if layout in (PackingLayout.TOKENS_FIRST, PackingLayout.BSGS_DIAGONAL):
         if n_tokens > slot_count:
             raise ParameterError(
                 f"tokens-first packing needs n_tokens <= slot_count "
@@ -170,14 +175,39 @@ def ciphertext_count(
     total = n_tokens * n_features
     if layout is PackingLayout.FEATURE_BASED:
         return math.ceil(total / slot_count)
-    if layout is PackingLayout.TOKENS_FIRST:
+    if layout in (PackingLayout.TOKENS_FIRST, PackingLayout.BSGS_DIAGONAL):
         features_per_ct = max(1, slot_count // n_tokens)
         return math.ceil(n_features / features_per_ct)
     raise ParameterError(f"unknown packing layout {layout!r}")
 
 
+def bsgs_rotation_count(
+    n_tokens: int, n_features: int, n_outputs: int, slot_count: int
+) -> int:
+    """Closed-form rotation count of the BSGS diagonal kernel for ``X @ W``.
+
+    The kernel (:func:`repro.he.bsgs.bsgs_matmul`) works on ``D`` feature
+    blocks of ``n_tokens`` slots and splits the ``D`` generalized diagonals
+    of the zero-padded weight matrix into ``bs = ceil(sqrt(D))`` baby steps
+    times ``gs = ceil(D / bs)`` giant steps.  Each of the ``c`` input
+    ciphertexts pays ``bs - 1`` hoisted baby-step rotations (reused across
+    every output column group and every request packed into the shared
+    slots), and each of the ``g`` output column groups pays ``gs - 1``
+    giant-step rotations on accumulators that are summed across input
+    ciphertexts before rotating:  ``c*(bs-1) + g*(gs-1)`` total.
+    """
+    from .bsgs import bsgs_geometry  # local import: keep packing dependency-light
+
+    return bsgs_geometry(n_tokens, n_features, n_outputs, slot_count).rotation_count
+
+
 def rotation_count(
-    n_tokens: int, n_features: int, slot_count: int, layout: PackingLayout
+    n_tokens: int,
+    n_features: int,
+    slot_count: int,
+    layout: PackingLayout,
+    *,
+    n_outputs: int | None = None,
 ) -> int:
     """Closed-form number of homomorphic rotations for ``X @ W``.
 
@@ -185,7 +215,10 @@ def rotation_count(
     distinct occupied slot offset of a feature-based ciphertext requires one
     rotation (``~ c * M`` when ``d_oh >= M``), whereas a tokens-first
     ciphertext only needs one rotation per feature block of ``n`` slots
-    (``~ c * M / n``), the zero-offset block being free.
+    (``~ c * M / n``), the zero-offset block being free.  The BSGS diagonal
+    kernel drops this further to ``O(sqrt(d))`` per ciphertext (see
+    :func:`bsgs_rotation_count`); it is the only layout whose count depends
+    on the output width, so ``n_outputs`` defaults to a square product.
     """
     c = ciphertext_count(n_tokens, n_features, slot_count, layout)
     if layout is PackingLayout.FEATURE_BASED:
@@ -198,17 +231,23 @@ def rotation_count(
         blocks = min(features_per_ct, n_features)
         # The block already aligned at offset zero needs no rotation.
         return c * max(0, blocks - 1)
+    if layout is PackingLayout.BSGS_DIAGONAL:
+        return bsgs_rotation_count(
+            n_tokens, n_features,
+            n_outputs if n_outputs is not None else n_features, slot_count,
+        )
     raise ParameterError(f"unknown packing layout {layout!r}")
 
 
 def rotation_savings(
-    n_tokens: int, n_features: int, slot_count: int
+    n_tokens: int, n_features: int, slot_count: int, *, n_outputs: int | None = None
 ) -> dict[str, int | float]:
-    """Rotation counts of both layouts and the savings of tokens-first.
+    """Rotation counts of every layout and the savings over feature-based.
 
-    The paper states the saving as ``c * (M - M/n)`` rotations; this helper
-    reports both closed-form counts plus the ratio, which the packing
-    benchmark prints alongside the measured counts from the tracker.
+    The paper states the tokens-first saving as ``c * (M - M/n)`` rotations;
+    this helper reports the closed-form counts of all three layouts plus the
+    reduction ratios, which the packing benchmark prints alongside the
+    measured counts from the tracker.
     """
     feature = rotation_count(
         n_tokens, n_features, slot_count, PackingLayout.FEATURE_BASED
@@ -216,9 +255,15 @@ def rotation_savings(
     tokens = rotation_count(
         n_tokens, n_features, slot_count, PackingLayout.TOKENS_FIRST
     )
+    bsgs = rotation_count(
+        n_tokens, n_features, slot_count, PackingLayout.BSGS_DIAGONAL,
+        n_outputs=n_outputs,
+    )
     return {
         "feature_based_rotations": feature,
         "tokens_first_rotations": tokens,
+        "bsgs_rotations": bsgs,
         "saved_rotations": feature - tokens,
         "reduction_factor": float(feature) / max(1, tokens),
+        "bsgs_reduction_factor": float(tokens) / max(1, bsgs),
     }

@@ -52,6 +52,11 @@ class SimulatedHEBackend(HEBackend):
             2 * self.params.ring_degree + 2
         )
 
+    @property
+    def supports_slotwise_plain(self) -> bool:
+        """Slot-wise plaintext products are native here (CRT-batched SEAL)."""
+        return True
+
     # -- helpers -----------------------------------------------------------
     def _check_length(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.int64)
@@ -148,6 +153,17 @@ class SimulatedHEBackend(HEBackend):
         )
 
     def rotate(self, a: SimulatedCiphertext, steps: int) -> SimulatedCiphertext:
+        """Cyclic slot rotation over the handle's *packed length*.
+
+        The rotation period is ``a.length`` (the number of slots the caller
+        packed), not the ring's full slot count.  A deployed scheme realises
+        a rotation that is cyclic over a packed sub-vector with the standard
+        Gazelle-style general rotation — two Galois automorphisms plus a
+        masking plaintext product — or by padding the packed length to
+        divide the slot structure; either way it is one rotation-key
+        application per call, which is what the tracker charges.  The BSGS
+        kernel (:mod:`repro.he.bsgs`) depends on this period contract.
+        """
         self.tracker.record("he_rotate")
         return SimulatedCiphertext(
             slots=np.roll(a.slots, -steps), noise_bound=a.noise_bound + self._fresh_noise

@@ -178,35 +178,60 @@ class HGSLinearLayer:
         can reconstruct ``X - Rc``.  Either way the online phase involves no
         HE operations.
         """
+        return self.online_batch([shared_input])[0]
+
+    def online_batch(self, shared_inputs: list[SharedValue]) -> list[SharedValue]:
+        """Online phase for a whole batch of inputs against one plan.
+
+        The corrections of every request coalesce into one message and the
+        server-side products run as a single stacked matmul — the online
+        phase stays HE-free, it just amortises the Python and round overhead
+        across the batch.  Results are identical to per-request
+        :meth:`online` calls.
+        """
         if self._plan is None:
             raise ProtocolError(
                 f"HGS layer '{self.step}' used online before its offline phase"
             )
+        if not shared_inputs:
+            raise ProtocolError("online_batch needs at least one input")
         plan = self._plan
-        if shared_input.shape != plan.client_mask.shape:
-            raise ShapeError(
-                f"input shape {shared_input.shape} does not match offline mask "
-                f"shape {plan.client_mask.shape}"
-            )
+        for shared_input in shared_inputs:
+            if shared_input.shape != plan.client_mask.shape:
+                raise ShapeError(
+                    f"input shape {shared_input.shape} does not match offline "
+                    f"mask shape {plan.client_mask.shape}"
+                )
         modulus = self.sharing.modulus
 
-        correction = np.mod(shared_input.client_share - plan.client_mask, modulus)
-        if np.any(correction):
+        client_shares = np.stack([s.client_share for s in shared_inputs])
+        server_shares = np.stack([s.server_share for s in shared_inputs])
+        corrections = np.mod(client_shares - plan.client_mask, modulus)
+        correction_bytes = sum(
+            int(corrections[r].size) for r in range(len(shared_inputs))
+            if np.any(corrections[r])
+        ) * ((self.fmt.total_bits + 7) // 8)
+        if correction_bytes:
             # Client -> server: X_client - Rc, so the server can form X - Rc.
-            element_bytes = (self.fmt.total_bits + 7) // 8
             self.channel.send(
-                "client", "server", int(correction.size) * element_bytes,
+                "client", "server", correction_bytes,
                 description="share correction (X_c - Rc)", step=self.step,
                 phase=Phase.ONLINE,
             )
-        x_minus_rc = np.mod(shared_input.server_share + correction, modulus)
+        x_minus_rc = np.mod(server_shares + corrections, modulus)
 
-        # Server-side share: (X - Rc) @ W - Rs (+ bias, which the server holds).
-        server_share = np.mod(x_minus_rc @ self.weights - plan.server_mask, modulus)
+        # Server-side shares: (X - Rc) @ W - Rs (+ bias, which the server
+        # holds) — one stacked matmul for the whole batch.
+        batched_server = np.mod(x_minus_rc @ self.weights - plan.server_mask, modulus)
         if self.bias is not None:
-            server_share = np.mod(server_share + self.bias, modulus)
+            batched_server = np.mod(batched_server + self.bias, modulus)
 
-        # Client-side share: Rc @ W + Rs, precomputed offline.
-        client_share = plan.client_offline_share.copy()
-
-        return SharedValue(client_share=client_share, server_share=server_share, modulus=modulus)
+        return [
+            SharedValue(
+                # Client-side share: Rc @ W + Rs, precomputed offline.
+                client_share=plan.client_offline_share.copy(),
+                server_share=batched_server[r],
+                modulus=modulus,
+            )
+            for r in range(len(shared_inputs))
+        ]

@@ -83,6 +83,13 @@ class FHGSPlan:
     ``quad_server`` are the two parties' shares of the mask-product term.
     ``enc_weighted_right_rows`` is only present for the right-weighted
     (combined value-projection) mode.
+
+    When ``slot_sharing > 1`` the plan additionally carries *tiled*
+    packings: every handle's packed vector replicated ``slot_sharing``
+    times, so the online cross terms of up to ``slot_sharing`` compatible
+    requests pack block-diagonally into shared ciphertext slots (request
+    ``r`` occupies slot block ``r``) and a ``k``-request batch ships
+    ``~1/k`` the cross-term ciphertexts.
     """
 
     left_mask: np.ndarray
@@ -92,6 +99,11 @@ class FHGSPlan:
     quad_client: np.ndarray
     quad_server: np.ndarray
     enc_weighted_right_rows: "PackedMatrix | None" = None
+    #: block-diagonal slot-sharing capacity (1 = classic per-request plan)
+    slot_sharing: int = 1
+    enc_left_cols_tiled: "PackedMatrix | None" = None
+    enc_right_rows_tiled: "PackedMatrix | None" = None
+    enc_weighted_right_rows_tiled: "PackedMatrix | None" = None
 
     @property
     def operand_shapes(self) -> tuple[tuple[int, ...], tuple[int, ...]]:

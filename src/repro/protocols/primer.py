@@ -155,6 +155,7 @@ class PrivateTransformerInference:
         fmt: FixedPointFormat = PROTOCOL_FORMAT,
         seed: int = 0,
         network: NetworkModel | None = None,
+        slot_sharing: int = 1,
     ) -> None:
         self.model = model
         self.variant = variant
@@ -180,6 +181,28 @@ class PrivateTransformerInference:
         self._offline_done = False
         self.offline_plan: OfflinePlan | None = None
         self._build_modules()
+        #: effective FHGS block-diagonal slot-sharing capacity: up to this
+        #: many compatible requests share cross-term ciphertext slots in
+        #: :meth:`run_batch`.  Clamped to what the backend and the ring's
+        #: slot count support (1 disables sharing).
+        self.slot_sharing = self._effective_slot_sharing(slot_sharing)
+
+    def _effective_slot_sharing(self, requested: int) -> int:
+        """Clamp the requested slot sharing to backend + slot capacity."""
+        requested = max(1, int(requested))
+        if requested == 1:
+            return 1
+        if not getattr(self.backend, "supports_slotwise_plain", False):
+            return 1
+        max_dim = 1
+        for _, module in self._named_protocol_modules():
+            if isinstance(module, FHGSMatmul):
+                max_dim = max(
+                    max_dim,
+                    *module.left_shape, *module.right_shape,
+                    *module.output_shape,
+                )
+        return max(1, min(requested, self.backend.slot_count // max_dim))
 
     # -- construction -----------------------------------------------------------
     def _encode_weights(self, values: np.ndarray) -> np.ndarray:
@@ -318,7 +341,11 @@ class PrivateTransformerInference:
         self.tracker.set_phase(phase.value)
         try:
             modules = {
-                name: module.prepare(phase=phase)
+                name: (
+                    module.prepare(phase=phase, share_slots=self.slot_sharing)
+                    if isinstance(module, FHGSMatmul)
+                    else module.prepare(phase=phase)
+                )
                 for name, module in self._named_protocol_modules()
             }
         finally:
@@ -348,74 +375,112 @@ class PrivateTransformerInference:
     # -- online phase --------------------------------------------------------------
     def run(self, token_ids: np.ndarray) -> PrivateInferenceResult:
         """Execute the online phase for one token sequence."""
+        return self.run_batch([token_ids])[0]
+
+    def run_batch(self, token_ids_list: list[np.ndarray]) -> list[PrivateInferenceResult]:
+        """Execute the online phase for a batch of token sequences.
+
+        The whole batch flows through the protocol modules together: HGS
+        layers run one stacked matmul and one coalesced correction message,
+        and — when the engine was built with ``slot_sharing > 1`` — the
+        FHGS attention products pack the batch's cross terms
+        block-diagonally into shared ciphertext slots, shipping ``~1/k``
+        the cross-term ciphertexts of ``k`` independent runs.  The logits
+        are bit-identical to per-request :meth:`run` calls.
+        """
         if not self._offline_done:
             raise ProtocolError("call offline() before run()")
+        if not token_ids_list:
+            return []
         cfg = self.model.config
-        token_ids = np.asarray(token_ids, dtype=np.int64)
-        if token_ids.size != cfg.seq_len:
-            raise ProtocolError(
-                f"expected exactly {cfg.seq_len} token ids, got {token_ids.size}"
-            )
+        batch = []
+        for token_ids in token_ids_list:
+            token_ids = np.asarray(token_ids, dtype=np.int64)
+            if token_ids.size != cfg.seq_len:
+                raise ProtocolError(
+                    f"expected exactly {cfg.seq_len} token ids, got {token_ids.size}"
+                )
+            batch.append(token_ids)
         f = self.fmt.frac_bits
         nl = self.nonlinear
         self.channel.set_context(phase=Phase.ONLINE)
         self.tracker.set_phase(Phase.ONLINE.value)
         try:
-            return self._run_online(token_ids, f, nl)
+            return self._run_online_batch(batch, f, nl)
         finally:
             self.tracker.set_phase(None)
 
-    def _run_online(self, token_ids: np.ndarray, f: int, nl) -> PrivateInferenceResult:
+    def _run_online_batch(
+        self, token_ids_list: list[np.ndarray], f: int, nl
+    ) -> list[PrivateInferenceResult]:
         cfg = self.model.config
 
         # --- embedding -------------------------------------------------------
-        one_hot = self.model.embedding.one_hot(token_ids).astype(np.int64)
-        shared_onehot = self.sharing.share(one_hot)  # frac 0
-        hidden = self.embedding_layer.online(shared_onehot)  # frac f
+        shared_onehots = [
+            self.sharing.share(
+                self.model.embedding.one_hot(token_ids).astype(np.int64)
+            )  # frac 0
+            for token_ids in token_ids_list
+        ]
+        hiddens = self.embedding_layer.online_batch(shared_onehots)  # frac f
         # Positional embeddings are part of the server's model.
-        hidden = SharedValue(
-            client_share=hidden.client_share,
-            server_share=np.mod(hidden.server_share + self.positional_residues, self.fmt.modulus),
-            modulus=self.fmt.modulus,
-        )
+        hiddens = [
+            SharedValue(
+                client_share=hidden.client_share,
+                server_share=np.mod(
+                    hidden.server_share + self.positional_residues, self.fmt.modulus
+                ),
+                modulus=self.fmt.modulus,
+            )
+            for hidden in hiddens
+        ]
 
         head_dim = cfg.head_dim
         scale = 1.0 / np.sqrt(head_dim)
 
         for modules in self.block_modules:
-            hidden = self._run_block(hidden, modules, head_dim, scale)
+            hiddens = self._run_block_batch(hiddens, modules, head_dim, scale)
 
         # --- classification head ---------------------------------------------
-        first_token = SharedValue(
-            client_share=hidden.client_share[:1, :],
-            server_share=hidden.server_share[:1, :],
-            modulus=self.fmt.modulus,
-        )
-        pooled = self.pooler_layer.online(first_token)            # frac 2f
-        pooled = nl.tanh(pooled, step=STEP_OTHERS, input_frac_bits=2 * f)
-        logits_shared = self.classifier_layer.online(pooled)       # frac 2f
+        first_tokens = [
+            SharedValue(
+                client_share=hidden.client_share[:1, :],
+                server_share=hidden.server_share[:1, :],
+                modulus=self.fmt.modulus,
+            )
+            for hidden in hiddens
+        ]
+        pooled = self.pooler_layer.online_batch(first_tokens)        # frac 2f
+        pooled = [
+            nl.tanh(p, step=STEP_OTHERS, input_frac_bits=2 * f) for p in pooled
+        ]
+        logits_shared = self.classifier_layer.online_batch(pooled)    # frac 2f
 
-        # The client reconstructs the logits: the server sends its share.
+        # The client reconstructs the logits: the server sends its shares.
         element_bytes = (self.fmt.total_bits + 7) // 8
-        self.channel.send(
-            "server", "client", int(logits_shared.server_share.size) * element_bytes,
-            description="logit share opening", step=STEP_OTHERS, phase=Phase.ONLINE,
-        )
-        logits = decode(
-            logits_shared.reconstruct(), self.fmt.with_frac_bits(2 * f)
-        ).reshape(-1)
-
-        return PrivateInferenceResult(
-            logits=logits,
-            prediction=int(np.argmax(logits)),
-            variant=self.variant,
-            channel=self.channel,
-            tracker=self.tracker,
-            online_rounds=self.channel.round_count(Phase.ONLINE),
-            offline_rounds=self.channel.round_count(Phase.OFFLINE),
-            online_bytes=self.channel.total_bytes(Phase.ONLINE),
-            offline_bytes=self.channel.total_bytes(Phase.OFFLINE),
-        )
+        results = []
+        for shared in logits_shared:
+            self.channel.send(
+                "server", "client", int(shared.server_share.size) * element_bytes,
+                description="logit share opening", step=STEP_OTHERS, phase=Phase.ONLINE,
+            )
+            logits = decode(
+                shared.reconstruct(), self.fmt.with_frac_bits(2 * f)
+            ).reshape(-1)
+            results.append(
+                PrivateInferenceResult(
+                    logits=logits,
+                    prediction=int(np.argmax(logits)),
+                    variant=self.variant,
+                    channel=self.channel,
+                    tracker=self.tracker,
+                    online_rounds=self.channel.round_count(Phase.ONLINE),
+                    offline_rounds=self.channel.round_count(Phase.OFFLINE),
+                    online_bytes=self.channel.total_bytes(Phase.ONLINE),
+                    offline_bytes=self.channel.total_bytes(Phase.OFFLINE),
+                )
+            )
+        return results
 
     # -- per-block flow --------------------------------------------------------------
     def _slice_heads(self, shared: SharedValue, head: int, head_dim: int) -> SharedValue:
@@ -426,77 +491,95 @@ class PrivateTransformerInference:
             modulus=shared.modulus,
         )
 
-    def _run_block(
-        self, hidden: SharedValue, modules: dict, head_dim: int, scale: float
-    ) -> SharedValue:
+    def _concat_heads(self, parts: list[SharedValue]) -> SharedValue:
+        return SharedValue(
+            client_share=np.concatenate([p.client_share for p in parts], axis=1),
+            server_share=np.concatenate([p.server_share for p in parts], axis=1),
+            modulus=self.fmt.modulus,
+        )
+
+    def _run_block_batch(
+        self, hiddens: list[SharedValue], modules: dict, head_dim: int, scale: float
+    ) -> list[SharedValue]:
         cfg = self.model.config
         f = self.fmt.frac_bits
         nl = self.nonlinear
         num_heads = cfg.num_heads
+        k = len(hiddens)
+        # Per-request lists of per-head context parts.
+        head_parts: list[list[SharedValue]] = [[] for _ in range(k)]
 
         if self.variant.combine_layers:
             # Scores come straight from X @ (Wq Wk^T) @ X^T per head (frac 3f),
             # values from A @ (X @ Wv) per head.
-            context_parts_client = []
-            context_parts_server = []
             for h in range(num_heads):
-                scores = modules["scores"][h].online(hidden, hidden)
-                attention = nl.softmax(
-                    scores, step=STEP_SOFTMAX, input_frac_bits=3 * f, scale=scale
-                )
-                context = modules["values"][h].online(attention, hidden)  # frac 3f
-                context = nl.truncate(
-                    context, step=STEP_ATTENTION_VALUE, input_frac_bits=3 * f
-                )
-                context_parts_client.append(context.client_share)
-                context_parts_server.append(context.server_share)
-            context = SharedValue(
-                client_share=np.concatenate(context_parts_client, axis=1),
-                server_share=np.concatenate(context_parts_server, axis=1),
-                modulus=self.fmt.modulus,
-            )
+                scores = modules["scores"][h].online_batch(hiddens, hiddens)
+                attentions = [
+                    nl.softmax(s, step=STEP_SOFTMAX, input_frac_bits=3 * f, scale=scale)
+                    for s in scores
+                ]
+                contexts = modules["values"][h].online_batch(attentions, hiddens)
+                for r, context in enumerate(contexts):                 # frac 3f
+                    head_parts[r].append(
+                        nl.truncate(
+                            context, step=STEP_ATTENTION_VALUE, input_frac_bits=3 * f
+                        )
+                    )
         else:
             qkv = modules["qkv"]
-            queries = nl.truncate(qkv["query"].online(hidden), step=STEP_QKV,
-                                  input_frac_bits=2 * f)
-            keys = nl.truncate(qkv["key"].online(hidden), step=STEP_QKV,
-                               input_frac_bits=2 * f)
-            values = nl.truncate(qkv["value"].online(hidden), step=STEP_QKV,
-                                 input_frac_bits=2 * f)
-            context_parts_client = []
-            context_parts_server = []
+            queries = [
+                nl.truncate(q, step=STEP_QKV, input_frac_bits=2 * f)
+                for q in qkv["query"].online_batch(hiddens)
+            ]
+            keys = [
+                nl.truncate(key, step=STEP_QKV, input_frac_bits=2 * f)
+                for key in qkv["key"].online_batch(hiddens)
+            ]
+            values = [
+                nl.truncate(v, step=STEP_QKV, input_frac_bits=2 * f)
+                for v in qkv["value"].online_batch(hiddens)
+            ]
             for h in range(num_heads):
-                q_h = self._slice_heads(queries, h, head_dim)
-                k_h = self._slice_heads(keys, h, head_dim)
-                v_h = self._slice_heads(values, h, head_dim)
-                scores = modules["scores"][h].online(q_h, k_h)  # frac 2f
-                attention = nl.softmax(
-                    scores, step=STEP_SOFTMAX, input_frac_bits=2 * f, scale=scale
-                )
-                context = modules["values"][h].online(attention, v_h)  # frac 2f
-                context = nl.truncate(
-                    context, step=STEP_ATTENTION_VALUE, input_frac_bits=2 * f
-                )
-                context_parts_client.append(context.client_share)
-                context_parts_server.append(context.server_share)
-            context = SharedValue(
-                client_share=np.concatenate(context_parts_client, axis=1),
-                server_share=np.concatenate(context_parts_server, axis=1),
-                modulus=self.fmt.modulus,
-            )
+                q_h = [self._slice_heads(q, h, head_dim) for q in queries]
+                k_h = [self._slice_heads(key, h, head_dim) for key in keys]
+                v_h = [self._slice_heads(v, h, head_dim) for v in values]
+                scores = modules["scores"][h].online_batch(q_h, k_h)   # frac 2f
+                attentions = [
+                    nl.softmax(s, step=STEP_SOFTMAX, input_frac_bits=2 * f, scale=scale)
+                    for s in scores
+                ]
+                contexts = modules["values"][h].online_batch(attentions, v_h)
+                for r, context in enumerate(contexts):                 # frac 2f
+                    head_parts[r].append(
+                        nl.truncate(
+                            context, step=STEP_ATTENTION_VALUE, input_frac_bits=2 * f
+                        )
+                    )
+        contexts = [self._concat_heads(parts) for parts in head_parts]
 
         # Attention output projection, residual, LayerNorm.
-        attn_out = modules["attn_output"].online(context)  # frac 2f
-        attn_out = nl.truncate(attn_out, step=STEP_OTHERS, input_frac_bits=2 * f)
-        residual = self.sharing.add(hidden, attn_out)
+        attn_outs = modules["attn_output"].online_batch(contexts)      # frac 2f
+        next_hiddens = []
         norm = modules["attention_norm"]
-        hidden = nl.layer_norm(residual, norm.gamma, norm.beta, step=STEP_OTHERS)
+        for hidden, attn_out in zip(hiddens, attn_outs):
+            attn_out = nl.truncate(attn_out, step=STEP_OTHERS, input_frac_bits=2 * f)
+            residual = self.sharing.add(hidden, attn_out)
+            next_hiddens.append(
+                nl.layer_norm(residual, norm.gamma, norm.beta, step=STEP_OTHERS)
+            )
 
         # Feed-forward network, residual, LayerNorm.
-        ffn_hidden = modules["ffn_intermediate"].online(hidden)  # frac 2f
-        ffn_hidden = nl.gelu(ffn_hidden, step=STEP_OTHERS, input_frac_bits=2 * f)
-        ffn_out = modules["ffn_output"].online(ffn_hidden)        # frac 2f
-        ffn_out = nl.truncate(ffn_out, step=STEP_OTHERS, input_frac_bits=2 * f)
-        residual = self.sharing.add(hidden, ffn_out)
+        ffn_hiddens = [
+            nl.gelu(h, step=STEP_OTHERS, input_frac_bits=2 * f)
+            for h in modules["ffn_intermediate"].online_batch(next_hiddens)
+        ]
+        ffn_outs = modules["ffn_output"].online_batch(ffn_hiddens)     # frac 2f
+        outputs = []
         norm = modules["output_norm"]
-        return nl.layer_norm(residual, norm.gamma, norm.beta, step=STEP_OTHERS)
+        for hidden, ffn_out in zip(next_hiddens, ffn_outs):
+            ffn_out = nl.truncate(ffn_out, step=STEP_OTHERS, input_frac_bits=2 * f)
+            residual = self.sharing.add(hidden, ffn_out)
+            outputs.append(
+                nl.layer_norm(residual, norm.gamma, norm.beta, step=STEP_OTHERS)
+            )
+        return outputs

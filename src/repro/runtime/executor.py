@@ -41,7 +41,9 @@ import numpy as np
 
 from ..errors import ProtocolError
 from ..he.backend import HEBackend
-from ..he.matmul import encrypted_batch_matmul
+from ..he.bsgs import bsgs_geometry
+from ..he.matmul import bsgs_kernel_fits, encrypted_batch_matmul
+from ..he.ntt import cached_ntt_parameters, warm_ntt_cache
 from ..he.simulated import SimulatedHEBackend
 from ..nn.transformer import TransformerEncoder
 from ..protocols.channel import Channel, NetworkModel, Phase
@@ -64,7 +66,7 @@ __all__ = [
 STEP_LINEAR = "linear_serving"
 
 
-def _prepare_plan_remote(model, variant, seed, network):
+def _prepare_plan_remote(model, variant, seed, network, slot_sharing):
     """Worker-process entry point: produce one engine's offline artifact.
 
     Runs in a separate process so the offline phase — GIL-bound simulated-HE
@@ -75,9 +77,21 @@ def _prepare_plan_remote(model, variant, seed, network):
     the parent can merge the cost of the remote preparation into the engine
     it installs the plan on — no HE operation or byte goes unaccounted.
     """
-    engine = PrivateTransformerInference(model, variant, seed=seed, network=network)
+    engine = PrivateTransformerInference(
+        model, variant, seed=seed, network=network, slot_sharing=slot_sharing
+    )
     plan = engine.prepare()
     return plan, engine.channel.messages, engine.tracker
+
+
+def _warm_worker_ntt_tables(parameter_pairs):
+    """Worker-pool initializer: build NTT twiddle tables once per process.
+
+    Under the ``fork`` start method the parent's warm tables are inherited
+    and this is a no-op cache hit; under ``spawn`` it moves the table build
+    to process start-up so no batch ever pays it inline.
+    """
+    warm_ntt_cache(parameter_pairs)
 
 
 @dataclass
@@ -98,8 +112,11 @@ class RequestReport:
     online_rounds: int
     offline_bytes: int
     he_operations: dict[str, int]
-    #: linear batches share ciphertexts, so ``he_operations`` / latency are
-    #: joint figures for the whole slot-sharing group, not per-request sums.
+    #: slot-sharing groups (linear chunks, FHGS-shared inference batches)
+    #: execute as one unit, so ``he_operations`` / ``latency_seconds`` are
+    #: joint figures for the whole group, not per-request sums — every
+    #: request in the group genuinely completes at the same instant, which
+    #: is why latency percentiles over one such batch coincide.
     shared_slot_batch: bool = False
     #: worker that executed the batch ("worker-0", ...; None on serial drains)
     worker: str | None = None
@@ -177,12 +194,14 @@ class EngineCache:
         backend_factory: Callable[[], HEBackend] | None,
         seed: int,
         network: NetworkModel | None = None,
+        slot_sharing: int = 1,
     ) -> None:
         self._models = models
         self._variants = variants
         self._backend_factory = backend_factory
         self._seed = seed
         self._network = network
+        self._slot_sharing = max(1, slot_sharing)
         self._entries: dict[BatchKey, EngineEntry] = {}
         self._pending_plans: dict[BatchKey, Future] = {}
         self._locks: dict[BatchKey, threading.Lock] = {}
@@ -232,7 +251,8 @@ class EngineCache:
         variant = self._variants[key.variant]
         backend = self._backend_factory() if self._backend_factory else None
         return PrivateTransformerInference(
-            model, variant, backend=backend, seed=self._seed, network=self._network
+            model, variant, backend=backend, seed=self._seed,
+            network=self._network, slot_sharing=self._slot_sharing,
         )
 
     def _build_from_plan(self, key, plan, offline_messages, offline_tracker) -> EngineEntry:
@@ -264,7 +284,7 @@ class EngineCache:
         )
 
     def remote_prepare_args(self, key: BatchKey):
-        """The picklable ``(model, variant, seed, network)`` for a worker process."""
+        """The picklable engine-construction arguments for a worker process."""
         if key.model not in self._models:
             raise ProtocolError(f"unknown model {key.model!r}")
         return (
@@ -272,6 +292,7 @@ class EngineCache:
             self._variants[key.variant],
             self._seed,
             self._network,
+            self._slot_sharing,
         )
 
     def prefetch(self, key: BatchKey, pool: ThreadPoolExecutor) -> "Future[EngineEntry]":
@@ -346,6 +367,11 @@ class BatchExecutor:
     def _run_inference_batch(self, batch: Batch, worker: str | None) -> list[RequestReport]:
         entry = self.engines.entry(batch.key)
         engine = entry.engine
+        if len(batch.requests) > 1 and getattr(engine, "slot_sharing", 1) > 1:
+            # The engine's FHGS modules can pack this batch's cross terms
+            # block-diagonally into shared ciphertext slots: run the batch
+            # through the engine as one unit.
+            return self._run_shared_inference_batch(batch, engine, worker)
         reports: list[RequestReport] = []
         engine.tracker.set_worker(worker)
         engine.channel.set_worker(worker)
@@ -393,6 +419,63 @@ class BatchExecutor:
             engine.tracker.set_worker(None)
             engine.channel.set_worker(None)
         return reports
+
+    def _run_shared_inference_batch(
+        self, batch: Batch, engine, worker: str | None
+    ) -> list[RequestReport]:
+        """Run one inference batch through the FHGS slot-sharing path.
+
+        The batch's requests execute as one unit (``engine.run_batch``), so
+        cross-term ciphertexts, HE operations and latency are *joint*
+        figures for the whole group — reported per request with
+        ``shared_slot_batch=True``, exactly like the linear path's chunks.
+        """
+        tag = f"batch-{batch.batch_id}-shared"
+        engine.tracker.set_worker(worker)
+        engine.channel.set_worker(worker)
+        start = time.perf_counter()
+        try:
+            with engine.tracker.attribute(tag):
+                engine.channel.set_request(tag)
+                try:
+                    results = engine.run_batch(
+                        [request.payload for request in batch.requests]
+                    )
+                finally:
+                    engine.channel.set_request(None)
+        finally:
+            engine.tracker.set_worker(None)
+            engine.channel.set_worker(None)
+        end = time.perf_counter()
+        ops = engine.tracker.request_snapshot(tag)
+        online_bytes = engine.channel.total_bytes(Phase.ONLINE, request=tag)
+        online_rounds = engine.channel.round_count(Phase.ONLINE, request=tag)
+        offline_bytes = engine.channel.total_bytes(Phase.OFFLINE, request=tag)
+        return [
+            RequestReport(
+                request_id=request.request_id,
+                kind="inference",
+                model=batch.key.model,
+                variant=batch.key.variant,
+                batch_id=batch.batch_id,
+                batch_size=len(batch),
+                result=result.logits,
+                prediction=result.prediction,
+                queue_seconds=start - request.submitted_at,
+                latency_seconds=end - start,
+                online_bytes=online_bytes,
+                online_rounds=online_rounds,
+                offline_bytes=offline_bytes,
+                he_operations=dict(ops),
+                shared_slot_batch=True,
+                worker=worker,
+                deadline=request.deadline,
+                deadline_met=(
+                    None if request.deadline is None else end <= request.deadline
+                ),
+            )
+            for request, result in zip(batch.requests, results)
+        ]
 
     # -- shared-slot linear batches -----------------------------------------
     def _run_linear_batch(self, batch: Batch, worker: str | None) -> list[RequestReport]:
@@ -451,23 +534,41 @@ class BatchExecutor:
         channel = self.linear.channel
         backend.tracker.set_worker(worker)
         channel.set_worker(worker)
+        total_rows = sum(request.payload.shape[0] for request in chunk)
+        # Rotation-minimal BSGS diagonals when the backend supports slot-wise
+        # products (the simulator; chunking already caps rows at the slot
+        # count); the column kernel otherwise (exact BFV).
+        use_bsgs = bsgs_kernel_fits(
+            backend, total_rows, weights.shape[0], weights.shape[1]
+        )
         start = time.perf_counter()
         try:
             with backend.tracker.attribute(tag):
                 results = encrypted_batch_matmul(
-                    backend, [request.payload for request in chunk], weights
+                    backend, [request.payload for request in chunk], weights,
+                    kernel="bsgs" if use_bsgs else "columns",
                 )
             end = time.perf_counter()
             ops = backend.tracker.request_snapshot(tag)
-            # Wire accounting: the batch's input features travel as one shared
-            # ciphertext per feature; the results come back one per output column.
+            # Wire accounting: the column kernel ships one ciphertext per
+            # input feature and one per output column; BSGS packs the input
+            # into its block geometry and the whole result into a single
+            # ciphertext.
+            if use_bsgs:
+                geometry = bsgs_geometry(
+                    total_rows, weights.shape[0], weights.shape[1],
+                    backend.slot_count,
+                )
+                input_cts, result_cts = geometry.num_ciphertexts, geometry.out_groups
+            else:
+                input_cts, result_cts = weights.shape[0], weights.shape[1]
             channel.set_request(tag)
             channel.send(
-                "client", "server", weights.shape[0] * backend.ciphertext_bytes,
+                "client", "server", input_cts * backend.ciphertext_bytes,
                 description="Enc(stacked inputs)", step=STEP_LINEAR, phase=Phase.ONLINE,
             )
             channel.send(
-                "server", "client", weights.shape[1] * backend.ciphertext_bytes,
+                "server", "client", result_cts * backend.ciphertext_bytes,
                 description="Enc(stacked results)", step=STEP_LINEAR, phase=Phase.ONLINE,
             )
             channel.set_request(None)
@@ -620,7 +721,11 @@ class PipelinedExecutor:
             except ValueError:  # pragma: no cover - non-POSIX platforms
                 context = multiprocessing.get_context()
             pool: ProcessPoolExecutor | ThreadPoolExecutor = ProcessPoolExecutor(
-                max_workers=workers, mp_context=context
+                max_workers=workers, mp_context=context,
+                # Twiddle tables are built once per worker process (a cache
+                # hit under fork), never per batch.
+                initializer=_warm_worker_ntt_tables,
+                initargs=(cached_ntt_parameters(),),
             )
             prefetches = []
             for key in prepare_keys:

@@ -138,6 +138,13 @@ class ServingRuntime:
         transfer time, emulating the paper's two-instance deployment.  The
         pipelined executor overlaps the offline phase's wire time with
         online execution; the serial drain pays it inline.
+    fhgs_slot_sharing:
+        FHGS block-diagonal slot-sharing capacity: engines prepare their
+        offline plans so that up to this many compatible requests share one
+        set of cross-term ciphertexts per batch (``None``, the default,
+        follows ``max_batch_size``; ``1`` disables sharing).  Engines clamp
+        it to what their backend and slot budget support, so it is always
+        safe to leave on.
     """
 
     def __init__(
@@ -150,13 +157,18 @@ class ServingRuntime:
         policy: SchedulingPolicy | None = None,
         num_workers: int = 2,
         network: NetworkModel | None = None,
+        fhgs_slot_sharing: int | None = None,
     ) -> None:
         self.scheduler = BatchScheduler(max_batch_size=max_batch_size, policy=policy)
         self._models: dict[str, TransformerEncoder] = dict(models or {})
         self._weight_banks: dict[str, np.ndarray] = {}
         self._variants: dict[str, PrimerVariant] = {v.name: v for v in ALL_VARIANTS}
+        slot_sharing = (
+            max_batch_size if fhgs_slot_sharing is None else max(1, fhgs_slot_sharing)
+        )
         self._engines = EngineCache(
-            self._models, self._variants, backend_factory, seed, network=network
+            self._models, self._variants, backend_factory, seed,
+            network=network, slot_sharing=slot_sharing,
         )
         self._linear = LinearServingPath(self._weight_banks, backend_factory, network=network)
         self.executor = BatchExecutor(self._engines, self._linear)

@@ -1,0 +1,177 @@
+"""Property tests for the rotation-minimal BSGS diagonal matmul kernel.
+
+The kernel claims three things, each pinned here:
+
+* **correctness** — for any shape (odd dimensions, zero columns, multiple
+  ciphertexts) the decrypted result is bit-identical to the legacy rotation
+  loop in both layouts *and* to the plaintext product mod ``t``;
+* **rotation minimality** — the tracker-measured rotation count equals the
+  closed form of :func:`repro.he.packing.bsgs_rotation_count` for dense
+  weights and never exceeds the paper-facing ``2*sqrt(d_in) + sqrt(d_out)``
+  bound per input ciphertext;
+* **batch hoisting** — a whole batch of requests shares one set of hoisted
+  baby-step rotations, so the rotation count is independent of batch size.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.he import (
+    ExactBFVBackend,
+    PackingLayout,
+    SimulatedHEBackend,
+    UnsupportedHEOperation,
+    bsgs_batch_matmul,
+    bsgs_geometry,
+    bsgs_matmul,
+    bsgs_rotation_count,
+    encrypted_packed_matmul,
+    rotation_count,
+    rotation_savings,
+    serving_parameters,
+    toy_parameters,
+)
+
+
+def _backend(slots: int = 64) -> SimulatedHEBackend:
+    return SimulatedHEBackend(toy_parameters(slots))
+
+
+shapes = st.tuples(
+    st.integers(min_value=1, max_value=6),    # n_tokens
+    st.integers(min_value=1, max_value=9),    # d_in (odd values included)
+    st.integers(min_value=1, max_value=7),    # d_out
+)
+
+
+class TestKernelEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(shape=shapes, data=st.data())
+    def test_bsgs_legacy_and_plaintext_agree(self, shape, data):
+        """BSGS == legacy rotation loop (both layouts) == plaintext X @ W."""
+        n, d_in, d_out = shape
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        x = rng.integers(0, 100, size=(n, d_in))
+        w = rng.integers(0, 100, size=(d_in, d_out))
+        if data.draw(st.booleans()):
+            w[:, rng.integers(0, d_out)] = 0       # zero output column
+        if data.draw(st.booleans()):
+            x[:, rng.integers(0, d_in)] = 0        # zero input feature
+        t = toy_parameters(64).plaintext_modulus
+        expected = (x @ w) % t
+        got_bsgs = bsgs_matmul(_backend(), x, w)
+        assert np.array_equal(got_bsgs, expected)
+        for layout in (PackingLayout.FEATURE_BASED, PackingLayout.TOKENS_FIRST):
+            got_legacy = encrypted_packed_matmul(_backend(), x, w, layout)
+            assert np.array_equal(got_legacy, expected), layout
+        via_layout = encrypted_packed_matmul(
+            _backend(), x, w, PackingLayout.BSGS_DIAGONAL
+        )
+        assert np.array_equal(via_layout, expected)
+
+    def test_multi_ciphertext_inputs(self, rng):
+        """d_in spanning several ciphertexts accumulates partial products."""
+        backend = _backend(64)  # 8 tokens -> 8 feature blocks per ciphertext
+        x = rng.integers(0, 100, size=(8, 20))
+        w = rng.integers(0, 100, size=(20, 6))
+        assert bsgs_geometry(8, 20, 6, 64).num_ciphertexts == 3
+        got = bsgs_matmul(backend, x, w)
+        assert np.array_equal(got, (x @ w) % backend.plaintext_modulus)
+
+    def test_exact_backend_rejected(self, rng):
+        """Coefficient packing has no slot-wise products: loud failure."""
+        backend = ExactBFVBackend(serving_parameters(256), seed=1)
+        assert not backend.supports_slotwise_plain
+        with pytest.raises(UnsupportedHEOperation):
+            bsgs_matmul(
+                backend, rng.integers(0, 5, size=(4, 4)),
+                rng.integers(1, 5, size=(4, 4)),
+            )
+
+    def test_too_many_tokens_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            bsgs_matmul(
+                _backend(64), rng.integers(0, 5, size=(65, 2)),
+                rng.integers(0, 5, size=(2, 2)),
+            )
+
+    def test_wide_outputs_partition_into_column_groups(self, rng):
+        """d_out past one ciphertext's block budget splits into groups that
+        share the hoisted baby-step rotations."""
+        geometry = bsgs_geometry(16, 4, 8, 64)  # 4 blocks of 16 slots, 8 cols
+        assert geometry.out_blocks == 4 and geometry.out_groups == 2
+        backend = _backend(64)
+        x = rng.integers(0, 100, size=(16, 4))
+        w = rng.integers(1, 100, size=(4, 8))
+        backend.tracker.reset()
+        got = bsgs_matmul(backend, x, w)
+        assert np.array_equal(got, (x @ w) % backend.plaintext_modulus)
+        assert backend.tracker.count("he_rotate") == geometry.rotation_count
+
+
+class TestRotationCounts:
+    @settings(max_examples=40, deadline=None)
+    @given(shape=shapes, seed=st.integers(0, 2**31))
+    def test_tracker_matches_closed_form_for_dense_weights(self, shape, seed):
+        n, d_in, d_out = shape
+        rng = np.random.default_rng(seed)
+        backend = _backend()
+        x = rng.integers(0, 100, size=(n, d_in))
+        w = rng.integers(1, 100, size=(d_in, d_out))  # dense: nothing skipped
+        backend.tracker.reset()
+        bsgs_matmul(backend, x, w)
+        measured = backend.tracker.count("he_rotate")
+        assert measured == bsgs_rotation_count(n, d_in, d_out, 64)
+
+    @settings(max_examples=40, deadline=None)
+    @given(shape=shapes)
+    def test_acceptance_bound_per_input_ciphertext(self, shape):
+        """<= 2*sqrt(d_in) + sqrt(d_out) rotations per input ciphertext."""
+        n, d_in, d_out = shape
+        geometry = bsgs_geometry(n, d_in, d_out, 64)
+        per_ct = (geometry.baby - 1) + (geometry.giant - 1)
+        assert per_ct <= 2 * math.ceil(math.sqrt(d_in)) + math.ceil(math.sqrt(d_out))
+        assert geometry.rotation_count == bsgs_rotation_count(n, d_in, d_out, 64)
+
+    def test_fewer_rotations_than_both_legacy_layouts_at_paper_dims(self):
+        counts = rotation_savings(30, 64, 4096, n_outputs=64)
+        assert counts["bsgs_rotations"] < counts["tokens_first_rotations"]
+        assert counts["bsgs_rotations"] < counts["feature_based_rotations"]
+        assert counts["bsgs_reduction_factor"] >= 3.0
+
+    def test_rotation_count_layout_dispatch(self):
+        via_layout = rotation_count(
+            30, 64, 4096, PackingLayout.BSGS_DIAGONAL, n_outputs=16
+        )
+        assert via_layout == bsgs_rotation_count(30, 64, 16, 4096)
+        # Square default when the output width is unstated.
+        assert rotation_count(30, 64, 4096, PackingLayout.BSGS_DIAGONAL) == (
+            bsgs_rotation_count(30, 64, 64, 4096)
+        )
+
+
+class TestBatchHoisting:
+    def test_rotations_independent_of_batch_size(self, rng):
+        w = rng.integers(1, 50, size=(16, 4))
+        counts = []
+        for batch in (1, 2, 4):
+            backend = SimulatedHEBackend(toy_parameters(256))
+            matrices = [rng.integers(0, 100, size=(8, 16)) for _ in range(batch)]
+            backend.tracker.reset()
+            results = bsgs_batch_matmul(backend, matrices, w)
+            counts.append(backend.tracker.count("he_rotate"))
+            for m, out in zip(matrices, results):
+                assert np.array_equal(out, (m @ w) % backend.plaintext_modulus)
+        # The stacked token axis shares every hoisted baby step and giant
+        # accumulator: same rotation count for 1, 2 and 4 requests.
+        assert counts[0] == counts[1] == counts[2]
+
+    def test_empty_batch(self):
+        assert bsgs_batch_matmul(_backend(), [], np.zeros((2, 2))) == []

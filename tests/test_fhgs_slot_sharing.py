@@ -1,0 +1,256 @@
+"""Tests for FHGS block-diagonal slot sharing across batched requests.
+
+The ROADMAP item this closes: a ``k``-request serving batch's attention is
+block-diagonal over requests, so the FHGS online cross terms pack into
+*shared* ciphertext slots — request ``r`` occupies slot block ``r`` — and
+the batch ships ``~1/k`` the cross-term ciphertexts.  Pinned here:
+
+* bit-identical reconstruction against per-request ``online()`` in all
+  three product modes (plain, middle-weighted, right-weighted);
+* the 1/k cross-term ciphertext count on the wire;
+* graceful chunking past the plan's capacity and fallback on untiled plans;
+* plan transfer/pickling with the tiled packings;
+* the engine-level ``run_batch`` and the serving runtime's shared batches
+  producing the same logits as solo runs.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.he import SimulatedHEBackend
+from repro.mpc import AdditiveSharing
+from repro.protocols import (
+    PRIMER_FPC,
+    PROTOCOL_FORMAT,
+    Phase,
+    PrivateTransformerInference,
+    protocol_he_parameters,
+)
+from repro.protocols.channel import Channel
+from repro.protocols.fhgs import FHGSMatmul
+from repro.protocols.hgs import HGSLinearLayer
+from repro.runtime import ServingRuntime, run_sequential_baseline
+
+CROSS_TERMS = "Enc(cross terms - Rs)"
+
+
+def _module(mode: str, rng, share_slots: int):
+    backend = SimulatedHEBackend(protocol_he_parameters())
+    sharing = AdditiveSharing(PROTOCOL_FORMAT, seed=7)
+    channel = Channel()
+    if mode == "plain":
+        module = FHGSMatmul(
+            left_shape=(4, 6), right_shape=(5, 6), backend=backend,
+            sharing=sharing, channel=channel, step="qk",
+            transpose_right=True, seed=3,
+        )
+        draw = lambda: (rng.integers(0, 300, size=(4, 6)),
+                        rng.integers(0, 300, size=(5, 6)))
+        expect = lambda left, right: (left @ right.T) % sharing.modulus
+    elif mode == "middle":
+        middle = rng.integers(0, 100, size=(6, 5))
+        module = FHGSMatmul(
+            left_shape=(4, 6), right_shape=(3, 5), backend=backend,
+            sharing=sharing, channel=channel, step="chgs",
+            transpose_right=True, middle_weights=middle, seed=5,
+        )
+        draw = lambda: (rng.integers(0, 200, size=(4, 6)),
+                        rng.integers(0, 200, size=(3, 5)))
+        expect = lambda left, right: (left @ middle @ right.T) % sharing.modulus
+    else:
+        weights = rng.integers(0, 100, size=(6, 3))
+        module = FHGSMatmul(
+            left_shape=(4, 4), right_shape=(4, 6), backend=backend,
+            sharing=sharing, channel=channel, step="avw",
+            transpose_right=False, right_weights=weights, seed=6,
+        )
+        draw = lambda: (rng.integers(0, 200, size=(4, 4)),
+                        rng.integers(0, 200, size=(4, 6)))
+        expect = lambda left, right: (left @ right @ weights) % sharing.modulus
+    module.offline(share_slots=share_slots)
+    return module, sharing, channel, draw, expect
+
+
+class TestModuleLevel:
+    @pytest.mark.parametrize("mode", ["plain", "middle", "right"])
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_online_batch_reconstructs_every_request(self, mode, k, rng):
+        module, sharing, _, draw, expect = _module(mode, rng, share_slots=4)
+        pairs = [draw() for _ in range(k)]
+        outs = module.online_batch(
+            [sharing.share(left) for left, _ in pairs],
+            [sharing.share(right) for _, right in pairs],
+        )
+        assert len(outs) == k
+        for (left, right), out in zip(pairs, outs):
+            assert np.array_equal(out.reconstruct(), expect(left, right))
+
+    @pytest.mark.parametrize("mode", ["plain", "middle", "right"])
+    def test_cross_term_ciphertexts_drop_by_k(self, mode, rng):
+        k = 4
+        shared_mod, sharing, shared_ch, draw, _ = _module(mode, rng, share_slots=k)
+        pairs = [draw() for _ in range(k)]
+        shared_mod.online_batch(
+            [sharing.share(left) for left, _ in pairs],
+            [sharing.share(right) for _, right in pairs],
+        )
+        shared_bytes = sum(
+            m.num_bytes for m in shared_ch.messages if m.description == CROSS_TERMS
+        )
+        solo_mod, solo_sharing, solo_ch, _, _ = _module(mode, rng, share_slots=1)
+        for left, right in pairs:
+            solo_mod.online(solo_sharing.share(left), solo_sharing.share(right))
+        solo_bytes = sum(
+            m.num_bytes for m in solo_ch.messages if m.description == CROSS_TERMS
+        )
+        assert solo_bytes == k * shared_bytes
+
+    def test_batches_chunk_past_plan_capacity(self, rng):
+        module, sharing, _, draw, expect = _module("plain", rng, share_slots=3)
+        pairs = [draw() for _ in range(7)]  # 3 + 3 + 1
+        outs = module.online_batch(
+            [sharing.share(left) for left, _ in pairs],
+            [sharing.share(right) for _, right in pairs],
+        )
+        for (left, right), out in zip(pairs, outs):
+            assert np.array_equal(out.reconstruct(), expect(left, right))
+
+    def test_untiled_plan_falls_back_to_per_request(self, rng):
+        module, sharing, channel, draw, expect = _module("plain", rng, share_slots=1)
+        assert module.plan.slot_sharing == 1
+        assert module.plan.enc_left_cols_tiled is None
+        pairs = [draw() for _ in range(3)]
+        outs = module.online_batch(
+            [sharing.share(left) for left, _ in pairs],
+            [sharing.share(right) for _, right in pairs],
+        )
+        for (left, right), out in zip(pairs, outs):
+            assert np.array_equal(out.reconstruct(), expect(left, right))
+        # Per-request fallback ships one cross-term set per request.
+        assert sum(
+            1 for m in channel.messages if m.description == CROSS_TERMS
+        ) == 3
+
+    def test_slot_shared_plan_survives_pickling(self, rng):
+        module, sharing, _, draw, expect = _module("plain", rng, share_slots=4)
+        revived = pickle.loads(pickle.dumps(module.plan))
+        assert revived.slot_sharing == 4
+        module.install(revived)
+        left, right = draw()
+        out = module.online_batch([sharing.share(left)], [sharing.share(right)])[0]
+        assert np.array_equal(out.reconstruct(), expect(left, right))
+
+    def test_rejects_mismatched_operand_lists(self, rng):
+        module, sharing, _, draw, _ = _module("plain", rng, share_slots=2)
+        left, right = draw()
+        with pytest.raises(ProtocolError):
+            module.online_batch([sharing.share(left)], [])
+
+    def test_share_slots_must_be_positive(self, rng):
+        module, _, _, _, _ = _module("plain", rng, share_slots=2)
+        with pytest.raises(ProtocolError):
+            module.prepare(share_slots=0)
+
+
+class TestHGSBatch:
+    def test_online_batch_matches_per_request(self, rng):
+        backend = SimulatedHEBackend(protocol_he_parameters())
+        sharing = AdditiveSharing(PROTOCOL_FORMAT, seed=9)
+        layer = HGSLinearLayer(
+            weights=rng.integers(0, 100, size=(6, 5)),
+            bias=rng.integers(0, 50, size=5),
+            backend=backend, sharing=sharing, channel=Channel(),
+            step="proj", input_rows=4, seed=11,
+        )
+        layer.offline()
+        inputs = [rng.integers(0, 300, size=(4, 6)) for _ in range(3)]
+        batched = layer.online_batch([sharing.share(x) for x in inputs])
+        for x, out in zip(inputs, batched):
+            expected = layer.online(sharing.share(x)).reconstruct()
+            assert np.array_equal(out.reconstruct(), expected)
+
+
+class TestEngineAndRuntime:
+    def test_run_batch_matches_run_bit_identically(self, tiny_model):
+        rng = np.random.default_rng(5)
+        tokens = [rng.integers(0, 40, size=6) for _ in range(3)]
+        shared = PrivateTransformerInference(
+            tiny_model, PRIMER_FPC, seed=13, slot_sharing=4
+        )
+        assert shared.slot_sharing == 4
+        shared.offline()
+        solo = PrivateTransformerInference(tiny_model, PRIMER_FPC, seed=13)
+        solo.offline()
+        batch_results = shared.run_batch(tokens)
+        for token_ids, result in zip(tokens, batch_results):
+            expected = solo.run(token_ids)
+            assert np.array_equal(result.logits, expected.logits)
+            assert result.prediction == expected.prediction
+
+    def test_slot_sharing_clamps_on_unsupported_backend(self, tiny_model):
+        from repro.he import ExactBFVBackend, serving_parameters
+
+        engine = PrivateTransformerInference(
+            tiny_model, PRIMER_FPC, seed=1,
+            backend=ExactBFVBackend(serving_parameters(256), seed=1),
+            slot_sharing=8,
+        )
+        assert engine.slot_sharing == 1
+
+    def test_runtime_shared_batches_cut_cross_term_traffic(self, tiny_model):
+        rng = np.random.default_rng(7)
+        tokens = [rng.integers(0, 40, size=6) for _ in range(4)]
+
+        def serve(slot_sharing):
+            runtime = ServingRuntime(
+                {"tiny": tiny_model}, max_batch_size=4, seed=21,
+                fhgs_slot_sharing=slot_sharing,
+            )
+            for token_ids in tokens:
+                runtime.submit("tiny", token_ids)
+            reports = runtime.run_pending()
+            engine = runtime.engine_for("tiny")
+            cross_bytes = sum(
+                m.num_bytes for m in engine.channel.messages
+                if m.description == CROSS_TERMS and m.phase is Phase.ONLINE
+            )
+            return reports, cross_bytes
+
+        shared_reports, shared_bytes = serve(None)     # defaults to batch size
+        solo_reports, solo_bytes = serve(1)
+        assert all(r.shared_slot_batch for r in shared_reports)
+        assert not any(r.shared_slot_batch for r in solo_reports)
+        assert solo_bytes == 4 * shared_bytes
+        expected, _ = run_sequential_baseline(tiny_model, tokens, seed=99)
+        for report, logits in zip(shared_reports, expected):
+            assert np.array_equal(report.result, logits)
+
+    def test_shared_batch_reports_stay_reconciled(self, tiny_model):
+        """Joint accounting still satisfies the tracker/channel invariants."""
+        rng = np.random.default_rng(3)
+        runtime = ServingRuntime({"tiny": tiny_model}, max_batch_size=4, seed=2)
+        for _ in range(4):
+            runtime.submit("tiny", rng.integers(0, 40, size=6))
+        reports = runtime.run_pending()
+        engine = runtime.engine_for("tiny")
+        tracker = engine.tracker
+        recombined = dict(tracker.unattributed())
+        for request_id in tracker.requests():
+            for op, count in tracker.request_snapshot(request_id).items():
+                recombined[op] = recombined.get(op, 0) + count
+        assert recombined == tracker.snapshot()
+        channel = engine.channel
+        tagged = sum(
+            channel.total_bytes(Phase.ONLINE, request=request_id)
+            for request_id in channel.requests()
+        )
+        assert tagged == channel.total_bytes(Phase.ONLINE)
+        for report in reports:
+            assert report.shared_slot_batch
+            assert report.online_bytes > 0
+            assert report.online_rounds > 0

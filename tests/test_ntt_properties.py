@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ParameterError
 from repro.he import (
@@ -19,11 +21,15 @@ from repro.he import (
     NTTContext,
     SimulatedHEBackend,
     batch_ntt,
+    cached_ntt_parameters,
+    clear_ntt_cache,
     find_ntt_prime,
     get_ntt_context,
+    paper_parameters,
     primitive_root,
     serving_parameters,
     toy_parameters,
+    warm_ntt_cache,
 )
 from repro.he import test_parameters as midsize_parameters  # avoid pytest collection
 from repro.he.polyring import PolynomialRing
@@ -154,6 +160,125 @@ class TestRotationVectorization:
                     sign = -sign
                 slow[target] = (sign * poly[offset]) % q
             assert np.array_equal(ring.rotate_coefficients(poly, steps), slow), steps
+
+
+def _eager_transform(coeffs: np.ndarray, n: int, q: int, *, inverse: bool) -> np.ndarray:
+    """The pre-Shoup eagerly reduced transform, rebuilt from first principles.
+
+    Every butterfly stage reduces with ``% q`` after every multiply — the
+    implementation the lazy-reduction rewrite must stay bit-identical to.
+    Tables are derived independently of :class:`NTTContext`.
+    """
+    g = primitive_root(q)
+    psi = pow(g, (q - 1) // (2 * n), q)
+    omega = psi * psi % q
+    if inverse:
+        omega = pow(omega, q - 2, q)
+    powers = np.array([pow(omega, i, q) for i in range(n)], dtype=np.int64)
+    bits = n.bit_length() - 1
+    indices = np.arange(n)
+    bitrev = np.zeros(n, dtype=np.int64)
+    for b in range(bits):
+        bitrev |= ((indices >> b) & 1) << (bits - 1 - b)
+
+    if inverse:
+        a = (np.asarray(coeffs, dtype=np.int64) % q)[..., bitrev]
+    else:
+        twist = np.array([pow(psi, i, q) for i in range(n)], dtype=np.int64)
+        a = ((np.asarray(coeffs, dtype=np.int64) % q) * twist % q)[..., bitrev]
+    batch = a.shape[0]
+    length = 2
+    while length <= n:
+        half = length // 2
+        tw = powers[:: n // length][:half]
+        blocks = a.reshape(batch, -1, length)
+        lo = blocks[..., :half]
+        t = blocks[..., half:] * tw % q
+        out = np.empty_like(blocks)
+        out[..., :half] = (lo + t) % q
+        out[..., half:] = (lo - t) % q
+        a = out.reshape(batch, n)
+        length *= 2
+    if inverse:
+        n_inv = pow(n, q - 2, q)
+        twist_inv = np.array(
+            [pow(pow(psi, q - 2, q), i, q) for i in range(n)], dtype=np.int64
+        )
+        a = a * n_inv % q
+        a = a * twist_inv % q
+    return a
+
+
+class TestLazyReductionEquivalence:
+    """The Shoup/lazy-reduction stage loop is bit-identical to eager % q."""
+
+    #: every (N, q) pair params.py can produce (all four parameter families)
+    PARAMS_MODULI = [
+        ("toy", toy_parameters(64)),
+        ("toy-256", toy_parameters(256)),
+        ("test", midsize_parameters(256)),
+        ("serving", serving_parameters(256)),
+        ("paper", paper_parameters()),
+    ]
+
+    @pytest.mark.parametrize("name,params", PARAMS_MODULI, ids=[p[0] for p in PARAMS_MODULI])
+    def test_forward_and_inverse_match_eager_reference(self, name, params, rng):
+        n, q = params.ring_degree, params.ciphertext_modulus
+        ctx = NTTContext(n, q)
+        batch = rng.integers(0, q, size=(4, n))
+        assert np.array_equal(
+            ctx.forward_batch(batch), _eager_transform(batch, n, q, inverse=False)
+        )
+        values = rng.integers(0, q, size=(4, n))
+        assert np.array_equal(
+            ctx.inverse_batch(values), _eager_transform(values, n, q, inverse=True)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31), index=st.integers(0, 3))
+    def test_hypothesis_equivalence_on_small_rings(self, seed, index):
+        params = self.PARAMS_MODULI[index][1]  # paper ring excluded for speed
+        n, q = params.ring_degree, params.ciphertext_modulus
+        ctx = get_ntt_context(n, q)
+        batch = np.random.default_rng(seed).integers(0, q, size=(2, n))
+        eager = _eager_transform(batch, n, q, inverse=False)
+        assert np.array_equal(ctx.forward_batch(batch), eager)
+        assert np.array_equal(
+            ctx.inverse_batch(eager) % q, batch % q
+        )
+
+    def test_rejects_moduli_beyond_the_lazy_bound(self):
+        # 4q must fit 2**32 for Shoup reduction; a >30-bit prime must fail
+        # loudly instead of overflowing silently.
+        oversized = 2147483777  # prime, 1 mod 2*64, above the bound
+        with pytest.raises(ParameterError):
+            NTTContext(64, oversized)
+
+
+class TestBoundedCache:
+    def test_cache_is_bounded_and_clearable(self):
+        clear_ntt_cache()
+        for degree in (8, 16, 32, 64):
+            get_ntt_context(degree, find_ntt_prime(24, degree))
+        assert len(cached_ntt_parameters()) == 4
+        clear_ntt_cache()
+        assert cached_ntt_parameters() == []
+        # A cleared cache rebuilds transparently.
+        n, q = 64, find_ntt_prime(28, 64)
+        assert get_ntt_context(n, q) is get_ntt_context(n, q)
+
+    def test_recent_parameters_track_lru_order(self):
+        clear_ntt_cache()
+        pairs = [(8, find_ntt_prime(20, 8)), (16, find_ntt_prime(20, 16))]
+        warm_ntt_cache(pairs)
+        assert cached_ntt_parameters() == pairs
+        get_ntt_context(*pairs[0])  # touch: moves to most-recent
+        assert cached_ntt_parameters() == [pairs[1], pairs[0]]
+
+    def test_warm_ntt_cache_defaults_to_current_tables(self):
+        clear_ntt_cache()
+        get_ntt_context(8, find_ntt_prime(20, 8))
+        assert warm_ntt_cache() == 1
 
 
 class TestEntryPointsAndCaching:
