@@ -32,6 +32,12 @@ Three comparisons, mirroring the levels the serving runtime batches at:
    one set of cross-term ciphertexts instead of four — the ~1/k online
    traffic reduction the ROADMAP's slot-sharing item asked for.
 
+6. **Plan-store warm start**: a freshly started serving process installs
+   its engine's :class:`OfflinePlan` from disk instead of re-running the
+   offline HE exchange — zero offline HE operations on the tracker,
+   bit-identical logits, and an engine build ≥5x faster than the cold
+   offline build (typically far more).
+
 Headline numbers are persisted to ``BENCH_serving.json`` (see
 ``benchmarks/_record.py``) so the performance trajectory is tracked across
 PRs; CI uploads the file as a workflow artifact and
@@ -61,7 +67,7 @@ from repro.he import (
     serving_parameters,
 )
 from repro.nn import BERT_BASE, TransformerEncoder, scaled_config
-from repro.protocols import PRIMER_F, PRIMER_FPC, NetworkModel, Phase
+from repro.protocols import PRIMER_F, PRIMER_FPC, NetworkModel, Phase, PlanStore
 from repro.runtime import ServingRuntime, run_sequential_baseline, summarize
 
 BATCH = 8
@@ -374,6 +380,66 @@ def test_fhgs_slot_sharing():
     })
     # k requests, one cross-term set: the reduction is the batch factor.
     assert reduction >= 3.0
+
+
+def test_plan_store_warm_start(tmp_path):
+    """Acceptance: disk warm-start >= 5x faster than the cold offline build.
+
+    Cold path: a fresh serving process pays key generation plus the whole
+    HGS/FHGS offline exchange to build its engine, then persists the
+    resulting :class:`OfflinePlan` to the plan store.  Warm path: a second
+    process (here: a second runtime over the same store directory) installs
+    the stored plan — no offline HE operation runs at all (asserted on the
+    tracker) and the logits are bit-identical.
+    """
+    config = scaled_config(
+        BERT_BASE, embed_dim=16, num_heads=2, seq_len=6, vocab_size=40, num_blocks=2
+    )
+    model = TransformerEncoder.initialise(config, seed=3)
+    rng = np.random.default_rng(29)
+    tokens = rng.integers(0, 40, size=6)
+    store = PlanStore(tmp_path)
+
+    cold_runtime = ServingRuntime({"tiny": model}, plan_store=store, seed=7)
+    start = time.perf_counter()
+    cold_engine = cold_runtime.engine_for("tiny")
+    cold_seconds = time.perf_counter() - start
+
+    warm_runtime = ServingRuntime({"tiny": model}, plan_store=store, seed=7)
+    start = time.perf_counter()
+    warm_engine = warm_runtime.engine_for("tiny")
+    warm_seconds = time.perf_counter() - start
+
+    # Correctness first: the warm engine ran zero offline HE operations and
+    # serves bit-identical logits.
+    warm_offline_ops = sum(
+        warm_engine.tracker.phase_snapshot(Phase.OFFLINE.value).values()
+    )
+    assert warm_offline_ops == 0
+    assert warm_runtime.engine_cache.stats().warm_starts == 1
+    assert np.array_equal(
+        warm_engine.run(tokens).logits, cold_engine.run(tokens).logits
+    )
+
+    speedup = cold_seconds / warm_seconds
+    print(f"\nPlan-store warm start (engine build, {store.entry_count()} stored plan)\n")
+    print(format_table(
+        ["Path", "Build seconds", "Offline HE ops"],
+        [
+            ["cold offline build", f"{cold_seconds:.3f}",
+             f"{sum(cold_engine.tracker.phase_snapshot(Phase.OFFLINE.value).values()):,}"],
+            ["disk warm start", f"{warm_seconds:.3f}", f"{warm_offline_ops:,}"],
+            ["speedup", f"{speedup:.1f}x", ""],
+        ],
+    ))
+    record("serving", "plan_store_warm_start", {
+        "cold_build_seconds": cold_seconds,
+        "warm_start_seconds": warm_seconds,
+        "warm_start_speedup": speedup,
+        "warm_offline_he_operations": warm_offline_ops,
+        "stored_plan_bytes": store.total_bytes(),
+    })
+    assert speedup >= 5.0
 
 
 @pytest.mark.bench

@@ -6,8 +6,9 @@ CI runs it twice: in the blocking tier-1 job against the *committed*
 ``BENCH_serving.json`` (a PR cannot merge numbers below a floor), and
 again after the tier-2 benchmark job against freshly measured numbers
 (advisory, since wall-clock speedups are runner-dependent).  Either way a
-regression of the cached-engine, pipelined, BSGS-rotation or
-FHGS-slot-sharing wins is caught before it lands silently.
+regression of the cached-engine, pipelined, BSGS-rotation,
+FHGS-slot-sharing or plan-store-warm-start wins is caught before it lands
+silently.
 
 Run with:  python benchmarks/check_regressions.py [path-to-BENCH_serving.json]
 """
@@ -19,14 +20,21 @@ import sys
 from pathlib import Path
 
 #: ``section.metric`` -> minimum acceptable value.  These are deliberately
-#: below the typically measured numbers (≈8x, ≈4x, ≈1.4x, 4.5x, 4.0x) so the
-#: gate only trips on real regressions, not benchmark noise.
+#: below the typically measured numbers (≈8x, ≈4x, ≈1.4x, 4.5x, 4.0x, ≈20x+)
+#: so the gate only trips on real regressions, not benchmark noise.
 FLOORS: dict[str, float] = {
     "shared_slot_exact_bfv.throughput_speedup": 3.0,
     "cached_engine_serving.throughput_speedup": 3.0,
     "pipelined_executor.throughput_speedup": 1.2,
     "bsgs_matmul.rotation_reduction": 3.0,
     "fhgs_slot_sharing.cross_term_ciphertext_reduction": 3.0,
+    "plan_store_warm_start.warm_start_speedup": 5.0,
+}
+
+#: ``section.metric`` -> exact required value (correctness, not wall clock):
+#: a warm-started engine must run *zero* offline HE operations.
+EXACT: dict[str, float] = {
+    "plan_store_warm_start.warm_offline_he_operations": 0,
 }
 
 
@@ -40,20 +48,29 @@ def check(path: Path) -> list[str]:
         return [f"{path} is not valid JSON: {error}"]
     sections = data.get("sections", {})
     failures = []
-    for key, floor in FLOORS.items():
+
+    def lookup(key: str) -> float | None:
         section_name, metric = key.split(".", 1)
         section = sections.get(section_name)
         if section is None:
             failures.append(f"section {section_name!r} missing from {path.name}")
-            continue
+            return None
         value = section.get(metric)
         if not isinstance(value, (int, float)):
             failures.append(f"{key} missing or non-numeric in {path.name}")
-            continue
-        if value < floor:
+            return None
+        return value
+
+    for key, floor in FLOORS.items():
+        value = lookup(key)
+        if value is not None and value < floor:
             failures.append(
                 f"{key} = {value:.2f} fell below the committed floor {floor:.2f}"
             )
+    for key, expected in EXACT.items():
+        value = lookup(key)
+        if value is not None and value != expected:
+            failures.append(f"{key} = {value} must be exactly {expected}")
     return failures
 
 
@@ -66,7 +83,10 @@ def main(argv: list[str]) -> int:
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(f"benchmark regression gate OK ({len(FLOORS)} floors hold in {path.name})")
+    print(
+        f"benchmark regression gate OK ({len(FLOORS)} floors and "
+        f"{len(EXACT)} exact checks hold in {path.name})"
+    )
     return 0
 
 

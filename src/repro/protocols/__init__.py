@@ -6,7 +6,8 @@ from .fhgs import FHGSMatmul
 from .formats import EXACT_DEMO_FORMAT, PROTOCOL_FORMAT, VALUE_FORMAT, protocol_he_parameters
 from .hgs import HGSLinearLayer
 from .nonlinear import GCCostModel, GCNonlinearEvaluator, garbled_share_relu
-from .plan import FHGSPlan, HGSPlan, OfflinePlan
+from .plan import FHGSPlan, HGSPlan, OfflinePlan, plan_nbytes
+from .planstore import PlanStore, PlanStoreKey, model_fingerprint
 from .primer import (
     ALL_VARIANTS,
     PRIMER_BASE,
@@ -33,6 +34,8 @@ __all__ = [
     "NetworkModel",
     "OfflinePlan",
     "OperationCounts",
+    "PlanStore",
+    "PlanStoreKey",
     "PROTOCOL_FORMAT",
     "PRIMER_BASE",
     "PRIMER_F",
@@ -46,5 +49,7 @@ __all__ = [
     "VALUE_FORMAT",
     "count_operations",
     "garbled_share_relu",
+    "model_fingerprint",
+    "plan_nbytes",
     "protocol_he_parameters",
 ]

@@ -41,6 +41,7 @@ Plan layout
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import TYPE_CHECKING, Mapping
@@ -53,7 +54,40 @@ from .channel import Phase
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from ..he.matmul import PackedMatrix
 
-__all__ = ["HGSPlan", "FHGSPlan", "OfflinePlan"]
+__all__ = ["HGSPlan", "FHGSPlan", "OfflinePlan", "plan_nbytes"]
+
+
+def plan_nbytes(obj) -> int:
+    """Approximate in-memory footprint of a plan (or any plan fragment).
+
+    Walks dataclasses, mappings and sequences summing the ``nbytes`` of
+    every ndarray reached — masks, offline shares and the slot vectors of
+    simulated ciphertext handles all count.  The engine cache uses this as
+    the byte weight of a cached engine for its eviction budget; it is a
+    proxy (python object overhead is ignored), but it tracks the arrays
+    that dominate a plan's real size.
+    """
+    seen: set[int] = set()
+
+    def walk(value) -> int:
+        if value is None or isinstance(value, (str, bytes, int, float, bool)):
+            return 0
+        if id(value) in seen:
+            return 0
+        seen.add(id(value))
+        if isinstance(value, np.ndarray):
+            return int(value.nbytes)
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return sum(
+                walk(getattr(value, f.name)) for f in dataclasses.fields(value)
+            )
+        if isinstance(value, Mapping):
+            return sum(walk(item) for item in value.values())
+        if isinstance(value, (list, tuple, set, frozenset)):
+            return sum(walk(item) for item in value)
+        return 0
+
+    return walk(obj)
 
 
 @dataclass(frozen=True)
@@ -143,3 +177,7 @@ class OfflinePlan:
         if name not in self.modules:
             raise ProtocolError(f"offline plan has no module {name!r}")
         return self.modules[name]
+
+    def approx_nbytes(self) -> int:
+        """Approximate footprint of every array this plan holds on to."""
+        return plan_nbytes(self)

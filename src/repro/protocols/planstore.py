@@ -1,0 +1,207 @@
+"""Persistent :class:`~repro.protocols.plan.OfflinePlan` store.
+
+The offline phase is the expensive half of the paper's protocols — and since
+PR 2 it is an explicit, picklable artifact (:class:`OfflinePlan`).  This
+module makes that artifact survive process restarts: plans are serialized to
+disk keyed by ``(model, variant, seed, slot_sharing)``, so a freshly started
+serving process can *warm-start* its engines by installing a stored plan
+instead of re-running the whole HE exchange (the engine cache does exactly
+that, see :class:`~repro.runtime.executor.EngineCache`).
+
+Keying
+------
+The ``model`` component of a key is a **content fingerprint** (a SHA-256
+prefix over the model's serialized config and weights), not the mutable
+serving name.  Replacing a model under the same serving name therefore
+changes the key and misses the store — stale plans can never be installed
+onto a replaced model, the same invariant the in-memory cache enforces with
+``invalidate_model``.
+
+Integrity
+---------
+Every entry records a SHA-256 digest of its pickled payload plus the full
+key metadata.  ``load`` verifies both before unpickling and treats *any*
+mismatch — truncated file, flipped bit, metadata drift, unreadable pickle —
+as a cache miss (the corrupt entry is deleted), so the worst failure mode of
+the store is a cold rebuild, never a wrong or half-installed plan.
+
+The store trusts its own directory: payloads are pickles, so a plan
+directory must be treated like any other local cache (do not point it at
+attacker-writable storage).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..errors import ProtocolError
+from .plan import OfflinePlan
+
+__all__ = ["PlanStoreKey", "PlanStore", "model_fingerprint"]
+
+#: file-format magic + version; bumping it invalidates every stored entry
+_MAGIC = b"REPRO-PLAN1\n"
+
+
+def model_fingerprint(model) -> str:
+    """Content hash of a model (config + weights), stable across processes.
+
+    Two models with identical configuration and weights fingerprint the
+    same; any weight or shape change yields a new fingerprint.  Used as the
+    ``model`` component of a :class:`PlanStoreKey`, so a stored plan can
+    only ever be installed onto the exact model it was prepared for.
+    """
+    return hashlib.sha256(pickle.dumps(model)).hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class PlanStoreKey:
+    """Identity of one stored plan: which engine build it can warm-start.
+
+    ``model`` is a content fingerprint (see :func:`model_fingerprint`);
+    ``slot_sharing`` is the *effective* FHGS slot-sharing the plan was
+    prepared with (engines clamp the requested value to their backend and
+    slot budget, and plans prepared at different sharing levels are not
+    interchangeable).
+    """
+
+    model: str
+    variant: str
+    seed: int
+    slot_sharing: int
+
+    def digest(self) -> str:
+        """Stable filename-safe digest of the key."""
+        blob = json.dumps(asdict(self), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:40]
+
+
+class PlanStore:
+    """Directory-backed store of serialized offline plans.
+
+    Writes are atomic (temp file + ``os.replace``), so a concurrent reader —
+    another serving process sharing the directory, or a prefetch racing a
+    build — never observes a partially written entry.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- keys ----------------------------------------------------------------
+    def key_for(self, model, variant: str, seed: int, slot_sharing: int) -> PlanStoreKey:
+        """The store key of an engine build (fingerprints ``model``)."""
+        return PlanStoreKey(
+            model=model_fingerprint(model), variant=variant,
+            seed=int(seed), slot_sharing=int(slot_sharing),
+        )
+
+    def path_for(self, key: PlanStoreKey) -> Path:
+        return self.root / f"{key.digest()}.plan"
+
+    # -- persistence ---------------------------------------------------------
+    def store(self, key: PlanStoreKey, plan: OfflinePlan) -> Path:
+        """Serialize ``plan`` under ``key``; returns the entry's path."""
+        if not isinstance(plan, OfflinePlan):
+            raise ProtocolError(
+                f"plan store holds OfflinePlans, not {type(plan).__name__}"
+            )
+        payload = pickle.dumps(plan)
+        header = json.dumps(
+            {
+                "key": asdict(key),
+                "sha256": hashlib.sha256(payload).hexdigest(),
+                "payload_bytes": len(payload),
+                "variant": plan.variant,
+            },
+            sort_keys=True,
+        ).encode()
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(_MAGIC)
+                handle.write(len(header).to_bytes(4, "big"))
+                handle.write(header)
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load(self, key: PlanStoreKey) -> OfflinePlan | None:
+        """The stored plan for ``key``, or ``None`` on miss/corruption.
+
+        Verification order: magic/version, header metadata (the stored key
+        must equal ``key`` field for field), payload digest, then unpickle.
+        Any failure deletes the entry and reads as a miss — the caller falls
+        back to a cold build.
+        """
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        try:
+            if not blob.startswith(_MAGIC):
+                raise ValueError("bad magic")
+            offset = len(_MAGIC)
+            header_len = int.from_bytes(blob[offset:offset + 4], "big")
+            offset += 4
+            header = json.loads(blob[offset:offset + header_len])
+            payload = blob[offset + header_len:]
+            if header.get("key") != asdict(key):
+                raise ValueError("key metadata mismatch")
+            if len(payload) != int(header.get("payload_bytes", -1)):
+                raise ValueError("payload truncated")
+            if hashlib.sha256(payload).hexdigest() != header.get("sha256"):
+                raise ValueError("payload digest mismatch")
+            plan = pickle.loads(payload)
+            if not isinstance(plan, OfflinePlan):
+                raise ValueError("payload is not an OfflinePlan")
+        except (ValueError, KeyError, json.JSONDecodeError, pickle.UnpicklingError,
+                EOFError, AttributeError, ImportError, IndexError):
+            self._discard(path)
+            return None
+        return plan
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - already gone or unwritable
+            pass
+
+    # -- introspection -------------------------------------------------------
+    def contains(self, key: PlanStoreKey) -> bool:
+        return self.path_for(key).exists()
+
+    def entry_bytes(self, key: PlanStoreKey) -> int:
+        """On-disk size of ``key``'s entry (0 when absent)."""
+        try:
+            return self.path_for(key).stat().st_size
+        except FileNotFoundError:
+            return 0
+
+    def entry_count(self) -> int:
+        return len(list(self.root.glob("*.plan")))
+
+    def total_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self.root.glob("*.plan"))
+
+    def clear(self) -> int:
+        """Delete every stored entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*.plan"):
+            self._discard(path)
+            removed += 1
+        return removed

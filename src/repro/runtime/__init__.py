@@ -4,8 +4,10 @@ Ties models, protocols, cost model and data together for the paper-table
 experiments (:mod:`repro.runtime.evaluation`) and serves many concurrent
 inference requests over shared cryptographic state — batch formation under
 pluggable policies (:mod:`repro.runtime.scheduler`), serial and pipelined
-execution (:mod:`repro.runtime.executor`), and the
-:class:`~repro.runtime.serving.ServingRuntime` façade over both.
+execution (:mod:`repro.runtime.executor`), the
+:class:`~repro.runtime.serving.ServingRuntime` façade over both, and the
+continuous-drain :class:`~repro.runtime.frontdoor.AsyncServingRuntime`
+front door (submit while a drain is in flight; futures per request).
 """
 
 from .evaluation import (
@@ -18,10 +20,12 @@ from .evaluation import (
 from .executor import (
     BatchExecutor,
     EngineCache,
+    EngineCacheStats,
     EngineShardMap,
     PipelinedExecutor,
     RequestReport,
 )
+from .frontdoor import AsyncServingRuntime, RequestHandle
 from .scheduler import (
     Batch,
     BatchKey,
@@ -41,16 +45,19 @@ from .serving import (
 
 __all__ = [
     "AccuracyReport",
+    "AsyncServingRuntime",
     "Batch",
     "BatchExecutor",
     "BatchKey",
     "BatchScheduler",
     "DeadlinePolicy",
     "EngineCache",
+    "EngineCacheStats",
     "EngineShardMap",
     "FifoPolicy",
     "InferenceRequest",
     "PipelinedExecutor",
+    "RequestHandle",
     "RequestReport",
     "SchedulingPolicy",
     "SchemeLatency",

@@ -33,13 +33,14 @@ import multiprocessing
 import os
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
-from ..errors import ProtocolError
+from ..errors import ProtocolError, ShapeError
 from ..he.backend import HEBackend
 from ..he.bsgs import bsgs_geometry
 from ..he.matmul import bsgs_kernel_fits, encrypted_batch_matmul
@@ -48,6 +49,7 @@ from ..he.simulated import SimulatedHEBackend
 from ..nn.transformer import TransformerEncoder
 from ..protocols.channel import Channel, NetworkModel, Phase
 from ..protocols.formats import protocol_he_parameters
+from ..protocols.planstore import PlanStore
 from ..protocols.primer import PrimerVariant, PrivateTransformerInference
 from .scheduler import Batch, BatchKey, InferenceRequest
 
@@ -55,6 +57,7 @@ __all__ = [
     "RequestReport",
     "EngineEntry",
     "EngineCache",
+    "EngineCacheStats",
     "EngineShardMap",
     "LinearServingPath",
     "BatchExecutor",
@@ -145,6 +148,31 @@ class EngineEntry:
     engine: PrivateTransformerInference
     build_seconds: float
     prepare_seconds: float
+    #: approximate footprint of the engine's offline plan (the eviction
+    #: budget's weight for this entry)
+    plan_bytes: int = 0
+    #: True when the offline phase was skipped entirely because the plan
+    #: came out of the persistent :class:`~repro.protocols.planstore.PlanStore`
+    warm_start: bool = False
+
+
+@dataclass(frozen=True)
+class EngineCacheStats:
+    """Point-in-time counters of the engine cache's lifecycle activity.
+
+    ``warm_starts + cold_builds + remote_builds`` equals the total number
+    of engine builds: warm starts installed a plan from the persistent
+    store, cold builds ran the offline phase locally, remote builds adopted
+    a plan prepared in a worker process (the pipelined drain's default).
+    """
+
+    entries: int
+    plan_bytes: int
+    evictions: int
+    invalidations: int
+    warm_starts: int
+    cold_builds: int
+    remote_builds: int
 
 
 class EngineShardMap:
@@ -179,12 +207,29 @@ class EngineShardMap:
 
 
 class EngineCache:
-    """Prepared-engine cache keyed by ``(model, variant)``.
+    """Bounded prepared-engine cache keyed by ``(model, variant)``.
 
     Construction goes through the explicit plan split — ``prepare()``
     produces the :class:`~repro.protocols.plan.OfflinePlan`, ``install()``
     adopts it — and is guarded per key, so a prefetch on the prepare pool
     and a cache-miss on a shard worker cannot build the same engine twice.
+
+    Three lifecycle mechanisms compose on top of that:
+
+    * **Plan persistence** — with a :class:`PlanStore`, a cold build first
+      tries to *warm-start* from a stored plan (the whole offline HE
+      exchange is skipped; the tracker records zero offline operations) and
+      persists freshly prepared plans for the next process.
+    * **LRU eviction** — ``max_entries`` / ``max_bytes`` bound the cache;
+      inserting over budget evicts least-recently-used entries.  Eviction
+      only drops the cache's reference: a batch already executing on an
+      evicted engine finishes unharmed, and the next request rebuilds (or
+      warm-starts) the engine.
+    * **Generation fencing** — every build snapshots a per-key generation
+      counter and re-checks it at insert time, so a build that was in
+      flight when :meth:`invalidate_model` ran discards its stale engine
+      and rebuilds against the current model instead of silently
+      re-inserting weights that were replaced under it.
     """
 
     def __init__(
@@ -195,22 +240,44 @@ class EngineCache:
         seed: int,
         network: NetworkModel | None = None,
         slot_sharing: int = 1,
+        plan_store: PlanStore | None = None,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
     ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ProtocolError("max_entries must be at least 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ProtocolError("max_bytes must be positive")
         self._models = models
         self._variants = variants
         self._backend_factory = backend_factory
         self._seed = seed
         self._network = network
         self._slot_sharing = max(1, slot_sharing)
-        self._entries: dict[BatchKey, EngineEntry] = {}
+        self._plan_store = plan_store
+        self._max_entries = max_entries
+        self._max_bytes = max_bytes
+        #: insertion/recency-ordered: the first entry is the eviction victim
+        self._entries: OrderedDict[BatchKey, EngineEntry] = OrderedDict()
         self._pending_plans: dict[BatchKey, Future] = {}
         self._locks: dict[BatchKey, threading.Lock] = {}
+        self._generations: dict[BatchKey, int] = {}
+        self._plan_bytes = 0
+        self._evictions = 0
+        self._invalidations = 0
+        self._warm_starts = 0
+        self._cold_builds = 0
+        self._remote_builds = 0
         self._mutex = threading.Lock()
 
     @property
     def supports_remote_prepare(self) -> bool:
         """Remote (process) preparation needs the default picklable backend."""
         return self._backend_factory is None
+
+    @property
+    def plan_store(self) -> PlanStore | None:
+        return self._plan_store
 
     def _key_lock(self, key: BatchKey) -> threading.Lock:
         with self._mutex:
@@ -224,19 +291,65 @@ class EngineCache:
 
         If a remote plan preparation is pending for ``key`` (see
         :meth:`adopt_plan_future`), the build waits for that plan and
-        installs it instead of re-running the offline phase locally.
+        installs it instead of re-running the offline phase locally.  A
+        build whose model was invalidated mid-flight is discarded and
+        re-run against the current model (see the class docstring).
         """
         with self._key_lock(key):
-            entry = self._entries.get(key)
-            if entry is None:
+            while True:
                 with self._mutex:
+                    entry = self._entries.get(key)
+                    if entry is not None:
+                        self._entries.move_to_end(key)
+                        return entry
+                    generation = self._generations.setdefault(key, 0)
                     pending = self._pending_plans.pop(key, None)
                 if pending is not None:
-                    entry = self._build_from_plan(key, *pending.result())
+                    entry = self._build_from_plan(key, generation, *pending.result())
                 else:
-                    entry = self._build(key)
-                self._entries[key] = entry
-            return entry
+                    entry = self._build(key, generation)
+                if self._insert(key, generation, entry):
+                    return entry
+                # invalidate_model ran while this build was in flight: the
+                # engine embeds the replaced model's weights.  Loop and
+                # rebuild against the model registered *now*.
+
+    def _insert(self, key: BatchKey, generation: int, entry: EngineEntry) -> bool:
+        """Insert a finished build unless its generation was fenced off."""
+        with self._mutex:
+            if self._generations.get(key, 0) != generation:
+                return False
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self._plan_bytes += entry.plan_bytes
+            self._evict_over_budget_locked(protect=key)
+            return True
+
+    def _evict_over_budget_locked(self, protect: BatchKey) -> None:
+        """Evict LRU entries until the budgets hold (``protect`` stays).
+
+        The just-inserted entry is never the victim — even if it alone
+        exceeds ``max_bytes`` — because evicting it would make the cache
+        thrash on every request for that key.
+        """
+        def over_budget() -> bool:
+            if self._max_entries is not None and len(self._entries) > self._max_entries:
+                return True
+            if self._max_bytes is not None and self._plan_bytes > self._max_bytes:
+                return True
+            return False
+
+        while over_budget():
+            victim = next(iter(self._entries))
+            if victim == protect:
+                break
+            self._remove_locked(victim)
+            self._evictions += 1
+
+    def _remove_locked(self, key: BatchKey) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._plan_bytes -= entry.plan_bytes
 
     def adopt_plan_future(self, key: BatchKey, future: Future) -> None:
         """Register an in-flight remote preparation of ``key``'s offline plan."""
@@ -255,7 +368,45 @@ class EngineCache:
             network=self._network, slot_sharing=self._slot_sharing,
         )
 
-    def _build_from_plan(self, key, plan, offline_messages, offline_tracker) -> EngineEntry:
+    def _store_key(self, key: BatchKey, engine: PrivateTransformerInference):
+        """The plan-store key of ``key``'s build, or None when persistence is off.
+
+        Persistence rides on the same gate as remote preparation: the
+        default (picklable, backend-independent) simulated backend.  A
+        custom ``backend_factory`` may produce handles a revived plan
+        cannot serve, so those builds stay cold.  The key fingerprints the
+        *engine's own* model — not whatever ``self._models`` currently maps
+        the name to, which a concurrent ``register_model`` may have
+        replaced mid-build — and uses the *effective* slot sharing the
+        engine clamped to (plans prepared at different sharing levels pack
+        different tilings).
+        """
+        if self._plan_store is None or not self.supports_remote_prepare:
+            return None
+        return self._plan_store.key_for(
+            engine.model, key.variant, self._seed, engine.slot_sharing
+        )
+
+    def _persist_plan(self, key: BatchKey, generation: int, store_key, plan) -> None:
+        """Write ``plan`` to the store unless the build was fenced off.
+
+        A remotely prepared plan embeds the model captured at *prefetch*
+        time; if ``invalidate_model`` ran since this build snapshotted its
+        generation, the engine skeleton (and thus the fingerprint) may
+        belong to the replacement model while the plan belongs to the old
+        one — persisting it would poison the store and let the forced
+        rebuild warm-start from exactly the stale plan the fence rejected.
+        """
+        if store_key is None:
+            return
+        with self._mutex:
+            if self._generations.get(key, 0) != generation:
+                return
+        self._plan_store.store(store_key, plan)
+
+    def _build_from_plan(
+        self, key, generation, plan, offline_messages, offline_tracker
+    ) -> EngineEntry:
         """Adopt a remotely prepared plan, merging its offline accounting."""
         start = time.perf_counter()
         engine = self._engine_skeleton(key)
@@ -265,22 +416,51 @@ class EngineCache:
         # accounting invariants (per-phase, totals) hold as if prepared here.
         engine.channel.messages.extend(offline_messages)
         engine.tracker.merge(offline_tracker)
+        # Remotely prepared plans warm future processes too.
+        self._persist_plan(key, generation, self._store_key(key, engine), plan)
         end = time.perf_counter()
+        with self._mutex:
+            self._remote_builds += 1
         return EngineEntry(
-            engine=engine, build_seconds=end - start, prepare_seconds=0.0
+            engine=engine, build_seconds=end - start, prepare_seconds=0.0,
+            plan_bytes=plan.approx_nbytes(),
         )
 
-    def _build(self, key: BatchKey) -> EngineEntry:
+    def _build(self, key: BatchKey, generation: int) -> EngineEntry:
         start = time.perf_counter()
         engine = self._engine_skeleton(key)
-        prepare_start = time.perf_counter()
-        plan = engine.prepare()
-        engine.install(plan)
+        store_key = self._store_key(key, engine)
+        plan = None
+        if store_key is not None:
+            plan = self._plan_store.load(store_key)
+            if plan is not None:
+                try:
+                    engine.install(plan)
+                except (ProtocolError, ShapeError):
+                    # A stored plan that no longer fits this engine (e.g.
+                    # produced by an older layout of the same fingerprint)
+                    # is just a miss; fall through to the cold build.
+                    plan = None
+        warm = plan is not None
+        prepare_seconds = 0.0
+        if not warm:
+            prepare_start = time.perf_counter()
+            plan = engine.prepare()
+            engine.install(plan)
+            prepare_seconds = time.perf_counter() - prepare_start
+            self._persist_plan(key, generation, store_key, plan)
         end = time.perf_counter()
+        with self._mutex:
+            if warm:
+                self._warm_starts += 1
+            else:
+                self._cold_builds += 1
         return EngineEntry(
             engine=engine,
             build_seconds=end - start,
-            prepare_seconds=end - prepare_start,
+            prepare_seconds=prepare_seconds,
+            plan_bytes=plan.approx_nbytes(),
+            warm_start=warm,
         )
 
     def remote_prepare_args(self, key: BatchKey):
@@ -306,16 +486,46 @@ class EngineCache:
         too — installing a plan whose offline shares embed the replaced
         model's weights onto an engine built from the new model would
         produce silently wrong results (mask shapes alone would match).
+        Builds *currently in flight* are fenced by bumping the per-key
+        generation: their insert is rejected and they rebuild against the
+        current model (see :meth:`entry`).
         """
         with self._mutex:
             for key in [k for k in self._entries if k.model == name]:
-                del self._entries[key]
+                self._remove_locked(key)
+                self._invalidations += 1
             for key in [k for k in self._pending_plans if k.model == name]:
                 del self._pending_plans[key]
+            for key in self._generations:
+                if key.model == name:
+                    self._generations[key] += 1
+
+    def evict(self, key: BatchKey) -> bool:
+        """Explicitly drop one cached entry; returns whether it existed."""
+        with self._mutex:
+            existed = key in self._entries
+            if existed:
+                self._remove_locked(key)
+                self._evictions += 1
+            return existed
 
     def cached_keys(self) -> list[BatchKey]:
+        """Cached keys, least-recently-used first."""
         with self._mutex:
             return list(self._entries)
+
+    def stats(self) -> EngineCacheStats:
+        """Lifecycle counters (entries, bytes, evictions, warm starts...)."""
+        with self._mutex:
+            return EngineCacheStats(
+                entries=len(self._entries),
+                plan_bytes=self._plan_bytes,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                warm_starts=self._warm_starts,
+                cold_builds=self._cold_builds,
+                remote_builds=self._remote_builds,
+            )
 
 
 class LinearServingPath:

@@ -1,0 +1,312 @@
+"""Async serving front door: submit while a drain is in flight.
+
+:class:`~repro.runtime.serving.ServingRuntime` is strictly
+submit-then-drain: callers queue requests, then some caller runs
+``run_pending()`` and everyone's results appear at once.  Production traffic
+does not arrive in phases — requests trickle in *while* earlier batches are
+executing.  :class:`AsyncServingRuntime` closes that gap:
+
+* :meth:`AsyncServingRuntime.submit` returns immediately with a
+  :class:`RequestHandle` (a future: ``result()`` blocks until the request's
+  :class:`~repro.runtime.executor.RequestReport` is ready);
+* a background **drain loop** forms batches continuously under the
+  runtime's existing :class:`~repro.runtime.scheduler.SchedulingPolicy` —
+  the scheduler's queue lock (shared with ``submit``) is what makes
+  concurrent submission safe, and the scheduler's fairness invariant
+  (single-key batches, per-key FIFO, no head starvation) holds unchanged;
+* :meth:`close` flushes: it stops accepting submissions, drains everything
+  still queued, and joins the loop — no request is abandoned.
+
+Equivalence
+-----------
+The protocol's logits are deterministic functions of the inputs — they do
+not depend on the sharing randomness, the batch a request lands in, or the
+batch's size (``run_batch`` is bit-identical to per-request ``run``, and the
+serial/pipelined drains are bit-identical to each other).  The front door
+executes every batch through the same :class:`BatchExecutor` on one loop
+thread, with per-key arrival order preserved by the scheduler, so **any**
+interleaving of submits and drains yields reports whose logits are
+bit-identical to a serial submit-all-then-``run_pending()`` pass over the
+same requests — the equivalence the test-suite asserts.
+
+Failure isolation: an executor error fails only the handles of the batch
+that raised; the loop keeps serving later batches.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..protocols.primer import PRIMER_FPC, PrimerVariant
+from .executor import RequestReport
+from .scheduler import Batch
+from .serving import ServingRuntime
+
+__all__ = ["RequestHandle", "AsyncServingRuntime"]
+
+
+class RequestHandle:
+    """Future-style handle of one asynchronously submitted request."""
+
+    def __init__(self, request_id: str, future: "Future[RequestReport]") -> None:
+        self.request_id = request_id
+        self._future = future
+
+    def done(self) -> bool:
+        """Whether the request has completed (successfully or not)."""
+        return self._future.done()
+
+    def result(self, timeout: float | None = None) -> RequestReport:
+        """Block until the request's report is ready and return it."""
+        return self._future.result(timeout)
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The request's failure, or ``None`` once it completed cleanly."""
+        return self._future.exception(timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self._future.done() else "pending"
+        return f"RequestHandle({self.request_id!r}, {state})"
+
+
+class AsyncServingRuntime:
+    """Continuous-drain front door over a :class:`ServingRuntime`.
+
+    Parameters
+    ----------
+    models:
+        Forwarded to a fresh :class:`ServingRuntime` (with any other
+        keyword arguments) unless ``runtime`` is given.
+    runtime:
+        An existing runtime to front.  Mutually exclusive with ``models``
+        and the runtime keyword arguments.
+    linger_seconds:
+        How long the drain loop may hold off executing a formable batch to
+        let it fill up to ``max_batch_size`` (0, the default, executes
+        eagerly — lowest latency, smallest batches).  Lingering ends early
+        the moment some key's queue depth reaches the batch size, or on
+        :meth:`close`.
+
+    The front door is a context manager; leaving the ``with`` block runs
+    :meth:`close`, which flushes all queued work.
+    """
+
+    _POLL_SECONDS = 0.05  # also catches direct runtime.submit() calls
+
+    def __init__(
+        self,
+        models=None,
+        *,
+        runtime: ServingRuntime | None = None,
+        linger_seconds: float = 0.0,
+        **runtime_kwargs,
+    ) -> None:
+        if runtime is not None and (models is not None or runtime_kwargs):
+            raise ProtocolError(
+                "pass either an existing runtime or construction arguments, not both"
+            )
+        if linger_seconds < 0:
+            raise ProtocolError("linger_seconds must be non-negative")
+        self.runtime = runtime if runtime is not None else ServingRuntime(
+            models, **runtime_kwargs
+        )
+        self.linger_seconds = linger_seconds
+        self._futures: dict[str, Future] = {}
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._closing = False
+        self._batches_executed = 0
+        self._drain_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._drain_loop, name="frontdoor-drain", daemon=True
+        )
+        self._thread.start()
+
+    # -- submission ----------------------------------------------------------
+    def submit(
+        self,
+        model_name: str,
+        token_ids: np.ndarray,
+        *,
+        variant: PrimerVariant = PRIMER_FPC,
+        deadline_seconds: float | None = None,
+    ) -> RequestHandle:
+        """Queue one full private-inference request; returns its handle.
+
+        Safe to call from any thread at any time before :meth:`close` —
+        including while the drain loop is executing earlier batches.
+        """
+        with self._wakeup:
+            self._check_open()
+            request_id = self.runtime.submit(
+                model_name, token_ids, variant=variant,
+                deadline_seconds=deadline_seconds,
+            )
+            handle = self._register(request_id)
+            self._wakeup.notify_all()
+        return handle
+
+    def submit_linear(
+        self,
+        weights_name: str,
+        matrix: np.ndarray,
+        *,
+        deadline_seconds: float | None = None,
+    ) -> RequestHandle:
+        """Queue one private ``X @ W`` request; returns its handle."""
+        with self._wakeup:
+            self._check_open()
+            request_id = self.runtime.submit_linear(
+                weights_name, matrix, deadline_seconds=deadline_seconds
+            )
+            handle = self._register(request_id)
+            self._wakeup.notify_all()
+        return handle
+
+    def _check_open(self) -> None:
+        if self._closing:
+            raise ProtocolError("the front door is closed to new submissions")
+        if not self._thread.is_alive():
+            # The drain loop died on an unexpected (non-executor) error;
+            # accepting more work would register handles no one resolves.
+            raise ProtocolError(
+                "the front door drain loop is not running"
+                + (f" (died on: {self._drain_error!r})" if self._drain_error else "")
+            )
+
+    def _register(self, request_id: str) -> RequestHandle:
+        future: Future = Future()
+        self._futures[request_id] = future
+        return RequestHandle(request_id, future)
+
+    # -- drain loop ----------------------------------------------------------
+    def _drain_loop(self) -> None:
+        try:
+            while True:
+                with self._wakeup:
+                    while not self._closing and self.runtime.scheduler.pending() == 0:
+                        self._wakeup.wait(timeout=self._POLL_SECONDS)
+                    if self._closing and self.runtime.scheduler.pending() == 0:
+                        return
+                if self.linger_seconds > 0:
+                    self._linger()
+                batch = self.runtime.scheduler.next_batch()
+                if batch is None:
+                    continue
+                self._execute(batch)
+        except BaseException as exc:  # noqa: BLE001 - recorded, then re-raised
+            self._drain_error = exc
+            raise
+        finally:
+            self._abandon_outstanding()
+
+    def _abandon_outstanding(self) -> None:
+        """Fail every unresolved handle (the loop exited or died).
+
+        Normal ``close()`` drains the queue first, so there is nothing to
+        abandon; this is the backstop for a drain loop killed by an
+        unexpected (non-executor) error — ``result()`` must raise, never
+        block forever.
+        """
+        with self._lock:
+            leftovers = [f for f in self._futures.values() if not f.done()]
+            self._futures.clear()
+        detail = f" (drain loop died on: {self._drain_error!r})" if self._drain_error else ""
+        for future in leftovers:
+            future.set_exception(
+                ProtocolError(f"front door drain loop exited before completion{detail}")
+            )
+
+    def _linger(self) -> None:
+        """Hold off batch formation briefly so a batch can fill."""
+        deadline = time.perf_counter() + self.linger_seconds
+        capacity = self.runtime.scheduler.max_batch_size
+        while True:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                return
+            with self._wakeup:
+                if self._closing:
+                    return
+                depths = self.runtime.scheduler.queue_depths()
+                if not depths or max(depths.values()) >= capacity:
+                    return
+                self._wakeup.wait(timeout=min(remaining, self._POLL_SECONDS))
+
+    def _execute(self, batch: Batch) -> None:
+        try:
+            reports = self.runtime.executor.execute(batch)
+        except Exception as exc:  # noqa: BLE001 - forwarded to the handles
+            self._fail_batch(batch, exc)
+            return
+        self.runtime._record_completions(reports)
+        with self._lock:
+            futures = [self._futures.pop(r.request_id, None) for r in reports]
+            self._batches_executed += 1
+        for report, future in zip(reports, futures):
+            if future is not None:
+                future.set_result(report)
+
+    def _fail_batch(self, batch: Batch, exc: Exception) -> None:
+        """An executor error fails this batch's handles; the loop lives on."""
+        with self._lock:
+            futures = [
+                self._futures.pop(request.request_id, None)
+                for request in batch.requests
+            ]
+            self._batches_executed += 1
+        for future in futures:
+            if future is not None:
+                future.set_exception(exc)
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self, timeout: float | None = None) -> None:
+        """Stop accepting submissions, flush all queued work, join the loop.
+
+        Every handle issued before ``close`` is resolved (with a report or
+        the error of its batch) by the time this returns.  Idempotent.
+        """
+        with self._wakeup:
+            self._closing = True
+            self._wakeup.notify_all()
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - timeout expiry
+            raise ProtocolError("front door drain loop did not stop in time")
+        # Backstop for handles registered in the race window while the
+        # drain loop was dying: resolve them with the error instead of
+        # letting result() block forever.
+        self._abandon_outstanding()
+
+    @property
+    def closed(self) -> bool:
+        return self._closing and not self._thread.is_alive()
+
+    def __enter__(self) -> "AsyncServingRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- observability -------------------------------------------------------
+    def pending_count(self) -> int:
+        """Requests queued but not yet executing."""
+        return self.runtime.scheduler.pending()
+
+    def inflight_count(self) -> int:
+        """Handles issued but not yet resolved (queued or executing)."""
+        with self._lock:
+            return len(self._futures)
+
+    @property
+    def batches_executed(self) -> int:
+        with self._lock:
+            return self._batches_executed
+
+    def result(self, request_id: str) -> RequestReport:
+        """Report of a completed request (delegates to the runtime)."""
+        return self.runtime.result(request_id)

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import abc
 import itertools
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -203,6 +204,14 @@ class BatchScheduler:
     the fairness invariant — single-key batches, per-key FIFO order, the
     per-key head always included — is validated here so every policy
     honours it.
+
+    The queue is guarded by one internal lock shared by :meth:`submit` and
+    :meth:`next_batch`, so submission is safe *while a drain is in flight*.
+    (Historically ``next_batch`` rebound ``self._queue`` to a filtered
+    deque; a concurrent ``submit`` could append to the abandoned deque and
+    the request vanished from both the drain and every later
+    ``pending_count`` — the race the async front door's continuous drain
+    loop would hit constantly.)
     """
 
     def __init__(
@@ -218,43 +227,50 @@ class BatchScheduler:
         self._queue: deque[InferenceRequest] = deque()
         self._sequence = itertools.count()
         self._batch_ids = itertools.count()
+        #: guards the queue; reentrant so ``drain`` can call ``next_batch``
+        self._lock = threading.RLock()
 
     def submit(self, request: InferenceRequest) -> InferenceRequest:
         """Enqueue a request, stamping its arrival order."""
-        request.sequence = next(self._sequence)
-        self._queue.append(request)
+        with self._lock:
+            request.sequence = next(self._sequence)
+            self._queue.append(request)
         return request
 
     # -- observability -------------------------------------------------------
     def pending(self) -> int:
         """Number of queued (not yet batched) requests."""
-        return len(self._queue)
+        with self._lock:
+            return len(self._queue)
 
     def pending_count(self) -> int:
         """Alias of :meth:`pending`, the name the serving stats use."""
-        return len(self._queue)
+        return self.pending()
 
     def pending_keys(self) -> list[BatchKey]:
         """Distinct compatibility keys still queued, in arrival order."""
         seen: list[BatchKey] = []
-        for request in self._queue:
-            if request.key not in seen:
-                seen.append(request.key)
+        with self._lock:
+            for request in self._queue:
+                if request.key not in seen:
+                    seen.append(request.key)
         return seen
 
     def queue_depths(self) -> dict[BatchKey, int]:
         """Queued request count per compatibility key, in arrival order."""
         depths: dict[BatchKey, int] = {}
-        for request in self._queue:
-            depths[request.key] = depths.get(request.key, 0) + 1
+        with self._lock:
+            for request in self._queue:
+                depths[request.key] = depths.get(request.key, 0) + 1
         return depths
 
     def max_queue_wait(self, now: float | None = None) -> float:
         """Longest time any queued request has been waiting, in seconds."""
-        if not self._queue:
-            return 0.0
-        now = time.perf_counter() if now is None else now
-        return max(now - request.submitted_at for request in self._queue)
+        with self._lock:
+            if not self._queue:
+                return 0.0
+            now = time.perf_counter() if now is None else now
+            return max(now - request.submitted_at for request in self._queue)
 
     # -- batch formation -----------------------------------------------------
     def next_batch(self) -> Batch | None:
@@ -263,15 +279,18 @@ class BatchScheduler:
         Requests with other keys keep their queue position, so an
         incompatible burst cannot push an older request backwards.
         """
-        if not self._queue:
-            return None
-        taken = self.policy.select(tuple(self._queue), self.max_batch_size)
-        self._validate_selection(taken)
-        # Arrival order within the batch, regardless of selection order.
-        taken = sorted(taken, key=lambda r: r.sequence)
-        chosen = {id(request) for request in taken}
-        self._queue = deque(r for r in self._queue if id(r) not in chosen)
-        return Batch(batch_id=next(self._batch_ids), key=taken[0].key, requests=taken)
+        with self._lock:
+            if not self._queue:
+                return None
+            taken = self.policy.select(tuple(self._queue), self.max_batch_size)
+            self._validate_selection(taken)
+            # Arrival order within the batch, regardless of selection order.
+            taken = sorted(taken, key=lambda r: r.sequence)
+            chosen = {id(request) for request in taken}
+            self._queue = deque(r for r in self._queue if id(r) not in chosen)
+            return Batch(
+                batch_id=next(self._batch_ids), key=taken[0].key, requests=taken
+            )
 
     def _validate_selection(self, taken: list[InferenceRequest]) -> None:
         policy = type(self.policy).__name__
@@ -297,10 +316,16 @@ class BatchScheduler:
             )
 
     def drain(self) -> list[Batch]:
-        """Form batches until the queue is empty."""
-        batches = []
-        while True:
-            batch = self.next_batch()
-            if batch is None:
-                return batches
-            batches.append(batch)
+        """Form batches until the queue is empty.
+
+        The whole drain happens under the queue lock: a submission that
+        races it either lands before the snapshot (and is drained) or after
+        it (and is counted by the next ``pending_count``) — never neither.
+        """
+        with self._lock:
+            batches = []
+            while True:
+                batch = self.next_batch()
+                if batch is None:
+                    return batches
+                batches.append(batch)

@@ -32,6 +32,7 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -40,6 +41,7 @@ from ..errors import ProtocolError
 from ..he.backend import HEBackend
 from ..nn.transformer import TransformerEncoder
 from ..protocols.channel import NetworkModel
+from ..protocols.planstore import PlanStore
 from ..protocols.primer import (
     ALL_VARIANTS,
     PRIMER_FPC,
@@ -145,6 +147,16 @@ class ServingRuntime:
         follows ``max_batch_size``; ``1`` disables sharing).  Engines clamp
         it to what their backend and slot budget support, so it is always
         safe to leave on.
+    plan_store:
+        Optional :class:`~repro.protocols.planstore.PlanStore` (or a
+        directory path, which is wrapped in one).  Cold engine builds
+        persist their offline plans there and later builds — including in a
+        freshly started process — *warm-start* by installing the stored
+        plan instead of re-running the offline HE exchange.
+    engine_cache_entries / engine_cache_bytes:
+        LRU bounds on the engine cache: at most this many cached engines /
+        this many bytes of cached offline-plan arrays.  ``None`` (default)
+        leaves the dimension unbounded, the original behaviour.
     """
 
     def __init__(
@@ -158,6 +170,9 @@ class ServingRuntime:
         num_workers: int = 2,
         network: NetworkModel | None = None,
         fhgs_slot_sharing: int | None = None,
+        plan_store: PlanStore | str | Path | None = None,
+        engine_cache_entries: int | None = None,
+        engine_cache_bytes: int | None = None,
     ) -> None:
         self.scheduler = BatchScheduler(max_batch_size=max_batch_size, policy=policy)
         self._models: dict[str, TransformerEncoder] = dict(models or {})
@@ -166,9 +181,14 @@ class ServingRuntime:
         slot_sharing = (
             max_batch_size if fhgs_slot_sharing is None else max(1, fhgs_slot_sharing)
         )
+        if isinstance(plan_store, (str, Path)):
+            plan_store = PlanStore(plan_store)
         self._engines = EngineCache(
             self._models, self._variants, backend_factory, seed,
             network=network, slot_sharing=slot_sharing,
+            plan_store=plan_store,
+            max_entries=engine_cache_entries,
+            max_bytes=engine_cache_bytes,
         )
         self._linear = LinearServingPath(self._weight_banks, backend_factory, network=network)
         self.executor = BatchExecutor(self._engines, self._linear)
@@ -283,6 +303,16 @@ class ServingRuntime:
         return request.request_id
 
     # -- execution -----------------------------------------------------------
+    def _record_completions(self, batch_reports: list[RequestReport]) -> None:
+        """Register finished reports so :meth:`result` can serve them.
+
+        Called batch by batch from every drain path (serial, pipelined, and
+        the async front door's continuous loop), so an error in a later
+        batch cannot lose the results of batches that already ran.
+        """
+        for report in batch_reports:
+            self._completed[report.request_id] = report
+
     def run_pending(self) -> list[RequestReport]:
         """Drain the queue serially, batch after batch; returns all reports."""
         reports: list[RequestReport] = []
@@ -291,10 +321,7 @@ class ServingRuntime:
             if batch is None:
                 break
             batch_reports = self.executor.execute(batch)
-            # Register completions batch by batch so an error in a later
-            # batch cannot lose the results of batches that already ran.
-            for report in batch_reports:
-                self._completed[report.request_id] = report
+            self._record_completions(batch_reports)
             reports.extend(batch_reports)
         return reports
 
@@ -310,12 +337,7 @@ class ServingRuntime:
         batches that already ran.
         """
         batches = self.scheduler.drain()
-
-        def register(batch_reports: list[RequestReport]) -> None:
-            for report in batch_reports:
-                self._completed[report.request_id] = report
-
-        return self.pipeline.drain(batches, on_batch_complete=register)
+        return self.pipeline.drain(batches, on_batch_complete=self._record_completions)
 
     def result(self, request_id: str) -> RequestReport:
         """Report of a completed request."""
@@ -329,6 +351,11 @@ class ServingRuntime:
         self._register_variant(variant)
         key = BatchKey(kind="inference", model=model_name, variant=variant.name)
         return self._engines.entry(key).engine
+
+    @property
+    def engine_cache(self) -> EngineCache:
+        """The bounded engine cache (eviction stats, plan store, keys)."""
+        return self._engines
 
     @property
     def linear_channel(self):

@@ -1,0 +1,235 @@
+"""Tests for the async serving front door (:class:`AsyncServingRuntime`).
+
+The acceptance bar from the ROADMAP's PR-2 follow-up: submission is legal
+*while a drain is in flight*, every handle resolves, and for any
+interleaving of submits and drains the reports' logits are bit-identical to
+a serial submit-all-then-``run_pending()`` pass over the same requests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.nn import BERT_BASE, TransformerEncoder, scaled_config
+from repro.protocols import PRIMER_F, PRIMER_FPC
+from repro.runtime import AsyncServingRuntime, ServingRuntime
+
+N_REQUESTS = 8
+
+
+@pytest.fixture(scope="module")
+def small_model() -> TransformerEncoder:
+    """One-block model: front-door tests build several engines."""
+    config = scaled_config(
+        BERT_BASE, embed_dim=16, num_heads=2, seq_len=6, vocab_size=40, num_blocks=1
+    )
+    return TransformerEncoder.initialise(config, seed=3)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(13)
+    tokens = [rng.integers(0, 40, size=6) for _ in range(N_REQUESTS)]
+    variants = [PRIMER_FPC if i % 2 == 0 else PRIMER_F for i in range(N_REQUESTS)]
+    return tokens, variants
+
+
+@pytest.fixture(scope="module")
+def serial_expected(small_model, workload):
+    """Logits of a serial submit-all-then-run_pending pass, keyed two ways.
+
+    ``by_id`` assumes the same submission order (request ids align);
+    ``by_payload`` keys on ``(token bytes, variant)`` for tests whose
+    submission order is nondeterministic (concurrent submitters).
+    """
+    tokens, variants = workload
+    runtime = ServingRuntime({"tiny": small_model}, max_batch_size=4, seed=21)
+    ids = [
+        runtime.submit("tiny", t, variant=v) for t, v in zip(tokens, variants)
+    ]
+    runtime.run_pending()
+    reports = [runtime.result(rid) for rid in ids]
+    by_id = {r.request_id: r for r in reports}
+    by_payload = {
+        (t.tobytes(), v.name): r.result
+        for t, v, r in zip(tokens, variants, reports)
+    }
+    return by_id, by_payload
+
+
+def _door(small_model, **kwargs) -> AsyncServingRuntime:
+    kwargs.setdefault("max_batch_size", 4)
+    kwargs.setdefault("seed", 21)
+    return AsyncServingRuntime({"tiny": small_model}, **kwargs)
+
+
+class TestFrontDoorEquivalence:
+    def test_interleaved_submits_match_serial_drain(
+        self, small_model, workload, serial_expected
+    ):
+        """Drains interleave arbitrarily with submissions; logits identical."""
+        tokens, variants = workload
+        by_id, _ = serial_expected
+        with _door(small_model) as door:
+            handles = []
+            for t, v in zip(tokens, variants):
+                handles.append(door.submit("tiny", t, variant=v))
+                # Let the drain loop race ahead between submissions, so
+                # some requests are picked up while others are still
+                # arriving — the interleaving the serial API forbids.
+                time.sleep(0.02)
+            reports = [handle.result(timeout=120) for handle in handles]
+        for report in reports:
+            expected = by_id[report.request_id]
+            assert np.array_equal(report.result, expected.result)
+            assert report.prediction == expected.prediction
+
+    def test_concurrent_submitters_all_served_identically(
+        self, small_model, workload, serial_expected
+    ):
+        """Submissions from racing threads resolve to the serial logits."""
+        tokens, variants = workload
+        _, by_payload = serial_expected
+        results: dict[int, list] = {}
+        with _door(small_model) as door:
+            def submitter(worker: int) -> None:
+                pairs = []
+                for index in range(worker, N_REQUESTS, 2):
+                    handle = door.submit(
+                        "tiny", tokens[index], variant=variants[index]
+                    )
+                    pairs.append((index, handle))
+                results[worker] = pairs
+
+            threads = [
+                threading.Thread(target=submitter, args=(w,)) for w in (0, 1)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            gathered = [
+                (index, handle.result(timeout=120))
+                for pairs in results.values()
+                for index, handle in pairs
+            ]
+        assert len(gathered) == N_REQUESTS
+        for index, report in gathered:
+            key = (tokens[index].tobytes(), variants[index].name)
+            assert np.array_equal(report.result, by_payload[key])
+
+    def test_close_flushes_everything_still_queued(
+        self, small_model, workload, serial_expected
+    ):
+        """close() drains the backlog; no handle is abandoned."""
+        tokens, variants = workload
+        by_id, _ = serial_expected
+        door = _door(small_model)
+        handles = [
+            door.submit("tiny", t, variant=v) for t, v in zip(tokens, variants)
+        ]
+        door.close()
+        assert door.closed
+        assert door.pending_count() == 0
+        assert door.inflight_count() == 0
+        for handle in handles:
+            assert handle.done()
+            report = handle.result(timeout=1)
+            assert np.array_equal(report.result, by_id[report.request_id].result)
+        # Completed work stays queryable through the runtime facade.
+        assert door.result(handles[0].request_id).request_id == handles[0].request_id
+
+
+class TestFrontDoorLifecycle:
+    def test_submit_after_close_rejected(self, small_model):
+        door = _door(small_model)
+        door.close()
+        with pytest.raises(ProtocolError):
+            door.submit("tiny", np.zeros(6, dtype=np.int64))
+        # close() is idempotent.
+        door.close()
+
+    def test_linger_fills_batches(self, small_model, workload):
+        """With a linger window, a quick burst lands in one full batch."""
+        tokens, _ = workload
+        with _door(small_model, linger_seconds=5.0) as door:
+            handles = [door.submit("tiny", t) for t in tokens[:4]]
+            reports = [handle.result(timeout=120) for handle in handles]
+        assert {report.batch_id for report in reports} == {reports[0].batch_id}
+        assert all(report.batch_size == 4 for report in reports)
+
+    def test_executor_error_fails_only_its_batch(self, small_model, monkeypatch):
+        """A failing batch resolves its handles with the error; the loop
+        keeps serving later batches."""
+        rng = np.random.default_rng(5)
+        with _door(small_model, max_batch_size=2) as door:
+            door.runtime.register_weights("proj", rng.integers(0, 7, size=(16, 4)))
+            original = door.runtime.executor.execute
+
+            def poisoned(batch, **kwargs):
+                if batch.key.kind == "linear":
+                    raise ProtocolError("injected linear failure")
+                return original(batch, **kwargs)
+
+            monkeypatch.setattr(door.runtime.executor, "execute", poisoned)
+            bad = door.submit_linear("proj", rng.integers(0, 50, size=(8, 16)))
+            good = door.submit("tiny", rng.integers(0, 40, size=6))
+            with pytest.raises(ProtocolError, match="injected linear failure"):
+                bad.result(timeout=120)
+            assert bad.exception(timeout=1) is not None
+            report = good.result(timeout=120)
+            assert report.kind == "inference"
+
+    @pytest.mark.filterwarnings(
+        # The drain thread re-raises the injected error on purpose (so a
+        # debugger/telemetry sees it); pytest flags the thread death.
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_dead_drain_loop_fails_handles_and_rejects_submits(
+        self, small_model, monkeypatch
+    ):
+        """If the loop dies on a non-executor error (e.g. a buggy policy
+        raising inside batch formation), pending handles resolve with the
+        error and later submits are rejected — nothing blocks forever."""
+        rng = np.random.default_rng(9)
+        door = _door(small_model)
+
+        def broken_next_batch():
+            raise RuntimeError("policy exploded")
+
+        monkeypatch.setattr(door.runtime.scheduler, "next_batch", broken_next_batch)
+        handle = door.submit("tiny", rng.integers(0, 40, size=6))
+        with pytest.raises(ProtocolError, match="drain loop"):
+            handle.result(timeout=120)
+        # The loop is dead: submission is refused instead of registering
+        # handles no one will resolve.
+        door._thread.join(timeout=30)
+        with pytest.raises(ProtocolError, match="not running"):
+            door.submit("tiny", rng.integers(0, 40, size=6))
+        door.close()  # still clean and idempotent
+
+    def test_deadline_reports_flow_through(self, small_model):
+        rng = np.random.default_rng(6)
+        with _door(small_model) as door:
+            handle = door.submit(
+                "tiny", rng.integers(0, 40, size=6), deadline_seconds=300.0
+            )
+            report = handle.result(timeout=120)
+        assert report.deadline is not None
+        assert report.deadline_met is True
+
+    def test_fronting_an_existing_runtime(self, small_model, workload, serial_expected):
+        tokens, variants = workload
+        by_id, _ = serial_expected
+        runtime = ServingRuntime({"tiny": small_model}, max_batch_size=4, seed=21)
+        with AsyncServingRuntime(runtime=runtime) as door:
+            handle = door.submit("tiny", tokens[0], variant=variants[0])
+            report = handle.result(timeout=120)
+        assert np.array_equal(report.result, by_id[report.request_id].result)
+        with pytest.raises(ProtocolError):
+            AsyncServingRuntime({"tiny": small_model}, runtime=runtime)
