@@ -60,10 +60,15 @@ from repro.he import (
     ExactBFVBackend,
     PackingLayout,
     SimulatedHEBackend,
+    bsgs_coeff_transform_count,
+    bsgs_geometry,
+    bsgs_matmul,
     bsgs_rotation_count,
+    bsgs_transform_count,
     encrypted_batch_matmul,
     encrypted_packed_matmul,
     paper_parameters,
+    prepare_bsgs_plan,
     serving_parameters,
 )
 from repro.nn import BERT_BASE, TransformerEncoder, scaled_config
@@ -380,6 +385,104 @@ def test_fhgs_slot_sharing():
     })
     # k requests, one cross-term set: the reduction is the batch factor.
     assert reduction >= 3.0
+
+
+def test_ntt_domain_residency():
+    """Acceptance: the EVAL-resident BSGS path pays >= 3x fewer NTT transforms.
+
+    Two measurements at the paper-facing dimensions (n = 30 tokens, a 64x64
+    per-head projection, M = 4096 slots):
+
+    1. **Transform economy** (simulated backend, which models the transforms
+       the deployed scheme executes): the coefficient-resident pipeline pays
+       a full forward+inverse round trip per diagonal product; the
+       EVAL-resident pipeline — ciphertexts encrypted straight into NTT
+       form, diagonal masks pre-transformed once at plan time — pays only
+       the encrypt/decrypt boundary.  Both tracker counts must equal their
+       closed forms *exactly* (the residency analog of the PR-3 rotation
+       accounting), and the reduction must clear 3x.
+
+    2. **Wall clock** (exact BFV backend, which really executes the
+       transforms): a stream of ciphertext-plaintext polynomial products
+       against one resident ciphertext, pre-transformed plaintexts vs the
+       coefficient-domain round trip.
+    """
+    rng = np.random.default_rng(11)
+    n_tokens, d_in, d_out = 30, 64, 64
+    x = rng.integers(0, 200, size=(n_tokens, d_in))
+    w = rng.integers(1, 200, size=(d_in, d_out))
+    slot_count = paper_parameters().slot_count
+
+    coeff_backend = SimulatedHEBackend(paper_parameters(), eval_residency=False)
+    coeff_backend.tracker.reset()
+    result_coeff = bsgs_matmul(coeff_backend, x, w)
+    coeff_transforms = coeff_backend.tracker.transforms()
+
+    eval_backend = SimulatedHEBackend(paper_parameters())
+    geometry = bsgs_geometry(n_tokens, d_in, d_out, slot_count)
+    plan = prepare_bsgs_plan(eval_backend, w, geometry)
+    plan_transforms = eval_backend.tracker.transforms()
+    eval_backend.tracker.reset()
+    result_eval = bsgs_matmul(eval_backend, x, w, plan=plan)
+    eval_transforms = eval_backend.tracker.transforms()
+
+    # Bit-identical results; exact closed forms on both sides.
+    assert np.array_equal(result_eval, result_coeff)
+    closed_eval = bsgs_transform_count(n_tokens, d_in, d_out, slot_count)
+    closed_coeff = bsgs_coeff_transform_count(n_tokens, d_in, d_out, slot_count)
+    assert eval_transforms == closed_eval
+    assert coeff_transforms == closed_coeff
+    reduction = coeff_transforms / eval_transforms
+
+    # Exact backend: wall clock of resident products vs round-trip products.
+    repeats = 64
+    masks = [rng.integers(0, 4, size=256) for _ in range(repeats)]
+    resident = ExactBFVBackend(serving_parameters(256), seed=5)
+    ct_eval = resident.encrypt(np.arange(256) % 250).ciphertext
+    pre = [resident.context.encode_plain_eval(mask) for mask in masks]
+    coeff_exact = ExactBFVBackend(serving_parameters(256), seed=5, eval_residency=False)
+    ct_coeff = coeff_exact.encrypt(np.arange(256) % 250).ciphertext
+
+    eval_seconds = _best_of(
+        3, lambda: [resident.context.multiply_plain_poly(ct_eval, p) for p in pre]
+    )
+    coeff_seconds = _best_of(
+        3, lambda: [coeff_exact.context.multiply_plain_poly(ct_coeff, m) for m in masks]
+    )
+    exact_speedup = coeff_seconds / eval_seconds
+
+    print(f"\nNTT domain residency (BSGS {d_in}x{d_out}, n={n_tokens}, M={slot_count})\n")
+    print(format_table(
+        ["Path", "NTT transforms", "Closed form", "Exact-BFV seconds"],
+        [
+            ["coefficient-resident", f"{coeff_transforms:,}", f"{closed_coeff:,}",
+             f"{coeff_seconds:.4f}"],
+            ["EVAL-resident (planned)", f"{eval_transforms:,}", f"{closed_eval:,}",
+             f"{eval_seconds:.4f}"],
+            ["plan preparation (once)", f"{plan_transforms:,}", "", ""],
+            ["reduction / speedup", f"{reduction:.1f}x", "", f"{exact_speedup:.1f}x"],
+        ],
+    ))
+    record("serving", "ntt_domain_residency", {
+        "n_tokens": n_tokens,
+        "d_in": d_in,
+        "d_out": d_out,
+        "slot_count": slot_count,
+        "coeff_transforms": coeff_transforms,
+        "eval_transforms": eval_transforms,
+        "eval_transforms_closed_form": closed_eval,
+        "coeff_transforms_closed_form": closed_coeff,
+        "closed_form_gap": eval_transforms - closed_eval,
+        "plan_prepare_transforms": plan_transforms,
+        "transform_reduction": reduction,
+        "exact_backend_coeff_seconds": coeff_seconds,
+        "exact_backend_eval_seconds": eval_seconds,
+        "exact_backend_speedup": exact_speedup,
+    })
+    assert reduction >= 3.0
+    # Same threshold as the committed check_regressions.py floor (measured
+    # ~86x, so the margin is enormous either way).
+    assert exact_speedup >= 2.0
 
 
 def test_plan_store_warm_start(tmp_path):

@@ -7,8 +7,8 @@ CI runs it twice: in the blocking tier-1 job against the *committed*
 again after the tier-2 benchmark job against freshly measured numbers
 (advisory, since wall-clock speedups are runner-dependent).  Either way a
 regression of the cached-engine, pipelined, BSGS-rotation,
-FHGS-slot-sharing or plan-store-warm-start wins is caught before it lands
-silently.
+FHGS-slot-sharing, plan-store-warm-start or NTT-domain-residency wins is
+caught before it lands silently.
 
 Run with:  python benchmarks/check_regressions.py [path-to-BENCH_serving.json]
 """
@@ -29,12 +29,20 @@ FLOORS: dict[str, float] = {
     "bsgs_matmul.rotation_reduction": 3.0,
     "fhgs_slot_sharing.cross_term_ciphertext_reduction": 3.0,
     "plan_store_warm_start.warm_start_speedup": 5.0,
+    # Evaluation-domain residency: >= 3x fewer NTT transforms on the BSGS
+    # linear path (typically ~80x) and a real wall-clock win on the exact
+    # backend's resident plaintext products (typically far above 2x).
+    "ntt_domain_residency.transform_reduction": 3.0,
+    "ntt_domain_residency.exact_backend_speedup": 2.0,
 }
 
 #: ``section.metric`` -> exact required value (correctness, not wall clock):
-#: a warm-started engine must run *zero* offline HE operations.
+#: a warm-started engine must run *zero* offline HE operations, and the
+#: EVAL-resident transform count must equal its closed form exactly (any
+#: gap is a redundant — or missing — domain crossing).
 EXACT: dict[str, float] = {
     "plan_store_warm_start.warm_offline_he_operations": 0,
+    "ntt_domain_residency.closed_form_gap": 0,
 }
 
 

@@ -10,7 +10,7 @@ Two backends share one interface:
 """
 
 from .backend import ExactBFVBackend, HEBackend, UnsupportedHEOperation
-from .bfv import BFVContext, Ciphertext
+from .bfv import BFVContext, Ciphertext, EvalPlain
 from .matmul import (
     PackedMatrix,
     decrypt_matrix,
@@ -21,8 +21,18 @@ from .matmul import (
     encrypted_packed_matmul,
     plain_times_enc,
 )
-from .bsgs import BSGSGeometry, bsgs_batch_matmul, bsgs_geometry, bsgs_matmul
+from .bsgs import (
+    BSGSCosts,
+    BSGSGeometry,
+    BSGSMatmulPlan,
+    bsgs_batch_matmul,
+    bsgs_geometry,
+    bsgs_matmul,
+    calibrate_bsgs_costs,
+    prepare_bsgs_plan,
+)
 from .ntt import (
+    Domain,
     NTTContext,
     batch_ntt,
     cached_ntt_parameters,
@@ -36,7 +46,9 @@ from .ntt import (
 from .packing import (
     PackedInput,
     PackingLayout,
+    bsgs_coeff_transform_count,
     bsgs_rotation_count,
+    bsgs_transform_count,
     ciphertext_count,
     pack_matrix,
     rotation_count,
@@ -51,14 +63,18 @@ from .params import (
     toy_parameters,
 )
 from .polyring import PolynomialRing
-from .simulated import SimulatedCiphertext, SimulatedHEBackend
+from .simulated import SimulatedCiphertext, SimulatedEvalPlain, SimulatedHEBackend
 from .tracker import OperationTracker
 
 __all__ = [
     "BFVContext",
     "BFVParameters",
+    "BSGSCosts",
     "BSGSGeometry",
+    "BSGSMatmulPlan",
     "Ciphertext",
+    "Domain",
+    "EvalPlain",
     "ExactBFVBackend",
     "HEBackend",
     "NTTContext",
@@ -68,16 +84,21 @@ __all__ = [
     "PackingLayout",
     "PolynomialRing",
     "SimulatedCiphertext",
+    "SimulatedEvalPlain",
     "SimulatedHEBackend",
     "UnsupportedHEOperation",
     "batch_ntt",
     "bsgs_batch_matmul",
+    "bsgs_coeff_transform_count",
     "bsgs_geometry",
     "bsgs_matmul",
     "bsgs_rotation_count",
+    "bsgs_transform_count",
     "cached_ntt_parameters",
+    "calibrate_bsgs_costs",
     "ciphertext_count",
     "clear_ntt_cache",
+    "prepare_bsgs_plan",
     "decrypt_matrix",
     "enc_times_plain",
     "encrypt_matrix_columns",

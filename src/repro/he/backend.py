@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import ParameterError
 from .bfv import BFVContext, Ciphertext
+from .ntt import Domain
 from .params import BFVParameters
 from .tracker import OperationTracker
 
@@ -73,6 +74,34 @@ class HEBackend(abc.ABC):
         block-diagonal slot sharing) require it.
         """
         return False
+
+    @property
+    def eval_resident(self) -> bool:
+        """Whether this backend keeps ciphertexts NTT-resident end to end.
+
+        When True, freshly encrypted handles live in the evaluation domain
+        and plaintext products are pointwise.  Kernels that want plan-time
+        pre-transformed operands for :meth:`mul_plain` must additionally
+        check :attr:`supports_slotwise_plain` before calling
+        :meth:`encode_plain_eval` — the exact backend is EVAL-resident but
+        slot-wise products (and thus slot-wise EVAL plaintexts) are the
+        simulator's domain; its convolution-operand counterpart lives on
+        :meth:`repro.he.bfv.BFVContext.encode_plain_eval`.
+        """
+        return False
+
+    def encode_plain_eval(self, values: np.ndarray) -> Any:
+        """Pre-transform a plaintext vector for transform-free :meth:`mul_plain`.
+
+        One forward transform at encode time (plan time); the returned
+        opaque object can be passed to :meth:`mul_plain` in place of the raw
+        vector.  Only meaningful on backends with slot-wise plaintext
+        products; others raise.
+        """
+        raise UnsupportedHEOperation(
+            "this backend does not support pre-transformed (EVAL-domain) "
+            "slot-wise plaintexts; pass the raw vector to mul_plain instead"
+        )
 
     # -- interface ---------------------------------------------------------
     @abc.abstractmethod
@@ -136,15 +165,24 @@ class ExactBFVBackend(HEBackend):
     """
 
     def __init__(self, params: BFVParameters, *, seed: int = 2023,
-                 tracker: OperationTracker | None = None) -> None:
+                 tracker: OperationTracker | None = None,
+                 eval_residency: bool = True) -> None:
         self.params = params
         self.tracker = tracker if tracker is not None else OperationTracker()
-        self._context = BFVContext(params=params, seed=seed, tracker=self.tracker)
+        self._context = BFVContext(
+            params=params, seed=seed, tracker=self.tracker,
+            default_domain=Domain.EVAL if eval_residency else Domain.COEFF,
+        )
 
     @property
     def context(self) -> BFVContext:
         """The underlying exact BFV context (exposed for primitive tests)."""
         return self._context
+
+    @property
+    def eval_resident(self) -> bool:
+        """True when fresh handles are NTT-resident (the default)."""
+        return self._context.default_domain is Domain.EVAL
 
     def encrypt(self, values: np.ndarray) -> _ExactHandle:
         values = np.asarray(values, dtype=np.int64)

@@ -18,6 +18,17 @@ that their exact-backend instantiation only needs the operations above, and
 the packing/rotation experiments that need slot semantics run on the
 functional backend in :mod:`repro.he.simulated`, which counts the same
 operations the real SEAL deployment would execute.
+
+Evaluation-domain residency: ciphertexts carry an explicit
+:class:`~repro.he.ntt.Domain` and are encrypted straight into NTT (EVAL)
+form by default, so the linear hot path — plaintext products, additions,
+rotations — runs pointwise without a single transform and the only inverse
+NTT is the one at the decrypt boundary.  Every forward/inverse transform is
+recorded on the tracker (``ntt_forward`` / ``ntt_inverse``, one count per
+polynomial), which makes redundant round trips provable bugs rather than
+silent slowdowns.  Setting ``default_domain=Domain.COEFF`` restores the
+historical coefficient-resident behaviour bit-exactly (the NTT is a linear
+bijection, so decrypted residues never depend on residency).
 """
 
 from __future__ import annotations
@@ -29,11 +40,12 @@ import numpy as np
 
 from ..errors import NoiseBudgetExhausted, ParameterError
 from .keys import PublicKey, SecretKey
+from .ntt import Domain
 from .params import BFVParameters
 from .polyring import PolynomialRing
 from .tracker import OperationTracker
 
-__all__ = ["Ciphertext", "BFVContext"]
+__all__ = ["Ciphertext", "EvalPlain", "BFVContext"]
 
 
 @dataclass
@@ -44,15 +56,43 @@ class Ciphertext:
     invariant noise numerator.  It is updated by every evaluator operation
     and used to report a noise *budget* (bits of headroom left before
     decryption fails), mirroring SEAL's ``invariant_noise_budget``.
+
+    ``domain`` records which representation ``c0``/``c1`` are resident in:
+    coefficient form (:attr:`~repro.he.ntt.Domain.COEFF`) or NTT form
+    (:attr:`~repro.he.ntt.Domain.EVAL`).  The NTT is a linear bijection of
+    ``Z_q^N``, so every evaluator operation has an exact counterpart in
+    either domain and the decrypted residues are bit-identical; only the
+    number of forward/inverse transforms paid along the way differs.
     """
 
     c0: np.ndarray
     c1: np.ndarray
     noise_bound: float
     slots_used: int
+    domain: Domain = Domain.COEFF
 
     def copy(self) -> "Ciphertext":
-        return Ciphertext(self.c0.copy(), self.c1.copy(), self.noise_bound, self.slots_used)
+        return Ciphertext(
+            self.c0.copy(), self.c1.copy(), self.noise_bound, self.slots_used,
+            self.domain,
+        )
+
+
+@dataclass(frozen=True)
+class EvalPlain:
+    """A plaintext polynomial pre-transformed into the evaluation domain.
+
+    Produced once by :meth:`BFVContext.encode_plain_eval` (e.g. at plan
+    time for weight diagonals) and reused across every
+    :meth:`BFVContext.multiply_plain_poly` against an EVAL-resident
+    ciphertext — those products are then pointwise and cost *zero*
+    transforms.  ``norm`` is the L1 norm of the centered coefficients,
+    preserved for the same noise-growth estimate the raw-plaintext path
+    uses.
+    """
+
+    values_eval: np.ndarray
+    norm: float
 
 
 @dataclass
@@ -74,6 +114,11 @@ class BFVContext:
     params: BFVParameters
     seed: int = 2023
     tracker: OperationTracker | None = None
+    #: domain freshly encrypted ciphertexts are produced in.  ``EVAL`` keeps
+    #: the linear hot path transform-lazy (the default); ``COEFF`` restores
+    #: the historical coefficient-resident behaviour for equivalence tests
+    #: and before/after benchmarks.
+    default_domain: Domain = Domain.EVAL
     ring: PolynomialRing = field(init=False, repr=False)
     _rng: np.random.Generator = field(init=False, repr=False)
     _secret: SecretKey = field(init=False, repr=False)
@@ -153,23 +198,33 @@ class BFVContext:
         scaled = (plain.astype(np.int64) * q + t // 2) // t
         return np.mod(scaled, q)
 
-    def encrypt(self, values: np.ndarray) -> Ciphertext:
+    def encrypt(self, values: np.ndarray, *, domain: Domain | None = None) -> Ciphertext:
         """Encrypt a vector of plaintext residues (coefficient-packed)."""
-        return self.encrypt_batch([values])[0]
+        return self.encrypt_batch([values], domain=domain)[0]
 
-    def encrypt_batch(self, values_list: list[np.ndarray]) -> list[Ciphertext]:
+    def encrypt_batch(
+        self, values_list: list[np.ndarray], *, domain: Domain | None = None
+    ) -> list[Ciphertext]:
         """Encrypt many residue vectors with one batched NTT pass.
 
-        All the randomness of the batch is sampled up front, the random
-        polynomials ``u`` go through a single batched forward transform, and
-        the pointwise products with the cached NTT forms of *both* public-key
-        components come back through one stacked batched inverse — two
-        transform calls total instead of the ``6B`` a loop over
-        :meth:`encrypt` would cost, with the ``log N`` Python-level stage
-        iterations of the lazy-reduction NTT amortised across ``2B`` rows.
+        All the randomness of the batch is sampled up front and the random
+        polynomials ``u`` go through a single batched forward transform.
+        The output ``domain`` (default: :attr:`default_domain`) decides the
+        second transform call: producing COEFF ciphertexts pulls the
+        pointwise products with the cached NTT-form public key back through
+        one stacked batched inverse, while producing EVAL ciphertexts pushes
+        the noise/message polynomials *forward* instead and never leaves the
+        evaluation domain — three transforms per ciphertext either way
+        (``3B`` total, recorded on the tracker), with the ``log N``
+        Python-level stage iterations of the lazy-reduction NTT amortised
+        across the batch.  Both domains consume the randomness stream in the
+        same order, so the two forms are NTT images of one another
+        bit-exactly.
         """
         if not values_list:
             return []
+        if domain is None:
+            domain = self.default_domain
         batch = len(values_list)
         n = self.params.ring_degree
         q = self.params.ciphertext_modulus
@@ -183,11 +238,21 @@ class BFVContext:
         e2 = ring.sample_error(self._rng, self.params.error_stddev, count=batch)
         ntt = ring.ntt
         u_ntt = ntt.forward_batch(u)
-        components = ntt.inverse_batch(
-            np.vstack([u_ntt * self._p0_ntt % q, u_ntt * self._p1_ntt % q])
-        )
-        c0 = np.mod(components[:batch] + e1 + scaled, q)
-        c1 = np.mod(components[batch:] + e2, q)
+        if domain is Domain.EVAL:
+            # NTT(c0) = NTT(u) * NTT(p0) + NTT(e1 + Delta*m), likewise c1:
+            # the additive terms go forward instead of the products coming
+            # back, and the ciphertext is born evaluation-resident.
+            additive = ntt.to_eval_batch(np.vstack([np.mod(e1 + scaled, q), e2]))
+            c0 = np.mod(u_ntt * self._p0_ntt + additive[:batch], q)
+            c1 = np.mod(u_ntt * self._p1_ntt + additive[batch:], q)
+            self.tracker.record_transforms(forward=3 * batch)
+        else:
+            components = ntt.inverse_batch(
+                np.vstack([u_ntt * self._p0_ntt % q, u_ntt * self._p1_ntt % q])
+            )
+            c0 = np.mod(components[:batch] + e1 + scaled, q)
+            c1 = np.mod(components[batch:] + e2, q)
+            self.tracker.record_transforms(forward=batch, inverse=2 * batch)
         # Fresh noise bound: ||e*u + e1 + e2*s|| <= stddev * (2N + 2) roughly;
         # use a conservative analytic estimate.
         fresh = self.params.error_stddev * (2 * n + 2)
@@ -198,9 +263,54 @@ class BFVContext:
             Ciphertext(
                 c0=c0[i], c1=c1[i], noise_bound=fresh,
                 slots_used=int(np.asarray(values_list[i]).size),
+                domain=domain,
             )
             for i in range(batch)
         ]
+
+    # -- domain conversion -------------------------------------------------
+    def to_eval(self, ct: Ciphertext) -> Ciphertext:
+        """COEFF -> EVAL conversion of one ciphertext (two transforms)."""
+        return self.convert_batch([ct], Domain.EVAL)[0]
+
+    def to_coeff(self, ct: Ciphertext) -> Ciphertext:
+        """EVAL -> COEFF conversion of one ciphertext (two transforms)."""
+        return self.convert_batch([ct], Domain.COEFF)[0]
+
+    def convert_batch(self, cts: list[Ciphertext], domain: Domain) -> list[Ciphertext]:
+        """Convert ciphertexts to ``domain`` with one batched NTT pass.
+
+        Already-resident ciphertexts are returned unchanged (and charged
+        nothing): the transform counters only ever record crossings that
+        actually happened, which is what makes redundant round trips
+        provable from the tracker.
+        """
+        movers = [ct for ct in cts if ct.domain is not domain]
+        if not movers:
+            return list(cts)
+        ntt = self.ring.ntt
+        stacked = np.vstack([np.stack([ct.c0, ct.c1]) for ct in movers])
+        if domain is Domain.EVAL:
+            converted = ntt.to_eval_batch(stacked)
+            self.tracker.record_transforms(forward=2 * len(movers))
+        else:
+            converted = ntt.to_coeff_batch(stacked)
+            self.tracker.record_transforms(inverse=2 * len(movers))
+        moved = iter(range(len(movers)))
+        results = []
+        for ct in cts:
+            if ct.domain is domain:
+                results.append(ct)
+                continue
+            i = next(moved)
+            results.append(
+                Ciphertext(
+                    c0=converted[2 * i], c1=converted[2 * i + 1],
+                    noise_bound=ct.noise_bound, slots_used=ct.slots_used,
+                    domain=domain,
+                )
+            )
+        return results
 
     def decrypt(self, ct: Ciphertext, count: int | None = None) -> np.ndarray:
         """Decrypt a ciphertext back to its packed residues."""
@@ -211,7 +321,14 @@ class BFVContext:
     def decrypt_batch(
         self, cts: list[Ciphertext], counts: list[int] | None = None
     ) -> list[np.ndarray]:
-        """Decrypt many ciphertexts with one batched NTT pass."""
+        """Decrypt many ciphertexts with one batched NTT pass.
+
+        COEFF ciphertexts pay the historical round trip (forward ``c1``,
+        pointwise with the cached NTT-form secret, inverse).  EVAL
+        ciphertexts fold ``c0 + c1 * s`` entirely in the evaluation domain
+        and pay exactly *one* inverse — the only transform the
+        evaluation-resident hot path ever pays per output ciphertext.
+        """
         if not cts:
             return []
         for ct in cts:
@@ -222,9 +339,24 @@ class BFVContext:
         q = self.params.ciphertext_modulus
         t = self.params.plaintext_modulus
         ntt = self.ring.ntt
-        c0 = np.stack([ct.c0 for ct in cts])
-        c1 = np.stack([ct.c1 for ct in cts])
-        raw = np.mod(c0 + ntt.inverse_batch(ntt.forward_batch(c1) * self._s_ntt % q), q)
+        raw = np.empty((len(cts), self.params.ring_degree), dtype=np.int64)
+        coeff_idx = [i for i, ct in enumerate(cts) if ct.domain is Domain.COEFF]
+        eval_idx = [i for i, ct in enumerate(cts) if ct.domain is Domain.EVAL]
+        if coeff_idx:
+            c0 = np.stack([cts[i].c0 for i in coeff_idx])
+            c1 = np.stack([cts[i].c1 for i in coeff_idx])
+            raw[coeff_idx] = np.mod(
+                c0 + ntt.inverse_batch(ntt.forward_batch(c1) * self._s_ntt % q), q
+            )
+            self.tracker.record_transforms(
+                forward=len(coeff_idx), inverse=len(coeff_idx)
+            )
+        if eval_idx:
+            combined = np.stack(
+                [np.mod(cts[i].c0 + cts[i].c1 * self._s_ntt, q) for i in eval_idx]
+            )
+            raw[eval_idx] = ntt.to_coeff_batch(combined)
+            self.tracker.record_transforms(inverse=len(eval_idx))
         half = q // 2
         centered = np.where(raw > half, raw - q, raw).astype(np.float64)
         scaled = np.rint(centered * t / q).astype(np.int64)
@@ -244,8 +376,23 @@ class BFVContext:
         return math.log2(limit) - math.log2(ct.noise_bound)
 
     # -- homomorphic operations --------------------------------------------
+    def _aligned(self, a: Ciphertext, b: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
+        """Bring two operands into one domain (resident-forward policy).
+
+        Mixed-domain additions convert the COEFF operand *up* to EVAL (the
+        direction that keeps the pipeline resident) and charge the crossing;
+        a correctly transform-lazy pipeline never takes this branch, which
+        the exact-count tests rely on.
+        """
+        if a.domain is b.domain:
+            return a, b
+        if a.domain is Domain.COEFF:
+            return self.to_eval(a), b
+        return a, self.to_eval(b)
+
     def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
-        """Ciphertext + ciphertext."""
+        """Ciphertext + ciphertext (domain-preserving; NTT is linear)."""
+        a, b = self._aligned(a, b)
         ring = self.ring
         self.tracker.record("he_add")
         return Ciphertext(
@@ -253,10 +400,12 @@ class BFVContext:
             c1=ring.add(a.c1, b.c1),
             noise_bound=a.noise_bound + b.noise_bound,
             slots_used=max(a.slots_used, b.slots_used),
+            domain=a.domain,
         )
 
     def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
-        """Ciphertext - ciphertext."""
+        """Ciphertext - ciphertext (domain-preserving; NTT is linear)."""
+        a, b = self._aligned(a, b)
         ring = self.ring
         self.tracker.record("he_add")
         return Ciphertext(
@@ -264,26 +413,38 @@ class BFVContext:
             c1=ring.sub(a.c1, b.c1),
             noise_bound=a.noise_bound + b.noise_bound,
             slots_used=max(a.slots_used, b.slots_used),
+            domain=a.domain,
         )
 
     def add_plain(self, a: Ciphertext, values: np.ndarray) -> Ciphertext:
-        """Ciphertext + plaintext vector."""
+        """Ciphertext + plaintext vector.
+
+        An EVAL-resident ciphertext absorbs the plaintext through one
+        forward transform of the scaled message polynomial (the ciphertext
+        itself never leaves the evaluation domain).
+        """
         ring = self.ring
         plain = self.encode(np.asarray(values, dtype=np.int64))
         scaled = self._scale_plaintext(plain)
+        if a.domain is Domain.EVAL:
+            scaled = ring.ntt.forward(scaled)
+            self.tracker.record_transforms(forward=1)
         self.tracker.record("he_add_plain")
         return Ciphertext(
             c0=ring.add(a.c0, scaled),
             c1=a.c1.copy(),
             noise_bound=a.noise_bound + 1.0,
             slots_used=max(a.slots_used, int(np.asarray(values).size)),
+            domain=a.domain,
         )
 
     def multiply_scalar(self, a: Ciphertext, scalar: int) -> Ciphertext:
         """Ciphertext × small integer scalar (plaintext residue).
 
         This is the workhorse of the tokens-first packed matrix product: the
-        weight entry multiplies every slot of the ciphertext.
+        weight entry multiplies every slot of the ciphertext.  Scalar
+        multiplication commutes with the NTT, so it is transform-free in
+        both domains.
         """
         ring = self.ring
         t = self.params.plaintext_modulus
@@ -295,28 +456,76 @@ class BFVContext:
             c1=ring.mul_scalar(a.c1, centered_scalar),
             noise_bound=a.noise_bound * max(1, abs(centered_scalar)),
             slots_used=a.slots_used,
+            domain=a.domain,
         )
 
-    def multiply_plain_poly(self, a: Ciphertext, plain_values: np.ndarray) -> Ciphertext:
-        """Ciphertext × plaintext polynomial (negacyclic convolution).
+    def encode_plain_eval(self, plain_values: np.ndarray) -> EvalPlain:
+        """Pre-transform a plaintext polynomial into the evaluation domain.
 
-        Used by Gazelle-style diagonal matrix-vector products.  Note this is
-        a *convolution* of the packed slots, not a slot-wise product.
+        One forward transform now buys transform-free
+        :meth:`multiply_plain_poly` calls forever after — the plan-time
+        hoisting the BSGS diagonal kernel uses for its weight masks.
         """
-        ring = self.ring
         plain = self.encode(np.asarray(plain_values, dtype=np.int64))
         t = self.params.plaintext_modulus
         centered = np.where(plain > t // 2, plain - t, plain)
         norm = float(np.sum(np.abs(centered)))
         plain_mod_q = np.mod(centered, self.params.ciphertext_modulus)
+        self.tracker.record_transforms(forward=1)
+        return EvalPlain(
+            values_eval=self.ring.ntt.forward(plain_mod_q), norm=norm
+        )
+
+    def multiply_plain_poly(
+        self, a: Ciphertext, plain_values: "np.ndarray | EvalPlain"
+    ) -> Ciphertext:
+        """Ciphertext × plaintext polynomial (negacyclic convolution).
+
+        Used by Gazelle-style diagonal matrix-vector products.  Note this is
+        a *convolution* of the packed slots, not a slot-wise product.
+
+        Transform economy by residency: a COEFF ciphertext pays the full
+        round trip (two forwards for ``c0, c1``, one for the plaintext, two
+        inverses back — five transforms).  An EVAL ciphertext multiplies
+        pointwise, paying one forward for a raw plaintext and *zero*
+        transforms when handed a pre-transformed :class:`EvalPlain`.
+        """
+        ring = self.ring
         self.tracker.record("he_mul_plain")
+        if isinstance(plain_values, EvalPlain):
+            if a.domain is not Domain.EVAL:
+                a = self.to_eval(a)
+            return Ciphertext(
+                c0=ring.mul_eval(a.c0, plain_values.values_eval),
+                c1=ring.mul_eval(a.c1, plain_values.values_eval),
+                noise_bound=a.noise_bound * max(1.0, plain_values.norm),
+                slots_used=self.params.slot_count,
+                domain=Domain.EVAL,
+            )
+        plain = self.encode(np.asarray(plain_values, dtype=np.int64))
+        t = self.params.plaintext_modulus
+        centered = np.where(plain > t // 2, plain - t, plain)
+        norm = float(np.sum(np.abs(centered)))
+        plain_mod_q = np.mod(centered, self.params.ciphertext_modulus)
+        if a.domain is Domain.EVAL:
+            plain_eval = ring.ntt.forward(plain_mod_q)
+            self.tracker.record_transforms(forward=1)
+            return Ciphertext(
+                c0=ring.mul_eval(a.c0, plain_eval),
+                c1=ring.mul_eval(a.c1, plain_eval),
+                noise_bound=a.noise_bound * max(1.0, norm),
+                slots_used=self.params.slot_count,
+                domain=Domain.EVAL,
+            )
         # One batched NTT over (c0, c1) shares the plaintext's forward transform.
         products = ring.mul_batch(np.stack([a.c0, a.c1]), plain_mod_q)
+        self.tracker.record_transforms(forward=3, inverse=2)
         return Ciphertext(
             c0=products[0],
             c1=products[1],
             noise_bound=a.noise_bound * max(1.0, norm),
             slots_used=self.params.slot_count,
+            domain=Domain.COEFF,
         )
 
     def rotate(self, a: Ciphertext, steps: int) -> Ciphertext:
@@ -324,17 +533,31 @@ class BFVContext:
 
         Slots that wrap past the ring degree acquire a sign flip; callers are
         responsible for only reading un-wrapped slots (the packing layer
-        guarantees this).
+        guarantees this).  Multiplication by ``X**steps`` is a coefficient
+        shift in COEFF form and a pointwise product with the cached monomial
+        table in EVAL form — transform-free either way, so rotations are
+        *not* domain boundaries.
         """
         ring = self.ring
         self.tracker.record("he_rotate")
+        if a.domain is Domain.EVAL:
+            return Ciphertext(
+                c0=ring.rotate_eval(a.c0, steps),
+                c1=ring.rotate_eval(a.c1, steps),
+                noise_bound=a.noise_bound,
+                slots_used=min(self.params.slot_count, a.slots_used + steps),
+                domain=Domain.EVAL,
+            )
         return Ciphertext(
             c0=ring.rotate_coefficients(a.c0, steps),
             c1=ring.rotate_coefficients(a.c1, steps),
             noise_bound=a.noise_bound,
             slots_used=min(self.params.slot_count, a.slots_used + steps),
+            domain=Domain.COEFF,
         )
 
-    def zero_ciphertext(self, slots_used: int = 0) -> Ciphertext:
+    def zero_ciphertext(
+        self, slots_used: int = 0, *, domain: Domain | None = None
+    ) -> Ciphertext:
         """A fresh encryption of the all-zero vector (used as an accumulator)."""
-        return self.encrypt(np.zeros(max(1, slots_used), dtype=np.int64))
+        return self.encrypt(np.zeros(max(1, slots_used), dtype=np.int64), domain=domain)

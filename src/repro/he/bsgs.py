@@ -42,15 +42,49 @@ the deployed scheme up to that constant factor.
 
 from __future__ import annotations
 
+import hashlib
 import math
+import time
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from ..errors import ParameterError, ShapeError
 from .backend import HEBackend
 
-__all__ = ["BSGSGeometry", "bsgs_geometry", "bsgs_matmul", "bsgs_batch_matmul"]
+__all__ = [
+    "BSGSGeometry",
+    "BSGSCosts",
+    "BSGSMatmulPlan",
+    "bsgs_geometry",
+    "bsgs_matmul",
+    "bsgs_batch_matmul",
+    "calibrate_bsgs_costs",
+    "prepare_bsgs_plan",
+]
+
+
+@dataclass(frozen=True)
+class BSGSCosts:
+    """Measured per-operation costs driving the baby/giant split.
+
+    ``rotation_seconds`` / ``mul_seconds`` are wall-clock costs of one
+    homomorphic rotation and one slot-wise plaintext product on the target
+    backend (see :func:`calibrate_bsgs_costs`).  The split search minimises
+    the modelled kernel cost under these weights instead of assuming the
+    closed-form ``ceil(sqrt(D))`` split is optimal; the plaintext-product
+    count of this kernel is split-independent, so the search can never pick
+    a split with more rotations than the closed form (a property the test
+    suite asserts).
+    """
+
+    rotation_seconds: float
+    mul_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.rotation_seconds < 0 or self.mul_seconds < 0:
+            raise ParameterError("BSGS cost-model seconds must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -94,9 +128,17 @@ class BSGSGeometry:
 
 
 def bsgs_geometry(
-    n_tokens: int, n_features: int, n_outputs: int, slot_count: int
+    n_tokens: int, n_features: int, n_outputs: int, slot_count: int,
+    *, costs: BSGSCosts | None = None,
 ) -> BSGSGeometry:
-    """Compute (and validate) the block geometry for an ``X @ W`` product."""
+    """Compute (and validate) the block geometry for an ``X @ W`` product.
+
+    Without ``costs`` the split is the closed form ``bs = ceil(sqrt(D))``.
+    With a measured :class:`BSGSCosts` the split is chosen by exhaustive
+    search over ``bs in [1, D]`` minimising the modelled kernel cost (ties
+    broken toward fewer rotations, then toward the closed-form split), so
+    the chosen split's rotation count never exceeds the closed form's.
+    """
     if n_tokens < 1 or n_features < 1 or n_outputs < 1:
         raise ParameterError("BSGS matmul needs positive dimensions")
     if n_tokens > slot_count:
@@ -106,9 +148,29 @@ def bsgs_geometry(
     features_per_ct = max(1, slot_count // n_tokens)
     out_blocks = min(n_outputs, features_per_ct)
     blocks = max(min(features_per_ct, n_features), out_blocks)
-    baby = math.isqrt(blocks)
-    if baby * baby < blocks:
-        baby += 1
+    num_ciphertexts = math.ceil(n_features / features_per_ct)
+    out_groups = math.ceil(n_outputs / out_blocks)
+    closed_baby = math.isqrt(blocks)
+    if closed_baby * closed_baby < blocks:
+        closed_baby += 1
+    baby = closed_baby
+    if costs is not None:
+        def rotations(bs: int) -> int:
+            return num_ciphertexts * (bs - 1) + out_groups * (math.ceil(blocks / bs) - 1)
+
+        # The plaintext-product count is split-independent (every generalized
+        # diagonal gets exactly one product per output group), so it enters
+        # the cost as a constant; the search is effectively a weighted
+        # rotation minimisation, which bounds it by the closed-form count.
+        muls = out_groups * num_ciphertexts * blocks
+        baby = min(
+            range(1, blocks + 1),
+            key=lambda bs: (
+                costs.rotation_seconds * rotations(bs) + costs.mul_seconds * muls,
+                rotations(bs),
+                abs(bs - closed_baby),
+            ),
+        )
     giant = math.ceil(blocks / baby)
     return BSGSGeometry(
         n_tokens=n_tokens,
@@ -116,13 +178,46 @@ def bsgs_geometry(
         n_outputs=n_outputs,
         slot_count=slot_count,
         features_per_ciphertext=features_per_ct,
-        num_ciphertexts=math.ceil(n_features / features_per_ct),
+        num_ciphertexts=num_ciphertexts,
         blocks=blocks,
         baby=baby,
         giant=giant,
         out_blocks=out_blocks,
-        out_groups=math.ceil(n_outputs / out_blocks),
+        out_groups=out_groups,
     )
+
+
+def calibrate_bsgs_costs(
+    backend: HEBackend, *, repeats: int = 3
+) -> BSGSCosts:
+    """One-shot calibration of :class:`BSGSCosts` on ``backend``.
+
+    Times one cyclic rotation and one slot-wise plaintext product on a
+    scratch ciphertext (best of ``repeats``).  The scratch operations are
+    recorded on the backend's tracker like any other work, so calibrate on
+    a throwaway backend (or before resetting the tracker) when exact
+    operation counts matter downstream.
+    """
+    if not getattr(backend, "supports_slotwise_plain", False):
+        raise ParameterError(
+            "BSGS cost calibration needs slot-wise plaintext products "
+            "(the functional backend)"
+        )
+    length = backend.slot_count
+    scratch = backend.zero(length)
+    mask = np.ones(length, dtype=np.int64)
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    rotation_seconds = best_of(lambda: backend.rotate(scratch, 1))
+    mul_seconds = best_of(lambda: backend.mul_plain(scratch, mask))
+    return BSGSCosts(rotation_seconds=rotation_seconds, mul_seconds=mul_seconds)
 
 
 def _diagonal_masks(
@@ -175,11 +270,99 @@ def _pack_bsgs_vectors(matrix: np.ndarray, geometry: BSGSGeometry) -> list[np.nd
     return vectors
 
 
+@dataclass
+class BSGSMatmulPlan:
+    """Plan-time artifact of one BSGS weight matrix: NTT-form diagonals.
+
+    ``masks[o, c, j, i]`` are the generalized-diagonal block coefficient
+    vectors (as built by :func:`_diagonal_masks`); ``eval_masks`` — present
+    when the backend is evaluation-resident — holds the same masks expanded
+    to slot vectors and pre-transformed into EVAL form via
+    ``backend.encode_plain_eval`` (``None`` marks an all-zero mask).  The
+    one forward transform per non-zero diagonal is paid *here*, once per
+    weight registration, and amortised over every request and every batch
+    the plan serves: the online diagonal multiply-accumulate then runs as
+    pointwise products with zero transforms.  This is the NTT-form-weights
+    artifact the serving layer caches per weight bank.
+    """
+
+    geometry: BSGSGeometry
+    masks: np.ndarray
+    eval_masks: "list[list[list[list[Any | None]]]] | None" = None
+    #: digest of the (mod t) weight matrix the masks were built from, so a
+    #: stale plan handed a *same-shape* replacement bank fails loudly
+    #: instead of silently computing against the old weights
+    weights_digest: str = ""
+
+    @property
+    def nonzero_masks(self) -> int:
+        """Number of diagonal products the kernel will execute (dense count)."""
+        g = self.geometry
+        return int(
+            sum(
+                1
+                for o in range(g.out_groups)
+                for c in range(g.num_ciphertexts)
+                for j in range(g.giant)
+                for i in range(g.baby)
+                if self.masks[o, c, j, i].any()
+            )
+        )
+
+
+def prepare_bsgs_plan(
+    backend: HEBackend, weights: np.ndarray, geometry: BSGSGeometry
+) -> BSGSMatmulPlan:
+    """Build the diagonal masks of ``weights`` once, NTT-form when possible.
+
+    On an evaluation-resident backend every non-zero diagonal mask is
+    pre-transformed with ``encode_plain_eval`` (one tracked forward
+    transform each — the plan-time cost the online path never pays again).
+    On other backends the plan still hoists the mask construction, and the
+    kernel falls back to raw slot vectors.
+    """
+    t = backend.plaintext_modulus
+    weights = np.asarray(weights, dtype=np.int64)
+    masks = _diagonal_masks(weights, geometry, t)
+    eval_masks = None
+    if getattr(backend, "eval_resident", False) and getattr(
+        backend, "supports_slotwise_plain", False
+    ):
+        step = geometry.n_tokens
+        eval_masks = [
+            [
+                [
+                    [
+                        backend.encode_plain_eval(np.repeat(masks[o, c, j, i], step))
+                        if masks[o, c, j, i].any()
+                        else None
+                        for i in range(geometry.baby)
+                    ]
+                    for j in range(geometry.giant)
+                ]
+                for c in range(geometry.num_ciphertexts)
+            ]
+            for o in range(geometry.out_groups)
+        ]
+    return BSGSMatmulPlan(
+        geometry=geometry, masks=masks, eval_masks=eval_masks,
+        weights_digest=_weights_digest(weights, t),
+    )
+
+
+def _weights_digest(weights: np.ndarray, modulus: int) -> str:
+    """Content digest of a weight matrix as the kernel sees it (mod t)."""
+    residues = np.ascontiguousarray(np.mod(weights, modulus), dtype=np.int64)
+    return hashlib.sha256(residues.tobytes()).hexdigest()[:32]
+
+
 def bsgs_matmul_handles(
     backend: HEBackend,
     ciphertexts: list,
     weights: np.ndarray,
     geometry: BSGSGeometry,
+    *,
+    plan: BSGSMatmulPlan | None = None,
 ) -> list:
     """Rotation-minimal ``Enc(X) @ W`` over already-encrypted inputs.
 
@@ -187,10 +370,29 @@ def bsgs_matmul_handles(
     ``g`` of group ``o``'s slots holds output column ``o * out_blocks +
     g``); a group whose weight slice is identically zero mod ``t`` yields
     ``None``.  The hoisted baby-step rotations are computed once and shared
-    by every group.
+    by every group.  With a :class:`BSGSMatmulPlan` the diagonal products
+    reuse the plan's pre-transformed (EVAL-form) masks, so the whole
+    multiply-accumulate is transform-free on an evaluation-resident
+    backend.
     """
+    if plan is not None and plan.geometry != geometry:
+        raise ParameterError(
+            "BSGS plan geometry does not match this product; rebuild the plan "
+            f"(plan {plan.geometry}, requested {geometry})"
+        )
     t = backend.plaintext_modulus
-    masks = _diagonal_masks(np.asarray(weights, dtype=np.int64), geometry, t)
+    if plan is not None and plan.weights_digest:
+        digest = _weights_digest(np.asarray(weights, dtype=np.int64), t)
+        if digest != plan.weights_digest:
+            raise ParameterError(
+                "BSGS plan was prepared for a different weight matrix of the "
+                "same shape; rebuild the plan for the current weights"
+            )
+    masks = (
+        plan.masks if plan is not None
+        else _diagonal_masks(np.asarray(weights, dtype=np.int64), geometry, t)
+    )
+    eval_masks = plan.eval_masks if plan is not None else None
     step = geometry.n_tokens
 
     # Hoist the baby-step rotations of every input ciphertext once.
@@ -211,7 +413,12 @@ def bsgs_matmul_handles(
                     blocks = masks[o, c, j, i]
                     if not blocks.any():
                         continue
-                    term = backend.mul_plain(baby_ct, np.repeat(blocks, step))
+                    operand = (
+                        eval_masks[o][c][j][i]
+                        if eval_masks is not None
+                        else np.repeat(blocks, step)
+                    )
+                    term = backend.mul_plain(baby_ct, operand)
                     acc = term if acc is None else backend.add(acc, term)
             if acc is None:
                 continue
@@ -223,13 +430,21 @@ def bsgs_matmul_handles(
 
 
 def bsgs_matmul(
-    backend: HEBackend, matrix: np.ndarray, weights: np.ndarray
+    backend: HEBackend,
+    matrix: np.ndarray,
+    weights: np.ndarray,
+    *,
+    plan: BSGSMatmulPlan | None = None,
+    costs: BSGSCosts | None = None,
 ) -> np.ndarray:
     """Encrypted ``X @ W`` through the BSGS diagonal kernel, decrypted.
 
     Packs ``X`` tokens-first (the paper's layout, padded to the block
-    geometry), encrypts, runs :func:`bsgs_matmul_handle` and decrypts the
-    result back into a ``(n_tokens, d_out)`` residue matrix.
+    geometry), encrypts, runs :func:`bsgs_matmul_handles` and decrypts the
+    result back into a ``(n_tokens, d_out)`` residue matrix.  ``plan``
+    supplies pre-transformed diagonal masks (and pins the geometry it was
+    built for); ``costs`` switches the baby/giant split to the measured
+    cost model.
     """
     matrix = np.asarray(matrix, dtype=np.int64)
     weights = np.asarray(weights, dtype=np.int64)
@@ -239,10 +454,21 @@ def bsgs_matmul(
         raise ShapeError(f"cannot multiply {matrix.shape} by {weights.shape}")
     n_tokens, n_features = matrix.shape
     d_out = weights.shape[1]
-    geometry = bsgs_geometry(n_tokens, n_features, d_out, backend.slot_count)
+    geometry = (
+        plan.geometry if plan is not None
+        else bsgs_geometry(n_tokens, n_features, d_out, backend.slot_count, costs=costs)
+    )
+    if (geometry.n_tokens, geometry.n_features, geometry.n_outputs) != (
+        n_tokens, n_features, d_out,
+    ):
+        raise ParameterError(
+            f"BSGS plan was prepared for "
+            f"({geometry.n_tokens}, {geometry.n_features}, {geometry.n_outputs}); "
+            f"this product is ({n_tokens}, {n_features}, {d_out})"
+        )
 
     ciphertexts = backend.encrypt_batch(_pack_bsgs_vectors(matrix, geometry))
-    outputs = bsgs_matmul_handles(backend, ciphertexts, weights, geometry)
+    outputs = bsgs_matmul_handles(backend, ciphertexts, weights, geometry, plan=plan)
 
     t = backend.plaintext_modulus
     result = np.zeros((n_tokens, d_out), dtype=np.int64)
@@ -257,20 +483,23 @@ def bsgs_matmul(
 
 
 def bsgs_batch_matmul(
-    backend: HEBackend, matrices: list[np.ndarray], weights: np.ndarray
+    backend: HEBackend, matrices: list[np.ndarray], weights: np.ndarray,
+    *, plan: BSGSMatmulPlan | None = None, costs: BSGSCosts | None = None,
 ) -> list[np.ndarray]:
     """Serve many ``X_i @ W`` requests through one shared BSGS product.
 
     The requests' token matrices are stacked along the token axis, so the
-    whole batch shares the hoisted baby-step rotations and the giant-step
-    accumulators of a single BSGS pass — the rotation count is independent
-    of the batch size.  Returns one decrypted result matrix per request.
+    whole batch shares the hoisted baby-step rotations, the giant-step
+    accumulators *and* the plan's pre-transformed diagonal masks of a
+    single BSGS pass — both the rotation count and the transform count are
+    independent of the batch size.  Returns one decrypted result matrix per
+    request.
     """
     arrays = [np.asarray(m, dtype=np.int64) for m in matrices]
     if not arrays:
         return []
     stacked = np.vstack(arrays)
-    result = bsgs_matmul(backend, stacked, weights)
+    result = bsgs_matmul(backend, stacked, weights, plan=plan, costs=costs)
     splits: list[np.ndarray] = []
     offset = 0
     for m in arrays:

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..errors import ParameterError, ShapeError
 from .backend import HEBackend
-from .bsgs import bsgs_batch_matmul, bsgs_geometry, bsgs_matmul
+from .bsgs import BSGSCosts, BSGSMatmulPlan, bsgs_batch_matmul, bsgs_geometry, bsgs_matmul
 from .packing import PackedInput, PackingLayout, pack_matrix
 
 __all__ = [
@@ -185,12 +185,23 @@ def repack_columns_to_rows(backend: HEBackend, packed: PackedMatrix) -> PackedMa
     if packed.axis != "columns":
         raise ParameterError("repack_columns_to_rows expects a column-packed matrix")
     rows, cols = packed.shape
+    # The row selectors are static, so on an evaluation-resident backend each
+    # is pre-transformed once per row and reused across every column — one
+    # forward transform per row instead of one per matrix element.
+    encode = (
+        backend.encode_plain_eval
+        if getattr(backend, "eval_resident", False)
+        and getattr(backend, "supports_slotwise_plain", False)
+        else None
+    )
     row_handles = []
     for i in range(rows):
         acc = None
+        selector = np.zeros(backend.slot_count, dtype=np.int64)
+        selector[i] = 1
+        if encode is not None:
+            selector = encode(selector)
         for j, column_handle in enumerate(packed.handles):
-            selector = np.zeros(backend.slot_count, dtype=np.int64)
-            selector[i] = 1
             masked = backend.mul_plain(column_handle, selector)
             # Move the element at slot i (row index) to slot j (column index).
             aligned = masked if i == j else backend.rotate(masked, i - j)
@@ -328,6 +339,8 @@ def encrypted_batch_matmul(
     weights: np.ndarray,
     *,
     kernel: str = "columns",
+    bsgs_plan: BSGSMatmulPlan | None = None,
+    bsgs_costs: BSGSCosts | None = None,
 ) -> list[np.ndarray]:
     """Serve many ``X_i @ W`` requests from *shared* ciphertext slot space.
 
@@ -351,6 +364,11 @@ def encrypted_batch_matmul(
       Requires a backend with slot-wise plaintext products (the simulator);
       check :func:`bsgs_kernel_fits` first.
 
+    ``bsgs_plan`` hands the BSGS kernel a cached
+    :class:`~repro.he.bsgs.BSGSMatmulPlan` (pre-transformed NTT-form
+    diagonals, built once per weight bank by the serving layer) and
+    ``bsgs_costs`` a measured cost model for the baby/giant split.
+
     Returns one decrypted result matrix per request, ``(X_i @ W) mod t`` —
     bit-identical between the two kernels.
     """
@@ -367,7 +385,9 @@ def encrypted_batch_matmul(
     if weights.shape[0] != n_features:
         raise ShapeError(f"cannot multiply {arrays[0].shape} by {weights.shape}")
     if kernel == "bsgs":
-        return bsgs_batch_matmul(backend, arrays, weights)
+        return bsgs_batch_matmul(
+            backend, arrays, weights, plan=bsgs_plan, costs=bsgs_costs
+        )
     if kernel != "columns":
         raise ParameterError(f"unknown matmul kernel {kernel!r}")
     stacked = np.vstack(arrays)

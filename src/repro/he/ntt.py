@@ -40,6 +40,7 @@ it once at start-up so they never rebuild twiddle tables per batch.
 
 from __future__ import annotations
 
+import enum
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -49,6 +50,7 @@ import numpy as np
 from ..errors import ParameterError
 
 __all__ = [
+    "Domain",
     "is_prime",
     "find_ntt_prime",
     "primitive_root",
@@ -59,6 +61,28 @@ __all__ = [
     "warm_ntt_cache",
     "batch_ntt",
 ]
+
+
+class Domain(enum.Enum):
+    """Which representation a ciphertext polynomial is resident in.
+
+    ``COEFF`` is the coefficient embedding of ``Z_q[X]/(X^N + 1)``;
+    ``EVAL`` is the NTT (evaluation) embedding, where negacyclic products
+    and rotations are pointwise.  The linear hot path keeps ciphertexts
+    resident in ``EVAL`` form end to end — this is the double-CRT trick of
+    SEAL/Gazelle-era PAHE — and only converts at decrypt boundaries, so
+    every forward/inverse transform the tracker records is load-bearing:
+    a redundant round trip shows up as a closed-form mismatch in the
+    transform-count tests.
+    """
+
+    COEFF = "coeff"
+    EVAL = "eval"
+
+
+#: Bound on cached monomial evaluation tables per context (each is one
+#: length-``N`` vector; EVAL-domain rotations hit a small set of step sizes).
+_MONOMIAL_CACHE_SIZE = 256
 
 #: Shoup precomputation shift: ``w' = floor(w << SHOUP_SHIFT / q)``.  Valid
 #: whenever the lazy operands stay below ``2**SHOUP_SHIFT``, i.e. ``4q <=
@@ -207,6 +231,8 @@ class NTTContext:
         self._bitrev = _bit_reverse_indices(n)
         self._omega_stages = self._twiddle_stages(omega)
         self._omega_inv_stages = self._twiddle_stages(omega_inv)
+        self._monomial_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._monomial_lock = threading.Lock()
 
     def _with_shoup(self, table: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """A twiddle table as uint64 plus its precomputed Shoup companions."""
@@ -325,6 +351,51 @@ class NTTContext:
         fa = self.forward_batch(coeffs)
         fb = self.forward(other)
         return self.inverse_batch(fa * fb % self.modulus)
+
+    # -- domain conversion ---------------------------------------------------
+    # The batched conversion entry points the evaluation-domain residency
+    # layer is written against.  They are the forward/inverse transforms
+    # under their domain names, so call sites read as what they are — a
+    # COEFF <-> EVAL boundary crossing — and the transform-count accounting
+    # in :mod:`repro.he.bfv` has one obvious place per crossing.
+    def to_eval_batch(self, coeffs: np.ndarray) -> np.ndarray:
+        """Convert a ``(batch, N)`` array of COEFF polynomials to EVAL form."""
+        return self.forward_batch(coeffs)
+
+    def to_coeff_batch(self, values: np.ndarray) -> np.ndarray:
+        """Convert a ``(batch, N)`` array of EVAL polynomials to COEFF form."""
+        return self.inverse_batch(values)
+
+    def monomial_eval(self, steps: int) -> np.ndarray:
+        """EVAL form of the monomial ``X**steps`` (cached per step size).
+
+        Multiplying an EVAL-resident polynomial pointwise by this table is
+        exactly the negacyclic rotation ``a(X) -> a(X) * X**steps`` — the
+        same operation :meth:`repro.he.polyring.PolynomialRing.rotate_coefficients`
+        performs on COEFF polynomials — so rotations never force an
+        EVAL-resident ciphertext through a transform round trip.  Tables are
+        precomputation (like the twiddle tables), not tracked transforms.
+        """
+        n = self.ring_degree
+        steps = steps % (2 * n)
+        with self._monomial_lock:
+            cached = self._monomial_cache.get(steps)
+            if cached is not None:
+                self._monomial_cache.move_to_end(steps)
+                return cached
+        monomial = np.zeros(n, dtype=np.int64)
+        if steps < n:
+            monomial[steps] = 1
+        else:
+            # X**N = -1 in the negacyclic ring.
+            monomial[steps - n] = self.modulus - 1
+        table = self.forward(monomial)
+        with self._monomial_lock:
+            self._monomial_cache.setdefault(steps, table)
+            self._monomial_cache.move_to_end(steps)
+            while len(self._monomial_cache) > _MONOMIAL_CACHE_SIZE:
+                self._monomial_cache.popitem(last=False)
+            return self._monomial_cache[steps]
 
 
 #: Bound on cached contexts: enough for every parameter set a serving

@@ -37,6 +37,8 @@ __all__ = [
     "ciphertext_count",
     "rotation_count",
     "bsgs_rotation_count",
+    "bsgs_transform_count",
+    "bsgs_coeff_transform_count",
     "rotation_savings",
 ]
 
@@ -199,6 +201,64 @@ def bsgs_rotation_count(
     from .bsgs import bsgs_geometry  # local import: keep packing dependency-light
 
     return bsgs_geometry(n_tokens, n_features, n_outputs, slot_count).rotation_count
+
+
+def bsgs_transform_count(
+    n_tokens: int, n_features: int, n_outputs: int, slot_count: int
+) -> int:
+    """Closed-form NTT transform count of the *evaluation-resident* BSGS path.
+
+    With ciphertexts encrypted straight into EVAL form and the diagonal
+    masks pre-transformed at plan time (:func:`repro.he.bsgs.prepare_bsgs_plan`),
+    the whole multiply-accumulate — hoisted baby rotations, diagonal
+    products, giant-step rotations, accumulating additions — is pointwise
+    and transform-free.  What remains is the encrypt/decrypt boundary:
+
+    * three forward transforms per input ciphertext (EVAL-native
+      encryption transforms the masking polynomial and both noise/message
+      polynomials), and
+    * **one** inverse per output column group — the single transform the
+      residency design allows per output ciphertext, amortised over every
+      diagonal and every request stacked into the batch.
+
+    ``c * 3 + g`` total, assuming every output group's weight slice is
+    non-zero (an all-zero group skips its decrypt).  The tracker-measured
+    count must equal this exactly — the transform-count analog of
+    :func:`bsgs_rotation_count`, asserted in tests and gated in CI.
+    """
+    from .bsgs import bsgs_geometry  # local import: keep packing dependency-light
+
+    geometry = bsgs_geometry(n_tokens, n_features, n_outputs, slot_count)
+    return 3 * geometry.num_ciphertexts + geometry.out_groups
+
+
+def bsgs_coeff_transform_count(
+    n_tokens: int, n_features: int, n_outputs: int, slot_count: int,
+    *, nonzero_masks: int | None = None,
+) -> int:
+    """Closed-form transform count of the coefficient-resident BSGS path.
+
+    The historical pipeline stores ciphertexts in coefficient form, so
+    every diagonal product pays the full round trip — two forwards for the
+    ciphertext pair, one for the plaintext mask, two inverses back (five
+    per product) — plus three transforms per input ciphertext at encrypt
+    and two per output group at decrypt (forward ``c1``, inverse the
+    combination).  ``nonzero_masks`` is the number of diagonal products
+    actually executed; it defaults to the dense count ``g * c * D`` (every
+    generalized diagonal of every input ciphertext and output group).
+    """
+    from .bsgs import bsgs_geometry  # local import: keep packing dependency-light
+
+    geometry = bsgs_geometry(n_tokens, n_features, n_outputs, slot_count)
+    if nonzero_masks is None:
+        nonzero_masks = (
+            geometry.out_groups * geometry.num_ciphertexts * geometry.blocks
+        )
+    return (
+        3 * geometry.num_ciphertexts
+        + 5 * nonzero_masks
+        + 2 * geometry.out_groups
+    )
 
 
 def rotation_count(

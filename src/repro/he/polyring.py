@@ -98,7 +98,24 @@ class PolynomialRing:
         # scalar < 2**30 and coefficients < 2**30 keeps products in int64.
         return np.mod(a * scalar, self.modulus)
 
+    def mul_eval(self, a_eval: np.ndarray, b_eval: np.ndarray) -> np.ndarray:
+        """Pointwise product of two EVAL-domain (NTT-form) polynomials.
+
+        This is what a negacyclic product costs once both operands are
+        resident in the evaluation domain: no transform at all.
+        """
+        return a_eval * b_eval % self.modulus
+
     # -- automorphisms -----------------------------------------------------
+    def rotate_eval(self, a_eval: np.ndarray, steps: int) -> np.ndarray:
+        """Negacyclic rotation of an EVAL-domain polynomial (transform-free).
+
+        Multiplication by ``X**steps`` is diagonal in the evaluation domain:
+        one pointwise product with the cached monomial table.  Bit-identical
+        to ``forward(rotate_coefficients(inverse(a_eval), steps))``.
+        """
+        return a_eval * self._ntt.monomial_eval(steps) % self.modulus
+
     def rotate_coefficients(self, a: np.ndarray, steps: int) -> np.ndarray:
         """Negacyclic coefficient rotation ``X^i -> X^(i+steps)``.
 

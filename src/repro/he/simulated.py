@@ -12,6 +12,19 @@ consume.
 A simulated noise budget is still tracked so that parameter-exhaustion bugs
 (too many chained plaintext multiplications for the chosen modulus) surface
 in tests rather than silently producing results a real deployment could not.
+
+Transform accounting: the deployed scheme's hot cost is the NTT, so every
+simulated handle carries a :class:`~repro.he.ntt.Domain` and every operation
+charges the ``ntt_forward`` / ``ntt_inverse`` counts (one per polynomial;
+a ciphertext is two polynomials) that the corresponding exact-backend
+operation actually executes.  With the default evaluation-domain residency
+the linear hot path charges zero transforms per plaintext product (the
+plan-time :meth:`SimulatedHEBackend.encode_plain_eval` pre-transformation
+pays one forward, once); constructing the backend with
+``eval_residency=False`` models the historical coefficient-resident
+pipeline, where every plaintext product pays the full five-transform round
+trip.  Slot *values* are identical in both modes — residency only changes
+what the tracker records.
 """
 
 from __future__ import annotations
@@ -23,18 +36,42 @@ import numpy as np
 
 from ..errors import NoiseBudgetExhausted, ParameterError
 from .backend import HEBackend
+from .ntt import Domain
 from .params import BFVParameters, paper_parameters
 from .tracker import OperationTracker
 
-__all__ = ["SimulatedCiphertext", "SimulatedHEBackend"]
+__all__ = ["SimulatedCiphertext", "SimulatedEvalPlain", "SimulatedHEBackend"]
 
 
 @dataclass
 class SimulatedCiphertext:
-    """A simulated ciphertext: packed residues plus a noise-bound estimate."""
+    """A simulated ciphertext: packed residues plus a noise-bound estimate.
+
+    ``domain`` mirrors the residency of the deployed ciphertext this handle
+    stands for; the slot values are representation-independent (the NTT is
+    a bijection), so it only drives the transform accounting.
+    """
 
     slots: np.ndarray
     noise_bound: float
+    domain: Domain = Domain.EVAL
+
+    @property
+    def length(self) -> int:
+        return int(self.slots.size)
+
+
+@dataclass(frozen=True)
+class SimulatedEvalPlain:
+    """A plaintext vector pre-transformed (at plan time) into EVAL form.
+
+    Passing one of these to :meth:`SimulatedHEBackend.mul_plain` models a
+    product against an NTT-form plaintext cached in the plan: zero
+    transforms at use time.  The one forward transform was charged when
+    :meth:`SimulatedHEBackend.encode_plain_eval` built it.
+    """
+
+    slots: np.ndarray
 
     @property
     def length(self) -> int:
@@ -45,17 +82,24 @@ class SimulatedHEBackend(HEBackend):
     """Slot-accurate functional simulation of the SEAL PAHE layer."""
 
     def __init__(self, params: BFVParameters | None = None, *,
-                 tracker: OperationTracker | None = None) -> None:
+                 tracker: OperationTracker | None = None,
+                 eval_residency: bool = True) -> None:
         self.params = params if params is not None else paper_parameters()
         self.tracker = tracker if tracker is not None else OperationTracker()
         self._fresh_noise = self.params.error_stddev * (
             2 * self.params.ring_degree + 2
         )
+        self._domain = Domain.EVAL if eval_residency else Domain.COEFF
 
     @property
     def supports_slotwise_plain(self) -> bool:
         """Slot-wise plaintext products are native here (CRT-batched SEAL)."""
         return True
+
+    @property
+    def eval_resident(self) -> bool:
+        """True when fresh handles are modeled as NTT-resident (default)."""
+        return self._domain is Domain.EVAL
 
     # -- helpers -----------------------------------------------------------
     def _check_length(self, values: np.ndarray) -> np.ndarray:
@@ -81,11 +125,47 @@ class SimulatedHEBackend(HEBackend):
             return math.log2(limit)
         return math.log2(limit) - math.log2(handle.noise_bound)
 
+    # -- transform accounting ------------------------------------------------
+    def _charge_encrypt_transforms(self, count: int = 1) -> None:
+        """Transforms one encryption executes (see :meth:`BFVContext.encrypt_batch`).
+
+        Three per ciphertext either way: EVAL-native encryption pushes the
+        message/noise polynomials forward, COEFF encryption pulls the
+        public-key products back through two inverses.
+        """
+        if self._domain is Domain.EVAL:
+            self.tracker.record_transforms(forward=3 * count)
+        else:
+            self.tracker.record_transforms(forward=count, inverse=2 * count)
+
+    def _charge_decrypt_transforms(self, handles) -> None:
+        """One inverse per EVAL ciphertext; a forward + inverse per COEFF one."""
+        eval_count = sum(1 for h in handles if h.domain is Domain.EVAL)
+        coeff_count = len(handles) - eval_count
+        self.tracker.record_transforms(
+            forward=coeff_count, inverse=coeff_count + eval_count
+        )
+
+    def _binary_domain(self, a: SimulatedCiphertext, b: SimulatedCiphertext) -> Domain:
+        """Result domain of ``a ± b``; mixed operands charge the crossing.
+
+        Matches :meth:`BFVContext._aligned`: the COEFF operand converts up
+        to EVAL (two transforms — one per polynomial), so a transform-lazy
+        pipeline that never mixes domains is charged nothing.
+        """
+        if a.domain is b.domain:
+            return a.domain
+        self.tracker.record_transforms(forward=2)
+        return Domain.EVAL
+
     # -- HEBackend interface -------------------------------------------------
     def encrypt(self, values: np.ndarray) -> SimulatedCiphertext:
         values = self._check_length(values)
         self.tracker.record("encrypt", bytes_moved=self.params.ciphertext_bytes)
-        return SimulatedCiphertext(slots=values.copy(), noise_bound=self._fresh_noise)
+        self._charge_encrypt_transforms()
+        return SimulatedCiphertext(
+            slots=values.copy(), noise_bound=self._fresh_noise, domain=self._domain
+        )
 
     def decrypt(self, handle: SimulatedCiphertext) -> np.ndarray:
         if self.noise_budget(handle) <= 0:
@@ -94,17 +174,24 @@ class SimulatedHEBackend(HEBackend):
                 "parameters could not decrypt this result"
             )
         self.tracker.record("decrypt")
+        self._charge_decrypt_transforms([handle])
         return handle.slots.copy()
 
     def add(self, a: SimulatedCiphertext, b: SimulatedCiphertext) -> SimulatedCiphertext:
         self.tracker.record("he_add")
+        domain = self._binary_domain(a, b)
         slots = self._aligned_binary(a, b, np.add)
-        return SimulatedCiphertext(slots=slots, noise_bound=a.noise_bound + b.noise_bound)
+        return SimulatedCiphertext(
+            slots=slots, noise_bound=a.noise_bound + b.noise_bound, domain=domain
+        )
 
     def sub(self, a: SimulatedCiphertext, b: SimulatedCiphertext) -> SimulatedCiphertext:
         self.tracker.record("he_add")
+        domain = self._binary_domain(a, b)
         slots = self._aligned_binary(a, b, np.subtract)
-        return SimulatedCiphertext(slots=slots, noise_bound=a.noise_bound + b.noise_bound)
+        return SimulatedCiphertext(
+            slots=slots, noise_bound=a.noise_bound + b.noise_bound, domain=domain
+        )
 
     def _aligned_binary(self, a: SimulatedCiphertext, b: SimulatedCiphertext, op) -> np.ndarray:
         t = self.params.plaintext_modulus
@@ -118,13 +205,19 @@ class SimulatedHEBackend(HEBackend):
     def add_plain(self, a: SimulatedCiphertext, values: np.ndarray) -> SimulatedCiphertext:
         values = self._check_length(values)
         self.tracker.record("he_add_plain")
+        if a.domain is Domain.EVAL:
+            # The scaled message polynomial crosses into the evaluation
+            # domain once; the ciphertext itself never leaves it.
+            self.tracker.record_transforms(forward=1)
         length = max(a.length, values.size)
         left = np.zeros(length, dtype=np.int64)
         right = np.zeros(length, dtype=np.int64)
         left[: a.length] = a.slots
         right[: values.size] = values
         slots = np.mod(left + right, self.params.plaintext_modulus)
-        return SimulatedCiphertext(slots=slots, noise_bound=a.noise_bound + 1.0)
+        return SimulatedCiphertext(
+            slots=slots, noise_bound=a.noise_bound + 1.0, domain=a.domain
+        )
 
     def mul_scalar(self, a: SimulatedCiphertext, scalar: int) -> SimulatedCiphertext:
         t = self.params.plaintext_modulus
@@ -134,9 +227,21 @@ class SimulatedHEBackend(HEBackend):
         return SimulatedCiphertext(
             slots=np.mod(a.slots * centered, t),
             noise_bound=a.noise_bound * max(1, abs(centered)),
+            domain=a.domain,
         )
 
-    def mul_plain(self, a: SimulatedCiphertext, values: np.ndarray) -> SimulatedCiphertext:
+    def encode_plain_eval(self, values: np.ndarray) -> SimulatedEvalPlain:
+        """Pre-transform a plaintext vector at plan time (one forward, once)."""
+        values = self._check_length(values)
+        self.tracker.record_transforms(forward=1)
+        return SimulatedEvalPlain(slots=values.copy())
+
+    def mul_plain(
+        self, a: SimulatedCiphertext, values: "np.ndarray | SimulatedEvalPlain"
+    ) -> SimulatedCiphertext:
+        pre_transformed = isinstance(values, SimulatedEvalPlain)
+        if pre_transformed:
+            values = values.slots
         values = self._check_length(values)
         t = self.params.plaintext_modulus
         centered = np.where(values > t // 2, values - t, values)
@@ -146,10 +251,28 @@ class SimulatedHEBackend(HEBackend):
         left[: a.length] = a.slots
         right[: values.size] = centered
         self.tracker.record("he_mul_plain")
+        # Transform economy of the deployed slot-wise product (products are
+        # pointwise in EVAL form), mirroring BFVContext.multiply_plain_poly
+        # charge for charge: an EVAL-resident ciphertext pays one forward
+        # for a raw plaintext and nothing for a pre-transformed one; a
+        # COEFF-resident ciphertext pays the full round trip for a raw
+        # plaintext (two forwards for the ciphertext pair, one for the
+        # plaintext, two inverses back) but converts *up* for a
+        # pre-transformed one (two forwards, result stays EVAL-resident).
+        result_domain = a.domain
+        if pre_transformed:
+            if a.domain is not Domain.EVAL:
+                self.tracker.record_transforms(forward=2)
+                result_domain = Domain.EVAL
+        elif a.domain is Domain.EVAL:
+            self.tracker.record_transforms(forward=1)
+        else:
+            self.tracker.record_transforms(forward=3, inverse=2)
         norm = float(np.max(np.abs(centered))) if centered.size else 1.0
         return SimulatedCiphertext(
             slots=np.mod(left * right, t),
             noise_bound=a.noise_bound * max(1.0, norm),
+            domain=result_domain,
         )
 
     def rotate(self, a: SimulatedCiphertext, steps: int) -> SimulatedCiphertext:
@@ -165,15 +288,23 @@ class SimulatedHEBackend(HEBackend):
         kernel (:mod:`repro.he.bsgs`) depends on this period contract.
         """
         self.tracker.record("he_rotate")
+        # Transform-free in both domains: a Galois automorphism permutes the
+        # evaluation points of an EVAL-resident ciphertext and the
+        # coefficients of a COEFF-resident one (key switching is what
+        # ``he_rotate``'s latency constant charges).
         return SimulatedCiphertext(
-            slots=np.roll(a.slots, -steps), noise_bound=a.noise_bound + self._fresh_noise
+            slots=np.roll(a.slots, -steps),
+            noise_bound=a.noise_bound + self._fresh_noise,
+            domain=a.domain,
         )
 
     def zero(self, length: int) -> SimulatedCiphertext:
         self.tracker.record("encrypt", bytes_moved=self.params.ciphertext_bytes)
+        self._charge_encrypt_transforms()
         return SimulatedCiphertext(
             slots=np.zeros(max(1, length), dtype=np.int64),
             noise_bound=self._fresh_noise,
+            domain=self._domain,
         )
 
     # -- batch interface -----------------------------------------------------
@@ -187,8 +318,12 @@ class SimulatedHEBackend(HEBackend):
             count=len(checked),
             bytes_moved=len(checked) * self.params.ciphertext_bytes,
         )
+        self._charge_encrypt_transforms(len(checked))
         return [
-            SimulatedCiphertext(slots=values.copy(), noise_bound=self._fresh_noise)
+            SimulatedCiphertext(
+                slots=values.copy(), noise_bound=self._fresh_noise,
+                domain=self._domain,
+            )
             for values in checked
         ]
 
@@ -202,4 +337,5 @@ class SimulatedHEBackend(HEBackend):
                     "parameters could not decrypt this result"
                 )
         self.tracker.record("decrypt", count=len(handles))
+        self._charge_decrypt_transforms(handles)
         return [handle.slots.copy() for handle in handles]

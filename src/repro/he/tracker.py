@@ -22,7 +22,16 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
-__all__ = ["OperationTracker"]
+__all__ = ["OperationTracker", "NTT_FORWARD", "NTT_INVERSE"]
+
+#: Operation names under which NTT domain crossings are recorded.  Both HE
+#: backends charge one count per *polynomial* transformed (a ciphertext is
+#: two polynomials), so the counters are directly comparable to the closed
+#: forms in :func:`repro.he.packing.bsgs_transform_count` and between the
+#: exact backend (which executes the transforms) and the simulator (which
+#: models the transforms the deployed scheme would execute).
+NTT_FORWARD = "ntt_forward"
+NTT_INVERSE = "ntt_inverse"
 
 
 @dataclass
@@ -65,6 +74,32 @@ class OperationTracker:
     def count(self, operation: str) -> int:
         """Number of recorded occurrences of ``operation``."""
         return self.counts.get(operation, 0)
+
+    # -- NTT transform accounting ------------------------------------------
+    def record_transforms(self, *, forward: int = 0, inverse: int = 0) -> None:
+        """Charge NTT domain crossings (per transformed polynomial).
+
+        Flows through :meth:`record`, so transforms inherit the active
+        request/phase/worker attribution like every other operation — the
+        evaluation-domain residency win is attributable per request and per
+        phase from the same counters.
+        """
+        if forward:
+            self.record(NTT_FORWARD, count=forward)
+        if inverse:
+            self.record(NTT_INVERSE, count=inverse)
+
+    def transform_counts(self, *, phase: str | None = None) -> dict[str, int]:
+        """Forward/inverse transform counts, totals or for one phase."""
+        source = self.phase_counts.get(phase, Counter()) if phase else self.counts
+        return {
+            NTT_FORWARD: source.get(NTT_FORWARD, 0),
+            NTT_INVERSE: source.get(NTT_INVERSE, 0),
+        }
+
+    def transforms(self, *, phase: str | None = None) -> int:
+        """Total NTT transforms (forward + inverse), optionally per phase."""
+        return sum(self.transform_counts(phase=phase).values())
 
     # -- per-request attribution -------------------------------------------
     def set_request(self, request_id: str | None) -> None:

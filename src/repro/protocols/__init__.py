@@ -7,7 +7,7 @@ from .formats import EXACT_DEMO_FORMAT, PROTOCOL_FORMAT, VALUE_FORMAT, protocol_
 from .hgs import HGSLinearLayer
 from .nonlinear import GCCostModel, GCNonlinearEvaluator, garbled_share_relu
 from .plan import FHGSPlan, HGSPlan, OfflinePlan, plan_nbytes
-from .planstore import PlanStore, PlanStoreKey, model_fingerprint
+from .planstore import PlanStore, PlanStoreKey, PlanStoreStats, model_fingerprint
 from .primer import (
     ALL_VARIANTS,
     PRIMER_BASE,
@@ -36,6 +36,7 @@ __all__ = [
     "OperationCounts",
     "PlanStore",
     "PlanStoreKey",
+    "PlanStoreStats",
     "PROTOCOL_FORMAT",
     "PRIMER_BASE",
     "PRIMER_F",

@@ -52,6 +52,14 @@ class OperationCounts:
     plaintext_macs: float = 0.0
     bytes_sent: float = 0.0
     rounds: int = 0
+    #: NTT transforms of the evaluation-resident pipeline (one per
+    #: polynomial): three per input ciphertext at encrypt plus one inverse
+    #: per output ciphertext at decrypt — the plaintext operands are
+    #: pre-transformed at plan time and the multiply-accumulate itself is
+    #: pointwise.  Kept out of the latency conversion (the per-operation
+    #: constants already absorb transform time); surfaced so reports can
+    #: attribute the residency win per step and phase.
+    he_ntt_transforms: float = 0.0
 
     def add(self, other: "OperationCounts") -> None:
         self.he_mults += other.he_mults
@@ -62,6 +70,7 @@ class OperationCounts:
         self.plaintext_macs += other.plaintext_macs
         self.bytes_sent += other.bytes_sent
         self.rounds += other.rounds
+        self.he_ntt_transforms += other.he_ntt_transforms
 
 
 @dataclass
@@ -118,6 +127,11 @@ def _he_matmul_counts(
         he_additions=mults,
         bytes_sent=(input_cts + output_cts) * ciphertext_bytes,
         rounds=2,
+        # Evaluation-resident transform economy: encryption is born in NTT
+        # form (three transforms per input ciphertext), the plaintext
+        # operand transforms are hoisted to plan time, and each output
+        # ciphertext pays exactly one inverse at the decrypt boundary.
+        he_ntt_transforms=3 * input_cts + output_cts,
     )
 
 

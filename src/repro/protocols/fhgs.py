@@ -51,6 +51,15 @@ whole batch, so a ``k``-request batch ships — and computes — ``~1/k`` the
 cross-term ciphertexts of ``k`` independent runs.  The server masks every
 slot block with fresh ``Rs`` randomness before shipping, preserving the
 share-uniformity argument verbatim.
+
+Domain residency: the mask packings this module keeps for the online cross
+terms are EVAL-form (NTT-resident) handles on the default backend, so each
+online cross-term product pays at most one forward transform (the
+data-dependent coefficient vector) instead of the five-transform round
+trip of a coefficient-resident pipeline, and the only inverse is at the
+client's decrypt.  The slot repacking of the weighted mode pre-transforms
+its static row selectors once each (see
+:func:`repro.he.matmul.repack_columns_to_rows`).
 """
 
 from __future__ import annotations

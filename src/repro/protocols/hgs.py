@@ -21,6 +21,13 @@ The class below implements both phases against an
 used with ``offline_phase=Phase.ONLINE`` so that all the HE work is charged
 to the online phase, which is exactly how the paper characterises the
 baseline hybrid protocol.
+
+On an evaluation-resident backend the whole offline exchange stays in the
+NTT domain: ``Enc(Rc)`` is encrypted straight into EVAL form, the
+scalar-product accumulation and the ``+ Rs`` masking are pointwise, and the
+client's decrypt pays a single inverse transform per ciphertext — the
+per-phase ``ntt_forward`` / ``ntt_inverse`` tracker counters attribute the
+saving to this layer's step label.
 """
 
 from __future__ import annotations

@@ -33,7 +33,11 @@ Plan layout
 :class:`FHGSPlan`
     Both operand masks, the encrypted mask packings kept for the online
     cross terms, and the shared mask-product ("quadratic") term for one
-    FHGS/CHGS matrix product.
+    FHGS/CHGS matrix product.  On an evaluation-resident backend (the
+    default since the domain-residency work) the encrypted packings are
+    EVAL-form (NTT-domain) handles, so a plan shipped through the
+    :mod:`~repro.protocols.planstore` warm-starts an engine whose online
+    cross terms run pointwise — no per-product transform round trips.
 :class:`OfflinePlan`
     A frozen mapping ``module name -> module plan`` plus the variant name
     and the phase the exchanges were charged to.

@@ -28,6 +28,15 @@ the store is a cold rebuild, never a wrong or half-installed plan.
 The store trusts its own directory: payloads are pickles, so a plan
 directory must be treated like any other local cache (do not point it at
 attacker-writable storage).
+
+Garbage collection
+------------------
+``max_entries`` / ``max_bytes`` bound the directory: every ``store``
+prunes least-recently-used entries (by file mtime; ``load`` hits refresh
+it) until the budgets hold, never evicting the entry just written.  The
+worst outcome of pruning is a cold rebuild on a future warm-start attempt
+— exactly the store's existing miss semantics.  :meth:`PlanStore.stats`
+reports entry/byte totals plus this instance's hit/miss/prune counters.
 """
 
 from __future__ import annotations
@@ -43,10 +52,13 @@ from pathlib import Path
 from ..errors import ProtocolError
 from .plan import OfflinePlan
 
-__all__ = ["PlanStoreKey", "PlanStore", "model_fingerprint"]
+__all__ = ["PlanStoreKey", "PlanStore", "PlanStoreStats", "model_fingerprint"]
 
-#: file-format magic + version; bumping it invalidates every stored entry
-_MAGIC = b"REPRO-PLAN1\n"
+#: file-format magic + version; bumping it invalidates every stored entry.
+#: v2: ciphertext handles in pickled plans carry a ``domain`` field
+#: (evaluation-domain residency) — v1 entries unpickle to handles without
+#: it and would crash at first use, so they must read as misses instead.
+_MAGIC = b"REPRO-PLAN2\n"
 
 
 def model_fingerprint(model) -> str:
@@ -82,17 +94,54 @@ class PlanStoreKey:
         return hashlib.sha256(blob).hexdigest()[:40]
 
 
+@dataclass(frozen=True)
+class PlanStoreStats:
+    """Point-in-time view of the store plus this instance's counters.
+
+    ``entries`` / ``total_bytes`` are read from the directory (shared with
+    other processes); ``hits`` / ``misses`` / ``stores`` / ``prunes`` count
+    only this instance's activity.
+    """
+
+    entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+    stores: int
+    prunes: int
+
+
 class PlanStore:
     """Directory-backed store of serialized offline plans.
 
     Writes are atomic (temp file + ``os.replace``), so a concurrent reader —
     another serving process sharing the directory, or a prefetch racing a
     build — never observes a partially written entry.
+
+    ``max_entries`` / ``max_bytes`` (``None`` = unbounded, the historical
+    behaviour) turn the directory into an LRU-pruned cache: see the module
+    docstring's *Garbage collection* section.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ProtocolError("plan store max_entries must be at least 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ProtocolError("plan store max_bytes must be positive")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._prunes = 0
 
     # -- keys ----------------------------------------------------------------
     def key_for(self, model, variant: str, seed: int, slot_sharing: int) -> PlanStoreKey:
@@ -137,7 +186,43 @@ class PlanStore:
             except OSError:
                 pass
             raise
+        self._stores += 1
+        self._prune(protect=path)
         return path
+
+    def _prune(self, protect: Path) -> None:
+        """Delete least-recently-used entries until the budgets hold.
+
+        Recency is file mtime (refreshed by ``load`` hits), so stale plans
+        — replaced models, retired variants, old seeds — age out first.
+        The just-written entry is never the victim, even if it alone
+        exceeds ``max_bytes``: evicting it would defeat the warm start the
+        caller just paid to enable.
+        """
+        if self.max_entries is None and self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        for path in self.root.glob("*.plan"):
+            try:
+                stat = path.stat()
+            except FileNotFoundError:  # pragma: no cover - concurrent delete
+                continue
+            entries.append((stat.st_mtime, path, stat.st_size))
+            total += stat.st_size
+        entries.sort()
+        count = len(entries)
+        for _, path, size in entries:
+            over_entries = self.max_entries is not None and count > self.max_entries
+            over_bytes = self.max_bytes is not None and total > self.max_bytes
+            if not (over_entries or over_bytes):
+                break
+            if path == protect:
+                continue
+            self._discard(path)
+            self._prunes += 1
+            count -= 1
+            total -= size
 
     def load(self, key: PlanStoreKey) -> OfflinePlan | None:
         """The stored plan for ``key``, or ``None`` on miss/corruption.
@@ -151,6 +236,7 @@ class PlanStore:
         try:
             blob = path.read_bytes()
         except FileNotFoundError:
+            self._misses += 1
             return None
         try:
             if not blob.startswith(_MAGIC):
@@ -172,7 +258,15 @@ class PlanStore:
         except (ValueError, KeyError, json.JSONDecodeError, pickle.UnpicklingError,
                 EOFError, AttributeError, ImportError, IndexError):
             self._discard(path)
+            self._misses += 1
             return None
+        self._hits += 1
+        try:
+            # Refresh recency so warm-start traffic protects its plans from
+            # LRU pruning (best effort; a read-only store still serves hits).
+            os.utime(path)
+        except OSError:  # pragma: no cover - unwritable store directory
+            pass
         return plan
 
     def _discard(self, path: Path) -> None:
@@ -197,6 +291,17 @@ class PlanStore:
 
     def total_bytes(self) -> int:
         return sum(path.stat().st_size for path in self.root.glob("*.plan"))
+
+    def stats(self) -> PlanStoreStats:
+        """Directory totals plus this instance's hit/miss/store/prune counts."""
+        return PlanStoreStats(
+            entries=self.entry_count(),
+            total_bytes=self.total_bytes(),
+            hits=self._hits,
+            misses=self._misses,
+            stores=self._stores,
+            prunes=self._prunes,
+        )
 
     def clear(self) -> int:
         """Delete every stored entry; returns how many were removed."""

@@ -135,6 +135,7 @@ class PrivateInferenceResult:
             "online_megabytes": self.online_bytes / 1e6,
             "offline_megabytes": self.offline_bytes / 1e6,
             "he_operations": sum(self.tracker.snapshot().values()),
+            "ntt_transforms": self.tracker.transforms(),
         }
 
 
@@ -156,14 +157,23 @@ class PrivateTransformerInference:
         seed: int = 0,
         network: NetworkModel | None = None,
         slot_sharing: int = 1,
+        he_eval_residency: bool = True,
     ) -> None:
+        """``he_eval_residency`` applies to the *default* backend only: True
+        (the default) keeps ciphertexts NTT-resident across the linear hot
+        path, False models the historical coefficient-resident pipeline.
+        The decrypted shares — and therefore the logits — are bit-identical
+        either way; only the tracked transform counts differ, which is what
+        the residency equivalence tests assert per variant.
+        """
         self.model = model
         self.variant = variant
         self.fmt = fmt
         self.seed = seed
         self.tracker = OperationTracker()
         self.backend = backend if backend is not None else SimulatedHEBackend(
-            protocol_he_parameters(), tracker=self.tracker
+            protocol_he_parameters(), tracker=self.tracker,
+            eval_residency=he_eval_residency,
         )
         if backend is not None:
             self.tracker = self.backend.tracker

@@ -42,7 +42,7 @@ import numpy as np
 
 from ..errors import ProtocolError, ShapeError
 from ..he.backend import HEBackend
-from ..he.bsgs import bsgs_geometry
+from ..he.bsgs import BSGSMatmulPlan, bsgs_geometry, prepare_bsgs_plan
 from ..he.matmul import bsgs_kernel_fits, encrypted_batch_matmul
 from ..he.ntt import cached_ntt_parameters, warm_ntt_cache
 from ..he.simulated import SimulatedHEBackend
@@ -67,6 +67,11 @@ __all__ = [
 
 #: step label used for the linear serving path's wire accounting
 STEP_LINEAR = "linear_serving"
+
+#: bound on cached NTT-form BSGS plans in :class:`LinearServingPath` — one
+#: per (bank, chunk geometry); enough for every steady-state workload mix
+#: while keeping a long-lived server's pre-transformed masks finite.
+_BSGS_PLAN_CACHE_SIZE = 32
 
 
 def _prepare_plan_remote(model, variant, seed, network, slot_sharing):
@@ -534,6 +539,16 @@ class LinearServingPath:
     One backend and one accounting channel serve every weight bank, so in a
     multi-worker drain linear batches serialise on :attr:`lock` — the HE
     win of the linear path is slot sharing, not thread parallelism.
+
+    The path additionally caches one :class:`~repro.he.bsgs.BSGSMatmulPlan`
+    per ``(bank, geometry)``: the weight bank's generalized diagonals,
+    pre-transformed into NTT form once (the plan-time forward transforms
+    stay unattributed, like any shared pre-processing) and reused by every
+    batch whose chunk geometry matches — the online diagonal
+    multiply-accumulate is then transform-free on the evaluation-resident
+    backend.  Replacing a bank invalidates its plans
+    (:meth:`invalidate_bank`), mirroring the engine cache's model
+    invalidation.
     """
 
     def __init__(
@@ -550,6 +565,11 @@ class LinearServingPath:
             self.channel.network = network
             self.channel.realize_network = True
         self.lock = threading.Lock()
+        #: (bank name, BSGSGeometry) -> plan; guarded by :attr:`lock`.
+        #: LRU-bounded: chunk geometry varies with the batch's total row
+        #: count, so a long-lived server with diverse workloads would
+        #: otherwise accumulate plans without limit.
+        self._bsgs_plans: "OrderedDict[tuple, BSGSMatmulPlan]" = OrderedDict()
 
     def backend(self) -> HEBackend:
         if self._backend is None:
@@ -558,6 +578,48 @@ class LinearServingPath:
             else:
                 self._backend = SimulatedHEBackend(protocol_he_parameters())
         return self._backend
+
+    def bsgs_plan(self, name: str, weights: np.ndarray, geometry) -> BSGSMatmulPlan:
+        """The cached NTT-form diagonal plan for ``(name, geometry)``.
+
+        Must be called with :attr:`lock` held (batch execution already
+        holds it).  A miss builds the plan — charging its one-off forward
+        transforms outside any request attribution — and caches it for
+        every later batch of the same chunk geometry.
+        """
+        key = (name, geometry)
+        plan = self._bsgs_plans.get(key)
+        if plan is None:
+            plan = self._bsgs_plans[key] = prepare_bsgs_plan(
+                self.backend(), weights, geometry
+            )
+        self._bsgs_plans.move_to_end(key)
+        while len(self._bsgs_plans) > _BSGS_PLAN_CACHE_SIZE:
+            self._bsgs_plans.popitem(last=False)
+        return plan
+
+    def replace_bank(self, name: str, weights: np.ndarray) -> None:
+        """Install a new weight bank and drop its stale plans atomically.
+
+        Batch execution reads the bank *and* resolves its plan under
+        :attr:`lock`, so swapping the bank and invalidating the plans in
+        one critical section guarantees no batch ever pairs the new bank
+        with diagonals pre-transformed from the old one (or vice versa) —
+        the same-shape replacement case where the geometry key alone could
+        not tell the two apart.
+        """
+        with self.lock:
+            self.weight_banks[name] = weights
+            self._invalidate_bank_locked(name)
+
+    def invalidate_bank(self, name: str) -> None:
+        """Drop cached plans built from an older weight bank under ``name``."""
+        with self.lock:
+            self._invalidate_bank_locked(name)
+
+    def _invalidate_bank_locked(self, name: str) -> None:
+        for key in [k for k in self._bsgs_plans if k[0] == name]:
+            del self._bsgs_plans[key]
 
 
 class BatchExecutor:
@@ -751,12 +813,23 @@ class BatchExecutor:
         use_bsgs = bsgs_kernel_fits(
             backend, total_rows, weights.shape[0], weights.shape[1]
         )
+        bsgs_plan = None
+        if use_bsgs:
+            # NTT-form diagonal masks are prepared once per (bank, geometry)
+            # and shared by every request of every matching batch; building
+            # them before the request attribution starts keeps the plan-time
+            # transforms unattributed, like other shared pre-processing.
+            geometry = bsgs_geometry(
+                total_rows, weights.shape[0], weights.shape[1], backend.slot_count
+            )
+            bsgs_plan = self.linear.bsgs_plan(batch.key.model, weights, geometry)
         start = time.perf_counter()
         try:
             with backend.tracker.attribute(tag):
                 results = encrypted_batch_matmul(
                     backend, [request.payload for request in chunk], weights,
                     kernel="bsgs" if use_bsgs else "columns",
+                    bsgs_plan=bsgs_plan,
                 )
             end = time.perf_counter()
             ops = backend.tracker.request_snapshot(tag)
@@ -765,10 +838,6 @@ class BatchExecutor:
             # into its block geometry and the whole result into a single
             # ciphertext.
             if use_bsgs:
-                geometry = bsgs_geometry(
-                    total_rows, weights.shape[0], weights.shape[1],
-                    backend.slot_count,
-                )
                 input_cts, result_cts = geometry.num_ciphertexts, geometry.out_groups
             else:
                 input_cts, result_cts = weights.shape[0], weights.shape[1]

@@ -240,7 +240,10 @@ class ServingRuntime:
                     f"({previous.shape} -> {weights.shape}) while {pending} "
                     "compatible linear requests are queued; drain them first"
                 )
-        self._weight_banks[name] = weights
+        # The bank swap and the invalidation of its NTT-form diagonal plans
+        # happen atomically under the linear path's lock, so an in-flight
+        # drain can never pair the new bank with the old bank's plans.
+        self._linear.replace_bank(name, weights)
 
     # -- submission ----------------------------------------------------------
     def submit(

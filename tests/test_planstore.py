@@ -115,6 +115,17 @@ class TestPersistence:
         path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
         assert store.load(key) is None
 
+    def test_previous_format_version_is_a_miss(self, tmp_path, small_model):
+        """v1 entries (pre-domain-residency handles) must never install."""
+        producer = PrivateTransformerInference(small_model, PRIMER_FPC, seed=17)
+        store = PlanStore(tmp_path)
+        key = store.key_for(small_model, "primer-fpc", 17, 1)
+        path = store.store(key, producer.prepare())
+        blob = path.read_bytes()
+        path.write_bytes(blob.replace(b"REPRO-PLAN2\n", b"REPRO-PLAN1\n", 1))
+        assert store.load(key) is None
+        assert not path.exists()  # discarded, falls back to a cold build
+
     def test_key_metadata_mismatch_is_a_miss(self, tmp_path, small_model):
         """An entry renamed onto another key's path fails header validation."""
         producer = PrivateTransformerInference(small_model, PRIMER_FPC, seed=17)
@@ -225,6 +236,103 @@ class TestEngineCacheWarmStart:
         )
         runtime.engine_for("tiny")
         assert runtime.engine_cache.plan_store.entry_count() == 0
+
+
+class TestGarbageCollection:
+    def test_entry_budget_prunes_oldest_first(self, tmp_path, small_model):
+        """Over-budget stores evict by recency (mtime), never the new entry."""
+        import os
+
+        producer = PrivateTransformerInference(small_model, PRIMER_FPC, seed=17)
+        plan = producer.prepare()
+        store = PlanStore(tmp_path, max_entries=2)
+        keys = [store.key_for(small_model, "primer-fpc", seed, 1) for seed in range(3)]
+        for age, key in enumerate(keys):
+            path = store.store(key, plan)
+            # Separate the mtimes deterministically (same-second writes).
+            os.utime(path, (path.stat().st_atime, 1_000_000 + age))
+        assert store.entry_count() == 2
+        assert not store.contains(keys[0])      # the oldest entry aged out
+        assert store.contains(keys[1]) and store.contains(keys[2])
+        assert store.stats().prunes == 1
+
+    def test_byte_budget_and_protected_fresh_entry(self, tmp_path, small_model):
+        """A single over-budget entry survives: evicting it would thrash."""
+        producer = PrivateTransformerInference(small_model, PRIMER_FPC, seed=17)
+        plan = producer.prepare()
+        store = PlanStore(tmp_path, max_bytes=1)  # everything is over budget
+        key = store.key_for(small_model, "primer-fpc", 17, 1)
+        store.store(key, plan)
+        assert store.contains(key)
+        # The next store prunes the previous entry but protects itself.
+        other = store.key_for(small_model, "primer-fpc", 18, 1)
+        store.store(other, plan)
+        assert store.contains(other) and not store.contains(key)
+
+    def test_warm_start_still_hits_after_pruning_cold_entries(
+        self, tmp_path, small_model, other_model, token_ids
+    ):
+        """The GC'd store keeps serving warm starts for the surviving plan."""
+        import os
+
+        store = PlanStore(tmp_path, max_entries=1)
+        cold = ServingRuntime({"a": small_model, "b": other_model},
+                              plan_store=store, seed=7)
+        a_engine = cold.engine_for("a")
+        # Age model a's entry so model b's build deterministically prunes it.
+        a_path = store.path_for(
+            store.key_for(small_model, "primer-fpc", 7, a_engine.slot_sharing)
+        )
+        os.utime(a_path, (a_path.stat().st_atime, 1_000_000))
+        cold_engine = cold.engine_for("b")
+        assert store.entry_count() == 1
+        assert store.stats().prunes == 1
+
+        warm = ServingRuntime({"a": small_model, "b": other_model},
+                              plan_store=store, seed=7)
+        warm_engine = warm.engine_for("b")       # survives the GC: warm start
+        assert warm.engine_cache.stats().warm_starts == 1
+        assert np.array_equal(
+            warm_engine.run(token_ids).logits, cold_engine.run(token_ids).logits
+        )
+        warm.engine_for("a")                      # pruned: cold rebuild, no error
+        assert warm.engine_cache.stats().cold_builds == 1
+
+    def test_load_refreshes_recency(self, tmp_path, small_model):
+        """A hit protects its entry from the next prune (LRU, not FIFO)."""
+        import os
+
+        producer = PrivateTransformerInference(small_model, PRIMER_FPC, seed=17)
+        plan = producer.prepare()
+        store = PlanStore(tmp_path, max_entries=2)
+        first = store.key_for(small_model, "primer-fpc", 0, 1)
+        second = store.key_for(small_model, "primer-fpc", 1, 1)
+        for age, key in enumerate((first, second)):
+            path = store.store(key, plan)
+            os.utime(path, (path.stat().st_atime, 1_000_000 + age))
+        assert store.load(first) is not None      # refreshes first's mtime
+        third = store.key_for(small_model, "primer-fpc", 2, 1)
+        store.store(third, plan)
+        assert store.contains(first) and store.contains(third)
+        assert not store.contains(second)         # now the LRU victim
+
+    def test_stats_counters(self, tmp_path, small_model):
+        producer = PrivateTransformerInference(small_model, PRIMER_FPC, seed=17)
+        store = PlanStore(tmp_path)
+        key = store.key_for(small_model, "primer-fpc", 17, 1)
+        assert store.load(key) is None
+        store.store(key, producer.prepare())
+        assert store.load(key) is not None
+        stats = store.stats()
+        assert stats.entries == 1 and stats.total_bytes > 0
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.stores == 1 and stats.prunes == 0
+
+    def test_budget_validation(self, tmp_path):
+        with pytest.raises(ProtocolError):
+            PlanStore(tmp_path, max_entries=0)
+        with pytest.raises(ProtocolError):
+            PlanStore(tmp_path, max_bytes=0)
 
 
 class TestPlanNbytes:
