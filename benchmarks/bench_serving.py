@@ -38,6 +38,13 @@ Three comparisons, mirroring the levels the serving runtime batches at:
    bit-identical logits, and an engine build ≥5x faster than the cold
    offline build (typically far more).
 
+7. **RNS limb arithmetic**: the double-CRT serving path at a >=60-bit
+   two-limb coefficient modulus (illegal under the old 30-bit single-
+   modulus ceiling) against the one-limb configuration — exact results on
+   both, tracker-measured NTT transforms equal to the limb-scaled closed
+   form ``(3 * input_cts + output_cts) * L`` with zero gap, rotations
+   limb-independent.
+
 Headline numbers are persisted to ``BENCH_serving.json`` (see
 ``benchmarks/_record.py``) so the performance trajectory is tracked across
 PRs; CI uploads the file as a workflow artifact and
@@ -69,6 +76,7 @@ from repro.he import (
     encrypted_packed_matmul,
     paper_parameters,
     prepare_bsgs_plan,
+    rns_serving_parameters,
     serving_parameters,
 )
 from repro.nn import BERT_BASE, TransformerEncoder, scaled_config
@@ -483,6 +491,77 @@ def test_ntt_domain_residency():
     # Same threshold as the committed check_regressions.py floor (measured
     # ~86x, so the margin is enormous either way).
     assert exact_speedup >= 2.0
+
+
+def test_rns_limb_arithmetic():
+    """Acceptance: double-CRT serving at >=60 bits, exact limb-scaled counts.
+
+    The same shared-slot linear workload is served on the exact backend
+    twice: with the historical one-limb 30-bit modulus and with a two-limb
+    RNS basis whose composite modulus is >= 60 bits — a parameter point the
+    pre-RNS representation could not express at all (its int64 pointwise
+    products wrap past 30-bit moduli).  Results must be exact on both, the
+    two-limb tracker-measured transform count must equal the limb-scaled
+    closed form ``(3 * input_cts + output_cts) * L`` with zero gap, and
+    rotations must stay limb-independent.
+    """
+    matrices, weights = _make_workload(seed=21)
+
+    def serve(params):
+        backend = ExactBFVBackend(params, seed=5)
+        runtime = ServingRuntime(backend_factory=lambda: backend, max_batch_size=BATCH)
+        runtime.register_weights("proj", weights)
+        ids = [runtime.submit_linear("proj", m) for m in matrices]
+        start = time.perf_counter()
+        runtime.run_pending()
+        seconds = time.perf_counter() - start
+        t = backend.plaintext_modulus
+        for m, rid in zip(matrices, ids):
+            assert np.array_equal(runtime.result(rid).result, (m @ weights) % t)
+        transforms = backend.tracker.transforms()
+        rotations = backend.tracker.count("he_rotate")
+        return transforms, rotations, seconds
+
+    one_limb = serving_parameters(256)
+    two_limb = rns_serving_parameters(256, 2)
+    assert two_limb.ciphertext_modulus.bit_length() >= 60
+    one_transforms, one_rotations, one_seconds = serve(one_limb)
+    two_transforms, two_rotations, two_seconds = serve(two_limb)
+
+    # Closed form: one EVAL-native encryption (3 forwards) per input
+    # ciphertext, one inverse per output ciphertext at the decrypt
+    # boundary, everything scaled by the limb count.
+    input_cts, output_cts = FEATURES, OUTPUTS
+    closed = (3 * input_cts + output_cts) * two_limb.limb_count
+    gap = two_transforms - closed
+
+    print(f"\nRNS limb arithmetic (shared-slot linear, batch={BATCH})\n")
+    print(format_table(
+        ["Configuration", "log2 Q", "NTT transforms", "Closed form", "Seconds"],
+        [
+            ["1 limb (historical)", f"{one_limb.ciphertext_modulus.bit_length()}",
+             f"{one_transforms:,}", f"{closed // 2:,}", f"{one_seconds:.4f}"],
+            ["2 limbs (double-CRT)", f"{two_limb.ciphertext_modulus.bit_length()}",
+             f"{two_transforms:,}", f"{closed:,}", f"{two_seconds:.4f}"],
+        ],
+    ))
+    record("serving", "rns_limb_arithmetic", {
+        "limbs": two_limb.limb_count,
+        "modulus_bits": two_limb.ciphertext_modulus.bit_length(),
+        "input_ciphertexts": input_cts,
+        "output_ciphertexts": output_cts,
+        "one_limb_transforms": one_transforms,
+        "two_limb_transforms": two_transforms,
+        "transforms_closed_form": closed,
+        "closed_form_gap": gap,
+        "rotations_one_limb": one_rotations,
+        "rotations_two_limb": two_rotations,
+        "one_limb_seconds": one_seconds,
+        "two_limb_seconds": two_seconds,
+    })
+    assert gap == 0
+    assert two_transforms == 2 * one_transforms
+    assert two_rotations == one_rotations
 
 
 def test_plan_store_warm_start(tmp_path):

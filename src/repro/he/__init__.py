@@ -38,6 +38,7 @@ from .ntt import (
     cached_ntt_parameters,
     clear_ntt_cache,
     find_ntt_prime,
+    find_rns_primes,
     get_ntt_context,
     is_prime,
     primitive_root,
@@ -58,11 +59,13 @@ from .packing import (
 from .params import (
     BFVParameters,
     paper_parameters,
+    rns_serving_parameters,
     serving_parameters,
     test_parameters,
     toy_parameters,
 )
 from .polyring import PolynomialRing
+from .rns import RNSBasis, RNSPolynomialRing
 from .simulated import SimulatedCiphertext, SimulatedEvalPlain, SimulatedHEBackend
 from .tracker import OperationTracker
 
@@ -83,6 +86,8 @@ __all__ = [
     "PackedMatrix",
     "PackingLayout",
     "PolynomialRing",
+    "RNSBasis",
+    "RNSPolynomialRing",
     "SimulatedCiphertext",
     "SimulatedEvalPlain",
     "SimulatedHEBackend",
@@ -106,12 +111,14 @@ __all__ = [
     "encrypted_batch_matmul",
     "encrypted_packed_matmul",
     "find_ntt_prime",
+    "find_rns_primes",
     "get_ntt_context",
     "is_prime",
     "pack_matrix",
     "paper_parameters",
     "plain_times_enc",
     "primitive_root",
+    "rns_serving_parameters",
     "rotation_count",
     "rotation_savings",
     "serving_parameters",

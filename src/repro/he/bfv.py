@@ -25,10 +25,21 @@ form by default, so the linear hot path — plaintext products, additions,
 rotations — runs pointwise without a single transform and the only inverse
 NTT is the one at the decrypt boundary.  Every forward/inverse transform is
 recorded on the tracker (``ntt_forward`` / ``ntt_inverse``, one count per
-polynomial), which makes redundant round trips provable bugs rather than
-silent slowdowns.  Setting ``default_domain=Domain.COEFF`` restores the
+*limb polynomial*), which makes redundant round trips provable bugs rather
+than silent slowdowns.  Setting ``default_domain=Domain.COEFF`` restores the
 historical coefficient-resident behaviour bit-exactly (the NTT is a linear
 bijection, so decrypted residues never depend on residency).
+
+Double-CRT (RNS) ciphertexts: components are limb-major ``(L, N)`` arrays
+over an :class:`~repro.he.rns.RNSBasis` of NTT-friendly ≤30-bit primes, so
+every limb stays inside the lazy-reduction NTT bound and the int64
+pointwise-product invariants while the composite modulus ``Q`` grows to the
+60-bit-plus Gazelle-era deployments.  All evaluator operations act
+limb-wise; the big integer ``Q`` materialises exactly once, in the CRT
+composition at the decrypt boundary.  Every transform closed form gains a
+factor ``L`` — one NTT per limb polynomial — and a one-limb basis reproduces
+the historical single-modulus scheme bit for bit (same randomness stream,
+same residues, same transform counts).
 """
 
 from __future__ import annotations
@@ -42,7 +53,7 @@ from ..errors import NoiseBudgetExhausted, ParameterError
 from .keys import PublicKey, SecretKey
 from .ntt import Domain
 from .params import BFVParameters
-from .polyring import PolynomialRing
+from .rns import RNSBasis, RNSPolynomialRing
 from .tracker import OperationTracker
 
 __all__ = ["Ciphertext", "EvalPlain", "BFVContext"]
@@ -52,6 +63,10 @@ __all__ = ["Ciphertext", "EvalPlain", "BFVContext"]
 class Ciphertext:
     """A BFV ciphertext ``(c0, c1)`` plus an analytic noise-bound estimate.
 
+    ``c0`` and ``c1`` are limb-major ``(L, N)`` int64 arrays: row ``i`` holds
+    the polynomial's residues modulo the RNS limb ``q_i``.  A single-limb
+    configuration is the historical single-modulus scheme with one row.
+
     ``noise_bound`` is an upper estimate of the infinity norm of the
     invariant noise numerator.  It is updated by every evaluator operation
     and used to report a noise *budget* (bits of headroom left before
@@ -60,9 +75,10 @@ class Ciphertext:
     ``domain`` records which representation ``c0``/``c1`` are resident in:
     coefficient form (:attr:`~repro.he.ntt.Domain.COEFF`) or NTT form
     (:attr:`~repro.he.ntt.Domain.EVAL`).  The NTT is a linear bijection of
-    ``Z_q^N``, so every evaluator operation has an exact counterpart in
-    either domain and the decrypted residues are bit-identical; only the
-    number of forward/inverse transforms paid along the way differs.
+    ``Z_q^N`` limb by limb, so every evaluator operation has an exact
+    counterpart in either domain and the decrypted residues are
+    bit-identical; only the number of forward/inverse transforms paid along
+    the way differs.
     """
 
     c0: np.ndarray
@@ -86,7 +102,8 @@ class EvalPlain:
     time for weight diagonals) and reused across every
     :meth:`BFVContext.multiply_plain_poly` against an EVAL-resident
     ciphertext — those products are then pointwise and cost *zero*
-    transforms.  ``norm`` is the L1 norm of the centered coefficients,
+    transforms.  ``values_eval`` is limb-major ``(L, N)`` like ciphertext
+    components.  ``norm`` is the L1 norm of the centered coefficients,
     preserved for the same noise-growth estimate the raw-plaintext path
     uses.
     """
@@ -102,7 +119,9 @@ class BFVContext:
     Parameters
     ----------
     params:
-        The :class:`~repro.he.params.BFVParameters` to instantiate.
+        The :class:`~repro.he.params.BFVParameters` to instantiate.  A
+        multi-limb ``ciphertext_moduli`` basis produces double-CRT
+        ciphertexts transparently; all public APIs are unchanged.
     seed:
         Seed for key generation and encryption randomness (tests rely on
         reproducibility; a deployment would use ``secrets``-grade entropy).
@@ -119,24 +138,35 @@ class BFVContext:
     #: the historical coefficient-resident behaviour for equivalence tests
     #: and before/after benchmarks.
     default_domain: Domain = Domain.EVAL
-    ring: PolynomialRing = field(init=False, repr=False)
+    ring: RNSPolynomialRing = field(init=False, repr=False)
     _rng: np.random.Generator = field(init=False, repr=False)
     _secret: SecretKey = field(init=False, repr=False)
     _public: PublicKey = field(init=False, repr=False)
-    #: NTT-domain forms of the keys, cached so every encryption/decryption
-    #: saves the repeated forward transforms of p0, p1 and s.
+    #: NTT-domain forms of the keys (limb-major), cached so every
+    #: encryption/decryption saves the repeated forward transforms of p0,
+    #: p1 and s.
     _p0_ntt: np.ndarray = field(init=False, repr=False)
     _p1_ntt: np.ndarray = field(init=False, repr=False)
     _s_ntt: np.ndarray = field(init=False, repr=False)
+    #: the limb moduli as (L, 1) and (L, 1, 1) columns, for broadcasting
+    #: limb-wise reductions over (L, N) and (L, B, N) arrays.
+    _q_col: np.ndarray = field(init=False, repr=False)
+    _q_batch: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self.ring = PolynomialRing(
-            degree=self.params.ring_degree, modulus=self.params.ciphertext_modulus
-        )
+        basis = RNSBasis(primes=tuple(self.params.ciphertext_moduli))
+        self.ring = RNSPolynomialRing(degree=self.params.ring_degree, basis=basis)
+        q = np.array(basis.primes, dtype=np.int64)
+        self._q_col = q[:, None]
+        self._q_batch = q[:, None, None]
         self._rng = np.random.default_rng(self.seed)
         if self.tracker is None:
             self.tracker = OperationTracker()
         self._generate_keys()
+
+    @property
+    def limb_count(self) -> int:
+        return self.ring.limb_count
 
     # -- key management ----------------------------------------------------
     def _generate_keys(self) -> None:
@@ -147,10 +177,9 @@ class BFVContext:
         p0 = ring.sub(ring.neg(ring.add(ring.mul(a, s), e)), ring.zero())
         self._secret = SecretKey(poly=s)
         self._public = PublicKey(p0=p0, p1=a)
-        ntt = ring.ntt
-        self._p0_ntt = ntt.forward(p0)
-        self._p1_ntt = ntt.forward(a)
-        self._s_ntt = ntt.forward(s)
+        self._p0_ntt = ring.forward(p0)
+        self._p1_ntt = ring.forward(a)
+        self._s_ntt = ring.forward(s)
         self.tracker.record("keygen")
 
     @property
@@ -187,16 +216,24 @@ class BFVContext:
 
     # -- encryption --------------------------------------------------------
     def _scale_plaintext(self, plain: np.ndarray) -> np.ndarray:
-        """Scale a plaintext polynomial by ``q/t`` with exact rounding.
+        """Scale a plaintext polynomial by ``Q/t`` with exact rounding.
 
-        Using ``round(q * m / t)`` instead of ``floor(q/t) * m`` removes the
-        ``m * (q mod t) / q`` decryption error that the naive Delta-scaling
-        introduces for large plaintext residues.
+        Using ``round(Q * m / t)`` instead of ``floor(Q/t) * m`` removes the
+        ``m * (Q mod t) / Q`` decryption error that the naive Delta-scaling
+        introduces for large plaintext residues.  The result is limb-major:
+        ``(L,) + plain.shape``.  Single-limb parameters take the historical
+        int64 fast path (``m * q < 2**61`` for every supported ``t``);
+        multi-limb parameters form ``round(Q m / t)`` in exact big-int
+        arithmetic — this is an encode-time constant, not hot-path work —
+        and decompose it into the limbs.
         """
         q = self.params.ciphertext_modulus
         t = self.params.plaintext_modulus
-        scaled = (plain.astype(np.int64) * q + t // 2) // t
-        return np.mod(scaled, q)
+        if self.limb_count == 1:
+            scaled = (plain.astype(np.int64) * q + t // 2) // t
+            return np.mod(scaled, q)[None, ...]
+        scaled = (plain.astype(object) * q + t // 2) // t
+        return self.ring.basis.decompose(scaled % q)
 
     def encrypt(self, values: np.ndarray, *, domain: Domain | None = None) -> Ciphertext:
         """Encrypt a vector of plaintext residues (coefficient-packed)."""
@@ -205,21 +242,21 @@ class BFVContext:
     def encrypt_batch(
         self, values_list: list[np.ndarray], *, domain: Domain | None = None
     ) -> list[Ciphertext]:
-        """Encrypt many residue vectors with one batched NTT pass.
+        """Encrypt many residue vectors with one batched NTT pass per limb.
 
         All the randomness of the batch is sampled up front and the random
-        polynomials ``u`` go through a single batched forward transform.
-        The output ``domain`` (default: :attr:`default_domain`) decides the
-        second transform call: producing COEFF ciphertexts pulls the
-        pointwise products with the cached NTT-form public key back through
-        one stacked batched inverse, while producing EVAL ciphertexts pushes
-        the noise/message polynomials *forward* instead and never leaves the
-        evaluation domain — three transforms per ciphertext either way
-        (``3B`` total, recorded on the tracker), with the ``log N``
-        Python-level stage iterations of the lazy-reduction NTT amortised
-        across the batch.  Both domains consume the randomness stream in the
-        same order, so the two forms are NTT images of one another
-        bit-exactly.
+        polynomials ``u`` go through a single batched forward transform per
+        limb.  The output ``domain`` (default: :attr:`default_domain`)
+        decides the second transform call: producing COEFF ciphertexts pulls
+        the pointwise products with the cached NTT-form public key back
+        through one stacked batched inverse, while producing EVAL
+        ciphertexts pushes the noise/message polynomials *forward* instead
+        and never leaves the evaluation domain — three transforms per limb
+        per ciphertext either way (``3 B L`` total, recorded on the
+        tracker), with the ``log N`` Python-level stage iterations of the
+        lazy-reduction NTT amortised across the batch.  Both domains consume
+        the randomness stream in the same order, so the two forms are NTT
+        images of one another bit-exactly.
         """
         if not values_list:
             return []
@@ -227,7 +264,8 @@ class BFVContext:
             domain = self.default_domain
         batch = len(values_list)
         n = self.params.ring_degree
-        q = self.params.ciphertext_modulus
+        limbs = self.limb_count
+        qb = self._q_batch
         ring = self.ring
         plains = np.stack(
             [self.encode(np.asarray(v, dtype=np.int64)) for v in values_list]
@@ -236,23 +274,26 @@ class BFVContext:
         u = ring.sample_ternary(self._rng, count=batch)
         e1 = ring.sample_error(self._rng, self.params.error_stddev, count=batch)
         e2 = ring.sample_error(self._rng, self.params.error_stddev, count=batch)
-        ntt = ring.ntt
-        u_ntt = ntt.forward_batch(u)
+        u_ntt = ring.forward_batch(u)
+        p0 = self._p0_ntt[:, None, :]
+        p1 = self._p1_ntt[:, None, :]
         if domain is Domain.EVAL:
             # NTT(c0) = NTT(u) * NTT(p0) + NTT(e1 + Delta*m), likewise c1:
             # the additive terms go forward instead of the products coming
             # back, and the ciphertext is born evaluation-resident.
-            additive = ntt.to_eval_batch(np.vstack([np.mod(e1 + scaled, q), e2]))
-            c0 = np.mod(u_ntt * self._p0_ntt + additive[:batch], q)
-            c1 = np.mod(u_ntt * self._p1_ntt + additive[batch:], q)
-            self.tracker.record_transforms(forward=3 * batch)
-        else:
-            components = ntt.inverse_batch(
-                np.vstack([u_ntt * self._p0_ntt % q, u_ntt * self._p1_ntt % q])
+            additive = ring.forward_batch(
+                np.concatenate([np.mod(e1 + scaled, qb), e2], axis=1)
             )
-            c0 = np.mod(components[:batch] + e1 + scaled, q)
-            c1 = np.mod(components[batch:] + e2, q)
-            self.tracker.record_transforms(forward=batch, inverse=2 * batch)
+            c0 = np.mod(u_ntt * p0 + additive[:, :batch], qb)
+            c1 = np.mod(u_ntt * p1 + additive[:, batch:], qb)
+            self.tracker.record_transforms(forward=3 * batch * limbs)
+        else:
+            components = ring.inverse_batch(
+                np.concatenate([u_ntt * p0 % qb, u_ntt * p1 % qb], axis=1)
+            )
+            c0 = np.mod(components[:, :batch] + e1 + scaled, qb)
+            c1 = np.mod(components[:, batch:] + e2, qb)
+            self.tracker.record_transforms(forward=batch * limbs, inverse=2 * batch * limbs)
         # Fresh noise bound: ||e*u + e1 + e2*s|| <= stddev * (2N + 2) roughly;
         # use a conservative analytic estimate.
         fresh = self.params.error_stddev * (2 * n + 2)
@@ -261,7 +302,7 @@ class BFVContext:
         )
         return [
             Ciphertext(
-                c0=c0[i], c1=c1[i], noise_bound=fresh,
+                c0=c0[:, i], c1=c1[:, i], noise_bound=fresh,
                 slots_used=int(np.asarray(values_list[i]).size),
                 domain=domain,
             )
@@ -270,15 +311,15 @@ class BFVContext:
 
     # -- domain conversion -------------------------------------------------
     def to_eval(self, ct: Ciphertext) -> Ciphertext:
-        """COEFF -> EVAL conversion of one ciphertext (two transforms)."""
+        """COEFF -> EVAL conversion of one ciphertext (two transforms × L)."""
         return self.convert_batch([ct], Domain.EVAL)[0]
 
     def to_coeff(self, ct: Ciphertext) -> Ciphertext:
-        """EVAL -> COEFF conversion of one ciphertext (two transforms)."""
+        """EVAL -> COEFF conversion of one ciphertext (two transforms × L)."""
         return self.convert_batch([ct], Domain.COEFF)[0]
 
     def convert_batch(self, cts: list[Ciphertext], domain: Domain) -> list[Ciphertext]:
-        """Convert ciphertexts to ``domain`` with one batched NTT pass.
+        """Convert ciphertexts to ``domain`` with one batched NTT pass per limb.
 
         Already-resident ciphertexts are returned unchanged (and charged
         nothing): the transform counters only ever record crossings that
@@ -288,14 +329,16 @@ class BFVContext:
         movers = [ct for ct in cts if ct.domain is not domain]
         if not movers:
             return list(cts)
-        ntt = self.ring.ntt
-        stacked = np.vstack([np.stack([ct.c0, ct.c1]) for ct in movers])
+        ring = self.ring
+        stacked = np.concatenate(
+            [np.stack([ct.c0, ct.c1], axis=1) for ct in movers], axis=1
+        )
         if domain is Domain.EVAL:
-            converted = ntt.to_eval_batch(stacked)
-            self.tracker.record_transforms(forward=2 * len(movers))
+            converted = ring.forward_batch(stacked)
+            self.tracker.record_transforms(forward=2 * len(movers) * self.limb_count)
         else:
-            converted = ntt.to_coeff_batch(stacked)
-            self.tracker.record_transforms(inverse=2 * len(movers))
+            converted = ring.inverse_batch(stacked)
+            self.tracker.record_transforms(inverse=2 * len(movers) * self.limb_count)
         moved = iter(range(len(movers)))
         results = []
         for ct in cts:
@@ -305,7 +348,7 @@ class BFVContext:
             i = next(moved)
             results.append(
                 Ciphertext(
-                    c0=converted[2 * i], c1=converted[2 * i + 1],
+                    c0=converted[:, 2 * i], c1=converted[:, 2 * i + 1],
                     noise_bound=ct.noise_bound, slots_used=ct.slots_used,
                     domain=domain,
                 )
@@ -321,13 +364,20 @@ class BFVContext:
     def decrypt_batch(
         self, cts: list[Ciphertext], counts: list[int] | None = None
     ) -> list[np.ndarray]:
-        """Decrypt many ciphertexts with one batched NTT pass.
+        """Decrypt many ciphertexts with one batched NTT pass per limb.
 
         COEFF ciphertexts pay the historical round trip (forward ``c1``,
         pointwise with the cached NTT-form secret, inverse).  EVAL
         ciphertexts fold ``c0 + c1 * s`` entirely in the evaluation domain
-        and pay exactly *one* inverse — the only transform the
+        and pay exactly *one* inverse per limb — the only transforms the
         evaluation-resident hot path ever pays per output ciphertext.
+
+        Rounding is the only place the composite modulus ``Q`` exists:
+        single-limb parameters keep the historical float64 path (exactness
+        argument: ``q`` odd prime and ``t < q`` make ties impossible, and
+        the float error is orders of magnitude below the distance to the
+        nearest tie), while multi-limb parameters CRT-compose the limbs and
+        round ``centered * t / Q`` in exact big-int arithmetic.
         """
         if not cts:
             return []
@@ -336,30 +386,42 @@ class BFVContext:
                 raise NoiseBudgetExhausted(
                     "ciphertext noise budget exhausted; decryption would be incorrect"
                 )
-        q = self.params.ciphertext_modulus
         t = self.params.plaintext_modulus
-        ntt = self.ring.ntt
-        raw = np.empty((len(cts), self.params.ring_degree), dtype=np.int64)
+        limbs = self.limb_count
+        qb = self._q_batch
+        ring = self.ring
+        raw = np.empty((limbs, len(cts), self.params.ring_degree), dtype=np.int64)
         coeff_idx = [i for i, ct in enumerate(cts) if ct.domain is Domain.COEFF]
         eval_idx = [i for i, ct in enumerate(cts) if ct.domain is Domain.EVAL]
+        s = self._s_ntt[:, None, :]
         if coeff_idx:
-            c0 = np.stack([cts[i].c0 for i in coeff_idx])
-            c1 = np.stack([cts[i].c1 for i in coeff_idx])
-            raw[coeff_idx] = np.mod(
-                c0 + ntt.inverse_batch(ntt.forward_batch(c1) * self._s_ntt % q), q
+            c0 = np.stack([cts[i].c0 for i in coeff_idx], axis=1)
+            c1 = np.stack([cts[i].c1 for i in coeff_idx], axis=1)
+            raw[:, coeff_idx] = np.mod(
+                c0 + ring.inverse_batch(ring.forward_batch(c1) * s % qb), qb
             )
             self.tracker.record_transforms(
-                forward=len(coeff_idx), inverse=len(coeff_idx)
+                forward=len(coeff_idx) * limbs, inverse=len(coeff_idx) * limbs
             )
         if eval_idx:
             combined = np.stack(
-                [np.mod(cts[i].c0 + cts[i].c1 * self._s_ntt, q) for i in eval_idx]
+                [np.mod(cts[i].c0 + cts[i].c1 * self._s_ntt, self._q_col) for i in eval_idx],
+                axis=1,
             )
-            raw[eval_idx] = ntt.to_coeff_batch(combined)
-            self.tracker.record_transforms(inverse=len(eval_idx))
-        half = q // 2
-        centered = np.where(raw > half, raw - q, raw).astype(np.float64)
-        scaled = np.rint(centered * t / q).astype(np.int64)
+            raw[:, eval_idx] = ring.inverse_batch(combined)
+            self.tracker.record_transforms(inverse=len(eval_idx) * limbs)
+        if limbs == 1:
+            q = self.params.ciphertext_modulus
+            half = q // 2
+            centered = np.where(raw[0] > half, raw[0] - q, raw[0]).astype(np.float64)
+            scaled = np.rint(centered * t / q).astype(np.int64)
+        else:
+            big_q = self.params.ciphertext_modulus
+            composed = ring.compose(raw)
+            centered = np.where(composed > big_q // 2, composed - big_q, composed)
+            # round(centered * t / Q), half-up; Q is odd so exact ties cannot
+            # occur and half-up equals round-to-nearest.
+            scaled = ((2 * centered * t + big_q) // (2 * big_q)).astype(np.int64)
         self.tracker.record("decrypt", count=len(cts))
         result = np.mod(scaled, t)
         if counts is None:
@@ -420,15 +482,15 @@ class BFVContext:
         """Ciphertext + plaintext vector.
 
         An EVAL-resident ciphertext absorbs the plaintext through one
-        forward transform of the scaled message polynomial (the ciphertext
-        itself never leaves the evaluation domain).
+        forward transform per limb of the scaled message polynomial (the
+        ciphertext itself never leaves the evaluation domain).
         """
         ring = self.ring
         plain = self.encode(np.asarray(values, dtype=np.int64))
         scaled = self._scale_plaintext(plain)
         if a.domain is Domain.EVAL:
-            scaled = ring.ntt.forward(scaled)
-            self.tracker.record_transforms(forward=1)
+            scaled = ring.forward(scaled)
+            self.tracker.record_transforms(forward=self.limb_count)
         self.tracker.record("he_add_plain")
         return Ciphertext(
             c0=ring.add(a.c0, scaled),
@@ -459,22 +521,26 @@ class BFVContext:
             domain=a.domain,
         )
 
-    def encode_plain_eval(self, plain_values: np.ndarray) -> EvalPlain:
-        """Pre-transform a plaintext polynomial into the evaluation domain.
-
-        One forward transform now buys transform-free
-        :meth:`multiply_plain_poly` calls forever after — the plan-time
-        hoisting the BSGS diagonal kernel uses for its weight masks.
-        """
+    def _centered_plain_limbs(
+        self, plain_values: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """Centered mod-t encode reduced into every limb, plus its L1 norm."""
         plain = self.encode(np.asarray(plain_values, dtype=np.int64))
         t = self.params.plaintext_modulus
         centered = np.where(plain > t // 2, plain - t, plain)
         norm = float(np.sum(np.abs(centered)))
-        plain_mod_q = np.mod(centered, self.params.ciphertext_modulus)
-        self.tracker.record_transforms(forward=1)
-        return EvalPlain(
-            values_eval=self.ring.ntt.forward(plain_mod_q), norm=norm
-        )
+        return self.ring.from_signed(centered), norm
+
+    def encode_plain_eval(self, plain_values: np.ndarray) -> EvalPlain:
+        """Pre-transform a plaintext polynomial into the evaluation domain.
+
+        One forward transform per limb now buys transform-free
+        :meth:`multiply_plain_poly` calls forever after — the plan-time
+        hoisting the BSGS diagonal kernel uses for its weight masks.
+        """
+        plain_limbs, norm = self._centered_plain_limbs(plain_values)
+        self.tracker.record_transforms(forward=self.limb_count)
+        return EvalPlain(values_eval=self.ring.forward(plain_limbs), norm=norm)
 
     def multiply_plain_poly(
         self, a: Ciphertext, plain_values: "np.ndarray | EvalPlain"
@@ -484,11 +550,12 @@ class BFVContext:
         Used by Gazelle-style diagonal matrix-vector products.  Note this is
         a *convolution* of the packed slots, not a slot-wise product.
 
-        Transform economy by residency: a COEFF ciphertext pays the full
-        round trip (two forwards for ``c0, c1``, one for the plaintext, two
-        inverses back — five transforms).  An EVAL ciphertext multiplies
-        pointwise, paying one forward for a raw plaintext and *zero*
-        transforms when handed a pre-transformed :class:`EvalPlain`.
+        Transform economy by residency (all counts per limb): a COEFF
+        ciphertext pays the full round trip (two forwards for ``c0, c1``,
+        one for the plaintext, two inverses back — five transforms).  An
+        EVAL ciphertext multiplies pointwise, paying one forward for a raw
+        plaintext and *zero* transforms when handed a pre-transformed
+        :class:`EvalPlain`.
         """
         ring = self.ring
         self.tracker.record("he_mul_plain")
@@ -502,14 +569,10 @@ class BFVContext:
                 slots_used=self.params.slot_count,
                 domain=Domain.EVAL,
             )
-        plain = self.encode(np.asarray(plain_values, dtype=np.int64))
-        t = self.params.plaintext_modulus
-        centered = np.where(plain > t // 2, plain - t, plain)
-        norm = float(np.sum(np.abs(centered)))
-        plain_mod_q = np.mod(centered, self.params.ciphertext_modulus)
+        plain_limbs, norm = self._centered_plain_limbs(plain_values)
         if a.domain is Domain.EVAL:
-            plain_eval = ring.ntt.forward(plain_mod_q)
-            self.tracker.record_transforms(forward=1)
+            plain_eval = ring.forward(plain_limbs)
+            self.tracker.record_transforms(forward=self.limb_count)
             return Ciphertext(
                 c0=ring.mul_eval(a.c0, plain_eval),
                 c1=ring.mul_eval(a.c1, plain_eval),
@@ -517,12 +580,15 @@ class BFVContext:
                 slots_used=self.params.slot_count,
                 domain=Domain.EVAL,
             )
-        # One batched NTT over (c0, c1) shares the plaintext's forward transform.
-        products = ring.mul_batch(np.stack([a.c0, a.c1]), plain_mod_q)
-        self.tracker.record_transforms(forward=3, inverse=2)
+        # One batched NTT per limb over (c0, c1) shares the plaintext's
+        # forward transform.
+        products = ring.mul_batch(np.stack([a.c0, a.c1], axis=1), plain_limbs)
+        self.tracker.record_transforms(
+            forward=3 * self.limb_count, inverse=2 * self.limb_count
+        )
         return Ciphertext(
-            c0=products[0],
-            c1=products[1],
+            c0=products[:, 0],
+            c1=products[:, 1],
             noise_bound=a.noise_bound * max(1.0, norm),
             slots_used=self.params.slot_count,
             domain=Domain.COEFF,

@@ -293,6 +293,10 @@ class BSGSMatmulPlan:
     #: stale plan handed a *same-shape* replacement bank fails loudly
     #: instead of silently computing against the old weights
     weights_digest: str = ""
+    #: RNS limb count of the ciphertext basis the plan's EVAL masks were
+    #: pre-transformed for.  Limb-shaped artifacts are not interchangeable
+    #: across bases, so a mismatch against the serving backend fails loudly.
+    limbs: int = 1
 
     @property
     def nonzero_masks(self) -> int:
@@ -347,6 +351,7 @@ def prepare_bsgs_plan(
     return BSGSMatmulPlan(
         geometry=geometry, masks=masks, eval_masks=eval_masks,
         weights_digest=_weights_digest(weights, t),
+        limbs=getattr(getattr(backend, "params", None), "limb_count", 1),
     )
 
 
@@ -379,6 +384,13 @@ def bsgs_matmul_handles(
         raise ParameterError(
             "BSGS plan geometry does not match this product; rebuild the plan "
             f"(plan {plan.geometry}, requested {geometry})"
+        )
+    backend_limbs = getattr(getattr(backend, "params", None), "limb_count", 1)
+    if plan is not None and plan.limbs != backend_limbs:
+        raise ParameterError(
+            f"BSGS plan was prepared for a {plan.limbs}-limb RNS basis but the "
+            f"backend uses {backend_limbs} limbs; rebuild the plan for this "
+            "parameter set"
         )
     t = backend.plaintext_modulus
     if plan is not None and plan.weights_digest:

@@ -13,6 +13,10 @@ __all__ = ["SecretKey", "PublicKey"]
 class SecretKey:
     """RLWE secret key: a ternary polynomial ``s``.
 
+    ``poly`` is limb-major ``(L, N)``: the same small ternary polynomial
+    reduced into every RNS limb of the ciphertext basis (one row for
+    single-modulus parameters).
+
     Held only by the client in every Primer protocol; the server never sees
     it (see the privacy analysis in Section III-B of the paper).
     """
@@ -22,7 +26,11 @@ class SecretKey:
 
 @dataclass(frozen=True)
 class PublicKey:
-    """RLWE public key ``(p0, p1) = (-(a*s + e), a)``."""
+    """RLWE public key ``(p0, p1) = (-(a*s + e), a)``.
+
+    Both components are limb-major ``(L, N)`` residue arrays, like
+    ciphertext components.
+    """
 
     p0: np.ndarray
     p1: np.ndarray

@@ -53,6 +53,7 @@ __all__ = [
     "Domain",
     "is_prime",
     "find_ntt_prime",
+    "find_rns_primes",
     "primitive_root",
     "NTTContext",
     "get_ntt_context",
@@ -132,6 +133,33 @@ def find_ntt_prime(bits: int, ring_degree: int) -> int:
     raise ParameterError(
         f"no NTT-friendly prime below 2**{bits} for ring degree {ring_degree}"
     )
+
+
+def find_rns_primes(bits: int, ring_degree: int, count: int) -> tuple[int, ...]:
+    """The ``count`` largest distinct NTT-friendly primes below ``2**bits``.
+
+    Every limb of a double-CRT (RNS) ciphertext basis must independently
+    satisfy the negacyclic-NTT conditions — prime, ``q ≡ 1 (mod 2N)`` and
+    under the 30-bit lazy-reduction bound — so a basis is just ``count``
+    outputs of the :func:`find_ntt_prime` search, descending.  Returned
+    largest first, matching SEAL's convention of ordering coeff-modulus
+    primes by magnitude.
+    """
+    if count < 1:
+        raise ParameterError(f"an RNS basis needs at least one limb, got {count}")
+    step = 2 * ring_degree
+    primes: list[int] = []
+    candidate = ((1 << bits) // step) * step + 1
+    while candidate > step and len(primes) < count:
+        if candidate < (1 << bits) and is_prime(candidate):
+            primes.append(candidate)
+        candidate -= step
+    if len(primes) < count:
+        raise ParameterError(
+            f"only {len(primes)} NTT-friendly primes below 2**{bits} for ring "
+            f"degree {ring_degree}; requested {count} limbs"
+        )
+    return tuple(primes)
 
 
 def primitive_root(modulus: int) -> int:

@@ -204,7 +204,8 @@ def bsgs_rotation_count(
 
 
 def bsgs_transform_count(
-    n_tokens: int, n_features: int, n_outputs: int, slot_count: int
+    n_tokens: int, n_features: int, n_outputs: int, slot_count: int,
+    *, limbs: int = 1,
 ) -> int:
     """Closed-form NTT transform count of the *evaluation-resident* BSGS path.
 
@@ -221,20 +222,23 @@ def bsgs_transform_count(
       residency design allows per output ciphertext, amortised over every
       diagonal and every request stacked into the batch.
 
-    ``c * 3 + g`` total, assuming every output group's weight slice is
-    non-zero (an all-zero group skips its decrypt).  The tracker-measured
-    count must equal this exactly — the transform-count analog of
-    :func:`bsgs_rotation_count`, asserted in tests and gated in CI.
+    ``(c * 3 + g) * L`` total, assuming every output group's weight slice is
+    non-zero (an all-zero group skips its decrypt).  ``limbs`` is the RNS
+    limb count ``L`` of the ciphertext basis — a double-CRT scheme runs one
+    NTT per limb polynomial, so every term scales linearly.  The
+    tracker-measured count must equal this exactly — the transform-count
+    analog of :func:`bsgs_rotation_count`, asserted in tests and gated in
+    CI.
     """
     from .bsgs import bsgs_geometry  # local import: keep packing dependency-light
 
     geometry = bsgs_geometry(n_tokens, n_features, n_outputs, slot_count)
-    return 3 * geometry.num_ciphertexts + geometry.out_groups
+    return (3 * geometry.num_ciphertexts + geometry.out_groups) * limbs
 
 
 def bsgs_coeff_transform_count(
     n_tokens: int, n_features: int, n_outputs: int, slot_count: int,
-    *, nonzero_masks: int | None = None,
+    *, nonzero_masks: int | None = None, limbs: int = 1,
 ) -> int:
     """Closed-form transform count of the coefficient-resident BSGS path.
 
@@ -246,6 +250,8 @@ def bsgs_coeff_transform_count(
     combination).  ``nonzero_masks`` is the number of diagonal products
     actually executed; it defaults to the dense count ``g * c * D`` (every
     generalized diagonal of every input ciphertext and output group).
+    ``limbs`` is the RNS limb count ``L``; every transform term is per limb
+    polynomial, so the whole expression scales linearly.
     """
     from .bsgs import bsgs_geometry  # local import: keep packing dependency-light
 
@@ -258,7 +264,7 @@ def bsgs_coeff_transform_count(
         3 * geometry.num_ciphertexts
         + 5 * nonzero_masks
         + 2 * geometry.out_groups
-    )
+    ) * limbs
 
 
 def rotation_count(

@@ -22,16 +22,18 @@ table lookup, not an LWE estimator, and is only intended to sanity-check the
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..errors import ParameterError
-from .ntt import find_ntt_prime
+from .ntt import find_ntt_prime, find_rns_primes, is_prime
 
 __all__ = [
     "BFVParameters",
     "toy_parameters",
     "test_parameters",
     "serving_parameters",
+    "rns_serving_parameters",
     "paper_parameters",
 ]
 
@@ -60,7 +62,19 @@ class BFVParameters:
         batching; this reproduction packs coefficient-wise, so the slot count
         equals ``N``).
     ciphertext_modulus:
-        Prime ``q`` (coefficient modulus).
+        Coefficient modulus ``Q``.  For a single-limb configuration this is
+        one NTT-friendly prime; for a double-CRT (RNS) configuration it is
+        the product of the ``ciphertext_moduli`` limbs (a Python int that may
+        exceed 64 bits — ciphertexts never hold it, only the CRT composition
+        at the decrypt boundary does).
+    ciphertext_moduli:
+        The RNS limb primes ``(q_0, ..., q_{L-1})``.  ``None`` (the default)
+        means single-limb: the basis is ``(ciphertext_modulus,)``.  Every
+        limb must independently be NTT-friendly (prime, ``q_i ≡ 1 mod 2N``)
+        and under the 30-bit lazy-reduction bound ``4 q_i ≤ 2**32`` — this is
+        validated *here*, at construction, so an illegal modulus raises a
+        clear :class:`ParameterError` instead of surfacing deep inside
+        ``NTTContext`` (or never, on simulated wire-sizing paths).
     plaintext_modulus:
         Plaintext modulus ``t``; fixed-point residues must fit below ``t``.
     error_stddev:
@@ -80,22 +94,65 @@ class BFVParameters:
     #: the NTT-friendly ``ciphertext_modulus`` above, but wire sizes, the
     #: security check and the simulated noise budget use this value when set.
     deployed_modulus_bits: int | None = None
+    #: RNS limb primes; ``None`` normalises to ``(ciphertext_modulus,)``.
+    ciphertext_moduli: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         n = self.ring_degree
         if n < 4 or n & (n - 1) != 0:
             raise ParameterError(f"ring_degree must be a power of two >= 4, got {n}")
+        if self.plaintext_modulus < 2:
+            raise ParameterError("plaintext modulus must be at least 2")
+        moduli = self.ciphertext_moduli
+        if moduli is None:
+            moduli = (self.ciphertext_modulus,)
+            object.__setattr__(self, "ciphertext_moduli", moduli)
+        else:
+            moduli = tuple(int(q) for q in moduli)
+            object.__setattr__(self, "ciphertext_moduli", moduli)
+            if math.prod(moduli) != self.ciphertext_modulus:
+                raise ParameterError(
+                    "ciphertext_modulus must equal the product of the RNS limbs: "
+                    f"prod{moduli} != {self.ciphertext_modulus}"
+                )
+        if len(set(moduli)) != len(moduli):
+            raise ParameterError(f"RNS limbs must be pairwise distinct, got {moduli}")
+        for q in moduli:
+            # Validate every limb against the exact-backend NTT requirements
+            # here, at construction time, where the failure is attributable —
+            # not deep inside NTTContext, and not silently skipped on
+            # simulated wire-sizing paths that never build a transform.
+            if 4 * q > 1 << 32:
+                raise ParameterError(
+                    f"ciphertext modulus limb {q} ({q.bit_length()} bits) exceeds "
+                    "the 30-bit lazy-reduction NTT bound (4q <= 2**32); use a "
+                    "multi-limb RNS basis (ciphertext_moduli) to grow log q"
+                )
+            if (q - 1) % (2 * n) != 0:
+                raise ParameterError(
+                    f"ciphertext modulus limb {q} is not NTT-friendly for ring "
+                    f"degree {n}: need q ≡ 1 (mod {2 * n})"
+                )
+            if not is_prime(q):
+                raise ParameterError(f"ciphertext modulus limb {q} is not prime")
+        # t must fit under the composite modulus Q (the product), not under
+        # every individual limb — protocol-scale plaintext rings (t = 2**31)
+        # are legal over a basis of 30-bit limbs.
         if self.plaintext_modulus >= self.ciphertext_modulus:
             raise ParameterError(
                 "plaintext modulus must be smaller than the ciphertext modulus"
             )
-        if self.plaintext_modulus < 2:
-            raise ParameterError("plaintext modulus must be at least 2")
 
     @property
     def slot_count(self) -> int:
         """Number of packing slots per ciphertext."""
         return self.ring_degree
+
+    @property
+    def limb_count(self) -> int:
+        """Number of RNS limbs ``L`` in the double-CRT ciphertext basis."""
+        moduli = self.ciphertext_moduli
+        return 1 if moduli is None else len(moduli)
 
     @property
     def delta(self) -> int:
@@ -182,6 +239,28 @@ def serving_parameters(ring_degree: int = 256) -> BFVParameters:
         error_stddev=1.0,
         security_bits=0,
         deployed_modulus_bits=60,
+    )
+
+
+def rns_serving_parameters(ring_degree: int = 256, limbs: int = 2) -> BFVParameters:
+    """Double-CRT serving parameters with a >=60-bit composite modulus.
+
+    ``limbs`` NTT-friendly 30-bit primes give an effective
+    ``log Q ~ 30 * limbs`` — two limbs already reach the 60-bit
+    Gazelle-era coefficient modulus the deployed parameter sets model,
+    while every limb stays under the proven lazy-reduction NTT bound.
+    The exact backend runs this end to end: limb-wise EVAL arithmetic,
+    CRT composition only at the decrypt boundary.
+    """
+    primes = find_rns_primes(30, ring_degree, limbs)
+    return BFVParameters(
+        ring_degree=ring_degree,
+        ciphertext_modulus=math.prod(primes),
+        ciphertext_moduli=primes,
+        plaintext_modulus=1 << 8,
+        error_stddev=1.0,
+        security_bits=0,
+        deployed_modulus_bits=30 * limbs,
     )
 
 

@@ -27,6 +27,19 @@ class PolynomialRing:
     _ntt: NTTContext = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
+        # ``mul_scalar`` / ``mul_eval`` / ``rotate_eval`` form products of two
+        # residues in plain int64 arithmetic, which is exact only while
+        # ``q**2 < 2**63``.  Enforce the bound explicitly here instead of
+        # relying on the (previously comment-only) invariant: a too-large
+        # modulus must raise, not silently wrap coefficients.  Moduli past
+        # 30 bits belong in a multi-limb RNS basis (:mod:`repro.he.rns`).
+        if self.modulus.bit_length() > 30:
+            raise ParameterError(
+                f"PolynomialRing modulus {self.modulus} is "
+                f"{self.modulus.bit_length()} bits; int64 pointwise products "
+                "are only exact for moduli of at most 30 bits — represent "
+                "wider moduli as an RNS basis of <=30-bit limbs"
+            )
         self._ntt = get_ntt_context(self.degree, self.modulus)
 
     @property
@@ -95,7 +108,8 @@ class PolynomialRing:
 
     def mul_scalar(self, a: np.ndarray, scalar: int) -> np.ndarray:
         scalar = scalar % self.modulus
-        # scalar < 2**30 and coefficients < 2**30 keeps products in int64.
+        # scalar and coefficients are < 2**30 (enforced in __post_init__),
+        # so products stay within int64.
         return np.mod(a * scalar, self.modulus)
 
     def mul_eval(self, a_eval: np.ndarray, b_eval: np.ndarray) -> np.ndarray:

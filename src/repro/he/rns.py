@@ -1,0 +1,274 @@
+"""Double-CRT (RNS) representation: limb-major residue arithmetic.
+
+The lazy-reduction NTT (:mod:`repro.he.ntt`) is exact only for moduli under
+30 bits, and the int64 pointwise products in :mod:`repro.he.polyring`
+silently wrap the moment ``q**2`` leaves 63 bits.  Rather than lift either
+bound, this module follows SEAL's double-CRT design: a wide ciphertext
+modulus ``Q = q_0 * q_1 * ... * q_{L-1}`` is represented by its residues in
+``L`` independent ≤30-bit NTT-friendly prime limbs.  Every ring operation —
+NTT, pointwise EVAL product, rotation, addition — runs limb-wise on int64
+arrays (each limb inside the proven bounds), and the only place the big
+integer ``Q`` ever materialises is the CRT composition at the decrypt
+boundary.
+
+Two classes:
+
+:class:`RNSBasis`
+    The primes, their product ``Q``, and the CRT bijection
+    ``Z_Q  <->  Z_{q_0} x ... x Z_{q_{L-1}}`` (``decompose`` / ``compose``).
+:class:`RNSPolynomialRing`
+    ``L`` per-limb :class:`~repro.he.polyring.PolynomialRing` instances (each
+    sharing the cached NTT context for its ``(N, q_i)``) behind a limb-major
+    API: polynomials are ``(L, N)`` int64 arrays, batches ``(L, B, N)``.
+    Sampling is RNG-stream compatible with the single-modulus ring — small
+    polynomials (ternary secrets, errors) are drawn *once* centered and then
+    reduced into every limb, and uniform elements draw one per-limb stream
+    in limb order — so a one-limb basis consumes the generator identically
+    to the historical :class:`~repro.he.polyring.PolynomialRing` and
+    reproduces its ciphertexts bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ParameterError
+from .polyring import PolynomialRing
+
+__all__ = ["RNSBasis", "RNSPolynomialRing"]
+
+
+@dataclass(frozen=True)
+class RNSBasis:
+    """A residue-number-system basis of pairwise-distinct prime limbs.
+
+    ``compose``/``decompose`` realise the CRT ring isomorphism between
+    ``Z_Q`` and the product of the limb rings.  The garner coefficients
+    ``(Q/q_i) * ((Q/q_i)^-1 mod q_i)`` are precomputed once as Python ints
+    (they are ``log Q``-bit numbers, far past int64 for multi-limb bases).
+    """
+
+    primes: tuple[int, ...]
+    _product: int = field(init=False, repr=False)
+    _garner: tuple[int, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        primes = tuple(int(q) for q in self.primes)
+        if not primes:
+            raise ParameterError("an RNS basis needs at least one limb")
+        if len(set(primes)) != len(primes):
+            raise ParameterError(f"RNS limbs must be pairwise distinct, got {primes}")
+        object.__setattr__(self, "primes", primes)
+        product = math.prod(primes)
+        garner = []
+        for q in primes:
+            hat = product // q
+            garner.append(hat * pow(hat, -1, q))
+        object.__setattr__(self, "_product", product)
+        object.__setattr__(self, "_garner", tuple(garner))
+
+    @property
+    def limb_count(self) -> int:
+        return len(self.primes)
+
+    @property
+    def product(self) -> int:
+        """The composite modulus ``Q`` this basis represents."""
+        return self._product
+
+    def decompose(self, values: np.ndarray) -> np.ndarray:
+        """Residues of ``values`` (ints mod ``Q``, any shape) in every limb.
+
+        Accepts int64 or object (big-int) arrays; negative inputs land on
+        their canonical non-negative residues.  Returns a limb-major
+        ``(L,) + values.shape`` int64 array.
+        """
+        values = np.asarray(values)
+        return np.stack(
+            [np.mod(values, q).astype(np.int64) for q in self.primes]
+        )
+
+    def compose(self, limbs: np.ndarray) -> np.ndarray:
+        """CRT-recombine a limb-major ``(L, ...)`` residue array mod ``Q``.
+
+        Returns an object array of Python ints in ``[0, Q)`` — exact for any
+        number of limbs.  One-limb bases short-circuit (the identity map).
+        """
+        limbs = np.asarray(limbs)
+        if limbs.shape[0] != self.limb_count:
+            raise ParameterError(
+                f"expected {self.limb_count} limbs, got shape {limbs.shape}"
+            )
+        if self.limb_count == 1:
+            return limbs[0].astype(object)
+        acc = np.zeros(limbs.shape[1:], dtype=object)
+        for residues, coefficient in zip(limbs, self._garner):
+            acc += residues.astype(object) * coefficient
+        return acc % self.product
+
+
+@dataclass
+class RNSPolynomialRing:
+    """Arithmetic in ``Z_Q[X]/(X^N + 1)`` as ``L`` limb-wise rings.
+
+    Polynomials are limb-major ``(L, N)`` int64 arrays (batches
+    ``(L, B, N)``); every method maps the corresponding
+    :class:`~repro.he.polyring.PolynomialRing` operation over the limbs.
+    """
+
+    degree: int
+    basis: RNSBasis
+    limb_rings: tuple[PolynomialRing, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.limb_rings = tuple(
+            PolynomialRing(degree=self.degree, modulus=q) for q in self.basis.primes
+        )
+
+    @property
+    def limb_count(self) -> int:
+        return self.basis.limb_count
+
+    @property
+    def modulus(self) -> int:
+        """The composite modulus ``Q`` (a Python int; may exceed 64 bits)."""
+        return self.basis.product
+
+    def _moduli_column(self, batched: bool) -> np.ndarray:
+        """The limb moduli shaped to broadcast over ``(L, N)`` / ``(L, B, N)``."""
+        q = np.array(self.basis.primes, dtype=np.int64)
+        return q[:, None, None] if batched else q[:, None]
+
+    # -- constructors ------------------------------------------------------
+    def zero(self) -> np.ndarray:
+        return np.zeros((self.limb_count, self.degree), dtype=np.int64)
+
+    def from_signed(self, coeffs: np.ndarray) -> np.ndarray:
+        """Reduce a small signed coefficient array into every limb.
+
+        ``coeffs`` has shape ``(N,)`` or ``(B, N)``; the result gains a
+        leading limb axis.  This is the one entry point for ternary/error
+        polynomials, which are *shared* ring elements: the same small
+        integer vector viewed in every limb.
+        """
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        return np.stack([np.mod(coeffs, q) for q in self.basis.primes])
+
+    # -- sampling ----------------------------------------------------------
+    # Stream-compatibility contract: with one limb, every sampler consumes
+    # the numpy Generator exactly as PolynomialRing's samplers do, so the
+    # RNS refactor reproduces historical ciphertexts bit for bit.
+    def _shape(self, count: int | None) -> int | tuple[int, int]:
+        return self.degree if count is None else (count, self.degree)
+
+    def sample_uniform(
+        self, rng: np.random.Generator, count: int | None = None
+    ) -> np.ndarray:
+        """Uniform element(s) mod ``Q``, drawn as independent per-limb streams.
+
+        The CRT map is a bijection, so independently uniform limb residues
+        are exactly a uniform element of ``Z_Q`` — no big-int draw needed.
+        """
+        return np.stack(
+            [
+                rng.integers(0, q, size=self._shape(count), dtype=np.int64)
+                for q in self.basis.primes
+            ]
+        )
+
+    def sample_ternary(
+        self, rng: np.random.Generator, count: int | None = None
+    ) -> np.ndarray:
+        """Ternary polynomial(s) with coefficients in {-1, 0, 1}, all limbs."""
+        return self.from_signed(
+            rng.integers(-1, 2, size=self._shape(count), dtype=np.int64)
+        )
+
+    def sample_error(
+        self, rng: np.random.Generator, stddev: float, count: int | None = None
+    ) -> np.ndarray:
+        """Small error polynomial(s) (rounded Gaussian), all limbs."""
+        noise = np.rint(rng.normal(0.0, stddev, size=self._shape(count))).astype(
+            np.int64
+        )
+        return self.from_signed(noise)
+
+    # -- arithmetic --------------------------------------------------------
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.mod(a + b, self._moduli_column(a.ndim == 3))
+
+    def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.mod(a - b, self._moduli_column(a.ndim == 3))
+
+    def neg(self, a: np.ndarray) -> np.ndarray:
+        return np.mod(-a, self._moduli_column(a.ndim == 3))
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic product, limb-wise via each limb's NTT."""
+        return np.stack(
+            [ring.mul(a[i], b[i]) for i, ring in enumerate(self.limb_rings)]
+        )
+
+    def mul_batch(self, polys: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Limb-wise negacyclic product of a ``(L, B, N)`` batch with ``b``."""
+        return np.stack(
+            [ring.mul_batch(polys[i], b[i]) for i, ring in enumerate(self.limb_rings)]
+        )
+
+    def mul_eval(self, a_eval: np.ndarray, b_eval: np.ndarray) -> np.ndarray:
+        """Pointwise product of EVAL-form polynomials, limb-wise int64-safe."""
+        return a_eval * b_eval % self._moduli_column(a_eval.ndim == 3)
+
+    def mul_scalar(self, a: np.ndarray, scalar: int) -> np.ndarray:
+        """Multiply every limb by a (possibly signed) small scalar."""
+        moduli = self._moduli_column(a.ndim == 3)
+        return np.mod(a * np.mod(int(scalar), moduli), moduli)
+
+    # -- transforms --------------------------------------------------------
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        """Limb-wise forward NTT of one ``(L, N)`` polynomial."""
+        return np.stack(
+            [ring.ntt.forward(a[i]) for i, ring in enumerate(self.limb_rings)]
+        )
+
+    def inverse(self, a_eval: np.ndarray) -> np.ndarray:
+        """Limb-wise inverse NTT of one ``(L, N)`` polynomial."""
+        return np.stack(
+            [ring.ntt.inverse(a_eval[i]) for i, ring in enumerate(self.limb_rings)]
+        )
+
+    def forward_batch(self, polys: np.ndarray) -> np.ndarray:
+        """Limb-wise forward NTT of a ``(L, B, N)`` batch."""
+        return np.stack(
+            [ring.ntt.forward_batch(polys[i]) for i, ring in enumerate(self.limb_rings)]
+        )
+
+    def inverse_batch(self, values: np.ndarray) -> np.ndarray:
+        """Limb-wise inverse NTT of a ``(L, B, N)`` batch."""
+        return np.stack(
+            [ring.ntt.inverse_batch(values[i]) for i, ring in enumerate(self.limb_rings)]
+        )
+
+    # -- automorphisms -----------------------------------------------------
+    def rotate_eval(self, a_eval: np.ndarray, steps: int) -> np.ndarray:
+        """Negacyclic rotation of EVAL-form limbs (cached monomial tables)."""
+        return np.stack(
+            [ring.rotate_eval(a_eval[i], steps) for i, ring in enumerate(self.limb_rings)]
+        )
+
+    def rotate_coefficients(self, a: np.ndarray, steps: int) -> np.ndarray:
+        """Negacyclic coefficient rotation of every limb."""
+        return np.stack(
+            [
+                ring.rotate_coefficients(a[i], steps)
+                for i, ring in enumerate(self.limb_rings)
+            ]
+        )
+
+    # -- CRT boundary ------------------------------------------------------
+    def compose(self, limbs: np.ndarray) -> np.ndarray:
+        """CRT-recombine limb residues into ints mod ``Q`` (object array)."""
+        return self.basis.compose(limbs)

@@ -15,9 +15,10 @@ in tests rather than silently producing results a real deployment could not.
 
 Transform accounting: the deployed scheme's hot cost is the NTT, so every
 simulated handle carries a :class:`~repro.he.ntt.Domain` and every operation
-charges the ``ntt_forward`` / ``ntt_inverse`` counts (one per polynomial;
-a ciphertext is two polynomials) that the corresponding exact-backend
-operation actually executes.  With the default evaluation-domain residency
+charges the ``ntt_forward`` / ``ntt_inverse`` counts (one per *limb
+polynomial*; a ciphertext is two polynomials of ``params.limb_count`` RNS
+limbs each) that the corresponding exact-backend operation actually
+executes.  With the default evaluation-domain residency
 the linear hot path charges zero transforms per plaintext product (the
 plan-time :meth:`SimulatedHEBackend.encode_plain_eval` pre-transformation
 pays one forward, once); constructing the backend with
@@ -90,6 +91,9 @@ class SimulatedHEBackend(HEBackend):
             2 * self.params.ring_degree + 2
         )
         self._domain = Domain.EVAL if eval_residency else Domain.COEFF
+        # Every transform charge below is per limb polynomial: the deployed
+        # double-CRT scheme runs one <=30-bit NTT per RNS limb.
+        self._limbs = self.params.limb_count
 
     @property
     def supports_slotwise_plain(self) -> bool:
@@ -129,21 +133,24 @@ class SimulatedHEBackend(HEBackend):
     def _charge_encrypt_transforms(self, count: int = 1) -> None:
         """Transforms one encryption executes (see :meth:`BFVContext.encrypt_batch`).
 
-        Three per ciphertext either way: EVAL-native encryption pushes the
-        message/noise polynomials forward, COEFF encryption pulls the
-        public-key products back through two inverses.
+        Three per limb per ciphertext either way: EVAL-native encryption
+        pushes the message/noise polynomials forward, COEFF encryption pulls
+        the public-key products back through two inverses.
         """
         if self._domain is Domain.EVAL:
-            self.tracker.record_transforms(forward=3 * count)
+            self.tracker.record_transforms(forward=3 * count * self._limbs)
         else:
-            self.tracker.record_transforms(forward=count, inverse=2 * count)
+            self.tracker.record_transforms(
+                forward=count * self._limbs, inverse=2 * count * self._limbs
+            )
 
     def _charge_decrypt_transforms(self, handles) -> None:
-        """One inverse per EVAL ciphertext; a forward + inverse per COEFF one."""
+        """One inverse per limb per EVAL ciphertext; forward + inverse per COEFF one."""
         eval_count = sum(1 for h in handles if h.domain is Domain.EVAL)
         coeff_count = len(handles) - eval_count
         self.tracker.record_transforms(
-            forward=coeff_count, inverse=coeff_count + eval_count
+            forward=coeff_count * self._limbs,
+            inverse=(coeff_count + eval_count) * self._limbs,
         )
 
     def _binary_domain(self, a: SimulatedCiphertext, b: SimulatedCiphertext) -> Domain:
@@ -155,7 +162,7 @@ class SimulatedHEBackend(HEBackend):
         """
         if a.domain is b.domain:
             return a.domain
-        self.tracker.record_transforms(forward=2)
+        self.tracker.record_transforms(forward=2 * self._limbs)
         return Domain.EVAL
 
     # -- HEBackend interface -------------------------------------------------
@@ -207,8 +214,8 @@ class SimulatedHEBackend(HEBackend):
         self.tracker.record("he_add_plain")
         if a.domain is Domain.EVAL:
             # The scaled message polynomial crosses into the evaluation
-            # domain once; the ciphertext itself never leaves it.
-            self.tracker.record_transforms(forward=1)
+            # domain once (per limb); the ciphertext itself never leaves it.
+            self.tracker.record_transforms(forward=self._limbs)
         length = max(a.length, values.size)
         left = np.zeros(length, dtype=np.int64)
         right = np.zeros(length, dtype=np.int64)
@@ -231,9 +238,9 @@ class SimulatedHEBackend(HEBackend):
         )
 
     def encode_plain_eval(self, values: np.ndarray) -> SimulatedEvalPlain:
-        """Pre-transform a plaintext vector at plan time (one forward, once)."""
+        """Pre-transform a plaintext vector at plan time (one forward per limb, once)."""
         values = self._check_length(values)
-        self.tracker.record_transforms(forward=1)
+        self.tracker.record_transforms(forward=self._limbs)
         return SimulatedEvalPlain(slots=values.copy())
 
     def mul_plain(
@@ -262,12 +269,14 @@ class SimulatedHEBackend(HEBackend):
         result_domain = a.domain
         if pre_transformed:
             if a.domain is not Domain.EVAL:
-                self.tracker.record_transforms(forward=2)
+                self.tracker.record_transforms(forward=2 * self._limbs)
                 result_domain = Domain.EVAL
         elif a.domain is Domain.EVAL:
-            self.tracker.record_transforms(forward=1)
+            self.tracker.record_transforms(forward=self._limbs)
         else:
-            self.tracker.record_transforms(forward=3, inverse=2)
+            self.tracker.record_transforms(
+                forward=3 * self._limbs, inverse=2 * self._limbs
+            )
         norm = float(np.max(np.abs(centered))) if centered.size else 1.0
         return SimulatedCiphertext(
             slots=np.mod(left * right, t),

@@ -25,11 +25,14 @@ from typing import Iterator
 __all__ = ["OperationTracker", "NTT_FORWARD", "NTT_INVERSE"]
 
 #: Operation names under which NTT domain crossings are recorded.  Both HE
-#: backends charge one count per *polynomial* transformed (a ciphertext is
-#: two polynomials), so the counters are directly comparable to the closed
-#: forms in :func:`repro.he.packing.bsgs_transform_count` and between the
-#: exact backend (which executes the transforms) and the simulator (which
-#: models the transforms the deployed scheme would execute).
+#: backends charge one count per *limb polynomial* transformed (a ciphertext
+#: is two polynomials of ``params.limb_count`` RNS limbs each, and a
+#: double-CRT scheme runs one NTT per limb), so the counters are directly
+#: comparable to the closed forms in
+#: :func:`repro.he.packing.bsgs_transform_count` (which scale by the same
+#: ``limbs`` factor) and between the exact backend (which executes the
+#: transforms) and the simulator (which models the transforms the deployed
+#: scheme would execute).
 NTT_FORWARD = "ntt_forward"
 NTT_INVERSE = "ntt_inverse"
 

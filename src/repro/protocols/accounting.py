@@ -108,12 +108,16 @@ class InferenceAccount:
 
 def _he_matmul_counts(
     rows: int, inner: int, cols: int, slots: int, layout: PackingLayout,
-    ciphertext_bytes: int,
+    ciphertext_bytes: int, limbs: int = 1,
 ) -> OperationCounts:
     """HE operation counts for an encrypted (rows x inner) @ (inner x cols).
 
     SIMD batching amortises ``slots`` multiply-accumulates per ciphertext
     operation; the rotation count follows the packing algebra of Figure 6.
+    ``limbs`` is the RNS limb count of the deployed double-CRT ciphertext
+    basis: transform counts are per limb polynomial, while rotations,
+    products and wire bytes are per ciphertext (``ciphertext_bytes`` already
+    reflects the full ``deployed_log_q``).
     """
     macs = rows * inner * cols
     mults = macs / slots
@@ -130,8 +134,9 @@ def _he_matmul_counts(
         # Evaluation-resident transform economy: encryption is born in NTT
         # form (three transforms per input ciphertext), the plaintext
         # operand transforms are hoisted to plan time, and each output
-        # ciphertext pays exactly one inverse at the decrypt boundary.
-        he_ntt_transforms=3 * input_cts + output_cts,
+        # ciphertext pays exactly one inverse at the decrypt boundary —
+        # each transform once per RNS limb.
+        he_ntt_transforms=(3 * input_cts + output_cts) * limbs,
     )
 
 
@@ -169,8 +174,14 @@ def count_operations(
     slots: int = 4096,
     ciphertext_bytes: int = 2 * 4096 * 8,
     word_bits: int = 15,
+    limbs: int = 1,
 ) -> InferenceAccount:
-    """Count every operation of one private inference of ``config`` under ``variant``."""
+    """Count every operation of one private inference of ``config`` under ``variant``.
+
+    ``limbs`` scales the per-limb NTT transform counts for a double-CRT
+    deployment (``BFVParameters.limb_count``); the default of 1 keeps the
+    historical single-modulus accounting.
+    """
     n = config.seq_len
     d = config.embed_dim
     vocab = config.vocab_size
@@ -194,7 +205,7 @@ def count_operations(
         pass
     else:
         he_target(STEP_EMBED).add(
-            _he_matmul_counts(n, vocab, d, slots, variant.packing, ciphertext_bytes)
+            _he_matmul_counts(n, vocab, d, slots, variant.packing, ciphertext_bytes, limbs)
         )
         steps[STEP_EMBED].online.add(_online_share_matmul(n, vocab, d, element_bytes))
 
@@ -203,7 +214,7 @@ def count_operations(
         for _ in range(blocks):
             for _ in range(3):
                 he_target(STEP_QKV).add(
-                    _he_matmul_counts(n, d, d, slots, variant.packing, ciphertext_bytes)
+                    _he_matmul_counts(n, d, d, slots, variant.packing, ciphertext_bytes, limbs)
                 )
                 steps[STEP_QKV].online.add(_online_share_matmul(n, d, d, element_bytes))
 
@@ -216,12 +227,12 @@ def count_operations(
             # this step grows under CHGS while QKV disappears.
             for _ in range(3):
                 he_target(STEP_QK).add(
-                    _he_matmul_counts(n, d, d, slots, variant.packing, ciphertext_bytes)
+                    _he_matmul_counts(n, d, d, slots, variant.packing, ciphertext_bytes, limbs)
                 )
             steps[STEP_QK].online.add(_online_share_matmul(n, d, d, element_bytes))
         for _ in range(heads):
             he_target(STEP_QK).add(
-                _he_matmul_counts(n, head_dim, n, slots, variant.packing, ciphertext_bytes)
+                _he_matmul_counts(n, head_dim, n, slots, variant.packing, ciphertext_bytes, limbs)
             )
             steps[STEP_QK].online.add(
                 _online_share_matmul(n, head_dim, n, element_bytes)
@@ -237,7 +248,7 @@ def count_operations(
     if variant.combine_layers:
         # Fold the embedding masks into the combined offline preparation.
         he_target(STEP_QK).add(
-            _he_matmul_counts(n, vocab, d, slots, variant.packing, ciphertext_bytes)
+            _he_matmul_counts(n, vocab, d, slots, variant.packing, ciphertext_bytes, limbs)
         )
 
     # ---- SoftMax (GC) ----------------------------------------------------
@@ -253,7 +264,7 @@ def count_operations(
     for _ in range(blocks):
         for _ in range(heads):
             he_target(STEP_ATTENTION_VALUE).add(
-                _he_matmul_counts(n, n, head_dim, slots, variant.packing, ciphertext_bytes)
+                _he_matmul_counts(n, n, head_dim, slots, variant.packing, ciphertext_bytes, limbs)
             )
             steps[STEP_ATTENTION_VALUE].online.add(
                 _online_share_matmul(n, n, head_dim, element_bytes)
@@ -262,13 +273,13 @@ def count_operations(
     # ---- Others: output projection, FFN, LayerNorm, GELU, head -----------
     for _ in range(blocks):
         he_target(STEP_OTHERS).add(
-            _he_matmul_counts(n, d, d, slots, variant.packing, ciphertext_bytes)
+            _he_matmul_counts(n, d, d, slots, variant.packing, ciphertext_bytes, limbs)
         )
         he_target(STEP_OTHERS).add(
-            _he_matmul_counts(n, d, ffn, slots, variant.packing, ciphertext_bytes)
+            _he_matmul_counts(n, d, ffn, slots, variant.packing, ciphertext_bytes, limbs)
         )
         he_target(STEP_OTHERS).add(
-            _he_matmul_counts(n, ffn, d, slots, variant.packing, ciphertext_bytes)
+            _he_matmul_counts(n, ffn, d, slots, variant.packing, ciphertext_bytes, limbs)
         )
         steps[STEP_OTHERS].online.add(_online_share_matmul(n, d, d, element_bytes))
         steps[STEP_OTHERS].online.add(_online_share_matmul(n, d, ffn, element_bytes))
@@ -283,10 +294,10 @@ def count_operations(
     steps[STEP_OTHERS].online.add(ot_on)
     # Pooler + classifier linear layers.
     he_target(STEP_OTHERS).add(
-        _he_matmul_counts(1, d, d, slots, variant.packing, ciphertext_bytes)
+        _he_matmul_counts(1, d, d, slots, variant.packing, ciphertext_bytes, limbs)
     )
     he_target(STEP_OTHERS).add(
-        _he_matmul_counts(1, d, config.num_labels, slots, variant.packing, ciphertext_bytes)
+        _he_matmul_counts(1, d, config.num_labels, slots, variant.packing, ciphertext_bytes, limbs)
     )
 
     # Primer-base charges the garbling phase online as well (no offline at all

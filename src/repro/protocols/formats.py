@@ -16,7 +16,11 @@ the exact backend is 2^15), with correspondingly smaller toy dimensions.
 
 from __future__ import annotations
 
+import math
+from functools import lru_cache
+
 from ..fixedpoint.encoding import FixedPointFormat
+from ..he.ntt import find_rns_primes
 from ..he.params import BFVParameters
 
 __all__ = ["PROTOCOL_FORMAT", "VALUE_FORMAT", "EXACT_DEMO_FORMAT", "protocol_he_parameters"]
@@ -31,20 +35,27 @@ VALUE_FORMAT = FixedPointFormat(total_bits=15, frac_bits=7)
 EXACT_DEMO_FORMAT = FixedPointFormat(total_bits=15, frac_bits=4)
 
 
+@lru_cache(maxsize=1)
 def protocol_he_parameters() -> BFVParameters:
     """HE parameters whose plaintext space holds the 31-bit share ring.
 
     A 31-bit plaintext modulus needs noise headroom well beyond a single
     60-bit limb once ciphertexts are multiplied by uniform ring elements, so
     — like Delphi-class preprocessing — the deployment corresponds to an
-    8192-slot ring with a three-limb (~180-bit) coefficient modulus, which is
-    inside the HE-standard 128-bit budget of 218 bits at N=8192.  They are
-    used with the simulated backend for model-scale protocol runs; the exact
+    8192-slot ring with a six-limb double-CRT coefficient modulus of
+    30-bit NTT-friendly primes (~180 bits total), which is inside the
+    HE-standard 128-bit budget of 218 bits at N=8192.  Every limb honours
+    the lazy-reduction NTT bound, so the parameters are legal on the exact
+    backend too (pre-RNS versions used an illegal 61-bit Mersenne modulus
+    that only the simulated wire-sizing paths tolerated).  They are used
+    with the simulated backend for model-scale protocol runs; the exact
     backend keeps its own smaller parameters for the worked examples.
     """
+    primes = find_rns_primes(30, 8192, 6)
     return BFVParameters(
         ring_degree=8192,
-        ciphertext_modulus=(1 << 61) - 1,
+        ciphertext_modulus=math.prod(primes),
+        ciphertext_moduli=primes,
         plaintext_modulus=PROTOCOL_FORMAT.modulus,
         error_stddev=3.2,
         security_bits=128,

@@ -58,7 +58,11 @@ __all__ = ["PlanStoreKey", "PlanStore", "PlanStoreStats", "model_fingerprint"]
 #: v2: ciphertext handles in pickled plans carry a ``domain`` field
 #: (evaluation-domain residency) — v1 entries unpickle to handles without
 #: it and would crash at first use, so they must read as misses instead.
-_MAGIC = b"REPRO-PLAN2\n"
+#: v3: double-CRT ciphertexts — exact-backend components are limb-major
+#: ``(L, N)`` arrays and BSGS plans carry a ``limbs`` field, so pre-RNS
+#: entries would deserialize into shapes the limb-aware consumers reject
+#: (or worse, silently mis-shape); they must read as misses instead.
+_MAGIC = b"REPRO-PLAN3\n"
 
 
 def model_fingerprint(model) -> str:

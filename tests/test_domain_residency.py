@@ -75,7 +75,7 @@ class TestConversionRoundTrip:
         """EVAL-domain rotation == forward(rotate_coefficients(...)) exactly."""
         params = midsize_parameters(256)
         backend = ExactBFVBackend(params, seed=3)
-        ring = backend.context.ring
+        ring = backend.context.ring.limb_rings[0]  # single-limb parameters
         poly = rng.integers(0, params.ciphertext_modulus, size=256, dtype=np.int64)
         for steps in (0, 1, 7, 255, 256, 300, 511):
             via_eval = ring.rotate_eval(ring.ntt.forward(poly), steps)
@@ -99,9 +99,9 @@ class TestExactBackendEquivalence:
         h_coeff = co.encrypt(values)
         assert h_eval.ciphertext.domain is Domain.EVAL
         assert h_coeff.ciphertext.domain is Domain.COEFF
-        ntt = co.context.ring.ntt
-        assert np.array_equal(h_eval.ciphertext.c0, ntt.forward(h_coeff.ciphertext.c0))
-        assert np.array_equal(h_eval.ciphertext.c1, ntt.forward(h_coeff.ciphertext.c1))
+        ring = co.context.ring
+        assert np.array_equal(h_eval.ciphertext.c0, ring.forward(h_coeff.ciphertext.c0))
+        assert np.array_equal(h_eval.ciphertext.c1, ring.forward(h_coeff.ciphertext.c1))
         # And the context-level conversions move between them bit-exactly.
         down = ev.context.to_coeff(h_eval.ciphertext)
         assert np.array_equal(down.c0, h_coeff.ciphertext.c0)
@@ -406,7 +406,9 @@ class TestLinearServingPlans:
 
         first = drain_batch()   # includes the one-off plan preparation
         second = drain_batch()  # pure hot path
-        closed = bsgs_transform_count(16, 16, 4, backend.slot_count)
+        closed = bsgs_transform_count(
+            16, 16, 4, backend.slot_count, limbs=backend.params.limb_count
+        )
         assert second == closed
         assert first > second  # the plan-time forwards happened exactly once
 

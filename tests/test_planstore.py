@@ -115,14 +115,17 @@ class TestPersistence:
         path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
         assert store.load(key) is None
 
-    def test_previous_format_version_is_a_miss(self, tmp_path, small_model):
-        """v1 entries (pre-domain-residency handles) must never install."""
+    @pytest.mark.parametrize(
+        "stale_magic", [b"REPRO-PLAN1\n", b"REPRO-PLAN2\n"], ids=["v1", "v2"]
+    )
+    def test_previous_format_version_is_a_miss(self, tmp_path, small_model, stale_magic):
+        """v1 (pre-residency) and v2 (pre-RNS) entries must never install."""
         producer = PrivateTransformerInference(small_model, PRIMER_FPC, seed=17)
         store = PlanStore(tmp_path)
         key = store.key_for(small_model, "primer-fpc", 17, 1)
         path = store.store(key, producer.prepare())
         blob = path.read_bytes()
-        path.write_bytes(blob.replace(b"REPRO-PLAN2\n", b"REPRO-PLAN1\n", 1))
+        path.write_bytes(blob.replace(b"REPRO-PLAN3\n", stale_magic, 1))
         assert store.load(key) is None
         assert not path.exists()  # discarded, falls back to a cold build
 
