@@ -46,5 +46,15 @@ def record(bench: str, section: str, payload: dict) -> Path:
     data.setdefault("sections", {})[section] = payload
     data["updated_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     data["python"] = platform.python_version()
+    try:
+        from repro.he import kernels
+
+        data["kernel_tier"] = kernels.active_tier_name()
+        data["kernel_calibration"] = {
+            tier: {metric: float(seconds) for metric, seconds in costs.items()}
+            for tier, costs in sorted(kernels.calibration_snapshot().items())
+        }
+    except ImportError:
+        pass
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return path

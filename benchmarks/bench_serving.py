@@ -45,6 +45,13 @@ Three comparisons, mirroring the levels the serving runtime batches at:
    form ``(3 * input_cts + output_cts) * L`` with zero gap, rotations
    limb-independent.
 
+8. **Kernel tier**: the compiled/multicore HE kernel tier
+   (:mod:`repro.he.kernels`) against the reference numpy path on the same
+   exact-backend serving workload at paper dimensions (N = 4096, a 6-limb
+   double-CRT basis) — logits bit-identical, transform/rotation closed
+   forms untouched, and a committed >=2x wall-clock floor for the
+   self-calibrated fastest tier.
+
 Headline numbers are persisted to ``BENCH_serving.json`` (see
 ``benchmarks/_record.py``) so the performance trajectory is tracked across
 PRs; CI uploads the file as a workflow artifact and
@@ -562,6 +569,105 @@ def test_rns_limb_arithmetic():
     assert gap == 0
     assert two_transforms == 2 * one_transforms
     assert two_rotations == one_rotations
+
+
+def test_kernel_tier():
+    """Acceptance: fastest kernel tier >= 2x exact-backend serving wall clock.
+
+    The same shared-slot linear workload as the RNS section, served on the
+    exact backend at the paper-facing dimension point — ring degree 4096
+    with a six-limb double-CRT basis (~180-bit composite modulus) — once
+    under every available kernel tier.  Every tier must return logits
+    bit-identical to the ``reference`` numpy path with the tracker-measured
+    transform count still equal to the limb-scaled closed form
+    ``(3 * input_cts + output_cts) * L`` (gap zero) and rotation counts
+    unchanged; the self-calibrated fastest tier must clear a 2x wall-clock
+    speedup.  Skipped entirely when no compiled tier is available (the
+    committed numbers then stand).
+    """
+    from repro.he import kernels
+
+    fastest = kernels.fastest_tier_name()
+    if fastest == "reference":
+        pytest.skip("no compiled kernel tier available on this runner")
+
+    params = rns_serving_parameters(4096, 6)
+    matrices, weights = _make_workload(seed=33)
+
+    def serve(tier):
+        with kernels.tier_scope(tier):
+            backend = ExactBFVBackend(params, seed=5)
+            runtime = ServingRuntime(
+                backend_factory=lambda: backend, max_batch_size=BATCH
+            )
+            runtime.register_weights("proj", weights)
+            best = float("inf")
+            for _ in range(2):
+                ids = [runtime.submit_linear("proj", m) for m in matrices]
+                backend.tracker.reset()
+                start = time.perf_counter()
+                runtime.run_pending()
+                best = min(best, time.perf_counter() - start)
+                results = [runtime.result(rid).result for rid in ids]
+            transforms = backend.tracker.transforms()
+            rotations = backend.tracker.count("he_rotate")
+        t = params.plaintext_modulus
+        for m, got in zip(matrices, results):
+            assert np.array_equal(got, (m @ weights) % t), tier
+        return results, best, transforms, rotations
+
+    tiers = kernels.available_tiers()
+    runs = {tier: serve(tier) for tier in tiers}
+    ref_results, ref_seconds, ref_transforms, ref_rotations = runs["reference"]
+
+    closed = (3 * FEATURES + OUTPUTS) * params.limb_count
+    bit_identical = all(
+        np.array_equal(a, b)
+        for tier in tiers
+        for a, b in zip(runs[tier][0], ref_results)
+    )
+    gap = max(abs(runs[tier][2] - closed) for tier in tiers)
+    rotations_unchanged = all(runs[tier][3] == ref_rotations for tier in tiers)
+    speedup = ref_seconds / runs[fastest][1]
+    calibration = kernels.calibration_snapshot()
+
+    print(f"\nKernel tier (shared-slot linear, N=4096, {params.limb_count} limbs)\n")
+    print(format_table(
+        ["Tier", "Seconds", "Speedup", "Calibrated NTT (us)"],
+        [
+            [
+                tier + (" (auto)" if tier == fastest else ""),
+                f"{runs[tier][1]:.4f}",
+                f"{ref_seconds / runs[tier][1]:.1f}x",
+                f"{calibration[tier]['ntt_seconds'] * 1e6:.0f}",
+            ]
+            for tier in tiers
+        ],
+    ))
+    record("serving", "kernel_tier", {
+        "fastest_tier": fastest,
+        "available_tiers": tiers,
+        "ring_degree": params.ring_degree,
+        "limbs": params.limb_count,
+        "reference_seconds": ref_seconds,
+        "fastest_seconds": runs[fastest][1],
+        "exact_backend_speedup": speedup,
+        "bit_identical": int(bit_identical),
+        "closed_form_gap": gap,
+        "rotations_unchanged": int(rotations_unchanged),
+        "transforms": ref_transforms,
+        "transforms_closed_form": closed,
+        "per_tier_seconds": {tier: runs[tier][1] for tier in tiers},
+        "calibration": {
+            tier: {k: float(v) for k, v in costs.items()}
+            for tier, costs in sorted(calibration.items())
+        },
+    })
+    assert bit_identical
+    assert gap == 0
+    assert rotations_unchanged
+    # Same threshold as the committed check_regressions.py floor.
+    assert speedup >= 2.0
 
 
 def test_plan_store_warm_start(tmp_path):

@@ -7,8 +7,8 @@ CI runs it twice: in the blocking tier-1 job against the *committed*
 again after the tier-2 benchmark job against freshly measured numbers
 (advisory, since wall-clock speedups are runner-dependent).  Either way a
 regression of the cached-engine, pipelined, BSGS-rotation,
-FHGS-slot-sharing, plan-store-warm-start or NTT-domain-residency wins is
-caught before it lands silently.
+FHGS-slot-sharing, plan-store-warm-start, NTT-domain-residency or
+kernel-tier wins is caught before it lands silently.
 
 Run with:  python benchmarks/check_regressions.py [path-to-BENCH_serving.json]
 """
@@ -34,6 +34,11 @@ FLOORS: dict[str, float] = {
     # backend's resident plaintext products (typically far above 2x).
     "ntt_domain_residency.transform_reduction": 3.0,
     "ntt_domain_residency.exact_backend_speedup": 2.0,
+    # Compiled kernel tier: the self-calibrated fastest tier must keep a
+    # real wall-clock win on exact-backend serving at paper dimensions
+    # (N = 4096, six limbs; typically ~2.7x on a single core, more with
+    # multicore parallelism available).
+    "kernel_tier.exact_backend_speedup": 2.0,
 }
 
 #: ``section.metric`` -> exact required value (correctness, not wall clock):
@@ -47,6 +52,11 @@ EXACT: dict[str, float] = {
     # limb-scaled closed form (3*input_cts + output_cts) * L exactly — any
     # gap is a limb-scaling bug in a charge site or a redundant transform.
     "rns_limb_arithmetic.closed_form_gap": 0,
+    # Every kernel tier must serve logits bit-identical to the reference
+    # numpy path with the limb-scaled transform closed form intact — the
+    # tier is a performance knob, never a semantics knob.
+    "kernel_tier.bit_identical": 1,
+    "kernel_tier.closed_form_gap": 0,
 }
 
 

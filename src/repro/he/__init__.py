@@ -31,6 +31,16 @@ from .bsgs import (
     calibrate_bsgs_costs,
     prepare_bsgs_plan,
 )
+from .kernels import (
+    KernelTier,
+    active_tier_name,
+    available_tiers,
+    calibration_snapshot,
+    fastest_tier_name,
+    get_kernel_tier,
+    set_kernel_tier,
+    tier_scope,
+)
 from .ntt import (
     Domain,
     NTTContext,
@@ -80,6 +90,7 @@ __all__ = [
     "EvalPlain",
     "ExactBFVBackend",
     "HEBackend",
+    "KernelTier",
     "NTTContext",
     "OperationTracker",
     "PackedInput",
@@ -92,6 +103,8 @@ __all__ = [
     "SimulatedEvalPlain",
     "SimulatedHEBackend",
     "UnsupportedHEOperation",
+    "active_tier_name",
+    "available_tiers",
     "batch_ntt",
     "bsgs_batch_matmul",
     "bsgs_coeff_transform_count",
@@ -101,8 +114,11 @@ __all__ = [
     "bsgs_transform_count",
     "cached_ntt_parameters",
     "calibrate_bsgs_costs",
+    "calibration_snapshot",
     "ciphertext_count",
     "clear_ntt_cache",
+    "fastest_tier_name",
+    "get_kernel_tier",
     "prepare_bsgs_plan",
     "decrypt_matrix",
     "enc_times_plain",
@@ -122,7 +138,9 @@ __all__ = [
     "rotation_count",
     "rotation_savings",
     "serving_parameters",
+    "set_kernel_tier",
     "test_parameters",
+    "tier_scope",
     "toy_parameters",
     "unpack_matrix",
     "warm_ntt_cache",

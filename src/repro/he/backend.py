@@ -152,6 +152,50 @@ class HEBackend(abc.ABC):
         """Decrypt many handles (default: loop over :meth:`decrypt`)."""
         return [self.decrypt(handle) for handle in handles]
 
+    # -- fused kernels -------------------------------------------------------
+    # The linear hot paths (packed column matmul, BSGS diagonal inner loop)
+    # are sums of ciphertext × plaintext products.  These entry points give
+    # backends one place to fuse the whole accumulation — avoiding the
+    # per-term intermediate ciphertexts of the naive loop — while the
+    # defaults below ARE that naive loop, so a backend without a fused
+    # kernel (or running the ``reference`` kernel tier) is bit- and
+    # accounting-identical to the historical code path.
+    def linear_combine_batch(
+        self, handles: list[Any], weights: np.ndarray
+    ) -> list[Any | None]:
+        """Many linear combinations ``sum_k handles[k] * weights[k, j]``.
+
+        ``weights`` is ``(len(handles), n_outputs)``; entry ``j`` of the
+        result is the ``j``-th combination, or ``None`` when every scalar in
+        that column is ``0 mod t`` (callers substitute :meth:`zero`).
+        """
+        weights = np.asarray(weights, dtype=np.int64)
+        t = self.plaintext_modulus
+        results: list[Any | None] = []
+        for j in range(weights.shape[1]):
+            acc = None
+            for k, handle in enumerate(handles):
+                scalar = int(weights[k, j])
+                if scalar % t == 0:
+                    continue
+                term = self.mul_scalar(handle, scalar)
+                acc = term if acc is None else self.add(acc, term)
+            results.append(acc)
+        return results
+
+    def fused_mul_accumulate(self, terms: list[tuple[Any, Any]]) -> Any | None:
+        """``sum_k mul_plain(handle_k, operand_k)`` as one fused step.
+
+        ``terms`` pairs each ciphertext handle with its plaintext operand (a
+        raw vector or a pre-transformed :meth:`encode_plain_eval` object).
+        Returns ``None`` for an empty term list.
+        """
+        acc = None
+        for handle, operand in terms:
+            term = self.mul_plain(handle, operand)
+            acc = term if acc is None else self.add(acc, term)
+        return acc
+
 
 class ExactBFVBackend(HEBackend):
     """Adapter exposing :class:`~repro.he.bfv.BFVContext` as an ``HEBackend``.
@@ -249,3 +293,62 @@ class ExactBFVBackend(HEBackend):
 
     def zero(self, length: int) -> _ExactHandle:
         return _ExactHandle(self._context.zero_ciphertext(length), length)
+
+    def linear_combine_batch(
+        self, handles: list[_ExactHandle], weights: np.ndarray
+    ) -> "list[_ExactHandle | None]":
+        """All output columns of ``sum_k handles[k] * weights[k, j]`` fused.
+
+        Under a fused kernel tier the ``(C, O)`` scalar matrix contracts
+        against the stacked ``(C, 2, L, N)`` ciphertext components in one
+        tensordot with a single final reduction — no per-term scaled copies,
+        no per-addition intermediates.  ``mod`` distributes over the sum, so
+        residues are bit-identical to the reference loop; noise bounds are
+        accumulated in the loop's exact left-to-right float order and the
+        tracker sees identical ``he_mul_plain``/``he_add`` counts.  Falls
+        back to the reference loop for the ``reference`` tier, mixed-domain
+        operands, or scalar magnitudes that could overflow the unreduced
+        int64 accumulation.
+        """
+        from . import kernels
+
+        weights = np.asarray(weights, dtype=np.int64)
+        tier = kernels.active_tier(self.params.kernel_tier)
+        if not tier.fused or not handles or weights.shape[1] == 0:
+            return super().linear_combine_batch(handles, weights)
+        cts = [handle.ciphertext for handle in handles]
+        domain = cts[0].domain
+        if any(ct.domain is not domain for ct in cts):
+            return super().linear_combine_batch(handles, weights)
+        t = self.params.plaintext_modulus
+        residues = np.mod(weights, t)                                  # (C, O)
+        centered = np.where(residues > t // 2, residues - t, residues)
+        q_col = self._context._q_col                                   # (L, 1)
+        worst_l1 = int(np.abs(centered).sum(axis=0).max())
+        if worst_l1 and int(q_col.max()) * worst_l1 >= 1 << 62:
+            return super().linear_combine_batch(handles, weights)
+        stacked = np.stack([np.stack([ct.c0, ct.c1]) for ct in cts])   # (C,2,L,N)
+        combined = tier.fused_accumulate(centered, stacked, q_col)     # (O,2,L,N)
+        results: "list[_ExactHandle | None]" = []
+        for j in range(weights.shape[1]):
+            nonzero = np.flatnonzero(residues[:, j])
+            if nonzero.size == 0:
+                results.append(None)
+                continue
+            noise = 0.0
+            length = 0
+            slots = 0
+            for position, k in enumerate(nonzero):
+                term_noise = cts[k].noise_bound * max(1, abs(int(centered[k, j])))
+                noise = term_noise if position == 0 else noise + term_noise
+                length = max(length, handles[k].length)
+                slots = max(slots, cts[k].slots_used)
+            self.tracker.record("he_mul_plain", count=int(nonzero.size))
+            if nonzero.size > 1:
+                self.tracker.record("he_add", count=int(nonzero.size) - 1)
+            ciphertext = Ciphertext(
+                c0=combined[j, 0], c1=combined[j, 1],
+                noise_bound=noise, slots_used=slots, domain=domain,
+            )
+            results.append(_ExactHandle(ciphertext, length))
+        return results

@@ -155,7 +155,11 @@ class BFVContext:
 
     def __post_init__(self) -> None:
         basis = RNSBasis(primes=tuple(self.params.ciphertext_moduli))
-        self.ring = RNSPolynomialRing(degree=self.params.ring_degree, basis=basis)
+        self.ring = RNSPolynomialRing(
+            degree=self.params.ring_degree,
+            basis=basis,
+            kernel_tier=self.params.kernel_tier,
+        )
         q = np.array(basis.primes, dtype=np.int64)
         self._q_col = q[:, None]
         self._q_batch = q[:, None, None]

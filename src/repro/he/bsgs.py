@@ -188,7 +188,7 @@ def bsgs_geometry(
 
 
 def calibrate_bsgs_costs(
-    backend: HEBackend, *, repeats: int = 3
+    backend: HEBackend, *, repeats: int = 3, kernel_tier: str | None = None
 ) -> BSGSCosts:
     """One-shot calibration of :class:`BSGSCosts` on ``backend``.
 
@@ -197,12 +197,20 @@ def calibrate_bsgs_costs(
     recorded on the backend's tracker like any other work, so calibrate on
     a throwaway backend (or before resetting the tracker) when exact
     operation counts matter downstream.
+
+    ``kernel_tier`` re-measures under a specific kernel tier (see
+    :mod:`repro.he.kernels`); by default the measurement runs under the
+    tier that will actually serve — the process-level selection — so the
+    baby/giant split, slot-sharing ``k`` and scheduler size-awareness tune
+    themselves to the kernels in use on this hardware.
     """
     if not getattr(backend, "supports_slotwise_plain", False):
         raise ParameterError(
             "BSGS cost calibration needs slot-wise plaintext products "
             "(the functional backend)"
         )
+    from . import kernels
+
     length = backend.slot_count
     scratch = backend.zero(length)
     mask = np.ones(length, dtype=np.int64)
@@ -215,8 +223,9 @@ def calibrate_bsgs_costs(
             best = min(best, time.perf_counter() - start)
         return best
 
-    rotation_seconds = best_of(lambda: backend.rotate(scratch, 1))
-    mul_seconds = best_of(lambda: backend.mul_plain(scratch, mask))
+    with kernels.tier_scope(kernel_tier):
+        rotation_seconds = best_of(lambda: backend.rotate(scratch, 1))
+        mul_seconds = best_of(lambda: backend.mul_plain(scratch, mask))
     return BSGSCosts(rotation_seconds=rotation_seconds, mul_seconds=mul_seconds)
 
 
@@ -419,7 +428,13 @@ def bsgs_matmul_handles(
     for o in range(geometry.out_groups):
         output = None
         for j in range(geometry.giant):
-            acc = None
+            # Collect every (baby ciphertext, diagonal mask) pair of this
+            # giant step, then hand the whole multiply-accumulate to the
+            # backend's fused kernel — one call instead of per-diagonal
+            # intermediate ciphertexts (the default implementation is the
+            # historical mul_plain/add loop, so counts and results are
+            # identical either way).
+            terms = []
             for c, babies in enumerate(rotated):
                 for i, baby_ct in enumerate(babies):
                     blocks = masks[o, c, j, i]
@@ -430,8 +445,8 @@ def bsgs_matmul_handles(
                         if eval_masks is not None
                         else np.repeat(blocks, step)
                     )
-                    term = backend.mul_plain(baby_ct, operand)
-                    acc = term if acc is None else backend.add(acc, term)
+                    terms.append((baby_ct, operand))
+            acc = backend.fused_mul_accumulate(terms) if terms else None
             if acc is None:
                 continue
             if j > 0:

@@ -125,18 +125,8 @@ def enc_times_plain(
     n, d = packed_x.shape
     if weights.shape[0] != d:
         raise ShapeError(f"cannot multiply {packed_x.shape} by {weights.shape}")
-    out_cols = []
-    for j in range(weights.shape[1]):
-        acc = None
-        for k in range(d):
-            scalar = int(weights[k, j])
-            if scalar % backend.plaintext_modulus == 0:
-                continue
-            term = backend.mul_scalar(packed_x.handles[k], scalar)
-            acc = term if acc is None else backend.add(acc, term)
-        if acc is None:
-            acc = backend.zero(n)
-        out_cols.append(acc)
+    combined = backend.linear_combine_batch(packed_x.handles, weights)
+    out_cols = [acc if acc is not None else backend.zero(n) for acc in combined]
     return PackedMatrix(handles=out_cols, shape=(n, weights.shape[1]), axis="columns")
 
 
@@ -154,18 +144,10 @@ def plain_times_enc(
     b_rows, b_cols = packed_b.shape
     if matrix.shape[1] != b_rows:
         raise ShapeError(f"cannot multiply {matrix.shape} by {packed_b.shape}")
-    out_rows = []
-    for i in range(matrix.shape[0]):
-        acc = None
-        for k in range(b_rows):
-            scalar = int(matrix[i, k])
-            if scalar % backend.plaintext_modulus == 0:
-                continue
-            term = backend.mul_scalar(packed_b.handles[k], scalar)
-            acc = term if acc is None else backend.add(acc, term)
-        if acc is None:
-            acc = backend.zero(b_cols)
-        out_rows.append(acc)
+    # Row ``i`` of the result is the linear combination with scalar column
+    # ``matrix[i, :]`` — i.e. the batch combine against ``matrix.T``.
+    combined = backend.linear_combine_batch(packed_b.handles, matrix.T)
+    out_rows = [acc if acc is not None else backend.zero(b_cols) for acc in combined]
     return PackedMatrix(
         handles=out_rows, shape=(matrix.shape[0], b_cols), axis="rows"
     )

@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ParameterError
+from . import kernels as _kernels
 
 __all__ = [
     "Domain",
@@ -351,16 +352,16 @@ class NTTContext:
             )
         return coeffs
 
-    def forward_batch(self, coeffs: np.ndarray) -> np.ndarray:
-        """Forward NTT of every row of a ``(batch, N)`` coefficient array."""
+    def _forward_batch_numpy(self, coeffs: np.ndarray) -> np.ndarray:
+        """The numpy reference forward transform (the ``reference`` tier)."""
         q = self.modulus
         reduced = (self._as_batch(coeffs) % q).astype(np.uint64)
         twisted = self._shoup_mul(reduced, *self._psi_twist)      # [0, 2q)
         lazy = self._transform(twisted, self._omega_stages)
         return (lazy % np.uint64(q)).astype(np.int64)
 
-    def inverse_batch(self, values: np.ndarray) -> np.ndarray:
-        """Inverse NTT of every row of a ``(batch, N)`` value array."""
+    def _inverse_batch_numpy(self, values: np.ndarray) -> np.ndarray:
+        """The numpy reference inverse transform (the ``reference`` tier)."""
         q = self.modulus
         reduced = (self._as_batch(values) % q).astype(np.uint64)
         lazy = self._transform(reduced, self._omega_inv_stages)
@@ -368,6 +369,24 @@ class NTTContext:
         # Shoup multiply, then reduce the lazy value exactly once.
         scaled = self._shoup_mul(lazy, *self._psi_inv_scaled)     # [0, 2q)
         return (scaled % np.uint64(q)).astype(np.int64)
+
+    def forward_batch(
+        self, coeffs: np.ndarray, *, kernel_tier: str | None = None
+    ) -> np.ndarray:
+        """Forward NTT of every row of a ``(batch, N)`` coefficient array.
+
+        Dispatches to the active kernel tier (see :mod:`repro.he.kernels`);
+        every tier is bit-identical to the numpy reference transform.
+        """
+        tier = _kernels.active_tier(kernel_tier)
+        return tier.ntt_batch(self, self._as_batch(coeffs), inverse=False)
+
+    def inverse_batch(
+        self, values: np.ndarray, *, kernel_tier: str | None = None
+    ) -> np.ndarray:
+        """Inverse NTT of every row of a ``(batch, N)`` value array."""
+        tier = _kernels.active_tier(kernel_tier)
+        return tier.ntt_batch(self, self._as_batch(values), inverse=True)
 
     def multiply_batch(self, coeffs: np.ndarray, other: np.ndarray) -> np.ndarray:
         """Negacyclic product of every row of ``coeffs`` with the vector ``other``.
@@ -479,17 +498,25 @@ def cached_ntt_parameters() -> list[tuple[int, int]]:
         return list(_context_cache)
 
 
-def warm_ntt_cache(parameter_pairs: "list[tuple[int, int]] | None" = None) -> int:
+def warm_ntt_cache(
+    parameter_pairs: "list[tuple[int, int]] | None" = None,
+    *,
+    kernel_tier: str | None = None,
+) -> int:
     """Pre-build NTT contexts for ``parameter_pairs`` and return how many.
 
     Called by pipelined-serving worker initialisers so that a freshly
     spawned worker process builds its twiddle tables once at start-up
     instead of once per batch (under ``fork`` the parent's warm tables are
-    inherited and this is a cache hit).
+    inherited and this is a cache hit).  The active kernel tier's state is
+    warmed alongside the tables — compiled-library load, packed twiddle
+    layouts, jit specialization — so the first pipelined batch does not pay
+    tier initialisation inside a worker.
     """
     pairs = parameter_pairs if parameter_pairs is not None else cached_ntt_parameters()
     for ring_degree, modulus in pairs:
-        get_ntt_context(ring_degree, modulus)
+        context = get_ntt_context(ring_degree, modulus)
+        _kernels.warm_tier(context, kernel_tier)
     return len(pairs)
 
 

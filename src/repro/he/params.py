@@ -96,6 +96,12 @@ class BFVParameters:
     deployed_modulus_bits: int | None = None
     #: RNS limb primes; ``None`` normalises to ``(ciphertext_modulus,)``.
     ciphertext_moduli: tuple[int, ...] | None = None
+    #: Kernel tier for the HE hot loops (see :mod:`repro.he.kernels`):
+    #: ``None`` defers to the process-level selection (``REPRO_KERNEL_TIER``
+    #: env var, then self-calibrated ``auto``); an explicit name pins the
+    #: tier for every ring built from these parameters.  Every tier is
+    #: bit-identical, so this only affects wall clock.
+    kernel_tier: str | None = None
 
     def __post_init__(self) -> None:
         n = self.ring_degree
@@ -196,7 +202,9 @@ class BFVParameters:
         return self.deployed_log_q <= max_log_q
 
 
-def toy_parameters(ring_degree: int = 64) -> BFVParameters:
+def toy_parameters(
+    ring_degree: int = 64, *, kernel_tier: str | None = None
+) -> BFVParameters:
     """Very small parameters for fast property-based tests."""
     modulus = find_ntt_prime(28, ring_degree)
     return BFVParameters(
@@ -206,10 +214,13 @@ def toy_parameters(ring_degree: int = 64) -> BFVParameters:
         error_stddev=1.0,
         security_bits=0,
         deployed_modulus_bits=60,
+        kernel_tier=kernel_tier,
     )
 
 
-def test_parameters(ring_degree: int = 256) -> BFVParameters:
+def test_parameters(
+    ring_degree: int = 256, *, kernel_tier: str | None = None
+) -> BFVParameters:
     """Medium parameters used by integration tests and the worked examples."""
     modulus = find_ntt_prime(29, ring_degree)
     return BFVParameters(
@@ -219,10 +230,13 @@ def test_parameters(ring_degree: int = 256) -> BFVParameters:
         error_stddev=2.0,
         security_bits=0,
         deployed_modulus_bits=60,
+        kernel_tier=kernel_tier,
     )
 
 
-def serving_parameters(ring_degree: int = 256) -> BFVParameters:
+def serving_parameters(
+    ring_degree: int = 256, *, kernel_tier: str | None = None
+) -> BFVParameters:
     """Exact-backend parameters for the batched linear serving path.
 
     Slot-sharing batches accumulate one scalar product per input feature in a
@@ -239,10 +253,13 @@ def serving_parameters(ring_degree: int = 256) -> BFVParameters:
         error_stddev=1.0,
         security_bits=0,
         deployed_modulus_bits=60,
+        kernel_tier=kernel_tier,
     )
 
 
-def rns_serving_parameters(ring_degree: int = 256, limbs: int = 2) -> BFVParameters:
+def rns_serving_parameters(
+    ring_degree: int = 256, limbs: int = 2, *, kernel_tier: str | None = None
+) -> BFVParameters:
     """Double-CRT serving parameters with a >=60-bit composite modulus.
 
     ``limbs`` NTT-friendly 30-bit primes give an effective
@@ -261,10 +278,11 @@ def rns_serving_parameters(ring_degree: int = 256, limbs: int = 2) -> BFVParamet
         error_stddev=1.0,
         security_bits=0,
         deployed_modulus_bits=30 * limbs,
+        kernel_tier=kernel_tier,
     )
 
 
-def paper_parameters() -> BFVParameters:
+def paper_parameters(*, kernel_tier: str | None = None) -> BFVParameters:
     """Gazelle/Delphi-era PAHE parameters at 128-bit security.
 
     N = 4096 with a ~60-bit coefficient modulus (the HE standard allows up to
@@ -284,4 +302,5 @@ def paper_parameters() -> BFVParameters:
         error_stddev=3.2,
         security_bits=128,
         deployed_modulus_bits=60,
+        kernel_tier=kernel_tier,
     )

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ParameterError
+from . import kernels as _kernels
 from .polyring import PolynomialRing
 
 __all__ = ["RNSBasis", "RNSPolynomialRing"]
@@ -115,18 +116,25 @@ class RNSPolynomialRing:
     """Arithmetic in ``Z_Q[X]/(X^N + 1)`` as ``L`` limb-wise rings.
 
     Polynomials are limb-major ``(L, N)`` int64 arrays (batches
-    ``(L, B, N)``); every method maps the corresponding
-    :class:`~repro.he.polyring.PolynomialRing` operation over the limbs.
+    ``(L, B, N)``); transforms and pointwise products hand the *whole* stack
+    to one kernel invocation (:mod:`repro.he.kernels`) so the active kernel
+    tier sees one large limbs × batch workload instead of ``L`` small ones,
+    and the remaining methods are vectorized across the limb axis directly.
+    ``kernel_tier`` optionally pins the tier for this ring (None defers to
+    the process-level selection).
     """
 
     degree: int
     basis: RNSBasis
+    kernel_tier: str | None = None
     limb_rings: tuple[PolynomialRing, ...] = field(init=False, repr=False)
+    _contexts: tuple = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.limb_rings = tuple(
             PolynomialRing(degree=self.degree, modulus=q) for q in self.basis.primes
         )
+        self._contexts = tuple(ring.ntt for ring in self.limb_rings)
 
     @property
     def limb_count(self) -> int:
@@ -155,7 +163,10 @@ class RNSPolynomialRing:
         integer vector viewed in every limb.
         """
         coeffs = np.asarray(coeffs, dtype=np.int64)
-        return np.stack([np.mod(coeffs, q) for q in self.basis.primes])
+        # One broadcast reduction instead of a per-limb Python loop:
+        # (1, ...) % (L, 1[, 1]) -> (L, ...), bit-identical to the stack of
+        # per-limb ``np.mod`` calls.
+        return np.mod(coeffs[None, ...], self._moduli_column(coeffs.ndim == 2))
 
     # -- sampling ----------------------------------------------------------
     # Stream-compatibility contract: with one limb, every sampler consumes
@@ -207,20 +218,23 @@ class RNSPolynomialRing:
         return np.mod(-a, self._moduli_column(a.ndim == 3))
 
     def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Negacyclic product, limb-wise via each limb's NTT."""
-        return np.stack(
-            [ring.mul(a[i], b[i]) for i, ring in enumerate(self.limb_rings)]
-        )
+        """Negacyclic product via one stacked transform over all limbs."""
+        both = self.forward_batch(np.stack([np.asarray(a), np.asarray(b)], axis=1))
+        return self.inverse(self.mul_eval(both[:, 0], both[:, 1]))
 
     def mul_batch(self, polys: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Limb-wise negacyclic product of a ``(L, B, N)`` batch with ``b``."""
-        return np.stack(
-            [ring.mul_batch(polys[i], b[i]) for i, ring in enumerate(self.limb_rings)]
-        )
+        """Negacyclic product of a ``(L, B, N)`` batch with ``b``, all limbs at once."""
+        fa = self.forward_batch(polys)
+        fb = self.forward(b)
+        return self.inverse_batch(fa * fb[:, None, :] % self._moduli_column(True))
 
     def mul_eval(self, a_eval: np.ndarray, b_eval: np.ndarray) -> np.ndarray:
-        """Pointwise product of EVAL-form polynomials, limb-wise int64-safe."""
-        return a_eval * b_eval % self._moduli_column(a_eval.ndim == 3)
+        """Pointwise product of EVAL-form (canonical-residue) polynomials."""
+        a_eval = np.asarray(a_eval)
+        tier = _kernels.active_tier(self.kernel_tier)
+        return tier.mul_eval(
+            a_eval, np.asarray(b_eval), self._moduli_column(a_eval.ndim == 3)
+        )
 
     def mul_scalar(self, a: np.ndarray, scalar: int) -> np.ndarray:
         """Multiply every limb by a (possibly signed) small scalar."""
@@ -228,45 +242,61 @@ class RNSPolynomialRing:
         return np.mod(a * np.mod(int(scalar), moduli), moduli)
 
     # -- transforms --------------------------------------------------------
+    # All four entry points funnel into a single stacked kernel invocation
+    # over the full ``(L, B, N)`` workload; the active tier chunks it over
+    # limbs × batch as it sees fit (one C call per limb, a shared thread
+    # pool, or the numpy reference loop — all bit-identical).
     def forward(self, a: np.ndarray) -> np.ndarray:
         """Limb-wise forward NTT of one ``(L, N)`` polynomial."""
-        return np.stack(
-            [ring.ntt.forward(a[i]) for i, ring in enumerate(self.limb_rings)]
-        )
+        return self.forward_batch(np.asarray(a)[:, None, :])[:, 0]
 
     def inverse(self, a_eval: np.ndarray) -> np.ndarray:
         """Limb-wise inverse NTT of one ``(L, N)`` polynomial."""
-        return np.stack(
-            [ring.ntt.inverse(a_eval[i]) for i, ring in enumerate(self.limb_rings)]
-        )
+        return self.inverse_batch(np.asarray(a_eval)[:, None, :])[:, 0]
 
     def forward_batch(self, polys: np.ndarray) -> np.ndarray:
-        """Limb-wise forward NTT of a ``(L, B, N)`` batch."""
-        return np.stack(
-            [ring.ntt.forward_batch(polys[i]) for i, ring in enumerate(self.limb_rings)]
+        """Forward NTT of a ``(L, B, N)`` batch in one stacked kernel call."""
+        return _kernels.stacked_ntt(
+            self._contexts, polys, inverse=False, kernel_tier=self.kernel_tier
         )
 
     def inverse_batch(self, values: np.ndarray) -> np.ndarray:
-        """Limb-wise inverse NTT of a ``(L, B, N)`` batch."""
-        return np.stack(
-            [ring.ntt.inverse_batch(values[i]) for i, ring in enumerate(self.limb_rings)]
+        """Inverse NTT of a ``(L, B, N)`` batch in one stacked kernel call."""
+        return _kernels.stacked_ntt(
+            self._contexts, values, inverse=True, kernel_tier=self.kernel_tier
         )
 
     # -- automorphisms -----------------------------------------------------
     def rotate_eval(self, a_eval: np.ndarray, steps: int) -> np.ndarray:
-        """Negacyclic rotation of EVAL-form limbs (cached monomial tables)."""
-        return np.stack(
-            [ring.rotate_eval(a_eval[i], steps) for i, ring in enumerate(self.limb_rings)]
-        )
+        """Negacyclic rotation of EVAL-form limbs (cached monomial tables).
+
+        The per-limb monomial tables stack into one ``(L, N)`` operand so
+        the rotation is a single pointwise kernel call over all limbs.
+        """
+        a_eval = np.asarray(a_eval)
+        monomials = np.stack([ctx.monomial_eval(steps) for ctx in self._contexts])
+        if a_eval.ndim == 3:
+            monomials = monomials[:, None, :]
+        return self.mul_eval(a_eval, monomials)
 
     def rotate_coefficients(self, a: np.ndarray, steps: int) -> np.ndarray:
-        """Negacyclic coefficient rotation of every limb."""
-        return np.stack(
-            [
-                ring.rotate_coefficients(a[i], steps)
-                for i, ring in enumerate(self.limb_rings)
-            ]
-        )
+        """Negacyclic coefficient rotation, vectorized across the limb axis."""
+        a = np.asarray(a)
+        n = self.degree
+        steps = steps % (2 * n)
+        sign = 1
+        if steps >= n:
+            # X**N = -1, so a shift past N is a shift by (steps - N) negated.
+            steps -= n
+            sign = -1
+        moduli = self._moduli_column(a.ndim == 3)
+        if steps == 0:
+            return np.mod(sign * a, moduli)
+        result = np.empty_like(a)
+        # Coefficients that wrap past X**N pick up a sign flip.
+        result[..., :steps] = -a[..., n - steps:]
+        result[..., steps:] = a[..., : n - steps]
+        return np.mod(sign * result, moduli)
 
     # -- CRT boundary ------------------------------------------------------
     def compose(self, limbs: np.ndarray) -> np.ndarray:

@@ -284,6 +284,84 @@ class SimulatedHEBackend(HEBackend):
             domain=result_domain,
         )
 
+    def fused_mul_accumulate(
+        self, terms: "list[tuple[SimulatedCiphertext, np.ndarray | SimulatedEvalPlain]]"
+    ) -> "SimulatedCiphertext | None":
+        """Fused ``sum_k mul_plain(handle_k, operand_k)`` (BSGS inner loop).
+
+        One stacked product-and-sum with a single final reduction instead
+        of per-diagonal intermediate ciphertexts.  ``mod`` distributes over
+        the sum, so slots are bit-identical to the reference loop; noise is
+        accumulated in the loop's float order and the tracker receives the
+        same ``he_mul_plain``/``he_add``/transform charges.  Falls back to
+        the loop under the ``reference`` tier or for non-uniform terms
+        (mixed operand kinds, domains or lengths).
+        """
+        if not terms:
+            return None
+        from . import kernels
+
+        tier = kernels.active_tier(self.params.kernel_tier)
+        if not tier.fused or len(terms) == 1:
+            return super().fused_mul_accumulate(terms)
+        handles = [handle for handle, _ in terms]
+        operands = [operand for _, operand in terms]
+        pre_transformed = isinstance(operands[0], SimulatedEvalPlain)
+        domain = handles[0].domain
+        if any(
+            isinstance(operand, SimulatedEvalPlain) is not pre_transformed
+            for operand in operands
+        ) or any(handle.domain is not domain for handle in handles):
+            return super().fused_mul_accumulate(terms)
+        t = self.params.plaintext_modulus
+        values = [
+            operand.slots if pre_transformed else np.asarray(operand, dtype=np.int64)
+            for operand in operands
+        ]
+        length0 = handles[0].length
+        size0 = values[0].size
+        if any(handle.length != length0 for handle in handles) or any(
+            value.size != size0 for value in values
+        ):
+            return super().fused_mul_accumulate(terms)
+        k = len(terms)
+        if k * (t // 2) * (t - 1) >= 1 << 62:
+            # The unreduced int64 sum of products could overflow; take the
+            # reference loop, which reduces after every term.
+            return super().fused_mul_accumulate(terms)
+        checked = np.stack([self._check_length(value) for value in values])
+        centered = np.where(checked > t // 2, checked - t, checked)     # (k, size0)
+        length = max(length0, size0)
+        left = np.zeros((k, length), dtype=np.int64)
+        right = np.zeros((k, length), dtype=np.int64)
+        left[:, :length0] = np.stack([handle.slots for handle in handles])
+        right[:, :size0] = centered
+        slots = np.mod(np.sum(left * right, axis=0), t)
+        # Accounting: identical totals to k mul_plain calls + (k-1) adds.
+        self.tracker.record("he_mul_plain", count=k)
+        result_domain = domain
+        if pre_transformed:
+            if domain is not Domain.EVAL:
+                self.tracker.record_transforms(forward=2 * self._limbs * k)
+                result_domain = Domain.EVAL
+        elif domain is Domain.EVAL:
+            self.tracker.record_transforms(forward=self._limbs * k)
+        else:
+            self.tracker.record_transforms(
+                forward=3 * self._limbs * k, inverse=2 * self._limbs * k
+            )
+        self.tracker.record("he_add", count=k - 1)
+        noise = 0.0
+        for index, handle in enumerate(handles):
+            norm = (
+                float(np.max(np.abs(centered[index]))) if centered[index].size else 1.0
+            )
+            term_noise = handle.noise_bound * max(1.0, norm)
+            noise = term_noise if index == 0 else noise + term_noise
+        return SimulatedCiphertext(
+            slots=slots, noise_bound=noise, domain=result_domain
+        )
+
     def rotate(self, a: SimulatedCiphertext, steps: int) -> SimulatedCiphertext:
         """Cyclic slot rotation over the handle's *packed length*.
 

@@ -83,12 +83,33 @@ class ServingStats:
     #: deadline outcomes (requests without a deadline count in neither)
     deadlines_met: int = 0
     deadlines_missed: int = 0
+    #: HE kernel tier that was active when the stats were summarized
+    kernel_tier: str = ""
+    #: per-tier calibration timings ``(tier, {"ntt_seconds", "mul_eval_seconds"})``
+    #: flattened to ``(("reference.ntt_seconds", 3.1e-3), ...)``; empty until the
+    #: ``auto`` tier has run its self-calibration in this process
+    kernel_costs: tuple[tuple[str, float], ...] = ()
+
+
+def _kernel_costs_snapshot() -> tuple[tuple[str, float], ...]:
+    """Flatten :func:`repro.he.kernels.calibration_snapshot` for ServingStats."""
+    from repro.he import kernels
+
+    flat: list[tuple[str, float]] = []
+    for tier, costs in sorted(kernels.calibration_snapshot().items()):
+        for metric, seconds in sorted(costs.items()):
+            flat.append((f"{tier}.{metric}", float(seconds)))
+    return tuple(flat)
 
 
 def summarize(reports: list[RequestReport], wall_seconds: float | None = None) -> ServingStats:
     """Aggregate throughput/latency statistics for a serving run."""
+    from repro.he import kernels
+
     if not reports:
-        return ServingStats(0, 0, 0.0, 0.0, 0.0, 0.0)
+        return ServingStats(
+            0, 0, 0.0, 0.0, 0.0, 0.0, kernel_tier=kernels.active_tier_name()
+        )
     total = (
         wall_seconds
         if wall_seconds is not None
@@ -109,6 +130,8 @@ def summarize(reports: list[RequestReport], wall_seconds: float | None = None) -
         max_queue_seconds=float(np.max([r.queue_seconds for r in reports])),
         deadlines_met=sum(1 for r in reports if r.deadline_met is True),
         deadlines_missed=sum(1 for r in reports if r.deadline_met is False),
+        kernel_tier=kernels.active_tier_name(),
+        kernel_costs=_kernel_costs_snapshot(),
     )
 
 
