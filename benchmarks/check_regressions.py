@@ -7,8 +7,8 @@ CI runs it twice: in the blocking tier-1 job against the *committed*
 again after the tier-2 benchmark job against freshly measured numbers
 (advisory, since wall-clock speedups are runner-dependent).  Either way a
 regression of the cached-engine, pipelined, BSGS-rotation,
-FHGS-slot-sharing, plan-store-warm-start, NTT-domain-residency or
-kernel-tier wins is caught before it lands silently.
+FHGS-slot-sharing, plan-store-warm-start, NTT-domain-residency,
+kernel-tier or fault-recovery wins is caught before it lands silently.
 
 Run with:  python benchmarks/check_regressions.py [path-to-BENCH_serving.json]
 """
@@ -39,6 +39,10 @@ FLOORS: dict[str, float] = {
     # (N = 4096, six limbs; typically ~2.7x on a single core, more with
     # multicore parallelism available).
     "kernel_tier.exact_backend_speedup": 2.0,
+    # Fault recovery: serving throughput under the injected transient-fault
+    # rate (with one guaranteed firing) must stay within 0.8x of the
+    # fault-free pass — retries amortise, they do not serialise the drain.
+    "fault_recovery.throughput_ratio": 0.8,
 }
 
 #: ``section.metric`` -> exact required value (correctness, not wall clock):
@@ -57,6 +61,12 @@ EXACT: dict[str, float] = {
     # tier is a performance knob, never a semantics knob.
     "kernel_tier.bit_identical": 1,
     "kernel_tier.closed_form_gap": 0,
+    # Fault tolerance: conservation must close exactly — every submitted
+    # request either completed or failed typed; a nonzero gap is a dropped
+    # handle, and a typed failure under an all-transient plan with retry
+    # headroom is a broken recovery path.
+    "fault_recovery.conservation_gap": 0,
+    "fault_recovery.typed_failures": 0,
 }
 
 

@@ -38,3 +38,83 @@ class CircuitError(PrimerError):
 
 class ShapeError(PrimerError):
     """Raised when tensor shapes passed to a layer or protocol disagree."""
+
+
+class FaultError(PrimerError):
+    """Base class of faults raised at the runtime's registered fault sites.
+
+    ``site`` names the injection point that raised (see
+    :mod:`repro.runtime.faults`); ``retryable`` drives the serving retry
+    policy's default classification.
+    """
+
+    retryable = False
+
+    def __init__(self, message: str = "", *, site: str = "") -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class TransientFault(FaultError):
+    """A fault expected to succeed on retry (the retryable kind)."""
+
+    retryable = True
+
+
+class RequestFailed(PrimerError):
+    """A serving request failed; carries its id, attempts and fault site.
+
+    Raised from :meth:`~repro.runtime.frontdoor.RequestHandle.result` instead
+    of the raw executor exception, so callers always get the request context
+    (the originating error is chained as ``__cause__``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        request_id: str = "",
+        attempts: int = 1,
+        site: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.request_id = request_id
+        self.attempts = attempts
+        self.site = site
+
+
+class OverloadedError(PrimerError):
+    """The front door shed a request under admission control.
+
+    ``retry_after_seconds`` is the client retry hint: resubmitting sooner
+    will very likely be shed again.
+    """
+
+    def __init__(self, message: str, *, retry_after_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class EngineQuarantined(PrimerError):
+    """An engine key's builds are circuit-broken after repeated failures.
+
+    Carries the same ``retry_after_seconds`` hint as
+    :class:`OverloadedError`: the breaker half-opens for a probe build once
+    the cooldown elapses.
+    """
+
+    def __init__(self, message: str, *, retry_after_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class ShutdownTimeout(PrimerError):
+    """``close(timeout=...)`` expired with work still in flight.
+
+    ``outstanding`` lists the request ids whose handles were failed (not
+    abandoned) when the drain loop refused to stop in time.
+    """
+
+    def __init__(self, message: str, *, outstanding: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.outstanding = outstanding

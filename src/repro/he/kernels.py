@@ -70,10 +70,12 @@ __all__ = [
     "get_kernel_tier",
     "tier_scope",
     "stacked_ntt",
+    "ntt_batch",
     "warm_tier",
     "calibration_snapshot",
     "fastest_tier_name",
     "clear_kernel_state",
+    "kernel_fallback",
 ]
 
 #: Shoup shift shared with :mod:`repro.he.ntt` (tables are built there).
@@ -474,18 +476,24 @@ _MIN_CHUNK_ROWS = 4
 
 _pool_lock = threading.Lock()
 _pool = None
+_pool_pid = None
 
 
 def _worker_pool():
-    global _pool
+    global _pool, _pool_pid
     with _pool_lock:
-        if _pool is None:
+        # The pid check makes the pool fork-safe: a forked worker process
+        # (the pipelined drain's offline-prepare pool) inherits ``_pool``
+        # non-None but none of its threads, so submitting to it would hang
+        # forever.  A child therefore builds its own fresh pool.
+        if _pool is None or _pool_pid != os.getpid():
             from concurrent.futures import ThreadPoolExecutor
 
             _pool = ThreadPoolExecutor(
                 max_workers=max(1, os.cpu_count() or 1),
                 thread_name_prefix="repro-kernel",
             )
+            _pool_pid = os.getpid()
         return _pool
 
 
@@ -684,6 +692,22 @@ _auto_tier: str | None = None
 _calibration: dict[str, dict[str, float]] = {}
 _tls = threading.local()
 
+#: degradation pin: a kernel fault at dispatch demotes the whole process to
+#: the ``reference`` tier (``(failed tier, reason)``; see :func:`kernel_fallback`).
+#: Checked *before* every other selection mechanism — a process that just
+#: produced a kernel failure must not re-enter the failing tier through an
+#: explicit argument or scope.
+_fallback: tuple[str, str] | None = None
+
+#: fault-injection hook, installed by :mod:`repro.runtime.faults` on import
+#: (dependency inversion: the HE layer never imports the runtime).  While
+#: absent — any process that never imports the fault layer — dispatch pays
+#: one ``None`` check.
+_fault_hook = None
+
+#: the registered fault-site name of the NTT dispatch entry points
+FAULT_SITE = "kernel_dispatch"
+
 
 def available_tiers() -> list[str]:
     """Names of the tiers usable in this environment, reference first."""
@@ -735,7 +759,11 @@ def _validate(name: str) -> None:
 
 
 def active_tier_name(explicit: str | None = None) -> str:
-    """Resolve the tier in effect: explicit > scope > global > env > auto."""
+    """Resolve the tier in effect: fallback pin > explicit > scope > global >
+    env > auto (the pin exists only after a kernel fault, see
+    :func:`kernel_fallback`)."""
+    if _fallback is not None:
+        return "reference"
     name = (
         explicit
         or getattr(_tls, "override", None)
@@ -771,13 +799,33 @@ def calibration_snapshot() -> dict[str, dict[str, float]]:
 
 
 def clear_kernel_state() -> None:
-    """Reset selection + calibration state (tests)."""
-    global _global_tier, _auto_tier
+    """Reset selection + calibration + fallback state (tests)."""
+    global _global_tier, _auto_tier, _fallback
     with _state_lock:
         _global_tier = None
         _auto_tier = None
+        _fallback = None
         _calibration.clear()
         _tls.override = None
+
+
+def kernel_fallback() -> tuple[str, str] | None:
+    """The ``(failed tier, reason)`` of an active reference pin, or ``None``.
+
+    A non-``reference`` tier that raises at dispatch demotes the whole
+    process to ``reference`` (the degradation ladder's last kernel rung):
+    the failed call re-runs on the reference kernels and every later
+    resolution returns ``reference`` regardless of explicit arguments,
+    scopes or the environment, until :func:`clear_kernel_state`.
+    """
+    return _fallback
+
+
+def _pin_reference_fallback(tier_name: str, reason: str) -> None:
+    global _fallback
+    with _state_lock:
+        if _fallback is None:
+            _fallback = (tier_name, reason)
 
 
 #: Calibration workload: two limbs of a small ring, a handful of rows —
@@ -834,6 +882,28 @@ def _calibrate() -> str:
 
 # -- module-level kernel entry points ---------------------------------------
 
+def _guarded_dispatch(tier_name: str, op: str, run):
+    """Run ``run(tier)`` under the kernel-dispatch fault site.
+
+    A failure in a non-``reference`` tier — injected or real (miscompiled
+    library, thread-pool breakage) — pins the process to ``reference``
+    (:func:`kernel_fallback`) and re-runs the call there, so the caller
+    still gets its bit-identical result; ``reference`` failures and
+    validation errors propagate.
+    """
+    try:
+        if _fault_hook is not None:
+            _fault_hook(FAULT_SITE, f"{op}:{tier_name}")
+        return run(_TIERS[tier_name])
+    except ParameterError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - demoted to reference below
+        if tier_name == "reference":
+            raise
+        _pin_reference_fallback(tier_name, f"{op}: {exc!r}")
+        return run(_TIERS["reference"])
+
+
 def stacked_ntt(
     contexts, polys: np.ndarray, *, inverse: bool, kernel_tier: str | None = None
 ) -> np.ndarray:
@@ -855,7 +925,27 @@ def stacked_ntt(
                 f"stacked NTT expects ring degree {ctx.ring_degree}, "
                 f"got {polys.shape[2]}"
             )
-    return active_tier(kernel_tier).stacked_ntt(contexts, polys, inverse)
+    tier_name = active_tier_name(kernel_tier)
+    return _guarded_dispatch(
+        tier_name, "stacked_ntt",
+        lambda tier: tier.stacked_ntt(contexts, polys, inverse),
+    )
+
+
+def ntt_batch(
+    ctx, rows: np.ndarray, *, inverse: bool, kernel_tier: str | None = None
+) -> np.ndarray:
+    """Single-context batch NTT under the active tier (fault-guarded).
+
+    The dispatch entry :class:`~repro.he.ntt.NTTContext` uses for its
+    ``forward_batch``/``inverse_batch``, sharing :func:`stacked_ntt`'s
+    kernel-dispatch fault site and reference fallback pin.
+    """
+    tier_name = active_tier_name(kernel_tier)
+    return _guarded_dispatch(
+        tier_name, "ntt_batch",
+        lambda tier: tier.ntt_batch(ctx, rows, inverse=inverse),
+    )
 
 
 def warm_tier(ctx, kernel_tier: str | None = None) -> None:

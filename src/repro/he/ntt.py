@@ -378,15 +378,17 @@ class NTTContext:
         Dispatches to the active kernel tier (see :mod:`repro.he.kernels`);
         every tier is bit-identical to the numpy reference transform.
         """
-        tier = _kernels.active_tier(kernel_tier)
-        return tier.ntt_batch(self, self._as_batch(coeffs), inverse=False)
+        return _kernels.ntt_batch(
+            self, self._as_batch(coeffs), inverse=False, kernel_tier=kernel_tier
+        )
 
     def inverse_batch(
         self, values: np.ndarray, *, kernel_tier: str | None = None
     ) -> np.ndarray:
         """Inverse NTT of every row of a ``(batch, N)`` value array."""
-        tier = _kernels.active_tier(kernel_tier)
-        return tier.ntt_batch(self, self._as_batch(values), inverse=True)
+        return _kernels.ntt_batch(
+            self, self._as_batch(values), inverse=True, kernel_tier=kernel_tier
+        )
 
     def multiply_batch(self, coeffs: np.ndarray, other: np.ndarray) -> np.ndarray:
         """Negacyclic product of every row of ``coeffs`` with the vector ``other``.

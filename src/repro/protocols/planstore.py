@@ -25,6 +25,21 @@ mismatch — truncated file, flipped bit, metadata drift, unreadable pickle —
 as a cache miss (the corrupt entry is deleted), so the worst failure mode of
 the store is a cold rebuild, never a wrong or half-installed plan.
 
+Fault tolerance
+---------------
+I/O failures are *not* integrity failures and are handled differently:
+a read that raises ``OSError`` is retried once and the entry is **kept**
+(the file is presumed fine, the filesystem transiently was not), while an
+integrity failure deletes the entry (the file itself is damaged).  Both are
+counted separately in :class:`PlanStoreStats`.  After
+``io_error_disable_threshold`` *consecutive* failed I/O operations the
+store disables itself — loads read as misses and stores become no-ops — so
+a persistently broken plan directory degrades serving to cold builds
+instead of hammering a dead disk.  Reads and writes pass through the
+``planstore_load`` / ``planstore_store`` fault sites of
+:mod:`repro.runtime.faults` (hooks installed by that module on import), so
+every one of these paths is exercised by deterministic induced failure.
+
 The store trusts its own directory: payloads are pickles, so a plan
 directory must be treated like any other local cache (do not point it at
 attacker-writable storage).
@@ -49,10 +64,25 @@ import tempfile
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from ..errors import ProtocolError
+from ..errors import ProtocolError, TransientFault
 from .plan import OfflinePlan
 
 __all__ = ["PlanStoreKey", "PlanStore", "PlanStoreStats", "model_fingerprint"]
+
+#: fault-injection hooks, installed by :mod:`repro.runtime.faults` on import
+#: (dependency inversion: the protocol layer never imports the runtime).
+_fault_hook = None
+_corrupt_hook = None
+
+#: registered fault-site names of the store's read and write paths
+FAULT_SITE_LOAD = "planstore_load"
+FAULT_SITE_STORE = "planstore_store"
+
+#: errors treated as *transient I/O* (retried, entry kept) rather than
+#: integrity failures (entry deleted).  ``TransientFault`` lets the fault
+#: layer drive this path with its default typed fault; ``FileNotFoundError``
+#: is excluded by the callers (a plain miss, not an error).
+_TRANSIENT_IO = (OSError, TransientFault)
 
 #: file-format magic + version; bumping it invalidates every stored entry.
 #: v2: ciphertext handles in pickled plans carry a ``domain`` field
@@ -104,7 +134,10 @@ class PlanStoreStats:
 
     ``entries`` / ``total_bytes`` are read from the directory (shared with
     other processes); ``hits`` / ``misses`` / ``stores`` / ``prunes`` count
-    only this instance's activity.
+    only this instance's activity.  ``io_errors`` counts failed read/write
+    operations (transient: the entry is kept), ``integrity_failures`` counts
+    damaged entries (deleted); ``disabled`` reports whether consecutive I/O
+    errors reached the disable threshold (see the module docstring).
     """
 
     entries: int
@@ -113,6 +146,9 @@ class PlanStoreStats:
     misses: int
     stores: int
     prunes: int
+    io_errors: int = 0
+    integrity_failures: int = 0
+    disabled: bool = False
 
 
 class PlanStore:
@@ -133,19 +169,39 @@ class PlanStore:
         *,
         max_entries: int | None = None,
         max_bytes: int | None = None,
+        io_error_disable_threshold: int = 3,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ProtocolError("plan store max_entries must be at least 1")
         if max_bytes is not None and max_bytes < 1:
             raise ProtocolError("plan store max_bytes must be positive")
+        if io_error_disable_threshold < 1:
+            raise ProtocolError("io_error_disable_threshold must be at least 1")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self.io_error_disable_threshold = io_error_disable_threshold
         self._hits = 0
         self._misses = 0
         self._stores = 0
         self._prunes = 0
+        self._io_errors = 0
+        self._integrity_failures = 0
+        self._consecutive_io_errors = 0
+        self._disabled = False
+
+    @property
+    def disabled(self) -> bool:
+        """Whether consecutive I/O errors disabled persistence (see module docs)."""
+        return self._disabled
+
+    def _record_failed_io(self) -> None:
+        """One failed I/O *operation* (a load that exhausted its retry, or a
+        failed store); reaching the threshold disables the store."""
+        self._consecutive_io_errors += 1
+        if self._consecutive_io_errors >= self.io_error_disable_threshold:
+            self._disabled = True
 
     # -- keys ----------------------------------------------------------------
     def key_for(self, model, variant: str, seed: int, slot_sharing: int) -> PlanStoreKey:
@@ -160,11 +216,21 @@ class PlanStore:
 
     # -- persistence ---------------------------------------------------------
     def store(self, key: PlanStoreKey, plan: OfflinePlan) -> Path:
-        """Serialize ``plan`` under ``key``; returns the entry's path."""
+        """Serialize ``plan`` under ``key``; returns the entry's path.
+
+        Persistence is best-effort: a write that fails with an I/O error is
+        counted (``io_errors``) and swallowed — the caller's plan is intact
+        and serving degrades to a cold build next process, exactly the
+        store's miss semantics.  A disabled store (see the module docstring)
+        skips the write entirely.
+        """
         if not isinstance(plan, OfflinePlan):
             raise ProtocolError(
                 f"plan store holds OfflinePlans, not {type(plan).__name__}"
             )
+        path = self.path_for(key)
+        if self._disabled:
+            return path
         payload = pickle.dumps(plan)
         header = json.dumps(
             {
@@ -175,7 +241,21 @@ class PlanStore:
             },
             sort_keys=True,
         ).encode()
-        path = self.path_for(key)
+        try:
+            self._write_entry(path, header, payload)
+        except _TRANSIENT_IO:
+            self._io_errors += 1
+            self._record_failed_io()
+            return path
+        self._consecutive_io_errors = 0
+        self._stores += 1
+        self._prune(protect=path)
+        return path
+
+    def _write_entry(self, path: Path, header: bytes, payload: bytes) -> None:
+        """Atomically write one entry (the ``planstore_store`` fault site)."""
+        if _fault_hook is not None:
+            _fault_hook(FAULT_SITE_STORE, path.name)
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -190,9 +270,6 @@ class PlanStore:
             except OSError:
                 pass
             raise
-        self._stores += 1
-        self._prune(protect=path)
-        return path
 
     def _prune(self, protect: Path) -> None:
         """Delete least-recently-used entries until the budgets hold.
@@ -228,20 +305,47 @@ class PlanStore:
             count -= 1
             total -= size
 
+    def _read_entry(self, path: Path) -> bytes:
+        """Read one entry's bytes (the ``planstore_load`` fault site)."""
+        if _fault_hook is not None:
+            _fault_hook(FAULT_SITE_LOAD, path.name)
+        blob = path.read_bytes()
+        if _corrupt_hook is not None:
+            blob = _corrupt_hook(FAULT_SITE_LOAD, blob)
+        return blob
+
     def load(self, key: PlanStoreKey) -> OfflinePlan | None:
         """The stored plan for ``key``, or ``None`` on miss/corruption.
 
-        Verification order: magic/version, header metadata (the stored key
-        must equal ``key`` field for field), payload digest, then unpickle.
-        Any failure deletes the entry and reads as a miss — the caller falls
-        back to a cold build.
+        A read that fails with a *transient* I/O error is retried once; if
+        the retry fails too, the load is a miss but the entry is **kept**
+        (counted in ``io_errors``).  Integrity verification — magic/version,
+        header metadata (the stored key must equal ``key`` field for
+        field), payload digest, then unpickle — deletes the entry on any
+        failure (counted in ``integrity_failures``) and reads as a miss;
+        the caller falls back to a cold build either way.
         """
-        path = self.path_for(key)
-        try:
-            blob = path.read_bytes()
-        except FileNotFoundError:
+        if self._disabled:
             self._misses += 1
             return None
+        path = self.path_for(key)
+        blob = None
+        for attempt in (1, 2):
+            try:
+                blob = self._read_entry(path)
+                break
+            except FileNotFoundError:
+                self._misses += 1
+                return None
+            except _TRANSIENT_IO:
+                self._io_errors += 1
+                if attempt == 2:
+                    # Retry exhausted: a miss, but the file survives — the
+                    # entry is presumed fine, the filesystem was not.
+                    self._record_failed_io()
+                    self._misses += 1
+                    return None
+        self._consecutive_io_errors = 0
         try:
             if not blob.startswith(_MAGIC):
                 raise ValueError("bad magic")
@@ -261,6 +365,7 @@ class PlanStore:
                 raise ValueError("payload is not an OfflinePlan")
         except (ValueError, KeyError, json.JSONDecodeError, pickle.UnpicklingError,
                 EOFError, AttributeError, ImportError, IndexError):
+            self._integrity_failures += 1
             self._discard(path)
             self._misses += 1
             return None
@@ -305,6 +410,9 @@ class PlanStore:
             misses=self._misses,
             stores=self._stores,
             prunes=self._prunes,
+            io_errors=self._io_errors,
+            integrity_failures=self._integrity_failures,
+            disabled=self._disabled,
         )
 
     def clear(self) -> int:

@@ -25,7 +25,21 @@ from .executor import (
     PipelinedExecutor,
     RequestReport,
 )
-from .frontdoor import AsyncServingRuntime, RequestHandle
+from .faults import (
+    ALL_SITES,
+    CircuitBreaker,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    active_injector,
+    fault_scope,
+    maybe_corrupt,
+    maybe_inject,
+    set_fault_injector,
+)
+from .frontdoor import AdmissionController, AsyncServingRuntime, RequestHandle
 from .scheduler import (
     Batch,
     BatchKey,
@@ -44,29 +58,42 @@ from .serving import (
 )
 
 __all__ = [
+    "ALL_SITES",
     "AccuracyReport",
+    "AdmissionController",
     "AsyncServingRuntime",
     "Batch",
     "BatchExecutor",
     "BatchKey",
     "BatchScheduler",
+    "CircuitBreaker",
     "DeadlinePolicy",
     "EngineCache",
     "EngineCacheStats",
     "EngineShardMap",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "FifoPolicy",
     "InferenceRequest",
     "PipelinedExecutor",
     "RequestHandle",
     "RequestReport",
+    "RetryPolicy",
     "SchedulingPolicy",
     "SchemeLatency",
     "ServingRuntime",
     "ServingStats",
     "SizeAwarePolicy",
+    "active_injector",
     "calibrated_latency_model",
     "evaluate_accuracy",
+    "fault_scope",
+    "maybe_corrupt",
+    "maybe_inject",
     "run_sequential_baseline",
     "scheme_latencies",
+    "set_fault_injector",
     "summarize",
 ]

@@ -40,7 +40,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..errors import ProtocolError, ShapeError
+from ..errors import EngineQuarantined, ProtocolError, ShapeError, TransientFault
 from ..he.backend import HEBackend
 from ..he.bsgs import BSGSMatmulPlan, bsgs_geometry, prepare_bsgs_plan
 from ..he.matmul import bsgs_kernel_fits, encrypted_batch_matmul
@@ -51,6 +51,14 @@ from ..protocols.channel import Channel, NetworkModel, Phase
 from ..protocols.formats import protocol_he_parameters
 from ..protocols.planstore import PlanStore
 from ..protocols.primer import PrimerVariant, PrivateTransformerInference
+from .faults import (
+    SITE_ENGINE_BUILD,
+    SITE_OFFLINE_PREPARE,
+    SITE_ONLINE_EXECUTE,
+    SITE_WORKER_SHARD,
+    CircuitBreaker,
+    maybe_inject,
+)
 from .scheduler import Batch, BatchKey, InferenceRequest
 
 __all__ = [
@@ -131,6 +139,13 @@ class RequestReport:
     #: absolute completion target and whether it was met (None = no deadline)
     deadline: float | None = None
     deadline_met: bool | None = None
+    #: executions this request took (>1 only after transient-fault retries)
+    attempts: int = 1
+    #: whether the request succeeded only after at least one retry
+    retried: bool = False
+    #: whether the request was served along a degradation rung (e.g. its
+    #: shard batch re-executed serially after a worker-shard fault)
+    degraded: bool = False
 
     def summary(self) -> dict[str, float | int | str]:
         return {
@@ -169,6 +184,13 @@ class EngineCacheStats:
     of engine builds: warm starts installed a plan from the persistent
     store, cold builds ran the offline phase locally, remote builds adopted
     a plan prepared in a worker process (the pipelined drain's default).
+
+    The fault-tolerance counters track the degradation ladder:
+    ``build_failures`` counts failed build attempts (each feeds the key's
+    circuit breaker), ``quarantine_rejections`` counts requests refused
+    while a key's breaker was open, ``probe_builds`` counts half-open
+    probe builds after the cooldown, and ``prepare_fallbacks`` counts
+    remote preparations that failed and degraded to a local build.
     """
 
     entries: int
@@ -178,6 +200,10 @@ class EngineCacheStats:
     warm_starts: int
     cold_builds: int
     remote_builds: int
+    build_failures: int = 0
+    quarantine_rejections: int = 0
+    probe_builds: int = 0
+    prepare_fallbacks: int = 0
 
 
 class EngineShardMap:
@@ -248,6 +274,9 @@ class EngineCache:
         plan_store: PlanStore | None = None,
         max_entries: int | None = None,
         max_bytes: int | None = None,
+        breaker_threshold: int = 2,
+        breaker_cooldown_seconds: float = 30.0,
+        breaker_clock: Callable[[], float] | None = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ProtocolError("max_entries must be at least 1")
@@ -273,6 +302,14 @@ class EngineCache:
         self._warm_starts = 0
         self._cold_builds = 0
         self._remote_builds = 0
+        self._build_failures = 0
+        self._quarantine_rejections = 0
+        self._probe_builds = 0
+        self._prepare_fallbacks = 0
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown_seconds
+        self._breaker_clock = breaker_clock if breaker_clock is not None else time.monotonic
+        self._breakers: dict[BatchKey, CircuitBreaker] = {}
         self._mutex = threading.Lock()
 
     @property
@@ -291,6 +328,18 @@ class EngineCache:
                 lock = self._locks[key] = threading.Lock()
             return lock
 
+    def breaker_for(self, key: BatchKey) -> CircuitBreaker:
+        """The circuit breaker guarding ``key``'s engine builds."""
+        with self._mutex:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = self._breakers[key] = CircuitBreaker(
+                    failure_threshold=self._breaker_threshold,
+                    cooldown_seconds=self._breaker_cooldown,
+                    clock=self._breaker_clock,
+                )
+            return breaker
+
     def entry(self, key: BatchKey) -> EngineEntry:
         """The cached entry for ``key``, building (prepare+install) if needed.
 
@@ -299,6 +348,11 @@ class EngineCache:
         installs it instead of re-running the offline phase locally.  A
         build whose model was invalidated mid-flight is discarded and
         re-run against the current model (see the class docstring).
+
+        Builds are circuit-broken per key: a transient build fault is
+        retried once in place; repeated failures open the breaker and
+        :class:`~repro.errors.EngineQuarantined` (with a retry hint) is
+        raised until the cooldown admits a half-open probe build.
         """
         with self._key_lock(key):
             while True:
@@ -309,15 +363,69 @@ class EngineCache:
                         return entry
                     generation = self._generations.setdefault(key, 0)
                     pending = self._pending_plans.pop(key, None)
-                if pending is not None:
-                    entry = self._build_from_plan(key, generation, *pending.result())
-                else:
-                    entry = self._build(key, generation)
+                entry = self._guarded_build(key, generation, pending)
                 if self._insert(key, generation, entry):
                     return entry
                 # invalidate_model ran while this build was in flight: the
                 # engine embeds the replaced model's weights.  Loop and
                 # rebuild against the model registered *now*.
+
+    def _guarded_build(self, key: BatchKey, generation: int, pending) -> EngineEntry:
+        """One breaker-guarded build attempt chain for ``key``.
+
+        Degradation rungs, in order: an open breaker rejects with
+        :class:`~repro.errors.EngineQuarantined`; a failed *remote* plan
+        adoption degrades to a local build; a retryable build fault gets
+        exactly one in-place rebuild; any further failure records into the
+        breaker (opening it at the threshold) and propagates.
+        """
+        breaker = self.breaker_for(key)
+        if not breaker.allow():
+            with self._mutex:
+                self._quarantine_rejections += 1
+            raise EngineQuarantined(
+                f"engine builds for ({key.model!r}, {key.variant!r}) are "
+                f"quarantined after repeated build failures",
+                retry_after_seconds=breaker.retry_after_seconds(),
+            )
+        if breaker.state == CircuitBreaker.HALF_OPEN:
+            with self._mutex:
+                self._probe_builds += 1
+        try:
+            entry = self._build_once(key, generation, pending)
+        except Exception as first:  # noqa: BLE001 - classified below
+            breaker.record_failure()
+            with self._mutex:
+                self._build_failures += 1
+            if not getattr(first, "retryable", False) or not breaker.allow():
+                raise
+            try:
+                entry = self._build(key, generation)
+            except Exception:
+                breaker.record_failure()
+                with self._mutex:
+                    self._build_failures += 1
+                raise
+        breaker.record_success()
+        return entry
+
+    def _build_once(self, key: BatchKey, generation: int, pending) -> EngineEntry:
+        """Build via the pending remote plan when one exists, else locally.
+
+        A remote preparation that failed (or whose adoption is hit by the
+        ``offline_prepare`` fault site) is not fatal: the build degrades to
+        a local ``prepare()`` and the fallback is counted.
+        """
+        if pending is not None:
+            try:
+                maybe_inject(SITE_OFFLINE_PREPARE, f"{key.model}/{key.variant}")
+                payload = pending.result()
+            except Exception:  # noqa: BLE001 - remote prepare degrades to local
+                with self._mutex:
+                    self._prepare_fallbacks += 1
+            else:
+                return self._build_from_plan(key, generation, *payload)
+        return self._build(key, generation)
 
     def _insert(self, key: BatchKey, generation: int, entry: EngineEntry) -> bool:
         """Insert a finished build unless its generation was fenced off."""
@@ -432,6 +540,7 @@ class EngineCache:
         )
 
     def _build(self, key: BatchKey, generation: int) -> EngineEntry:
+        maybe_inject(SITE_ENGINE_BUILD, f"{key.model}/{key.variant}")
         start = time.perf_counter()
         engine = self._engine_skeleton(key)
         store_key = self._store_key(key, engine)
@@ -530,6 +639,10 @@ class EngineCache:
                 warm_starts=self._warm_starts,
                 cold_builds=self._cold_builds,
                 remote_builds=self._remote_builds,
+                build_failures=self._build_failures,
+                quarantine_rejections=self._quarantine_rejections,
+                probe_builds=self._probe_builds,
+                prepare_fallbacks=self._prepare_fallbacks,
             )
 
 
@@ -631,6 +744,7 @@ class BatchExecutor:
 
     def execute(self, batch: Batch, *, worker: str | None = None) -> list[RequestReport]:
         """Run one batch; ``worker`` tags the attribution in sharded drains."""
+        maybe_inject(SITE_ONLINE_EXECUTE, f"batch-{batch.batch_id}")
         if batch.key.kind == "inference":
             return self._run_inference_batch(batch, worker)
         return self._run_linear_batch(batch, worker)
@@ -904,6 +1018,9 @@ class PipelinedExecutor:
         self.base = base
         self.num_workers = num_workers
         self.shard_map = EngineShardMap(num_workers)
+        #: shard batches that hit a transient fault and were re-executed
+        #: serially on the base executor (the worker-shard degradation rung)
+        self.serial_fallbacks = 0
 
     def drain(
         self,
@@ -949,7 +1066,19 @@ class PipelinedExecutor:
         def run_shard(worker: int, shard_batches: list[Batch]) -> None:
             label = f"worker-{worker}"
             for batch in shard_batches:
-                reports = self.base.execute(batch, worker=label)
+                try:
+                    maybe_inject(SITE_WORKER_SHARD, label)
+                    reports = self.base.execute(batch, worker=label)
+                except TransientFault:
+                    # Worker-shard degradation rung: the failed batch
+                    # re-executes serially on the base executor (no worker
+                    # attribution), marked degraded in its reports.  The
+                    # shard itself lives on for its remaining batches.
+                    reports = self.base.execute(batch, worker=None)
+                    for report in reports:
+                        report.degraded = True
+                    with completed_lock:
+                        self.serial_fallbacks += 1
                 with completed_lock:
                     completed[batch.batch_id] = reports
                     if on_batch_complete is not None:
@@ -971,9 +1100,18 @@ class PipelinedExecutor:
                     except Exception as exc:  # noqa: BLE001 - re-raised below
                         errors.append(exc)
             for prefetch in prefetches:
-                # Surface engine-build failures even if no shard consumed them.
+                # Surface engine-build failures even if no shard consumed
+                # them — except *transient* faults: the shard that needed
+                # the engine either retried the build itself (absorbing the
+                # fault) or failed on its own and is already in ``errors``;
+                # raising here would fail a drain whose every batch
+                # completed.
                 exc = prefetch.exception()
-                if exc is not None and not errors:
+                if (
+                    exc is not None
+                    and not getattr(exc, "retryable", False)
+                    and not errors
+                ):
                     errors.append(exc)
         finally:
             if prepare_pool is not None:

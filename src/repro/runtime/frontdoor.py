@@ -31,6 +31,36 @@ same requests — the equivalence the test-suite asserts.
 
 Failure isolation: an executor error fails only the handles of the batch
 that raised; the loop keeps serving later batches.
+
+Fault tolerance
+---------------
+Three optional layers harden the front door (all off by default, preserving
+the historical behaviour exactly):
+
+* **Retry** (``retry_policy=RetryPolicy(...)``): a *retryable* executor
+  fault (see :meth:`~repro.runtime.faults.RetryPolicy.retryable`) re-submits
+  the affected requests through the scheduler — same request objects, same
+  ids, same arrival order, so attribution is preserved and the retried
+  results are bit-identical to a fault-free run.  Attempts are bounded, the
+  backoff is deterministic per ``(seed, request id, attempt)``, and an
+  optional per-request ``timeout_seconds`` budget (measured from first
+  submission, shared across attempts) fails the request fast once spent.
+  Non-retryable errors (``ShapeError``, ``ParameterError``, ...) fail
+  immediately.
+* **Typed failures**: a failed handle's :meth:`RequestHandle.result` raises
+  :class:`~repro.errors.RequestFailed` carrying the request id, attempt
+  count and originating fault site, with the raw executor error chained as
+  ``__cause__``.
+* **Admission control** (``admission=AdmissionController(...)``):
+  queue-depth and inflight-bytes watermarks shed new submissions with a
+  typed :class:`~repro.errors.OverloadedError` carrying a
+  ``retry_after_seconds`` hint.  Shedding happens strictly at the door —
+  the queue is never reordered — so the scheduler's per-key fairness
+  invariant holds unchanged for every admitted request.
+
+:meth:`close(timeout=...)` that cannot stop the drain loop in time raises
+:class:`~repro.errors.ShutdownTimeout` listing the outstanding request ids,
+after failing (not abandoning) their handles with the same error.
 """
 
 from __future__ import annotations
@@ -41,13 +71,100 @@ from concurrent.futures import Future
 
 import numpy as np
 
-from ..errors import ProtocolError
+from ..errors import OverloadedError, ProtocolError, RequestFailed, ShutdownTimeout
 from ..protocols.primer import PRIMER_FPC, PrimerVariant
 from .executor import RequestReport
+from .faults import RetryPolicy
 from .scheduler import Batch
 from .serving import ServingRuntime
 
-__all__ = ["RequestHandle", "AsyncServingRuntime"]
+__all__ = ["RequestHandle", "AdmissionController", "AsyncServingRuntime"]
+
+
+class AdmissionController:
+    """Watermark-based load shedding for the front door.
+
+    ``max_queue_depth`` bounds how many requests may be queued (not yet
+    executing) when a new one arrives; ``max_inflight_bytes`` bounds the
+    total payload bytes of admitted-but-unresolved requests.  Either
+    watermark breached sheds the submission with a typed
+    :class:`~repro.errors.OverloadedError` whose ``retry_after_seconds``
+    hint scales with how far over the watermark the system is — the
+    client-visible backpressure signal.  ``None`` (default) leaves a
+    dimension unbounded.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_queue_depth: int | None = None,
+        max_inflight_bytes: int | None = None,
+        retry_after_seconds: float = 0.05,
+    ) -> None:
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ProtocolError("max_queue_depth must be at least 1")
+        if max_inflight_bytes is not None and max_inflight_bytes < 1:
+            raise ProtocolError("max_inflight_bytes must be positive")
+        if retry_after_seconds < 0:
+            raise ProtocolError("retry_after_seconds must be non-negative")
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight_bytes = max_inflight_bytes
+        self.retry_after_seconds = retry_after_seconds
+        self._lock = threading.Lock()
+        self._inflight_bytes = 0
+        self._admitted = 0
+        self._shed = 0
+
+    def admit(self, queue_depth: int, payload_bytes: int) -> None:
+        """Admit one submission or shed it with an ``OverloadedError``."""
+        with self._lock:
+            if (
+                self.max_queue_depth is not None
+                and queue_depth >= self.max_queue_depth
+            ):
+                self._shed += 1
+                overload = (queue_depth + 1) / self.max_queue_depth
+                raise OverloadedError(
+                    f"queue depth {queue_depth} at the "
+                    f"{self.max_queue_depth}-request admission watermark",
+                    retry_after_seconds=self.retry_after_seconds * overload,
+                )
+            if (
+                self.max_inflight_bytes is not None
+                and self._inflight_bytes + payload_bytes > self.max_inflight_bytes
+            ):
+                self._shed += 1
+                overload = (
+                    self._inflight_bytes + payload_bytes
+                ) / self.max_inflight_bytes
+                raise OverloadedError(
+                    f"{self._inflight_bytes + payload_bytes} inflight payload "
+                    f"bytes over the {self.max_inflight_bytes}-byte admission "
+                    "watermark",
+                    retry_after_seconds=self.retry_after_seconds * overload,
+                )
+            self._inflight_bytes += payload_bytes
+            self._admitted += 1
+
+    def release(self, payload_bytes: int) -> None:
+        """Return an admitted request's payload bytes (it resolved)."""
+        with self._lock:
+            self._inflight_bytes = max(0, self._inflight_bytes - payload_bytes)
+
+    @property
+    def inflight_bytes(self) -> int:
+        with self._lock:
+            return self._inflight_bytes
+
+    @property
+    def admitted_count(self) -> int:
+        with self._lock:
+            return self._admitted
+
+    @property
+    def shed_count(self) -> int:
+        with self._lock:
+            return self._shed
 
 
 class RequestHandle:
@@ -91,6 +208,14 @@ class AsyncServingRuntime:
         eagerly — lowest latency, smallest batches).  Lingering ends early
         the moment some key's queue depth reaches the batch size, or on
         :meth:`close`.
+    retry_policy:
+        Optional :class:`~repro.runtime.faults.RetryPolicy`: transient
+        executor faults re-submit the affected requests (see the module
+        docstring's *Fault tolerance* section).  ``None`` (default) fails
+        a batch on its first error, the historical behaviour.
+    admission:
+        Optional :class:`AdmissionController`: watermark-based load
+        shedding at submission time.  ``None`` (default) admits everything.
 
     The front door is a context manager; leaving the ``with`` block runs
     :meth:`close`, which flushes all queued work.
@@ -104,6 +229,8 @@ class AsyncServingRuntime:
         *,
         runtime: ServingRuntime | None = None,
         linger_seconds: float = 0.0,
+        retry_policy: RetryPolicy | None = None,
+        admission: AdmissionController | None = None,
         **runtime_kwargs,
     ) -> None:
         if runtime is not None and (models is not None or runtime_kwargs):
@@ -116,11 +243,18 @@ class AsyncServingRuntime:
             models, **runtime_kwargs
         )
         self.linger_seconds = linger_seconds
+        self.retry_policy = retry_policy
+        self.admission = admission
         self._futures: dict[str, Future] = {}
+        #: request id -> executions so far; touched only by the drain thread
+        self._attempts: dict[str, int] = {}
+        #: request id -> admitted payload bytes (released on resolution)
+        self._payload_bytes: dict[str, int] = {}
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._closing = False
         self._batches_executed = 0
+        self._retried_requests = 0
         self._drain_error: BaseException | None = None
         self._thread = threading.Thread(
             target=self._drain_loop, name="frontdoor-drain", daemon=True
@@ -139,15 +273,25 @@ class AsyncServingRuntime:
         """Queue one full private-inference request; returns its handle.
 
         Safe to call from any thread at any time before :meth:`close` —
-        including while the drain loop is executing earlier batches.
+        including while the drain loop is executing earlier batches.  With
+        an :class:`AdmissionController`, an over-watermark submission is
+        shed with :class:`~repro.errors.OverloadedError` before anything is
+        queued.
         """
+        payload = np.asarray(token_ids, dtype=np.int64)
         with self._wakeup:
             self._check_open()
-            request_id = self.runtime.submit(
-                model_name, token_ids, variant=variant,
-                deadline_seconds=deadline_seconds,
-            )
-            handle = self._register(request_id)
+            self._admit(payload.nbytes)
+            try:
+                request_id = self.runtime.submit(
+                    model_name, payload, variant=variant,
+                    deadline_seconds=deadline_seconds,
+                )
+            except BaseException:
+                if self.admission is not None:
+                    self.admission.release(payload.nbytes)
+                raise
+            handle = self._register(request_id, payload.nbytes)
             self._wakeup.notify_all()
         return handle
 
@@ -159,14 +303,26 @@ class AsyncServingRuntime:
         deadline_seconds: float | None = None,
     ) -> RequestHandle:
         """Queue one private ``X @ W`` request; returns its handle."""
+        payload = np.asarray(matrix, dtype=np.int64)
         with self._wakeup:
             self._check_open()
-            request_id = self.runtime.submit_linear(
-                weights_name, matrix, deadline_seconds=deadline_seconds
-            )
-            handle = self._register(request_id)
+            self._admit(payload.nbytes)
+            try:
+                request_id = self.runtime.submit_linear(
+                    weights_name, payload, deadline_seconds=deadline_seconds
+                )
+            except BaseException:
+                if self.admission is not None:
+                    self.admission.release(payload.nbytes)
+                raise
+            handle = self._register(request_id, payload.nbytes)
             self._wakeup.notify_all()
         return handle
+
+    def _admit(self, payload_bytes: int) -> None:
+        """Shed over-watermark submissions (no-op without a controller)."""
+        if self.admission is not None:
+            self.admission.admit(self.runtime.scheduler.pending(), payload_bytes)
 
     def _check_open(self) -> None:
         if self._closing:
@@ -179,10 +335,18 @@ class AsyncServingRuntime:
                 + (f" (died on: {self._drain_error!r})" if self._drain_error else "")
             )
 
-    def _register(self, request_id: str) -> RequestHandle:
+    def _register(self, request_id: str, payload_bytes: int = 0) -> RequestHandle:
         future: Future = Future()
         self._futures[request_id] = future
+        self._payload_bytes[request_id] = payload_bytes
         return RequestHandle(request_id, future)
+
+    def _release_admission(self, request_id: str) -> None:
+        """Return a resolved request's payload bytes to the admission budget."""
+        with self._lock:
+            payload_bytes = self._payload_bytes.pop(request_id, None)
+        if payload_bytes and self.admission is not None:
+            self.admission.release(payload_bytes)
 
     # -- drain loop ----------------------------------------------------------
     def _drain_loop(self) -> None:
@@ -214,10 +378,15 @@ class AsyncServingRuntime:
         block forever.
         """
         with self._lock:
-            leftovers = [f for f in self._futures.values() if not f.done()]
+            leftovers = [
+                (request_id, future)
+                for request_id, future in self._futures.items()
+                if not future.done()
+            ]
             self._futures.clear()
         detail = f" (drain loop died on: {self._drain_error!r})" if self._drain_error else ""
-        for future in leftovers:
+        for request_id, future in leftovers:
+            self._release_admission(request_id)
             future.set_exception(
                 ProtocolError(f"front door drain loop exited before completion{detail}")
             )
@@ -242,27 +411,99 @@ class AsyncServingRuntime:
         try:
             reports = self.runtime.executor.execute(batch)
         except Exception as exc:  # noqa: BLE001 - forwarded to the handles
-            self._fail_batch(batch, exc)
+            self._handle_batch_failure(batch, exc)
             return
+        for report in reports:
+            attempts = self._attempts.pop(report.request_id, 1)
+            report.attempts = attempts
+            report.retried = attempts > 1
         self.runtime._record_completions(reports)
         with self._lock:
             futures = [self._futures.pop(r.request_id, None) for r in reports]
             self._batches_executed += 1
+            self._retried_requests += sum(1 for r in reports if r.retried)
         for report, future in zip(reports, futures):
+            self._release_admission(report.request_id)
             if future is not None:
                 future.set_result(report)
 
+    def _handle_batch_failure(self, batch: Batch, exc: Exception) -> None:
+        """Classify one failed batch execution: retry, or fail the handles.
+
+        Without a retry policy — or for a non-retryable error — the batch's
+        handles fail immediately (wrapped in
+        :class:`~repro.errors.RequestFailed`).  A retryable fault re-submits
+        every request that still has attempts and deadline budget left
+        through the scheduler (front of the queue, original order and
+        attribution preserved) after the policy's deterministic backoff;
+        requests out of attempts or budget fail typed instead.
+        """
+        policy = self.retry_policy
+        if policy is None or not policy.retryable(exc):
+            self._fail_batch(batch, exc)
+            return
+        now = time.perf_counter()
+        to_retry: list[tuple] = []
+        exhausted: list = []
+        for request in batch.requests:
+            attempts = self._attempts.get(request.request_id, 1)
+            out_of_attempts = attempts >= policy.max_attempts
+            out_of_budget = policy.budget_remaining(request.submitted_at, now) <= 0
+            if out_of_attempts or out_of_budget:
+                exhausted.append(request)
+            else:
+                to_retry.append((request, attempts))
+        if exhausted:
+            self._fail_requests(exhausted, exc)
+            with self._lock:
+                self._batches_executed += 1
+        if not to_retry:
+            return
+        delay = max(
+            policy.backoff_for(request.request_id, attempts)
+            for request, attempts in to_retry
+        )
+        if delay > 0:
+            time.sleep(delay)
+        # Reversed + appendleft preserves the batch's arrival order at the
+        # head of the queue; the original sequence stamps make the retried
+        # requests the oldest of their key, so they are served next.
+        for request, attempts in reversed(to_retry):
+            self._attempts[request.request_id] = attempts + 1
+            self.runtime.scheduler.requeue(request)
+
     def _fail_batch(self, batch: Batch, exc: Exception) -> None:
         """An executor error fails this batch's handles; the loop lives on."""
+        self._fail_requests(batch.requests, exc)
         with self._lock:
-            futures = [
-                self._futures.pop(request.request_id, None)
-                for request in batch.requests
-            ]
             self._batches_executed += 1
-        for future in futures:
-            if future is not None:
-                future.set_exception(exc)
+
+    def _fail_requests(self, requests, exc: Exception) -> None:
+        """Fail each request's handle with a typed ``RequestFailed``.
+
+        Each future is popped exactly once, so a handle can never be
+        resolved twice; the raw executor error is chained as ``__cause__``
+        and its message embedded, so both the type and the text survive.
+        """
+        with self._lock:
+            items = [
+                (request, self._futures.pop(request.request_id, None))
+                for request in requests
+            ]
+        for request, future in items:
+            self._release_admission(request.request_id)
+            attempts = self._attempts.pop(request.request_id, 1)
+            if future is None:
+                continue
+            failure = RequestFailed(
+                f"request {request.request_id!r} failed after {attempts} "
+                f"attempt(s): {exc}",
+                request_id=request.request_id,
+                attempts=attempts,
+                site=getattr(exc, "site", ""),
+            )
+            failure.__cause__ = exc
+            future.set_exception(failure)
 
     # -- lifecycle -----------------------------------------------------------
     def close(self, timeout: float | None = None) -> None:
@@ -270,13 +511,40 @@ class AsyncServingRuntime:
 
         Every handle issued before ``close`` is resolved (with a report or
         the error of its batch) by the time this returns.  Idempotent.
+
+        With a ``timeout``, a drain loop that cannot stop in time raises
+        :class:`~repro.errors.ShutdownTimeout` listing the outstanding
+        request ids — after *failing* their handles with the same error, so
+        no ``result()`` call is left blocking on work that will never
+        finish.
         """
         with self._wakeup:
             self._closing = True
             self._wakeup.notify_all()
+        # The scheduler refuses new submissions from here on (including
+        # direct runtime.submit calls that bypass the front door); batch
+        # formation keeps working so the drain loop can flush the queue.
+        self.runtime.scheduler.close()
         self._thread.join(timeout)
-        if self._thread.is_alive():  # pragma: no cover - timeout expiry
-            raise ProtocolError("front door drain loop did not stop in time")
+        if self._thread.is_alive():
+            with self._lock:
+                outstanding = tuple(
+                    sorted(
+                        request_id
+                        for request_id, future in self._futures.items()
+                        if not future.done()
+                    )
+                )
+                leftovers = [self._futures.pop(rid) for rid in outstanding]
+            error = ShutdownTimeout(
+                f"front door drain loop did not stop within {timeout} seconds; "
+                f"{len(outstanding)} request(s) still in flight",
+                outstanding=outstanding,
+            )
+            for request_id, future in zip(outstanding, leftovers):
+                self._release_admission(request_id)
+                future.set_exception(error)
+            raise error
         # Backstop for handles registered in the race window while the
         # drain loop was dying: resolve them with the error instead of
         # letting result() block forever.
@@ -306,6 +574,12 @@ class AsyncServingRuntime:
     def batches_executed(self) -> int:
         with self._lock:
             return self._batches_executed
+
+    @property
+    def retried_requests(self) -> int:
+        """Requests that completed successfully after at least one retry."""
+        with self._lock:
+            return self._retried_requests
 
     def result(self, request_id: str) -> RequestReport:
         """Report of a completed request (delegates to the runtime)."""

@@ -227,15 +227,47 @@ class BatchScheduler:
         self._queue: deque[InferenceRequest] = deque()
         self._sequence = itertools.count()
         self._batch_ids = itertools.count()
+        self._closed = False
         #: guards the queue; reentrant so ``drain`` can call ``next_batch``
         self._lock = threading.RLock()
 
     def submit(self, request: InferenceRequest) -> InferenceRequest:
-        """Enqueue a request, stamping its arrival order."""
+        """Enqueue a request, stamping its arrival order.
+
+        Raises :class:`~repro.errors.ProtocolError` after :meth:`close` —
+        a closed scheduler still *forms* batches (the shutdown flush) but
+        silently enqueueing new work nobody will drain would drop it.
+        """
         with self._lock:
+            if self._closed:
+                raise ProtocolError("the scheduler is closed to new submissions")
             request.sequence = next(self._sequence)
             self._queue.append(request)
         return request
+
+    def requeue(self, request: InferenceRequest) -> InferenceRequest:
+        """Put an already-admitted request back at the head of the queue.
+
+        The retry path: the request keeps its original id, sequence stamp
+        and ``submitted_at`` clock (attribution and the per-request timeout
+        budget span attempts), and re-enters at the *front* so its original
+        arrival order is preserved — with its old sequence it is again the
+        oldest of its key, which the fairness invariant then serves first.
+        Deliberately exempt from the closed check: a retried request was
+        admitted before ``close()`` and is part of the shutdown flush.
+        """
+        with self._lock:
+            self._queue.appendleft(request)
+        return request
+
+    def close(self) -> None:
+        """Refuse new submissions (batch formation keeps working).  Idempotent."""
+        with self._lock:
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # -- observability -------------------------------------------------------
     def pending(self) -> int:

@@ -83,6 +83,12 @@ class ServingStats:
     #: deadline outcomes (requests without a deadline count in neither)
     deadlines_met: int = 0
     deadlines_missed: int = 0
+    #: fault-tolerance aggregates: requests that needed at least one retry,
+    #: requests served along a degradation rung, and the total executor
+    #: attempts across all requests (== num_requests in a fault-free run)
+    retried_requests: int = 0
+    degraded_requests: int = 0
+    total_attempts: int = 0
     #: HE kernel tier that was active when the stats were summarized
     kernel_tier: str = ""
     #: per-tier calibration timings ``(tier, {"ntt_seconds", "mul_eval_seconds"})``
@@ -130,6 +136,9 @@ def summarize(reports: list[RequestReport], wall_seconds: float | None = None) -
         max_queue_seconds=float(np.max([r.queue_seconds for r in reports])),
         deadlines_met=sum(1 for r in reports if r.deadline_met is True),
         deadlines_missed=sum(1 for r in reports if r.deadline_met is False),
+        retried_requests=sum(1 for r in reports if r.retried),
+        degraded_requests=sum(1 for r in reports if r.degraded),
+        total_attempts=sum(r.attempts for r in reports),
         kernel_tier=kernels.active_tier_name(),
         kernel_costs=_kernel_costs_snapshot(),
     )
@@ -180,6 +189,12 @@ class ServingRuntime:
         LRU bounds on the engine cache: at most this many cached engines /
         this many bytes of cached offline-plan arrays.  ``None`` (default)
         leaves the dimension unbounded, the original behaviour.
+    breaker_threshold / breaker_cooldown_seconds / breaker_clock:
+        Per-``(model, variant)`` engine-build circuit breaker: after
+        ``breaker_threshold`` consecutive build failures the key is
+        quarantined (:class:`~repro.errors.EngineQuarantined` with a retry
+        hint) until ``breaker_cooldown_seconds`` admits a half-open probe
+        build.  ``breaker_clock`` is injectable for tests.
     """
 
     def __init__(
@@ -196,6 +211,9 @@ class ServingRuntime:
         plan_store: PlanStore | str | Path | None = None,
         engine_cache_entries: int | None = None,
         engine_cache_bytes: int | None = None,
+        breaker_threshold: int = 2,
+        breaker_cooldown_seconds: float = 30.0,
+        breaker_clock: Callable[[], float] | None = None,
     ) -> None:
         self.scheduler = BatchScheduler(max_batch_size=max_batch_size, policy=policy)
         self._models: dict[str, TransformerEncoder] = dict(models or {})
@@ -212,6 +230,9 @@ class ServingRuntime:
             plan_store=plan_store,
             max_entries=engine_cache_entries,
             max_bytes=engine_cache_bytes,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown_seconds=breaker_cooldown_seconds,
+            breaker_clock=breaker_clock,
         )
         self._linear = LinearServingPath(self._weight_banks, backend_factory, network=network)
         self.executor = BatchExecutor(self._engines, self._linear)

@@ -14,7 +14,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, RequestFailed
 from repro.nn import BERT_BASE, TransformerEncoder, scaled_config
 from repro.protocols import PRIMER_F, PRIMER_FPC
 from repro.runtime import AsyncServingRuntime, ServingRuntime
@@ -179,8 +179,10 @@ class TestFrontDoorLifecycle:
             monkeypatch.setattr(door.runtime.executor, "execute", poisoned)
             bad = door.submit_linear("proj", rng.integers(0, 50, size=(8, 16)))
             good = door.submit("tiny", rng.integers(0, 40, size=6))
-            with pytest.raises(ProtocolError, match="injected linear failure"):
+            with pytest.raises(RequestFailed, match="injected linear failure") as info:
                 bad.result(timeout=120)
+            assert info.value.request_id == bad.request_id
+            assert isinstance(info.value.__cause__, ProtocolError)
             assert bad.exception(timeout=1) is not None
             report = good.result(timeout=120)
             assert report.kind == "inference"
