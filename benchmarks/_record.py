@@ -56,5 +56,11 @@ def record(bench: str, section: str, payload: dict) -> Path:
         }
     except ImportError:
         pass
+    try:
+        from repro.analysis import tree_stats
+
+        data["analysis"] = tree_stats()
+    except ImportError:
+        pass
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return path

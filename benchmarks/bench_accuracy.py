@@ -54,7 +54,7 @@ def test_accuracy_report(eval_model, tokenizer):
             f"{report.fhe_only_fidelity * 100:.1f}",
             f"{report.approximation_penalty * 100:.1f}",
         ])
-    print("\nAccuracy shape — fidelity to the plaintext model (%)\n")
+    print("\nAccuracy shape -- fidelity to the plaintext model (%)\n")
     print(format_table(
         ["Task", "Paper acc (ref)", "Primer path", "FHE-only path", "Approx. penalty"],
         rows,

@@ -1,4 +1,4 @@
-"""Section III-C claim — CHGS collapses four interactions into one and
+"""Section III-C claim -- CHGS collapses four interactions into one and
 reduces online communication.
 
 Measured on real (scaled-down) private inference runs: the number of online

@@ -1,4 +1,4 @@
-"""Figure 2 — latency (offline + online) and accuracy of THE-X, GCFormer,
+"""Figure 2 -- latency (offline + online) and accuracy of THE-X, GCFormer,
 Primer-base and Primer-F on MNLI-m with BERT-base.
 
 The figure's bar data (hours of offline/online latency per scheme, plus an
@@ -39,7 +39,7 @@ def test_figure2_series(latency_model):
             f"{row.total_seconds / 3600:.2f} (paper {paper_hours:.1f})",
             "approx" if scheme == "THE-X" else "exact",
         ])
-    print("\nFigure 2 — latency/accuracy comparison (hours)\n")
+    print("\nFigure 2 -- latency/accuracy comparison (hours)\n")
     print(format_table(
         ["Scheme", "Offline (h)", "Online (h)", "Total (h) (paper)", "Non-linearities"],
         table,

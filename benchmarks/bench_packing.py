@@ -1,4 +1,4 @@
-"""Figure 6 / Section III-D — tokens-first vs feature-based ciphertext packing.
+"""Figure 6 / Section III-D -- tokens-first vs feature-based ciphertext packing.
 
 Regenerates the rotation-count comparison for the embedding-layer matrix
 multiplication (n = 30 tokens, d_oh = 30522, M = 4096 slots): the paper's
@@ -27,7 +27,7 @@ def test_paper_scale_rotation_savings():
     savings = rotation_savings(
         n_tokens=30, n_features=30522, slot_count=4096, n_outputs=768
     )
-    print("\nFigure 6 — packing rotation counts (BERT embedding, n=30, M=4096)\n")
+    print("\nFigure 6 -- packing rotation counts (BERT embedding, n=30, M=4096)\n")
     print(format_table(
         ["Layout", "Rotations"],
         [

@@ -5,7 +5,7 @@ Three comparisons, mirroring the levels the serving runtime batches at:
 1. **Shared-slot HE batches** on the *exact BFV backend*: eight private
    ``X @ W`` requests packed tokens-first into shared ciphertext slots versus
    the same eight requests encrypted and multiplied one at a time.  The batch
-   needs one ciphertext per input feature — independent of the batch size —
+   needs one ciphertext per input feature -- independent of the batch size --
    so both the operation counts and the wall-clock throughput improve by
    roughly the batch factor.  The acceptance bar is 3x; the measured margin
    is typically ~8x at the test-scale parameters used here.
@@ -29,18 +29,18 @@ Three comparisons, mirroring the levels the serving runtime batches at:
    is a 3x rotation reduction with bit-identical decrypted results.
 
 5. **FHGS block-diagonal slot sharing**: a 4-request serving batch ships
-   one set of cross-term ciphertexts instead of four — the ~1/k online
+   one set of cross-term ciphertexts instead of four -- the ~1/k online
    traffic reduction the ROADMAP's slot-sharing item asked for.
 
 6. **Plan-store warm start**: a freshly started serving process installs
    its engine's :class:`OfflinePlan` from disk instead of re-running the
-   offline HE exchange — zero offline HE operations on the tracker,
+   offline HE exchange -- zero offline HE operations on the tracker,
    bit-identical logits, and an engine build ≥5x faster than the cold
    offline build (typically far more).
 
 7. **RNS limb arithmetic**: the double-CRT serving path at a >=60-bit
    two-limb coefficient modulus (illegal under the old 30-bit single-
-   modulus ceiling) against the one-limb configuration — exact results on
+   modulus ceiling) against the one-limb configuration -- exact results on
    both, tracker-measured NTT transforms equal to the limb-scaled closed
    form ``(3 * input_cts + output_cts) * L`` with zero gap, rotations
    limb-independent.
@@ -48,14 +48,14 @@ Three comparisons, mirroring the levels the serving runtime batches at:
 8. **Kernel tier**: the compiled/multicore HE kernel tier
    (:mod:`repro.he.kernels`) against the reference numpy path on the same
    exact-backend serving workload at paper dimensions (N = 4096, a 6-limb
-   double-CRT basis) — logits bit-identical, transform/rotation closed
+   double-CRT basis) -- logits bit-identical, transform/rotation closed
    forms untouched, and a committed >=2x wall-clock floor for the
    self-calibrated fastest tier.
 
 9. **Fault recovery**: the async front door serving the full-inference
    workload under a deterministic :class:`FaultPlan` injecting transient
    executor faults (the issue's 1% per-batch rate plus one guaranteed
-   firing) with a :class:`RetryPolicy` — every request completes with
+   firing) with a :class:`RetryPolicy` -- every request completes with
    logits bit-identical to the fault-free pass, the conservation check
    ``submitted == completed + typed-failed`` closes with zero gap, and
    throughput stays >= 0.8x fault-free.
@@ -144,7 +144,7 @@ def test_batched_throughput_exact_backend():
 
     # Correctness first: both paths must decrypt to the plaintext product.
     t = backend.plaintext_modulus
-    for got_seq, got_batch, m in zip(sequential(), batched(), matrices):
+    for got_seq, got_batch, m in zip(sequential(), batched(), matrices, strict=True):
         assert np.array_equal(got_seq, (m @ weights) % t)
         assert np.array_equal(got_batch, got_seq)
 
@@ -200,7 +200,7 @@ def test_serving_runtime_vs_fresh_engines():
     batch_seconds = time.perf_counter() - start
 
     solo_logits, seq_seconds = run_sequential_baseline(model, tokens)
-    for report, expected in zip(reports, solo_logits):
+    for report, expected in zip(reports, solo_logits, strict=True):
         assert np.array_equal(report.result, expected)
 
     stats = summarize(reports, batch_seconds)
@@ -227,7 +227,7 @@ def test_pipelined_executor_vs_serial_drain():
     """Acceptance: pipelined drain >= 1.2x serial run_pending, bit-identical.
 
     Mixed multi-model workload: four tiny models, two Primer variants,
-    interleaved arrivals — so the drain forms batches across several
+    interleaved arrivals -- so the drain forms batches across several
     ``(model, variant)`` keys and the pipeline can shard them.  The network
     is *realized* at the paper's round-trip delay (2.3 ms, Section IV) with
     a modern link bandwidth: every offline/online message actually occupies
@@ -266,7 +266,7 @@ def test_pipelined_executor_vs_serial_drain():
     assert [r.request_id for r in serial_reports] == [
         r.request_id for r in pipelined_reports
     ]
-    for serial_report, pipelined_report in zip(serial_reports, pipelined_reports):
+    for serial_report, pipelined_report in zip(serial_reports, pipelined_reports, strict=True):
         assert np.array_equal(serial_report.result, pipelined_report.result)
 
     n = len(tokens)
@@ -396,7 +396,7 @@ def test_fhgs_slot_sharing():
 
     shared_reports, shared_cts, shared_seconds = serve(None)
     solo_reports, solo_cts, solo_seconds = serve(1)
-    for shared, solo in zip(shared_reports, solo_reports):
+    for shared, solo in zip(shared_reports, solo_reports, strict=True):
         assert np.array_equal(shared.result, solo.result)
     reduction = solo_cts / shared_cts
     print(f"\nFHGS block-diagonal slot sharing (batch of {k})\n")
@@ -430,8 +430,8 @@ def test_ntt_domain_residency():
     1. **Transform economy** (simulated backend, which models the transforms
        the deployed scheme executes): the coefficient-resident pipeline pays
        a full forward+inverse round trip per diagonal product; the
-       EVAL-resident pipeline — ciphertexts encrypted straight into NTT
-       form, diagonal masks pre-transformed once at plan time — pays only
+       EVAL-resident pipeline -- ciphertexts encrypted straight into NTT
+       form, diagonal masks pre-transformed once at plan time -- pays only
        the encrypt/decrypt boundary.  Both tracker counts must equal their
        closed forms *exactly* (the residency analog of the PR-3 rotation
        accounting), and the reduction must clear 3x.
@@ -524,7 +524,7 @@ def test_rns_limb_arithmetic():
 
     The same shared-slot linear workload is served on the exact backend
     twice: with the historical one-limb 30-bit modulus and with a two-limb
-    RNS basis whose composite modulus is >= 60 bits — a parameter point the
+    RNS basis whose composite modulus is >= 60 bits -- a parameter point the
     pre-RNS representation could not express at all (its int64 pointwise
     products wrap past 30-bit moduli).  Results must be exact on both, the
     two-limb tracker-measured transform count must equal the limb-scaled
@@ -542,7 +542,7 @@ def test_rns_limb_arithmetic():
         runtime.run_pending()
         seconds = time.perf_counter() - start
         t = backend.plaintext_modulus
-        for m, rid in zip(matrices, ids):
+        for m, rid in zip(matrices, ids, strict=True):
             assert np.array_equal(runtime.result(rid).result, (m @ weights) % t)
         transforms = backend.tracker.transforms()
         rotations = backend.tracker.count("he_rotate")
@@ -594,8 +594,8 @@ def test_kernel_tier():
     """Acceptance: fastest kernel tier >= 2x exact-backend serving wall clock.
 
     The same shared-slot linear workload as the RNS section, served on the
-    exact backend at the paper-facing dimension point — ring degree 4096
-    with a six-limb double-CRT basis (~180-bit composite modulus) — once
+    exact backend at the paper-facing dimension point -- ring degree 4096
+    with a six-limb double-CRT basis (~180-bit composite modulus) -- once
     under every available kernel tier.  Every tier must return logits
     bit-identical to the ``reference`` numpy path with the tracker-measured
     transform count still equal to the limb-scaled closed form
@@ -631,7 +631,7 @@ def test_kernel_tier():
             transforms = backend.tracker.transforms()
             rotations = backend.tracker.count("he_rotate")
         t = params.plaintext_modulus
-        for m, got in zip(matrices, results):
+        for m, got in zip(matrices, results, strict=True):
             assert np.array_equal(got, (m @ weights) % t), tier
         return results, best, transforms, rotations
 
@@ -643,7 +643,7 @@ def test_kernel_tier():
     bit_identical = all(
         np.array_equal(a, b)
         for tier in tiers
-        for a, b in zip(runs[tier][0], ref_results)
+        for a, b in zip(runs[tier][0], ref_results, strict=True)
     )
     gap = max(abs(runs[tier][2] - closed) for tier in tiers)
     rotations_unchanged = all(runs[tier][3] == ref_rotations for tier in tiers)
@@ -696,7 +696,7 @@ def test_plan_store_warm_start(tmp_path):
     HGS/FHGS offline exchange to build its engine, then persists the
     resulting :class:`OfflinePlan` to the plan store.  Warm path: a second
     process (here: a second runtime over the same store directory) installs
-    the stored plan — no offline HE operation runs at all (asserted on the
+    the stored plan -- no offline HE operation runs at all (asserted on the
     tracker) and the logits are bit-identical.
     """
     config = scaled_config(
@@ -758,9 +758,9 @@ def test_fault_recovery():
     rate at the online-execute site, plus one guaranteed firing so the
     measured window always contains a real retry regardless of the draws.
     The :class:`RetryPolicy` must recover every faulted batch to logits
-    bit-identical to the fault-free pass — conservation
+    bit-identical to the fault-free pass -- conservation
     ``submitted == completed + typed-failed`` with zero gap and zero
-    abandoned handles — at >= 0.8x the fault-free throughput.
+    abandoned handles -- at >= 0.8x the fault-free throughput.
     """
     config = scaled_config(
         BERT_BASE, embed_dim=16, num_heads=2, seq_len=6, vocab_size=40, num_blocks=1
@@ -790,8 +790,8 @@ def test_fault_recovery():
     free_reports, free_failures, free_seconds = serve()
     assert not free_failures
 
-    # The seed is fixed (not REPRO_FAULT_SEED) so the recorded numbers —
-    # and the committed regression floor under them — are reproducible.
+    # The seed is fixed (not REPRO_FAULT_SEED) so the recorded numbers --
+    # and the committed regression floor under them -- are reproducible.
     plan = FaultPlan(
         rules=(
             FaultRule(site=SITE_ONLINE_EXECUTE, rate=0.01),

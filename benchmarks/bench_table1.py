@@ -1,4 +1,4 @@
-"""Table I — comparison with prior works on private BERT-base inference.
+"""Table I -- comparison with prior works on private BERT-base inference.
 
 Regenerates the offline/online/total latency and accuracy columns for THE-X,
 GCFormer, Primer-F and Primer-FPC (MNLI-m, BERT-base).  Paper values are
@@ -48,7 +48,7 @@ def test_table1_report(latency_model):
             f"{row.total_seconds:.0f} (paper {p_tot:.0f})",
             f"{MEASURED_ACCURACY[scheme]} (paper {p_acc}%)",
         ])
-    print("\nTable I — private BERT-base inference\n")
+    print("\nTable I -- private BERT-base inference\n")
     print(format_table(["Scheme", "Offline(s)", "Online(s)", "Total(s)", "Accuracy"], table))
 
     # Shape assertions: Primer wins, GCFormer is the slowest, online latency

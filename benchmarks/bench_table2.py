@@ -1,4 +1,4 @@
-"""Table II — per-step ablation of Primer-base / +FHGS / +Pack / +CHGS.
+"""Table II -- per-step ablation of Primer-base / +FHGS / +Pack / +CHGS.
 
 Regenerates the offline/online latency of every pipeline step (Embed, QKV,
 Q x K, SoftMax, Attention-Value, Others) for the four Primer variants on
@@ -45,7 +45,7 @@ def test_table2_report(latency_model):
             f" (paper {paper_off:.0f}/{paper_on:.1f})"
         )
         rows.append(cells)
-    print("\nTable II — per-step ablation (offline/online seconds)\n")
+    print("\nTable II -- per-step ablation (offline/online seconds)\n")
     print(format_table(["Scheme", *TABLE2_STEPS, "Total (paper)"], rows))
 
     base = data["primer-base"][1]

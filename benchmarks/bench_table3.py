@@ -1,4 +1,4 @@
-"""Table III — Primer across BERT-tiny/small/base/medium/large.
+"""Table III -- Primer across BERT-tiny/small/base/medium/large.
 
 Regenerates the offline/online latency, throughput (tokens/s) and message
 size columns for the five model sizes, and checks the monotone scaling the
@@ -48,7 +48,7 @@ def test_table3_report(latency_model):
             f"{row['throughput']:.2f} ({paper[2]:.2f})",
             f"{row['message_gb']:.1f} ({paper[3]:.1f})",
         ])
-    print("\nTable III — Primer over BERT model sizes (measured (paper))\n")
+    print("\nTable III -- Primer over BERT model sizes (measured (paper))\n")
     print(format_table(
         ["Model", "Offline(s)", "Online(s)", "Tokens/s", "Message GB"], table
     ))

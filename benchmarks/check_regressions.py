@@ -41,33 +41,38 @@ FLOORS: dict[str, float] = {
     "kernel_tier.exact_backend_speedup": 2.0,
     # Fault recovery: serving throughput under the injected transient-fault
     # rate (with one guaranteed firing) must stay within 0.8x of the
-    # fault-free pass — retries amortise, they do not serialise the drain.
+    # fault-free pass -- retries amortise, they do not serialise the drain.
     "fault_recovery.throughput_ratio": 0.8,
 }
 
 #: ``section.metric`` -> exact required value (correctness, not wall clock):
 #: a warm-started engine must run *zero* offline HE operations, and the
 #: EVAL-resident transform count must equal its closed form exactly (any
-#: gap is a redundant — or missing — domain crossing).
+#: gap is a redundant -- or missing -- domain crossing).
 EXACT: dict[str, float] = {
     "plan_store_warm_start.warm_offline_he_operations": 0,
     "ntt_domain_residency.closed_form_gap": 0,
     # Double-CRT serving: the two-limb transform count must equal the
-    # limb-scaled closed form (3*input_cts + output_cts) * L exactly — any
+    # limb-scaled closed form (3*input_cts + output_cts) * L exactly -- any
     # gap is a limb-scaling bug in a charge site or a redundant transform.
     "rns_limb_arithmetic.closed_form_gap": 0,
     # Every kernel tier must serve logits bit-identical to the reference
-    # numpy path with the limb-scaled transform closed form intact — the
+    # numpy path with the limb-scaled transform closed form intact -- the
     # tier is a performance knob, never a semantics knob.
     "kernel_tier.bit_identical": 1,
     "kernel_tier.closed_form_gap": 0,
-    # Fault tolerance: conservation must close exactly — every submitted
+    # Fault tolerance: conservation must close exactly -- every submitted
     # request either completed or failed typed; a nonzero gap is a dropped
     # handle, and a typed failure under an all-transient plan with retry
     # headroom is a broken recovery path.
     "fault_recovery.conservation_gap": 0,
     "fault_recovery.typed_failures": 0,
 }
+
+#: Ceiling on `# repro-lint: disable=` suppressions across the checked tree
+#: (stamped into the record by ``_record.py``).  Currently zero: every
+#: project-invariant finding so far has been fixed rather than suppressed.
+MAX_SUPPRESSIONS = 0
 
 
 def check(path: Path) -> list[str]:
@@ -103,6 +108,23 @@ def check(path: Path) -> list[str]:
         value = lookup(key)
         if value is not None and value != expected:
             failures.append(f"{key} = {value} must be exactly {expected}")
+
+    # Static-analysis hygiene: _record.py stamps `python -m repro.analysis`
+    # stats into the record (top-level, not a benchmark section).  The
+    # suppression count is regression-gated at its current value -- zero --
+    # so `# repro-lint: disable=...` comments cannot accumulate silently.
+    analysis = data.get("analysis")
+    if not isinstance(analysis, dict):
+        failures.append(f"analysis stats missing from {path.name} (re-run a benchmark)")
+    else:
+        suppressions = analysis.get("suppression_count")
+        if not isinstance(suppressions, int):
+            failures.append(f"analysis.suppression_count missing from {path.name}")
+        elif suppressions > MAX_SUPPRESSIONS:
+            failures.append(
+                f"analysis.suppression_count = {suppressions} exceeds the "
+                f"committed ceiling {MAX_SUPPRESSIONS}"
+            )
     return failures
 
 

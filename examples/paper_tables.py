@@ -19,7 +19,7 @@ from repro.runtime import calibrated_latency_model, scheme_latencies
 
 
 def table1(latency_model) -> None:
-    print("\nTable I — comparison on private BERT-base inference")
+    print("\nTable I -- comparison on private BERT-base inference")
     rows = []
     for row in scheme_latencies(BERT_BASE, model=latency_model,
                                 variants=[PRIMER_F, PRIMER_FPC]):
@@ -31,7 +31,7 @@ def table1(latency_model) -> None:
 
 
 def table2(latency_model) -> None:
-    print("\nTable II — per-step ablation (offline/online seconds)")
+    print("\nTable II -- per-step ablation (offline/online seconds)")
     rows = []
     for variant in ALL_VARIANTS:
         account = count_operations(BERT_BASE, variant)
@@ -47,7 +47,7 @@ def table2(latency_model) -> None:
 
 
 def table3(latency_model) -> None:
-    print("\nTable III — Primer over BERT model sizes")
+    print("\nTable III -- Primer over BERT model sizes")
     rows = []
     for name, config in PAPER_MODELS.items():
         account = count_operations(config, PRIMER_FPC)
@@ -62,7 +62,7 @@ def table3(latency_model) -> None:
 
 
 def figure6() -> None:
-    print("\nFigure 6 — packing rotation counts (embedding layer, n=30, M=4096)")
+    print("\nFigure 6 -- packing rotation counts (embedding layer, n=30, M=4096)")
     savings = rotation_savings(30, 30522, 4096)
     print(format_table(
         ["Layout", "Rotations"],

@@ -3,7 +3,7 @@
 This example exercises the individual building blocks of the paper on small
 matrices so each exchange can be inspected:
 
-1. HGS on the *exact* BFV backend — real RLWE ciphertexts cross the wire,
+1. HGS on the *exact* BFV backend -- real RLWE ciphertexts cross the wire,
    showing the offline Enc(Rc) / Enc(Rc @ W + Rs) exchange and the HE-free
    online phase.
 2. FHGS (ciphertext-ciphertext Q @ K^T) on the simulated backend.

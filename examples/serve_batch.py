@@ -4,7 +4,7 @@ Shows the layers of the serving runtime:
 
 1. Six full private-inference requests (two protocol variants) flow through
    the request queue, are grouped into compatible batches, and run on cached
-   engines — keys and the whole HGS/FHGS offline phase are paid once per
+   engines -- keys and the whole HGS/FHGS offline phase are paid once per
    (model, variant) instead of once per request.  Queue observability
    (pending counts, per-key depth, max wait) and per-request reports show
    what the runtime is doing.
@@ -16,8 +16,8 @@ Shows the layers of the serving runtime:
    while earlier batches run their online phases, beating the serial drain
    with bit-identical logits.
 4. The *async front door*: requests are submitted while earlier batches are
-   still executing — each ``submit()`` returns a handle whose ``result()``
-   blocks until that request's report is ready — and a second process-style
+   still executing -- each ``submit()`` returns a handle whose ``result()``
+   blocks until that request's report is ready -- and a second process-style
    runtime *warm-starts* its engine from the on-disk plan store, skipping
    the offline HE exchange entirely.
 
@@ -87,7 +87,7 @@ def full_inference_demo() -> None:
     solo_logits, solo_wall = run_sequential_baseline(model, sequences[:4])
     identical = all(
         np.array_equal(report.result, expected)
-        for report, expected in zip(reports[:4], solo_logits)
+        for report, expected in zip(reports[:4], solo_logits, strict=True)
     )
     print(f"Sequential (fresh engine per request, 4 reqs): {solo_wall:.3f}s")
     print(f"Batched results bit-identical to solo runs    : {identical}")
@@ -109,7 +109,7 @@ def shared_slot_demo() -> None:
     encrypts = reports[0].he_operations.get("encrypt", 0)
     correct = all(
         np.array_equal(report.result, (matrix @ weights) % backend.plaintext_modulus)
-        for matrix, report in zip(matrices, reports)
+        for matrix, report in zip(matrices, reports, strict=True)
     )
     print(f"Requests served       : {len(reports)} (one shared-slot batch)")
     print(f"Ciphertexts encrypted : {encrypts} "
@@ -148,7 +148,7 @@ def pipelined_demo() -> None:
 
     identical = all(
         np.array_equal(a.result, b.result)
-        for a, b in zip(serial_reports, pipelined_reports)
+        for a, b in zip(serial_reports, pipelined_reports, strict=True)
     )
     workers = sorted({r.worker for r in pipelined_reports})
     print(format_table(

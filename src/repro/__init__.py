@@ -1,21 +1,21 @@
-"""repro — reproduction of "Primer: Fast Private Transformer Inference on
+"""repro -- reproduction of "Primer: Fast Private Transformer Inference on
 Encrypted Data" (DAC 2023).
 
 The package provides:
 
-* ``repro.he`` — an additive BFV-style HE layer (exact RLWE backend plus a
+* ``repro.he`` -- an additive BFV-style HE layer (exact RLWE backend plus a
   functional simulator with operation accounting) including the paper's
   tokens-first ciphertext packing;
-* ``repro.mpc`` — additive secret sharing, Beaver triples, oblivious transfer
+* ``repro.mpc`` -- additive secret sharing, Beaver triples, oblivious transfer
   and a garbled-circuit engine;
-* ``repro.nn`` — a plaintext BERT-style Transformer substrate with fixed-point
+* ``repro.nn`` -- a plaintext BERT-style Transformer substrate with fixed-point
   and polynomial-approximation execution modes;
-* ``repro.protocols`` — the paper's contribution: the HGS, FHGS and CHGS
+* ``repro.protocols`` -- the paper's contribution: the HGS, FHGS and CHGS
   protocols, GC-backed non-linearities, and the Primer-base/F/FP/FPC private
   inference engine;
-* ``repro.baselines`` — THE-X (FHE-only) and GCFormer (GC-only) comparison
+* ``repro.baselines`` -- THE-X (FHE-only) and GCFormer (GC-only) comparison
   points;
-* ``repro.costmodel`` / ``repro.runtime`` / ``repro.data`` — the calibrated
+* ``repro.costmodel`` / ``repro.runtime`` / ``repro.data`` -- the calibrated
   latency model, evaluation harness and synthetic datasets used to regenerate
   the paper's tables and figures.
 """

@@ -1,0 +1,40 @@
+"""Project-invariant static analysis (``python -m repro.analysis``).
+
+The serving stack rests on invariants that are otherwise enforced only
+dynamically -- COEFF/EVAL domain alignment, the lazy-reduction NTT bound,
+scheduler state touched only under its lock, tracker charges paired with
+every transform site, seeded-RNG hygiene, registered fault-site names,
+fork-safe worker pools, and limb-major array discipline.  This package
+makes violations *provable bugs at lint time*: an AST-based checker
+framework (:mod:`repro.analysis.core`) plus one rule per invariant
+(:mod:`repro.analysis.rules`), with inline
+``# repro-lint: disable=RULE(reason)`` suppressions that are themselves
+counted and budgeted, and a committed baseline file enforcing "no new
+findings" in CI.
+"""
+
+from .core import (
+    AnalysisResult,
+    Baseline,
+    Finding,
+    ParsedModule,
+    Rule,
+    all_rules,
+    analyze,
+    default_roots,
+    register,
+    tree_stats,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "Finding",
+    "ParsedModule",
+    "Rule",
+    "all_rules",
+    "analyze",
+    "default_roots",
+    "register",
+    "tree_stats",
+]

@@ -1,0 +1,125 @@
+"""``python -m repro.analysis`` -- run the project-invariant checker.
+
+Exit status: 0 when the tree is clean (or clean modulo the committed
+baseline and within its suppression budget), 1 on violations, 2 on
+usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .core import Baseline, all_rules, analyze, default_roots
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-invariant static checker (rules RL001-RL007).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files/directories to check (default: src, benchmarks, examples)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print summary stats (findings per rule, suppression count) as JSON",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="committed baseline file; fail only on findings not in it "
+        "or on suppressions over its budget",
+    )
+    parser.add_argument(
+        "--write-baseline", type=Path, default=None,
+        help="write the current findings out as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="directory findings paths are reported relative to",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+    paths = args.paths if args.paths else default_roots()
+    result = analyze(paths, root=args.root)
+
+    if args.write_baseline is not None:
+        Baseline.from_result(result).dump(args.write_baseline)
+        print(
+            f"wrote baseline: {len(result.active)} findings, "
+            f"suppression budget {result.suppression_count}"
+        )
+        return 0
+
+    if args.stats:
+        print(json.dumps(result.stats(), indent=2, sort_keys=True))
+        return 0 if not result.active else 1
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in result.findings],
+                    "stats": result.stats(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except FileNotFoundError:
+            print(f"baseline file {args.baseline} is missing", file=sys.stderr)
+            return 2
+        failures = baseline.violations(result)
+        if failures:
+            print("repro-lint: new findings versus baseline:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        stale = baseline.stale(result)
+        suffix = f"; {len(stale)} baseline entries now stale" if stale else ""
+        if not args.json:
+            print(
+                f"repro-lint OK: {len(result.active)} known findings, "
+                f"{result.suppression_count}/{baseline.suppression_budget} "
+                f"suppressions used{suffix}"
+            )
+        return 0
+
+    if result.active:
+        if not args.json:
+            for finding in result.active:
+                print(finding.render())
+            print(
+                f"repro-lint: {len(result.active)} findings "
+                f"({result.suppression_count} suppressed) in "
+                f"{result.files_scanned} files"
+            )
+        return 1
+    if not args.json:
+        print(
+            f"repro-lint OK: 0 findings ({result.suppression_count} suppressed) "
+            f"in {result.files_scanned} files"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,433 @@
+"""Checker framework: file walker, rule registry, findings, baseline.
+
+Design notes
+------------
+
+*Findings* carry ``file:line``, a rule id, a message, and a fix hint.
+Their *fingerprint* deliberately excludes the line number -- it hashes the
+rule id, the repository-relative path, the stripped source line, and an
+occurrence index -- so unrelated edits above a baselined finding do not
+churn the committed baseline file.
+
+*Suppressions* are inline comments::
+
+    something_suspicious()  # repro-lint: disable=RL004(reason why)
+
+A suppression only silences findings of the named rule **on its own
+line**, must carry a reason, and is itself counted: the committed
+baseline carries a ``suppression_budget`` and CI fails when the count of
+used suppressions grows past it.  A suppression that silences nothing is
+reported as an ``RL000`` finding so stale disables cannot accumulate.
+
+*Baseline* (``.repro-lint-baseline.json``) records the fingerprints of
+known findings plus the suppression budget.  ``analyze`` against a
+baseline fails only on findings *not* in the baseline or on a
+suppression count above budget -- the "no new findings" contract.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from collections import Counter
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "Finding",
+    "ParsedModule",
+    "Rule",
+    "all_rules",
+    "analyze",
+    "default_roots",
+    "register",
+    "tree_stats",
+]
+
+#: Repository root, resolved from this file's location
+#: (``src/repro/analysis/core.py`` -> three parents up).
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([^#]+)")
+_SUPPRESS_ITEM_RE = re.compile(r"(RL\d{3})\s*(?:\(([^)]*)\))?")
+UNUSED_SUPPRESSION_RULE = "RL000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str  #: repository-relative posix path
+    line: int  #: 1-indexed
+    message: str
+    fix_hint: str = ""
+    suppressed: bool = False
+    suppression_reason: str | None = None
+    #: disambiguates identical (rule, path, source-line) triples; filled in
+    #: by the analyzer after collection.
+    occurrence: int = 0
+    source_line: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the committed baseline."""
+        return f"{self.rule_id}|{self.path}|{self.source_line}|{self.occurrence}"
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+        if self.suppressed:
+            reason = self.suppression_reason or "no reason given"
+            return f"{text} [suppressed: {reason}]"
+        if self.fix_hint:
+            text += f"  (fix: {self.fix_hint})"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "suppressed": self.suppressed,
+            "suppression_reason": self.suppression_reason,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class _Suppression:
+    rule_id: str
+    reason: str
+    line: int
+    used: bool = False
+
+
+@dataclass
+class ParsedModule:
+    """One parsed source file handed to every applicable rule."""
+
+    path: Path  #: absolute path on disk
+    rel: str  #: repository-relative posix path (or best effort)
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    suppressions: dict[int, list[_Suppression]]
+    comments: dict[int, str]  #: real COMMENT tokens by line (docstrings excluded)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path | None = None) -> ParsedModule:
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+        lines = source.splitlines()
+        comments: dict[int, str] = {}
+        try:
+            for token in tokenize.generate_tokens(io.StringIO(source).readline):
+                if token.type == tokenize.COMMENT:
+                    comments[token.start[0]] = token.string
+        except tokenize.TokenError:
+            pass
+        suppressions: dict[int, list[_Suppression]] = {}
+        for lineno, text in comments.items():
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            entries = [
+                _Suppression(rule_id=rule, reason=(reason or "").strip(), line=lineno)
+                for rule, reason in _SUPPRESS_ITEM_RE.findall(match.group(1))
+            ]
+            if entries:
+                suppressions[lineno] = entries
+        base = root if root is not None else REPO_ROOT
+        try:
+            rel = path.resolve().relative_to(base.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        return cls(
+            path=path, rel=rel, source=source, lines=lines, tree=tree,
+            suppressions=suppressions, comments=comments,
+        )
+
+    # -- helpers shared by rules ------------------------------------------
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def comment_text(self, lineno: int) -> str:
+        return self.comments.get(lineno, "")
+
+    def functions(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def name_matches(self, *suffixes: str) -> bool:
+        """True when the module path ends with any ``dir/file.py`` suffix."""
+        return any(self.rel.endswith(suffix) for suffix in suffixes)
+
+    def in_package(self, package: str) -> bool:
+        """True when the module lives under a ``.../<package>/`` directory."""
+        return f"/{package}/" in f"/{self.rel}"
+
+
+class Rule:
+    """Base class for project rules.
+
+    Subclasses set :attr:`rule_id`, :attr:`summary`, and :attr:`fix_hint`,
+    decide file scope in :meth:`applies_to`, and yield findings from
+    :meth:`check`.  :meth:`prepare` runs once over the whole module set
+    before any :meth:`check`, for rules needing cross-module state (the
+    fault-site registry).
+    """
+
+    rule_id: str = "RL999"
+    summary: str = ""
+    fix_hint: str = ""
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return True
+
+    def prepare(self, modules: Sequence[ParsedModule]) -> None:  # noqa: B027
+        """Optional cross-module pass; default is a no-op."""
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ParsedModule, line: int, message: str, *, fix_hint: str | None = None
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.rel,
+            line=line,
+            message=message,
+            fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+            source_line=module.line_text(line).strip(),
+        )
+
+
+_REGISTRY: list[type[Rule]] = []
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    _REGISTRY.append(rule_cls)
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, importing them on demand."""
+    from . import rules  # noqa: F401  (import populates the registry)
+
+    return [cls() for cls in _REGISTRY]
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced."""
+
+    findings: list[Finding]
+    files_scanned: int
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def suppression_count(self) -> int:
+        return len(self.suppressed)
+
+    def per_rule(self) -> dict[str, int]:
+        return dict(sorted(Counter(f.rule_id for f in self.active).items()))
+
+    def stats(self) -> dict:
+        return {
+            "files_scanned": self.files_scanned,
+            "rules_run": self.rules_run,
+            "findings": len(self.active),
+            "findings_per_rule": self.per_rule(),
+            "suppression_count": self.suppression_count,
+        }
+
+
+@dataclass
+class Baseline:
+    """The committed no-new-findings contract."""
+
+    fingerprints: set[str] = field(default_factory=set)
+    suppression_budget: int = 0
+
+    @classmethod
+    def load(cls, path: Path) -> Baseline:
+        data = json.loads(path.read_text())
+        return cls(
+            fingerprints=set(data.get("findings", [])),
+            suppression_budget=int(data.get("suppression_budget", 0)),
+        )
+
+    @classmethod
+    def from_result(cls, result: AnalysisResult) -> Baseline:
+        return cls(
+            fingerprints={f.fingerprint for f in result.active},
+            suppression_budget=result.suppression_count,
+        )
+
+    def dump(self, path: Path) -> None:
+        payload = {
+            "version": 1,
+            "suppression_budget": self.suppression_budget,
+            "findings": sorted(self.fingerprints),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def new_findings(self, result: AnalysisResult) -> list[Finding]:
+        return [f for f in result.active if f.fingerprint not in self.fingerprints]
+
+    def stale(self, result: AnalysisResult) -> set[str]:
+        live = {f.fingerprint for f in result.active}
+        return self.fingerprints - live
+
+    def violations(self, result: AnalysisResult) -> list[str]:
+        """Human-readable failures (empty list = the contract holds)."""
+        failures = [f.render() for f in self.new_findings(result)]
+        if result.suppression_count > self.suppression_budget:
+            failures.append(
+                f"suppression count {result.suppression_count} exceeds the "
+                f"committed budget {self.suppression_budget}; remove a "
+                "suppression or justify raising the budget"
+            )
+        return failures
+
+
+def iter_source_files(roots: Sequence[Path]) -> Iterator[Path]:
+    """Python files under ``roots`` (files or directories), deterministic order."""
+    seen: set[Path] = set()
+    for root in roots:
+        if root.is_file():
+            candidates: Iterable[Path] = [root]
+        else:
+            candidates = sorted(root.rglob("*.py"))
+        for path in candidates:
+            if "__pycache__" in path.parts:
+                continue
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield path
+
+
+def default_roots() -> list[Path]:
+    """The tree the project checker covers: src, benchmarks, examples."""
+    roots = [REPO_ROOT / "src", REPO_ROOT / "benchmarks", REPO_ROOT / "examples"]
+    return [root for root in roots if root.exists()]
+
+
+def analyze(
+    paths: Sequence[Path] | None = None,
+    rules: Sequence[Rule] | None = None,
+    *,
+    root: Path | None = None,
+) -> AnalysisResult:
+    """Run ``rules`` over every Python file under ``paths``.
+
+    ``root`` anchors repository-relative paths in findings (defaults to the
+    repository root; tests pass a tmp dir holding fixture trees).
+    """
+    roots = list(paths) if paths is not None else default_roots()
+    active_rules = list(rules) if rules is not None else all_rules()
+    modules: list[ParsedModule] = []
+    for path in iter_source_files(roots):
+        modules.append(ParsedModule.parse(path, root=root))
+    for rule in active_rules:
+        rule.prepare(modules)
+    findings: list[Finding] = []
+    for module in modules:
+        for rule in active_rules:
+            if not rule.applies_to(module):
+                continue
+            for raw in rule.check(module):
+                findings.append(_apply_suppressions(module, raw))
+        findings.extend(_unused_suppressions(module))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id, f.message))
+    _index_occurrences(findings)
+    return AnalysisResult(
+        findings=findings,
+        files_scanned=len(modules),
+        rules_run=[rule.rule_id for rule in active_rules],
+    )
+
+
+def _apply_suppressions(module: ParsedModule, finding: Finding) -> Finding:
+    for suppression in module.suppressions.get(finding.line, []):
+        if suppression.rule_id == finding.rule_id:
+            suppression.used = True
+            return Finding(
+                rule_id=finding.rule_id,
+                path=finding.path,
+                line=finding.line,
+                message=finding.message,
+                fix_hint=finding.fix_hint,
+                suppressed=True,
+                suppression_reason=suppression.reason or None,
+                source_line=finding.source_line,
+            )
+    return finding
+
+
+def _unused_suppressions(module: ParsedModule) -> list[Finding]:
+    unused = []
+    for entries in module.suppressions.values():
+        for suppression in entries:
+            if not suppression.used:
+                unused.append(
+                    Finding(
+                        rule_id=UNUSED_SUPPRESSION_RULE,
+                        path=module.rel,
+                        line=suppression.line,
+                        message=(
+                            f"suppression of {suppression.rule_id} silences "
+                            "nothing on this line"
+                        ),
+                        fix_hint="delete the stale repro-lint comment",
+                        source_line=module.line_text(suppression.line).strip(),
+                    )
+                )
+    return unused
+
+
+def _index_occurrences(findings: list[Finding]) -> None:
+    counts: Counter[tuple[str, str, str]] = Counter()
+    for i, finding in enumerate(findings):
+        key = (finding.rule_id, finding.path, finding.source_line)
+        occurrence = counts[key]
+        counts[key] += 1
+        if occurrence:
+            findings[i] = Finding(
+                rule_id=finding.rule_id,
+                path=finding.path,
+                line=finding.line,
+                message=finding.message,
+                fix_hint=finding.fix_hint,
+                suppressed=finding.suppressed,
+                suppression_reason=finding.suppression_reason,
+                occurrence=occurrence,
+                source_line=finding.source_line,
+            )
+
+
+def tree_stats() -> dict:
+    """Checker stats for the default tree (stamped into bench metadata)."""
+    return analyze().stats()

@@ -1,0 +1,21 @@
+"""Project rules.  Importing this package populates the rule registry."""
+
+from . import (  # noqa: F401
+    charges,
+    domains,
+    faultsites,
+    forksafety,
+    limbshape,
+    locks,
+    rng,
+)
+
+__all__ = [
+    "charges",
+    "domains",
+    "faultsites",
+    "forksafety",
+    "limbshape",
+    "locks",
+    "rng",
+]

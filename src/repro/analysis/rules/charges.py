@@ -1,0 +1,59 @@
+"""RL003 -- charge pairing in the HE backends.
+
+Every backend function that invokes a ring transform (``forward``,
+``forward_batch``, ``inverse``, ``inverse_batch``, ``mul_batch`` -- the
+last runs a full NTT round trip internally) must contain a reachable
+tracker charge in the same function: ``tracker.record_transforms(...)``,
+``tracker.record(...)``, or a ``_charge_*`` helper.  This keeps the
+"closed-form == measured" transform-count gates honest -- an uncharged
+transform site would make the measured count drift under the closed form
+and the equality gate would blame the wrong layer.
+
+Scope: the two backends (``he/bfv.py``, ``he/simulated.py``) where
+transforms and their charges must be co-located.  The ring layer itself
+(``rns.py``/``ntt.py``/``kernels.py``) is deliberately charge-free.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..core import Finding, ParsedModule, Rule, register
+
+_TRANSFORM_CALLS = {"forward", "forward_batch", "inverse", "inverse_batch", "mul_batch"}
+_CHARGE_CALLS = {"record_transforms", "record"}
+
+
+@register
+class ChargePairingRule(Rule):
+    rule_id = "RL003"
+    summary = "ring-transform call sites carry a tracker charge in the same function"
+    fix_hint = (
+        "add the matching tracker.record_transforms(...) charge next to the "
+        "transform call (count = transforms * limb_count)"
+    )
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return module.name_matches("he/bfv.py", "he/simulated.py")
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        for func in module.functions():
+            transform_lines: list[tuple[int, str]] = []
+            charged = False
+            for node in ast.walk(func):
+                if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                    continue
+                name = node.func.attr
+                if name in _TRANSFORM_CALLS:
+                    transform_lines.append((node.lineno, name))
+                if name in _CHARGE_CALLS or name.startswith("_charge"):
+                    charged = True
+            if transform_lines and not charged:
+                line, name = transform_lines[0]
+                yield self.finding(
+                    module,
+                    line,
+                    f"'{func.name}' invokes ring transform '{name}' with no "
+                    "tracker charge in the same function",
+                )

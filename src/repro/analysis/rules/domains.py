@@ -1,0 +1,143 @@
+"""RL002 -- domain discipline in ``he/``.
+
+Two sub-checks of the PR 5/PR 6 evaluation-domain invariants:
+
+1. **No eager reduction inside NTT stage loops.**  The lazy-reduction
+   Harvey/Shoup butterflies keep values in ``[0, 4q)`` across stages and
+   reduce exactly once at the end; a ``% q`` (or ``np.mod``) *inside* a
+   stage loop silently reintroduces the per-stage reduction the tier was
+   built to avoid.  A stage loop is a ``for`` whose iterable mentions the
+   precomputed per-stage twiddle tables (``stages`` / ``twiddle``) or a
+   ``while`` stepping the butterfly ``length``/``gap`` -- the final
+   ``for i in range(n)`` normalisation loops that follow them are the
+   single legal reduction and are not stage loops.
+
+2. **Ciphertext combining flows through domain-aligning entry points.**
+   A function combining components of two different ciphertext operands
+   (two distinct names with ``.c0``/``.c1``/``.values`` access) must call
+   an alignment helper (``_aligned``/``_aligned_binary``/
+   ``_binary_domain``/``convert_batch``/``to_eval``/``to_coeff``) or
+   inspect ``.domain`` itself -- adding mixed-residency component
+   arithmetic without it is exactly the bug class the exact-count
+   residency tests exist to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..core import Finding, ParsedModule, Rule, register
+
+_STAGE_HINTS = ("stage", "twiddle")
+_WHILE_HINTS = ("length", "gap", "half")
+_ALIGN_ENTRYPOINTS = {
+    "_aligned",
+    "_aligned_binary",
+    "_binary_domain",
+    "convert_batch",
+    "to_eval",
+    "to_coeff",
+    "align_domains",
+}
+_COMPONENT_ATTRS = {"c0", "c1", "values"}
+
+
+def _identifiers(node: ast.AST) -> set[str]:
+    names = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+    return names
+
+
+def _is_stage_loop(node: ast.AST) -> bool:
+    if isinstance(node, ast.For):
+        header = _identifiers(node.iter) | _identifiers(node.target)
+        return any(hint in name.lower() for name in header for hint in _STAGE_HINTS)
+    if isinstance(node, ast.While):
+        header = _identifiers(node.test)
+        return any(name.lower() in _WHILE_HINTS for name in header)
+    return False
+
+
+def _is_mod_node(node: ast.AST) -> bool:
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+        return True
+    if isinstance(node, (ast.AugAssign,)) and isinstance(node.op, ast.Mod):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in ("mod", "remainder") and isinstance(node.func.value, ast.Name):
+            return node.func.value.id == "np"
+    return False
+
+
+@register
+class DomainDisciplineRule(Rule):
+    rule_id = "RL002"
+    summary = "lazy-reduction stage loops stay %-free; mixed-domain combining aligns first"
+    fix_hint = (
+        "hoist the reduction out of the stage loop (lazy [0, 4q) bound) or "
+        "route the operands through a domain-aligning entry point"
+    )
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return module.in_package("he")
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        yield from self._check_stage_loops(module)
+        yield from self._check_combining(module)
+
+    # -- sub-check 1: % inside stage loops --------------------------------
+    def _check_stage_loops(self, module: ParsedModule) -> Iterable[Finding]:
+        findings: list[Finding] = []
+
+        def visit(node: ast.AST, in_stage_loop: bool) -> None:
+            if in_stage_loop and _is_mod_node(node):
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        "eager modular reduction inside an NTT stage loop "
+                        "(lazy-reduction invariant: reduce once, after the loop)",
+                    )
+                )
+            here = in_stage_loop or _is_stage_loop(node)
+            for child in ast.iter_child_nodes(node):
+                if isinstance(node, (ast.For, ast.While)) and child in getattr(
+                    node, "orelse", []
+                ):
+                    visit(child, in_stage_loop)
+                else:
+                    visit(child, here)
+
+        visit(module.tree, False)
+        return findings
+
+    # -- sub-check 2: ciphertext combining --------------------------------
+    def _check_combining(self, module: ParsedModule) -> Iterable[Finding]:
+        for func in module.functions():
+            operands: set[str] = set()
+            aligned = False
+            touches_domain = False
+            for node in ast.walk(func):
+                if isinstance(node, ast.Attribute):
+                    if node.attr in _COMPONENT_ATTRS and isinstance(node.value, ast.Name):
+                        if node.value.id not in ("self",):
+                            operands.add(node.value.id)
+                    if node.attr == "domain":
+                        touches_domain = True
+                    if node.attr in _ALIGN_ENTRYPOINTS:
+                        aligned = True
+                elif isinstance(node, ast.Name) and node.id in _ALIGN_ENTRYPOINTS:
+                    aligned = True
+            if len(operands) >= 2 and not aligned and not touches_domain:
+                yield self.finding(
+                    module,
+                    func.lineno,
+                    f"'{func.name}' combines ciphertext components of "
+                    f"{sorted(operands)} without a domain-aligning entry point "
+                    "or a .domain check",
+                )

@@ -1,0 +1,112 @@
+"""RL006 -- fork safety for module-level execution state.
+
+The PR 8 latent bug: a module-global ``ThreadPoolExecutor`` created in
+the parent survives ``fork`` as a corpse -- the child inherits the object
+but none of its threads, so work submitted to it hangs forever.  The
+sanctioned idiom pid-keys the global::
+
+    _pool: ThreadPoolExecutor | None = None
+    _pool_pid: int | None = None
+
+    def _worker_pool() -> ThreadPoolExecutor:
+        global _pool, _pool_pid
+        with _pool_lock:
+            if _pool is None or _pool_pid != os.getpid():
+                _pool = ThreadPoolExecutor(...)
+                _pool_pid = os.getpid()
+            return _pool
+
+This rule flags:
+
+* a ``ThreadPoolExecutor``/``ProcessPoolExecutor``/``Pool`` constructed
+  at module import time (always wrong -- threads never survive fork);
+* a function that assigns an executor into a module global (declares
+  ``global X`` and assigns a pool to ``X``) without calling
+  ``os.getpid()`` anywhere in its body;
+* a ``threading.Lock``/``RLock``/``Condition`` *lazily* stashed into a
+  module global the same way without pid-keying (a lock created mid-
+  operation can be inherited held).  Import-time module locks are
+  allowed: they exist before any worker thread can hold them across a
+  fork point, which is the pattern the kernel/NTT caches rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..core import Finding, ParsedModule, Rule, register
+
+_POOL_CTORS = {"ThreadPoolExecutor", "ProcessPoolExecutor", "Pool"}
+_LOCK_CTORS = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+
+def _ctor_name(call: ast.expr) -> str | None:
+    if not isinstance(call, ast.Call):
+        return None
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _calls_getpid(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr == "getpid":
+                return True
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id == "getpid":
+                return True
+    return False
+
+
+@register
+class ForkSafetyRule(Rule):
+    rule_id = "RL006"
+    summary = "module-global pools/locks are pid-keyed across fork"
+    fix_hint = (
+        "lazy-create the global behind a pid check "
+        "(`if _pool is None or _pool_pid != os.getpid():`)"
+    )
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return module.in_package("repro")
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        # import-time executors: always a fork hazard.
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign) and _ctor_name(node.value) in _POOL_CTORS:
+                yield self.finding(
+                    module, node.lineno,
+                    "thread/process pool constructed at module import time "
+                    "(its threads will not survive fork)",
+                )
+        # lazily-populated module globals without pid-keying.
+        for func in module.functions():
+            global_names: set[str] = set()
+            for node in ast.walk(func):
+                if isinstance(node, ast.Global):
+                    global_names.update(node.names)
+            if not global_names:
+                continue
+            pid_keyed = _calls_getpid(func)
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Assign):
+                    continue
+                ctor = _ctor_name(node.value)
+                if ctor not in _POOL_CTORS and ctor not in _LOCK_CTORS:
+                    continue
+                assigns_global = any(
+                    isinstance(target, ast.Name) and target.id in global_names
+                    for target in node.targets
+                )
+                if assigns_global and not pid_keyed:
+                    kind = "pool" if ctor in _POOL_CTORS else "lock"
+                    yield self.finding(
+                        module, node.lineno,
+                        f"module-global {kind} ({ctor}) created in "
+                        f"'{func.name}' without pid-keying",
+                    )

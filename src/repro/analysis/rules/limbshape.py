@@ -1,0 +1,83 @@
+"""RL007 -- limb-shape discipline in ``he/``.
+
+Double-CRT arrays are limb-major: ``(L, N)`` and ``(L, B, N)`` with the
+limb axis first.  Outside :mod:`repro.he.rns` (the one module allowed to
+take arrays apart limb by limb), a function whose docstring declares
+limb-major parameters must not index axis 0 of those parameters with a
+literal integer -- ``values[0]`` on an ``(L, N)`` array silently grabs
+the first limb's residues, which is exactly correct for a single-limb
+basis and exactly wrong for every other one (the PR 6 migration bug
+class).  Limb-generic code broadcasts over axis 0 or delegates to the
+RNS helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..core import Finding, ParsedModule, Rule, register
+
+_SHAPE_MARKERS = ("(L, N)", "(L, B, N)", "``(L, N)``", "``(L, B, N)``")
+
+
+def _declares_limb_major(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    doc = ast.get_docstring(func)
+    return bool(doc) and any(marker in doc for marker in _SHAPE_MARKERS)
+
+
+def _literal_axis0(subscript: ast.Subscript) -> int | None:
+    """The literal int used on axis 0, if the subscript leads with one."""
+    index = subscript.slice
+    if isinstance(index, ast.Tuple) and index.elts:
+        index = index.elts[0]
+    if isinstance(index, ast.Constant) and isinstance(index.value, int):
+        return index.value
+    if (
+        isinstance(index, ast.UnaryOp)
+        and isinstance(index.op, ast.USub)
+        and isinstance(index.operand, ast.Constant)
+        and isinstance(index.operand.value, int)
+    ):
+        return -index.operand.value
+    return None
+
+
+@register
+class LimbShapeRule(Rule):
+    rule_id = "RL007"
+    summary = "limb-major (L, ...) parameters never axis-0-indexed with a literal"
+    fix_hint = (
+        "broadcast over the limb axis (arr * q_col, arr[:, i]) or move the "
+        "per-limb split into repro.he.rns"
+    )
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return module.in_package("he") and not module.name_matches("he/rns.py")
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        for func in module.functions():
+            if not _declares_limb_major(func):
+                continue
+            params = {
+                arg.arg
+                for arg in (
+                    func.args.posonlyargs + func.args.args + func.args.kwonlyargs
+                )
+                if arg.arg != "self"
+            }
+            if not params:
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Subscript):
+                    continue
+                if not (isinstance(node.value, ast.Name) and node.value.id in params):
+                    continue
+                literal = _literal_axis0(node)
+                if literal is not None:
+                    yield self.finding(
+                        module, node.lineno,
+                        f"'{func.name}' declares limb-major arrays but indexes "
+                        f"axis 0 of parameter '{node.value.id}' with literal "
+                        f"{literal} (breaks every multi-limb basis)",
+                    )

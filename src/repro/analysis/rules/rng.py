@@ -1,0 +1,89 @@
+"""RL004 -- RNG hygiene.
+
+Everything in the project threads explicit seeded
+``np.random.Generator`` objects: bit-identical replay is what makes the
+kernel-tier cross-checks, the fault-injection determinism, and the
+one-limb == historical-ciphertext equivalences provable.  Hidden global
+RNG state breaks all of that silently, so this rule bans:
+
+* ``import random`` / ``from random import ...`` (the stdlib global RNG);
+* legacy global numpy RNG calls -- ``np.random.seed``, ``np.random.rand``,
+  ``np.random.randint``, ... (anything but ``default_rng``/``Generator``
+  attribute access);
+* **unseeded** ``np.random.default_rng()`` (zero arguments).
+
+``np.random.default_rng(seed)`` with an explicit seed and
+``np.random.Generator`` annotations are the sanctioned idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..core import Finding, ParsedModule, Rule, register
+
+#: np.random attributes that are fine: the modern generator entry point
+#: and type names used in annotations/isinstance checks.
+_ALLOWED_NP_RANDOM = {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64"}
+
+
+def _is_np_random(node: ast.expr) -> bool:
+    """Matches ``np.random`` / ``numpy.random`` attribute chains."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+@register
+class RngHygieneRule(Rule):
+    rule_id = "RL004"
+    summary = "no global/legacy RNG; explicit seeded Generators only"
+    fix_hint = (
+        "thread an explicit np.random.default_rng(seed) Generator through "
+        "the call instead of global RNG state"
+    )
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        # src/repro plus the runnable trees; tests may deliberately scramble
+        # the global stream to prove the code under test ignores it.
+        return not module.in_package("tests")
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            module, node.lineno,
+                            "stdlib 'random' module imported (global RNG state)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        module, node.lineno,
+                        "stdlib 'random' functions imported (global RNG state)",
+                    )
+            elif isinstance(node, ast.Attribute) and _is_np_random(node.value):
+                if node.attr in _ALLOWED_NP_RANDOM:
+                    continue
+                yield self.finding(
+                    module, node.lineno,
+                    f"legacy global numpy RNG 'np.random.{node.attr}' used",
+                )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "default_rng"
+                    and _is_np_random(func.value)
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield self.finding(
+                        module, node.lineno,
+                        "unseeded np.random.default_rng() (non-reproducible stream)",
+                    )

@@ -2,7 +2,7 @@
 
 The paper builds "GCFormer" by compiling the whole Transformer into a binary
 circuit evaluated under Yao's garbled circuits (following DeepSecure).  It is
-accurate — GC evaluates the exact functions — but every multiply-accumulate
+accurate -- GC evaluates the exact functions -- but every multiply-accumulate
 of every matrix product becomes a garbled multiplier, which is why its
 offline (garbling/transfer) and online (evaluation) latencies in Table I are
 the largest of all schemes (7.5 K s offline, 9.8 K s online).

@@ -11,7 +11,7 @@ The accounting below reuses the HE matmul algebra of
 :mod:`repro.protocols.accounting` with two changes that characterise the
 FHE-only regime:
 
-* there is no offline phase — every ciphertext operation happens online;
+* there is no offline phase -- every ciphertext operation happens online;
 * the approximated activations are evaluated as ciphertext-ciphertext
   polynomial arithmetic, which costs a (configurable) multiple of a
   ciphertext-plaintext product and consumes multiplicative depth.

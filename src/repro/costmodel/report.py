@@ -8,7 +8,7 @@ __all__ = ["format_table", "format_seconds"]
 
 
 def format_seconds(value: float) -> str:
-    """Human-friendly seconds: '3094.4', '0.04K' style is avoided — plain units."""
+    """Human-friendly seconds: '3094.4', '0.04K' style is avoided -- plain units."""
     if value >= 1000:
         return f"{value / 1000:.2f}K"
     if value >= 1:

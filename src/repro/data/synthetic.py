@@ -5,8 +5,8 @@ SQuAD2.  Pre-trained checkpoints and the original corpora are not available
 offline, so each task is replaced by a deterministic synthetic generator that
 produces sentences from label-dependent vocabulary mixtures (see DESIGN.md's
 substitution table).  The accuracy experiments then measure the two effects
-the paper's accuracy columns capture — 15-bit fixed-point execution and
-polynomial-activation approximation — as agreement with the plaintext
+the paper's accuracy columns capture -- 15-bit fixed-point execution and
+polynomial-activation approximation -- as agreement with the plaintext
 floating-point model (teacher labels), which is exactly the part of the
 accuracy story the cryptographic protocol influences.
 """
@@ -106,8 +106,8 @@ def make_task(
     random filler words drawn from the tokenizer vocabulary, then tokenised
     and padded to the model's sequence length.
 
-    All randomness flows through one explicit ``numpy.random.Generator`` —
-    either the caller's ``rng`` or a fresh generator seeded with ``seed`` —
+    All randomness flows through one explicit ``numpy.random.Generator`` --
+    either the caller's ``rng`` or a fresh generator seeded with ``seed`` --
     never the global numpy state, so generation is reproducible regardless
     of test ordering or parallel execution.
     """

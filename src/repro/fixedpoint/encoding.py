@@ -92,7 +92,7 @@ class FixedPointFormat:
         """Smallest representable increment."""
         return 1.0 / self.scale
 
-    def with_frac_bits(self, frac_bits: int) -> "FixedPointFormat":
+    def with_frac_bits(self, frac_bits: int) -> FixedPointFormat:
         """Return a copy of this format with a different fractional width."""
         return FixedPointFormat(total_bits=self.total_bits, frac_bits=frac_bits)
 

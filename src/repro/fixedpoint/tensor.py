@@ -49,14 +49,14 @@ class FixedTensor:
     @classmethod
     def from_float(
         cls, values: np.ndarray | float, fmt: FixedPointFormat = DEFAULT_FORMAT
-    ) -> "FixedTensor":
+    ) -> FixedTensor:
         """Quantise a floating-point array into a ``FixedTensor``."""
         return cls(encode(values, fmt), fmt)
 
     @classmethod
     def zeros(
         cls, shape: tuple[int, ...], fmt: FixedPointFormat = DEFAULT_FORMAT
-    ) -> "FixedTensor":
+    ) -> FixedTensor:
         """A tensor of fixed-point zeros."""
         return cls(np.zeros(shape, dtype=np.int64), fmt)
 
@@ -74,33 +74,33 @@ class FixedTensor:
         return decode(self.residues, self.fmt)
 
     # -- arithmetic --------------------------------------------------------
-    def _check_compatible(self, other: "FixedTensor") -> None:
+    def _check_compatible(self, other: FixedTensor) -> None:
         if self.fmt != other.fmt:
             raise ShapeError(
                 f"fixed-point formats differ: {self.fmt} vs {other.fmt}"
             )
 
-    def __add__(self, other: "FixedTensor") -> "FixedTensor":
+    def __add__(self, other: FixedTensor) -> FixedTensor:
         self._check_compatible(other)
         return FixedTensor(
             to_unsigned(self.residues + other.residues, self.fmt), self.fmt
         )
 
-    def __sub__(self, other: "FixedTensor") -> "FixedTensor":
+    def __sub__(self, other: FixedTensor) -> FixedTensor:
         self._check_compatible(other)
         return FixedTensor(
             to_unsigned(self.residues - other.residues, self.fmt), self.fmt
         )
 
-    def __neg__(self) -> "FixedTensor":
+    def __neg__(self) -> FixedTensor:
         return FixedTensor(to_unsigned(-self.residues, self.fmt), self.fmt)
 
-    def elementwise_mul(self, other: "FixedTensor") -> "FixedTensor":
+    def elementwise_mul(self, other: FixedTensor) -> FixedTensor:
         """Hadamard product with truncation back to the common format."""
         self._check_compatible(other)
         return FixedTensor(fixed_mul(self.residues, other.residues, self.fmt), self.fmt)
 
-    def matmul(self, other: "FixedTensor") -> "FixedTensor":
+    def matmul(self, other: FixedTensor) -> FixedTensor:
         """Matrix product with a single post-accumulation truncation."""
         self._check_compatible(other)
         if self.residues.shape[-1] != other.residues.shape[0]:
@@ -111,10 +111,10 @@ class FixedTensor:
             fixed_matmul(self.residues, other.residues, self.fmt), self.fmt
         )
 
-    def reshape(self, *shape: int) -> "FixedTensor":
+    def reshape(self, *shape: int) -> FixedTensor:
         return FixedTensor(self.residues.reshape(*shape), self.fmt)
 
-    def transpose(self) -> "FixedTensor":
+    def transpose(self) -> FixedTensor:
         return FixedTensor(self.residues.T.copy(), self.fmt)
 
     # -- diagnostics -------------------------------------------------------

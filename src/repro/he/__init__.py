@@ -2,9 +2,9 @@
 
 Two backends share one interface:
 
-* :class:`~repro.he.backend.ExactBFVBackend` — a from-scratch RLWE/BFV scheme
+* :class:`~repro.he.backend.ExactBFVBackend` -- a from-scratch RLWE/BFV scheme
   (NTT ring arithmetic, real encryption, noise tracking);
-* :class:`~repro.he.simulated.SimulatedHEBackend` — a functional simulator
+* :class:`~repro.he.simulated.SimulatedHEBackend` -- a functional simulator
   with identical slot semantics and faithful operation accounting, used for
   model-scale runs.
 """

@@ -3,10 +3,10 @@
 The protocols in :mod:`repro.protocols` are written against this small
 interface so that they can run either on
 
-* :class:`ExactBFVBackend` — the real RLWE scheme from :mod:`repro.he.bfv`
+* :class:`ExactBFVBackend` -- the real RLWE scheme from :mod:`repro.he.bfv`
   (used by primitive tests and the HGS worked examples at small ring sizes),
   or
-* :class:`~repro.he.simulated.SimulatedHEBackend` — a functional simulator
+* :class:`~repro.he.simulated.SimulatedHEBackend` -- a functional simulator
   that stores slot vectors directly and charges every operation to the shared
   :class:`~repro.he.tracker.OperationTracker` (used for model-scale Primer
   runs and every latency/communication experiment).
@@ -83,7 +83,7 @@ class HEBackend(abc.ABC):
         and plaintext products are pointwise.  Kernels that want plan-time
         pre-transformed operands for :meth:`mul_plain` must additionally
         check :attr:`supports_slotwise_plain` before calling
-        :meth:`encode_plain_eval` — the exact backend is EVAL-resident but
+        :meth:`encode_plain_eval` -- the exact backend is EVAL-resident but
         slot-wise products (and thus slot-wise EVAL plaintexts) are the
         simulator's domain; its convolution-operand counterpart lives on
         :meth:`repro.he.bfv.BFVContext.encode_plain_eval`.
@@ -126,11 +126,11 @@ class HEBackend(abc.ABC):
 
     @abc.abstractmethod
     def mul_scalar(self, a: Any, scalar: int) -> Any:
-        """Homomorphic ciphertext × plaintext scalar (applied to all slots)."""
+        """Homomorphic ciphertext x plaintext scalar (applied to all slots)."""
 
     @abc.abstractmethod
     def mul_plain(self, a: Any, values: np.ndarray) -> Any:
-        """Homomorphic slot-wise ciphertext × plaintext vector."""
+        """Homomorphic slot-wise ciphertext x plaintext vector."""
 
     @abc.abstractmethod
     def rotate(self, a: Any, steps: int) -> Any:
@@ -154,9 +154,9 @@ class HEBackend(abc.ABC):
 
     # -- fused kernels -------------------------------------------------------
     # The linear hot paths (packed column matmul, BSGS diagonal inner loop)
-    # are sums of ciphertext × plaintext products.  These entry points give
-    # backends one place to fuse the whole accumulation — avoiding the
-    # per-term intermediate ciphertexts of the naive loop — while the
+    # are sums of ciphertext x plaintext products.  These entry points give
+    # backends one place to fuse the whole accumulation -- avoiding the
+    # per-term intermediate ciphertexts of the naive loop -- while the
     # defaults below ARE that naive loop, so a backend without a fused
     # kernel (or running the ``reference`` kernel tier) is bit- and
     # accounting-identical to the historical code path.
@@ -240,7 +240,7 @@ class ExactBFVBackend(HEBackend):
         cts = self._context.encrypt_batch(arrays)
         return [
             _ExactHandle(ct, length=int(values.size))
-            for ct, values in zip(cts, arrays)
+            for ct, values in zip(cts, arrays, strict=True)
         ]
 
     def decrypt_batch(self, handles: list[_ExactHandle]) -> list[np.ndarray]:
@@ -296,12 +296,12 @@ class ExactBFVBackend(HEBackend):
 
     def linear_combine_batch(
         self, handles: list[_ExactHandle], weights: np.ndarray
-    ) -> "list[_ExactHandle | None]":
+    ) -> list[_ExactHandle | None]:
         """All output columns of ``sum_k handles[k] * weights[k, j]`` fused.
 
         Under a fused kernel tier the ``(C, O)`` scalar matrix contracts
         against the stacked ``(C, 2, L, N)`` ciphertext components in one
-        tensordot with a single final reduction — no per-term scaled copies,
+        tensordot with a single final reduction -- no per-term scaled copies,
         no per-addition intermediates.  ``mod`` distributes over the sum, so
         residues are bit-identical to the reference loop; noise bounds are
         accumulated in the loop's exact left-to-right float order and the
@@ -329,7 +329,7 @@ class ExactBFVBackend(HEBackend):
             return super().linear_combine_batch(handles, weights)
         stacked = np.stack([np.stack([ct.c0, ct.c1]) for ct in cts])   # (C,2,L,N)
         combined = tier.fused_accumulate(centered, stacked, q_col)     # (O,2,L,N)
-        results: "list[_ExactHandle | None]" = []
+        results: list[_ExactHandle | None] = []
         for j in range(weights.shape[1]):
             nonzero = np.flatnonzero(residues[:, j])
             if nonzero.size == 0:

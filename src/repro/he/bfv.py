@@ -2,13 +2,13 @@
 
 This is the "real cryptography" backend of the reproduction.  It implements
 exactly the subset of SEAL used by the paper (Section IV: *"only additive HE
-operations and rotations are used and ciphertext–ciphertext multiplications
+operations and rotations are used and ciphertext-ciphertext multiplications
 are not required"*):
 
 * key generation (ternary secret, RLWE public key),
 * encryption / decryption with invariant-noise tracking,
 * ciphertext + ciphertext and ciphertext + plaintext addition / subtraction,
-* ciphertext × plaintext polynomial and ciphertext × scalar multiplication,
+* ciphertext x plaintext polynomial and ciphertext x scalar multiplication,
 * monomial rotations (multiplication by ``X**k``), which shift
   coefficient-packed slots.
 
@@ -21,8 +21,8 @@ operations the real SEAL deployment would execute.
 
 Evaluation-domain residency: ciphertexts carry an explicit
 :class:`~repro.he.ntt.Domain` and are encrypted straight into NTT (EVAL)
-form by default, so the linear hot path — plaintext products, additions,
-rotations — runs pointwise without a single transform and the only inverse
+form by default, so the linear hot path -- plaintext products, additions,
+rotations -- runs pointwise without a single transform and the only inverse
 NTT is the one at the decrypt boundary.  Every forward/inverse transform is
 recorded on the tracker (``ntt_forward`` / ``ntt_inverse``, one count per
 *limb polynomial*), which makes redundant round trips provable bugs rather
@@ -37,7 +37,7 @@ pointwise-product invariants while the composite modulus ``Q`` grows to the
 60-bit-plus Gazelle-era deployments.  All evaluator operations act
 limb-wise; the big integer ``Q`` materialises exactly once, in the CRT
 composition at the decrypt boundary.  Every transform closed form gains a
-factor ``L`` — one NTT per limb polynomial — and a one-limb basis reproduces
+factor ``L`` -- one NTT per limb polynomial -- and a one-limb basis reproduces
 the historical single-modulus scheme bit for bit (same randomness stream,
 same residues, same transform counts).
 """
@@ -87,7 +87,7 @@ class Ciphertext:
     slots_used: int
     domain: Domain = Domain.COEFF
 
-    def copy(self) -> "Ciphertext":
+    def copy(self) -> Ciphertext:
         return Ciphertext(
             self.c0.copy(), self.c1.copy(), self.noise_bound, self.slots_used,
             self.domain,
@@ -101,7 +101,7 @@ class EvalPlain:
     Produced once by :meth:`BFVContext.encode_plain_eval` (e.g. at plan
     time for weight diagonals) and reused across every
     :meth:`BFVContext.multiply_plain_poly` against an EVAL-resident
-    ciphertext — those products are then pointwise and cost *zero*
+    ciphertext -- those products are then pointwise and cost *zero*
     transforms.  ``values_eval`` is limb-major ``(L, N)`` like ciphertext
     components.  ``norm`` is the L1 norm of the centered coefficients,
     preserved for the same noise-growth estimate the raw-plaintext path
@@ -228,7 +228,7 @@ class BFVContext:
         ``(L,) + plain.shape``.  Single-limb parameters take the historical
         int64 fast path (``m * q < 2**61`` for every supported ``t``);
         multi-limb parameters form ``round(Q m / t)`` in exact big-int
-        arithmetic — this is an encode-time constant, not hot-path work —
+        arithmetic -- this is an encode-time constant, not hot-path work --
         and decompose it into the limbs.
         """
         q = self.params.ciphertext_modulus
@@ -255,7 +255,7 @@ class BFVContext:
         the pointwise products with the cached NTT-form public key back
         through one stacked batched inverse, while producing EVAL
         ciphertexts pushes the noise/message polynomials *forward* instead
-        and never leaves the evaluation domain — three transforms per limb
+        and never leaves the evaluation domain -- three transforms per limb
         per ciphertext either way (``3 B L`` total, recorded on the
         tracker), with the ``log N`` Python-level stage iterations of the
         lazy-reduction NTT amortised across the batch.  Both domains consume
@@ -315,11 +315,11 @@ class BFVContext:
 
     # -- domain conversion -------------------------------------------------
     def to_eval(self, ct: Ciphertext) -> Ciphertext:
-        """COEFF -> EVAL conversion of one ciphertext (two transforms × L)."""
+        """COEFF -> EVAL conversion of one ciphertext (two transforms x L)."""
         return self.convert_batch([ct], Domain.EVAL)[0]
 
     def to_coeff(self, ct: Ciphertext) -> Ciphertext:
-        """EVAL -> COEFF conversion of one ciphertext (two transforms × L)."""
+        """EVAL -> COEFF conversion of one ciphertext (two transforms x L)."""
         return self.convert_batch([ct], Domain.COEFF)[0]
 
     def convert_batch(self, cts: list[Ciphertext], domain: Domain) -> list[Ciphertext]:
@@ -373,7 +373,7 @@ class BFVContext:
         COEFF ciphertexts pay the historical round trip (forward ``c1``,
         pointwise with the cached NTT-form secret, inverse).  EVAL
         ciphertexts fold ``c0 + c1 * s`` entirely in the evaluation domain
-        and pay exactly *one* inverse per limb — the only transforms the
+        and pay exactly *one* inverse per limb -- the only transforms the
         evaluation-resident hot path ever pays per output ciphertext.
 
         Rounding is the only place the composite modulus ``Q`` exists:
@@ -505,7 +505,7 @@ class BFVContext:
         )
 
     def multiply_scalar(self, a: Ciphertext, scalar: int) -> Ciphertext:
-        """Ciphertext × small integer scalar (plaintext residue).
+        """Ciphertext x small integer scalar (plaintext residue).
 
         This is the workhorse of the tokens-first packed matrix product: the
         weight entry multiplies every slot of the ciphertext.  Scalar
@@ -539,7 +539,7 @@ class BFVContext:
         """Pre-transform a plaintext polynomial into the evaluation domain.
 
         One forward transform per limb now buys transform-free
-        :meth:`multiply_plain_poly` calls forever after — the plan-time
+        :meth:`multiply_plain_poly` calls forever after -- the plan-time
         hoisting the BSGS diagonal kernel uses for its weight masks.
         """
         plain_limbs, norm = self._centered_plain_limbs(plain_values)
@@ -547,16 +547,16 @@ class BFVContext:
         return EvalPlain(values_eval=self.ring.forward(plain_limbs), norm=norm)
 
     def multiply_plain_poly(
-        self, a: Ciphertext, plain_values: "np.ndarray | EvalPlain"
+        self, a: Ciphertext, plain_values: np.ndarray | EvalPlain
     ) -> Ciphertext:
-        """Ciphertext × plaintext polynomial (negacyclic convolution).
+        """Ciphertext x plaintext polynomial (negacyclic convolution).
 
         Used by Gazelle-style diagonal matrix-vector products.  Note this is
         a *convolution* of the packed slots, not a slot-wise product.
 
         Transform economy by residency (all counts per limb): a COEFF
         ciphertext pays the full round trip (two forwards for ``c0, c1``,
-        one for the plaintext, two inverses back — five transforms).  An
+        one for the plaintext, two inverses back -- five transforms).  An
         EVAL ciphertext multiplies pointwise, paying one forward for a raw
         plaintext and *zero* transforms when handed a pre-transformed
         :class:`EvalPlain`.
@@ -605,7 +605,7 @@ class BFVContext:
         responsible for only reading un-wrapped slots (the packing layer
         guarantees this).  Multiplication by ``X**steps`` is a coefficient
         shift in COEFF form and a pointwise product with the cached monomial
-        table in EVAL form — transform-free either way, so rotations are
+        table in EVAL form -- transform-free either way, so rotations are
         *not* domain boundaries.
         """
         ring = self.ring

@@ -17,8 +17,8 @@ steps over ``D`` blocks of ``n`` token slots.  Output columns beyond one
 ciphertext's block budget partition into ``g`` column groups of ``D``
 blocks each.  The ``bs - 1`` baby-step rotations of the input ciphertext
 are *hoisted*: computed once and reused across every generalized diagonal,
-every output column group, and — because a batch of requests shares the
-token axis of one ciphertext — every request in a batch.  Giant-step
+every output column group, and -- because a batch of requests shares the
+token axis of one ciphertext -- every request in a batch.  Giant-step
 rotations act on accumulators that are summed across input ciphertexts
 first, so a ``c``-ciphertext input costs ``c*(bs-1) + g*(gs-1)`` rotations
 total (closed form: :func:`repro.he.packing.bsgs_rotation_count`), instead
@@ -26,7 +26,7 @@ of the ``c * (D - 1)`` per output pass of the offset-enumeration loop.
 
 The kernel needs cyclic slot rotations and slot-wise plaintext products, so
 it runs on backends advertising ``supports_slotwise_plain`` (the functional
-simulator — the same requirement the legacy rotation loop already has).
+simulator -- the same requirement the legacy rotation loop already has).
 
 Rotation-period contract: each ciphertext packs exactly ``D * n`` slots and
 the kernel requires rotations that are cyclic over that *packed length*
@@ -35,7 +35,7 @@ the kernel requires rotations that are cyclic over that *packed length*
 CRT-batched deployment realises such a sub-vector rotation as one
 Gazelle-style general rotation (two Galois automorphisms + a mask) or
 pads ``D * n`` to divide the slot structure; both keep the operation count
-this kernel records — one tracked rotation per baby/giant step — so the
+this kernel records -- one tracked rotation per baby/giant step -- so the
 closed forms in :func:`repro.he.packing.bsgs_rotation_count` carry over to
 the deployed scheme up to that constant factor.
 """
@@ -97,7 +97,7 @@ class BSGSGeometry:
     many *real* feature blocks each input ciphertext carries, and
     ``out_groups`` how many output ciphertexts the ``n_outputs`` columns
     partition into (``out_blocks`` columns each) when they exceed one
-    ciphertext's block budget — the hoisted baby-step rotations are shared
+    ciphertext's block budget -- the hoisted baby-step rotations are shared
     across all of them.
     """
 
@@ -200,7 +200,7 @@ def calibrate_bsgs_costs(
 
     ``kernel_tier`` re-measures under a specific kernel tier (see
     :mod:`repro.he.kernels`); by default the measurement runs under the
-    tier that will actually serve — the process-level selection — so the
+    tier that will actually serve -- the process-level selection -- so the
     baby/giant split, slot-sharing ``k`` and scheduler size-awareness tune
     themselves to the kernels in use on this hardware.
     """
@@ -239,7 +239,7 @@ def _diagonal_masks(
     giant step ``j`` of output group ``o``: ``mask[g] = Wpad_oc[(g + i) mod
     D, (g - j*bs) mod D]`` where ``Wpad_oc`` is the ``(D, D)`` zero-padded
     slice of the weight matrix for ciphertext ``c``'s features and group
-    ``o``'s output columns.  Built with fancy indexing only — no per-entry
+    ``o``'s output columns.  Built with fancy indexing only -- no per-entry
     loops.  Expansion to ``D * n`` slot vectors happens per mask at the
     point of use (one small ``np.repeat`` each), keeping peak memory at
     block level instead of ``n`` times larger.
@@ -284,8 +284,8 @@ class BSGSMatmulPlan:
     """Plan-time artifact of one BSGS weight matrix: NTT-form diagonals.
 
     ``masks[o, c, j, i]`` are the generalized-diagonal block coefficient
-    vectors (as built by :func:`_diagonal_masks`); ``eval_masks`` — present
-    when the backend is evaluation-resident — holds the same masks expanded
+    vectors (as built by :func:`_diagonal_masks`); ``eval_masks`` -- present
+    when the backend is evaluation-resident -- holds the same masks expanded
     to slot vectors and pre-transformed into EVAL form via
     ``backend.encode_plain_eval`` (``None`` marks an all-zero mask).  The
     one forward transform per non-zero diagonal is paid *here*, once per
@@ -297,7 +297,7 @@ class BSGSMatmulPlan:
 
     geometry: BSGSGeometry
     masks: np.ndarray
-    eval_masks: "list[list[list[list[Any | None]]]] | None" = None
+    eval_masks: list[list[list[list[Any | None]]]] | None = None
     #: digest of the (mod t) weight matrix the masks were built from, so a
     #: stale plan handed a *same-shape* replacement bank fails loudly
     #: instead of silently computing against the old weights
@@ -330,7 +330,7 @@ def prepare_bsgs_plan(
 
     On an evaluation-resident backend every non-zero diagonal mask is
     pre-transformed with ``encode_plain_eval`` (one tracked forward
-    transform each — the plan-time cost the online path never pays again).
+    transform each -- the plan-time cost the online path never pays again).
     On other backends the plan still hoists the mask construction, and the
     kernel falls back to raw slot vectors.
     """
@@ -430,7 +430,7 @@ def bsgs_matmul_handles(
         for j in range(geometry.giant):
             # Collect every (baby ciphertext, diagonal mask) pair of this
             # giant step, then hand the whole multiply-accumulate to the
-            # backend's fused kernel — one call instead of per-diagonal
+            # backend's fused kernel -- one call instead of per-diagonal
             # intermediate ciphertexts (the default implementation is the
             # historical mul_plain/add loop, so counts and results are
             # identical either way).
@@ -501,7 +501,7 @@ def bsgs_matmul(
     result = np.zeros((n_tokens, d_out), dtype=np.int64)
     occupied = [o for o, handle in enumerate(outputs) if handle is not None]
     decrypted = backend.decrypt_batch([outputs[o] for o in occupied])
-    for o, slots in zip(occupied, decrypted):
+    for o, slots in zip(occupied, decrypted, strict=True):
         base = o * geometry.out_blocks
         width = min(geometry.out_blocks, d_out - base)
         usable = slots[: width * n_tokens]
@@ -518,7 +518,7 @@ def bsgs_batch_matmul(
     The requests' token matrices are stacked along the token axis, so the
     whole batch shares the hoisted baby-step rotations, the giant-step
     accumulators *and* the plan's pre-transformed diagonal masks of a
-    single BSGS pass — both the rotation count and the transform count are
+    single BSGS pass -- both the rotation count and the transform count are
     independent of the batch size.  Returns one decrypted result matrix per
     request.
     """

@@ -1,7 +1,7 @@
 """Runtime-selectable HE kernel tiers: reference, compiled, multicore, numba.
 
-PR 5/PR 6 made the hot path algorithmically minimal — transform and rotation
-counts equal their closed forms exactly — so the remaining wall clock lives
+PR 5/PR 6 made the hot path algorithmically minimal -- transform and rotation
+counts equal their closed forms exactly -- so the remaining wall clock lives
 in raw kernel throughput: the Harvey/Shoup butterflies of
 :mod:`repro.he.ntt` are vectorized numpy but execute one ufunc pass per
 butterfly stage, and the limb-major ``(L, B, N)`` RNS layout of
@@ -18,17 +18,17 @@ implementations selected at runtime and each proven bit-identical to
 ``compiled``
     A small C kernel (the same lazy-reduction Shoup butterflies, one
     polynomial per inner loop instead of one ufunc pass per stage) compiled
-    on first use with the system C compiler and loaded through ``ctypes`` —
+    on first use with the system C compiler and loaded through ``ctypes`` --
     no third-party dependency.  Unavailable environments (no compiler) skip
     it cleanly.
 ``multicore``
-    The compiled kernels chunked over limbs × batch on a shared thread
+    The compiled kernels chunked over limbs x batch on a shared thread
     pool.  ``ctypes`` releases the GIL for the duration of each C call, so
     the chunks genuinely run in parallel; on a single-core host this
     measures within noise of ``compiled`` and the self-calibration picks
     accordingly.
 ``numba``
-    Optionally, jitted butterflies — auto-detected, skipped cleanly when
+    Optionally, jitted butterflies -- auto-detected, skipped cleanly when
     the ``numba`` import fails (it is not a project dependency).
 
 Bit-identity argument: every tier consumes the *same* precomputed Shoup
@@ -213,7 +213,7 @@ void pointwise_mulmod(const i64 *a, const i64 *b, i64 *out, i64 count,
 # -- compilation + loading ---------------------------------------------------
 
 _lib_lock = threading.Lock()
-_lib: "ctypes.CDLL | None | bool" = None  # None = not tried, False = failed
+_lib: ctypes.CDLL | None | bool = None  # None = not tried, False = failed
 _lib_error: str | None = None
 
 
@@ -227,7 +227,7 @@ def _build_dir() -> str:
     return os.path.join(tempfile.gettempdir(), tag)
 
 
-def _compile_library() -> "ctypes.CDLL | None":
+def _compile_library() -> ctypes.CDLL | None:
     """Compile and load the C kernels; None (with a reason) when impossible."""
     global _lib_error
     build = _build_dir()
@@ -279,7 +279,7 @@ def _compile_library() -> "ctypes.CDLL | None":
     return lib
 
 
-def _compiled_lib() -> "ctypes.CDLL | None":
+def _compiled_lib() -> ctypes.CDLL | None:
     global _lib
     with _lib_lock:
         if _lib is None:
@@ -346,8 +346,8 @@ class KernelTier:
 
     ``fused`` gates the fused multiply-accumulate paths on the backends
     (tensordot accumulation instead of per-term intermediates); it is off
-    for ``reference`` so that tier's behaviour — including the exact
-    sequence of numpy operations — matches the historical code path.
+    for ``reference`` so that tier's behaviour -- including the exact
+    sequence of numpy operations -- matches the historical code path.
     """
 
     name = "reference"
@@ -498,7 +498,7 @@ def _worker_pool():
 
 
 class _MulticoreTier(_CompiledTier):
-    """Compiled kernels chunked over limbs × batch on a shared thread pool.
+    """Compiled kernels chunked over limbs x batch on a shared thread pool.
 
     ``ctypes`` drops the GIL for the duration of each C call, so chunks run
     concurrently on real cores; every task owns its scratch buffer and
@@ -549,7 +549,7 @@ class _MulticoreTier(_CompiledTier):
 
 
 class _NumbaTier(KernelTier):
-    """Jitted butterflies — auto-detected, skipped cleanly without numba."""
+    """Jitted butterflies -- auto-detected, skipped cleanly without numba."""
 
     name = "numba"
     fused = True
@@ -694,14 +694,14 @@ _tls = threading.local()
 
 #: degradation pin: a kernel fault at dispatch demotes the whole process to
 #: the ``reference`` tier (``(failed tier, reason)``; see :func:`kernel_fallback`).
-#: Checked *before* every other selection mechanism — a process that just
+#: Checked *before* every other selection mechanism -- a process that just
 #: produced a kernel failure must not re-enter the failing tier through an
 #: explicit argument or scope.
 _fallback: tuple[str, str] | None = None
 
 #: fault-injection hook, installed by :mod:`repro.runtime.faults` on import
 #: (dependency inversion: the HE layer never imports the runtime).  While
-#: absent — any process that never imports the fault layer — dispatch pays
+#: absent -- any process that never imports the fault layer -- dispatch pays
 #: one ``None`` check.
 _fault_hook = None
 
@@ -828,7 +828,7 @@ def _pin_reference_fallback(tier_name: str, reason: str) -> None:
             _fallback = (tier_name, reason)
 
 
-#: Calibration workload: two limbs of a small ring, a handful of rows —
+#: Calibration workload: two limbs of a small ring, a handful of rows --
 #: big enough that per-call overhead does not dominate, small enough that
 #: first use costs milliseconds.
 _CALIBRATION_DEGREE = 1024
@@ -885,8 +885,8 @@ def _calibrate() -> str:
 def _guarded_dispatch(tier_name: str, op: str, run):
     """Run ``run(tier)`` under the kernel-dispatch fault site.
 
-    A failure in a non-``reference`` tier — injected or real (miscompiled
-    library, thread-pool breakage) — pins the process to ``reference``
+    A failure in a non-``reference`` tier -- injected or real (miscompiled
+    library, thread-pool breakage) -- pins the process to ``reference``
     (:func:`kernel_fallback`) and re-runs the call there, so the caller
     still gets its bit-identical result; ``reference`` failures and
     validation errors propagate.
@@ -909,8 +909,8 @@ def stacked_ntt(
 ) -> np.ndarray:
     """Transform a limb-major ``(L, B, N)`` batch under the active tier.
 
-    One call covers every limb — the single stacked kernel invocation the
-    RNS layer hands to the tier, which chunks it over limbs × batch as it
+    One call covers every limb -- the single stacked kernel invocation the
+    RNS layer hands to the tier, which chunks it over limbs x batch as it
     sees fit (``multicore``) or loops limbs natively (others).
     """
     polys = np.asarray(polys, dtype=np.int64)

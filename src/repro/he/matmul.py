@@ -5,10 +5,10 @@ Two families of routines live here:
 1. :class:`PackedMatrix` and the additive products ``Enc(X) @ W`` /
    ``A @ Enc(B)`` used by the HGS/FHGS/CHGS protocols.  These pack one matrix
    *column* (or row) per ciphertext, so only ciphertext-scalar products and
-   ciphertext additions are required — exactly the "additive HE operations"
+   ciphertext additions are required -- exactly the "additive HE operations"
    regime the paper runs SEAL in.
 
-2. :func:`encrypted_packed_matmul` — the rotation-based product following the
+2. :func:`encrypted_packed_matmul` -- the rotation-based product following the
    paper's Figure 6 pseudo-code, parameterised by the packing layout
    (feature-based vs tokens-first, plus the rotation-minimal BSGS diagonal
    kernel of :mod:`repro.he.bsgs`).  It is used by the packing experiments
@@ -145,7 +145,7 @@ def plain_times_enc(
     if matrix.shape[1] != b_rows:
         raise ShapeError(f"cannot multiply {matrix.shape} by {packed_b.shape}")
     # Row ``i`` of the result is the linear combination with scalar column
-    # ``matrix[i, :]`` — i.e. the batch combine against ``matrix.T``.
+    # ``matrix[i, :]`` -- i.e. the batch combine against ``matrix.T``.
     combined = backend.linear_combine_batch(packed_b.handles, matrix.T)
     out_rows = [acc if acc is not None else backend.zero(b_cols) for acc in combined]
     return PackedMatrix(
@@ -168,7 +168,7 @@ def repack_columns_to_rows(backend: HEBackend, packed: PackedMatrix) -> PackedMa
         raise ParameterError("repack_columns_to_rows expects a column-packed matrix")
     rows, cols = packed.shape
     # The row selectors are static, so on an evaluation-resident backend each
-    # is pre-transformed once per row and reused across every column — one
+    # is pre-transformed once per row and reused across every column -- one
     # forward transform per row instead of one per matrix element.
     encode = (
         backend.encode_plain_eval
@@ -199,7 +199,7 @@ def tile_packed(backend: HEBackend, packed: PackedMatrix, copies: int) -> Packed
     (e.g. the repacked ``Enc(RcR @ W)`` rows) across the block-diagonal
     request slots: each handle's occupied run of ``stride`` slots is copied
     to slot offsets ``r * stride`` with one zero-extension addition plus
-    ``copies - 1`` rotations and additions — all chargeable to the offline
+    ``copies - 1`` rotations and additions -- all chargeable to the offline
     phase.  Client-held packings are tiled for free at encryption time
     instead (``np.tile`` before encrypting).
     """
@@ -293,7 +293,7 @@ def encrypted_packed_matmul(
     result = np.zeros((n_tokens, d_out), dtype=np.int64)
     occupied = [g for g in range(d_out) if accumulators[g] is not None]
     decrypted = backend.decrypt_batch([accumulators[g] for g in occupied])
-    for g, values in zip(occupied, decrypted):
+    for g, values in zip(occupied, decrypted, strict=True):
         result[:, g] = values[:n_tokens]
     return np.mod(result, t)
 
@@ -328,18 +328,18 @@ def encrypted_batch_matmul(
 
     The batch's token matrices are stacked along the token axis and packed
     tokens-first: each ciphertext holds one feature of **every** request's
-    tokens, so the whole batch needs the same number of ciphertexts — and the
-    same number of homomorphic multiplications and additions — as a single
+    tokens, so the whole batch needs the same number of ciphertexts -- and the
+    same number of homomorphic multiplications and additions -- as a single
     request would.  This is the cross-request generalisation of the paper's
     tokens-first layout (Fig. 6): the contiguous token run in each slot
     vector simply spans all requests in the batch.
 
     Two kernels realise the product:
 
-    * ``"columns"`` (default) — one ciphertext per input feature, only
+    * ``"columns"`` (default) -- one ciphertext per input feature, only
       ciphertext-scalar products and additions; runs unmodified on the
       exact BFV backend.
-    * ``"bsgs"`` — the rotation-minimal diagonal kernel of
+    * ``"bsgs"`` -- the rotation-minimal diagonal kernel of
       :mod:`repro.he.bsgs`: the whole batch shares one set of hoisted
       baby-step rotations, so both ciphertext and HE-multiplication counts
       drop from ``O(d_in)`` per output column to ``O(d_in)`` total.
@@ -351,7 +351,7 @@ def encrypted_batch_matmul(
     diagonals, built once per weight bank by the serving layer) and
     ``bsgs_costs`` a measured cost model for the baby/giant split.
 
-    Returns one decrypted result matrix per request, ``(X_i @ W) mod t`` —
+    Returns one decrypted result matrix per request, ``(X_i @ W) mod t`` --
     bit-identical between the two kernels.
     """
     weights = np.asarray(weights, dtype=np.int64)

@@ -32,7 +32,7 @@ Twiddle/psi tables are expensive to build (a primitive-root search plus
 long-lived serving process that cycles through many parameter sets cannot
 grow it without limit, and :func:`clear_ntt_cache` releases the tables
 explicitly.  :func:`warm_ntt_cache` pre-builds contexts for a list of
-``(N, q)`` pairs — worker processes of the pipelined serving executor call
+``(N, q)`` pairs -- worker processes of the pipelined serving executor call
 it once at start-up so they never rebuild twiddle tables per batch.
 :func:`batch_ntt` is the module-level entry point used by
 :mod:`repro.he.bfv` and the serving runtime.
@@ -71,8 +71,8 @@ class Domain(enum.Enum):
     ``COEFF`` is the coefficient embedding of ``Z_q[X]/(X^N + 1)``;
     ``EVAL`` is the NTT (evaluation) embedding, where negacyclic products
     and rotations are pointwise.  The linear hot path keeps ciphertexts
-    resident in ``EVAL`` form end to end — this is the double-CRT trick of
-    SEAL/Gazelle-era PAHE — and only converts at decrypt boundaries, so
+    resident in ``EVAL`` form end to end -- this is the double-CRT trick of
+    SEAL/Gazelle-era PAHE -- and only converts at decrypt boundaries, so
     every forward/inverse transform the tracker records is load-bearing:
     a redundant round trip shows up as a closed-form mismatch in the
     transform-count tests.
@@ -88,7 +88,7 @@ _MONOMIAL_CACHE_SIZE = 256
 
 #: Shoup precomputation shift: ``w' = floor(w << SHOUP_SHIFT / q)``.  Valid
 #: whenever the lazy operands stay below ``2**SHOUP_SHIFT``, i.e. ``4q <=
-#: 2**32`` — guaranteed by the 30-bit cap in :func:`find_ntt_prime`.
+#: 2**32`` -- guaranteed by the 30-bit cap in :func:`find_ntt_prime`.
 _SHOUP_SHIFT = np.uint64(32)
 
 
@@ -140,8 +140,8 @@ def find_rns_primes(bits: int, ring_degree: int, count: int) -> tuple[int, ...]:
     """The ``count`` largest distinct NTT-friendly primes below ``2**bits``.
 
     Every limb of a double-CRT (RNS) ciphertext basis must independently
-    satisfy the negacyclic-NTT conditions — prime, ``q ≡ 1 (mod 2N)`` and
-    under the 30-bit lazy-reduction bound — so a basis is just ``count``
+    satisfy the negacyclic-NTT conditions -- prime, ``q ≡ 1 (mod 2N)`` and
+    under the 30-bit lazy-reduction bound -- so a basis is just ``count``
     outputs of the :func:`find_ntt_prime` search, descending.  Returned
     largest first, matching SEAL's convention of ordering coeff-modulus
     primes by magnitude.
@@ -223,10 +223,10 @@ class NTTContext:
 
     ring_degree: int
     modulus: int
-    _psi_twist: "tuple[np.ndarray, np.ndarray]" = field(init=False, repr=False)
-    _psi_inv_scaled: "tuple[np.ndarray, np.ndarray]" = field(init=False, repr=False)
-    _omega_stages: "list[tuple[np.ndarray, np.ndarray]]" = field(init=False, repr=False)
-    _omega_inv_stages: "list[tuple[np.ndarray, np.ndarray]]" = field(init=False, repr=False)
+    _psi_twist: tuple[np.ndarray, np.ndarray] = field(init=False, repr=False)
+    _psi_inv_scaled: tuple[np.ndarray, np.ndarray] = field(init=False, repr=False)
+    _omega_stages: list[tuple[np.ndarray, np.ndarray]] = field(init=False, repr=False)
+    _omega_inv_stages: list[tuple[np.ndarray, np.ndarray]] = field(init=False, repr=False)
     _bitrev: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -260,7 +260,7 @@ class NTTContext:
         self._bitrev = _bit_reverse_indices(n)
         self._omega_stages = self._twiddle_stages(omega)
         self._omega_inv_stages = self._twiddle_stages(omega_inv)
-        self._monomial_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._monomial_cache: OrderedDict[int, np.ndarray] = OrderedDict()
         self._monomial_lock = threading.Lock()
 
     def _with_shoup(self, table: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -275,7 +275,7 @@ class NTTContext:
 
         The stage for butterfly ``length`` needs ``(root**(n/length))**i`` for
         ``i < length/2``, which is every ``n/length``-th entry of the full
-        power table — one table build serves all ``log N`` stages.
+        power table -- one table build serves all ``log N`` stages.
         """
         n = self.ring_degree
         powers = _mod_powers(root, n, self.modulus)
@@ -394,7 +394,7 @@ class NTTContext:
         """Negacyclic product of every row of ``coeffs`` with the vector ``other``.
 
         One forward transform of the batch, one of ``other``, and one inverse
-        of the batch — the broadcast form used by batched encryption, where
+        of the batch -- the broadcast form used by batched encryption, where
         many random polynomials multiply the same public-key component.
         """
         fa = self.forward_batch(coeffs)
@@ -404,8 +404,8 @@ class NTTContext:
     # -- domain conversion ---------------------------------------------------
     # The batched conversion entry points the evaluation-domain residency
     # layer is written against.  They are the forward/inverse transforms
-    # under their domain names, so call sites read as what they are — a
-    # COEFF <-> EVAL boundary crossing — and the transform-count accounting
+    # under their domain names, so call sites read as what they are -- a
+    # COEFF <-> EVAL boundary crossing -- and the transform-count accounting
     # in :mod:`repro.he.bfv` has one obvious place per crossing.
     def to_eval_batch(self, coeffs: np.ndarray) -> np.ndarray:
         """Convert a ``(batch, N)`` array of COEFF polynomials to EVAL form."""
@@ -419,9 +419,9 @@ class NTTContext:
         """EVAL form of the monomial ``X**steps`` (cached per step size).
 
         Multiplying an EVAL-resident polynomial pointwise by this table is
-        exactly the negacyclic rotation ``a(X) -> a(X) * X**steps`` — the
+        exactly the negacyclic rotation ``a(X) -> a(X) * X**steps`` -- the
         same operation :meth:`repro.he.polyring.PolynomialRing.rotate_coefficients`
-        performs on COEFF polynomials — so rotations never force an
+        performs on COEFF polynomials -- so rotations never force an
         EVAL-resident ciphertext through a transform round trip.  Tables are
         precomputation (like the twiddle tables), not tracked transforms.
         """
@@ -452,11 +452,11 @@ class NTTContext:
 #: table memory finite.
 _NTT_CACHE_SIZE = 64
 
-#: The single LRU store behind :func:`get_ntt_context` — one structure
+#: The single LRU store behind :func:`get_ntt_context` -- one structure
 #: provides the bound, the warm-parameter listing and :func:`clear_ntt_cache`.
 #: Guarded by ``_cache_lock``: contexts are looked up concurrently from the
 #: engine-cache prefetch and shard-worker threads.
-_context_cache: "OrderedDict[tuple[int, int], NTTContext]" = OrderedDict()
+_context_cache: OrderedDict[tuple[int, int], NTTContext] = OrderedDict()
 _cache_lock = threading.Lock()
 
 
@@ -501,7 +501,7 @@ def cached_ntt_parameters() -> list[tuple[int, int]]:
 
 
 def warm_ntt_cache(
-    parameter_pairs: "list[tuple[int, int]] | None" = None,
+    parameter_pairs: list[tuple[int, int]] | None = None,
     *,
     kernel_tier: str | None = None,
 ) -> int:
@@ -511,8 +511,8 @@ def warm_ntt_cache(
     spawned worker process builds its twiddle tables once at start-up
     instead of once per batch (under ``fork`` the parent's warm tables are
     inherited and this is a cache hit).  The active kernel tier's state is
-    warmed alongside the tables — compiled-library load, packed twiddle
-    layouts, jit specialization — so the first pipelined batch does not pay
+    warmed alongside the tables -- compiled-library load, packed twiddle
+    layouts, jit specialization -- so the first pipelined batch does not pay
     tier initialisation inside a worker.
     """
     pairs = parameter_pairs if parameter_pairs is not None else cached_ntt_parameters()

@@ -211,22 +211,22 @@ def bsgs_transform_count(
 
     With ciphertexts encrypted straight into EVAL form and the diagonal
     masks pre-transformed at plan time (:func:`repro.he.bsgs.prepare_bsgs_plan`),
-    the whole multiply-accumulate — hoisted baby rotations, diagonal
-    products, giant-step rotations, accumulating additions — is pointwise
+    the whole multiply-accumulate -- hoisted baby rotations, diagonal
+    products, giant-step rotations, accumulating additions -- is pointwise
     and transform-free.  What remains is the encrypt/decrypt boundary:
 
     * three forward transforms per input ciphertext (EVAL-native
       encryption transforms the masking polynomial and both noise/message
       polynomials), and
-    * **one** inverse per output column group — the single transform the
+    * **one** inverse per output column group -- the single transform the
       residency design allows per output ciphertext, amortised over every
       diagonal and every request stacked into the batch.
 
     ``(c * 3 + g) * L`` total, assuming every output group's weight slice is
     non-zero (an all-zero group skips its decrypt).  ``limbs`` is the RNS
-    limb count ``L`` of the ciphertext basis — a double-CRT scheme runs one
+    limb count ``L`` of the ciphertext basis -- a double-CRT scheme runs one
     NTT per limb polynomial, so every term scales linearly.  The
-    tracker-measured count must equal this exactly — the transform-count
+    tracker-measured count must equal this exactly -- the transform-count
     analog of :func:`bsgs_rotation_count`, asserted in tests and gated in
     CI.
     """
@@ -243,9 +243,9 @@ def bsgs_coeff_transform_count(
     """Closed-form transform count of the coefficient-resident BSGS path.
 
     The historical pipeline stores ciphertexts in coefficient form, so
-    every diagonal product pays the full round trip — two forwards for the
+    every diagonal product pays the full round trip -- two forwards for the
     ciphertext pair, one for the plaintext mask, two inverses back (five
-    per product) — plus three transforms per input ciphertext at encrypt
+    per product) -- plus three transforms per input ciphertext at encrypt
     and two per output group at decrypt (forward ``c1``, inverse the
     combination).  ``nonzero_masks`` is the number of diagonal products
     actually executed; it defaults to the dense count ``g * c * D`` (every

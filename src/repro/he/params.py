@@ -6,8 +6,8 @@ exact Python backend in :mod:`repro.he.bfv` cannot realistically run with a
 4096-slot / 109-bit modulus on test workloads, so we provide two classes of
 parameter sets:
 
-* ``toy``/``test`` parameters (N = 64 … 1024) used by the unit tests and the
-  small worked examples — these exercise every code path of the scheme
+* ``toy``/``test`` parameters (N = 64 ... 1024) used by the unit tests and the
+  small worked examples -- these exercise every code path of the scheme
   bit-exactly;
 * ``paper`` parameters (N = 4096, matching Gazelle/Delphi-era PAHE settings
   at 128-bit security), used by the functional simulated backend and by the
@@ -65,13 +65,13 @@ class BFVParameters:
         Coefficient modulus ``Q``.  For a single-limb configuration this is
         one NTT-friendly prime; for a double-CRT (RNS) configuration it is
         the product of the ``ciphertext_moduli`` limbs (a Python int that may
-        exceed 64 bits — ciphertexts never hold it, only the CRT composition
+        exceed 64 bits -- ciphertexts never hold it, only the CRT composition
         at the decrypt boundary does).
     ciphertext_moduli:
         The RNS limb primes ``(q_0, ..., q_{L-1})``.  ``None`` (the default)
         means single-limb: the basis is ``(ciphertext_modulus,)``.  Every
         limb must independently be NTT-friendly (prime, ``q_i ≡ 1 mod 2N``)
-        and under the 30-bit lazy-reduction bound ``4 q_i ≤ 2**32`` — this is
+        and under the 30-bit lazy-reduction bound ``4 q_i ≤ 2**32`` -- this is
         validated *here*, at construction, so an illegal modulus raises a
         clear :class:`ParameterError` instead of surfacing deep inside
         ``NTTContext`` (or never, on simulated wire-sizing paths).
@@ -125,7 +125,7 @@ class BFVParameters:
             raise ParameterError(f"RNS limbs must be pairwise distinct, got {moduli}")
         for q in moduli:
             # Validate every limb against the exact-backend NTT requirements
-            # here, at construction time, where the failure is attributable —
+            # here, at construction time, where the failure is attributable --
             # not deep inside NTTContext, and not silently skipped on
             # simulated wire-sizing paths that never build a transform.
             if 4 * q > 1 << 32:
@@ -142,7 +142,7 @@ class BFVParameters:
             if not is_prime(q):
                 raise ParameterError(f"ciphertext modulus limb {q} is not prime")
         # t must fit under the composite modulus Q (the product), not under
-        # every individual limb — protocol-scale plaintext rings (t = 2**31)
+        # every individual limb -- protocol-scale plaintext rings (t = 2**31)
         # are legal over a basis of 30-bit limbs.
         if self.plaintext_modulus >= self.ciphertext_modulus:
             raise ParameterError(
@@ -263,7 +263,7 @@ def rns_serving_parameters(
     """Double-CRT serving parameters with a >=60-bit composite modulus.
 
     ``limbs`` NTT-friendly 30-bit primes give an effective
-    ``log Q ~ 30 * limbs`` — two limbs already reach the 60-bit
+    ``log Q ~ 30 * limbs`` -- two limbs already reach the 60-bit
     Gazelle-era coefficient modulus the deployed parameter sets model,
     while every limb stays under the proven lazy-reduction NTT bound.
     The exact backend runs this end to end: limb-wise EVAL arithmetic,

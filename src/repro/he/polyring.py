@@ -37,7 +37,7 @@ class PolynomialRing:
             raise ParameterError(
                 f"PolynomialRing modulus {self.modulus} is "
                 f"{self.modulus.bit_length()} bits; int64 pointwise products "
-                "are only exact for moduli of at most 30 bits — represent "
+                "are only exact for moduli of at most 30 bits -- represent "
                 "wider moduli as an RNS basis of <=30-bit limbs"
             )
         self._ntt = get_ntt_context(self.degree, self.modulus)

@@ -5,8 +5,8 @@ The lazy-reduction NTT (:mod:`repro.he.ntt`) is exact only for moduli under
 silently wrap the moment ``q**2`` leaves 63 bits.  Rather than lift either
 bound, this module follows SEAL's double-CRT design: a wide ciphertext
 modulus ``Q = q_0 * q_1 * ... * q_{L-1}`` is represented by its residues in
-``L`` independent ≤30-bit NTT-friendly prime limbs.  Every ring operation —
-NTT, pointwise EVAL product, rotation, addition — runs limb-wise on int64
+``L`` independent ≤30-bit NTT-friendly prime limbs.  Every ring operation --
+NTT, pointwise EVAL product, rotation, addition -- runs limb-wise on int64
 arrays (each limb inside the proven bounds), and the only place the big
 integer ``Q`` ever materialises is the CRT composition at the decrypt
 boundary.
@@ -20,10 +20,10 @@ Two classes:
     ``L`` per-limb :class:`~repro.he.polyring.PolynomialRing` instances (each
     sharing the cached NTT context for its ``(N, q_i)``) behind a limb-major
     API: polynomials are ``(L, N)`` int64 arrays, batches ``(L, B, N)``.
-    Sampling is RNG-stream compatible with the single-modulus ring — small
+    Sampling is RNG-stream compatible with the single-modulus ring -- small
     polynomials (ternary secrets, errors) are drawn *once* centered and then
     reduced into every limb, and uniform elements draw one per-limb stream
-    in limb order — so a one-limb basis consumes the generator identically
+    in limb order -- so a one-limb basis consumes the generator identically
     to the historical :class:`~repro.he.polyring.PolynomialRing` and
     reproduces its ciphertexts bit for bit.
 """
@@ -95,7 +95,7 @@ class RNSBasis:
     def compose(self, limbs: np.ndarray) -> np.ndarray:
         """CRT-recombine a limb-major ``(L, ...)`` residue array mod ``Q``.
 
-        Returns an object array of Python ints in ``[0, Q)`` — exact for any
+        Returns an object array of Python ints in ``[0, Q)`` -- exact for any
         number of limbs.  One-limb bases short-circuit (the identity map).
         """
         limbs = np.asarray(limbs)
@@ -106,7 +106,7 @@ class RNSBasis:
         if self.limb_count == 1:
             return limbs[0].astype(object)
         acc = np.zeros(limbs.shape[1:], dtype=object)
-        for residues, coefficient in zip(limbs, self._garner):
+        for residues, coefficient in zip(limbs, self._garner, strict=True):
             acc += residues.astype(object) * coefficient
         return acc % self.product
 
@@ -118,7 +118,7 @@ class RNSPolynomialRing:
     Polynomials are limb-major ``(L, N)`` int64 arrays (batches
     ``(L, B, N)``); transforms and pointwise products hand the *whole* stack
     to one kernel invocation (:mod:`repro.he.kernels`) so the active kernel
-    tier sees one large limbs × batch workload instead of ``L`` small ones,
+    tier sees one large limbs x batch workload instead of ``L`` small ones,
     and the remaining methods are vectorized across the limb axis directly.
     ``kernel_tier`` optionally pins the tier for this ring (None defers to
     the process-level selection).
@@ -181,7 +181,7 @@ class RNSPolynomialRing:
         """Uniform element(s) mod ``Q``, drawn as independent per-limb streams.
 
         The CRT map is a bijection, so independently uniform limb residues
-        are exactly a uniform element of ``Z_Q`` — no big-int draw needed.
+        are exactly a uniform element of ``Z_Q`` -- no big-int draw needed.
         """
         return np.stack(
             [
@@ -244,8 +244,8 @@ class RNSPolynomialRing:
     # -- transforms --------------------------------------------------------
     # All four entry points funnel into a single stacked kernel invocation
     # over the full ``(L, B, N)`` workload; the active tier chunks it over
-    # limbs × batch as it sees fit (one C call per limb, a shared thread
-    # pool, or the numpy reference loop — all bit-identical).
+    # limbs x batch as it sees fit (one C call per limb, a shared thread
+    # pool, or the numpy reference loop -- all bit-identical).
     def forward(self, a: np.ndarray) -> np.ndarray:
         """Limb-wise forward NTT of one ``(L, N)`` polynomial."""
         return self.forward_batch(np.asarray(a)[:, None, :])[:, 0]

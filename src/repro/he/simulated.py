@@ -24,7 +24,7 @@ plan-time :meth:`SimulatedHEBackend.encode_plain_eval` pre-transformation
 pays one forward, once); constructing the backend with
 ``eval_residency=False`` models the historical coefficient-resident
 pipeline, where every plaintext product pays the full five-transform round
-trip.  Slot *values* are identical in both modes — residency only changes
+trip.  Slot *values* are identical in both modes -- residency only changes
 what the tracker records.
 """
 
@@ -157,7 +157,7 @@ class SimulatedHEBackend(HEBackend):
         """Result domain of ``a ± b``; mixed operands charge the crossing.
 
         Matches :meth:`BFVContext._aligned`: the COEFF operand converts up
-        to EVAL (two transforms — one per polynomial), so a transform-lazy
+        to EVAL (two transforms -- one per polynomial), so a transform-lazy
         pipeline that never mixes domains is charged nothing.
         """
         if a.domain is b.domain:
@@ -244,7 +244,7 @@ class SimulatedHEBackend(HEBackend):
         return SimulatedEvalPlain(slots=values.copy())
 
     def mul_plain(
-        self, a: SimulatedCiphertext, values: "np.ndarray | SimulatedEvalPlain"
+        self, a: SimulatedCiphertext, values: np.ndarray | SimulatedEvalPlain
     ) -> SimulatedCiphertext:
         pre_transformed = isinstance(values, SimulatedEvalPlain)
         if pre_transformed:
@@ -285,8 +285,8 @@ class SimulatedHEBackend(HEBackend):
         )
 
     def fused_mul_accumulate(
-        self, terms: "list[tuple[SimulatedCiphertext, np.ndarray | SimulatedEvalPlain]]"
-    ) -> "SimulatedCiphertext | None":
+        self, terms: list[tuple[SimulatedCiphertext, np.ndarray | SimulatedEvalPlain]]
+    ) -> SimulatedCiphertext | None:
         """Fused ``sum_k mul_plain(handle_k, operand_k)`` (BSGS inner loop).
 
         One stacked product-and-sum with a single final reduction instead
@@ -368,8 +368,8 @@ class SimulatedHEBackend(HEBackend):
         The rotation period is ``a.length`` (the number of slots the caller
         packed), not the ring's full slot count.  A deployed scheme realises
         a rotation that is cyclic over a packed sub-vector with the standard
-        Gazelle-style general rotation — two Galois automorphisms plus a
-        masking plaintext product — or by padding the packed length to
+        Gazelle-style general rotation -- two Galois automorphisms plus a
+        masking plaintext product -- or by padding the packed length to
         divide the slot structure; either way it is one rotation-key
         application per call, which is what the tracker charges.  The BSGS
         kernel (:mod:`repro.he.bsgs`) depends on this period contract.

@@ -12,7 +12,7 @@ a request id is set (see :meth:`OperationTracker.set_request` /
 to the global multiset and to that request's own counter.  Operations
 recorded with no request set (key generation, shared offline pre-processing)
 stay unattributed, so ``sum(per-request) + unattributed == totals`` always
-holds — the invariant the serving tests assert.
+holds -- the invariant the serving tests assert.
 """
 
 from __future__ import annotations
@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 __all__ = ["OperationTracker", "NTT_FORWARD", "NTT_INVERSE"]
 
@@ -83,7 +83,7 @@ class OperationTracker:
         """Charge NTT domain crossings (per transformed polynomial).
 
         Flows through :meth:`record`, so transforms inherit the active
-        request/phase/worker attribution like every other operation — the
+        request/phase/worker attribution like every other operation -- the
         evaluation-domain residency win is attributable per request and per
         phase from the same counters.
         """
@@ -161,7 +161,7 @@ class OperationTracker:
         return {op: count for op, count in shared.items() if count}
 
     # -- bookkeeping ---------------------------------------------------------
-    def merge(self, other: "OperationTracker") -> None:
+    def merge(self, other: OperationTracker) -> None:
         """Fold another tracker's counts into this one."""
         self.counts.update(other.counts)
         self.bytes_moved += other.bytes_moved

@@ -5,9 +5,9 @@ as Boolean circuits evaluated under Yao's garbled circuits (an extension of
 JustGarble).  This module provides:
 
 * a tiny gate-list intermediate representation (:class:`Circuit`),
-* a :class:`CircuitBuilder` with the arithmetic gadgets the protocols need —
+* a :class:`CircuitBuilder` with the arithmetic gadgets the protocols need --
   ripple-carry adder, subtractor, two's-complement comparison, multiplexer,
-  ReLU, arithmetic right shift (the fixed-point truncation), max — all over
+  ReLU, arithmetic right shift (the fixed-point truncation), max -- all over
   ``word_bits``-wide two's-complement words,
 * a plaintext reference evaluator used both by tests and by the garbler
   (garbled evaluation must agree with it bit-for-bit).
@@ -194,7 +194,7 @@ class CircuitBuilder:
         self._check_word(b)
         result = []
         carry = self.constant_bit(0)
-        for bit_a, bit_b in zip(a, b):
+        for bit_a, bit_b in zip(a, b, strict=True):
             axb = self.gate_xor(bit_a, bit_b)
             result.append(self.gate_xor(axb, carry))
             # carry_out = (a AND b) XOR (carry AND (a XOR b))
@@ -220,7 +220,7 @@ class CircuitBuilder:
         self._check_word(when_zero)
         return [
             self.gate_mux(select, bit_one, bit_zero)
-            for bit_one, bit_zero in zip(when_one, when_zero)
+            for bit_one, bit_zero in zip(when_one, when_zero, strict=True)
         ]
 
     def sign_bit(self, a: list[int]) -> int:

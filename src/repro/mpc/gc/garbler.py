@@ -30,7 +30,7 @@ LABEL_BYTES = 16
 
 
 def _xor_bytes(a: bytes, b: bytes) -> bytes:
-    return bytes(x ^ y for x, y in zip(a, b))
+    return bytes(x ^ y for x, y in zip(a, b, strict=True))
 
 
 def _kdf(label_a: bytes, label_b: bytes, gate_id: int) -> bytes:

@@ -27,7 +27,7 @@ class OTStatistics:
     transfers: int = 0
     bytes_sent: int = 0
 
-    def merge(self, other: "OTStatistics") -> None:
+    def merge(self, other: OTStatistics) -> None:
         self.transfers += other.transfers
         self.bytes_sent += other.bytes_sent
 
@@ -63,5 +63,5 @@ class ObliviousTransfer:
             )
         return [
             self.transfer(zero, one, bit)
-            for (zero, one), bit in zip(message_pairs, choice_bits)
+            for (zero, one), bit in zip(message_pairs, choice_bits, strict=True)
         ]

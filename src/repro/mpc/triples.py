@@ -7,8 +7,8 @@ random masks.  This module provides the classic secret-shared Beaver triple
 machinery in its own right:
 
 * a trusted-dealer generator (used by tests and by the GCFormer baseline),
-* an HE-backed generator that produces the triples the way Primer does —
-  the client encrypts its mask, the server multiplies under encryption —
+* an HE-backed generator that produces the triples the way Primer does --
+  the client encrypts its mask, the server multiplies under encryption --
   so the offline cost of triple generation is charged to the HE tracker,
 * the online multiplication protocol on additive shares.
 

@@ -1,16 +1,16 @@
 """Activation functions and their HE-friendly polynomial approximations.
 
 Primer keeps the exact non-linearities (SoftMax, GELU) by evaluating them
-under garbled circuits, which is why it does not lose accuracy.  THE-X — the
-FHE-only baseline — replaces them with polynomial approximations, which is
-where its ~7–8 point accuracy drop comes from.  Both forms live here so the
+under garbled circuits, which is why it does not lose accuracy.  THE-X -- the
+FHE-only baseline -- replaces them with polynomial approximations, which is
+where its ~7-8 point accuracy drop comes from.  Both forms live here so the
 accuracy experiments can measure the gap on the same model.
 
 The polynomial approximations follow the published HE-friendly substitutions:
 
-* ``softmax_poly`` — the "2Quad" approximation (MPCFormer / THE-X style):
+* ``softmax_poly`` -- the "2Quad" approximation (MPCFormer / THE-X style):
   replace ``exp(x)`` with ``(x + c)^2`` and normalise by the sum.
-* ``gelu_poly`` — a quadratic approximation ``0.125 x^2 + 0.25 x + 0.5``
+* ``gelu_poly`` -- a quadratic approximation ``0.125 x^2 + 0.25 x + 0.5``
   clipped to the linear regime outside ``[-4, 4]``.
 * ``layernorm`` with polynomial inverse-sqrt iteration for the FHE path.
 """

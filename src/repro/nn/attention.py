@@ -29,7 +29,7 @@ class AttentionWeights:
     output: Linear
 
     @classmethod
-    def initialise(cls, dim: int, rng: np.random.Generator) -> "AttentionWeights":
+    def initialise(cls, dim: int, rng: np.random.Generator) -> AttentionWeights:
         return cls(
             query=Linear.initialise(dim, dim, rng),
             key=Linear.initialise(dim, dim, rng),
@@ -48,7 +48,7 @@ class MultiHeadSelfAttention:
     @classmethod
     def initialise(
         cls, dim: int, num_heads: int, rng: np.random.Generator
-    ) -> "MultiHeadSelfAttention":
+    ) -> MultiHeadSelfAttention:
         return cls(weights=AttentionWeights.initialise(dim, rng), num_heads=num_heads)
 
     def _split_heads(self, x: np.ndarray) -> np.ndarray:

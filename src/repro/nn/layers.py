@@ -7,7 +7,7 @@ plaintext layer output to within fixed-point tolerance.
 
 The implementation is intentionally framework-free (plain numpy, explicit
 shapes) because the cryptographic layers need direct access to the weight
-matrices and because determinism matters more than training speed — the
+matrices and because determinism matters more than training speed -- the
 weights are generated, not learned (see DESIGN.md's accuracy-methodology
 substitution).
 """
@@ -34,7 +34,7 @@ class Linear:
     @classmethod
     def initialise(
         cls, in_dim: int, out_dim: int, rng: np.random.Generator, *, scale: float | None = None
-    ) -> "Linear":
+    ) -> Linear:
         """Xavier-style initialisation (deterministic given the generator)."""
         if scale is None:
             scale = float(np.sqrt(2.0 / (in_dim + out_dim)))
@@ -59,7 +59,7 @@ class LayerNorm:
     eps: float = 1e-5
 
     @classmethod
-    def initialise(cls, dim: int) -> "LayerNorm":
+    def initialise(cls, dim: int) -> LayerNorm:
         return cls(gamma=np.ones(dim), beta=np.zeros(dim))
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
@@ -85,7 +85,7 @@ class Embedding:
     @classmethod
     def initialise(
         cls, vocab_size: int, seq_len: int, dim: int, rng: np.random.Generator
-    ) -> "Embedding":
+    ) -> Embedding:
         word = rng.normal(0.0, 0.02, size=(vocab_size, dim))
         positional = rng.normal(0.0, 0.02, size=(seq_len, dim))
         return cls(word_embeddings=word, positional_embeddings=positional)
@@ -123,7 +123,7 @@ class FeedForward:
     output: Linear
 
     @classmethod
-    def initialise(cls, dim: int, hidden_dim: int, rng: np.random.Generator) -> "FeedForward":
+    def initialise(cls, dim: int, hidden_dim: int, rng: np.random.Generator) -> FeedForward:
         return cls(
             intermediate=Linear.initialise(dim, hidden_dim, rng),
             output=Linear.initialise(hidden_dim, dim, rng),

@@ -5,7 +5,7 @@ The accuracy columns of the paper's tables come down to two effects:
 1. running the Transformer in 15-bit fixed point (all private protocols pay
    this; the paper reports it costs essentially nothing), and
 2. replacing SoftMax/GELU/tanh by polynomials (only the FHE-only baseline
-   THE-X pays this; the paper reports a ~7–8 point drop).
+   THE-X pays this; the paper reports a ~7-8 point drop).
 
 :class:`QuantizedExecutor` runs a plaintext :class:`TransformerEncoder` under
 either regime so the accuracy experiments can measure both effects on the
@@ -48,17 +48,17 @@ class ExecutionMode:
     fmt: FixedPointFormat = DEFAULT_FORMAT
 
     @classmethod
-    def plaintext(cls) -> "ExecutionMode":
+    def plaintext(cls) -> ExecutionMode:
         """Full-precision floating point (the fine-tuned reference model)."""
         return cls(quantize=False, polynomial_activations=False)
 
     @classmethod
-    def primer(cls, fmt: FixedPointFormat = DEFAULT_FORMAT) -> "ExecutionMode":
+    def primer(cls, fmt: FixedPointFormat = DEFAULT_FORMAT) -> ExecutionMode:
         """15-bit fixed point with exact non-linearities (Primer's regime)."""
         return cls(quantize=True, polynomial_activations=False, fmt=fmt)
 
     @classmethod
-    def fhe_only(cls, fmt: FixedPointFormat = DEFAULT_FORMAT) -> "ExecutionMode":
+    def fhe_only(cls, fmt: FixedPointFormat = DEFAULT_FORMAT) -> ExecutionMode:
         """Fixed point plus polynomial activations (THE-X's regime)."""
         return cls(quantize=True, polynomial_activations=True, fmt=fmt)
 

@@ -6,7 +6,7 @@ vocabulary of the same size: special tokens, single characters, and a large
 bank of generated sub-word units.  Tokenisation follows the greedy
 longest-match-first WordPiece algorithm with ``##`` continuation pieces, so
 the *behaviour* (sub-word splitting, unknown-token handling, fixed-length
-padding) matches what the paper's embedding layer consumes — an ``n x 30522``
+padding) matches what the paper's embedding layer consumes -- an ``n x 30522``
 one-hot matrix per sentence.
 """
 

@@ -32,7 +32,7 @@ class EncoderBlock:
     output_norm: LayerNorm
 
     @classmethod
-    def initialise(cls, config: TransformerConfig, rng: np.random.Generator) -> "EncoderBlock":
+    def initialise(cls, config: TransformerConfig, rng: np.random.Generator) -> EncoderBlock:
         return cls(
             attention=MultiHeadSelfAttention.initialise(
                 config.embed_dim, config.num_heads, rng
@@ -74,7 +74,7 @@ class ClassifierHead:
     classifier: Linear
 
     @classmethod
-    def initialise(cls, config: TransformerConfig, rng: np.random.Generator) -> "ClassifierHead":
+    def initialise(cls, config: TransformerConfig, rng: np.random.Generator) -> ClassifierHead:
         return cls(
             pooler=Linear.initialise(config.embed_dim, config.embed_dim, rng),
             classifier=Linear.initialise(config.embed_dim, config.num_labels, rng),
@@ -102,7 +102,7 @@ class TransformerEncoder:
     _cached_trace: dict | None = field(default=None, repr=False)
 
     @classmethod
-    def initialise(cls, config: TransformerConfig, *, seed: int = 0) -> "TransformerEncoder":
+    def initialise(cls, config: TransformerConfig, *, seed: int = 0) -> TransformerEncoder:
         """Create a model with deterministic synthetic weights."""
         rng = np.random.default_rng(seed)
         embedding = Embedding.initialise(

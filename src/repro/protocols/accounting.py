@@ -54,14 +54,14 @@ class OperationCounts:
     rounds: int = 0
     #: NTT transforms of the evaluation-resident pipeline (one per
     #: polynomial): three per input ciphertext at encrypt plus one inverse
-    #: per output ciphertext at decrypt — the plaintext operands are
+    #: per output ciphertext at decrypt -- the plaintext operands are
     #: pre-transformed at plan time and the multiply-accumulate itself is
     #: pointwise.  Kept out of the latency conversion (the per-operation
     #: constants already absorb transform time); surfaced so reports can
     #: attribute the residency win per step and phase.
     he_ntt_transforms: float = 0.0
 
-    def add(self, other: "OperationCounts") -> None:
+    def add(self, other: OperationCounts) -> None:
         self.he_mults += other.he_mults
         self.he_rotations += other.he_rotations
         self.he_encryptions += other.he_encryptions
@@ -134,7 +134,7 @@ def _he_matmul_counts(
         # Evaluation-resident transform economy: encryption is born in NTT
         # form (three transforms per input ciphertext), the plaintext
         # operand transforms are hoisted to plan time, and each output
-        # ciphertext pays exactly one inverse at the decrypt boundary —
+        # ciphertext pays exactly one inverse at the decrypt boundary --
         # each transform once per RNS limb.
         he_ntt_transforms=(3 * input_cts + output_cts) * limbs,
     )

@@ -64,7 +64,7 @@ class Channel:
     network: NetworkModel = field(default_factory=NetworkModel)
     messages: list[Message] = field(default_factory=list)
     #: when True, every ``send`` *waits out* the network model's transfer
-    #: time instead of only recording it — the serving runtime uses this to
+    #: time instead of only recording it -- the serving runtime uses this to
     #: emulate the paper's two-instance deployment, where the offline
     #: phase's many rounds genuinely occupy the wire (and a pipelined
     #: executor can overlap them with compute)

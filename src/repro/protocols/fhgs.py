@@ -1,16 +1,16 @@
 """The FHGS protocol: ciphertext-ciphertext products for attention (Fig. 5),
 and its combined variant CHGS (Fig. 3(d) / Section III-C).
 
-Attention needs ``X_Q @ X_K^T`` and ``A @ X_V`` — products of two *secret*
+Attention needs ``X_Q @ X_K^T`` and ``A @ X_V`` -- products of two *secret*
 matrices.  Additive HE alone cannot offload these, which is why the paper
 extends HGS with a Beaver-triple-style protocol:
 
-* **offline** — the client samples random masks ``Rc`` for both operands and
+* **offline** -- the client samples random masks ``Rc`` for both operands and
   sends their encryptions (column- and row-packed: the paper's ``Enc(Rc)``
   and ``Enc(Rc^T)``).  The products involving only masks are prepared before
   the input arrives (for the weighted/combined variants this takes a short
   interactive sub-protocol, still entirely offline).
-* **online** — the server holds the blinded operands in plaintext, computes
+* **online** -- the server holds the blinded operands in plaintext, computes
   ``tmp1`` locally, corrects it with the encrypted cross terms, masks with a
   fresh ``Rs`` and returns one ciphertext batch.  Decryption gives the client
   its additive share of the product.
@@ -26,7 +26,7 @@ right_weights W     ``L @ (R @ W)``           combined V-projection+A@V
 ==================  =======================  ==========================
 
 In the weighted modes the server's weight matrices are folded into the
-product so the separate HGS projections disappear — that is exactly the
+product so the separate HGS projections disappear -- that is exactly the
 "computation merge" of Primer-FPC, and it is what collapses four
 interactions into one.
 
@@ -42,12 +42,12 @@ rotations to the tracker.
 **Block-diagonal slot sharing** (``prepare(share_slots=k)`` +
 :meth:`FHGSMatmul.online_batch`): the attention of a ``k``-request serving
 batch is block-diagonal over requests, so the online cross terms of all
-``k`` requests pack into *shared* ciphertext slots — request ``r`` occupies
+``k`` requests pack into *shared* ciphertext slots -- request ``r`` occupies
 slot block ``r`` of each cross-term ciphertext.  The client tiles its
 encrypted mask packings ``k`` times at encryption time (same ciphertext
 count, more occupied slots) during the offline phase; online, one
 slot-wise plaintext product per (handle, output row/column) covers the
-whole batch, so a ``k``-request batch ships — and computes — ``~1/k`` the
+whole batch, so a ``k``-request batch ships -- and computes -- ``~1/k`` the
 cross-term ciphertexts of ``k`` independent runs.  The server masks every
 slot block with fresh ``Rs`` randomness before shipping, preserving the
 share-uniformity argument verbatim.
@@ -157,14 +157,14 @@ class FHGSMatmul:
         """Exchange encrypted masks and return the offline artifact.
 
         ``share_slots=k`` (k > 1) additionally prepares *tiled* mask
-        packings — each packed vector replicated ``k`` times inside its
-        ciphertext — enabling the block-diagonal :meth:`online_batch` path
+        packings -- each packed vector replicated ``k`` times inside its
+        ciphertext -- enabling the block-diagonal :meth:`online_batch` path
         that serves up to ``k`` compatible requests with one set of
         cross-term ciphertexts.  Tiling the client-held masks is free at
         encryption time; the server-computed weighted packing is tiled
         homomorphically (rotations charged to this phase).
 
-        The returned :class:`FHGSPlan` is not adopted — pass it to
+        The returned :class:`FHGSPlan` is not adopted -- pass it to
         :meth:`install`, or call :meth:`offline` which composes the two.
         """
         modulus = self.sharing.modulus
@@ -191,8 +191,8 @@ class FHGSMatmul:
         enc_right_rows_tiled: PackedMatrix | None = None
         if share_slots > 1:
             # The masks are the client's own randomness, so the tiled
-            # packings cost the same number of ciphertexts — only more
-            # occupied slots — and travel alongside the plain ones.
+            # packings cost the same number of ciphertexts -- only more
+            # occupied slots -- and travel alongside the plain ones.
             enc_left_cols_tiled = encrypt_matrix_columns(
                 self.backend, np.tile(left_mask, (share_slots, 1))
             )
@@ -422,7 +422,7 @@ class FHGSMatmul:
             if capacity == 1:
                 results.extend(
                     self._online_single(left, right)
-                    for left, right in zip(lefts, rights)
+                    for left, right in zip(lefts, rights, strict=True)
                 )
             else:
                 results.extend(self._online_shared(lefts, rights))
@@ -587,7 +587,7 @@ class FHGSMatmul:
         modulus = self.sharing.modulus
         blinded = [
             self._blind_operands(left, right)
-            for left, right in zip(shared_lefts, shared_rights)
+            for left, right in zip(shared_lefts, shared_rights, strict=True)
         ]
         correction_bytes = sum(entry[2] for entry in blinded)
         if correction_bytes:
@@ -603,7 +603,7 @@ class FHGSMatmul:
         )
         tmp1s = [
             np.mod(lb @ b_side, modulus)
-            for lb, b_side in zip(left_blinded, b_sides)
+            for lb, b_side in zip(left_blinded, b_sides, strict=True)
         ]
         cross_a, cross_b = self._shared_cross_terms(a_sides, b_sides, rowpack, colpack)
         return self._finish_shared(len(blinded), tmp1s, cross_a, cross_b)
@@ -621,7 +621,7 @@ class FHGSMatmul:
         ``r``'s output row ``i`` of ``a_side_r @ RcR``-side; cross-term B
         ciphertext ``j`` holds the output columns analogously.  One
         slot-wise plaintext product per (handle, row/column) covers every
-        request — the coefficient vector is block-constant, request ``r``'s
+        request -- the coefficient vector is block-constant, request ``r``'s
         coefficient repeated over block ``r``'s slots.
         """
         plan = self._plan

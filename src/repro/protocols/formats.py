@@ -41,7 +41,7 @@ def protocol_he_parameters() -> BFVParameters:
 
     A 31-bit plaintext modulus needs noise headroom well beyond a single
     60-bit limb once ciphertexts are multiplied by uniform ring elements, so
-    — like Delphi-class preprocessing — the deployment corresponds to an
+    -- like Delphi-class preprocessing -- the deployment corresponds to an
     8192-slot ring with a six-limb double-CRT coefficient modulus of
     30-bit NTT-friendly primes (~180 bits total), which is inside the
     HE-standard 128-bit budget of 218 bits at N=8192.  Every limb honours

@@ -4,13 +4,13 @@ HGS ("HE + GC + SS") turns a ciphertext-plaintext matrix product
 ``X @ W`` into an offline HE exchange plus an online phase that only touches
 unencrypted secret shares:
 
-* **offline** — the client samples a random mask ``Rc`` and sends
+* **offline** -- the client samples a random mask ``Rc`` and sends
   ``Enc(Rc)``; the server multiplies it by its weights under encryption,
   masks the result with its own random ``Rs`` and returns
   ``Enc(Rc @ W + Rs)``; the client decrypts.  After this exchange the client
-  holds ``Rc @ W + Rs`` and the server holds ``Rs`` — additive shares of
+  holds ``Rc @ W + Rs`` and the server holds ``Rs`` -- additive shares of
   ``Rc @ W``.
-* **online** — the server obtains ``X - Rc`` (either directly, because the
+* **online** -- the server obtains ``X - Rc`` (either directly, because the
   previous GC module produced exactly that as the server's share, or via a
   cheap correction message), computes ``(X - Rc) @ W - Rs`` locally, and the
   two parties now hold additive shares of ``X @ W`` without a single online
@@ -25,7 +25,7 @@ baseline hybrid protocol.
 On an evaluation-resident backend the whole offline exchange stays in the
 NTT domain: ``Enc(Rc)`` is encrypted straight into EVAL form, the
 scalar-product accumulation and the ``+ Rs`` masking are pointwise, and the
-client's decrypt pays a single inverse transform per ciphertext — the
+client's decrypt pays a single inverse transform per ciphertext -- the
 per-phase ``ntt_forward`` / ``ntt_inverse`` tracker counters attribute the
 saving to this layer's step label.
 """
@@ -104,7 +104,7 @@ class HGSLinearLayer:
         ``Phase.ONLINE`` to model Primer-base, where the same HE operations
         happen during inference.
 
-        The returned :class:`HGSPlan` is *not* adopted by this layer — pass
+        The returned :class:`HGSPlan` is *not* adopted by this layer -- pass
         it to :meth:`install` (or call :meth:`offline`, which does both).
         This is what lets a serving executor prepare the offline phase on a
         background worker while the layer keeps serving its current plan.
@@ -191,7 +191,7 @@ class HGSLinearLayer:
         """Online phase for a whole batch of inputs against one plan.
 
         The corrections of every request coalesce into one message and the
-        server-side products run as a single stacked matmul — the online
+        server-side products run as a single stacked matmul -- the online
         phase stays HE-free, it just amortises the Python and round overhead
         across the batch.  Results are identical to per-request
         :meth:`online` calls.
@@ -228,7 +228,7 @@ class HGSLinearLayer:
         x_minus_rc = np.mod(server_shares + corrections, modulus)
 
         # Server-side shares: (X - Rc) @ W - Rs (+ bias, which the server
-        # holds) — one stacked matmul for the whole batch.
+        # holds) -- one stacked matmul for the whole batch.
         batched_server = np.mod(x_minus_rc @ self.weights - plan.server_mask, modulus)
         if self.bias is not None:
             batched_server = np.mod(batched_server + self.bias, modulus)

@@ -13,13 +13,13 @@ one Figure 4 of the paper encapsulates:
 
 This module provides two layers:
 
-* :class:`GCNonlinearEvaluator` — the functional implementation used inside
+* :class:`GCNonlinearEvaluator` -- the functional implementation used inside
   full protocol runs.  Values are computed exactly (reconstruct, evaluate the
   fixed-point function, re-share), while the Boolean-circuit *cost* (AND
   gates, garbled-table bytes, one round of interaction) is charged to the
   channel and tracker.  The gate-count formulas are anchored to the real
   circuits in :mod:`repro.mpc.gc.circuits`, whose sizes the test-suite checks.
-* :func:`garbled_share_relu` — a fully garbled (no simulation boundary)
+* :func:`garbled_share_relu` -- a fully garbled (no simulation boundary)
   share-ReLU used by tests and the worked examples to demonstrate that the
   GC engine really computes step 2 above.
 """
@@ -393,7 +393,7 @@ def garbled_share_relu(
 
     The client garbles, the server evaluates (labels for the server's share
     obtained through the simulated OT), and the output is re-shared with a
-    fresh client mask — the exact module of Figure 4 with ``F = ReLU``.
+    fresh client mask -- the exact module of Figure 4 with ``F = ReLU``.
     Returns the new sharing and statistics (AND gates, table bytes, OTs).
     """
     builder, _, _, _ = build_share_relu_circuit(fmt.total_bits)

@@ -10,17 +10,17 @@ owned the module, immediately before the online phase.
 This module makes the offline phase a first-class value instead.  Every
 protocol module now splits its old ``offline()`` into
 
-* ``prepare(phase=...)`` — runs the HE exchange and returns a frozen *plan*
+* ``prepare(phase=...)`` -- runs the HE exchange and returns a frozen *plan*
   (masks, offline shares, encrypted cross-term operands) without touching
   the module's execution state, and
-* ``install(plan)`` — adopts a previously prepared plan, after which
+* ``install(plan)`` -- adopts a previously prepared plan, after which
   ``online()`` may run.
 
 ``offline()`` survives as the trivial composition ``install(prepare())`` so
 existing callers are unchanged.  At the engine level,
 :meth:`~repro.protocols.primer.PrivateTransformerInference.prepare` gathers
 one plan per named module into an :class:`OfflinePlan`, which the serving
-executor can build on a background worker, hand between threads, or cache —
+executor can build on a background worker, hand between threads, or cache --
 the pipelined runtime overlaps batch N+1's ``prepare()`` with batch N's
 online execution precisely because the plan is a plain immutable artifact.
 
@@ -37,7 +37,7 @@ Plan layout
     default since the domain-residency work) the encrypted packings are
     EVAL-form (NTT-domain) handles, so a plan shipped through the
     :mod:`~repro.protocols.planstore` warm-starts an engine whose online
-    cross terms run pointwise — no per-product transform round trips.
+    cross terms run pointwise -- no per-product transform round trips.
 :class:`OfflinePlan`
     A frozen mapping ``module name -> module plan`` plus the variant name
     and the phase the exchanges were charged to.
@@ -48,7 +48,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import TYPE_CHECKING, Mapping
+from collections.abc import Mapping
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -65,7 +66,7 @@ def plan_nbytes(obj) -> int:
     """Approximate in-memory footprint of a plan (or any plan fragment).
 
     Walks dataclasses, mappings and sequences summing the ``nbytes`` of
-    every ndarray reached — masks, offline shares and the slot vectors of
+    every ndarray reached -- masks, offline shares and the slot vectors of
     simulated ciphertext handles all count.  The engine cache uses this as
     the byte weight of a cached engine for its eviction budget; it is a
     proxy (python object overhead is ignored), but it tracks the arrays
@@ -132,16 +133,16 @@ class FHGSPlan:
 
     left_mask: np.ndarray
     right_mask: np.ndarray
-    enc_left_cols: "PackedMatrix"
-    enc_right_rows: "PackedMatrix"
+    enc_left_cols: PackedMatrix
+    enc_right_rows: PackedMatrix
     quad_client: np.ndarray
     quad_server: np.ndarray
-    enc_weighted_right_rows: "PackedMatrix | None" = None
+    enc_weighted_right_rows: PackedMatrix | None = None
     #: block-diagonal slot-sharing capacity (1 = classic per-request plan)
     slot_sharing: int = 1
-    enc_left_cols_tiled: "PackedMatrix | None" = None
-    enc_right_rows_tiled: "PackedMatrix | None" = None
-    enc_weighted_right_rows_tiled: "PackedMatrix | None" = None
+    enc_left_cols_tiled: PackedMatrix | None = None
+    enc_right_rows_tiled: PackedMatrix | None = None
+    enc_weighted_right_rows_tiled: PackedMatrix | None = None
 
     @property
     def operand_shapes(self) -> tuple[tuple[int, ...], tuple[int, ...]]:

@@ -1,6 +1,6 @@
 """Persistent :class:`~repro.protocols.plan.OfflinePlan` store.
 
-The offline phase is the expensive half of the paper's protocols — and since
+The offline phase is the expensive half of the paper's protocols -- and since
 PR 2 it is an explicit, picklable artifact (:class:`OfflinePlan`).  This
 module makes that artifact survive process restarts: plans are serialized to
 disk keyed by ``(model, variant, seed, slot_sharing)``, so a freshly started
@@ -13,7 +13,7 @@ Keying
 The ``model`` component of a key is a **content fingerprint** (a SHA-256
 prefix over the model's serialized config and weights), not the mutable
 serving name.  Replacing a model under the same serving name therefore
-changes the key and misses the store — stale plans can never be installed
+changes the key and misses the store -- stale plans can never be installed
 onto a replaced model, the same invariant the in-memory cache enforces with
 ``invalidate_model``.
 
@@ -21,7 +21,7 @@ Integrity
 ---------
 Every entry records a SHA-256 digest of its pickled payload plus the full
 key metadata.  ``load`` verifies both before unpickling and treats *any*
-mismatch — truncated file, flipped bit, metadata drift, unreadable pickle —
+mismatch -- truncated file, flipped bit, metadata drift, unreadable pickle --
 as a cache miss (the corrupt entry is deleted), so the worst failure mode of
 the store is a cold rebuild, never a wrong or half-installed plan.
 
@@ -33,7 +33,7 @@ a read that raises ``OSError`` is retried once and the entry is **kept**
 integrity failure deletes the entry (the file itself is damaged).  Both are
 counted separately in :class:`PlanStoreStats`.  After
 ``io_error_disable_threshold`` *consecutive* failed I/O operations the
-store disables itself — loads read as misses and stores become no-ops — so
+store disables itself -- loads read as misses and stores become no-ops -- so
 a persistently broken plan directory degrades serving to cold builds
 instead of hammering a dead disk.  Reads and writes pass through the
 ``planstore_load`` / ``planstore_store`` fault sites of
@@ -50,7 +50,7 @@ Garbage collection
 prunes least-recently-used entries (by file mtime; ``load`` hits refresh
 it) until the budgets hold, never evicting the entry just written.  The
 worst outcome of pruning is a cold rebuild on a future warm-start attempt
-— exactly the store's existing miss semantics.  :meth:`PlanStore.stats`
+-- exactly the store's existing miss semantics.  :meth:`PlanStore.stats`
 reports entry/byte totals plus this instance's hit/miss/prune counters.
 """
 
@@ -86,9 +86,9 @@ _TRANSIENT_IO = (OSError, TransientFault)
 
 #: file-format magic + version; bumping it invalidates every stored entry.
 #: v2: ciphertext handles in pickled plans carry a ``domain`` field
-#: (evaluation-domain residency) — v1 entries unpickle to handles without
+#: (evaluation-domain residency) -- v1 entries unpickle to handles without
 #: it and would crash at first use, so they must read as misses instead.
-#: v3: double-CRT ciphertexts — exact-backend components are limb-major
+#: v3: double-CRT ciphertexts -- exact-backend components are limb-major
 #: ``(L, N)`` arrays and BSGS plans carry a ``limbs`` field, so pre-RNS
 #: entries would deserialize into shapes the limb-aware consumers reject
 #: (or worse, silently mis-shape); they must read as misses instead.
@@ -154,9 +154,9 @@ class PlanStoreStats:
 class PlanStore:
     """Directory-backed store of serialized offline plans.
 
-    Writes are atomic (temp file + ``os.replace``), so a concurrent reader —
+    Writes are atomic (temp file + ``os.replace``), so a concurrent reader --
     another serving process sharing the directory, or a prefetch racing a
-    build — never observes a partially written entry.
+    build -- never observes a partially written entry.
 
     ``max_entries`` / ``max_bytes`` (``None`` = unbounded, the historical
     behaviour) turn the directory into an LRU-pruned cache: see the module
@@ -219,7 +219,7 @@ class PlanStore:
         """Serialize ``plan`` under ``key``; returns the entry's path.
 
         Persistence is best-effort: a write that fails with an I/O error is
-        counted (``io_errors``) and swallowed — the caller's plan is intact
+        counted (``io_errors``) and swallowed -- the caller's plan is intact
         and serving degrades to a cold build next process, exactly the
         store's miss semantics.  A disabled store (see the module docstring)
         skips the write entirely.
@@ -275,7 +275,7 @@ class PlanStore:
         """Delete least-recently-used entries until the budgets hold.
 
         Recency is file mtime (refreshed by ``load`` hits), so stale plans
-        — replaced models, retired variants, old seeds — age out first.
+        -- replaced models, retired variants, old seeds -- age out first.
         The just-written entry is never the victim, even if it alone
         exceeds ``max_bytes``: evicting it would defeat the warm start the
         caller just paid to enable.
@@ -319,9 +319,9 @@ class PlanStore:
 
         A read that fails with a *transient* I/O error is retried once; if
         the retry fails too, the load is a miss but the entry is **kept**
-        (counted in ``io_errors``).  Integrity verification — magic/version,
+        (counted in ``io_errors``).  Integrity verification -- magic/version,
         header metadata (the stored key must equal ``key`` field for
-        field), payload digest, then unpickle — deletes the entry on any
+        field), payload digest, then unpickle -- deletes the entry on any
         failure (counted in ``integrity_failures``) and reads as a miss;
         the caller falls back to a cold build either way.
         """
@@ -340,7 +340,7 @@ class PlanStore:
             except _TRANSIENT_IO:
                 self._io_errors += 1
                 if attempt == 2:
-                    # Retry exhausted: a miss, but the file survives — the
+                    # Retry exhausted: a miss, but the file survives -- the
                     # entry is presumed fine, the filesystem was not.
                     self._record_failed_io()
                     self._misses += 1

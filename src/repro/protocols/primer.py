@@ -14,7 +14,7 @@ variant          description (cumulative, as in Table II)
 ===============  =====================================================
 
 :class:`PrivateTransformerInference` runs the actual two-party computation on
-secret shares (functionally exact — its output matches the fixed-point
+secret shares (functionally exact -- its output matches the fixed-point
 plaintext model), records every HE/GC operation on the tracker and every
 message on the channel, and reports per-step totals.  The *paper-scale*
 latency/communication numbers for the full BERT models are produced by
@@ -162,7 +162,7 @@ class PrivateTransformerInference:
         """``he_eval_residency`` applies to the *default* backend only: True
         (the default) keeps ciphertexts NTT-resident across the linear hot
         path, False models the historical coefficient-resident pipeline.
-        The decrypted shares — and therefore the logits — are bit-identical
+        The decrypted shares -- and therefore the logits -- are bit-identical
         either way; only the tracked transform counts differ, which is what
         the residency equivalence tests assert per variant.
         """
@@ -344,7 +344,7 @@ class PrivateTransformerInference:
         phase for Primer-base, which is how the paper characterises its
         baseline) but does *not* change this engine's execution state.  The
         returned :class:`OfflinePlan` can be built on a background worker
-        and installed later — or on a different engine of the same
+        and installed later -- or on a different engine of the same
         ``(model, variant)``.
         """
         phase = Phase.OFFLINE if self.variant.preprocess_offline else Phase.ONLINE
@@ -392,7 +392,7 @@ class PrivateTransformerInference:
 
         The whole batch flows through the protocol modules together: HGS
         layers run one stacked matmul and one coalesced correction message,
-        and — when the engine was built with ``slot_sharing > 1`` — the
+        and -- when the engine was built with ``slot_sharing > 1`` -- the
         FHGS attention products pack the batch's cross terms
         block-diagonally into shared ciphertext slots, shipping ``~1/k``
         the cross-term ciphertexts of ``k`` independent runs.  The logits
@@ -571,7 +571,7 @@ class PrivateTransformerInference:
         attn_outs = modules["attn_output"].online_batch(contexts)      # frac 2f
         next_hiddens = []
         norm = modules["attention_norm"]
-        for hidden, attn_out in zip(hiddens, attn_outs):
+        for hidden, attn_out in zip(hiddens, attn_outs, strict=True):
             attn_out = nl.truncate(attn_out, step=STEP_OTHERS, input_frac_bits=2 * f)
             residual = self.sharing.add(hidden, attn_out)
             next_hiddens.append(
@@ -586,7 +586,7 @@ class PrivateTransformerInference:
         ffn_outs = modules["ffn_output"].online_batch(ffn_hiddens)     # frac 2f
         outputs = []
         norm = modules["output_norm"]
-        for hidden, ffn_out in zip(next_hiddens, ffn_outs):
+        for hidden, ffn_out in zip(next_hiddens, ffn_outs, strict=True):
             ffn_out = nl.truncate(ffn_out, step=STEP_OTHERS, input_frac_bits=2 * f)
             residual = self.sharing.add(hidden, ffn_out)
             outputs.append(

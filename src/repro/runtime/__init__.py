@@ -2,7 +2,7 @@
 
 Ties models, protocols, cost model and data together for the paper-table
 experiments (:mod:`repro.runtime.evaluation`) and serves many concurrent
-inference requests over shared cryptographic state — batch formation under
+inference requests over shared cryptographic state -- batch formation under
 pluggable policies (:mod:`repro.runtime.scheduler`), serial and pipelined
 execution (:mod:`repro.runtime.executor`), the
 :class:`~repro.runtime.serving.ServingRuntime` façade over both, and the

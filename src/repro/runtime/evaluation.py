@@ -3,13 +3,13 @@ paper-scale latency tables driven by the calibrated cost model.
 
 Two kinds of experiments are supported:
 
-* **accuracy** — run a model over a synthetic task under plaintext,
+* **accuracy** -- run a model over a synthetic task under plaintext,
   Primer (15-bit fixed point, exact non-linearities) and FHE-only
   (fixed point + polynomial activations) execution, reporting task accuracy
   and fidelity to the plaintext model.  This reproduces the accuracy *shape*
   of Figure 2 / Tables I-III: the approximation-based scheme drops several
   points, the hybrid scheme does not.
-* **latency** — apply the calibrated :class:`~repro.costmodel.LatencyModel`
+* **latency** -- apply the calibrated :class:`~repro.costmodel.LatencyModel`
   to the operation accounting of each scheme at paper scale, producing the
   rows of Tables I, II and III.
 """
@@ -57,7 +57,7 @@ def evaluate_accuracy(
 
     With ``teacher_labels=True`` (the default) the plaintext model's own
     predictions are used as labels, so the reported numbers measure how much
-    each private execution regime degrades the deployed model — the quantity
+    each private execution regime degrades the deployed model -- the quantity
     the paper's accuracy columns compare across schemes.
     """
     tokens = task.token_matrix()

@@ -3,26 +3,26 @@
 This module is the execution half of what used to be the ``serving.py``
 monolith, split along the paper's own offline/online axis:
 
-* :class:`EngineCache` — one prepared
+* :class:`EngineCache` -- one prepared
   :class:`~repro.protocols.primer.PrivateTransformerInference` engine per
   ``(model, variant)`` key.  Engines are built through the explicit
   ``prepare()`` → :class:`~repro.protocols.plan.OfflinePlan` → ``install()``
   split, so the whole offline phase is a schedulable artifact that can be
   produced on a background worker.
-* :class:`EngineShardMap` — a stable key → worker assignment (least-loaded,
+* :class:`EngineShardMap` -- a stable key → worker assignment (least-loaded,
   first-seen), so distinct ``(model, variant)`` keys run on distinct
   workers and one hot model cannot block another's traffic.
-* :class:`BatchExecutor` — runs one batch (full-inference or shared-slot
+* :class:`BatchExecutor` -- runs one batch (full-inference or shared-slot
   linear) with per-request channel/tracker attribution.  This is the serial
   engine; ``ServingRuntime.run_pending()`` drains through it batch by batch,
   behaviour-identical to the pre-split runtime.
-* :class:`PipelinedExecutor` — the overlapped drain: offline preparation of
+* :class:`PipelinedExecutor` -- the overlapped drain: offline preparation of
   the engines that *later* batches need runs on a prepare pool while
   *earlier* batches execute their online phases on sharded workers.  Every
   engine is confined to its shard worker (its backend, tracker, channel and
   sharing state are never touched by two threads), linear batches serialise
   on the shared linear backend's lock, and per-key FIFO order is preserved
-  because each shard executes its batches in formation order — which is why
+  because each shard executes its batches in formation order -- which is why
   the pipelined drain is bit-identical to the serial one (asserted for all
   four Primer variants in the test-suite).
 """
@@ -36,7 +36,7 @@ import time
 from collections import OrderedDict
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -76,7 +76,7 @@ __all__ = [
 #: step label used for the linear serving path's wire accounting
 STEP_LINEAR = "linear_serving"
 
-#: bound on cached NTT-form BSGS plans in :class:`LinearServingPath` — one
+#: bound on cached NTT-form BSGS plans in :class:`LinearServingPath` -- one
 #: per (bank, chunk geometry); enough for every steady-state workload mix
 #: while keeping a long-lived server's pre-transformed masks finite.
 _BSGS_PLAN_CACHE_SIZE = 32
@@ -85,13 +85,13 @@ _BSGS_PLAN_CACHE_SIZE = 32
 def _prepare_plan_remote(model, variant, seed, network, slot_sharing):
     """Worker-process entry point: produce one engine's offline artifact.
 
-    Runs in a separate process so the offline phase — GIL-bound simulated-HE
+    Runs in a separate process so the offline phase -- GIL-bound simulated-HE
     exchanges plus, under a realized :class:`NetworkModel`, the wire time of
-    its many rounds — genuinely overlaps with the parent's online execution.
+    its many rounds -- genuinely overlaps with the parent's online execution.
     Returns the :class:`~repro.protocols.plan.OfflinePlan` plus the offline
     accounting (channel messages, tracker) recorded while producing it, so
     the parent can merge the cost of the remote preparation into the engine
-    it installs the plan on — no HE operation or byte goes unaccounted.
+    it installs the plan on -- no HE operation or byte goes unaccounted.
     """
     engine = PrivateTransformerInference(
         model, variant, seed=seed, network=network, slot_sharing=slot_sharing
@@ -130,7 +130,7 @@ class RequestReport:
     he_operations: dict[str, int]
     #: slot-sharing groups (linear chunks, FHGS-shared inference batches)
     #: execute as one unit, so ``he_operations`` / ``latency_seconds`` are
-    #: joint figures for the whole group, not per-request sums — every
+    #: joint figures for the whole group, not per-request sums -- every
     #: request in the group genuinely completes at the same instant, which
     #: is why latency percentiles over one such batch coincide.
     shared_slot_batch: bool = False
@@ -219,8 +219,8 @@ class EngineShardMap:
         if num_workers < 1:
             raise ProtocolError("num_workers must be at least 1")
         self.num_workers = num_workers
-        self._assignments: dict[BatchKey, int] = {}
-        self._loads = [0] * num_workers
+        self._assignments: dict[BatchKey, int] = {}  # guarded_by: _lock
+        self._loads = [0] * num_workers  # guarded_by: _lock
         self._lock = threading.Lock()
 
     def worker_for(self, key: BatchKey) -> int:
@@ -240,23 +240,23 @@ class EngineShardMap:
 class EngineCache:
     """Bounded prepared-engine cache keyed by ``(model, variant)``.
 
-    Construction goes through the explicit plan split — ``prepare()``
+    Construction goes through the explicit plan split -- ``prepare()``
     produces the :class:`~repro.protocols.plan.OfflinePlan`, ``install()``
-    adopts it — and is guarded per key, so a prefetch on the prepare pool
+    adopts it -- and is guarded per key, so a prefetch on the prepare pool
     and a cache-miss on a shard worker cannot build the same engine twice.
 
     Three lifecycle mechanisms compose on top of that:
 
-    * **Plan persistence** — with a :class:`PlanStore`, a cold build first
+    * **Plan persistence** -- with a :class:`PlanStore`, a cold build first
       tries to *warm-start* from a stored plan (the whole offline HE
       exchange is skipped; the tracker records zero offline operations) and
       persists freshly prepared plans for the next process.
-    * **LRU eviction** — ``max_entries`` / ``max_bytes`` bound the cache;
+    * **LRU eviction** -- ``max_entries`` / ``max_bytes`` bound the cache;
       inserting over budget evicts least-recently-used entries.  Eviction
       only drops the cache's reference: a batch already executing on an
       evicted engine finishes unharmed, and the next request rebuilds (or
       warm-starts) the engine.
-    * **Generation fencing** — every build snapshots a per-key generation
+    * **Generation fencing** -- every build snapshots a per-key generation
       counter and re-checks it at insert time, so a build that was in
       flight when :meth:`invalidate_model` ran discards its stale engine
       and rebuilds against the current model instead of silently
@@ -292,24 +292,24 @@ class EngineCache:
         self._max_entries = max_entries
         self._max_bytes = max_bytes
         #: insertion/recency-ordered: the first entry is the eviction victim
-        self._entries: OrderedDict[BatchKey, EngineEntry] = OrderedDict()
-        self._pending_plans: dict[BatchKey, Future] = {}
-        self._locks: dict[BatchKey, threading.Lock] = {}
-        self._generations: dict[BatchKey, int] = {}
-        self._plan_bytes = 0
-        self._evictions = 0
-        self._invalidations = 0
-        self._warm_starts = 0
-        self._cold_builds = 0
-        self._remote_builds = 0
-        self._build_failures = 0
-        self._quarantine_rejections = 0
-        self._probe_builds = 0
-        self._prepare_fallbacks = 0
+        self._entries: OrderedDict[BatchKey, EngineEntry] = OrderedDict()  # guarded_by: _mutex
+        self._pending_plans: dict[BatchKey, Future] = {}  # guarded_by: _mutex
+        self._locks: dict[BatchKey, threading.Lock] = {}  # guarded_by: _mutex
+        self._generations: dict[BatchKey, int] = {}  # guarded_by: _mutex
+        self._plan_bytes = 0  # guarded_by: _mutex
+        self._evictions = 0  # guarded_by: _mutex
+        self._invalidations = 0  # guarded_by: _mutex
+        self._warm_starts = 0  # guarded_by: _mutex
+        self._cold_builds = 0  # guarded_by: _mutex
+        self._remote_builds = 0  # guarded_by: _mutex
+        self._build_failures = 0  # guarded_by: _mutex
+        self._quarantine_rejections = 0  # guarded_by: _mutex
+        self._probe_builds = 0  # guarded_by: _mutex
+        self._prepare_fallbacks = 0  # guarded_by: _mutex
         self._breaker_threshold = breaker_threshold
         self._breaker_cooldown = breaker_cooldown_seconds
         self._breaker_clock = breaker_clock if breaker_clock is not None else time.monotonic
-        self._breakers: dict[BatchKey, CircuitBreaker] = {}
+        self._breakers: dict[BatchKey, CircuitBreaker] = {}  # guarded_by: _mutex
         self._mutex = threading.Lock()
 
     @property
@@ -441,8 +441,8 @@ class EngineCache:
     def _evict_over_budget_locked(self, protect: BatchKey) -> None:
         """Evict LRU entries until the budgets hold (``protect`` stays).
 
-        The just-inserted entry is never the victim — even if it alone
-        exceeds ``max_bytes`` — because evicting it would make the cache
+        The just-inserted entry is never the victim -- even if it alone
+        exceeds ``max_bytes`` -- because evicting it would make the cache
         thrash on every request for that key.
         """
         def over_budget() -> bool:
@@ -488,9 +488,9 @@ class EngineCache:
         default (picklable, backend-independent) simulated backend.  A
         custom ``backend_factory`` may produce handles a revived plan
         cannot serve, so those builds stay cold.  The key fingerprints the
-        *engine's own* model — not whatever ``self._models`` currently maps
+        *engine's own* model -- not whatever ``self._models`` currently maps
         the name to, which a concurrent ``register_model`` may have
-        replaced mid-build — and uses the *effective* slot sharing the
+        replaced mid-build -- and uses the *effective* slot sharing the
         engine clamped to (plans prepared at different sharing levels pack
         different tilings).
         """
@@ -507,7 +507,7 @@ class EngineCache:
         time; if ``invalidate_model`` ran since this build snapshotted its
         generation, the engine skeleton (and thus the fingerprint) may
         belong to the replacement model while the plan belongs to the old
-        one — persisting it would poison the store and let the forced
+        one -- persisting it would poison the store and let the forced
         rebuild warm-start from exactly the stale plan the fence rejected.
         """
         if store_key is None:
@@ -589,7 +589,7 @@ class EngineCache:
             self._slot_sharing,
         )
 
-    def prefetch(self, key: BatchKey, pool: ThreadPoolExecutor) -> "Future[EngineEntry]":
+    def prefetch(self, key: BatchKey, pool: ThreadPoolExecutor) -> Future[EngineEntry]:
         """Schedule the offline preparation of ``key``'s engine on ``pool``."""
         return pool.submit(self.entry, key)
 
@@ -597,7 +597,7 @@ class EngineCache:
         """Drop cached engines built for an older model under ``name``.
 
         In-flight remote plan preparations for the old model are discarded
-        too — installing a plan whose offline shares embed the replaced
+        too -- installing a plan whose offline shares embed the replaced
         model's weights onto an engine built from the new model would
         produce silently wrong results (mask shapes alone would match).
         Builds *currently in flight* are fenced by bumping the per-key
@@ -650,14 +650,14 @@ class LinearServingPath:
     """Shared state of the slot-sharing linear path.
 
     One backend and one accounting channel serve every weight bank, so in a
-    multi-worker drain linear batches serialise on :attr:`lock` — the HE
+    multi-worker drain linear batches serialise on :attr:`lock` -- the HE
     win of the linear path is slot sharing, not thread parallelism.
 
     The path additionally caches one :class:`~repro.he.bsgs.BSGSMatmulPlan`
     per ``(bank, geometry)``: the weight bank's generalized diagonals,
     pre-transformed into NTT form once (the plan-time forward transforms
     stay unattributed, like any shared pre-processing) and reused by every
-    batch whose chunk geometry matches — the online diagonal
+    batch whose chunk geometry matches -- the online diagonal
     multiply-accumulate is then transform-free on the evaluation-resident
     backend.  Replacing a bank invalidates its plans
     (:meth:`invalidate_bank`), mirroring the engine cache's model
@@ -682,7 +682,7 @@ class LinearServingPath:
         #: LRU-bounded: chunk geometry varies with the batch's total row
         #: count, so a long-lived server with diverse workloads would
         #: otherwise accumulate plans without limit.
-        self._bsgs_plans: "OrderedDict[tuple, BSGSMatmulPlan]" = OrderedDict()
+        self._bsgs_plans: OrderedDict[tuple, BSGSMatmulPlan] = OrderedDict()  # guarded_by: lock
 
     def backend(self) -> HEBackend:
         if self._backend is None:
@@ -692,12 +692,12 @@ class LinearServingPath:
                 self._backend = SimulatedHEBackend(protocol_he_parameters())
         return self._backend
 
-    def bsgs_plan(self, name: str, weights: np.ndarray, geometry) -> BSGSMatmulPlan:
+    def bsgs_plan_locked(self, name: str, weights: np.ndarray, geometry) -> BSGSMatmulPlan:
         """The cached NTT-form diagonal plan for ``(name, geometry)``.
 
         Must be called with :attr:`lock` held (batch execution already
-        holds it).  A miss builds the plan — charging its one-off forward
-        transforms outside any request attribution — and caches it for
+        holds it).  A miss builds the plan -- charging its one-off forward
+        transforms outside any request attribution -- and caches it for
         every later batch of the same chunk geometry.
         """
         key = (name, geometry)
@@ -717,7 +717,7 @@ class LinearServingPath:
         Batch execution reads the bank *and* resolves its plan under
         :attr:`lock`, so swapping the bank and invalidating the plans in
         one critical section guarantees no batch ever pairs the new bank
-        with diagonals pre-transformed from the old one (or vice versa) —
+        with diagonals pre-transformed from the old one (or vice versa) --
         the same-shape replacement case where the geometry key alone could
         not tell the two apart.
         """
@@ -813,7 +813,7 @@ class BatchExecutor:
 
         The batch's requests execute as one unit (``engine.run_batch``), so
         cross-term ciphertexts, HE operations and latency are *joint*
-        figures for the whole group — reported per request with
+        figures for the whole group -- reported per request with
         ``shared_slot_batch=True``, exactly like the linear path's chunks.
         """
         tag = f"batch-{batch.batch_id}-shared"
@@ -860,7 +860,7 @@ class BatchExecutor:
                     None if request.deadline is None else end <= request.deadline
                 ),
             )
-            for request, result in zip(batch.requests, results)
+            for request, result in zip(batch.requests, results, strict=True)
         ]
 
     # -- shared-slot linear batches -----------------------------------------
@@ -886,7 +886,7 @@ class BatchExecutor:
             chunk: list[InferenceRequest] = []
             chunk_index = 0
             rows = 0
-            for request in batch.requests + [None]:  # None flushes the last chunk
+            for request in [*batch.requests, None]:  # None flushes the last chunk
                 if request is not None and rows + request.payload.shape[0] <= slot_count:
                     chunk.append(request)
                     rows += request.payload.shape[0]
@@ -936,7 +936,7 @@ class BatchExecutor:
             geometry = bsgs_geometry(
                 total_rows, weights.shape[0], weights.shape[1], backend.slot_count
             )
-            bsgs_plan = self.linear.bsgs_plan(batch.key.model, weights, geometry)
+            bsgs_plan = self.linear.bsgs_plan_locked(batch.key.model, weights, geometry)
         start = time.perf_counter()
         try:
             with backend.tracker.attribute(tag):
@@ -992,7 +992,7 @@ class BatchExecutor:
                     None if request.deadline is None else end <= request.deadline
                 ),
             )
-            for request, result in zip(chunk, results)
+            for request, result in zip(chunk, results, strict=True)
         ]
 
 
@@ -1008,7 +1008,7 @@ class PipelinedExecutor:
        each shard worker execute its batches in formation order.
 
     While worker 0 runs batch N's online phase, the prepare pool is already
-    producing the offline plans later batches need — the pipelining the
+    producing the offline plans later batches need -- the pipelining the
     paper's offline/online split makes possible at serving scale.
     """
 
@@ -1030,7 +1030,7 @@ class PipelinedExecutor:
         """Execute all batches; reports come back in batch-formation order.
 
         ``on_batch_complete`` fires (serialised under a lock) as each batch
-        finishes, so a caller can register completions batch by batch — an
+        finishes, so a caller can register completions batch by batch -- an
         error in one shard then cannot lose the results of batches that
         already ran, matching the serial drain's durability guarantee.
         """
@@ -1041,7 +1041,7 @@ class PipelinedExecutor:
         # cached gets its offline plan prepared ahead of time, in
         # first-appearance order (so the engine a shard needs first is
         # prepared first).  With the default backend the preparation runs in
-        # *worker processes* — the simulated-HE exchanges are GIL-bound, so
+        # *worker processes* -- the simulated-HE exchanges are GIL-bound, so
         # only separate processes truly overlap them with the parent's
         # online phases; custom backends fall back to a thread pool.
         engines = self.base.engines
@@ -1101,7 +1101,7 @@ class PipelinedExecutor:
                         errors.append(exc)
             for prefetch in prefetches:
                 # Surface engine-build failures even if no shard consumed
-                # them — except *transient* faults: the shard that needed
+                # them -- except *transient* faults: the shard that needed
                 # the engine either retried the build itself (absorbing the
                 # fault) or failed on its own and is already in ``errors``;
                 # raising here would fail a drain whose every batch

@@ -1,30 +1,30 @@
 """Deterministic fault injection + the fault-tolerance building blocks.
 
 The runtime's robustness story is *provable*, not anecdotal: every recovery
-behaviour — retries, quarantine, cold-build fallback, shard re-execution,
-kernel-tier fallback — is exercised by **deterministic induced failure**,
+behaviour -- retries, quarantine, cold-build fallback, shard re-execution,
+kernel-tier fallback -- is exercised by **deterministic induced failure**,
 never by mocks.  The pieces:
 
-* :class:`FaultRule` / :class:`FaultPlan` — a seeded, reproducible schedule
+* :class:`FaultRule` / :class:`FaultPlan` -- a seeded, reproducible schedule
   of faults.  A rule targets one named *site* and fires on explicit
   occurrence indices (``fires=(1, 3)``) and/or with a seeded Bernoulli
   ``rate``; it can **raise** a typed fault, **delay**, or **corrupt** bytes
   once.  The same ``(plan, seed)`` always produces the same fault sequence,
-  so recovery behaviour is exact and replayable — the robustness analog of
+  so recovery behaviour is exact and replayable -- the robustness analog of
   the repo's "closed form == measured" discipline.
-* :class:`FaultInjector` — evaluates a plan at runtime.  Instrumented code
+* :class:`FaultInjector` -- evaluates a plan at runtime.  Instrumented code
   calls :func:`maybe_inject` (raise/delay rules) and :func:`maybe_corrupt`
   (corruption rules) at registered sites; with no injector active both are
   near-free no-ops, so production paths pay one global read.
-* :func:`fault_scope` — a process-global ``with`` context mirroring
+* :func:`fault_scope` -- a process-global ``with`` context mirroring
   :func:`repro.he.kernels.tier_scope`.  Process-global (not thread-local)
   on purpose: faults must be visible to the drain loop, shard workers and
   prepare pools, which run on other threads than the test body.
-* :class:`CircuitBreaker` — closed → open after ``failure_threshold``
+* :class:`CircuitBreaker` -- closed → open after ``failure_threshold``
   consecutive failures → half-open probe after ``cooldown_seconds`` →
   closed on probe success.  Used per ``(model, variant)`` key by the engine
   cache's build quarantine.
-* :class:`RetryPolicy` — bounded attempts, exponential backoff with
+* :class:`RetryPolicy` -- bounded attempts, exponential backoff with
   *deterministic seeded jitter* (a hash of ``(seed, request_id, attempt)``,
   no global RNG), and a per-request ``timeout_seconds`` deadline budget
   shared across attempts.  Enforced by the async front door.
@@ -122,7 +122,7 @@ class FaultRule:
 
     A rule fires at an occurrence when the occurrence index (1-based, per
     site and kind) is in ``fires``, **or** when ``rate > 0`` and the
-    occurrence's seeded coin lands under it — capped by ``max_fires``.
+    occurrence's seeded coin lands under it -- capped by ``max_fires``.
     The coin is a pure hash of ``(plan seed, site, kind, occurrence)``, so
     the same plan replays the same schedule in any process.
 
@@ -130,7 +130,7 @@ class FaultRule:
 
     ``"raise"``
         Raise ``error(message, site=...)`` (the ``site`` keyword only for
-        :class:`~repro.errors.FaultError` subclasses — plain exception
+        :class:`~repro.errors.FaultError` subclasses -- plain exception
         types like ``OSError`` get just the message).
     ``"delay"``
         Sleep ``delay_seconds`` (timeout/backoff testing).
@@ -166,7 +166,7 @@ class FaultRule:
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """A seeded set of fault rules — the replayable failure schedule."""
+    """A seeded set of fault rules -- the replayable failure schedule."""
 
     rules: tuple[FaultRule, ...] = ()
     seed: int = 0
@@ -443,7 +443,7 @@ class RetryPolicy:
     ``max_attempts`` bounds executions per request (1 = fail on first
     error).  Backoff before attempt ``k+1`` is
     ``backoff_seconds * multiplier**(k-1)`` scaled by a seeded jitter in
-    ``[1 - jitter, 1 + jitter]`` — the jitter is a pure hash of
+    ``[1 - jitter, 1 + jitter]`` -- the jitter is a pure hash of
     ``(seed, request_id, attempt)``, so a replayed run backs off
     identically.  ``timeout_seconds`` is a *per-request* budget measured
     from first submission and shared across attempts: once exhausted, the

@@ -3,23 +3,23 @@
 :class:`~repro.runtime.serving.ServingRuntime` is strictly
 submit-then-drain: callers queue requests, then some caller runs
 ``run_pending()`` and everyone's results appear at once.  Production traffic
-does not arrive in phases — requests trickle in *while* earlier batches are
+does not arrive in phases -- requests trickle in *while* earlier batches are
 executing.  :class:`AsyncServingRuntime` closes that gap:
 
 * :meth:`AsyncServingRuntime.submit` returns immediately with a
   :class:`RequestHandle` (a future: ``result()`` blocks until the request's
   :class:`~repro.runtime.executor.RequestReport` is ready);
 * a background **drain loop** forms batches continuously under the
-  runtime's existing :class:`~repro.runtime.scheduler.SchedulingPolicy` —
+  runtime's existing :class:`~repro.runtime.scheduler.SchedulingPolicy` --
   the scheduler's queue lock (shared with ``submit``) is what makes
   concurrent submission safe, and the scheduler's fairness invariant
   (single-key batches, per-key FIFO, no head starvation) holds unchanged;
 * :meth:`close` flushes: it stops accepting submissions, drains everything
-  still queued, and joins the loop — no request is abandoned.
+  still queued, and joins the loop -- no request is abandoned.
 
 Equivalence
 -----------
-The protocol's logits are deterministic functions of the inputs — they do
+The protocol's logits are deterministic functions of the inputs -- they do
 not depend on the sharing randomness, the batch a request lands in, or the
 batch's size (``run_batch`` is bit-identical to per-request ``run``, and the
 serial/pipelined drains are bit-identical to each other).  The front door
@@ -27,7 +27,7 @@ executes every batch through the same :class:`BatchExecutor` on one loop
 thread, with per-key arrival order preserved by the scheduler, so **any**
 interleaving of submits and drains yields reports whose logits are
 bit-identical to a serial submit-all-then-``run_pending()`` pass over the
-same requests — the equivalence the test-suite asserts.
+same requests -- the equivalence the test-suite asserts.
 
 Failure isolation: an executor error fails only the handles of the batch
 that raised; the loop keeps serving later batches.
@@ -39,7 +39,7 @@ the historical behaviour exactly):
 
 * **Retry** (``retry_policy=RetryPolicy(...)``): a *retryable* executor
   fault (see :meth:`~repro.runtime.faults.RetryPolicy.retryable`) re-submits
-  the affected requests through the scheduler — same request objects, same
+  the affected requests through the scheduler -- same request objects, same
   ids, same arrival order, so attribution is preserved and the retried
   results are bit-identical to a fault-free run.  Attempts are bounded, the
   backoff is deterministic per ``(seed, request id, attempt)``, and an
@@ -54,8 +54,8 @@ the historical behaviour exactly):
 * **Admission control** (``admission=AdmissionController(...)``):
   queue-depth and inflight-bytes watermarks shed new submissions with a
   typed :class:`~repro.errors.OverloadedError` carrying a
-  ``retry_after_seconds`` hint.  Shedding happens strictly at the door —
-  the queue is never reordered — so the scheduler's per-key fairness
+  ``retry_after_seconds`` hint.  Shedding happens strictly at the door --
+  the queue is never reordered -- so the scheduler's per-key fairness
   invariant holds unchanged for every admitted request.
 
 :meth:`close(timeout=...)` that cannot stop the drain loop in time raises
@@ -89,7 +89,7 @@ class AdmissionController:
     total payload bytes of admitted-but-unresolved requests.  Either
     watermark breached sheds the submission with a typed
     :class:`~repro.errors.OverloadedError` whose ``retry_after_seconds``
-    hint scales with how far over the watermark the system is — the
+    hint scales with how far over the watermark the system is -- the
     client-visible backpressure signal.  ``None`` (default) leaves a
     dimension unbounded.
     """
@@ -111,9 +111,9 @@ class AdmissionController:
         self.max_inflight_bytes = max_inflight_bytes
         self.retry_after_seconds = retry_after_seconds
         self._lock = threading.Lock()
-        self._inflight_bytes = 0
-        self._admitted = 0
-        self._shed = 0
+        self._inflight_bytes = 0  # guarded_by: _lock
+        self._admitted = 0  # guarded_by: _lock
+        self._shed = 0  # guarded_by: _lock
 
     def admit(self, queue_depth: int, payload_bytes: int) -> None:
         """Admit one submission or shed it with an ``OverloadedError``."""
@@ -170,7 +170,7 @@ class AdmissionController:
 class RequestHandle:
     """Future-style handle of one asynchronously submitted request."""
 
-    def __init__(self, request_id: str, future: "Future[RequestReport]") -> None:
+    def __init__(self, request_id: str, future: Future[RequestReport]) -> None:
         self.request_id = request_id
         self._future = future
 
@@ -205,7 +205,7 @@ class AsyncServingRuntime:
     linger_seconds:
         How long the drain loop may hold off executing a formable batch to
         let it fill up to ``max_batch_size`` (0, the default, executes
-        eagerly — lowest latency, smallest batches).  Lingering ends early
+        eagerly -- lowest latency, smallest batches).  Lingering ends early
         the moment some key's queue depth reaches the batch size, or on
         :meth:`close`.
     retry_policy:
@@ -245,16 +245,16 @@ class AsyncServingRuntime:
         self.linger_seconds = linger_seconds
         self.retry_policy = retry_policy
         self.admission = admission
-        self._futures: dict[str, Future] = {}
+        self._futures: dict[str, Future] = {}  # guarded_by: _lock
         #: request id -> executions so far; touched only by the drain thread
         self._attempts: dict[str, int] = {}
         #: request id -> admitted payload bytes (released on resolution)
-        self._payload_bytes: dict[str, int] = {}
+        self._payload_bytes: dict[str, int] = {}  # guarded_by: _lock
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
-        self._closing = False
-        self._batches_executed = 0
-        self._retried_requests = 0
+        self._closing = False  # guarded_by: _lock
+        self._batches_executed = 0  # guarded_by: _lock
+        self._retried_requests = 0  # guarded_by: _lock
         self._drain_error: BaseException | None = None
         self._thread = threading.Thread(
             target=self._drain_loop, name="frontdoor-drain", daemon=True
@@ -272,7 +272,7 @@ class AsyncServingRuntime:
     ) -> RequestHandle:
         """Queue one full private-inference request; returns its handle.
 
-        Safe to call from any thread at any time before :meth:`close` —
+        Safe to call from any thread at any time before :meth:`close` --
         including while the drain loop is executing earlier batches.  With
         an :class:`AdmissionController`, an over-watermark submission is
         shed with :class:`~repro.errors.OverloadedError` before anything is
@@ -280,7 +280,7 @@ class AsyncServingRuntime:
         """
         payload = np.asarray(token_ids, dtype=np.int64)
         with self._wakeup:
-            self._check_open()
+            self._check_open_locked()
             self._admit(payload.nbytes)
             try:
                 request_id = self.runtime.submit(
@@ -291,7 +291,7 @@ class AsyncServingRuntime:
                 if self.admission is not None:
                     self.admission.release(payload.nbytes)
                 raise
-            handle = self._register(request_id, payload.nbytes)
+            handle = self._register_locked(request_id, payload.nbytes)
             self._wakeup.notify_all()
         return handle
 
@@ -305,7 +305,7 @@ class AsyncServingRuntime:
         """Queue one private ``X @ W`` request; returns its handle."""
         payload = np.asarray(matrix, dtype=np.int64)
         with self._wakeup:
-            self._check_open()
+            self._check_open_locked()
             self._admit(payload.nbytes)
             try:
                 request_id = self.runtime.submit_linear(
@@ -315,7 +315,7 @@ class AsyncServingRuntime:
                 if self.admission is not None:
                     self.admission.release(payload.nbytes)
                 raise
-            handle = self._register(request_id, payload.nbytes)
+            handle = self._register_locked(request_id, payload.nbytes)
             self._wakeup.notify_all()
         return handle
 
@@ -324,7 +324,8 @@ class AsyncServingRuntime:
         if self.admission is not None:
             self.admission.admit(self.runtime.scheduler.pending(), payload_bytes)
 
-    def _check_open(self) -> None:
+    def _check_open_locked(self) -> None:
+        """Reject new submissions once closing.  Caller holds ``_wakeup``."""
         if self._closing:
             raise ProtocolError("the front door is closed to new submissions")
         if not self._thread.is_alive():
@@ -335,7 +336,8 @@ class AsyncServingRuntime:
                 + (f" (died on: {self._drain_error!r})" if self._drain_error else "")
             )
 
-    def _register(self, request_id: str, payload_bytes: int = 0) -> RequestHandle:
+    def _register_locked(self, request_id: str, payload_bytes: int = 0) -> RequestHandle:
+        """Issue a handle for an admitted request.  Caller holds ``_wakeup``."""
         future: Future = Future()
         self._futures[request_id] = future
         self._payload_bytes[request_id] = payload_bytes
@@ -374,7 +376,7 @@ class AsyncServingRuntime:
 
         Normal ``close()`` drains the queue first, so there is nothing to
         abandon; this is the backstop for a drain loop killed by an
-        unexpected (non-executor) error — ``result()`` must raise, never
+        unexpected (non-executor) error -- ``result()`` must raise, never
         block forever.
         """
         with self._lock:
@@ -422,7 +424,7 @@ class AsyncServingRuntime:
             futures = [self._futures.pop(r.request_id, None) for r in reports]
             self._batches_executed += 1
             self._retried_requests += sum(1 for r in reports if r.retried)
-        for report, future in zip(reports, futures):
+        for report, future in zip(reports, futures, strict=True):
             self._release_admission(report.request_id)
             if future is not None:
                 future.set_result(report)
@@ -430,7 +432,7 @@ class AsyncServingRuntime:
     def _handle_batch_failure(self, batch: Batch, exc: Exception) -> None:
         """Classify one failed batch execution: retry, or fail the handles.
 
-        Without a retry policy — or for a non-retryable error — the batch's
+        Without a retry policy -- or for a non-retryable error -- the batch's
         handles fail immediately (wrapped in
         :class:`~repro.errors.RequestFailed`).  A retryable fault re-submits
         every request that still has attempts and deadline budget left
@@ -514,7 +516,7 @@ class AsyncServingRuntime:
 
         With a ``timeout``, a drain loop that cannot stop in time raises
         :class:`~repro.errors.ShutdownTimeout` listing the outstanding
-        request ids — after *failing* their handles with the same error, so
+        request ids -- after *failing* their handles with the same error, so
         no ``result()`` call is left blocking on work that will never
         finish.
         """
@@ -541,7 +543,7 @@ class AsyncServingRuntime:
                 f"{len(outstanding)} request(s) still in flight",
                 outstanding=outstanding,
             )
-            for request_id, future in zip(outstanding, leftovers):
+            for request_id, future in zip(outstanding, leftovers, strict=True):
                 self._release_admission(request_id)
                 future.set_exception(error)
             raise error
@@ -552,9 +554,11 @@ class AsyncServingRuntime:
 
     @property
     def closed(self) -> bool:
-        return self._closing and not self._thread.is_alive()
+        with self._lock:
+            closing = self._closing
+        return closing and not self._thread.is_alive()
 
-    def __enter__(self) -> "AsyncServingRuntime":
+    def __enter__(self) -> AsyncServingRuntime:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:

@@ -1,8 +1,8 @@
 """Request queue, batch formation and pluggable scheduling policies.
 
 The serving layer accepts many independent private-inference requests and
-groups *compatible* ones — same model, same protocol variant, same request
-kind — into batches so that they can share the expensive cryptographic
+groups *compatible* ones -- same model, same protocol variant, same request
+kind -- into batches so that they can share the expensive cryptographic
 state: one engine (keys, offline HGS/FHGS pre-processing, cached NTT
 contexts) per compatibility key, and, for linear requests, shared ciphertext
 slot space via the tokens-first layout.
@@ -12,7 +12,7 @@ slot space via the tokens-first layout.
 
 ``fifo`` (:class:`FifoPolicy`, the default)
     The head of the queue defines the next batch's key and the batch fills
-    with the oldest compatible requests — exactly the original hardcoded
+    with the oldest compatible requests -- exactly the original hardcoded
     behaviour.
 ``edf`` (:class:`DeadlinePolicy`)
     Earliest-deadline-first across keys: the most urgent queued request
@@ -40,7 +40,8 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from ..errors import ProtocolError
 
@@ -201,8 +202,8 @@ class BatchScheduler:
     """Queue that groups compatible requests into bounded batches.
 
     The batching *policy* is pluggable (see :class:`SchedulingPolicy`);
-    the fairness invariant — single-key batches, per-key FIFO order, the
-    per-key head always included — is validated here so every policy
+    the fairness invariant -- single-key batches, per-key FIFO order, the
+    per-key head always included -- is validated here so every policy
     honours it.
 
     The queue is guarded by one internal lock shared by :meth:`submit` and
@@ -210,7 +211,7 @@ class BatchScheduler:
     (Historically ``next_batch`` rebound ``self._queue`` to a filtered
     deque; a concurrent ``submit`` could append to the abandoned deque and
     the request vanished from both the drain and every later
-    ``pending_count`` — the race the async front door's continuous drain
+    ``pending_count`` -- the race the async front door's continuous drain
     loop would hit constantly.)
     """
 
@@ -224,17 +225,17 @@ class BatchScheduler:
             raise ProtocolError("max_batch_size must be at least 1")
         self.max_batch_size = max_batch_size
         self.policy = policy if policy is not None else FifoPolicy()
-        self._queue: deque[InferenceRequest] = deque()
+        self._queue: deque[InferenceRequest] = deque()  # guarded_by: _lock
         self._sequence = itertools.count()
         self._batch_ids = itertools.count()
-        self._closed = False
+        self._closed = False  # guarded_by: _lock
         #: guards the queue; reentrant so ``drain`` can call ``next_batch``
         self._lock = threading.RLock()
 
     def submit(self, request: InferenceRequest) -> InferenceRequest:
         """Enqueue a request, stamping its arrival order.
 
-        Raises :class:`~repro.errors.ProtocolError` after :meth:`close` —
+        Raises :class:`~repro.errors.ProtocolError` after :meth:`close` --
         a closed scheduler still *forms* batches (the shutdown flush) but
         silently enqueueing new work nobody will drain would drop it.
         """
@@ -251,7 +252,7 @@ class BatchScheduler:
         The retry path: the request keeps its original id, sequence stamp
         and ``submitted_at`` clock (attribution and the per-request timeout
         budget span attempts), and re-enters at the *front* so its original
-        arrival order is preserved — with its old sequence it is again the
+        arrival order is preserved -- with its old sequence it is again the
         oldest of its key, which the fairness invariant then serves first.
         Deliberately exempt from the closed check: a retried request was
         admitted before ``close()`` and is part of the shutdown flush.
@@ -267,7 +268,8 @@ class BatchScheduler:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     # -- observability -------------------------------------------------------
     def pending(self) -> int:
@@ -315,7 +317,7 @@ class BatchScheduler:
             if not self._queue:
                 return None
             taken = self.policy.select(tuple(self._queue), self.max_batch_size)
-            self._validate_selection(taken)
+            self._validate_selection_locked(taken)
             # Arrival order within the batch, regardless of selection order.
             taken = sorted(taken, key=lambda r: r.sequence)
             chosen = {id(request) for request in taken}
@@ -324,7 +326,7 @@ class BatchScheduler:
                 batch_id=next(self._batch_ids), key=taken[0].key, requests=taken
             )
 
-    def _validate_selection(self, taken: list[InferenceRequest]) -> None:
+    def _validate_selection_locked(self, taken: list[InferenceRequest]) -> None:
         policy = type(self.policy).__name__
         if not taken:
             raise ProtocolError(f"{policy} selected an empty batch")
@@ -352,7 +354,7 @@ class BatchScheduler:
 
         The whole drain happens under the queue lock: a submission that
         races it either lands before the snapshot (and is drained) or after
-        it (and is counted by the next ``pending_count``) — never neither.
+        it (and is counted by the next ``pending_count``) -- never neither.
         """
         with self._lock:
             batches = []

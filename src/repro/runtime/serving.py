@@ -5,15 +5,15 @@ module is the front door of the reproduction's *serving system*.  The actual
 machinery lives one layer down and is composed of three parts (see the
 README's "Serving architecture" section):
 
-* **plans** (:mod:`repro.protocols.plan`) — the offline phase of every
+* **plans** (:mod:`repro.protocols.plan`) -- the offline phase of every
   engine is an explicit, immutable :class:`~repro.protocols.plan.OfflinePlan`
   produced by ``prepare()`` and adopted by ``install()``;
-* **executors** (:mod:`repro.runtime.executor`) — the
+* **executors** (:mod:`repro.runtime.executor`) -- the
   :class:`~repro.runtime.executor.BatchExecutor` runs one batch with full
   per-request attribution; the
   :class:`~repro.runtime.executor.PipelinedExecutor` shards engines across
   workers and overlaps offline preparation with online execution;
-* **policies** (:mod:`repro.runtime.scheduler`) — batch formation is a
+* **policies** (:mod:`repro.runtime.scheduler`) -- batch formation is a
   pluggable :class:`~repro.runtime.scheduler.SchedulingPolicy` (FIFO
   default, earliest-deadline-first, size-aware slot packing), all bound by
   the scheduler-enforced per-key FIFO fairness invariant.
@@ -22,8 +22,8 @@ README's "Serving architecture" section):
 ``submit_linear`` queue requests, ``run_pending()`` drains serially (batch
 after batch, behaviour-identical to the pre-split runtime) and
 ``run_pending_pipelined()`` drains through the sharded pipeline.  Both paths
-produce bit-identical logits — the protocol's outputs are deterministic
-functions of the inputs regardless of the sharing randomness — which the
+produce bit-identical logits -- the protocol's outputs are deterministic
+functions of the inputs regardless of the sharing randomness -- which the
 test-suite asserts for all four Primer variants.
 """
 
@@ -33,7 +33,7 @@ import itertools
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -182,8 +182,8 @@ class ServingRuntime:
     plan_store:
         Optional :class:`~repro.protocols.planstore.PlanStore` (or a
         directory path, which is wrapped in one).  Cold engine builds
-        persist their offline plans there and later builds — including in a
-        freshly started process — *warm-start* by installing the stored
+        persist their offline plans there and later builds -- including in a
+        freshly started process -- *warm-start* by installing the stored
         plan instead of re-running the offline HE exchange.
     engine_cache_entries / engine_cache_bytes:
         LRU bounds on the engine cache: at most this many cached engines /
@@ -245,7 +245,7 @@ class ServingRuntime:
 
         Batch keys carry only the variant *name*, so two different variant
         configurations under one name would make requests run under
-        whichever registered first — an error, not a tie-break.
+        whichever registered first -- an error, not a tie-break.
         """
         existing = self._variants.setdefault(variant.name, variant)
         if existing != variant:

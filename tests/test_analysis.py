@@ -1,0 +1,606 @@
+"""Tests for the project-invariant static checker (``repro.analysis``).
+
+Each rule gets at least one true-positive fixture and one clean fixture,
+exercised through the public ``analyze(paths, root=...)`` entry point on
+throwaway trees, so the tests pin the *observable* contract (findings,
+suppressions, baselines, exit codes) rather than rule internals.
+
+The acceptance demos at the bottom mutate copies of the real
+``runtime/scheduler.py`` and ``he/ntt.py`` -- deleting a ``with
+self._lock`` / adding an eager ``%`` to the stage loop -- and assert the
+CLI exits non-zero, which is the regression the checker exists to catch.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, ParsedModule, analyze
+from repro.analysis.__main__ import main as cli_main
+from repro.analysis.core import REPO_ROOT, UNUSED_SUPPRESSION_RULE
+from repro.analysis.rules.charges import ChargePairingRule
+from repro.analysis.rules.domains import DomainDisciplineRule
+from repro.analysis.rules.faultsites import FaultSiteRegistryRule
+from repro.analysis.rules.forksafety import ForkSafetyRule
+from repro.analysis.rules.limbshape import LimbShapeRule
+from repro.analysis.rules.locks import GuardedFieldRule
+from repro.analysis.rules.rng import RngHygieneRule
+
+
+def make_tree(root: Path, files: dict[str, str]) -> Path:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+def run_rule(rule, root: Path):
+    result = analyze([root], rules=[rule], root=root)
+    return result.active
+
+
+# ---------------------------------------------------------------------------
+# RL001 -- guarded-field access
+# ---------------------------------------------------------------------------
+
+RL001_BAD = '''\
+import threading
+
+class Scheduler:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queue = []  # guarded_by: _lock
+
+    def submit(self, item):
+        self._queue.append(item)  # off-lock mutation
+'''
+
+RL001_GOOD = '''\
+import threading
+
+class Scheduler:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue = []  # guarded_by: _lock
+
+    def submit(self, item):
+        with self._lock:
+            self._queue.append(item)
+
+    def drain(self):
+        with self._wakeup:  # Condition alias acquires _lock
+            return list(self._queue)
+
+    def _pop_locked(self):
+        return self._queue.pop()  # caller-holds-lock helper
+'''
+
+
+class TestGuardedFieldRule:
+    def test_off_lock_access_flagged(self, tmp_path):
+        make_tree(tmp_path, {"runtime/scheduler.py": RL001_BAD})
+        findings = run_rule(GuardedFieldRule(), tmp_path)
+        assert [f.rule_id for f in findings] == ["RL001"]
+        assert "_queue" in findings[0].message
+        assert findings[0].path == "runtime/scheduler.py"
+
+    def test_with_lock_condition_alias_and_locked_suffix_clean(self, tmp_path):
+        make_tree(tmp_path, {"runtime/scheduler.py": RL001_GOOD})
+        assert run_rule(GuardedFieldRule(), tmp_path) == []
+
+    def test_out_of_scope_files_ignored(self, tmp_path):
+        make_tree(tmp_path, {"he/whatever.py": RL001_BAD})
+        assert run_rule(GuardedFieldRule(), tmp_path) == []
+
+
+# ---------------------------------------------------------------------------
+# RL002 -- domain discipline
+# ---------------------------------------------------------------------------
+
+RL002_BAD_STAGE = '''\
+def transform(a, stages, q):
+    for tw, tw_shoup in stages:
+        a = (a * tw) % q  # eager per-stage reduction
+    return a
+'''
+
+RL002_GOOD_STAGE = '''\
+def transform(a, stages, q, n):
+    for tw, tw_shoup in stages:
+        a = a * tw
+    for i in range(n):  # the single legal final reduction
+        a[i] = a[i] % q
+    return a
+'''
+
+RL002_BAD_COMBINE = '''\
+def add(lhs, rhs):
+    return lhs.c0 + rhs.c0, lhs.c1 + rhs.c1
+'''
+
+RL002_GOOD_COMBINE = '''\
+def add(lhs, rhs):
+    lhs, rhs = _aligned_binary(lhs, rhs)
+    return lhs.c0 + rhs.c0, lhs.c1 + rhs.c1
+'''
+
+
+class TestDomainDisciplineRule:
+    def test_mod_inside_stage_loop_flagged(self, tmp_path):
+        make_tree(tmp_path, {"he/ntt.py": RL002_BAD_STAGE})
+        findings = run_rule(DomainDisciplineRule(), tmp_path)
+        assert len(findings) == 1
+        assert "stage loop" in findings[0].message
+
+    def test_final_reduction_after_loop_clean(self, tmp_path):
+        make_tree(tmp_path, {"he/ntt.py": RL002_GOOD_STAGE})
+        assert run_rule(DomainDisciplineRule(), tmp_path) == []
+
+    def test_unaligned_combining_flagged(self, tmp_path):
+        make_tree(tmp_path, {"he/bfv.py": RL002_BAD_COMBINE})
+        findings = run_rule(DomainDisciplineRule(), tmp_path)
+        assert len(findings) == 1
+        assert "domain-aligning" in findings[0].message
+
+    def test_aligned_combining_clean(self, tmp_path):
+        make_tree(tmp_path, {"he/bfv.py": RL002_GOOD_COMBINE})
+        assert run_rule(DomainDisciplineRule(), tmp_path) == []
+
+    def test_non_he_modules_ignored(self, tmp_path):
+        make_tree(tmp_path, {"runtime/x.py": RL002_BAD_STAGE})
+        assert run_rule(DomainDisciplineRule(), tmp_path) == []
+
+
+# ---------------------------------------------------------------------------
+# RL003 -- charge pairing
+# ---------------------------------------------------------------------------
+
+RL003_BAD = '''\
+def multiply(self, ct, plain):
+    values = self.ring.mul_batch(ct.values, plain)
+    return values
+'''
+
+RL003_GOOD = '''\
+def multiply(self, ct, plain):
+    values = self.ring.mul_batch(ct.values, plain)
+    self.tracker.record_transforms(3 * self.limb_count)
+    return values
+'''
+
+
+class TestChargePairingRule:
+    def test_uncharged_transform_flagged(self, tmp_path):
+        make_tree(tmp_path, {"he/bfv.py": RL003_BAD})
+        findings = run_rule(ChargePairingRule(), tmp_path)
+        assert len(findings) == 1
+        assert "mul_batch" in findings[0].message
+
+    def test_charged_transform_clean(self, tmp_path):
+        make_tree(tmp_path, {"he/simulated.py": RL003_GOOD})
+        assert run_rule(ChargePairingRule(), tmp_path) == []
+
+    def test_ring_layer_out_of_scope(self, tmp_path):
+        # ntt.py/rns.py are deliberately charge-free.
+        make_tree(tmp_path, {"he/ntt.py": RL003_BAD})
+        assert run_rule(ChargePairingRule(), tmp_path) == []
+
+
+# ---------------------------------------------------------------------------
+# RL004 -- RNG hygiene
+# ---------------------------------------------------------------------------
+
+RL004_BAD = '''\
+import random
+import numpy as np
+
+np.random.seed(0)
+
+def sample():
+    rng = np.random.default_rng()
+    return random.random() + np.random.rand(4).sum() + rng.random()
+'''
+
+RL004_GOOD = '''\
+import numpy as np
+
+def sample(rng: np.random.Generator):
+    return rng.random()
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+'''
+
+
+class TestRngHygieneRule:
+    def test_global_rng_flagged(self, tmp_path):
+        make_tree(tmp_path, {"benchmarks/bench_x.py": RL004_BAD})
+        findings = run_rule(RngHygieneRule(), tmp_path)
+        messages = " | ".join(f.message for f in findings)
+        assert "stdlib 'random'" in messages
+        assert "np.random.seed" in messages
+        assert "np.random.rand" in messages
+        assert "unseeded" in messages
+
+    def test_seeded_generator_clean(self, tmp_path):
+        make_tree(tmp_path, {"benchmarks/bench_x.py": RL004_GOOD})
+        assert run_rule(RngHygieneRule(), tmp_path) == []
+
+    def test_tests_exempt(self, tmp_path):
+        make_tree(tmp_path, {"tests/test_x.py": RL004_BAD})
+        assert run_rule(RngHygieneRule(), tmp_path) == []
+
+
+# ---------------------------------------------------------------------------
+# RL005 -- fault-site registry
+# ---------------------------------------------------------------------------
+
+RL005_FAULTS = '''\
+SITE_KERNEL = "kernel_dispatch"
+SITE_STORE = "planstore_store"
+'''
+
+RL005_BAD = '''\
+def dispatch(injector):
+    injector.maybe_inject("kernel_dispach")  # typo'd site
+'''
+
+RL005_GOOD = '''\
+MY_SITE = "planstore_store"
+
+def dispatch(injector):
+    injector.maybe_inject("kernel_dispatch")
+    injector.maybe_inject(MY_SITE)
+'''
+
+
+class TestFaultSiteRegistryRule:
+    def test_unregistered_site_flagged(self, tmp_path):
+        make_tree(tmp_path, {
+            "runtime/faults.py": RL005_FAULTS,
+            "runtime/worker.py": RL005_BAD,
+        })
+        findings = run_rule(FaultSiteRegistryRule(), tmp_path)
+        assert len(findings) == 1
+        assert "kernel_dispach" in findings[0].message
+
+    def test_registered_literal_and_constant_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "runtime/faults.py": RL005_FAULTS,
+            "runtime/worker.py": RL005_GOOD,
+        })
+        assert run_rule(FaultSiteRegistryRule(), tmp_path) == []
+
+    def test_real_registry_resolves(self):
+        """Every hook call in the live tree names a registered site."""
+        rule = FaultSiteRegistryRule()
+        result = analyze(rules=[rule])
+        assert rule._sites, "SITE_* constants must resolve from runtime/faults.py"
+        assert result.active == []
+
+
+# ---------------------------------------------------------------------------
+# RL006 -- fork safety
+# ---------------------------------------------------------------------------
+
+RL006_BAD_IMPORT_TIME = '''\
+from concurrent.futures import ThreadPoolExecutor
+
+POOL = ThreadPoolExecutor(max_workers=4)
+'''
+
+RL006_BAD_LAZY = '''\
+from concurrent.futures import ThreadPoolExecutor
+
+_pool = None
+
+def worker_pool():
+    global _pool
+    if _pool is None:
+        _pool = ThreadPoolExecutor(max_workers=4)
+    return _pool
+'''
+
+RL006_GOOD = '''\
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_pool = None
+_pool_pid = None
+_pool_guard = threading.Lock()  # import-time module lock: allowed
+
+def worker_pool():
+    global _pool, _pool_pid
+    with _pool_guard:
+        if _pool is None or _pool_pid != os.getpid():
+            _pool = ThreadPoolExecutor(max_workers=4)
+            _pool_pid = os.getpid()
+        return _pool
+'''
+
+
+class TestForkSafetyRule:
+    def test_import_time_pool_flagged(self, tmp_path):
+        make_tree(tmp_path, {"repro/pool.py": RL006_BAD_IMPORT_TIME})
+        findings = run_rule(ForkSafetyRule(), tmp_path)
+        assert len(findings) == 1
+        assert "import time" in findings[0].message
+
+    def test_lazy_global_without_pid_key_flagged(self, tmp_path):
+        make_tree(tmp_path, {"repro/pool.py": RL006_BAD_LAZY})
+        findings = run_rule(ForkSafetyRule(), tmp_path)
+        assert len(findings) == 1
+        assert "without pid-keying" in findings[0].message
+
+    def test_pid_keyed_idiom_clean(self, tmp_path):
+        make_tree(tmp_path, {"repro/pool.py": RL006_GOOD})
+        assert run_rule(ForkSafetyRule(), tmp_path) == []
+
+
+# ---------------------------------------------------------------------------
+# RL007 -- limb-shape discipline
+# ---------------------------------------------------------------------------
+
+RL007_BAD = '''\
+def lift(values, q):
+    """Reduce limb residues.
+
+    Parameters: values is an ``(L, N)`` residue array.
+    """
+    return values[0] % q  # grabs limb 0: wrong for every multi-limb basis
+'''
+
+RL007_GOOD = '''\
+def lift(values, q_col):
+    """Reduce limb residues.
+
+    Parameters: values is an ``(L, N)`` residue array.
+    """
+    return (values * q_col).sum(axis=0)
+'''
+
+
+class TestLimbShapeRule:
+    def test_literal_axis0_on_limb_major_param_flagged(self, tmp_path):
+        make_tree(tmp_path, {"he/bfv.py": RL007_BAD})
+        findings = run_rule(LimbShapeRule(), tmp_path)
+        assert len(findings) == 1
+        assert "axis 0" in findings[0].message
+
+    def test_broadcasting_clean(self, tmp_path):
+        make_tree(tmp_path, {"he/bfv.py": RL007_GOOD})
+        assert run_rule(LimbShapeRule(), tmp_path) == []
+
+    def test_rns_module_exempt(self, tmp_path):
+        make_tree(tmp_path, {"he/rns.py": RL007_BAD})
+        assert run_rule(LimbShapeRule(), tmp_path) == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions and the RL000 meta-rule
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_inline_suppression_silences_and_is_counted(self, tmp_path):
+        source = RL004_BAD.replace(
+            "np.random.seed(0)",
+            "np.random.seed(0)  # repro-lint: disable=RL004(fixture keeps legacy seeding)",
+        )
+        make_tree(tmp_path, {"benchmarks/bench_x.py": source})
+        result = analyze([tmp_path], rules=[RngHygieneRule()], root=tmp_path)
+        assert result.suppression_count == 1
+        suppressed = result.suppressed[0]
+        assert suppressed.rule_id == "RL004"
+        assert suppressed.suppression_reason == "fixture keeps legacy seeding"
+        # the other three RL004 findings stay active
+        assert len(result.active) == 3
+
+    def test_unused_suppression_is_an_rl000_finding(self, tmp_path):
+        make_tree(tmp_path, {
+            "benchmarks/bench_x.py": (
+                "X = 1  # repro-lint: disable=RL004(nothing to silence)\n"
+            ),
+        })
+        result = analyze([tmp_path], rules=[RngHygieneRule()], root=tmp_path)
+        assert [f.rule_id for f in result.active] == [UNUSED_SUPPRESSION_RULE]
+        assert "silences nothing" in result.active[0].message
+
+    def test_suppression_example_in_docstring_is_inert(self, tmp_path):
+        # only real COMMENT tokens suppress; prose mentioning the syntax must not.
+        make_tree(tmp_path, {
+            "benchmarks/bench_x.py": (
+                '"""Use `x  # repro-lint: disable=RL004(reason)` to suppress."""\n'
+            ),
+        })
+        result = analyze([tmp_path], rules=[RngHygieneRule()], root=tmp_path)
+        assert result.active == []
+        assert result.suppression_count == 0
+
+
+# ---------------------------------------------------------------------------
+# Baseline round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_round_trip_and_no_new_findings(self, tmp_path):
+        tree = make_tree(tmp_path / "tree", {"he/ntt.py": RL002_BAD_STAGE})
+        result = analyze([tree], rules=[DomainDisciplineRule()], root=tree)
+        assert len(result.active) == 1
+
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_result(result).dump(baseline_path)
+        loaded = Baseline.load(baseline_path)
+        assert loaded.violations(result) == []
+
+        data = json.loads(baseline_path.read_text())
+        assert data["version"] == 1
+        assert data["suppression_budget"] == 0
+
+    def test_new_finding_violates_baseline(self, tmp_path):
+        tree = make_tree(tmp_path / "tree", {"he/ntt.py": RL002_BAD_STAGE})
+        rule = DomainDisciplineRule()
+        baseline = Baseline.from_result(analyze([tree], rules=[rule], root=tree))
+
+        (tree / "he" / "bfv.py").write_text(RL002_BAD_COMBINE)
+        later = analyze([tree], rules=[DomainDisciplineRule()], root=tree)
+        failures = baseline.violations(later)
+        assert len(failures) == 1
+        assert "he/bfv.py" in failures[0]
+
+    def test_fingerprints_survive_line_shifts(self, tmp_path):
+        tree = make_tree(tmp_path / "tree", {"he/ntt.py": RL002_BAD_STAGE})
+        baseline = Baseline.from_result(
+            analyze([tree], rules=[DomainDisciplineRule()], root=tree)
+        )
+        # unrelated edit above the finding moves its line number
+        (tree / "he" / "ntt.py").write_text(
+            "import numpy as np\n\nUNRELATED = 1\n\n" + RL002_BAD_STAGE
+        )
+        shifted = analyze([tree], rules=[DomainDisciplineRule()], root=tree)
+        assert baseline.violations(shifted) == []
+        assert shifted.active[0].line != 3  # it did actually move
+
+    def test_suppression_budget_overflow_fails(self, tmp_path):
+        tree = make_tree(tmp_path / "tree", {
+            "benchmarks/bench_x.py": (
+                "import numpy as np\n"
+                "np.random.seed(0)  # repro-lint: disable=RL004(legacy)\n"
+            ),
+        })
+        result = analyze([tree], rules=[RngHygieneRule()], root=tree)
+        assert result.active == [] and result.suppression_count == 1
+        tight = Baseline(fingerprints=set(), suppression_budget=0)
+        failures = tight.violations(result)
+        assert len(failures) == 1
+        assert "exceeds the committed budget" in failures[0]
+
+    def test_stale_entries_reported(self, tmp_path):
+        tree = make_tree(tmp_path / "tree", {"he/ntt.py": RL002_BAD_STAGE})
+        baseline = Baseline.from_result(
+            analyze([tree], rules=[DomainDisciplineRule()], root=tree)
+        )
+        (tree / "he" / "ntt.py").write_text(RL002_GOOD_STAGE)
+        fixed = analyze([tree], rules=[DomainDisciplineRule()], root=tree)
+        assert baseline.violations(fixed) == []
+        assert len(baseline.stale(fixed)) == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        tree = make_tree(tmp_path, {"he/ntt.py": RL002_GOOD_STAGE})
+        assert cli_main([str(tree), "--root", str(tree)]) == 0
+        assert "repro-lint OK" in capsys.readouterr().out
+
+    def test_dirty_tree_exits_one_with_rendered_finding(self, tmp_path, capsys):
+        tree = make_tree(tmp_path, {"he/ntt.py": RL002_BAD_STAGE})
+        assert cli_main([str(tree), "--root", str(tree)]) == 1
+        out = capsys.readouterr().out
+        assert "he/ntt.py:3: RL002" in out
+        assert "fix:" in out
+
+    def test_stats_json(self, tmp_path, capsys):
+        tree = make_tree(tmp_path, {"he/ntt.py": RL002_BAD_STAGE})
+        assert cli_main([str(tree), "--root", str(tree), "--stats"]) == 1
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["findings"] == 1
+        assert stats["findings_per_rule"] == {"RL002": 1}
+        assert stats["suppression_count"] == 0
+
+    def test_write_then_check_baseline(self, tmp_path, capsys):
+        tree = make_tree(tmp_path / "tree", {"he/ntt.py": RL002_BAD_STAGE})
+        baseline = tmp_path / "baseline.json"
+        assert cli_main(
+            [str(tree), "--root", str(tree), "--write-baseline", str(baseline)]
+        ) == 0
+        assert cli_main(
+            [str(tree), "--root", str(tree), "--baseline", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        tree = make_tree(tmp_path, {"he/ntt.py": RL002_GOOD_STAGE})
+        code = cli_main(
+            [str(tree), "--root", str(tree), "--baseline", str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+        capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# Acceptance demos on the real sources
+# ---------------------------------------------------------------------------
+
+SCHEDULER = REPO_ROOT / "src" / "repro" / "runtime" / "scheduler.py"
+NTT = REPO_ROOT / "src" / "repro" / "he" / "ntt.py"
+
+
+class TestAcceptanceDemos:
+    def test_pristine_copies_pass(self, tmp_path, capsys):
+        make_tree(tmp_path, {
+            "runtime/scheduler.py": SCHEDULER.read_text(),
+            "he/ntt.py": NTT.read_text(),
+        })
+        assert cli_main([str(tmp_path), "--root", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+    def test_deleting_scheduler_lock_fails_the_checker(self, tmp_path, capsys):
+        source = SCHEDULER.read_text()
+        guarded_read = "        with self._lock:\n            return self._closed"
+        assert source.count(guarded_read) == 1, "scheduler.closed idiom moved"
+        mutated = source.replace(guarded_read, "        return self._closed")
+        make_tree(tmp_path, {"runtime/scheduler.py": mutated})
+        assert cli_main([str(tmp_path), "--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RL001" in out and "_closed" in out
+
+    def test_eager_mod_in_ntt_stage_loop_fails_the_checker(self, tmp_path, capsys):
+        source = NTT.read_text()
+        tail = "            a = out.reshape(batch, n)\n            length *= 2"
+        assert source.count(tail) == 1, "ntt stage-loop tail moved"
+        mutated = source.replace(
+            tail,
+            "            a = out.reshape(batch, n) % two_q\n            length *= 2",
+        )
+        make_tree(tmp_path, {"he/ntt.py": mutated})
+        assert cli_main([str(tmp_path), "--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RL002" in out and "stage loop" in out
+
+
+# ---------------------------------------------------------------------------
+# Live-tree meta-tests
+# ---------------------------------------------------------------------------
+
+HOT_PATH_FILES = (
+    "src/repro/he/ntt.py",
+    "src/repro/he/kernels.py",
+    "src/repro/he/rns.py",
+    "src/repro/runtime/scheduler.py",
+)
+
+
+class TestLiveTree:
+    def test_tree_is_clean_modulo_committed_baseline(self):
+        baseline_path = REPO_ROOT / ".repro-lint-baseline.json"
+        assert baseline_path.exists(), "commit .repro-lint-baseline.json"
+        baseline = Baseline.load(baseline_path)
+        result = analyze()
+        assert baseline.violations(result) == []
+
+    @pytest.mark.parametrize("rel", HOT_PATH_FILES)
+    def test_hot_path_files_carry_zero_suppressions(self, rel):
+        module = ParsedModule.parse(REPO_ROOT / rel)
+        assert module.suppressions == {}, f"{rel} must stay suppression-free"

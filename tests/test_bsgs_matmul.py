@@ -2,14 +2,14 @@
 
 The kernel claims three things, each pinned here:
 
-* **correctness** — for any shape (odd dimensions, zero columns, multiple
+* **correctness** -- for any shape (odd dimensions, zero columns, multiple
   ciphertexts) the decrypted result is bit-identical to the legacy rotation
   loop in both layouts *and* to the plaintext product mod ``t``;
-* **rotation minimality** — the tracker-measured rotation count equals the
+* **rotation minimality** -- the tracker-measured rotation count equals the
   closed form of :func:`repro.he.packing.bsgs_rotation_count` for dense
   weights and never exceeds the paper-facing ``2*sqrt(d_in) + sqrt(d_out)``
   bound per input ciphertext;
-* **batch hoisting** — a whole batch of requests shares one set of hoisted
+* **batch hoisting** -- a whole batch of requests shares one set of hoisted
   baby-step rotations, so the rotation count is independent of batch size.
 """
 
@@ -167,7 +167,7 @@ class TestBatchHoisting:
             backend.tracker.reset()
             results = bsgs_batch_matmul(backend, matrices, w)
             counts.append(backend.tracker.count("he_rotate"))
-            for m, out in zip(matrices, results):
+            for m, out in zip(matrices, results, strict=True):
                 assert np.array_equal(out, (m @ w) % backend.plaintext_modulus)
         # The stacked token axis shares every hoisted baby step and giant
         # accumulator: same rotation count for 1, 2 and 4 requests.

@@ -4,10 +4,10 @@ Covers the two races the async front door exposed, plus the bounded-cache
 behaviour:
 
 * ``EngineCache.invalidate_model`` vs an in-flight ``prefetch()``/``entry()``
-  build — the build used to re-insert a stale-model engine after the
+  build -- the build used to re-insert a stale-model engine after the
   invalidation returned; the per-key generation fence now discards it and
   rebuilds against the current model.
-* ``BatchScheduler.submit`` vs a concurrent drain — ``next_batch`` rebinds
+* ``BatchScheduler.submit`` vs a concurrent drain -- ``next_batch`` rebinds
   the queue deque, and an unlocked submit could append to the abandoned
   deque and vanish.
 * LRU eviction: entry/byte budgets, recency order, and eviction while a
@@ -77,8 +77,8 @@ class TestInvalidateVersusInflightBuild:
             future = cache.prefetch(key, pool)
             assert build_started.wait(timeout=30)
             # The build is paused inside the old model's offline phase.
-            # Replace the model — this invalidates, bumping the key's
-            # generation — and only then let the build finish.
+            # Replace the model -- this invalidates, bumping the key's
+            # generation -- and only then let the build finish.
             runtime.register_model("m", model_b)
             release_build.set()
             entry = future.result(timeout=120)
@@ -103,7 +103,7 @@ class TestInvalidateVersusInflightBuild:
     ):
         """Regression: a remotely prepared plan adopted *after* the model
         was replaced must not be persisted under the new model's
-        fingerprint — the forced rebuild (and any future process) would
+        fingerprint -- the forced rebuild (and any future process) would
         warm-start from the stale plan and serve wrong logits."""
         from concurrent.futures import Future
 
@@ -121,7 +121,7 @@ class TestInvalidateVersusInflightBuild:
         cache.adopt_plan_future(key, future)
 
         # Freeze the build between popping the pending plan and building
-        # the engine skeleton — the window in which register_model swaps
+        # the engine skeleton -- the window in which register_model swaps
         # the model, so the skeleton (and store fingerprint) would belong
         # to model_b while the plan belongs to model_a.
         skeleton_reached = threading.Event()
@@ -310,7 +310,7 @@ class TestSchedulerQueueLock:
 
     def test_submit_during_pipelined_drain_is_accounted(self, model_a):
         """A submit racing ``run_pending_pipelined`` either joins that drain
-        or stays queued for the next one — it never disappears."""
+        or stays queued for the next one -- it never disappears."""
         rng = np.random.default_rng(2)
         runtime = ServingRuntime({"a": model_a}, seed=5, num_workers=2)
         runtime.engine_for("a")  # keep the drain window tight
@@ -330,7 +330,7 @@ class TestSchedulerQueueLock:
         drained_ids = {r.request_id for r in reports}
         assert first in drained_ids
         # Conservation: every late submit is either in this drain's reports
-        # or still pending — dropped-from-both is the bug this guards.
+        # or still pending -- dropped-from-both is the bug this guards.
         assert runtime.scheduler.pending() == len(set(late_ids) - drained_ids)
         leftover = runtime.run_pending()
         assert drained_ids | {r.request_id for r in leftover} == {first, *late_ids}

@@ -2,18 +2,18 @@
 
 The residency layer claims four things, each pinned here:
 
-* **exactness** — the NTT is a linear bijection of ``Z_q^N``, so COEFF and
+* **exactness** -- the NTT is a linear bijection of ``Z_q^N``, so COEFF and
   EVAL execution decrypt bit-identically: per primitive on the exact
   backend, and end to end (logits) for all four Primer variants including
   FHGS slot-shared batches and the serving drains;
-* **conversion round trips** — ``to_eval_batch`` / ``to_coeff_batch`` are
+* **conversion round trips** -- ``to_eval_batch`` / ``to_coeff_batch`` are
   inverse maps for every ``(N, q)`` the parameter families produce
   (hypothesis property);
-* **transform economy** — the tracker-measured ``ntt_forward`` /
+* **transform economy** -- the tracker-measured ``ntt_forward`` /
   ``ntt_inverse`` counts of the BSGS linear path equal the closed forms in
   :mod:`repro.he.packing` exactly (EVAL *and* COEFF sides), with the
   EVAL-resident path at least 3x cheaper;
-* **measured-cost split** — a :class:`repro.he.bsgs.BSGSCosts`-driven
+* **measured-cost split** -- a :class:`repro.he.bsgs.BSGSCosts`-driven
   baby/giant split never issues more rotations than the closed-form split.
 """
 
@@ -155,7 +155,7 @@ class TestExactBackendEquivalence:
         co.decrypt(h2)
         assert co.tracker.transform_counts() == {NTT_FORWARD: 1, NTT_INVERSE: 1}
         # Rotations, scalar products and additions are transform-free in
-        # both domains — the "rotations are not domain boundaries" claim.
+        # both domains -- the "rotations are not domain boundaries" claim.
         for backend, handle in ((ev, h), (co, h2)):
             backend.tracker.reset()
             backend.add(backend.mul_scalar(backend.rotate(handle, 2), 3), handle)
@@ -204,7 +204,7 @@ class TestSimulatedTransformModel:
             assert sim.tracker.transform_counts() == exact.tracker.transform_counts()
 
     def test_pre_transformed_plain_on_coeff_handle_matches_exact_charges(self):
-        """COEFF ct × EvalPlain converts the ciphertext up, like BFVContext."""
+        """COEFF ct x EvalPlain converts the ciphertext up, like BFVContext."""
         sim = SimulatedHEBackend(toy_parameters(64), eval_residency=False)
         handle = sim.encrypt(np.arange(8))
         pre = sim.encode_plain_eval(np.arange(8))
@@ -384,7 +384,7 @@ class TestEndToEndEquivalence:
         )
         baseline = drain(None, pipelined=False)
         for factory, pipelined in ((coeff_factory, False), (None, True), (coeff_factory, True)):
-            for got, expected in zip(drain(factory, pipelined), baseline):
+            for got, expected in zip(drain(factory, pipelined), baseline, strict=True):
                 assert np.array_equal(got, expected)
 
 

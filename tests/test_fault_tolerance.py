@@ -4,7 +4,7 @@ The acceptance bar from the issue: under a deterministic
 :class:`~repro.runtime.faults.FaultPlan` injecting transient faults at every
 registered site, all submitted requests either complete with logits
 bit-identical to the fault-free run (retries) or fail with typed errors
-carrying retry hints (shedding / quarantine) — zero hangs, zero silently
+carrying retry hints (shedding / quarantine) -- zero hangs, zero silently
 dropped handles, verified by a conservation check
 (``submitted == completed + typed-failed``).
 
@@ -96,7 +96,7 @@ def fault_free_logits(small_model, workload):
     runtime.run_pending()
     return {
         tokens.tobytes(): runtime.result(rid).result
-        for tokens, rid in zip(workload, ids)
+        for tokens, rid in zip(workload, ids, strict=True)
     }
 
 
@@ -330,7 +330,7 @@ class TestRetryPath:
         assert retried, "the injected fault must have forced at least one retry"
         for report in retried:
             assert report.attempts == 2
-        for tokens, report in zip(workload, reports):
+        for tokens, report in zip(workload, reports, strict=True):
             assert np.array_equal(report.result, fault_free_logits[tokens.tobytes()])
         stats = summarize(reports)
         assert stats.retried_requests == len(retried)
@@ -541,7 +541,7 @@ class TestEngineQuarantine:
         self, small_model, workload
     ):
         """Satellite: a failed build must not cache anything or wedge the
-        per-key lock — the next entry() builds cleanly."""
+        per-key lock -- the next entry() builds cleanly."""
         clock = [0.0]
         runtime = self._runtime(small_model, clock)
         engines = runtime.executor.engines
@@ -662,7 +662,7 @@ class TestPlanStoreFaults:
         with fault_scope(FaultPlan(rules=rules, seed=SEED)):
             store.store(key, plan)  # failure 1
             store.store(key, plan)  # success: the streak resets
-            store.store(key, plan)  # failure 1 again — not 2
+            store.store(key, plan)  # failure 1 again -- not 2
         assert not store.disabled
         assert store.stats().io_errors == 2
 
@@ -685,7 +685,7 @@ class TestWorkerShardFallback:
         degraded = [r for r in reports if r.degraded]
         assert degraded, "the faulted shard batch must be marked degraded"
         assert all(r.worker is None for r in degraded)  # re-run serially
-        for rid, tokens in zip(ids, workload[:4]):
+        for rid, tokens in zip(ids, workload[:4], strict=True):
             assert np.array_equal(
                 runtime.result(rid).result, fault_free_logits[tokens.tobytes()]
             )
@@ -798,7 +798,7 @@ class TestErrorPaths:
                 # must not touch the resolved futures.
                 requests = [_request(h.request_id) for h in handles]
                 door._fail_requests(requests, ProtocolError("second pass"))
-                for handle, failure in zip(handles, failures):
+                for handle, failure in zip(handles, failures, strict=True):
                     assert handle.exception(timeout=1) is failure
 
     def test_close_timeout_raises_shutdown_timeout_with_outstanding_ids(
@@ -834,7 +834,7 @@ class TestConservationUnderFaultsEverywhere:
     ):
         """The issue's acceptance check: transient faults scheduled at every
         registered site; every submitted request either completes with
-        fault-free logits or fails typed — and the counts conserve."""
+        fault-free logits or fails typed -- and the counts conserve."""
         rules = tuple(
             FaultRule(site=site, rate=0.25, max_fires=2) for site in ALL_SITES
         )
@@ -849,8 +849,8 @@ class TestConservationUnderFaultsEverywhere:
                 plan_store=PlanStore(tmp_path),
             ) as door:
                 handles = [door.submit("tiny", tokens) for tokens in workload]
-            # close() returned: zero hangs — every handle must be resolved.
-            for tokens, handle in zip(workload, handles):
+            # close() returned: zero hangs -- every handle must be resolved.
+            for tokens, handle in zip(workload, handles, strict=True):
                 assert handle.done(), f"{handle.request_id} was dropped"
                 error = handle.exception(timeout=1)
                 if error is None:
@@ -882,7 +882,7 @@ class TestConservationUnderFaultsEverywhere:
                 assert isinstance(exc, (TransientFault, EngineQuarantined))
             else:
                 assert {r.request_id for r in reports} == set(ids)
-                for rid, tokens in zip(ids, workload[:4]):
+                for rid, tokens in zip(ids, workload[:4], strict=True):
                     assert np.array_equal(
                         runtime.result(rid).result,
                         fault_free_logits[tokens.tobytes()],

@@ -2,7 +2,7 @@
 
 The ROADMAP item this closes: a ``k``-request serving batch's attention is
 block-diagonal over requests, so the FHGS online cross terms pack into
-*shared* ciphertext slots — request ``r`` occupies slot block ``r`` — and
+*shared* ciphertext slots -- request ``r`` occupies slot block ``r`` -- and
 the batch ships ``~1/k`` the cross-term ciphertexts.  Pinned here:
 
 * bit-identical reconstruction against per-request ``online()`` in all
@@ -87,7 +87,7 @@ class TestModuleLevel:
             [sharing.share(right) for _, right in pairs],
         )
         assert len(outs) == k
-        for (left, right), out in zip(pairs, outs):
+        for (left, right), out in zip(pairs, outs, strict=True):
             assert np.array_equal(out.reconstruct(), expect(left, right))
 
     @pytest.mark.parametrize("mode", ["plain", "middle", "right"])
@@ -117,7 +117,7 @@ class TestModuleLevel:
             [sharing.share(left) for left, _ in pairs],
             [sharing.share(right) for _, right in pairs],
         )
-        for (left, right), out in zip(pairs, outs):
+        for (left, right), out in zip(pairs, outs, strict=True):
             assert np.array_equal(out.reconstruct(), expect(left, right))
 
     def test_untiled_plan_falls_back_to_per_request(self, rng):
@@ -129,7 +129,7 @@ class TestModuleLevel:
             [sharing.share(left) for left, _ in pairs],
             [sharing.share(right) for _, right in pairs],
         )
-        for (left, right), out in zip(pairs, outs):
+        for (left, right), out in zip(pairs, outs, strict=True):
             assert np.array_equal(out.reconstruct(), expect(left, right))
         # Per-request fallback ships one cross-term set per request.
         assert sum(
@@ -170,7 +170,7 @@ class TestHGSBatch:
         layer.offline()
         inputs = [rng.integers(0, 300, size=(4, 6)) for _ in range(3)]
         batched = layer.online_batch([sharing.share(x) for x in inputs])
-        for x, out in zip(inputs, batched):
+        for x, out in zip(inputs, batched, strict=True):
             expected = layer.online(sharing.share(x)).reconstruct()
             assert np.array_equal(out.reconstruct(), expected)
 
@@ -187,7 +187,7 @@ class TestEngineAndRuntime:
         solo = PrivateTransformerInference(tiny_model, PRIMER_FPC, seed=13)
         solo.offline()
         batch_results = shared.run_batch(tokens)
-        for token_ids, result in zip(tokens, batch_results):
+        for token_ids, result in zip(tokens, batch_results, strict=True):
             expected = solo.run(token_ids)
             assert np.array_equal(result.logits, expected.logits)
             assert result.prediction == expected.prediction
@@ -227,7 +227,7 @@ class TestEngineAndRuntime:
         assert not any(r.shared_slot_batch for r in solo_reports)
         assert solo_bytes == 4 * shared_bytes
         expected, _ = run_sequential_baseline(tiny_model, tokens, seed=99)
-        for report, logits in zip(shared_reports, expected):
+        for report, logits in zip(shared_reports, expected, strict=True):
             assert np.array_equal(report.result, logits)
 
     def test_shared_batch_reports_stay_reconciled(self, tiny_model):

@@ -50,14 +50,14 @@ def serial_expected(small_model, workload):
     tokens, variants = workload
     runtime = ServingRuntime({"tiny": small_model}, max_batch_size=4, seed=21)
     ids = [
-        runtime.submit("tiny", t, variant=v) for t, v in zip(tokens, variants)
+        runtime.submit("tiny", t, variant=v) for t, v in zip(tokens, variants, strict=True)
     ]
     runtime.run_pending()
     reports = [runtime.result(rid) for rid in ids]
     by_id = {r.request_id: r for r in reports}
     by_payload = {
         (t.tobytes(), v.name): r.result
-        for t, v, r in zip(tokens, variants, reports)
+        for t, v, r in zip(tokens, variants, reports, strict=True)
     }
     return by_id, by_payload
 
@@ -77,11 +77,11 @@ class TestFrontDoorEquivalence:
         by_id, _ = serial_expected
         with _door(small_model) as door:
             handles = []
-            for t, v in zip(tokens, variants):
+            for t, v in zip(tokens, variants, strict=True):
                 handles.append(door.submit("tiny", t, variant=v))
                 # Let the drain loop race ahead between submissions, so
                 # some requests are picked up while others are still
-                # arriving — the interleaving the serial API forbids.
+                # arriving -- the interleaving the serial API forbids.
                 time.sleep(0.02)
             reports = [handle.result(timeout=120) for handle in handles]
         for report in reports:
@@ -131,7 +131,7 @@ class TestFrontDoorEquivalence:
         by_id, _ = serial_expected
         door = _door(small_model)
         handles = [
-            door.submit("tiny", t, variant=v) for t, v in zip(tokens, variants)
+            door.submit("tiny", t, variant=v) for t, v in zip(tokens, variants, strict=True)
         ]
         door.close()
         assert door.closed
@@ -197,7 +197,7 @@ class TestFrontDoorLifecycle:
     ):
         """If the loop dies on a non-executor error (e.g. a buggy policy
         raising inside batch formation), pending handles resolve with the
-        error and later submits are rejected — nothing blocks forever."""
+        error and later submits are rejected -- nothing blocks forever."""
         rng = np.random.default_rng(9)
         door = _door(small_model)
 

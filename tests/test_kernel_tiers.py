@@ -3,7 +3,7 @@
 The kernel tier moves the NTT butterflies and the BSGS inner loop into
 compiled (and optionally multicore / numba-jitted) implementations behind
 :mod:`repro.he.kernels`.  The whole contract is *bit-identity*: every tier
-must produce exactly the arrays the ``reference`` numpy path produces —
+must produce exactly the arrays the ``reference`` numpy path produces --
 per primitive (forward/inverse NTT, pointwise multiply, fused accumulate)
 across every modulus the parameter families generate, and end to end
 (serving logits, tracker-measured transform and rotation counts).  The
@@ -106,7 +106,7 @@ class TestBitIdentity:
 
         got = run(tier)
         want = run("reference")
-        for a, b in zip(got, want):
+        for a, b in zip(got, want, strict=True):
             assert np.array_equal(a, b), (tier, limbs)
 
     @pytest.mark.parametrize("tier", TIERS)
@@ -156,7 +156,7 @@ class TestEndToEndServing:
             runtime.run_pending()
             results = [runtime.result(rid).result for rid in ids]
         t = params.plaintext_modulus
-        for m, got in zip(matrices, results):
+        for m, got in zip(matrices, results, strict=True):
             assert np.array_equal(got, (m @ weights) % t)
         return (
             results,
@@ -174,7 +174,7 @@ class TestEndToEndServing:
         )
         ref_results, ref_transforms, ref_rotations = self._serve(params, "reference")
         results, transforms, rotations = self._serve(params, tier)
-        for a, b in zip(results, ref_results):
+        for a, b in zip(results, ref_results, strict=True):
             assert np.array_equal(a, b)
         assert transforms == ref_transforms
         assert rotations == ref_rotations
@@ -196,7 +196,7 @@ class TestEndToEndServing:
                     for m in masks
                 ]
                 backend.tracker.reset()
-                out = backend.fused_mul_accumulate(list(zip(handles, operands)))
+                out = backend.fused_mul_accumulate(list(zip(handles, operands, strict=True)))
             return out, backend.tracker.snapshot(), backend.tracker.transforms()
 
         for pre in (False, True):

@@ -169,7 +169,7 @@ class TestCircuits:
     def test_free_xor_has_no_tables(self):
         builder = CircuitBuilder(word_bits=4)
         a, b = builder.input_word(), builder.input_word()
-        builder.mark_output([builder.gate_xor(x, y) for x, y in zip(a, b)])
+        builder.mark_output([builder.gate_xor(x, y) for x, y in zip(a, b, strict=True)])
         garbled = Garbler(seed=6).garble(builder.circuit)
         assert garbled.table_bytes == 0
 

@@ -10,6 +10,8 @@ both HE backends.
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -165,7 +167,7 @@ class TestRotationVectorization:
 def _eager_transform(coeffs: np.ndarray, n: int, q: int, *, inverse: bool) -> np.ndarray:
     """The pre-Shoup eagerly reduced transform, rebuilt from first principles.
 
-    Every butterfly stage reduces with ``% q`` after every multiply — the
+    Every butterfly stage reduces with ``% q`` after every multiply -- the
     implementation the lazy-reduction rewrite must stay bit-identical to.
     Tables are derived independently of :class:`NTTContext`.
     """
@@ -213,7 +215,7 @@ class TestLazyReductionEquivalence:
     """The Shoup/lazy-reduction stage loop is bit-identical to eager % q."""
 
     #: every (N, q) pair params.py can produce (all four parameter families)
-    PARAMS_MODULI = [
+    PARAMS_MODULI: ClassVar[list[tuple[str, object]]] = [
         ("toy", toy_parameters(64)),
         ("toy-256", toy_parameters(256)),
         ("test", midsize_parameters(256)),
@@ -321,7 +323,7 @@ class TestBackendBatchEquivalence:
         vectors = [rng.integers(0, t, size=size) for size in (1, 5, 16, 40)]
         handles = backend.encrypt_batch(vectors)
         decrypted = backend.decrypt_batch(handles)
-        for values, got in zip(vectors, decrypted):
+        for values, got in zip(vectors, decrypted, strict=True):
             assert np.array_equal(got[: values.size], values % t)
 
     def test_batch_matches_sequential_on_exact_backend(self, rng):
@@ -331,7 +333,7 @@ class TestBackendBatchEquivalence:
         vectors = [rng.integers(0, 1 << 15, size=30) for _ in range(6)]
         batched = batch_backend.decrypt_batch(batch_backend.encrypt_batch(vectors))
         looped = [loop_backend.decrypt(loop_backend.encrypt(v)) for v in vectors]
-        for got, expected in zip(batched, looped):
+        for got, expected in zip(batched, looped, strict=True):
             assert np.array_equal(got, expected)
 
     def test_batch_accounting_counts_every_ciphertext(self):

@@ -2,7 +2,7 @@
 
 The acceptance bar from the issue: a warm-started engine produces
 bit-identical logits to a cold-built one, and its tracker shows **zero
-offline HE operations** — the whole offline exchange is replaced by reading
+offline HE operations** -- the whole offline exchange is replaced by reading
 the stored :class:`~repro.protocols.plan.OfflinePlan` from disk.
 """
 
@@ -196,7 +196,7 @@ class TestEngineCacheWarmStart:
             warm.submit("tiny", t)
         warm_reports = warm.run_pending()
         assert warm.engine_cache.stats().warm_starts == 1
-        for cold_report, warm_report in zip(cold_reports, warm_reports):
+        for cold_report, warm_report in zip(cold_reports, warm_reports, strict=True):
             assert np.array_equal(cold_report.result, warm_report.result)
 
     def test_variant_and_prepare_seconds_reflect_warm_start(

@@ -56,7 +56,7 @@ class TestPrivateInference:
         primer-base, primer-f and primer-fp must produce bit-identical
         logits.  CHGS merges adjacent products (its intermediates carry 3f
         fractional bits before truncation), so primer-fpc is held to the
-        fixed-point resolution instead — and the decoded prediction must
+        fixed-point resolution instead -- and the decoded prediction must
         agree across all four.
         """
         predictions = {name: r.prediction for name, r in variant_results.items()}

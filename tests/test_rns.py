@@ -5,10 +5,10 @@ The RNS refactor has three claims worth independent evidence:
 
 1. the CRT map is an exact ring isomorphism (``compose(decompose(x)) == x``
    and limb-wise products agree with big-int negacyclic products mod ``Q``);
-2. a one-limb basis *is* the historical single-modulus scheme — same RNG
+2. a one-limb basis *is* the historical single-modulus scheme -- same RNG
    stream, same ciphertexts, same decryptions, checked here against a
    by-hand big-int reference built from :class:`PolynomialRing` directly;
-3. a >=60-bit two-limb basis — illegal under the old 30-bit ceiling — runs
+3. a >=60-bit two-limb basis -- illegal under the old 30-bit ceiling -- runs
    end to end on the exact backend with tracker-measured transform counts
    exactly equal to the limb-scaled closed forms.
 
@@ -48,7 +48,7 @@ from repro.runtime import ServingRuntime
 #: Three 30-bit NTT-friendly limbs for a small test ring.
 PRIMES_3 = find_rns_primes(30, 64, 3)
 
-#: A 32-bit prime that IS NTT-friendly for N = 64 (q ≡ 1 mod 128) — the
+#: A 32-bit prime that IS NTT-friendly for N = 64 (q ≡ 1 mod 128) -- the
 #: exact shape of modulus whose pointwise products silently wrapped int64
 #: before the explicit polyring guard.
 PRIME_32BIT_NTT_FRIENDLY = 4294966657
@@ -89,7 +89,7 @@ class TestCRTBijection:
     def test_decompose_is_residue_per_limb(self, x):
         basis = RNSBasis(PRIMES_3)
         limbs = basis.decompose(np.array([x], dtype=object))
-        for row, q in zip(limbs, basis.primes):
+        for row, q in zip(limbs, basis.primes, strict=True):
             assert int(row[0]) == x % q
 
     def test_negative_inputs_land_on_canonical_residues(self):
@@ -155,7 +155,7 @@ class TestParameterValidation:
 
     def test_pre_rns_mersenne_modulus_rejected(self):
         """Regression: the old protocol parameters used a 61-bit Mersenne
-        modulus that no exact-backend path can represent — pre-fix it was
+        modulus that no exact-backend path can represent -- pre-fix it was
         accepted at construction and overflowed int64 downstream."""
         with pytest.raises(ParameterError, match="lazy-reduction NTT bound"):
             BFVParameters(
@@ -306,7 +306,7 @@ class TestSingleLimbMatchesSingleModulusPath:
     def test_one_limb_rns_ring_matches_plain_polynomial_ring(self):
         """The one-limb RNS ring consumes the RNG stream exactly like the
         historical single-modulus ``PolynomialRing`` and computes the same
-        products — the refactor cannot have changed any 1-limb ciphertext."""
+        products -- the refactor cannot have changed any 1-limb ciphertext."""
         q = find_ntt_prime(29, 64)
         plain_ring = PolynomialRing(degree=64, modulus=q)
         rns_ring = RNSPolynomialRing(degree=64, basis=RNSBasis((q,)))
@@ -362,7 +362,7 @@ class TestTwoLimbEndToEnd:
     def test_serving_linear_path_transform_counts_are_limb_scaled(self):
         """End-to-end serving on the exact backend with two limbs: results
         exact, and tracker transforms equal the limb-scaled closed form
-        ``(3 * input_cts + output_cts) * L`` — the accounting model's
+        ``(3 * input_cts + output_cts) * L`` -- the accounting model's
         ``he_ntt_transforms`` formula."""
         rng = np.random.default_rng(13)
         weights = rng.integers(0, 7, size=(16, 4))
@@ -375,7 +375,7 @@ class TestTwoLimbEndToEnd:
             ids = [runtime.submit_linear("proj", m) for m in matrices]
             runtime.run_pending()
             t = backend.plaintext_modulus
-            for m, rid in zip(matrices, ids):
+            for m, rid in zip(matrices, ids, strict=True):
                 assert np.array_equal(
                     runtime.result(rid).result, (m @ weights) % t
                 )

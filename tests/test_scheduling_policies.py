@@ -83,7 +83,7 @@ def _assert_fairness(scheduler: BatchScheduler, *, strict_fifo: bool) -> None:
     once.  ``strict_fifo`` policies (FIFO, EDF) additionally serve each
     key's requests in exact arrival order; the size-aware policy may pack a
     smaller, younger request ahead of one that did not fit the slot
-    capacity — but never ahead of the per-key head, which the head check
+    capacity -- but never ahead of the per-key head, which the head check
     below covers for every formed batch.
     """
     submitted = list(scheduler._queue)  # inspected before draining
@@ -208,7 +208,7 @@ class TestPipelinedEquivalence:
         assert [r.request_id for r in serial_reports] == [
             r.request_id for r in pipelined_reports
         ]
-        for serial_report, pipelined_report in zip(serial_reports, pipelined_reports):
+        for serial_report, pipelined_report in zip(serial_reports, pipelined_reports, strict=True):
             assert np.array_equal(serial_report.result, pipelined_report.result)
             assert serial_report.prediction == pipelined_report.prediction
         # All four variants actually ran.
@@ -247,7 +247,7 @@ class TestPipelinedEquivalence:
                 return runtime.run_pending_pipelined()
             return runtime.run_pending()
 
-        for serial_report, pipelined_report in zip(run(False), run(True)):
+        for serial_report, pipelined_report in zip(run(False), run(True), strict=True):
             assert serial_report.online_bytes == pipelined_report.online_bytes
             assert serial_report.online_rounds == pipelined_report.online_rounds
             assert serial_report.he_operations == pipelined_report.he_operations

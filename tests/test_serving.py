@@ -109,7 +109,7 @@ class TestServingRuntime:
         """Batch execution must be bit-identical to engine-per-request runs."""
         runtime, tokens, ids, reports = served
         solo_logits, _ = run_sequential_baseline(tiny_model, tokens[:4], seed=999)
-        for rid, expected in zip(ids[:4], solo_logits):
+        for rid, expected in zip(ids[:4], solo_logits, strict=True):
             report = runtime.result(rid)
             assert np.array_equal(report.result, expected), rid
             assert report.prediction == int(np.argmax(expected))
@@ -188,7 +188,7 @@ class TestLinearServing:
         ids = [runtime.submit_linear("proj", m) for m in matrices]
         reports = runtime.run_pending()
         t = make_backend().plaintext_modulus
-        for m, rid in zip(matrices, ids):
+        for m, rid in zip(matrices, ids, strict=True):
             report = runtime.result(rid)
             assert np.array_equal(report.result, (m @ weights) % t)
             assert report.shared_slot_batch
@@ -216,7 +216,7 @@ class TestLinearServing:
             runtime.submit_linear("proj", m)
         reports = runtime.run_pending()
         t = backend.plaintext_modulus
-        for m, report in zip(matrices, reports):
+        for m, report in zip(matrices, reports, strict=True):
             assert np.array_equal(report.result, (m @ weights) % t)
         # 24-row requests fit two per 64-slot ciphertext -> chunks of <= 2.
         assert max(r.batch_size for r in reports) == 2
@@ -224,7 +224,7 @@ class TestLinearServing:
         # must not accumulate the earlier chunks' operations.  Both chunk
         # sizes run the BSGS kernel here (simulated backend): 48-row chunks
         # get one feature block per ciphertext (4 input ciphertexts), the
-        # final 24-row chunk packs two blocks per ciphertext (2) — strictly
+        # final 24-row chunk packs two blocks per ciphertext (2) -- strictly
         # fewer, never accumulated.
         first_chunk_ops = reports[0].he_operations
         last_chunk_ops = reports[-1].he_operations
@@ -312,7 +312,7 @@ class TestDeadlineScheduling:
     The workload queues two full batches of key A ahead of one urgent
     request on key B with deadline 1 unit from arrival:
 
-    * FIFO drains A, A, B — the urgent request finishes at t=3 > 1: missed.
+    * FIFO drains A, A, B -- the urgent request finishes at t=3 > 1: missed.
     * EDF picks B's key first (earliest deadline), then serves A's two
       batches: everything with a deadline finishes in time.
 
