@@ -8,7 +8,8 @@ again after the tier-2 benchmark job against freshly measured numbers
 (advisory, since wall-clock speedups are runner-dependent).  Either way a
 regression of the cached-engine, pipelined, BSGS-rotation,
 FHGS-slot-sharing, plan-store-warm-start, NTT-domain-residency,
-kernel-tier or fault-recovery wins is caught before it lands silently.
+kernel-tier, fault-recovery or replica-fleet wins is caught before it
+lands silently.
 
 Run with:  python benchmarks/check_regressions.py [path-to-BENCH_serving.json]
 """
@@ -43,6 +44,10 @@ FLOORS: dict[str, float] = {
     # rate (with one guaranteed firing) must stay within 0.8x of the
     # fault-free pass -- retries amortise, they do not serialise the drain.
     "fault_recovery.throughput_ratio": 0.8,
+    # Replica fleet: two forked replica processes overlapping their batch
+    # linger windows must beat the single-process front door on the
+    # closed-loop workload (typically ~1.6x on a one-core runner).
+    "replica_fleet.throughput_speedup": 1.3,
 }
 
 #: ``section.metric`` -> exact required value (correctness, not wall clock):
@@ -67,6 +72,14 @@ EXACT: dict[str, float] = {
     # headroom is a broken recovery path.
     "fault_recovery.conservation_gap": 0,
     "fault_recovery.typed_failures": 0,
+    # Replica fleet: the router ledger must close exactly over the wire
+    # (no dropped, duplicated, or hung requests), the fleet's logits must
+    # be bit-identical to the single-process drain, and a fresh replica
+    # over the shared plan store must warm-start every engine from disk.
+    "replica_fleet.conservation_gap": 0,
+    "replica_fleet.typed_failures": 0,
+    "replica_fleet.bit_identical": 1,
+    "replica_fleet.warm_start_hit_rate": 1.0,
 }
 
 #: Ceiling on `# repro-lint: disable=` suppressions across the checked tree

@@ -5,6 +5,7 @@ from . import (  # noqa: F401
     domains,
     faultsites,
     forksafety,
+    framing,
     limbshape,
     locks,
     rng,
@@ -15,6 +16,7 @@ __all__ = [
     "domains",
     "faultsites",
     "forksafety",
+    "framing",
     "limbshape",
     "locks",
     "rng",

@@ -1,0 +1,61 @@
+"""RL008 -- socket reads go through the framing helper.
+
+``socket.recv(n)`` returns *up to* ``n`` bytes, so the natural-looking
+``while``-loop over ``.recv()`` is where torn reads are born: a short read
+concatenated in ad-hoc code silently mis-frames the stream, and the CRC
+layer never gets a chance to catch it.  The wire module centralises the
+loop once, correctly, as :func:`repro.runtime.net.recv_exactly` (EOF
+mid-read raises a typed :class:`~repro.errors.WireError`).  This rule
+forbids any other ``.recv(...)`` call inside a ``while``/``for`` loop --
+the hand-rolled reassembly idiom -- anywhere outside ``runtime/net.py``.
+One-shot ``.recv()`` calls (e.g. a multiprocessing pipe handoff) are fine;
+it is the *loop* that marks a reimplementation of framing.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..core import Finding, ParsedModule, Rule, register
+
+
+def _recv_calls_in_loops(tree: ast.Module) -> Iterable[ast.Call]:
+    """Every ``<expr>.recv(...)`` call lexically inside a while/for body."""
+
+    def walk(node: ast.AST, in_loop: bool) -> Iterable[ast.Call]:
+        for child in ast.iter_child_nodes(node):
+            child_in_loop = in_loop or isinstance(child, (ast.While, ast.For))
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr == "recv"
+                and in_loop
+            ):
+                yield child
+            yield from walk(child, child_in_loop)
+
+    yield from walk(tree, False)
+
+
+@register
+class FramingRule(Rule):
+    rule_id = "RL008"
+    summary = "socket recv loops use the wire module's framing helper"
+    fix_hint = (
+        "read frames with repro.runtime.net.recv_exactly/recv_frame instead "
+        "of hand-rolling a .recv() reassembly loop"
+    )
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        # net.py IS the framing helper -- the one legitimate recv loop.
+        return not module.name_matches("runtime/net.py")
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        for call in _recv_calls_in_loops(module.tree):
+            yield self.finding(
+                module, call.lineno,
+                "bare .recv() loop reassembles a byte stream by hand; "
+                "torn reads must go through the framing helper "
+                "(repro.runtime.net.recv_exactly)",
+            )

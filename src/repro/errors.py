@@ -108,6 +108,40 @@ class EngineQuarantined(PrimerError):
         self.retry_after_seconds = retry_after_seconds
 
 
+class WireError(TransientFault):
+    """A wire frame failed to encode, frame, or verify (bad magic/CRC/size).
+
+    Retryable by construction: a torn read or corrupted frame says nothing
+    about the request itself, only about this connection attempt, so the
+    fleet router treats it like any other transient connection fault.
+    """
+
+
+class ReplicaLost(FaultError):
+    """A replica died (or became unreachable) with a request's state unknown.
+
+    Raised as the ``__cause__`` of the :class:`RequestFailed` that resolves
+    requests which were *acknowledged* by a replica that then crashed before
+    reporting.  Deliberately **not** retryable: the replica may have executed
+    the request before dying, so an automatic re-execution elsewhere would
+    break the fleet's at-most-once guarantee.  Callers that know their
+    workload is idempotent can resubmit explicitly.
+    """
+
+
+class FleetUnavailable(PrimerError):
+    """Every replica in the fleet is dead or quarantined (and no local fallback).
+
+    The fleet-wide rung of the degradation ladder: carries the same
+    ``retry_after_seconds`` hint as :class:`OverloadedError`, derived from
+    the soonest replica circuit-breaker half-open probe.
+    """
+
+    def __init__(self, message: str, *, retry_after_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
 class ShutdownTimeout(PrimerError):
     """``close(timeout=...)`` expired with work still in flight.
 

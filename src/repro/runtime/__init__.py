@@ -8,6 +8,9 @@ execution (:mod:`repro.runtime.executor`), the
 :class:`~repro.runtime.serving.ServingRuntime` façade over both, and the
 continuous-drain :class:`~repro.runtime.frontdoor.AsyncServingRuntime`
 front door (submit while a drain is in flight; futures per request).
+Networked serving puts a versioned wire protocol on the front door
+(:mod:`repro.runtime.net`) and routes traffic across crash-tolerant
+replica processes (:mod:`repro.runtime.fleet`).
 """
 
 from .evaluation import (
@@ -39,7 +42,27 @@ from .faults import (
     maybe_inject,
     set_fault_injector,
 )
+from .fleet import (
+    BATCH_ID_STRIDE,
+    FleetHandle,
+    FleetRouter,
+    read_execution_logs,
+)
 from .frontdoor import AdmissionController, AsyncServingRuntime, RequestHandle
+from .net import (
+    MAX_FRAME_BYTES,
+    WIRE_VERSION,
+    ReplicaProcessHandle,
+    ReplicaServer,
+    decode_error,
+    decode_frame,
+    encode_error,
+    encode_frame,
+    recv_exactly,
+    recv_frame,
+    send_frame,
+    spawn_replica_process,
+)
 from .scheduler import (
     Batch,
     BatchKey,
@@ -59,6 +82,9 @@ from .serving import (
 
 __all__ = [
     "ALL_SITES",
+    "BATCH_ID_STRIDE",
+    "MAX_FRAME_BYTES",
+    "WIRE_VERSION",
     "AccuracyReport",
     "AdmissionController",
     "AsyncServingRuntime",
@@ -76,8 +102,12 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "FifoPolicy",
+    "FleetHandle",
+    "FleetRouter",
     "InferenceRequest",
     "PipelinedExecutor",
+    "ReplicaProcessHandle",
+    "ReplicaServer",
     "RequestHandle",
     "RequestReport",
     "RetryPolicy",
@@ -88,12 +118,21 @@ __all__ = [
     "SizeAwarePolicy",
     "active_injector",
     "calibrated_latency_model",
+    "decode_error",
+    "decode_frame",
+    "encode_error",
+    "encode_frame",
     "evaluate_accuracy",
     "fault_scope",
     "maybe_corrupt",
     "maybe_inject",
+    "read_execution_logs",
+    "recv_exactly",
+    "recv_frame",
     "run_sequential_baseline",
     "scheme_latencies",
+    "send_frame",
     "set_fault_injector",
+    "spawn_replica_process",
     "summarize",
 ]

@@ -41,6 +41,12 @@ site                      instrumented in
 ``online_execute``        :meth:`BatchExecutor.execute` entry
 ``kernel_dispatch``       :func:`repro.he.kernels.stacked_ntt` dispatch
 ``worker_shard``          :class:`PipelinedExecutor` shard workers
+``conn_send``             :func:`repro.runtime.net.send_frame` (wire writes;
+                          also corrupt rules -- the CRC must catch them)
+``conn_recv``             :func:`repro.runtime.net.recv_frame` (wire reads)
+``replica_heartbeat``     :meth:`FleetRouter._heartbeat` probe sends
+``replica_crash``         :meth:`FleetRouter.submit` placement (a firing
+                          hard-kills the chosen replica before the send)
 ========================  ====================================================
 """
 
@@ -50,6 +56,7 @@ import hashlib
 import os
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -63,7 +70,12 @@ __all__ = [
     "SITE_ONLINE_EXECUTE",
     "SITE_KERNEL_DISPATCH",
     "SITE_WORKER_SHARD",
+    "SITE_CONN_SEND",
+    "SITE_CONN_RECV",
+    "SITE_REPLICA_HEARTBEAT",
+    "SITE_REPLICA_CRASH",
     "ALL_SITES",
+    "DEFAULT_MAX_EVENTS",
     "FaultRule",
     "FaultPlan",
     "FaultEvent",
@@ -85,6 +97,10 @@ SITE_OFFLINE_PREPARE = "offline_prepare"
 SITE_ONLINE_EXECUTE = "online_execute"
 SITE_KERNEL_DISPATCH = "kernel_dispatch"
 SITE_WORKER_SHARD = "worker_shard"
+SITE_CONN_SEND = "conn_send"
+SITE_CONN_RECV = "conn_recv"
+SITE_REPLICA_HEARTBEAT = "replica_heartbeat"
+SITE_REPLICA_CRASH = "replica_crash"
 
 #: every registered injection point, in runtime-flow order
 ALL_SITES = (
@@ -95,6 +111,10 @@ ALL_SITES = (
     SITE_ONLINE_EXECUTE,
     SITE_KERNEL_DISPATCH,
     SITE_WORKER_SHARD,
+    SITE_CONN_SEND,
+    SITE_CONN_RECV,
+    SITE_REPLICA_HEARTBEAT,
+    SITE_REPLICA_CRASH,
 )
 
 #: env var tests/CI use to seed their fault plans (matrixed in CI).
@@ -196,25 +216,54 @@ class FaultEvent:
     detail: str = ""
 
 
+#: default bound on the retained :class:`FaultEvent` replay window; the
+#: fleet's drain/heartbeat threads visit sites indefinitely, so an unbounded
+#: event list would grow for the lifetime of a long-running process.
+DEFAULT_MAX_EVENTS = 4096
+
+
 class FaultInjector:
     """Evaluates a :class:`FaultPlan` at the registered runtime sites.
 
     Thread-safe: occurrence counters and the event log sit behind one lock
-    (sites are hit from drain loops, shard workers and prepare pools).
+    (sites are hit from drain loops, shard workers, prepare pools and the
+    fleet router's heartbeat/receiver threads).  The event log is a *bounded*
+    replay window (``max_events``, default :data:`DEFAULT_MAX_EVENTS`):
+    older events are discarded once the cap is reached, while the fired
+    *counters* stay exact forever -- see :meth:`fired_count`.
     """
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(self, plan: FaultPlan, *, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        if max_events < 1:
+            raise ProtocolError("max_events must be at least 1")
         self.plan = plan
+        self.max_events = max_events
         self._lock = threading.Lock()
         self._occurrences: dict[tuple[str, str], int] = {}
         self._fired: dict[tuple[str, str], int] = {}
-        self._events: list[FaultEvent] = []
+        self._fired_by_site: dict[str, int] = {}  # guarded_by: _lock
+        self._total_fired = 0  # guarded_by: _lock
+        self._events: deque[FaultEvent] = deque(maxlen=max_events)
 
     # -- evaluation ----------------------------------------------------------
     def _next_occurrence(self, site: str, group: str) -> int:
         key = (site, group)
         self._occurrences[key] = self._occurrences.get(key, 0) + 1
         return self._occurrences[key]
+
+    def _log_fired_locked(self, rule: FaultRule, event: FaultEvent) -> None:
+        """Record one firing.  Caller holds ``_lock``.
+
+        The counters are exact for the injector's lifetime; only the event
+        *log* is bounded (the deque discards its oldest entry past
+        ``max_events``).
+        """
+        self._fired[(rule.site, rule.kind)] = (
+            self._fired.get((rule.site, rule.kind), 0) + 1
+        )
+        self._fired_by_site[event.site] = self._fired_by_site.get(event.site, 0) + 1
+        self._total_fired += 1
+        self._events.append(event)
 
     def _rule_fires(self, rule: FaultRule, occurrence: int) -> bool:
         if rule.max_fires is not None:
@@ -237,10 +286,9 @@ class FaultInjector:
             for rule in self.plan.for_site(site, "inject"):
                 if not self._rule_fires(rule, occurrence):
                     continue
-                self._fired[(rule.site, rule.kind)] = (
-                    self._fired.get((rule.site, rule.kind), 0) + 1
+                self._log_fired_locked(
+                    rule, FaultEvent(site, rule.kind, occurrence, detail)
                 )
-                self._events.append(FaultEvent(site, rule.kind, occurrence, detail))
                 if rule.kind == "delay":
                     delay = rule.delay_seconds
                 else:
@@ -266,11 +314,8 @@ class FaultInjector:
             for rule in self.plan.for_site(site, "corrupt"):
                 if not self._rule_fires(rule, occurrence):
                     continue
-                self._fired[(rule.site, rule.kind)] = (
-                    self._fired.get((rule.site, rule.kind), 0) + 1
-                )
-                self._events.append(
-                    FaultEvent(site, "corrupt", occurrence, f"{len(blob)} bytes")
+                self._log_fired_locked(
+                    rule, FaultEvent(site, "corrupt", occurrence, f"{len(blob)} bytes")
                 )
                 # Invert every byte: unambiguous, content-independent damage
                 # that any integrity digest must catch.
@@ -283,13 +328,23 @@ class FaultInjector:
             return self._occurrences.get((site, group), 0)
 
     def fired_count(self, site: str | None = None) -> int:
-        """Faults that actually fired (at ``site``, or anywhere)."""
+        """Faults that actually fired (at ``site``, or anywhere).
+
+        Counted from dedicated counters, not the event log, so the figure
+        stays exact even after the bounded log (``max_events``) has
+        discarded its oldest entries.
+        """
         with self._lock:
             if site is None:
-                return len(self._events)
-            return sum(1 for event in self._events if event.site == site)
+                return self._total_fired
+            return self._fired_by_site.get(site, 0)
 
     def events(self) -> list[FaultEvent]:
+        """The retained replay window: the most recent ``max_events`` firings.
+
+        Older events are discarded once the cap is hit; use
+        :meth:`fired_count` for exact lifetime totals.
+        """
         with self._lock:
             return list(self._events)
 

@@ -186,6 +186,17 @@ class RequestHandle:
         """The request's failure, or ``None`` once it completed cleanly."""
         return self._future.exception(timeout)
 
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(handle)`` once the request resolves (push-style delivery).
+
+        Mirrors :meth:`concurrent.futures.Future.add_done_callback`: the
+        callback runs on the thread that resolved the future (the drain
+        loop) or immediately if already done, so it must be quick and must
+        not raise.  The replica server uses this to stream reports back
+        over the wire the moment they exist.
+        """
+        self._future.add_done_callback(lambda _future: fn(self))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "done" if self._future.done() else "pending"
         return f"RequestHandle({self.request_id!r}, {state})"

@@ -261,6 +261,26 @@ class BatchScheduler:
             self._queue.appendleft(request)
         return request
 
+    def set_batch_id_base(self, base: int) -> None:
+        """Start batch-id numbering at ``base`` (before any batch is formed).
+
+        The fleet router hands each replica a disjoint id range so that the
+        batch ids inside the :class:`~repro.runtime.executor.RequestReport`\\ s
+        it aggregates stay globally unique -- ``summarize()`` counts batches
+        by distinct id.  Renumbering *after* a batch exists would let ids
+        collide within one replica, so that is rejected.
+        """
+        if base < 0:
+            raise ProtocolError("batch id base must be non-negative")
+        with self._lock:
+            first_unused = next(self._batch_ids)
+            if first_unused != 0:
+                raise ProtocolError(
+                    "batch ids were already assigned; the base must be set "
+                    "before the first batch is formed"
+                )
+            self._batch_ids = itertools.count(base)
+
     def close(self) -> None:
         """Refuse new submissions (batch formation keeps working).  Idempotent."""
         with self._lock:

@@ -25,6 +25,7 @@ from repro.analysis.rules.charges import ChargePairingRule
 from repro.analysis.rules.domains import DomainDisciplineRule
 from repro.analysis.rules.faultsites import FaultSiteRegistryRule
 from repro.analysis.rules.forksafety import ForkSafetyRule
+from repro.analysis.rules.framing import FramingRule
 from repro.analysis.rules.limbshape import LimbShapeRule
 from repro.analysis.rules.locks import GuardedFieldRule
 from repro.analysis.rules.rng import RngHygieneRule
@@ -281,6 +282,81 @@ class TestFaultSiteRegistryRule:
         rule = FaultSiteRegistryRule()
         result = analyze(rules=[rule])
         assert rule._sites, "SITE_* constants must resolve from runtime/faults.py"
+        assert result.active == []
+
+    def test_network_sites_registered(self):
+        """The fleet PR's four network fault sites resolve from the registry."""
+        rule = FaultSiteRegistryRule()
+        analyze(rules=[rule])
+        assert {
+            "conn_send",
+            "conn_recv",
+            "replica_heartbeat",
+            "replica_crash",
+        } <= (rule._sites or set())
+
+
+# ---------------------------------------------------------------------------
+# RL008 -- socket framing
+# ---------------------------------------------------------------------------
+
+RL008_BAD = '''\
+import socket
+
+def read_message(sock):
+    chunks = []
+    remaining = 128
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+'''
+
+RL008_GOOD = '''\
+from repro.runtime.net import recv_exactly, recv_frame
+
+def read_message(sock):
+    return recv_exactly(sock, 128)
+
+def read_port(channel):
+    return channel.recv()  # one-shot pipe handoff: not a framing loop
+'''
+
+RL008_NET_EXEMPT = '''\
+def recv_exactly(sock, n):
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+'''
+
+
+class TestFramingRule:
+    def test_bare_recv_loop_flagged(self, tmp_path):
+        make_tree(tmp_path, {"runtime/client.py": RL008_BAD})
+        findings = run_rule(FramingRule(), tmp_path)
+        assert len(findings) == 1
+        assert "framing helper" in findings[0].message
+
+    def test_helper_usage_and_oneshot_recv_clean(self, tmp_path):
+        make_tree(tmp_path, {"runtime/client.py": RL008_GOOD})
+        assert run_rule(FramingRule(), tmp_path) == []
+
+    def test_net_module_itself_exempt(self, tmp_path):
+        make_tree(tmp_path, {"runtime/net.py": RL008_NET_EXEMPT})
+        assert run_rule(FramingRule(), tmp_path) == []
+
+    def test_live_tree_clean(self):
+        """No hand-rolled recv loop anywhere outside runtime/net.py."""
+        result = analyze(rules=[FramingRule()])
         assert result.active == []
 
 

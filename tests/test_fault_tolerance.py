@@ -239,6 +239,54 @@ class TestFaultInjector:
         monkeypatch.setenv("REPRO_FAULT_SEED", "not-a-number")
         assert fault_seed_from_env(default=3) == 3
 
+    def test_event_log_is_bounded_while_counters_stay_exact(self):
+        """Regression: the process-global event log must not grow unbounded.
+
+        Long-lived fleet replicas visit sites indefinitely; the log is a
+        bounded replay window (``max_events``) but :meth:`fired_count` is
+        counted separately and stays exact past the cap.
+        """
+        plan = FaultPlan(
+            rules=(FaultRule(site=SITE_ONLINE_EXECUTE, rate=1.0),), seed=SEED
+        )
+        injector = FaultInjector(plan, max_events=8)
+        for index in range(50):
+            with pytest.raises(TransientFault):
+                injector.visit(SITE_ONLINE_EXECUTE, detail=f"v{index}")
+        assert len(injector.events()) == 8
+        # The retained window is the *most recent* firings, oldest first.
+        assert [event.detail for event in injector.events()] == [
+            f"v{i}" for i in range(42, 50)
+        ]
+        assert injector.fired_count() == 50
+        assert injector.fired_count(SITE_ONLINE_EXECUTE) == 50
+        assert injector.fired_count(SITE_KERNEL_DISPATCH) == 0
+        with pytest.raises(ProtocolError):
+            FaultInjector(plan, max_events=0)
+
+    def test_event_log_is_thread_safe_under_concurrent_visits(self):
+        plan = FaultPlan(
+            rules=(FaultRule(site=SITE_ONLINE_EXECUTE, rate=1.0),), seed=SEED
+        )
+        injector = FaultInjector(plan, max_events=16)
+        per_thread, num_threads = 200, 8
+
+        def hammer() -> None:
+            for _ in range(per_thread):
+                try:
+                    injector.visit(SITE_ONLINE_EXECUTE)
+                except TransientFault:
+                    pass
+
+        threads = [threading.Thread(target=hammer) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert injector.fired_count() == per_thread * num_threads
+        assert injector.occurrences(SITE_ONLINE_EXECUTE) == per_thread * num_threads
+        assert len(injector.events()) == 16
+
 
 class TestCircuitBreaker:
     def test_full_cycle_closed_open_halfopen_closed(self):
